@@ -1,0 +1,41 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints it
+(visible with ``pytest benchmarks/ --benchmark-only -s``), saves figure data
+as CSV + gnuplot under ``benchmarks/output/``, and asserts the reproduction
+bands documented in EXPERIMENTS.md.  ``pytest-benchmark`` times the
+regeneration itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Where figure CSV/gnuplot exports land.
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    """The benchmark artefact directory (created on first use)."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def emit(output_dir, capsys):
+    """Print an artefact and optionally persist a figure.
+
+    Returns a callable ``emit(text, figure=None, stem=None)``.
+    """
+
+    def _emit(text: str, figure=None, stem: str | None = None) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+        if figure is not None and stem:
+            figure.save(output_dir, stem)
+
+    return _emit

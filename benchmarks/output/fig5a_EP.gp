@@ -1,0 +1,9 @@
+set datafile separator ','
+set title 'Figure 5: energy proportionality of brawny and wimpy nodes (EP)'
+set xlabel 'Utilization [%]'
+set ylabel 'Peak Power [%]'
+set key outside
+plot \
+  'fig5a_EP.csv' using 1:2 with linespoints title 'Ideal', \
+  'fig5a_EP.csv' using 3:4 with linespoints title 'K10', \
+  'fig5a_EP.csv' using 5:6 with linespoints title 'A9'

@@ -1,0 +1,9 @@
+set datafile separator ','
+set title 'Figure 6: PPR of brawny and wimpy nodes (x264)'
+set xlabel 'Utilization [%]'
+set ylabel 'PPR [(frames/s)/W]'
+set key outside
+set logscale y
+plot \
+  'fig6b_x264.csv' using 1:2 with linespoints title 'K10', \
+  'fig6b_x264.csv' using 3:4 with linespoints title 'A9'

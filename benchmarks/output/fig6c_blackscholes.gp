@@ -1,0 +1,9 @@
+set datafile separator ','
+set title 'Figure 6: PPR of brawny and wimpy nodes (blackscholes)'
+set xlabel 'Utilization [%]'
+set ylabel 'PPR [(options/s)/W]'
+set key outside
+set logscale y
+plot \
+  'fig6c_blackscholes.csv' using 1:2 with linespoints title 'K10', \
+  'fig6c_blackscholes.csv' using 3:4 with linespoints title 'A9'

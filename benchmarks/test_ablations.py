@@ -1,0 +1,124 @@
+"""Benchmark: ablation studies of the modelling choices.
+
+Not paper artefacts — these quantify the design decisions DESIGN.md calls
+out: curve shape (linear vs Hsu & Poole quadratic), switch power behind the
+8:1 substitution ratio, service-time variability, open-vs-batch arrivals,
+and the KnightShift server-level baseline.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    curvature_ablation,
+    knightshift_ablation,
+    open_vs_batch_ablation,
+    service_variability_ablation,
+    switch_power_ablation,
+)
+from repro.util.tables import render_table
+
+
+def test_ablation_curve_shape(benchmark, emit):
+    headers, rows = benchmark(curvature_ablation)
+    emit(render_table(headers, rows, title="Ablation: power-curve shape (EP on K10)"))
+    by_curv = {r[0]: r for r in rows}
+    assert by_curv[0.0][4] == pytest.approx(0.0, abs=0.01)
+    assert by_curv[0.5][3] > by_curv[0.0][3]  # sub-linear bow raises EPM
+
+
+def test_ablation_switch_power(benchmark, emit):
+    headers, rows = benchmark(switch_power_ablation)
+    emit(render_table(headers, rows, title="Ablation: switch power vs substitution ratio"))
+    by_sw = {r[0]: r for r in rows}
+    assert by_sw[20.0][1] == pytest.approx(8.0)  # footnote 3
+    assert by_sw[0.0][1] == pytest.approx(12.0)  # no switch: 60/5
+
+
+def test_ablation_service_variability(benchmark, emit):
+    headers, rows = benchmark.pedantic(
+        service_variability_ablation,
+        kwargs={"scvs": (0.0, 0.5, 1.0, 2.0), "des_jobs": 20_000},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        render_table(
+            headers, rows,
+            title="Ablation: service-time variability (EP, 32 A9 : 12 K10, u = 70%)",
+        )
+    )
+    p95s = [r[2] for r in rows]
+    assert p95s == sorted(p95s)  # variability only hurts tail latency
+
+
+def test_ablation_open_vs_batch(benchmark, emit):
+    headers, rows = benchmark(open_vs_batch_ablation)
+    emit(
+        render_table(
+            headers, rows,
+            title="Ablation: open M/D/1 vs batch-window arrivals (EP, u = 60%)",
+        )
+    )
+    open_spread = max(r[1] for r in rows) - min(r[1] for r in rows)
+    batch_spread = max(r[2] for r in rows) - min(r[2] for r in rows)
+    assert batch_spread < open_spread
+
+
+def test_ablation_knightshift(benchmark, emit):
+    headers, rows = benchmark(knightshift_ablation)
+    emit(
+        render_table(
+            headers, rows,
+            title="Ablation: KnightShift (server-level) vs inter-node heterogeneity (EP)",
+        )
+    )
+    by_name = {r[0]: dict(zip(headers, r)) for r in rows}
+    assert by_name["knightshift"]["EPM"] > by_name["internode"]["EPM"]
+    assert by_name["internode"]["ppr@100%"] > by_name["knightshift"]["ppr@100%"]
+
+
+def test_ablation_adaptation(benchmark, emit):
+    from repro.experiments.ablations import adaptation_ablation
+
+    headers, rows = benchmark.pedantic(adaptation_ablation, rounds=1, iterations=1)
+    emit(
+        render_table(
+            headers, rows,
+            title="Ablation: static vs dynamic configuration over a diurnal day",
+        )
+    )
+    for row in rows:
+        assert float(row[4].rstrip("%")) >= 0.0
+
+
+def test_ablation_validation_scale(benchmark, emit):
+    from repro.experiments.ablations import validation_scale_ablation
+
+    headers, rows = benchmark.pedantic(
+        validation_scale_ablation, rounds=1, iterations=1
+    )
+    emit(
+        render_table(
+            headers, rows,
+            title="Ablation: validation error vs measured-run length (julius)",
+        )
+    )
+    # Errors settle as the run outgrows the fixed overheads.
+    assert rows[-1][2] <= rows[0][2]
+    assert rows[-1][3] <= rows[0][3]
+
+
+def test_ablation_fork_join(benchmark, emit):
+    from repro.experiments.ablations import fork_join_ablation
+
+    headers, rows = benchmark.pedantic(
+        fork_join_ablation, kwargs={"n_jobs": 15_000}, rounds=1, iterations=1
+    )
+    emit(
+        render_table(
+            headers, rows,
+            title="Ablation: fork-join straggler penalty (julius, 32 A9 : 12 K10, u = 70%)",
+        )
+    )
+    p95s = [r[2] for r in rows[1:]]
+    assert p95s == sorted(p95s)  # wider fork-join -> worse tail

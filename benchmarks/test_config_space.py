@@ -1,0 +1,39 @@
+"""Benchmark: the configuration-space size of footnote 4.
+
+The paper counts 36,380 configurations for 10 ARM nodes (4 cores, 5
+frequencies) and 10 AMD nodes (6 cores, 3 frequencies): 36,000 mixed + 200
+ARM-only + 180 AMD-only.  This benchmark times the exhaustive enumeration
+of the full space and pins the count against the closed form.
+"""
+
+from repro.cluster.configuration import TypeSpace, count_configurations, enumerate_configurations
+from repro.hardware.specs import a9, k10
+from repro.util.tables import render_kv
+
+
+def _enumerate_all():
+    spaces = [TypeSpace(a9(), n_max=10), TypeSpace(k10(), n_max=10)]
+    return sum(1 for _ in enumerate_configurations(spaces))
+
+
+def test_config_space_footnote4(benchmark, emit):
+    spaces = [TypeSpace(a9(), n_max=10), TypeSpace(k10(), n_max=10)]
+    total = benchmark.pedantic(_enumerate_all, rounds=1, iterations=1)
+    arm_only = count_configurations([spaces[0]])
+    amd_only = count_configurations([spaces[1]])
+    emit(
+        render_kv(
+            {
+                "mixed ARM+AMD": total - arm_only - amd_only,
+                "ARM only": arm_only,
+                "AMD only": amd_only,
+                "total": total,
+                "paper footnote 4": 36_380,
+            },
+            title="Heterogeneous configuration space (10 ARM + 10 AMD)",
+        )
+    )
+    assert total == 36_380
+    assert arm_only == 200
+    assert amd_only == 180
+    assert count_configurations(spaces) == total

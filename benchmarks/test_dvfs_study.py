@@ -1,0 +1,31 @@
+"""Benchmark: the DVFS/core-scaling frontier study.
+
+Not a paper artefact — quantifies the configuration-tuple dimensions the
+paper defines but never sweeps in its figures.  The result restates the
+energy-proportionality wall: on nodes with the paper's idle powers,
+race-to-idle beats every down-clocked configuration at every deadline; on
+hypothetically proportional hardware (idle x 0.1), DVFS points join the
+energy-deadline frontier.
+"""
+
+from repro.experiments.dvfs import dvfs_frontier_study
+from repro.util.tables import render_table
+
+
+def test_dvfs_frontier_study(benchmark, emit):
+    headers, rows = benchmark.pedantic(
+        dvfs_frontier_study, kwargs={"n_a9": 8, "n_k10": 3}, rounds=1, iterations=1
+    )
+    headers10, rows10 = dvfs_frontier_study(n_a9=8, n_k10=3, idle_scale=0.1)
+    emit(
+        render_table(headers, rows, title="DVFS study: real nodes (blackscholes)")
+        + "\n\n"
+        + render_table(
+            headers10, rows10,
+            title="DVFS study: hypothetical 10%-idle nodes (blackscholes)",
+        )
+    )
+    # Real nodes: race-to-idle everywhere.
+    assert all(row[3] == "0.0%" for row in rows)
+    # Proportional hardware: DVFS starts paying.
+    assert any(float(row[3].rstrip("%")) > 0.0 for row in rows10)

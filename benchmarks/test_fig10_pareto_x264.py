@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 10 (proportionality of Pareto configs, x264).
+
+Paper shape: same construction as Figure 9 but for the memory-bound x264;
+the paper notes "the number of sub-linear configurations for x264 is larger
+compared to the EP workload" — the crossover utilisations sit lower than
+EP's, so more of each curve lies below the ideal.
+"""
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.core.proportionality import power_curve, sublinear_crossover
+from repro.experiments.figures import figure9_pareto_proportionality
+from repro.viz.ascii import render_figure
+from repro.workloads.suite import paper_workloads
+
+
+def _crossovers(workload_name):
+    w = paper_workloads()[workload_name]
+    ref_peak = power_curve(w, ClusterConfiguration.mix({"A9": 32, "K10": 12})).peak_w
+    out = {}
+    for k in (10, 8, 7, 5):
+        curve = power_curve(w, ClusterConfiguration.mix({"A9": 25, "K10": k}))
+        out[k] = sublinear_crossover(curve, reference_peak_w=ref_peak)
+    return out
+
+
+def test_fig10_pareto_x264(benchmark, emit):
+    fig = benchmark(figure9_pareto_proportionality, "x264")
+    emit(render_figure(fig), figure=fig, stem="fig10_pareto_x264")
+
+    ideal = fig.require_series("Ideal")
+    small = fig.require_series("25 A9: 5 K10")
+    assert (small.y < ideal.y).any()
+
+    x264 = _crossovers("x264")
+    ep = _crossovers("EP")
+    assert all(u is not None for u in x264.values())
+    # More sub-linear range for x264 than EP: earlier crossovers for the
+    # small mixes (the paper's "larger number of sub-linear configurations").
+    assert x264[5] <= ep[5] + 0.05
+    assert x264[7] <= ep[7] + 0.05

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 11 (95th-pct response time, EP).
+
+Paper shape: milliseconds-scale log axis (10-100 ms); response times grow
+with utilisation; mixes with fewer K10 nodes sit higher but the absolute
+spread between configurations stays small for EP (the A9-favouring
+workload), in contrast with Figure 12's seconds for x264.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure11_response_time
+from repro.viz.ascii import render_figure
+
+MIXES = ["32 A9: 12 K10", "25 A9: 10 K10", "25 A9: 8 K10", "25 A9: 7 K10", "25 A9: 5 K10"]
+
+
+def test_fig11_response_ep(benchmark, emit):
+    fig = benchmark(figure11_response_time, "EP")
+    emit(render_figure(fig), figure=fig, stem="fig11_response_ep")
+
+    assert "[ms]" in fig.ylabel
+    curves = [fig.require_series(label) for label in MIXES]
+    # Monotone in utilisation for every mix.
+    for c in curves:
+        assert (np.diff(c.y) > 0).all()
+    # Removing K10 nodes only ever raises response time.
+    for better, worse in zip(curves, curves[1:]):
+        assert (worse.y >= better.y - 1e-9).all()
+    # Base of the range is tens of ms, like the paper's 10-100 ms axis.
+    assert 10.0 <= curves[0].y[0] <= 100.0
+    # The absolute spread between mixes at mid-utilisation is small
+    # (sub-0.1 s) for this A9-favouring workload.
+    mid = len(curves[0].y) // 2
+    assert curves[-1].y[mid] - curves[0].y[mid] < 100.0

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 12 (95th-pct response time, x264).
+
+Paper shape: seconds-scale log axis (1-100 s); the sub-linear mixes pay a
+multi-second response-time penalty for x264 — the workload whose PPR favours
+the brawny node — which is exactly the paper's Section III-E conclusion.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure11_response_time
+from repro.viz.ascii import render_figure
+
+MIXES = ["32 A9: 12 K10", "25 A9: 10 K10", "25 A9: 8 K10", "25 A9: 7 K10", "25 A9: 5 K10"]
+
+
+def test_fig12_response_x264(benchmark, emit):
+    fig = benchmark(figure11_response_time, "x264")
+    emit(render_figure(fig), figure=fig, stem="fig12_response_x264")
+
+    assert "[s]" in fig.ylabel
+    curves = [fig.require_series(label) for label in MIXES]
+    for c in curves:
+        assert (np.diff(c.y) > 0).all()
+    for better, worse in zip(curves, curves[1:]):
+        assert (worse.y >= better.y - 1e-9).all()
+    # Base of the range is seconds, like the paper's 1-100 s axis.
+    assert 1.0 <= curves[0].y[0] <= 100.0
+    # Degradation "to the order of seconds": already at mid utilisation the
+    # smallest mix trails the full configuration by whole seconds.
+    mid = len(curves[0].y) // 2
+    assert curves[-1].y[mid] - curves[0].y[mid] > 1.0

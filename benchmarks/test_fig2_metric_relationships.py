@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Figure 2 (metric relationship illustration).
+
+The paper's Figure 2 is an annotated sketch relating DPR, IPR, EPM, LDR and
+PG on sub- and super-linear power curves.  The regeneration plots an ideal
+line plus matched sub-/super-linear curves and prints the metric values of
+each, verifying the relationships the sketch encodes.
+"""
+
+from repro.core.metrics import QuadraticPowerCurve, analyze_curve, proportionality_gap
+from repro.experiments.figures import figure2_metric_relationships
+from repro.util.tables import render_table
+from repro.viz.ascii import render_figure
+
+
+def test_fig2_metric_relationships(benchmark, emit):
+    fig = benchmark(figure2_metric_relationships)
+    ipr0 = 0.4
+    sup = QuadraticPowerCurve(ipr0 * 100, 100.0, curvature=-0.6)
+    sub = QuadraticPowerCurve(ipr0 * 100, 100.0, curvature=0.6)
+    rows = []
+    for label, curve in (("super-linear", sup), ("sub-linear", sub)):
+        r = analyze_curve(curve)
+        rows.append(
+            (label, round(r.dpr, 1), round(r.ipr, 2), round(r.epm, 3),
+             round(r.ldr_strict, 3), round(proportionality_gap(curve, 0.3), 3))
+        )
+    emit(
+        render_figure(fig)
+        + "\n\n"
+        + render_table(
+            ("curve", "DPR", "IPR", "EPM", "LDR(strict)", "PG(30%)"), rows,
+            title="Figure 2 metric relationships",
+        ),
+        figure=fig,
+        stem="fig2",
+    )
+    # Relationships the sketch encodes:
+    r_sup, r_sub = analyze_curve(sup), analyze_curve(sub)
+    assert r_sup.dpr == r_sub.dpr  # DPR/IPR see only the endpoints
+    assert r_sub.epm > r_sup.epm  # sub-linear curves are more proportional
+    assert r_sub.ldr_strict < 0 < r_sup.ldr_strict  # LDR sign convention
+    assert proportionality_gap(sup, 0.3) > proportionality_gap(sub, 0.3)

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 5a-c (single-node energy proportionality).
+
+Paper shape: for EP, x264 and blackscholes, both nodes lie ABOVE the ideal
+line (super-linear), the K10 curve lies below the A9 curve (K10 is more
+proportional), and each curve starts near 100*IPR at low utilisation and
+meets 100% at full load.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure5_node_proportionality
+from repro.viz.ascii import render_figure
+from repro.workloads.suite import PAPER_IPR
+
+PANELS = {"a": "EP", "b": "x264", "c": "blackscholes"}
+
+
+@pytest.mark.parametrize("panel,workload_name", sorted(PANELS.items()))
+def test_fig5_node_proportionality(benchmark, emit, panel, workload_name):
+    fig = benchmark(figure5_node_proportionality, workload_name)
+    emit(render_figure(fig), figure=fig, stem=f"fig5{panel}_{workload_name}")
+
+    ideal = fig.require_series("Ideal")
+    a9 = fig.require_series("A9")
+    k10 = fig.require_series("K10")
+    # Super-linear: above the ideal everywhere.
+    assert (a9.y >= ideal.y - 1e-9).all()
+    assert (k10.y >= ideal.y - 1e-9).all()
+    # K10 more proportional for compute/memory-intensive workloads.
+    if workload_name in ("EP", "blackscholes", "x264"):
+        assert (k10.y <= a9.y + 1e-9).all()
+    # Endpoints: ~100*IPR + 10%-of-range at u=10%, exactly 100% at u=100%.
+    for node, series in (("A9", a9), ("K10", k10)):
+        ipr = PAPER_IPR[workload_name][node]
+        assert series.y[0] == pytest.approx(100 * (ipr + 0.1 * (1 - ipr)), abs=1.0)
+        assert series.y[-1] == pytest.approx(100.0, abs=1e-6)

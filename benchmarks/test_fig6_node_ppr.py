@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 6a-c (single-node PPR vs utilisation).
+
+Paper shape: PPR rises with utilisation for both nodes; A9 dominates K10 for
+EP and blackscholes (Figures 6a/6c) while K10 dominates for x264 (6b) — the
+contradiction with the Figure 5 proportionality ranking that motivates the
+paper's argument.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure6_node_ppr
+from repro.viz.ascii import render_figure
+from repro.workloads.suite import PAPER_PPR
+
+PANELS = {"a": "EP", "b": "x264", "c": "blackscholes"}
+
+
+@pytest.mark.parametrize("panel,workload_name", sorted(PANELS.items()))
+def test_fig6_node_ppr(benchmark, emit, panel, workload_name):
+    fig = benchmark(figure6_node_ppr, workload_name)
+    emit(render_figure(fig), figure=fig, stem=f"fig6{panel}_{workload_name}")
+
+    a9 = fig.require_series("A9")
+    k10 = fig.require_series("K10")
+    # PPR grows with utilisation (idle power amortises).
+    assert (np.diff(a9.y) > 0).all()
+    assert (np.diff(k10.y) > 0).all()
+    # Node ranking per panel.
+    if workload_name == "x264":
+        assert (k10.y > a9.y).all()
+    else:
+        assert (a9.y > k10.y).all()
+    # Peak PPR (u = 100%) equals the Table 6 value.
+    assert a9.y[-1] == pytest.approx(PAPER_PPR[workload_name]["A9"], rel=1e-6)
+    assert k10.y[-1] == pytest.approx(PAPER_PPR[workload_name]["K10"], rel=1e-6)

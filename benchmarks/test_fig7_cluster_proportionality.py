@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 7 (cluster-wide proportionality of EP).
+
+Paper shape: five 1 kW-budget mixes on a log utilisation axis; every curve
+is super-linear, the homogeneous K10 cluster has the least proportionality
+gap and the homogeneous A9 cluster the largest, with the mixes ordered
+monotonically in between by their K10 share.
+"""
+
+from repro.experiments.figures import figure7_cluster_proportionality
+from repro.viz.ascii import render_figure
+
+MIX_ORDER = ["16 K10", "32 A9 : 12 K10", "64 A9 : 8 K10", "96 A9 : 4 K10", "128 A9"]
+
+
+def test_fig7_cluster_proportionality(benchmark, emit):
+    fig = benchmark(figure7_cluster_proportionality, "EP")
+    emit(render_figure(fig), figure=fig, stem="fig7_cluster_ep")
+
+    ideal = fig.require_series("Ideal")
+    curves = [fig.require_series(label) for label in MIX_ORDER]
+    # All super-linear.
+    for c in curves:
+        assert (c.y >= ideal.y - 1e-9).all()
+    # Monotone ordering in the K10 share: more brawny -> more proportional.
+    for closer, farther in zip(curves, curves[1:]):
+        assert (closer.y <= farther.y + 1e-9).all()
+    # All meet 100% at full load.
+    for c in curves:
+        assert abs(c.y[-1] - 100.0) < 1e-6

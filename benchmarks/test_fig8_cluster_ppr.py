@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 8 (cluster-wide PPR of EP).
+
+Paper shape: the PPR ranking is the exact REVERSE of Figure 7's
+proportionality ranking — the homogeneous 128 A9 cluster has the best PPR
+(peaking near 6x10^6 ops/W) and the 16 K10 cluster the worst — exposing the
+paper's central contradiction between the two metric families.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure8_cluster_ppr
+from repro.viz.ascii import render_figure
+from repro.workloads.suite import PAPER_PPR
+
+MIX_ORDER = ["16 K10", "32 A9 : 12 K10", "64 A9 : 8 K10", "96 A9 : 4 K10", "128 A9"]
+
+
+def test_fig8_cluster_ppr(benchmark, emit):
+    fig = benchmark(figure8_cluster_ppr, "EP")
+    emit(render_figure(fig), figure=fig, stem="fig8_cluster_ppr_ep")
+
+    curves = [fig.require_series(label) for label in MIX_ORDER]
+    # Monotone: more wimpy nodes -> better PPR, at every utilisation.
+    for worse, better in zip(curves, curves[1:]):
+        assert (better.y >= worse.y - 1e-9).all()
+    # The homogeneous A9 cluster peaks at the single-node A9 PPR (~6e6),
+    # matching the paper's y-axis range of 0-6 x 10^6 ops/W.
+    assert curves[-1].y[-1] == pytest.approx(PAPER_PPR["EP"]["A9"], rel=1e-6)
+    assert curves[0].y[-1] == pytest.approx(PAPER_PPR["EP"]["K10"], rel=1e-6)

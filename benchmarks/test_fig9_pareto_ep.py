@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 9 (proportionality of Pareto configs, EP).
+
+Paper shape: against the maximal 32 A9 : 12 K10 configuration's peak power,
+the Pareto mixes with fewer K10 nodes drop below the ideal line — sub-linear
+energy proportionality.  (25, 8) stays near/above the ideal while (25, 7)
+crosses below it around 50% utilisation and (25, 5) is sub-linear over most
+of the range.
+"""
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.core.proportionality import power_curve, sublinear_crossover
+from repro.experiments.figures import figure9_pareto_proportionality
+from repro.viz.ascii import render_figure
+from repro.workloads.suite import paper_workloads
+
+
+def test_fig9_pareto_ep(benchmark, emit):
+    fig = benchmark(figure9_pareto_proportionality, "EP")
+    emit(render_figure(fig), figure=fig, stem="fig9_pareto_ep")
+
+    ideal = fig.require_series("Ideal")
+    reference = fig.require_series("32 A9: 12 K10")
+    assert (reference.y >= ideal.y - 1e-9).all()
+
+    # Sub-linearity: crossover utilisation decreases with the K10 count.
+    w = paper_workloads()["EP"]
+    ref_peak = power_curve(w, ClusterConfiguration.mix({"A9": 32, "K10": 12})).peak_w
+    crossovers = {}
+    for k in (10, 8, 7, 5):
+        curve = power_curve(w, ClusterConfiguration.mix({"A9": 25, "K10": k}))
+        crossovers[k] = sublinear_crossover(curve, reference_peak_w=ref_peak)
+    assert all(u is not None for u in crossovers.values())
+    assert crossovers[5] < crossovers[7] < crossovers[8] < crossovers[10]
+    # The paper's example: (25, 7) is sub-linear at 50% utilisation.
+    assert crossovers[7] <= 0.75
+    # And the smallest mix is sub-linear for most of the range.
+    assert crossovers[5] <= 0.5

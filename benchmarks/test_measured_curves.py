@@ -1,0 +1,68 @@
+"""Benchmark: measured power curves vs the analytic model.
+
+Not a paper artefact — this is the empirical check behind every
+proportionality figure: drive the simulated testbed through a utilisation
+sweep, integrate real (simulated) power-meter readings, and compare the
+resulting Table 3 metrics against the analytic linear-offset curve.
+"""
+
+import pytest
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.experiments.measured import compare_measured_vs_model, measure_power_curve
+from repro.util.rng import RngRegistry
+from repro.util.tables import render_table
+from repro.workloads.suite import paper_workloads
+
+
+def test_measured_vs_model_curves(benchmark, emit):
+    w = paper_workloads()["EP"]
+    config = ClusterConfiguration.mix({"A9": 4, "K10": 1})
+
+    def run():
+        return compare_measured_vs_model(
+            w, config, registry=RngRegistry(99)
+        )
+
+    measured, model = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ("idle [W]", round(measured.idle_w, 2), round(model.idle_w, 2)),
+        ("peak [W]", round(measured.peak_w, 2), round(model.peak_w, 2)),
+        ("IPR", round(measured.ipr, 3), round(model.ipr, 3)),
+        ("EPM", round(measured.epm, 3), round(model.epm, 3)),
+        ("DPR [%]", round(measured.dpr, 1), round(model.dpr, 1)),
+    ]
+    emit(
+        render_table(
+            ("metric", "measured (testbed)", "model (analytic)"),
+            rows,
+            title="Measured vs model power curve (EP, 4 A9 + 1 K10)",
+        )
+    )
+    assert measured.idle_w == pytest.approx(model.idle_w, rel=0.03)
+    assert measured.ipr == pytest.approx(model.ipr, abs=0.06)
+    assert measured.epm == pytest.approx(model.epm, abs=0.06)
+
+
+def test_measured_curve_points(benchmark, emit):
+    w = paper_workloads()["blackscholes"]
+    config = ClusterConfiguration.mix({"A9": 2, "K10": 1})
+
+    def run():
+        return measure_power_curve(
+            w, config, registry=RngRegistry(7), utilisations=(0.25, 0.5, 0.75)
+        )
+
+    curve, points = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        render_table(
+            ("target u", "achieved u", "jobs", "mean power [W]"),
+            [
+                (p.target_utilisation, round(p.achieved_utilisation, 3), p.n_jobs, round(p.mean_power_w, 2))
+                for p in points
+            ],
+            title="Measured utilisation sweep (blackscholes, 2 A9 + 1 K10)",
+        )
+    )
+    powers = [p.mean_power_w for p in points]
+    assert powers == sorted(powers)

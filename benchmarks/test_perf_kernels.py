@@ -1,0 +1,88 @@
+"""Benchmark: performance of the library's hot analytic kernels.
+
+Not paper artefacts — these keep the computational substrate honest.  The
+exhaustive experiments push these kernels hard (36,380 model evaluations
+for the footnote-4 space, thousands of CDF evaluations per response-time
+figure), so regressions here directly slow every reproduction run.
+"""
+
+import numpy as np
+
+from repro.cluster.configuration import ClusterConfiguration, TypeSpace
+from repro.cluster.pareto import evaluate_configuration, pareto_frontier
+from repro.hardware.specs import a9, k10
+from repro.model.energy_model import job_energy
+from repro.model.time_model import job_execution
+from repro.queueing.md1 import MD1Queue
+from repro.queueing.mdc import MDCQueue
+from repro.workloads.suite import paper_workloads
+
+_EP = paper_workloads()["EP"]
+_MIX = ClusterConfiguration.mix({"A9": 64, "K10": 8})
+
+
+def test_kernel_job_execution(benchmark):
+    """One full time-model evaluation (the inner loop of every sweep)."""
+    result = benchmark(job_execution, _EP, _MIX)
+    assert result.tp_s > 0
+
+
+def test_kernel_job_energy(benchmark):
+    """One combined time+energy model evaluation."""
+    result = benchmark(job_energy, _EP, _MIX)
+    assert result.e_total_j > 0
+
+
+def test_kernel_config_evaluation(benchmark):
+    """One Pareto-space point: configuration -> (time, energy)."""
+    result = benchmark(evaluate_configuration, _EP, _MIX)
+    assert result.energy_j > 0
+
+
+def test_kernel_md1_p95(benchmark):
+    """One 95th-percentile response-time query at high utilisation."""
+    queue = MD1Queue.from_utilisation(0.9, 0.02)
+
+    def query():
+        # Fresh queue per call: includes the stationary-distribution work.
+        return MD1Queue.from_utilisation(0.9, 0.02).p95_response_s()
+
+    value = benchmark(query)
+    assert value > 0.02
+
+
+def test_kernel_mdc_cdf(benchmark):
+    """One M/D/c waiting-CDF evaluation including the fixed-point solve."""
+
+    def query():
+        return MDCQueue.from_utilisation(0.85, 1.0, 4).wait_cdf(3.0)
+
+    value = benchmark(query)
+    assert 0.0 < value < 1.0
+
+
+def test_kernel_pareto_frontier(benchmark):
+    """Dominance filtering of a 2,000-point evaluation cloud."""
+    rng = np.random.default_rng(3)
+    evals = [
+        evaluate_configuration(
+            _EP, ClusterConfiguration.mix({"A9": int(a), "K10": int(k)})
+        )
+        for a, k in zip(rng.integers(1, 64, 60), rng.integers(0, 16, 60))
+    ]
+    cloud = evals * 34  # ~2,000 entries with duplicates, as sweeps produce
+    frontier = benchmark(pareto_frontier, cloud)
+    assert frontier
+
+
+def test_kernel_vectorized_mix_grid(benchmark):
+    """Vectorised sweep of every mix up to 512 A9 x 512 K10."""
+    from repro.model.vectorized import evaluate_mix_grid
+
+    a, k = np.meshgrid(np.arange(1, 513), np.arange(0, 513))
+
+    def run():
+        return evaluate_mix_grid(_EP, {"A9": a, "K10": k})
+
+    grid = benchmark(run)
+    assert grid.tp_s.size == 512 * 513

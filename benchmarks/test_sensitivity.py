@@ -1,0 +1,38 @@
+"""Benchmark: calibration sensitivity of the paper's conclusions.
+
+Not a paper artefact — quantifies how far the published-value calibration
+could be off before the qualitative findings (PPR winners, the ~50%
+sub-linear crossover of the (25, 7) mix) change.
+"""
+
+from repro.experiments.sensitivity import conclusion_sensitivity, crossover_sensitivity
+from repro.util.tables import render_table
+
+
+def test_sensitivity_crossover(benchmark, emit):
+    headers, rows = benchmark.pedantic(crossover_sensitivity, rounds=1, iterations=1)
+    emit(
+        render_table(
+            headers, rows,
+            title="Sensitivity: sub-linear crossover of 25 A9 : 7 K10 (EP)",
+        )
+    )
+    ok_values = [r[1] for r in rows if r[2] == "ok" and isinstance(r[1], float)]
+    # The paper's "~50% utilisation" reading survives every perturbation.
+    assert all(0.4 <= v <= 0.6 for v in ok_values)
+
+
+def test_sensitivity_ppr_winners(benchmark, emit):
+    headers, rows = benchmark.pedantic(conclusion_sensitivity, rounds=1, iterations=1)
+    emit(
+        render_table(
+            headers, rows,
+            title="Sensitivity: per-workload PPR winner under IPR shifts",
+        )
+    )
+    idx = {h: i for i, h in enumerate(headers)}
+    for name in ("EP", "blackscholes", "julius"):
+        winners = {r[idx[name]] for r in rows} - {"infeasible"}
+        assert winners == {"A9"}
+    winners_x264 = {r[idx["x264"]] for r in rows} - {"infeasible"}
+    assert winners_x264 == {"K10"}

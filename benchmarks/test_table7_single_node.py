@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table 7 (single-node energy proportionality).
+
+Paper IPR values (DPR, EPM and LDR are all functions of IPR on the model's
+linear-offset curves — the degeneracy the paper itself points out):
+
+    ============  =====  =====
+    Program       A9     K10
+    ============  =====  =====
+    EP            0.74   0.65
+    memcached     0.83   0.89
+    x264          0.64   0.62
+    blackscholes  0.68   0.63
+    julius        0.70   0.62
+    rsa2048       0.64   0.59
+    ============  =====  =====
+"""
+
+from repro.experiments.tables import table7_single_node
+from repro.util.tables import render_table
+from repro.workloads.suite import PAPER_IPR
+
+
+def test_table7_single_node(benchmark, emit):
+    headers, rows = benchmark(table7_single_node)
+    emit(render_table(headers, rows, title="Table 7: Single-node energy proportionality"))
+    for row in rows:
+        name = row[0]
+        dpr_a9, dpr_k10, ipr_a9, ipr_k10, epm_a9, epm_k10, ldr_a9, ldr_k10 = row[1:]
+        assert abs(ipr_a9 - PAPER_IPR[name]["A9"]) <= 0.005
+        assert abs(ipr_k10 - PAPER_IPR[name]["K10"]) <= 0.005
+        # The paper's degeneracy: DPR = (1 - IPR)*100, EPM = LDR = 1 - IPR.
+        assert abs(dpr_a9 - 100 * (1 - ipr_a9)) <= 0.5
+        assert abs(epm_a9 - (1 - ipr_a9)) <= 0.01
+        assert abs(ldr_k10 - epm_k10) <= 0.01

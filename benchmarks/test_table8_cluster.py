@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Table 8 (cluster-wide energy proportionality).
+
+Paper IPR values for the 1 kW-budget clusters:
+
+    ============  =======  =============  =======
+    Program       128 A9   64 A9:8 K10    16 K10
+    ============  =======  =============  =======
+    EP            0.74     0.67           0.65
+    memcached     0.83     0.88           0.89
+    x264          0.64     0.62           0.62
+    blackscholes  0.68     0.64           0.63
+    julius        0.70     0.64           0.62
+    rsa2048       0.64     0.60           0.59
+    ============  =======  =============  =======
+
+Homogeneous columns must equal the single-node values exactly; the mixed
+column is a workload-peak-weighted blend and must match within 0.015.
+"""
+
+from repro.experiments.tables import table8_cluster
+from repro.util.tables import render_table
+from repro.workloads.suite import PAPER_IPR
+
+PAPER_MIXED_IPR = {
+    "EP": 0.67,
+    "memcached": 0.88,
+    "x264": 0.62,
+    "blackscholes": 0.64,
+    "julius": 0.64,
+    "rsa2048": 0.60,
+}
+
+
+def test_table8_cluster(benchmark, emit):
+    headers, rows = benchmark(table8_cluster)
+    emit(render_table(headers, rows, title="Table 8: Cluster-wide energy proportionality"))
+    for row in rows:
+        name, metric = row[0], row[1]
+        if metric != "IPR":
+            continue
+        wimpy, mixed, brawny = row[2], row[3], row[4]
+        assert abs(wimpy - PAPER_IPR[name]["A9"]) <= 0.005
+        assert abs(brawny - PAPER_IPR[name]["K10"]) <= 0.005
+        assert abs(mixed - PAPER_MIXED_IPR[name]) <= 0.015

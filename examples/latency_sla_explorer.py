@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Latency SLA exploration: sub-linear mixes vs 95th-percentile response.
+
+Reproduces the decision the paper's Section III-E informs: among the
+Pareto mixes of Figures 9-12, which sub-linear (energy-saving)
+configurations still meet a 95th-percentile response-time SLA across
+utilisation — and how does the answer differ between an A9-favouring
+workload (EP) and a K10-favouring one (x264)?
+
+Also cross-checks the analytic M/D/1 percentile against the discrete-event
+simulator at one operating point, the way the library's own tests do.
+
+Run:  python examples/latency_sla_explorer.py [workload] [sla_multiplier]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.experiments.figures import PARETO_MIXES, pareto_mix_configs
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "EP"
+    sla_multiplier = float(sys.argv[2]) if len(sys.argv) > 2 else 4.0
+    workload = repro.workload(name)
+    configs = pareto_mix_configs()
+
+    reference_tp = repro.execution_time(workload, configs[0])
+    sla_s = sla_multiplier * reference_tp
+    print(f"Workload : {workload}")
+    print(
+        f"SLA      : p95 response <= {sla_s:.3f} s "
+        f"({sla_multiplier:.1f}x the maximal mix's service time)"
+    )
+    print()
+
+    grid = [0.3, 0.5, 0.7, 0.9]
+    rows = []
+    for (a, k), config in zip(PARETO_MIXES, configs):
+        tp = repro.execution_time(workload, config)
+        p95s = [repro.p95_response_s(workload, config, u) for u in grid]
+        max_ok = max((u for u, p in zip(grid, p95s) if p <= sla_s), default=None)
+        rows.append(
+            (
+                f"{a} A9 : {k} K10",
+                round(tp, 4),
+                *[round(p, 4) for p in p95s],
+                f"{max_ok:.0%}" if max_ok is not None else "never",
+            )
+        )
+    print(
+        render_table(
+            ("mix", "T_P [s]", *[f"p95@{u:.0%} [s]" for u in grid], "SLA up to"),
+            rows,
+            title="95th-percentile response time across the Pareto mixes",
+        )
+    )
+    print()
+
+    # Energy view: what does the smallest SLA-feasible mix save per hour at
+    # 50% utilisation, relative to the maximal mix?
+    u = 0.5
+    window = 3600.0
+    ref_curve = repro.power_curve(workload, configs[0])
+    feasible = [
+        (mix, config)
+        for mix, config in zip(PARETO_MIXES, configs)
+        if repro.p95_response_s(workload, config, u) <= sla_s
+    ]
+    if feasible:
+        (a, k), config = feasible[-1]
+        curve = repro.power_curve(workload, config)
+        saved = repro.window_energy_j(ref_curve, u, window) - repro.window_energy_j(
+            curve, u, window
+        )
+        print(
+            f"At {u:.0%} utilisation, the smallest SLA-feasible mix "
+            f"({a} A9 : {k} K10) saves {saved / 1e3:.1f} kJ per hour versus "
+            f"the maximal mix."
+        )
+
+    # Analytic-vs-simulation cross-check at one point.
+    config = configs[2]
+    tp = repro.execution_time(workload, config)
+    queue = repro.MD1Queue.from_utilisation(0.7, tp)
+    sim = repro.QueueSimulator.md1(
+        queue.arrival_rate, tp, np.random.default_rng(7)
+    ).run_jobs(20_000)
+    print()
+    print("M/D/1 analytic vs discrete-event simulation (25 A9 : 8 K10, u = 70%):")
+    print(f"  analytic  p95 = {queue.p95_response_s():.4f} s")
+    print(f"  simulated p95 = {np.percentile(sim.responses, 95):.4f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+set datafile separator ','
+set title 'Figure 10: energy proportionality of Pareto-optimal configurations (x264)'
+set xlabel 'Utilization [%]'
+set ylabel 'Peak Power [%]'
+set key outside
+plot \
+  'fig10_pareto_x264.csv' using 1:2 with linespoints title 'Ideal', \
+  'fig10_pareto_x264.csv' using 3:4 with linespoints title '32 A9: 12 K10', \
+  'fig10_pareto_x264.csv' using 5:6 with linespoints title '25 A9: 10 K10', \
+  'fig10_pareto_x264.csv' using 7:8 with linespoints title '25 A9: 8 K10', \
+  'fig10_pareto_x264.csv' using 9:10 with linespoints title '25 A9: 7 K10', \
+  'fig10_pareto_x264.csv' using 11:12 with linespoints title '25 A9: 5 K10'

@@ -1,0 +1,12 @@
+set datafile separator ','
+set title 'Figure 12: 95th percentile response time of sub-linear mixes (x264)'
+set xlabel 'Utilization [%]'
+set ylabel '95th Percentile Response Time [s]'
+set key outside
+set logscale y
+plot \
+  'fig12_response_x264.csv' using 1:2 with linespoints title '32 A9: 12 K10', \
+  'fig12_response_x264.csv' using 3:4 with linespoints title '25 A9: 10 K10', \
+  'fig12_response_x264.csv' using 5:6 with linespoints title '25 A9: 8 K10', \
+  'fig12_response_x264.csv' using 7:8 with linespoints title '25 A9: 7 K10', \
+  'fig12_response_x264.csv' using 9:10 with linespoints title '25 A9: 5 K10'

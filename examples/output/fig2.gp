@@ -1,0 +1,9 @@
+set datafile separator ','
+set title 'Figure 2: energy proportionality metric relationships'
+set xlabel 'Utilization [%]'
+set ylabel 'Peak Power [%]'
+set key outside
+plot \
+  'fig2.csv' using 1:2 with linespoints title 'Ideal', \
+  'fig2.csv' using 3:4 with linespoints title 'super-linear', \
+  'fig2.csv' using 5:6 with linespoints title 'sub-linear'

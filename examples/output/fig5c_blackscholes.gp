@@ -1,0 +1,9 @@
+set datafile separator ','
+set title 'Figure 5: energy proportionality of brawny and wimpy nodes (blackscholes)'
+set xlabel 'Utilization [%]'
+set ylabel 'Peak Power [%]'
+set key outside
+plot \
+  'fig5c_blackscholes.csv' using 1:2 with linespoints title 'Ideal', \
+  'fig5c_blackscholes.csv' using 3:4 with linespoints title 'K10', \
+  'fig5c_blackscholes.csv' using 5:6 with linespoints title 'A9'

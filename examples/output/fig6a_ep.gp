@@ -1,0 +1,9 @@
+set datafile separator ','
+set title 'Figure 6: PPR of brawny and wimpy nodes (EP)'
+set xlabel 'Utilization [%]'
+set ylabel 'PPR [(random no./s)/W]'
+set key outside
+set logscale y
+plot \
+  'fig6a_ep.csv' using 1:2 with linespoints title 'K10', \
+  'fig6a_ep.csv' using 3:4 with linespoints title 'A9'

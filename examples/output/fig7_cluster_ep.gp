@@ -1,0 +1,13 @@
+set datafile separator ','
+set title 'Figure 7: cluster-wide energy proportionality of EP'
+set xlabel 'Utilization [%]'
+set ylabel 'Peak Power [%]'
+set key outside
+set logscale x
+plot \
+  'fig7_cluster_ep.csv' using 1:2 with linespoints title 'Ideal', \
+  'fig7_cluster_ep.csv' using 3:4 with linespoints title '16 K10', \
+  'fig7_cluster_ep.csv' using 5:6 with linespoints title '32 A9 : 12 K10', \
+  'fig7_cluster_ep.csv' using 7:8 with linespoints title '64 A9 : 8 K10', \
+  'fig7_cluster_ep.csv' using 9:10 with linespoints title '96 A9 : 4 K10', \
+  'fig7_cluster_ep.csv' using 11:12 with linespoints title '128 A9'

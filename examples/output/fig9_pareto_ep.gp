@@ -1,0 +1,12 @@
+set datafile separator ','
+set title 'Figure 9: energy proportionality of Pareto-optimal configurations (EP)'
+set xlabel 'Utilization [%]'
+set ylabel 'Peak Power [%]'
+set key outside
+plot \
+  'fig9_pareto_ep.csv' using 1:2 with linespoints title 'Ideal', \
+  'fig9_pareto_ep.csv' using 3:4 with linespoints title '32 A9: 12 K10', \
+  'fig9_pareto_ep.csv' using 5:6 with linespoints title '25 A9: 10 K10', \
+  'fig9_pareto_ep.csv' using 7:8 with linespoints title '25 A9: 8 K10', \
+  'fig9_pareto_ep.csv' using 9:10 with linespoints title '25 A9: 7 K10', \
+  'fig9_pareto_ep.csv' using 11:12 with linespoints title '25 A9: 5 K10'

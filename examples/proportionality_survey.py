@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Full proportionality survey: every paper table and figure, in one run.
+
+Regenerates the paper's evaluation end to end — Tables 4-8 and Figures 2,
+5-12 — printing tables and ASCII charts, and exporting every figure's data
+as CSV + gnuplot scripts under ``examples/output/``.
+
+This is the one-command reproduction of the paper; expect the Table 4
+validation step (the full measurement-driven pipeline on the simulated
+testbed) to dominate the runtime.
+
+Run:  python examples/proportionality_survey.py [--skip-validation]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments import figures as fig
+from repro.experiments import report
+
+OUTPUT = Path(__file__).parent / "output"
+
+FIGURES = [
+    ("fig2", fig.figure2_metric_relationships, ()),
+    ("fig5a_ep", fig.figure5_node_proportionality, ("EP",)),
+    ("fig5b_x264", fig.figure5_node_proportionality, ("x264",)),
+    ("fig5c_blackscholes", fig.figure5_node_proportionality, ("blackscholes",)),
+    ("fig6a_ep", fig.figure6_node_ppr, ("EP",)),
+    ("fig6b_x264", fig.figure6_node_ppr, ("x264",)),
+    ("fig6c_blackscholes", fig.figure6_node_ppr, ("blackscholes",)),
+    ("fig7_cluster_ep", fig.figure7_cluster_proportionality, ("EP",)),
+    ("fig8_cluster_ppr_ep", fig.figure8_cluster_ppr, ("EP",)),
+    ("fig9_pareto_ep", fig.figure9_pareto_proportionality, ("EP",)),
+    ("fig10_pareto_x264", fig.figure9_pareto_proportionality, ("x264",)),
+    ("fig11_response_ep", fig.figure11_response_time, ("EP",)),
+    ("fig12_response_x264", fig.figure11_response_time, ("x264",)),
+]
+
+
+def main() -> None:
+    skip_validation = "--skip-validation" in sys.argv
+    OUTPUT.mkdir(exist_ok=True)
+
+    print(report.report_table5())
+    print()
+    if skip_validation:
+        print("Table 4: skipped (--skip-validation)")
+    else:
+        print("Running the measurement-driven validation pipeline ...")
+        print(report.report_table4())
+    print()
+    print(report.report_table6())
+    print()
+    print(report.report_table7())
+    print()
+    print(report.report_table8())
+
+    from repro.viz.ascii import render_figure
+
+    for stem, builder, args in FIGURES:
+        figure = builder(*args)
+        print()
+        print(render_figure(figure))
+        csv_path, gp_path = figure.save(OUTPUT, stem)
+        print(f"  [data: {csv_path}  plot: {gp_path}]")
+
+    print()
+    print(f"All figure data exported under {OUTPUT}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: analyze one workload on one heterogeneous cluster.
+
+Builds the paper's EP workload and a 64 A9 : 8 K10 cluster (one of the 1 kW
+budget mixes), then walks the core API:
+
+* the time-energy model (execution time, energy per job),
+* the energy-proportionality metrics (DPR/IPR/EPM/LDR),
+* the performance-to-power ratio across utilisation,
+* the M/D/1 95th-percentile response time.
+
+Run:  python examples/quickstart.py [workload]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.util.tables import render_kv
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "EP"
+    if name not in repro.PAPER_WORKLOAD_NAMES:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from {repro.PAPER_WORKLOAD_NAMES}"
+        )
+    workload = repro.workload(name)
+    cluster = repro.ClusterConfiguration.mix({"A9": 64, "K10": 8})
+
+    print(f"Workload : {workload}")
+    print(f"Cluster  : {cluster}")
+    print()
+
+    # --- Time-energy model ------------------------------------------------
+    execution = repro.job_execution(workload, cluster)
+    energy = repro.job_energy(workload, cluster)
+    print(
+        render_kv(
+            {
+                "execution time T_P [s]": execution.tp_s,
+                "energy per job E_P [J]": energy.e_total_j,
+                "throughput [ops/s]": execution.throughput_ops_per_s,
+                "A9 work share": execution.work_share("A9"),
+                "K10 work share": execution.work_share("K10"),
+            },
+            title="Time-energy model (paper Table 2)",
+        )
+    )
+    print()
+
+    # --- Energy proportionality -------------------------------------------
+    report = repro.proportionality_report(workload, cluster)
+    print(
+        render_kv(
+            {
+                "idle power [W]": report.idle_w,
+                "workload peak power [W]": report.peak_w,
+                "DPR [%]": report.dpr,
+                "IPR": report.ipr,
+                "EPM": report.epm,
+                "LDR (paper variant)": report.ldr_paper,
+                "LDR (strict formula)": report.ldr_strict,
+            },
+            title="Energy-proportionality metrics (paper Table 3)",
+        )
+    )
+    print()
+
+    # --- PPR across utilisation --------------------------------------------
+    curve = repro.ppr_curve(workload, cluster)
+    print("PPR across utilisation (higher is better):")
+    for u in (0.1, 0.3, 0.5, 1.0):
+        print(f"  u = {u:4.0%}: {curve.ppr_at(u):16,.1f} ({workload.unit})/W")
+    print()
+
+    # --- Response time -----------------------------------------------------
+    print("95th-percentile response time (M/D/1 dispatcher):")
+    for u in (0.3, 0.6, 0.9):
+        p95 = repro.p95_response_s(workload, cluster, u)
+        print(f"  u = {u:4.0%}: {p95 * 1e3:10.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

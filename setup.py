@@ -1,0 +1,11 @@
+"""Thin setuptools shim.
+
+All metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e . --no-use-pep517`` works in offline environments where the
+``wheel`` package (required by the PEP 660 editable path of old setuptools)
+is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,298 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's artefacts and run the library's analyses
+without writing any Python:
+
+* ``table {4,5,6,7,8}`` — print one of the paper's tables.
+* ``figure <id>`` — render one figure as an ASCII chart (``fig2``,
+  ``fig5a``..``fig5c``, ``fig6a``..``fig6c``, ``fig7``..``fig12``);
+  ``--csv DIR`` additionally exports the data.
+* ``validate`` — run the Table 4 measurement-driven validation pipeline.
+* ``report <workload> --mix A9=64,K10=8`` — proportionality + PPR +
+  response-time report for one workload on one cluster mix.
+* ``recommend <workload> --deadline S`` — search the configuration space
+  for the minimum-energy cluster meeting a deadline.
+* ``characterize <workload>`` — measured-vs-true Table 1 parameters from
+  the simulated testbed.
+* ``ablations`` — print every ablation study.
+* ``sensitivity`` — print the calibration sensitivity analyses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_mix(text: str) -> Dict[str, int]:
+    """Parse ``"A9=64,K10=8"`` into a mix mapping."""
+    mix: Dict[str, int] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise argparse.ArgumentTypeError(
+                f"bad mix entry {part!r}; expected NAME=COUNT"
+            )
+        name, _, count = part.partition("=")
+        try:
+            mix[name.strip()] = int(count)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"bad node count in {part!r}") from None
+    if not mix:
+        raise argparse.ArgumentTypeError(f"empty mix {text!r}")
+    return mix
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Energy proportionality and time-energy performance of "
+            "heterogeneous clusters (CLUSTER 2016 reproduction)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table", help="print one of the paper's tables")
+    p_table.add_argument("number", type=int, choices=(4, 5, 6, 7, 8))
+    p_table.add_argument(
+        "--seed", type=int, default=None, help="root seed for Table 4's pipeline"
+    )
+
+    p_fig = sub.add_parser("figure", help="render one of the paper's figures")
+    p_fig.add_argument("name", help="figure id, e.g. fig9 (see repro.experiments)")
+    p_fig.add_argument("--csv", type=Path, default=None, help="export data to DIR")
+
+    p_val = sub.add_parser("validate", help="run the Table 4 validation pipeline")
+    p_val.add_argument("--seed", type=int, default=None)
+    p_val.add_argument("--wimpy", type=int, default=4, help="A9 nodes in the rack")
+    p_val.add_argument("--brawny", type=int, default=1, help="K10 nodes in the rack")
+
+    p_rep = sub.add_parser("report", help="analyse one workload on one mix")
+    p_rep.add_argument("workload")
+    p_rep.add_argument("--mix", type=_parse_mix, default={"A9": 64, "K10": 8})
+    p_rep.add_argument(
+        "--utilisation", type=float, default=0.9, help="for the response-time row"
+    )
+
+    p_rec = sub.add_parser("recommend", help="search for a deadline-meeting cluster")
+    p_rec.add_argument("workload")
+    p_rec.add_argument("--deadline", type=float, required=True, help="seconds")
+    p_rec.add_argument("--max-wimpy", type=int, default=16)
+    p_rec.add_argument("--max-brawny", type=int, default=4)
+    p_rec.add_argument("--budget", type=float, default=None, help="watts")
+    p_rec.add_argument(
+        "--strategy", choices=("greedy", "exhaustive"), default="greedy"
+    )
+
+    p_char = sub.add_parser(
+        "characterize", help="measured-vs-true Table 1 parameters for a workload"
+    )
+    p_char.add_argument("workload")
+    p_char.add_argument("--seed", type=int, default=None)
+
+    sub.add_parser("ablations", help="print every ablation study")
+    sub.add_parser(
+        "sensitivity", help="print the calibration sensitivity analyses"
+    )
+    return parser
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments import report
+
+    if args.number == 4:
+        kwargs = {} if args.seed is None else {"seed": args.seed}
+        print(report.report_table4(**kwargs))
+    else:
+        print(getattr(report, f"report_table{args.number}")())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.report import _FIGURES, report_figure
+
+    try:
+        print(report_figure(args.name))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.csv is not None:
+        figure = _FIGURES[args.name]()
+        csv_path, gp_path = figure.save(args.csv, args.name)
+        print(f"[data: {csv_path}  plot: {gp_path}]")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.model.validation import validate_workloads
+    from repro.util.rng import DEFAULT_SEED
+    from repro.util.tables import render_table
+    from repro.workloads.suite import paper_workloads
+
+    rows = validate_workloads(
+        list(paper_workloads().values()),
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        n_wimpy=args.wimpy,
+        n_brawny=args.brawny,
+    )
+    print(
+        render_table(
+            ("Domain", "Program", "time err[%]", "energy err[%]"),
+            [
+                (r.domain, r.workload_name, round(r.time_error_pct, 1), round(r.energy_error_pct, 1))
+                for r in rows
+            ],
+            title=f"Validation on {args.wimpy} A9 + {args.brawny} K10",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import repro
+    from repro.util.tables import render_kv
+
+    w = repro.workload(args.workload)
+    config = repro.ClusterConfiguration.mix(args.mix)
+    report = repro.proportionality_report(w, config)
+    ppr = repro.ppr_curve(w, config)
+    print(
+        render_kv(
+            {
+                "workload": str(w),
+                "cluster": config.label(),
+                "T_P [s]": repro.execution_time(w, config),
+                "E_P [J]": repro.job_energy(w, config).e_total_j,
+                "idle [W]": report.idle_w,
+                "peak [W]": report.peak_w,
+                "DPR [%]": report.dpr,
+                "IPR": report.ipr,
+                "EPM": report.epm,
+                "LDR (paper)": report.ldr_paper,
+                "peak PPR": ppr.peak_ppr,
+                f"p95 response @ {args.utilisation:.0%} [s]": repro.p95_response_s(
+                    w, config, args.utilisation
+                ),
+            },
+            title="Workload report",
+        )
+    )
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    import repro
+    from repro.cluster.search import recommend_exhaustive, recommend_greedy
+    from repro.util.tables import render_kv
+
+    w = repro.workload(args.workload)
+    spaces = [
+        repro.TypeSpace(repro.get_node_spec("A9"), n_max=args.max_wimpy),
+        repro.TypeSpace(repro.get_node_spec("K10"), n_max=args.max_brawny),
+    ]
+    budget = repro.PowerBudget(args.budget) if args.budget else None
+    search = recommend_greedy if args.strategy == "greedy" else recommend_exhaustive
+    rec = search(w, spaces, deadline_s=args.deadline, budget=budget)
+    if rec is None:
+        print("No configuration meets the deadline (and budget).", file=sys.stderr)
+        return 1
+    group = rec.config.groups[0]
+    print(
+        render_kv(
+            {
+                "mix": rec.config.label(),
+                "operating point": str(rec.config),
+                "T_P [s]": rec.evaluation.tp_s,
+                "E_P [J]": rec.evaluation.energy_j,
+                "peak power [W]": rec.evaluation.peak_power_w,
+                "configurations evaluated": rec.evaluated_configs,
+                "strategy": rec.strategy,
+            },
+            title=f"Recommendation for {w.name} (deadline {args.deadline} s)",
+        )
+    )
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations
+    from repro.util.tables import render_table
+
+    studies = [
+        ("Power-curve shape", ablations.curvature_ablation),
+        ("Switch power vs substitution ratio", ablations.switch_power_ablation),
+        ("Service-time variability", ablations.service_variability_ablation),
+        ("Open vs batch arrivals", ablations.open_vs_batch_ablation),
+        ("Pooled vs partitioned dispatch", ablations.pooling_ablation),
+        ("Static vs dynamic configuration", ablations.adaptation_ablation),
+        ("Fork-join straggler penalty", ablations.fork_join_ablation),
+        ("KnightShift vs inter-node", ablations.knightshift_ablation),
+    ]
+    for title, fn in studies:
+        headers, rows = fn()
+        print(render_table(headers, rows, title=f"Ablation: {title}"))
+        print()
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.experiments.report import report_characterization
+    from repro.util.rng import DEFAULT_SEED
+
+    print(
+        report_characterization(
+            args.workload,
+            seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        )
+    )
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.experiments import sensitivity
+    from repro.util.tables import render_table
+
+    for title, fn in (
+        ("Sub-linear crossover (EP, 25 A9 : 7 K10)", sensitivity.crossover_sensitivity),
+        ("Per-workload PPR winners", sensitivity.conclusion_sensitivity),
+    ):
+        headers, rows = fn()
+        print(render_table(headers, rows, title=f"Sensitivity: {title}"))
+        print()
+    return 0
+
+
+_COMMANDS = {
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+    "validate": _cmd_validate,
+    "report": _cmd_report,
+    "recommend": _cmd_recommend,
+    "ablations": _cmd_ablations,
+    "sensitivity": _cmd_sensitivity,
+    "characterize": _cmd_characterize,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0

@@ -1,0 +1,65 @@
+"""Cluster configurations: the heterogeneous configuration space,
+power-budget mixes and the energy-deadline Pareto frontier.
+
+The Pareto-frontier helpers layer *above* the time-energy model (which in
+turn builds on the configuration data model below), so they are re-exported
+lazily to keep the import graph acyclic.
+"""
+
+from repro.cluster.budget import (
+    PowerBudget,
+    budget_mixes,
+    substitution_ratio,
+    switch_power_w,
+)
+from repro.cluster.configuration import (
+    ClusterConfiguration,
+    NodeGroup,
+    TypeSpace,
+    count_configurations,
+    enumerate_configurations,
+)
+
+__all__ = [
+    "ClusterConfiguration",
+    "NodeGroup",
+    "TypeSpace",
+    "count_configurations",
+    "enumerate_configurations",
+    "PowerBudget",
+    "budget_mixes",
+    "substitution_ratio",
+    "switch_power_w",
+    "ConfigEvaluation",
+    "evaluate_configuration",
+    "evaluate_space",
+    "pareto_frontier",
+    "sweet_region",
+    "sweet_spot",
+    "Recommendation",
+    "recommend_exhaustive",
+    "recommend_greedy",
+]
+
+_PARETO_NAMES = {
+    "ConfigEvaluation",
+    "evaluate_configuration",
+    "evaluate_space",
+    "pareto_frontier",
+    "sweet_region",
+    "sweet_spot",
+}
+
+_SEARCH_NAMES = {"Recommendation", "recommend_exhaustive", "recommend_greedy"}
+
+
+def __getattr__(name: str):
+    if name in _PARETO_NAMES:
+        from repro.cluster import pareto
+
+        return getattr(pareto, name)
+    if name in _SEARCH_NAMES:
+        from repro.cluster import search
+
+        return getattr(search, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

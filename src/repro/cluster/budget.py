@@ -1,0 +1,156 @@
+"""Power-budget arithmetic and the paper's substitution-ratio cluster mixes.
+
+Datacenters cap peak power draw; the paper compares cluster mixes under a
+fixed 1 kW budget (Section III-C).  Nameplate peaks are 5 W per A9 and 60 W
+per K10, and every 8 A9 nodes bring a 20 W switch share, so one K10 trades
+for exactly 8 A9 nodes — the paper's 8:1 *power substitution ratio*
+(footnote 3).  Sweeping the brawny node count from the budget maximum down
+to zero in equal steps produces the mixes of Figures 7/8:
+
+    0 A9:16 K10, 32 A9:12 K10, 64 A9:8 K10, 96 A9:4 K10, 128 A9:0 K10.
+
+Switch power counts against the *budget* only; the paper's proportionality
+metrics exclude it (its quoted 720 W idle for the K10 cluster is exactly
+16 x 45 W).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.errors import ConfigurationError
+from repro.hardware.specs import (
+    A9_NODES_PER_SWITCH,
+    SWITCH_PEAK_W,
+    NodeSpec,
+    get_node_spec,
+)
+
+__all__ = [
+    "switch_power_w",
+    "substitution_ratio",
+    "PowerBudget",
+    "budget_mixes",
+]
+
+
+def switch_power_w(
+    wimpy_count: int,
+    *,
+    nodes_per_switch: int = A9_NODES_PER_SWITCH,
+    switch_w: float = SWITCH_PEAK_W,
+) -> float:
+    """Peak power of the switches connecting ``wimpy_count`` nodes."""
+    if wimpy_count < 0:
+        raise ConfigurationError(f"node count must be non-negative, got {wimpy_count}")
+    if nodes_per_switch <= 0:
+        raise ConfigurationError("nodes_per_switch must be positive")
+    if wimpy_count == 0:
+        return 0.0
+    return math.ceil(wimpy_count / nodes_per_switch) * switch_w
+
+
+def substitution_ratio(
+    wimpy: str | NodeSpec = "A9",
+    brawny: str | NodeSpec = "K10",
+    *,
+    nodes_per_switch: int = A9_NODES_PER_SWITCH,
+    switch_w: float = SWITCH_PEAK_W,
+) -> float:
+    """Wimpy nodes per brawny node at equal peak power, switch included.
+
+    ``P_brawny / (P_wimpy + switch share)`` — 60 / (5 + 20/8) = 8 for the
+    paper's nodes.
+    """
+    w = get_node_spec(wimpy) if isinstance(wimpy, str) else wimpy
+    b = get_node_spec(brawny) if isinstance(brawny, str) else brawny
+    per_wimpy = w.power.nameplate_peak_w + switch_w / nodes_per_switch
+    if per_wimpy <= 0:
+        raise ConfigurationError("wimpy node has zero effective peak power")
+    return b.power.nameplate_peak_w / per_wimpy
+
+
+@dataclass(frozen=True)
+class PowerBudget:
+    """A peak-power cap for cluster sizing (watts)."""
+
+    budget_w: float
+    nodes_per_switch: int = A9_NODES_PER_SWITCH
+    switch_w: float = SWITCH_PEAK_W
+
+    def __post_init__(self) -> None:
+        if self.budget_w <= 0:
+            raise ConfigurationError(f"budget must be positive, got {self.budget_w}")
+
+    def provisioned_peak_w(self, config: ClusterConfiguration, wimpy: str = "A9") -> float:
+        """Nameplate peak of ``config`` plus switch overhead for wimpy nodes."""
+        return config.nameplate_peak_w + switch_power_w(
+            config.count_of(wimpy),
+            nodes_per_switch=self.nodes_per_switch,
+            switch_w=self.switch_w,
+        )
+
+    def fits(self, config: ClusterConfiguration, wimpy: str = "A9") -> bool:
+        """True when the configuration's provisioned peak is within budget."""
+        return self.provisioned_peak_w(config, wimpy) <= self.budget_w + 1e-9
+
+    def max_nodes(self, node: str | NodeSpec, *, with_switch: bool = False) -> int:
+        """Largest homogeneous node count of one type within the budget."""
+        spec = get_node_spec(node) if isinstance(node, str) else node
+        per_node = spec.power.nameplate_peak_w
+        if with_switch:
+            per_node += self.switch_w / self.nodes_per_switch
+        if per_node <= 0:
+            raise ConfigurationError(f"{spec.name} has zero peak power")
+        return int(self.budget_w // per_node) if per_node else 0
+
+
+def budget_mixes(
+    budget_w: float = 1000.0,
+    *,
+    wimpy: str = "A9",
+    brawny: str = "K10",
+    steps: int = 5,
+) -> List[ClusterConfiguration]:
+    """The paper's substitution-ratio mixes under a power budget.
+
+    The brawny count sweeps in ``steps`` equal decrements from its budget
+    maximum down to zero; each removed brawny node is replaced by
+    ``substitution_ratio`` wimpy nodes.  For the default 1 kW budget this
+    returns exactly the five mixes of Figures 7/8, ordered brawny-heavy
+    first (0 A9 : 16 K10, ..., 128 A9 : 0 K10).
+    """
+    if steps < 2:
+        raise ConfigurationError(f"need at least 2 mixes, got {steps}")
+    budget = PowerBudget(budget_w)
+    k_max = budget.max_nodes(brawny)
+    if k_max <= 0:
+        raise ConfigurationError(
+            f"budget {budget_w} W cannot fit even one {brawny} node"
+        )
+    if k_max % (steps - 1) != 0:
+        raise ConfigurationError(
+            f"brawny maximum {k_max} is not divisible into {steps - 1} equal steps"
+        )
+    ratio = substitution_ratio(wimpy, brawny)
+    if abs(ratio - round(ratio)) > 1e-9:
+        raise ConfigurationError(
+            f"substitution ratio {ratio:.3f} is not integral; "
+            f"choose node/switch powers that trade evenly"
+        )
+    ratio_int = int(round(ratio))
+    step = k_max // (steps - 1)
+    mixes = []
+    for i in range(steps):
+        k = k_max - i * step
+        a = ratio_int * (k_max - k)
+        config = ClusterConfiguration.mix({wimpy: a, brawny: k})
+        if not budget.fits(config, wimpy):
+            raise ConfigurationError(
+                f"internal error: generated mix {config.label()} exceeds the budget"
+            )
+        mixes.append(config)
+    return mixes

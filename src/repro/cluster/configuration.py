@@ -1,0 +1,270 @@
+"""Cluster configurations and the heterogeneous configuration space.
+
+A *system configuration* (paper Section II-A) is a set of tuples — one per
+node type — of (type, number of nodes, active cores per node, operating core
+clock frequency).  The configuration space explodes combinatorially: the
+paper's footnote 4 counts 36,380 configurations for just 10 ARM + 10 AMD
+nodes.  This module provides the configuration data model, validation,
+exhaustive enumeration and the closed-form count, which downstream modules
+(Pareto frontier, power-budget mixes) build on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.specs import NodeSpec, get_node_spec
+from repro.util.units import GHZ
+
+__all__ = [
+    "NodeGroup",
+    "ClusterConfiguration",
+    "TypeSpace",
+    "enumerate_configurations",
+    "count_configurations",
+]
+
+
+@dataclass(frozen=True)
+class NodeGroup:
+    """A homogeneous group inside a configuration.
+
+    ``count`` nodes of type ``spec``, each running ``cores`` active cores at
+    ``frequency_hz``.  All nodes of one type share the same operating point
+    (paper Section II-D: nodes of the same type execute the same share of
+    work and exhibit the same power characteristics).
+    """
+
+    spec: NodeSpec
+    count: int
+    cores: int
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ConfigurationError(
+                f"group of {self.spec.name}: node count must be positive, got {self.count}"
+            )
+        self.spec.validate_operating_point(self.cores, self.frequency_hz)
+
+    @classmethod
+    def of(
+        cls,
+        spec: str | NodeSpec,
+        count: int,
+        *,
+        cores: Optional[int] = None,
+        frequency_hz: Optional[float] = None,
+    ) -> "NodeGroup":
+        """Convenience constructor; defaults to all cores at fmax."""
+        node = get_node_spec(spec) if isinstance(spec, str) else spec
+        return cls(
+            spec=node,
+            count=count,
+            cores=cores if cores is not None else node.cores,
+            frequency_hz=frequency_hz if frequency_hz is not None else node.fmax_hz,
+        )
+
+    @property
+    def nameplate_peak_w(self) -> float:
+        """Nameplate peak power of the whole group (watts)."""
+        return self.count * self.spec.power.nameplate_peak_w
+
+    @property
+    def idle_w(self) -> float:
+        """Idle power of the whole group (watts)."""
+        return self.count * self.spec.power.idle_w
+
+    def __str__(self) -> str:
+        return (
+            f"{self.count} {self.spec.name}"
+            f"(c={self.cores}, f={self.frequency_hz / GHZ:.1f}GHz)"
+        )
+
+
+@dataclass(frozen=True)
+class ClusterConfiguration:
+    """An inter-node heterogeneous cluster configuration.
+
+    Groups are stored sorted by node-type name so two configurations with the
+    same content compare equal regardless of construction order.
+    """
+
+    groups: Tuple[NodeGroup, ...]
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ConfigurationError("a configuration needs at least one node group")
+        names = [g.spec.name for g in self.groups]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"duplicate node types in configuration: {sorted(names)}"
+            )
+        object.__setattr__(
+            self, "groups", tuple(sorted(self.groups, key=lambda g: g.spec.name))
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, *groups: NodeGroup) -> "ClusterConfiguration":
+        """Build a configuration from node groups."""
+        return cls(groups=tuple(groups))
+
+    @classmethod
+    def mix(cls, counts: Mapping[str, int]) -> "ClusterConfiguration":
+        """Build a full-throttle mix from ``{type name: node count}``.
+
+        Types with a zero count are dropped, so ``mix({"A9": 128, "K10": 0})``
+        is the homogeneous wimpy cluster — handy when sweeping the paper's
+        budget mixes.
+        """
+        groups = [
+            NodeGroup.of(name, count) for name, count in sorted(counts.items()) if count
+        ]
+        return cls(groups=tuple(groups))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def total_nodes(self) -> int:
+        """Total number of nodes across all groups."""
+        return sum(g.count for g in self.groups)
+
+    @property
+    def degree_of_heterogeneity(self) -> int:
+        """Number of distinct node types (paper's ``d``)."""
+        return len(self.groups)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when only one node type is present."""
+        return self.degree_of_heterogeneity == 1
+
+    @property
+    def nameplate_peak_w(self) -> float:
+        """Sum of node nameplate peaks (watts), excluding switches."""
+        return sum(g.nameplate_peak_w for g in self.groups)
+
+    @property
+    def idle_w(self) -> float:
+        """Cluster idle power (watts): sum of node idle powers.
+
+        The paper's cluster-wide metrics exclude switch power (its Table 8
+        homogeneous-cluster IPRs equal the single-node values, and the quoted
+        "720 W" K10-cluster idle is exactly 16 x 45 W).
+        """
+        return sum(g.idle_w for g in self.groups)
+
+    def count_of(self, node: str | NodeSpec) -> int:
+        """Number of nodes of one type (0 when the type is absent)."""
+        name = node.name if isinstance(node, NodeSpec) else node
+        for g in self.groups:
+            if g.spec.name == name:
+                return g.count
+        return 0
+
+    def group_for(self, node: str | NodeSpec) -> NodeGroup:
+        """The group for a node type; raises when absent."""
+        name = node.name if isinstance(node, NodeSpec) else node
+        for g in self.groups:
+            if g.spec.name == name:
+                return g
+        raise ConfigurationError(f"configuration has no {name!r} nodes")
+
+    def label(self) -> str:
+        """Human-readable mix label in the paper's style: ``"32 A9 : 12 K10"``."""
+        return " : ".join(f"{g.count} {g.spec.name}" for g in self.groups)
+
+    def __str__(self) -> str:
+        return " + ".join(str(g) for g in self.groups)
+
+
+@dataclass(frozen=True)
+class TypeSpace:
+    """The per-type choice space used when enumerating configurations.
+
+    ``n_max`` nodes (1..n_max when the type is used), 1..``c_max`` active
+    cores, and any of the node's DVFS frequencies (restricted to
+    ``frequencies_hz`` when given).
+    """
+
+    spec: NodeSpec
+    n_max: int
+    c_max: Optional[int] = None
+    frequencies_hz: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_max <= 0:
+            raise ConfigurationError(f"{self.spec.name}: n_max must be positive")
+        c_max = self.c_max if self.c_max is not None else self.spec.cores
+        if not 1 <= c_max <= self.spec.cores:
+            raise ConfigurationError(
+                f"{self.spec.name}: c_max must be in [1, {self.spec.cores}]"
+            )
+        freqs = (
+            self.frequencies_hz
+            if self.frequencies_hz is not None
+            else self.spec.frequencies_hz
+        )
+        for f in freqs:
+            self.spec.voltage_at(f)  # validates membership in the DVFS table
+        object.__setattr__(self, "c_max", c_max)
+        object.__setattr__(self, "frequencies_hz", tuple(freqs))
+
+    @property
+    def choices(self) -> int:
+        """Number of (n, c, f) choices for this type when it participates."""
+        return self.n_max * self.c_max * len(self.frequencies_hz)
+
+    def groups(self) -> Iterator[NodeGroup]:
+        """Yield every possible :class:`NodeGroup` of this type."""
+        for n in range(1, self.n_max + 1):
+            for c in range(1, self.c_max + 1):
+                for f in self.frequencies_hz:
+                    yield NodeGroup(spec=self.spec, count=n, cores=c, frequency_hz=f)
+
+
+def count_configurations(spaces: Sequence[TypeSpace]) -> int:
+    """Closed-form size of the configuration space over ``spaces``.
+
+    A configuration uses any non-empty subset of the node types; each
+    participating type contributes ``n_max * c_max * |freqs|`` independent
+    choices.  For the paper's example — 10 ARM nodes (4 cores, 5 frequencies)
+    and 10 AMD nodes (6 cores, 3 frequencies) — this evaluates to
+    10*5*4 * 10*3*6 + 10*5*4 + 10*3*6 = 36,380 (footnote 4).
+    """
+    if not spaces:
+        raise ConfigurationError("no type spaces supplied")
+    total = 1
+    for space in spaces:
+        total *= space.choices + 1  # +1: the type may be absent
+    return total - 1  # remove the empty configuration
+
+
+def enumerate_configurations(
+    spaces: Sequence[TypeSpace],
+) -> Iterator[ClusterConfiguration]:
+    """Exhaustively enumerate the configuration space over ``spaces``.
+
+    Yields every configuration over every non-empty subset of node types.
+    The iteration order is deterministic: subsets in binary-counter order,
+    then per-type (n, c, f) in nested ascending order.
+    """
+    if not spaces:
+        raise ConfigurationError("no type spaces supplied")
+    names = [s.spec.name for s in spaces]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate node types in spaces: {names}")
+
+    per_type_groups = [list(space.groups()) for space in spaces]
+    n_types = len(spaces)
+    for mask in range(1, 1 << n_types):
+        selected = [per_type_groups[i] for i in range(n_types) if mask & (1 << i)]
+        for combo in itertools.product(*selected):
+            yield ClusterConfiguration(groups=tuple(combo))

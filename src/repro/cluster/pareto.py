@@ -1,0 +1,141 @@
+"""Energy-deadline Pareto frontier and the "sweet region".
+
+The authors' prior work (Ramapantulu et al., ICPP 2014) showed that among
+the huge heterogeneous configuration space there is a Pareto-optimal set of
+configurations trading execution time against energy — the *energy-deadline
+Pareto frontier* — and a "sweet region" of configurations that meet a
+deadline at minimum energy.  This paper (Section III-D) takes configurations
+from that frontier and asks how proportional they are.
+
+We evaluate a configuration by the time model's execution time T_P for one
+job and the energy model's total energy E_P for that job, then apply a
+standard two-objective dominance filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.cluster.configuration import (
+    ClusterConfiguration,
+    TypeSpace,
+    enumerate_configurations,
+)
+from repro.errors import ModelError
+from repro.model.energy_model import job_energy
+from repro.model.time_model import job_execution
+from repro.workloads.base import Workload
+
+__all__ = [
+    "ConfigEvaluation",
+    "evaluate_configuration",
+    "evaluate_space",
+    "pareto_frontier",
+    "sweet_region",
+    "sweet_spot",
+]
+
+
+@dataclass(frozen=True)
+class ConfigEvaluation:
+    """Time-energy evaluation of one configuration for one workload."""
+
+    config: ClusterConfiguration
+    workload_name: str
+    tp_s: float
+    energy_j: float
+    peak_power_w: float
+    idle_power_w: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J*s), a common combined figure of merit."""
+        return self.energy_j * self.tp_s
+
+    def dominates(self, other: "ConfigEvaluation") -> bool:
+        """Strict Pareto dominance on (time, energy): no worse on both and
+        strictly better on at least one."""
+        return (
+            self.tp_s <= other.tp_s
+            and self.energy_j <= other.energy_j
+            and (self.tp_s < other.tp_s or self.energy_j < other.energy_j)
+        )
+
+
+def evaluate_configuration(
+    workload: Workload, config: ClusterConfiguration
+) -> ConfigEvaluation:
+    """Run the time and energy models for one job on one configuration."""
+    execution = job_execution(workload, config)
+    energy = job_energy(workload, config)
+    return ConfigEvaluation(
+        config=config,
+        workload_name=workload.name,
+        tp_s=execution.tp_s,
+        energy_j=energy.e_total_j,
+        peak_power_w=energy.peak_power_w,
+        idle_power_w=config.idle_w,
+    )
+
+
+def evaluate_space(
+    workload: Workload, spaces: Sequence[TypeSpace]
+) -> List[ConfigEvaluation]:
+    """Evaluate every configuration of an enumerated space.
+
+    The paper's 10+10-node example space has 36,380 configurations; each
+    evaluation is a handful of arithmetic operations, so exhaustive search
+    is practical well beyond that.
+    """
+    return [
+        evaluate_configuration(workload, config)
+        for config in enumerate_configurations(spaces)
+    ]
+
+
+def pareto_frontier(evaluations: Iterable[ConfigEvaluation]) -> List[ConfigEvaluation]:
+    """The non-dominated subset, sorted by ascending execution time.
+
+    Sort by (time, energy); a configuration joins the frontier when its
+    energy is strictly below every faster configuration's.  Ties in time
+    keep only the lowest-energy entry.
+    """
+    ordered = sorted(evaluations, key=lambda e: (e.tp_s, e.energy_j))
+    if not ordered:
+        return []
+    frontier: List[ConfigEvaluation] = []
+    best_energy = float("inf")
+    for ev in ordered:
+        if frontier and ev.tp_s == frontier[-1].tp_s:
+            continue  # same time, not cheaper (sort order) -> dominated
+        if ev.energy_j < best_energy:
+            frontier.append(ev)
+            best_energy = ev.energy_j
+    return frontier
+
+
+def sweet_region(
+    evaluations: Iterable[ConfigEvaluation], deadline_s: float
+) -> List[ConfigEvaluation]:
+    """Pareto-optimal configurations meeting a deadline.
+
+    The authors' "sweet region": the part of the energy-deadline frontier
+    with T_P at or below the deadline, i.e. every configuration for which no
+    other meets the deadline with less energy *and* less time.
+    """
+    if deadline_s <= 0:
+        raise ModelError(f"deadline must be positive, got {deadline_s}")
+    return [ev for ev in pareto_frontier(evaluations) if ev.tp_s <= deadline_s]
+
+
+def sweet_spot(
+    evaluations: Iterable[ConfigEvaluation], deadline_s: float
+) -> Optional[ConfigEvaluation]:
+    """The minimum-energy configuration meeting the deadline, if any.
+
+    On the frontier, energy decreases as time increases, so the sweet spot
+    is the *slowest* frontier configuration still within the deadline.
+    """
+    region = sweet_region(evaluations, deadline_s)
+    return region[-1] if region else None

@@ -1,0 +1,215 @@
+"""Configuration search: recommend a cluster for a deadline and budget.
+
+The paper's stated challenge (Section I): "for a given application with a
+time deadline and energy budget, it is non-trivial to determine an
+energy-proportional configuration among the large system configuration
+space".  The exhaustive search is exact but the space grows as the product
+of per-type choices; the greedy search exploits the model's structure (time
+and energy are monotone in nodes/cores/frequency) to reach near-optimal
+answers while evaluating a tiny fraction of the space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.budget import PowerBudget
+from repro.cluster.configuration import (
+    ClusterConfiguration,
+    NodeGroup,
+    TypeSpace,
+    enumerate_configurations,
+)
+from repro.cluster.pareto import ConfigEvaluation, evaluate_configuration
+from repro.errors import ModelError
+from repro.workloads.base import Workload
+
+__all__ = ["Recommendation", "recommend_exhaustive", "recommend_greedy"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Result of a configuration search."""
+
+    evaluation: ConfigEvaluation
+    deadline_s: float
+    evaluated_configs: int
+    strategy: str
+
+    @property
+    def config(self) -> ClusterConfiguration:
+        """The recommended configuration."""
+        return self.evaluation.config
+
+    @property
+    def meets_deadline(self) -> bool:
+        """Whether the recommendation satisfies the deadline (always True
+        for a successful search; kept for symmetric reporting)."""
+        return self.evaluation.tp_s <= self.deadline_s
+
+
+def _feasible(
+    ev: ConfigEvaluation, deadline_s: float, budget: Optional[PowerBudget]
+) -> bool:
+    if ev.tp_s > deadline_s:
+        return False
+    if budget is not None and not budget.fits(ev.config):
+        return False
+    return True
+
+
+def recommend_exhaustive(
+    workload: Workload,
+    spaces: Sequence[TypeSpace],
+    *,
+    deadline_s: float,
+    budget: Optional[PowerBudget] = None,
+) -> Optional[Recommendation]:
+    """Exact search: the minimum-energy configuration meeting the deadline.
+
+    Evaluates EVERY configuration of the space; returns None when nothing
+    is feasible.  Ties in energy break toward the faster configuration.
+    """
+    if deadline_s <= 0:
+        raise ModelError(f"deadline must be positive, got {deadline_s}")
+    best: Optional[ConfigEvaluation] = None
+    count = 0
+    for config in enumerate_configurations(spaces):
+        count += 1
+        ev = evaluate_configuration(workload, config)
+        if not _feasible(ev, deadline_s, budget):
+            continue
+        if best is None or (ev.energy_j, ev.tp_s) < (best.energy_j, best.tp_s):
+            best = ev
+    if best is None:
+        return None
+    return Recommendation(
+        evaluation=best,
+        deadline_s=deadline_s,
+        evaluated_configs=count,
+        strategy="exhaustive",
+    )
+
+
+def _neighbours(
+    config: ClusterConfiguration, spaces: Sequence[TypeSpace]
+) -> List[ClusterConfiguration]:
+    """Single-step shrink moves: drop a node, a core, or one DVFS step.
+
+    Each move strictly reduces capability (and peak power), so greedy
+    descent explores the energy-saving direction of the space.
+    """
+    by_name = {s.spec.name: s for s in spaces}
+    moves: List[ClusterConfiguration] = []
+    for i, group in enumerate(config.groups):
+        space = by_name[group.spec.name]
+        others = [g for j, g in enumerate(config.groups) if j != i]
+
+        def with_group(new_group: Optional[NodeGroup]) -> Optional[ClusterConfiguration]:
+            groups = others + ([new_group] if new_group else [])
+            if not groups:
+                return None
+            return ClusterConfiguration(groups=tuple(groups))
+
+        # Remove one node (possibly the whole group).
+        smaller = (
+            NodeGroup(group.spec, group.count - 1, group.cores, group.frequency_hz)
+            if group.count > 1
+            else None
+        )
+        candidate = with_group(smaller)
+        if candidate is not None:
+            moves.append(candidate)
+        # Disable one core.
+        if group.cores > 1:
+            moves.append(
+                with_group(
+                    NodeGroup(group.spec, group.count, group.cores - 1, group.frequency_hz)
+                )
+            )
+        # Step the frequency down.
+        freqs = space.frequencies_hz
+        idx = freqs.index(group.frequency_hz) if group.frequency_hz in freqs else -1
+        if idx > 0:
+            moves.append(
+                with_group(
+                    NodeGroup(group.spec, group.count, group.cores, freqs[idx - 1])
+                )
+            )
+    return [m for m in moves if m is not None]
+
+
+def recommend_greedy(
+    workload: Workload,
+    spaces: Sequence[TypeSpace],
+    *,
+    deadline_s: float,
+    budget: Optional[PowerBudget] = None,
+) -> Optional[Recommendation]:
+    """Greedy descent: start maximal, shrink while the deadline still holds.
+
+    From the maximal configuration (all nodes, cores, top frequency), keep
+    applying the single shrink move that saves the most energy while
+    remaining feasible.  Evaluates O(moves * steps) configurations instead
+    of the whole space; exact whenever the energy landscape is monotone
+    along shrink paths (which the linear time/energy model makes the common
+    case — the tests compare against the exhaustive answer).
+    """
+    if deadline_s <= 0:
+        raise ModelError(f"deadline must be positive, got {deadline_s}")
+    maximal = ClusterConfiguration(
+        groups=tuple(
+            NodeGroup(s.spec, s.n_max, s.c_max, s.frequencies_hz[-1]) for s in spaces
+        )
+    )
+    count = 1
+    current = evaluate_configuration(workload, maximal)
+    if current.tp_s > deadline_s:
+        # Shrink moves only slow things down: if the maximal configuration
+        # misses the deadline, nothing in the space can meet it.
+        return None
+    if not _feasible(current, deadline_s, budget):
+        # The maximal configuration busts the power budget; scan shrink
+        # moves for a feasible start.
+        frontier = [maximal]
+        seen = {maximal}
+        start = None
+        while frontier and start is None:
+            config = frontier.pop()
+            for move in _neighbours(config, spaces):
+                if move in seen:
+                    continue
+                seen.add(move)
+                count += 1
+                ev = evaluate_configuration(workload, move)
+                if _feasible(ev, deadline_s, budget):
+                    start = ev
+                    break
+                frontier.append(move)
+        if start is None:
+            return None
+        current = start
+
+    improved = True
+    while improved:
+        improved = False
+        best_move: Optional[ConfigEvaluation] = None
+        for move in _neighbours(current.config, spaces):
+            count += 1
+            ev = evaluate_configuration(workload, move)
+            if not _feasible(ev, deadline_s, budget):
+                continue
+            if ev.energy_j < current.energy_j and (
+                best_move is None or ev.energy_j < best_move.energy_j
+            ):
+                best_move = ev
+        if best_move is not None:
+            current = best_move
+            improved = True
+    return Recommendation(
+        evaluation=current,
+        deadline_s=deadline_s,
+        evaluated_configs=count,
+        strategy="greedy",
+    )

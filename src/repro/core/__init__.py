@@ -1,0 +1,76 @@
+"""Core analysis: energy-proportionality metrics, proportionality and PPR
+curves, sub-linearity analysis, and response-time sweeps (open M/D/1 and
+batch-window arrival models)."""
+
+from repro.core.batch import (
+    BatchResponseSweep,
+    BatchWindow,
+    batch_response_percentile_s,
+    batch_response_sweep,
+)
+
+from repro.core.metrics import (
+    LinearPowerCurve,
+    PowerCurve,
+    PPRCurve,
+    ProportionalityReport,
+    QuadraticPowerCurve,
+    SampledPowerCurve,
+    analyze_curve,
+    dpr,
+    epm,
+    ipr,
+    ldr_paper,
+    ldr_strict,
+    ppr,
+    proportionality_gap,
+)
+from repro.core.proportionality import (
+    UtilisationSweep,
+    power_curve,
+    ppr_curve,
+    proportionality_report,
+    sublinear_crossover,
+    sublinear_mask,
+    sweep,
+    window_energy_j,
+)
+from repro.core.response import (
+    ResponseTimeSweep,
+    p95_response_s,
+    response_percentile_s,
+    response_sweep,
+)
+
+__all__ = [
+    "PowerCurve",
+    "LinearPowerCurve",
+    "QuadraticPowerCurve",
+    "SampledPowerCurve",
+    "PPRCurve",
+    "ProportionalityReport",
+    "analyze_curve",
+    "dpr",
+    "ipr",
+    "epm",
+    "ldr_strict",
+    "ldr_paper",
+    "ppr",
+    "proportionality_gap",
+    "power_curve",
+    "ppr_curve",
+    "proportionality_report",
+    "sublinear_mask",
+    "sublinear_crossover",
+    "UtilisationSweep",
+    "sweep",
+    "window_energy_j",
+    "ResponseTimeSweep",
+    "response_percentile_s",
+    "p95_response_s",
+    "response_sweep",
+    "BatchWindow",
+    "BatchResponseSweep",
+    "batch_response_percentile_s",
+    "batch_response_sweep",
+]

@@ -1,0 +1,140 @@
+"""Batch-arrival response-time model (the paper's Section II-C reading).
+
+Besides the Poisson M/D/1 model of Section II-B, the paper sweeps
+utilisation by varying "the number of jobs per batch and number of batches
+in an observation interval".  Under that reading, a batch of ``n`` jobs
+arrives together at the start of a window of length ``T`` and is served
+FIFO by the whole cluster; the k-th job's response time is ``k * T_P`` and
+the window's utilisation is ``u = n * T_P / T``.
+
+This model's percentiles are quantised in whole service times — which is
+the only reading under which the paper's "sub-millisecond range" claim for
+EP's Figure 11 differences can hold (see EXPERIMENTS.md): at equal
+utilisation every configuration's p95 is ~``0.95 * u * T`` and
+configurations differ by at most one service time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.errors import QueueingError
+from repro.model.time_model import execution_time
+from repro.workloads.base import Workload
+
+__all__ = ["BatchWindow", "batch_response_percentile_s", "batch_response_sweep", "BatchResponseSweep"]
+
+
+@dataclass(frozen=True)
+class BatchWindow:
+    """One observation window served as a single FIFO batch."""
+
+    service_time_s: float
+    window_s: float
+    n_jobs: int
+
+    def __post_init__(self) -> None:
+        if self.service_time_s <= 0:
+            raise QueueingError("service time must be positive")
+        if self.window_s <= 0:
+            raise QueueingError("window must be positive")
+        if self.n_jobs < 0:
+            raise QueueingError("job count must be non-negative")
+        if self.n_jobs * self.service_time_s > self.window_s * (1 + 1e-9):
+            raise QueueingError(
+                f"batch of {self.n_jobs} jobs x {self.service_time_s}s does not "
+                f"fit the {self.window_s}s window"
+            )
+
+    @classmethod
+    def for_utilisation(
+        cls, utilisation: float, service_time_s: float, window_s: float
+    ) -> "BatchWindow":
+        """The batch achieving a target utilisation: n = floor(u*T / T_P)."""
+        if not 0.0 <= utilisation <= 1.0:
+            raise QueueingError(f"utilisation must be in [0, 1], got {utilisation}")
+        n = int(math.floor(utilisation * window_s / service_time_s + 1e-9))
+        return cls(service_time_s=service_time_s, window_s=window_s, n_jobs=n)
+
+    @property
+    def utilisation(self) -> float:
+        """Achieved utilisation (quantised by the integer job count)."""
+        return self.n_jobs * self.service_time_s / self.window_s
+
+    def response_times(self) -> np.ndarray:
+        """FIFO responses of the batch: job k completes at k * T_P."""
+        return self.service_time_s * np.arange(1, self.n_jobs + 1, dtype=float)
+
+    def response_percentile(self, q: float) -> float:
+        """The q-th percentile response of the batch.
+
+        An empty batch (utilisation below one job) has no responses; the
+        percentile of "no jobs" is reported as 0.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise QueueingError(f"percentile must be in [0, 100], got {q}")
+        if self.n_jobs == 0:
+            return 0.0
+        k = max(1, int(math.ceil(q / 100.0 * self.n_jobs)))
+        return k * self.service_time_s
+
+
+def batch_response_percentile_s(
+    workload: Workload,
+    config: ClusterConfiguration,
+    utilisation: float,
+    *,
+    window_s: float,
+    percentile: float = 95.0,
+) -> float:
+    """Batch-mode response percentile for a configuration at a utilisation."""
+    tp = execution_time(workload, config)
+    window = BatchWindow.for_utilisation(utilisation, tp, window_s)
+    return window.response_percentile(percentile)
+
+
+@dataclass(frozen=True)
+class BatchResponseSweep:
+    """Batch-mode response percentiles over a utilisation grid."""
+
+    label: str
+    service_time_s: float
+    window_s: float
+    utilisation: np.ndarray
+    p95_s: np.ndarray
+
+
+def batch_response_sweep(
+    workload: Workload,
+    config: ClusterConfiguration,
+    grid: Sequence[float],
+    *,
+    window_s: float,
+    percentile: float = 95.0,
+    label: str | None = None,
+) -> BatchResponseSweep:
+    """Sweep the batch-mode response percentile over utilisations."""
+    g = np.asarray(grid, dtype=float)
+    if g.ndim != 1 or g.size == 0:
+        raise QueueingError("utilisation grid must be a non-empty 1-D array")
+    tp = execution_time(workload, config)
+    values = np.asarray(
+        [
+            BatchWindow.for_utilisation(float(u), tp, window_s).response_percentile(
+                percentile
+            )
+            for u in g
+        ]
+    )
+    return BatchResponseSweep(
+        label=label if label is not None else config.label(),
+        service_time_s=tp,
+        window_s=window_s,
+        utilisation=g,
+        p95_s=values,
+    )

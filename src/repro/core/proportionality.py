@@ -1,0 +1,185 @@
+"""Energy-proportionality analysis of (workload, configuration) pairs.
+
+Bridges the time-energy model to the Table 3 metrics: builds the power-vs-
+utilisation curve the M/D/1 window accounting implies, the PPR curve, and
+the sub-linearity analysis of the paper's Section III-D (a configuration is
+*sub-linear* at utilisation u when its absolute power falls below the ideal
+line of a **reference** configuration — by convention the maximal one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.core.metrics import (
+    LinearPowerCurve,
+    PowerCurve,
+    PPRCurve,
+    ProportionalityReport,
+    analyze_curve,
+)
+from repro.errors import ModelError
+from repro.model.energy_model import power_draw
+from repro.model.time_model import cluster_service_rate
+from repro.workloads.base import Workload
+
+__all__ = [
+    "power_curve",
+    "ppr_curve",
+    "proportionality_report",
+    "window_energy_j",
+    "sublinear_mask",
+    "sublinear_crossover",
+    "UtilisationSweep",
+    "sweep",
+]
+
+
+def power_curve(workload: Workload, config: ClusterConfiguration) -> LinearPowerCurve:
+    """The cluster's power-vs-utilisation curve for ``workload``.
+
+    From the M/D/1 window accounting (Section II-B): over a window T at
+    utilisation u the cluster is busy u*T drawing idle + dynamic power and
+    idle for (1-u)*T, hence ``P(u) = P_idle + u * P_dyn``.
+    """
+    draw = power_draw(workload, config)
+    return LinearPowerCurve(draw.idle_w, draw.peak_w)
+
+
+def ppr_curve(workload: Workload, config: ClusterConfiguration) -> PPRCurve:
+    """The cluster's PPR-vs-utilisation curve for ``workload``."""
+    return PPRCurve(
+        peak_throughput_ops_per_s=cluster_service_rate(workload, config),
+        power_curve=power_curve(workload, config),
+    )
+
+
+def proportionality_report(
+    workload: Workload, config: ClusterConfiguration
+) -> ProportionalityReport:
+    """All Table 3 metrics for one (workload, configuration) pair."""
+    return analyze_curve(power_curve(workload, config))
+
+
+def window_energy_j(
+    curve: PowerCurve, utilisation: float, window_s: float
+) -> float:
+    """Energy consumed over an observation window at a given utilisation."""
+    if window_s <= 0:
+        raise ModelError(f"window must be positive, got {window_s}")
+    return curve.power_w(utilisation) * window_s
+
+
+# ----------------------------------------------------------------------
+# Sub-linearity (Section III-D)
+# ----------------------------------------------------------------------
+def sublinear_mask(
+    curve: PowerCurve,
+    grid: Sequence[float],
+    *,
+    reference_peak_w: float,
+) -> np.ndarray:
+    """Boolean mask: where does ``curve`` fall below the reference ideal line?
+
+    The reference ideal line is ``u * reference_peak_w`` — the diagonal of
+    the maximal configuration's proportionality plot.
+    """
+    if reference_peak_w <= 0:
+        raise ModelError("reference peak must be positive")
+    g = np.asarray(grid, dtype=float)
+    return curve.power_series(g) < g * reference_peak_w
+
+
+def sublinear_crossover(
+    curve: LinearPowerCurve, *, reference_peak_w: float
+) -> Optional[float]:
+    """Utilisation above which a linear-offset curve becomes sub-linear.
+
+    Solves ``P_idle + u * P_dyn = u * P_ref``: the crossover is
+    ``u* = P_idle / (P_ref - P_dyn)``.  Returns None when the configuration
+    never drops strictly below the reference ideal line within (0, 1] — in
+    particular a curve compared against its own peak merely *touches* the
+    ideal at u = 1 and has no sub-linear region.
+    """
+    if reference_peak_w <= 0:
+        raise ModelError("reference peak must be positive")
+    dyn = curve.peak_w - curve.idle_w
+    if reference_peak_w <= dyn:
+        return None
+    u_star = curve.idle_w / (reference_peak_w - dyn)
+    # The tolerance absorbs round-off in the self-reference case, where the
+    # exact crossover is u = 1 (no sub-linear region).
+    return u_star if u_star < 1.0 - 1e-12 else None
+
+
+# ----------------------------------------------------------------------
+# Utilisation sweeps (the data behind every proportionality figure)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class UtilisationSweep:
+    """Per-utilisation series for one (workload, configuration) pair.
+
+    ``pct_of_reference_peak`` is the paper's y-axis ("Peak Power [%]"); when
+    no reference was given it is normalised by the configuration's own peak
+    (Figures 5/7); the Pareto figures (9/10) normalise by the maximal
+    configuration's peak instead.
+    """
+
+    label: str
+    utilisation: np.ndarray
+    power_w: np.ndarray
+    reference_peak_w: float
+    ppr: np.ndarray
+
+    @property
+    def pct_of_reference_peak(self) -> np.ndarray:
+        """Power as percent of the reference peak."""
+        return 100.0 * self.power_w / self.reference_peak_w
+
+    @property
+    def ideal_pct(self) -> np.ndarray:
+        """The ideal proportionality line in percent (= utilisation)."""
+        return 100.0 * self.utilisation
+
+    @property
+    def proportionality_gap(self) -> np.ndarray:
+        """PG(u) against the reference ideal line, per sample."""
+        ideal = self.utilisation * self.reference_peak_w
+        return (self.power_w - ideal) / ideal
+
+    @property
+    def sublinear(self) -> np.ndarray:
+        """Boolean per-sample sub-linearity against the reference ideal."""
+        return self.power_w < self.utilisation * self.reference_peak_w
+
+
+def sweep(
+    workload: Workload,
+    config: ClusterConfiguration,
+    grid: Sequence[float],
+    *,
+    reference_peak_w: Optional[float] = None,
+    label: Optional[str] = None,
+) -> UtilisationSweep:
+    """Evaluate power and PPR over a utilisation grid.
+
+    The grid must lie in (0, 1]; zero utilisation has no PPR (no work done).
+    """
+    g = np.asarray(grid, dtype=float)
+    if g.ndim != 1 or g.size == 0:
+        raise ModelError("utilisation grid must be a non-empty 1-D array")
+    if np.any(g <= 0.0) or np.any(g > 1.0):
+        raise ModelError("utilisation grid must lie in (0, 1]")
+    curve = power_curve(workload, config)
+    pprs = ppr_curve(workload, config).series(g)
+    return UtilisationSweep(
+        label=label if label is not None else config.label(),
+        utilisation=g,
+        power_w=curve.power_series(g),
+        reference_peak_w=reference_peak_w if reference_peak_w is not None else curve.peak_w,
+        ppr=pprs,
+    )

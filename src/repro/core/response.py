@@ -1,0 +1,108 @@
+"""Response-time analysis of cluster configurations (Section III-E).
+
+The paper asks: do the sub-linearly proportional heterogeneous mixes pay for
+their energy savings in latency?  Each configuration serves jobs as an
+M/D/1 queue with deterministic service time T_P (its execution time for one
+job), and the figures report the 95th-percentile response time across a
+utilisation sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.errors import QueueingError
+from repro.model.time_model import execution_time
+from repro.queueing.md1 import MD1Queue
+from repro.workloads.base import Workload
+
+__all__ = [
+    "response_percentile_s",
+    "p95_response_s",
+    "ResponseTimeSweep",
+    "response_sweep",
+]
+
+#: Utilisations at or above this are treated as saturated: percentile
+#: queries diverge as u -> 1, and the paper's sweeps stop at 100% by
+#: evaluating *approaching* full load.
+_MAX_UTILISATION = 0.999
+
+
+def _effective_utilisation(utilisation: float) -> float:
+    if not 0.0 < utilisation <= 1.0:
+        raise QueueingError(
+            f"utilisation must be in (0, 1], got {utilisation}"
+        )
+    return min(utilisation, _MAX_UTILISATION)
+
+
+def response_percentile_s(
+    workload: Workload,
+    config: ClusterConfiguration,
+    utilisation: float,
+    *,
+    percentile: float = 95.0,
+) -> float:
+    """A response-time percentile at one cluster utilisation (seconds).
+
+    Utilisation 1.0 is evaluated at 0.999 — the exact limit diverges; the
+    paper's plots likewise show steep but finite values at the 100% tick.
+    """
+    u = _effective_utilisation(utilisation)
+    tp = execution_time(workload, config)
+    queue = MD1Queue.from_utilisation(u, tp)
+    return queue.response_percentile(percentile)
+
+
+def p95_response_s(
+    workload: Workload, config: ClusterConfiguration, utilisation: float
+) -> float:
+    """95th-percentile response time — the paper's Figures 11/12 metric."""
+    return response_percentile_s(workload, config, utilisation, percentile=95.0)
+
+
+@dataclass(frozen=True)
+class ResponseTimeSweep:
+    """95th-percentile response times of one configuration over utilisation."""
+
+    label: str
+    service_time_s: float
+    utilisation: np.ndarray
+    p95_s: np.ndarray
+
+    @property
+    def degradation_factor(self) -> np.ndarray:
+        """p95 relative to the no-queueing service time."""
+        return self.p95_s / self.service_time_s
+
+
+def response_sweep(
+    workload: Workload,
+    config: ClusterConfiguration,
+    grid: Sequence[float],
+    *,
+    percentile: float = 95.0,
+    label: Optional[str] = None,
+) -> ResponseTimeSweep:
+    """Sweep a response-time percentile over a utilisation grid."""
+    g = np.asarray(grid, dtype=float)
+    if g.ndim != 1 or g.size == 0:
+        raise QueueingError("utilisation grid must be a non-empty 1-D array")
+    tp = execution_time(workload, config)
+    values = np.asarray(
+        [
+            MD1Queue.from_utilisation(_effective_utilisation(float(u)), tp).response_percentile(percentile)
+            for u in g
+        ]
+    )
+    return ResponseTimeSweep(
+        label=label if label is not None else config.label(),
+        service_time_s=tp,
+        utilisation=g,
+        p95_s=values,
+    )

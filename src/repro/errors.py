@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CalibrationError",
+    "ModelError",
+    "QueueingError",
+    "MeasurementError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid cluster configuration was constructed or requested.
+
+    Raised for out-of-range node counts, core counts, or operating
+    frequencies, and for malformed heterogeneous mixes (e.g. duplicate node
+    types in one configuration).
+    """
+
+
+class CalibrationError(ReproError):
+    """The calibration database is inconsistent or incomplete.
+
+    Raised when a (workload, node-type) pair has no calibrated demand vector,
+    or when derived quantities fail their internal sanity checks (negative
+    dynamic power, zero throughput, ...).
+    """
+
+
+class ModelError(ReproError):
+    """The time–energy model was evaluated on invalid inputs."""
+
+
+class QueueingError(ReproError):
+    """A queueing computation was requested outside its domain.
+
+    The most common cause is an unstable system (utilisation >= 1), for which
+    waiting times diverge.
+    """
+
+
+class MeasurementError(ReproError):
+    """The simulated testbed was driven incorrectly.
+
+    Raised, for example, when a power-meter trace is requested before any
+    samples were collected, or when a counter snapshot interval is empty.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload definition or job trace is malformed."""

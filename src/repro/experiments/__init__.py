@@ -1,0 +1,57 @@
+"""Paper experiment drivers: one regenerator per table and figure."""
+
+from repro.experiments.figures import (
+    PARETO_MIXES,
+    compute_pareto_mixes,
+    figure2_metric_relationships,
+    figure5_node_proportionality,
+    figure6_node_ppr,
+    figure7_cluster_proportionality,
+    figure8_cluster_ppr,
+    figure9_pareto_proportionality,
+    figure11_response_time,
+    pareto_mix_configs,
+)
+from repro.experiments.report import (
+    report_characterization,
+    report_figure,
+    report_table4,
+    report_table5,
+    report_table6,
+    report_table7,
+    report_table8,
+)
+from repro.experiments.tables import (
+    most_efficient_single_node_config,
+    table4_validation,
+    table5_nodes,
+    table6_ppr,
+    table7_single_node,
+    table8_cluster,
+)
+
+__all__ = [
+    "PARETO_MIXES",
+    "pareto_mix_configs",
+    "compute_pareto_mixes",
+    "figure2_metric_relationships",
+    "figure5_node_proportionality",
+    "figure6_node_ppr",
+    "figure7_cluster_proportionality",
+    "figure8_cluster_ppr",
+    "figure9_pareto_proportionality",
+    "figure11_response_time",
+    "table4_validation",
+    "table5_nodes",
+    "table6_ppr",
+    "table7_single_node",
+    "table8_cluster",
+    "most_efficient_single_node_config",
+    "report_table4",
+    "report_table5",
+    "report_table6",
+    "report_table7",
+    "report_table8",
+    "report_figure",
+    "report_characterization",
+]

@@ -1,0 +1,272 @@
+"""Regenerators for every figure in the paper's evaluation.
+
+Each function returns a :class:`repro.viz.series.Figure` holding the same
+series the paper plots; the benchmark harness renders it as ASCII, exports
+CSV/gnuplot, and asserts the qualitative shape (orderings, crossovers,
+sub-linearity) documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.budget import budget_mixes
+from repro.cluster.configuration import ClusterConfiguration
+from repro.cluster.pareto import ConfigEvaluation, pareto_frontier
+from repro.core.metrics import QuadraticPowerCurve
+from repro.core.proportionality import power_curve, ppr_curve, sweep
+from repro.core.response import response_sweep
+from repro.errors import ReproError
+from repro.viz.series import Figure
+from repro.workloads.suite import PAPER_UNITS, paper_workloads
+
+__all__ = [
+    "PARETO_MIXES",
+    "pareto_mix_configs",
+    "figure2_metric_relationships",
+    "figure5_node_proportionality",
+    "figure6_node_ppr",
+    "figure7_cluster_proportionality",
+    "figure8_cluster_ppr",
+    "figure9_pareto_proportionality",
+    "figure11_response_time",
+    "compute_pareto_mixes",
+]
+
+#: The paper's Figures 9-12 configurations: (A9 count, K10 count) pairs on
+#: the energy-deadline Pareto frontier of a <= 32 A9 + <= 12 K10 space.
+PARETO_MIXES: Tuple[Tuple[int, int], ...] = (
+    (32, 12),
+    (25, 10),
+    (25, 8),
+    (25, 7),
+    (25, 5),
+)
+
+#: Utilisation grid of the single-node figures (10% steps, as plotted).
+_NODE_GRID = np.linspace(0.1, 1.0, 10)
+
+#: Utilisation grid of the Pareto figures (20%..100%).
+_PARETO_GRID = np.linspace(0.2, 1.0, 17)
+
+#: Utilisation grid of the response-time figures.  M/D/1 percentiles
+#: diverge as u -> 1; stopping at 95% keeps the log axis within the
+#: roughly one-decade span the paper's Figures 11/12 show.
+_RESPONSE_GRID = np.linspace(0.2, 0.95, 16)
+
+#: Log-spaced utilisation grid of Figure 7 (1%..100%).
+_CLUSTER_GRID = np.logspace(-2, 0, 25)
+
+
+def pareto_mix_configs(
+    mixes: Sequence[Tuple[int, int]] = PARETO_MIXES,
+) -> List[ClusterConfiguration]:
+    """Build full-throttle configurations from (A9, K10) count pairs."""
+    return [ClusterConfiguration.mix({"A9": a, "K10": k}) for a, k in mixes]
+
+
+def _mix_label(a9: int, k10: int) -> str:
+    return f"{a9} A9: {k10} K10"
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — metric relationship illustration
+# ----------------------------------------------------------------------
+def figure2_metric_relationships(*, ipr: float = 0.4) -> Figure:
+    """Figure 2: how the metrics relate on sub- and super-linear curves.
+
+    The paper's Figure 2 is an annotated sketch; we regenerate its content:
+    an ideal line plus one super-linear and one sub-linear power curve with
+    the same idle/peak, whose DPR/IPR/EPM/LDR/PG values the accompanying
+    benchmark prints.
+    """
+    if not 0.0 < ipr < 1.0:
+        raise ReproError(f"ipr must be in (0, 1), got {ipr}")
+    grid = np.linspace(0.0, 1.0, 21)
+    peak = 100.0
+    idle = ipr * peak
+    super_linear = QuadraticPowerCurve(idle, peak, curvature=-0.6)
+    sub_linear = QuadraticPowerCurve(idle, peak, curvature=0.6)
+    fig = Figure(
+        title="Figure 2: energy proportionality metric relationships",
+        xlabel="Utilization [%]",
+        ylabel="Peak Power [%]",
+    )
+    fig.add("Ideal", 100 * grid, 100 * grid)
+    fig.add("super-linear", 100 * grid, super_linear.power_series(grid))
+    fig.add("sub-linear", 100 * grid, sub_linear.power_series(grid))
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Figures 5/6 — single-node proportionality and PPR
+# ----------------------------------------------------------------------
+def figure5_node_proportionality(workload_name: str) -> Figure:
+    """Figure 5: percent-of-peak power vs utilisation, A9 vs K10 vs ideal."""
+    w = paper_workloads()[workload_name]
+    fig = Figure(
+        title=f"Figure 5: energy proportionality of brawny and wimpy nodes ({workload_name})",
+        xlabel="Utilization [%]",
+        ylabel="Peak Power [%]",
+    )
+    fig.add("Ideal", 100 * _NODE_GRID, 100 * _NODE_GRID)
+    for node in ("K10", "A9"):
+        s = sweep(w, ClusterConfiguration.mix({node: 1}), _NODE_GRID, label=node)
+        fig.add(node, 100 * s.utilisation, s.pct_of_reference_peak)
+    return fig
+
+
+def figure6_node_ppr(workload_name: str) -> Figure:
+    """Figure 6: PPR vs utilisation for single A9 and K10 nodes (log y)."""
+    w = paper_workloads()[workload_name]
+    fig = Figure(
+        title=f"Figure 6: PPR of brawny and wimpy nodes ({workload_name})",
+        xlabel="Utilization [%]",
+        ylabel=f"PPR [({PAPER_UNITS[workload_name]})/W]",
+        logy=True,
+    )
+    for node in ("K10", "A9"):
+        curve = ppr_curve(w, ClusterConfiguration.mix({node: 1}))
+        fig.add(node, 100 * _NODE_GRID, curve.series(_NODE_GRID))
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Figures 7/8 — cluster-wide proportionality and PPR under a 1 kW budget
+# ----------------------------------------------------------------------
+def figure7_cluster_proportionality(
+    workload_name: str = "EP", *, budget_w: float = 1000.0
+) -> Figure:
+    """Figure 7: cluster-wide percent-of-peak power, five budget mixes."""
+    w = paper_workloads()[workload_name]
+    fig = Figure(
+        title=f"Figure 7: cluster-wide energy proportionality of {workload_name}",
+        xlabel="Utilization [%]",
+        ylabel="Peak Power [%]",
+        logx=True,
+    )
+    fig.add("Ideal", 100 * _CLUSTER_GRID, 100 * _CLUSTER_GRID)
+    for config in budget_mixes(budget_w):
+        s = sweep(w, config, _CLUSTER_GRID)
+        fig.add(config.label(), 100 * s.utilisation, s.pct_of_reference_peak)
+    return fig
+
+
+def figure8_cluster_ppr(
+    workload_name: str = "EP", *, budget_w: float = 1000.0
+) -> Figure:
+    """Figure 8: cluster-wide PPR vs utilisation, five budget mixes."""
+    w = paper_workloads()[workload_name]
+    grid = np.linspace(0.1, 1.0, 10)
+    fig = Figure(
+        title=f"Figure 8: cluster-wide PPR of {workload_name}",
+        xlabel="Utilization [%]",
+        ylabel=f"PPR [({PAPER_UNITS[workload_name]})/W]",
+    )
+    for config in budget_mixes(budget_w):
+        curve = ppr_curve(w, config)
+        fig.add(config.label(), 100 * grid, curve.series(grid))
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Figures 9/10 — proportionality of Pareto-optimal configurations
+# ----------------------------------------------------------------------
+def figure9_pareto_proportionality(
+    workload_name: str,
+    *,
+    mixes: Sequence[Tuple[int, int]] = PARETO_MIXES,
+) -> Figure:
+    """Figures 9/10: Pareto-mix power normalised by the maximal mix's peak.
+
+    The first entry of ``mixes`` is the maximal (reference) configuration;
+    every curve is normalised by ITS workload peak, which is how smaller
+    mixes fall below the reference ideal line — the paper's sub-linear
+    proportionality.
+    """
+    if not mixes:
+        raise ReproError("need at least one mix")
+    w = paper_workloads()[workload_name]
+    configs = pareto_mix_configs(mixes)
+    reference_peak = power_curve(w, configs[0]).peak_w
+    fig = Figure(
+        title=(
+            f"Figure {'9' if workload_name == 'EP' else '10'}: energy proportionality "
+            f"of Pareto-optimal configurations ({workload_name})"
+        ),
+        xlabel="Utilization [%]",
+        ylabel="Peak Power [%]",
+    )
+    fig.add("Ideal", 100 * _PARETO_GRID, 100 * _PARETO_GRID)
+    for (a, k), config in zip(mixes, configs):
+        s = sweep(w, config, _PARETO_GRID, reference_peak_w=reference_peak)
+        fig.add(_mix_label(a, k), 100 * s.utilisation, s.pct_of_reference_peak)
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Figures 11/12 — 95th-percentile response time of the Pareto mixes
+# ----------------------------------------------------------------------
+def figure11_response_time(
+    workload_name: str,
+    *,
+    mixes: Sequence[Tuple[int, int]] = PARETO_MIXES,
+    unit: str = "auto",
+) -> Figure:
+    """Figures 11/12: p95 response time vs utilisation for the Pareto mixes.
+
+    ``unit`` selects milliseconds or seconds for the y axis ("ms", "s", or
+    "auto": ms when the fastest configuration's service time is sub-second).
+    """
+    w = paper_workloads()[workload_name]
+    configs = pareto_mix_configs(mixes)
+    sweeps = [
+        response_sweep(w, config, _RESPONSE_GRID, label=_mix_label(a, k))
+        for (a, k), config in zip(mixes, configs)
+    ]
+    if unit == "auto":
+        unit = "ms" if sweeps[0].service_time_s < 1.0 else "s"
+    if unit not in ("ms", "s"):
+        raise ReproError(f"unit must be 'ms', 's' or 'auto', got {unit!r}")
+    scale = 1e3 if unit == "ms" else 1.0
+    fig = Figure(
+        title=(
+            f"Figure {'11' if workload_name == 'EP' else '12'}: 95th percentile "
+            f"response time of sub-linear mixes ({workload_name})"
+        ),
+        xlabel="Utilization [%]",
+        ylabel=f"95th Percentile Response Time [{unit}]",
+        logy=True,
+    )
+    for s in sweeps:
+        fig.add(s.label, 100 * s.utilisation, scale * s.p95_s)
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Supporting computation: our own frontier over the <=32 A9 + <=12 K10 space
+# ----------------------------------------------------------------------
+def compute_pareto_mixes(
+    workload_name: str, *, n_a9: int = 32, n_k10: int = 12
+) -> List[ConfigEvaluation]:
+    """The energy-deadline Pareto frontier over full-throttle (a, k) mixes.
+
+    The paper takes its Figure 9/10 configurations from its prior work's
+    frontier; this computes the frontier of OUR calibrated model over the
+    same node-count space (all cores at f_max, counts a <= n_a9, k <= n_k10),
+    letting the benchmarks check that sub-linear mixes really come from the
+    frontier's energy-saving end.
+    """
+    from repro.cluster.pareto import evaluate_configuration
+
+    w = paper_workloads()[workload_name]
+    evals = []
+    for a in range(0, n_a9 + 1):
+        for k in range(0, n_k10 + 1):
+            if a == 0 and k == 0:
+                continue
+            config = ClusterConfiguration.mix({"A9": a, "K10": k})
+            evals.append(evaluate_configuration(w, config))
+    return pareto_frontier(evals)

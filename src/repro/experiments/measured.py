@@ -1,0 +1,177 @@
+"""Measured power-vs-utilisation curves from the simulated testbed.
+
+The proportionality figures use the *analytic* curve P(u) = P_idle + u*P_dyn
+that falls out of the M/D/1 window accounting.  This module validates that
+curve empirically, the way a datacenter operator would: drive the testbed
+with n jobs over an observation window T (u = n*T_P/T, the paper's
+utilisation sweep), let the power meter integrate the whole window — job
+runs, inter-job idle gaps, dispatch overheads and all — and read the mean
+power off the instrument.
+
+The measured points assemble into a
+:class:`~repro.core.metrics.SampledPowerCurve`, so every Table 3 metric can
+be computed from measurement alone and compared against the model
+(:func:`compare_measured_vs_model` does exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.core.metrics import (
+    ProportionalityReport,
+    SampledPowerCurve,
+    analyze_curve,
+)
+from repro.core.proportionality import power_curve as model_power_curve
+from repro.errors import MeasurementError
+from repro.hardware.node import NonIdealities
+from repro.hardware.testbed import Testbed
+from repro.model.time_model import job_execution, node_service_rate
+from repro.util.rng import DEFAULT_SEED, RngRegistry
+from repro.workloads.base import Workload
+
+__all__ = [
+    "MeasuredCurvePoint",
+    "measure_power_curve",
+    "compare_measured_vs_model",
+]
+
+
+@dataclass(frozen=True)
+class MeasuredCurvePoint:
+    """One measured (utilisation, power) sample."""
+
+    target_utilisation: float
+    achieved_utilisation: float
+    mean_power_w: float
+    n_jobs: int
+
+
+def _work_split(workload: Workload, config: ClusterConfiguration) -> dict:
+    rates = {
+        g.spec.name: node_service_rate(g, workload.demand_for(g.spec.name))
+        for g in config.groups
+    }
+    total = sum(rates[g.spec.name] * g.count for g in config.groups)
+    return {name: r / total for name, r in rates.items()}
+
+
+def measure_power_curve(
+    workload: Workload,
+    config: ClusterConfiguration,
+    *,
+    utilisations: Sequence[float] = (0.2, 0.4, 0.6, 0.8),
+    window_multiplier: float = 24.0,
+    registry: Optional[RngRegistry] = None,
+    nonideal: NonIdealities = NonIdealities(),
+) -> Tuple[SampledPowerCurve, List[MeasuredCurvePoint]]:
+    """Measure the cluster's power-vs-utilisation curve on the testbed.
+
+    For each target utilisation the window holds ``n = round(u * T / T_P)``
+    evenly spaced jobs (T = ``window_multiplier`` * T_P); the achieved
+    utilisation is quantised accordingly and reported per point.  The idle
+    (u = 0) and saturated (u = 1, jobs back to back) anchors are always
+    measured so the sampled curve spans the full domain.
+    """
+    if window_multiplier < 2.0:
+        raise MeasurementError("window must hold at least a couple of jobs")
+    for u in utilisations:
+        if not 0.0 < u < 1.0:
+            raise MeasurementError(
+                f"interior utilisations must be in (0, 1), got {u}"
+            )
+    reg = registry if registry is not None else RngRegistry(DEFAULT_SEED)
+    testbed = Testbed(config, reg, nonideal=nonideal)
+    split = _work_split(workload, config)
+    tp_model = job_execution(workload, config).tp_s
+    window_s = window_multiplier * tp_model
+
+    points: List[MeasuredCurvePoint] = []
+
+    # u = 0 anchor: the cluster idles for the whole window.
+    idle_energy = testbed.measure_idle(window_s)
+    points.append(
+        MeasuredCurvePoint(
+            target_utilisation=0.0,
+            achieved_utilisation=0.0,
+            mean_power_w=idle_energy / window_s,
+            n_jobs=0,
+        )
+    )
+
+    job_counter = 0
+    for u in sorted(utilisations):
+        n_jobs = max(1, int(round(u * window_s / tp_model)))
+        busy = 0.0
+        energy = 0.0
+        for j in range(n_jobs):
+            measured = testbed.run_job(
+                workload, work_split=split, job_index=job_counter
+            )
+            job_counter += 1
+            busy += measured.makespan_s
+            energy += measured.energy_j
+        if busy > window_s:
+            raise MeasurementError(
+                f"u = {u}: {n_jobs} jobs overran the window; raise window_multiplier"
+            )
+        # Between jobs the cluster idles; meter the remaining window.
+        energy += testbed.measure_idle(window_s - busy)
+        points.append(
+            MeasuredCurvePoint(
+                target_utilisation=float(u),
+                achieved_utilisation=busy / window_s,
+                mean_power_w=energy / window_s,
+                n_jobs=n_jobs,
+            )
+        )
+
+    # u = 1 anchor: jobs back to back for the whole window.
+    n_jobs = int(np.ceil(window_s / tp_model))
+    busy = 0.0
+    energy = 0.0
+    for j in range(n_jobs):
+        measured = testbed.run_job(workload, work_split=split, job_index=job_counter)
+        job_counter += 1
+        busy += measured.makespan_s
+        energy += measured.energy_j
+    points.append(
+        MeasuredCurvePoint(
+            target_utilisation=1.0,
+            achieved_utilisation=1.0,
+            mean_power_w=energy / busy,
+            n_jobs=n_jobs,
+        )
+    )
+
+    curve = SampledPowerCurve(
+        utilisations=[min(p.achieved_utilisation, 1.0) for p in points],
+        powers_w=[p.mean_power_w for p in points],
+    )
+    return curve, points
+
+
+def compare_measured_vs_model(
+    workload: Workload,
+    config: ClusterConfiguration,
+    *,
+    registry: Optional[RngRegistry] = None,
+    utilisations: Sequence[float] = (0.2, 0.4, 0.6, 0.8),
+) -> Tuple[ProportionalityReport, ProportionalityReport]:
+    """(measured report, model report) for one workload + configuration.
+
+    The measured report comes entirely from power-meter readings on the
+    testbed; the model report from the analytic curve.  Their agreement is
+    the empirical justification for using the analytic curves in the
+    figures.
+    """
+    measured_curve, _ = measure_power_curve(
+        workload, config, registry=registry, utilisations=utilisations
+    )
+    model_curve = model_power_curve(workload, config)
+    return analyze_curve(measured_curve), analyze_curve(model_curve)

@@ -1,0 +1,132 @@
+"""Text rendering of the reproduction's tables and figures.
+
+One entry point per paper artefact; each returns a printable string.  The
+benchmark harness and the examples are thin wrappers over these.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures as fig
+from repro.experiments import tables as tab
+from repro.util.rng import DEFAULT_SEED
+from repro.util.tables import render_table
+from repro.viz.ascii import render_figure
+
+__all__ = [
+    "report_table4",
+    "report_table5",
+    "report_table6",
+    "report_table7",
+    "report_table8",
+    "report_figure",
+    "report_characterization",
+]
+
+
+def report_table4(*, seed: int = DEFAULT_SEED, job_scale: float = 64.0) -> str:
+    """Render Table 4 (cluster validation errors)."""
+    headers, rows, _ = tab.table4_validation(seed=seed, job_scale=job_scale)
+    return render_table(headers, rows, title="Table 4: Cluster validation")
+
+
+def report_table5() -> str:
+    """Render Table 5 (node types)."""
+    headers, rows = tab.table5_nodes()
+    return render_table(headers, rows, title="Table 5: Types of heterogeneous nodes")
+
+
+def report_table6() -> str:
+    """Render Table 6 (performance-to-power ratios)."""
+    headers, rows = tab.table6_ppr()
+    return render_table(headers, rows, title="Table 6: Performance-to-power ratio")
+
+
+def report_table7() -> str:
+    """Render Table 7 (single-node energy proportionality)."""
+    headers, rows = tab.table7_single_node()
+    return render_table(headers, rows, title="Table 7: Single-node energy proportionality")
+
+
+def report_table8(*, budget_w: float = 1000.0) -> str:
+    """Render Table 8 (cluster-wide energy proportionality)."""
+    headers, rows = tab.table8_cluster(budget_w=budget_w)
+    return render_table(headers, rows, title="Table 8: Cluster-wide energy proportionality")
+
+
+def report_characterization(workload_name: str, *, seed: int = DEFAULT_SEED) -> str:
+    """Render a workload's measured-vs-true characterization (Table 1 view).
+
+    Runs the measurement pipeline (micro-benchmark power characterization +
+    small-input demand characterization) on the simulated validation rack
+    and tabulates the recovered Table 1 parameters next to the hidden
+    ground truth — the provenance view of what the validated model actually
+    sees.
+    """
+    from repro.hardware.microbench import characterize_node_power
+    from repro.hardware.testbed import validation_testbed
+    from repro.util.rng import RngRegistry
+    from repro.workloads.characterize import characterize_workload
+    from repro.workloads.suite import workload as get_workload
+
+    w = get_workload(workload_name)
+    registry = RngRegistry(seed)
+    testbed = validation_testbed(registry)
+    specs = {
+        g.spec.name: characterize_node_power(
+            testbed.node_of_type(g.spec.name), testbed.meter_for_type(g.spec.name)
+        )
+        for g in testbed.config.groups
+    }
+    nodes = {name: testbed.node_of_type(name) for name in specs}
+    meters = {name: testbed.meter_for_type(name) for name in specs}
+    _, records = characterize_workload(
+        w, nodes, meters, testbed.perf, registry, characterized_specs=specs
+    )
+
+    rows = []
+    for node_name in sorted(records):
+        record = records[node_name]
+        true = w.demand_for(node_name)
+        got = record.demand
+        rows.extend(
+            [
+                (node_name, "cycles_core / op", round(got.core_cycles_per_op, 1), round(true.core_cycles_per_op, 1)),
+                (node_name, "cycles_mem / op", round(got.mem_cycles_per_op, 1), round(true.mem_cycles_per_op, 1)),
+                (node_name, "io_bytes / op", round(got.io_bytes_per_op, 3), round(true.io_bytes_per_op, 3)),
+                (node_name, "CPU activity", round(got.activity.cpu_active, 3), round(true.activity.cpu_active, 3)),
+                (node_name, "P_dyn measured [W]", round(record.measured_dynamic_power_w, 3), "-"),
+            ]
+        )
+    return render_table(
+        ("node", "parameter", "measured", "true"),
+        rows,
+        title=f"Characterization of {workload_name} (paper Table 1 parameters)",
+    )
+
+
+_FIGURES = {
+    "fig2": lambda: fig.figure2_metric_relationships(),
+    "fig5a": lambda: fig.figure5_node_proportionality("EP"),
+    "fig5b": lambda: fig.figure5_node_proportionality("x264"),
+    "fig5c": lambda: fig.figure5_node_proportionality("blackscholes"),
+    "fig6a": lambda: fig.figure6_node_ppr("EP"),
+    "fig6b": lambda: fig.figure6_node_ppr("x264"),
+    "fig6c": lambda: fig.figure6_node_ppr("blackscholes"),
+    "fig7": lambda: fig.figure7_cluster_proportionality("EP"),
+    "fig8": lambda: fig.figure8_cluster_ppr("EP"),
+    "fig9": lambda: fig.figure9_pareto_proportionality("EP"),
+    "fig10": lambda: fig.figure9_pareto_proportionality("x264"),
+    "fig11": lambda: fig.figure11_response_time("EP"),
+    "fig12": lambda: fig.figure11_response_time("x264"),
+}
+
+
+def report_figure(name: str) -> str:
+    """Render one figure by its paper identifier (e.g. ``"fig9"``)."""
+    try:
+        figure = _FIGURES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {name!r}; available: {sorted(_FIGURES)}"
+        ) from None
+    return render_figure(figure)

@@ -1,0 +1,33 @@
+"""Extensions beyond the paper's core analysis.
+
+* :mod:`repro.extensions.knightshift` — the server-level-heterogeneity
+  baseline the paper's Related Work positions itself against.
+* :mod:`repro.extensions.dynamic` — per-interval configuration adaptation
+  over diurnal load (the complement the paper's introduction defers to).
+"""
+
+from repro.extensions.dynamic import (
+    AdaptationInterval,
+    AdaptationResult,
+    diurnal_trace,
+    scaled_candidates,
+    simulate_adaptation,
+)
+from repro.extensions.knightshift import (
+    KnightShiftCluster,
+    KnightShiftCurve,
+    compare_with_internode,
+    knightshift_node,
+)
+
+__all__ = [
+    "KnightShiftCurve",
+    "KnightShiftCluster",
+    "knightshift_node",
+    "compare_with_internode",
+    "diurnal_trace",
+    "scaled_candidates",
+    "AdaptationInterval",
+    "AdaptationResult",
+    "simulate_adaptation",
+]

@@ -1,0 +1,229 @@
+"""KnightShift-style server-level heterogeneity baseline.
+
+The paper positions inter-node heterogeneity against *server-level*
+heterogeneity à la KnightShift (Wong & Annavaram, MICRO 2012 / HPCA 2014):
+each brawny server gets a low-power companion ("knight") that serves the
+load alone below a capability threshold while the primary sleeps.  This
+module implements that baseline so the paper's approach has the comparator
+its Related Work section discusses:
+
+* :class:`KnightShiftCurve` — the two-regime power-vs-utilisation curve of
+  a knight-equipped server (strongly sub-linear at low load);
+* :func:`knightshift_node` — a K10 primary paired with an A9-class knight;
+* :func:`compare_with_internode` — cluster-level EPM/PPR comparison of a
+  KnightShift fleet against the paper's inter-node heterogeneous mixes.
+
+The comparison reproduces the related-work tension: KnightShift wins the
+proportionality metrics at low utilisation (its whole point), while the
+paper's inter-node mixes win PPR whenever the wimpy node's
+performance-per-watt beats the brawny node's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.core.metrics import PowerCurve, PPRCurve, ProportionalityReport, analyze_curve
+from repro.core.proportionality import power_curve as internode_power_curve
+from repro.core.proportionality import ppr_curve as internode_ppr_curve
+from repro.errors import ModelError
+from repro.hardware.specs import get_node_spec
+from repro.model.energy_model import power_draw
+from repro.model.time_model import cluster_service_rate
+from repro.workloads.base import Workload
+
+__all__ = [
+    "KnightShiftCurve",
+    "knightshift_node",
+    "KnightShiftCluster",
+    "compare_with_internode",
+]
+
+
+@dataclass(frozen=True)
+class KnightShiftCurve(PowerCurve):
+    """Power curve of a server with a low-power knight companion.
+
+    Below ``knight_capability`` (the fraction of the primary's peak
+    throughput the knight can sustain) the knight serves alone while the
+    primary draws only ``primary_sleep_w``.  Above it, the primary takes
+    over (its usual linear-offset curve) and the idle knight contributes
+    ``knight_idle_w``.
+    """
+
+    primary_idle_w: float
+    primary_peak_w: float
+    knight_idle_w: float
+    knight_peak_w: float
+    knight_capability: float
+    primary_sleep_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.knight_capability < 1.0:
+            raise ModelError(
+                f"knight capability must be in (0, 1), got {self.knight_capability}"
+            )
+        if self.primary_peak_w < self.primary_idle_w or self.knight_peak_w < self.knight_idle_w:
+            raise ModelError("peak power below idle power")
+        if min(self.primary_idle_w, self.knight_idle_w, self.primary_sleep_w) < 0:
+            raise ModelError("negative power")
+
+    @property
+    def idle_w(self) -> float:
+        """Idle draw: knight idling, primary asleep."""
+        return self.knight_idle_w + self.primary_sleep_w
+
+    @property
+    def peak_w(self) -> float:
+        """Peak draw: primary flat out, knight idle (hand-off complete)."""
+        return self.primary_peak_w + self.knight_idle_w
+
+    def power_w(self, utilisation: float) -> float:
+        self._check_u(utilisation)
+        u = utilisation
+        if u <= self.knight_capability:
+            knight_load = u / self.knight_capability
+            return (
+                self.primary_sleep_w
+                + self.knight_idle_w
+                + knight_load * (self.knight_peak_w - self.knight_idle_w)
+            )
+        return self.knight_idle_w + self.primary_idle_w + u * (
+            self.primary_peak_w - self.primary_idle_w
+        )
+
+
+def knightshift_node(
+    workload: Workload,
+    *,
+    primary: str = "K10",
+    knight: str = "A9",
+    sleep_w: float = 0.5,
+) -> KnightShiftCurve:
+    """A knight-equipped brawny server for one workload.
+
+    The knight's capability is the ratio of the two nodes' peak service
+    rates for this workload; both per-workload peak powers come from the
+    calibrated model.
+    """
+    primary_cfg = ClusterConfiguration.mix({primary: 1})
+    knight_cfg = ClusterConfiguration.mix({knight: 1})
+    primary_draw = power_draw(workload, primary_cfg)
+    knight_draw = power_draw(workload, knight_cfg)
+    capability = cluster_service_rate(workload, knight_cfg) / cluster_service_rate(
+        workload, primary_cfg
+    )
+    if capability >= 1.0:
+        raise ModelError(
+            f"{knight} outperforms {primary} on {workload.name}; a knight must be "
+            f"the slower node"
+        )
+    return KnightShiftCurve(
+        primary_idle_w=primary_draw.idle_w,
+        primary_peak_w=primary_draw.peak_w,
+        knight_idle_w=knight_draw.idle_w,
+        knight_peak_w=knight_draw.peak_w,
+        knight_capability=capability,
+        primary_sleep_w=sleep_w,
+    )
+
+
+@dataclass(frozen=True)
+class KnightShiftCluster:
+    """A fleet of identical knight-equipped servers.
+
+    Load is spread evenly, so the fleet's normalised power curve equals the
+    single server's and its throughput scales with the server count.
+    """
+
+    curve: KnightShiftCurve
+    n_servers: int
+    peak_throughput_per_server: float
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ModelError("need at least one server")
+        if self.peak_throughput_per_server <= 0:
+            raise ModelError("peak throughput must be positive")
+
+    def power_w(self, utilisation: float) -> float:
+        """Fleet power at a fleet-wide utilisation."""
+        return self.n_servers * self.curve.power_w(utilisation)
+
+    def report(self) -> ProportionalityReport:
+        """Table 3 metrics of the fleet (same as the single server's)."""
+        return analyze_curve(self.curve)
+
+    def ppr_curve(self) -> PPRCurve:
+        """Fleet PPR curve (knight hand-off included in the power side)."""
+        return PPRCurve(
+            peak_throughput_ops_per_s=self.n_servers * self.peak_throughput_per_server,
+            power_curve=_ScaledCurve(self.curve, self.n_servers),
+        )
+
+
+@dataclass(frozen=True)
+class _ScaledCurve(PowerCurve):
+    """A power curve multiplied by a constant server count."""
+
+    base: PowerCurve
+    factor: int
+
+    @property
+    def idle_w(self) -> float:
+        return self.factor * self.base.idle_w
+
+    @property
+    def peak_w(self) -> float:
+        return self.factor * self.base.peak_w
+
+    def power_w(self, utilisation: float) -> float:
+        return self.factor * self.base.power_w(utilisation)
+
+
+def compare_with_internode(
+    workload: Workload,
+    *,
+    budget_w: float = 1000.0,
+    internode_mix: Dict[str, int] | None = None,
+    grid: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 1.0),
+) -> Dict[str, Dict[str, float]]:
+    """EPM and PPR of a KnightShift fleet vs an inter-node mix.
+
+    Both fleets fit the same nameplate budget: the KnightShift fleet packs
+    as many knight-equipped K10s as the budget allows (primary + knight
+    nameplates), the inter-node mix defaults to the paper's 64 A9 : 8 K10.
+    Returns per-approach {"epm": ..., "ppr@u": ...} entries.
+    """
+    curve = knightshift_node(workload)
+    primary_spec = get_node_spec("K10")
+    knight_spec = get_node_spec("A9")
+    per_server_nameplate = (
+        primary_spec.power.nameplate_peak_w + knight_spec.power.nameplate_peak_w
+    )
+    n_servers = int(budget_w // per_server_nameplate)
+    if n_servers <= 0:
+        raise ModelError(f"budget {budget_w} W fits no knight-equipped server")
+    fleet = KnightShiftCluster(
+        curve=curve,
+        n_servers=n_servers,
+        peak_throughput_per_server=cluster_service_rate(
+            workload, ClusterConfiguration.mix({"K10": 1})
+        ),
+    )
+
+    mix = ClusterConfiguration.mix(internode_mix or {"A9": 64, "K10": 8})
+    mix_report = analyze_curve(internode_power_curve(workload, mix))
+    mix_ppr = internode_ppr_curve(workload, mix)
+    fleet_ppr = fleet.ppr_curve()
+
+    out: Dict[str, Dict[str, float]] = {
+        "knightshift": {"epm": fleet.report().epm, "servers": float(n_servers)},
+        "internode": {"epm": mix_report.epm, "servers": float(mix.total_nodes)},
+    }
+    for u in grid:
+        out["knightshift"][f"ppr@{u:.0%}"] = fleet_ppr.ppr_at(u)
+        out["internode"][f"ppr@{u:.0%}"] = mix_ppr.ppr_at(u)
+    return out

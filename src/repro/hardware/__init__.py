@@ -1,0 +1,59 @@
+"""Simulated testbed building blocks: node specs, node executor, perf-style
+counters, power meter and micro-benchmarks.
+
+The composite :class:`~repro.hardware.testbed.Testbed` (a measurable
+cluster) lives in :mod:`repro.hardware.testbed` and is intentionally NOT
+re-exported here: it depends on :mod:`repro.cluster`, which itself builds on
+the node specs below, and importing it from this package ``__init__`` would
+create an import cycle.
+"""
+
+from repro.hardware.counters import CounterSet, PerfReader
+from repro.hardware.microbench import (
+    MeasuredPowerProfile,
+    cache_antagonist_trace,
+    characterize_node_power,
+    cpu_max_trace,
+    net_blast_trace,
+    run_microbenchmark,
+)
+from repro.hardware.node import NodeRunResult, NonIdealities, SimulatedNode
+from repro.hardware.powermeter import EnergyMeasurement, PowerMeter, PowerSegment
+from repro.hardware.specs import (
+    A9_NODES_PER_SWITCH,
+    SWITCH_PEAK_W,
+    DvfsPoint,
+    NodeSpec,
+    PowerProfile,
+    a9,
+    get_node_spec,
+    k10,
+    register_node_spec,
+    registered_node_names,
+)
+__all__ = [
+    "NodeSpec",
+    "PowerProfile",
+    "DvfsPoint",
+    "a9",
+    "k10",
+    "get_node_spec",
+    "register_node_spec",
+    "registered_node_names",
+    "SWITCH_PEAK_W",
+    "A9_NODES_PER_SWITCH",
+    "SimulatedNode",
+    "NodeRunResult",
+    "NonIdealities",
+    "PowerMeter",
+    "PowerSegment",
+    "EnergyMeasurement",
+    "CounterSet",
+    "PerfReader",
+    "cpu_max_trace",
+    "cache_antagonist_trace",
+    "net_blast_trace",
+    "run_microbenchmark",
+    "characterize_node_power",
+    "MeasuredPowerProfile",
+]

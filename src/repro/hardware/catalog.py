@@ -1,0 +1,113 @@
+"""Extended node catalog — beyond the paper's two validated types.
+
+The paper validates on A9 and K10 but states its model covers "most modern
+multicore systems, including high-performance Intel Xeon or AMD Opteron
+systems, and low-power ARM Cortex-A8, Cortex-A9, Cortex-A15 and Cortex-A57
+systems" (Section II-D).  This catalog provides two additional node types
+so degree-3+ heterogeneity studies have materials to work with:
+
+* ``A15`` — an ARM Cortex-A15 class board: the A9's big sibling (~3x the
+  throughput at ~2.4x the power);
+* ``XEOND`` — a Xeon-D class micro-server: a mid-range x86 between the
+  wimpy boards and the full-size Opteron.
+
+These are NOT part of the paper's testbed: their parameters are plausible
+extrapolations (flagged as such), intended for the library's extension
+analyses (``workloads/extended.py`` solves matching demand vectors).  They
+are not auto-registered; call :func:`register_catalog` to opt in.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.specs import (
+    DvfsPoint,
+    NodeSpec,
+    PowerProfile,
+    register_node_spec,
+)
+from repro.util.units import GB, GBPS, GHZ, KB, MB
+
+__all__ = ["a15", "xeond", "register_catalog", "CATALOG_NAMES"]
+
+#: Names of the catalog's extension node types.
+CATALOG_NAMES: Tuple[str, ...] = ("A15", "XEOND")
+
+
+def a15() -> NodeSpec:
+    """ARM Cortex-A15 class node (extension; not in the paper's testbed)."""
+    return NodeSpec(
+        name="A15",
+        isa="ARMv7-A",
+        cores=4,
+        dvfs=(
+            DvfsPoint(0.6 * GHZ, 0.90),
+            DvfsPoint(1.0 * GHZ, 1.00),
+            DvfsPoint(1.4 * GHZ, 1.10),
+            DvfsPoint(1.8 * GHZ, 1.20),
+            DvfsPoint(2.0 * GHZ, 1.25),
+        ),
+        l1d_bytes_per_core=32 * KB,
+        l2_bytes=2 * MB,
+        l3_bytes=None,
+        memory_bytes=2 * GB,
+        memory_type="DDR3L",
+        nic_bps=1 * GBPS,
+        mem_bandwidth_bytes_per_s=6.0e9,
+        power=PowerProfile(
+            idle_w=3.2,
+            cpu_active_w=6.5,
+            cpu_stall_w=3.0,
+            memory_w=1.1,
+            network_w=0.8,
+            nameplate_peak_w=12.0,
+        ),
+    )
+
+
+def xeond() -> NodeSpec:
+    """Xeon-D class micro-server node (extension; not in the paper's
+    testbed)."""
+    return NodeSpec(
+        name="XEOND",
+        isa="x86_64",
+        cores=8,
+        dvfs=(
+            DvfsPoint(1.2 * GHZ, 0.90),
+            DvfsPoint(1.7 * GHZ, 1.00),
+            DvfsPoint(2.2 * GHZ, 1.10),
+        ),
+        l1d_bytes_per_core=32 * KB,
+        l2_bytes=256 * KB,  # per core
+        l3_bytes=12 * MB,
+        memory_bytes=32 * GB,
+        memory_type="DDR4",
+        nic_bps=10 * GBPS,
+        mem_bandwidth_bytes_per_s=2.0e10,
+        power=PowerProfile(
+            idle_w=18.0,
+            cpu_active_w=16.0,
+            cpu_stall_w=7.5,
+            memory_w=3.5,
+            network_w=2.0,
+            nameplate_peak_w=40.0,
+        ),
+    )
+
+
+def register_catalog(*, overwrite: bool = False) -> Tuple[NodeSpec, ...]:
+    """Register every catalog node type; returns the registered specs.
+
+    Idempotent when ``overwrite`` is true; otherwise re-registration of an
+    already-present name raises, like :func:`register_node_spec` itself.
+    """
+    specs = (a15(), xeond())
+    for spec in specs:
+        try:
+            register_node_spec(spec, overwrite=overwrite)
+        except ConfigurationError:
+            if not overwrite:
+                raise
+    return specs

@@ -1,0 +1,122 @@
+"""Hardware event counters — the testbed's ``perf`` stand-in.
+
+The paper reads hardware event counters through ``perf`` to characterize
+workloads (Section II-B).  The simulated node tracks its true executed
+cycles; this module models the measurement interface on top: a counter
+snapshot with small per-counter multiplicative jitter (sampling skid,
+multiplexing error) and the derived quantities characterization consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+__all__ = ["CounterSet", "PerfReader"]
+
+#: Nominal instructions per work cycle used to report an instruction count
+#: (superscalar cores of this class sustain ~1.5 IPC on datacenter codes).
+_NOMINAL_IPC = 1.5
+
+#: Core cycles lost per last-level cache miss, used to report a miss count
+#: from stall cycles (order of a DRAM access at ~1 GHz).
+_MISS_PENALTY_CYCLES = 80.0
+
+
+@dataclass(frozen=True)
+class CounterSet:
+    """One snapshot of hardware event counters for a run."""
+
+    cycles: float
+    stall_cycles: float
+    instructions: float
+    llc_misses: float
+    net_bytes: float
+    elapsed_s: float
+
+    def __post_init__(self) -> None:
+        for name in ("cycles", "stall_cycles", "instructions", "llc_misses", "net_bytes"):
+            if getattr(self, name) < 0:
+                raise MeasurementError(f"counter {name} must be non-negative")
+        if self.elapsed_s <= 0:
+            raise MeasurementError("elapsed time must be positive")
+
+    @property
+    def work_cycles(self) -> float:
+        """Cycles spent executing (total minus stalls)."""
+        return max(0.0, self.cycles - self.stall_cycles)
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of cycles stalled on memory."""
+        return self.stall_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per (total) cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mem_cycles_estimate(self) -> float:
+        """Total memory-access cycles estimated from the LLC miss count.
+
+        Out-of-order cores hide memory time behind work cycles, so the
+        stall counter only sees the *unhidden* part; characterization
+        recovers the full memory demand from the miss count times the
+        nominal miss penalty (the same conversion ``perf``-based tooling
+        applies).
+        """
+        return self.llc_misses * _MISS_PENALTY_CYCLES
+
+
+class PerfReader:
+    """Reads counters off a simulated run with realistic jitter.
+
+    ``perf`` counter reads carry small errors from event multiplexing and
+    counter skid; a fixed relative jitter per counter models that.
+    """
+
+    def __init__(self, rng: np.random.Generator, *, jitter_frac: float = 0.003) -> None:
+        if jitter_frac < 0:
+            raise MeasurementError(f"jitter must be non-negative, got {jitter_frac}")
+        self._rng = rng
+        self._jitter = float(jitter_frac)
+
+    def _jittered(self, value: float) -> float:
+        if value == 0.0 or self._jitter == 0.0:
+            return value
+        return max(0.0, value * (1.0 + float(self._rng.normal(0.0, self._jitter))))
+
+    def read(
+        self,
+        *,
+        work_cycles: float,
+        stall_cycles: float,
+        mem_cycles: float,
+        net_bytes: float,
+        elapsed_s: float,
+    ) -> CounterSet:
+        """Produce a jittered counter snapshot from true run quantities."""
+        work = self._jittered(work_cycles)
+        stall = self._jittered(stall_cycles)
+        return CounterSet(
+            cycles=work + stall,
+            stall_cycles=stall,
+            instructions=self._jittered(work_cycles * _NOMINAL_IPC),
+            llc_misses=self._jittered(mem_cycles / _MISS_PENALTY_CYCLES),
+            net_bytes=self._jittered(net_bytes),
+            elapsed_s=elapsed_s,
+        )
+
+    def read_run(self, result) -> CounterSet:
+        """Counter snapshot of a :class:`~repro.hardware.node.NodeRunResult`."""
+        return self.read(
+            work_cycles=result.true_work_cycles,
+            stall_cycles=result.true_stall_cycles,
+            mem_cycles=result.true_mem_cycles,
+            net_bytes=result.true_net_bytes,
+            elapsed_s=result.elapsed_s,
+        )

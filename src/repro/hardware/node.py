@@ -1,0 +1,235 @@
+"""The simulated node — executes job traces with second-order effects.
+
+This is the testbed's "physical machine".  It executes a
+:class:`~repro.workloads.generator.JobTrace` phase by phase using the same
+resource-overlap semantics as the analytic model (core/memory overlap
+out-of-order, I/O overlaps via DMA) **plus** the effects the model ignores:
+
+* per-job dispatch overhead (OS scheduling, process startup),
+* per-phase synchronisation overhead,
+* cold-cache warm-up inflating the first phase's memory stalls,
+* a frequency-invariant fraction of memory time (DRAM latency does not
+  scale with the core clock, while the model's ``cycles_mem / f`` says it
+  does).
+
+The run produces a piecewise-constant power profile (for the simulated
+power meter) and true cycle totals (for the simulated ``perf`` reader).
+The gap between this execution and the flat analytic model is what the
+paper's Table 4 validation quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.hardware.powermeter import PowerSegment
+from repro.hardware.specs import NodeSpec
+from repro.workloads.base import ActivityFactors
+from repro.workloads.generator import JobTrace
+
+__all__ = ["NonIdealities", "NodeRunResult", "SimulatedNode"]
+
+
+@dataclass(frozen=True)
+class NonIdealities:
+    """Magnitudes of the second-order effects the analytic model omits."""
+
+    #: Fixed per-job dispatch/startup cost (seconds).
+    dispatch_overhead_s: float = 2e-3
+    #: Relative jitter of the dispatch cost.
+    dispatch_jitter_frac: float = 0.25
+    #: Per-phase synchronisation cost (seconds).
+    phase_overhead_s: float = 2e-4
+    #: Extra memory stalls in the first (cold-cache) phase.
+    warmup_mem_factor: float = 0.15
+    #: Fraction of memory time that does NOT scale with core frequency.
+    mem_freq_invariant_frac: float = 0.2
+    #: Relative power draw (over idle) during dispatch/sync overheads.
+    overhead_power_frac: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "dispatch_overhead_s",
+            "dispatch_jitter_frac",
+            "phase_overhead_s",
+            "warmup_mem_factor",
+            "overhead_power_frac",
+        ):
+            if getattr(self, name) < 0:
+                raise MeasurementError(f"{name} must be non-negative")
+        if not 0.0 <= self.mem_freq_invariant_frac <= 1.0:
+            raise MeasurementError("mem_freq_invariant_frac must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class NodeRunResult:
+    """Ground truth of one job-trace execution on one node."""
+
+    node_type: str
+    cores: int
+    frequency_hz: float
+    elapsed_s: float
+    segments: Tuple[PowerSegment, ...]
+    true_work_cycles: float
+    true_stall_cycles: float
+    true_mem_cycles: float
+    true_net_bytes: float
+
+    @property
+    def true_energy_j(self) -> float:
+        """Exact energy of the run (what a perfect meter would read)."""
+        return sum(s.duration_s * s.power_w for s in self.segments)
+
+    @property
+    def mean_power_w(self) -> float:
+        """Exact average power over the run."""
+        return self.true_energy_j / self.elapsed_s
+
+
+class SimulatedNode:
+    """One node of the simulated testbed.
+
+    Parameters
+    ----------
+    spec:
+        The node type being simulated (its power profile is the hidden
+        ground truth; experiments should *characterize* it through the
+        micro-benchmarks rather than read it).
+    rng:
+        Random stream for the run-to-run jitter.
+    nonideal:
+        Magnitudes of the modelled second-order effects.
+    """
+
+    def __init__(
+        self,
+        spec: NodeSpec,
+        rng: np.random.Generator,
+        nonideal: NonIdealities = NonIdealities(),
+    ) -> None:
+        self._spec = spec
+        self._rng = rng
+        self._nonideal = nonideal
+
+    @property
+    def spec(self) -> NodeSpec:
+        """The simulated node type."""
+        return self._spec
+
+    @property
+    def nonideal(self) -> NonIdealities:
+        """The node's non-ideality magnitudes."""
+        return self._nonideal
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        trace: JobTrace,
+        activity: ActivityFactors,
+        *,
+        cores: Optional[int] = None,
+        frequency_hz: Optional[float] = None,
+        io_service_floor_s_per_op: float = 0.0,
+        cpu_power_drift: float = 0.0,
+    ) -> NodeRunResult:
+        """Execute a job trace and return the ground-truth run record.
+
+        ``activity`` is the workload's true per-component power activity —
+        a property of the running program, carried alongside the trace.
+        ``cpu_power_drift`` scales the CPU power components relative to the
+        characterized activity: full-size inputs shift the instruction mix,
+        and the resulting draw may exceed the micro-benchmark envelope
+        (vector/crypto units draw more than a plain ALU loop), so the drift
+        is applied multiplicatively rather than through the capped
+        :class:`ActivityFactors`.
+        """
+        spec = self._spec
+        c = cores if cores is not None else spec.cores
+        f = frequency_hz if frequency_hz is not None else spec.fmax_hz
+        spec.validate_operating_point(c, f)
+        if trace.node_type != spec.name:
+            raise MeasurementError(
+                f"trace was generated for {trace.node_type!r}, "
+                f"this node is {spec.name!r}"
+            )
+        if cpu_power_drift < -1.0:
+            raise MeasurementError(
+                f"cpu_power_drift must be > -1, got {cpu_power_drift}"
+            )
+        ni = self._nonideal
+        scale = spec.cpu_power_scale(c, f)
+        pw = spec.power
+        drift = 1.0 + cpu_power_drift
+        p_act = pw.cpu_active_w * scale * activity.cpu_active * drift
+        p_stall = pw.cpu_stall_w * scale * activity.cpu_stall * drift
+        p_mem = pw.memory_w * activity.memory
+        p_net = pw.network_w * activity.network
+        p_overhead = pw.idle_w * (1.0 + ni.overhead_power_frac)
+
+        segments: List[PowerSegment] = []
+        dispatch = ni.dispatch_overhead_s
+        if ni.dispatch_jitter_frac:
+            dispatch *= max(0.0, 1.0 + float(self._rng.normal(0.0, ni.dispatch_jitter_frac)))
+        if dispatch > 0:
+            segments.append(PowerSegment(duration_s=dispatch, power_w=p_overhead))
+
+        elapsed = dispatch
+        work_cycles = 0.0
+        stall_cycles = 0.0
+        total_mem_cycles = 0.0
+        net_bytes = 0.0
+        nic_bytes_per_s = spec.nic_bps / 8.0
+        inv = ni.mem_freq_invariant_frac
+
+        for i, phase in enumerate(trace.phases):
+            mem_cycles = phase.mem_cycles * (1.0 + (ni.warmup_mem_factor if i == 0 else 0.0))
+            t_core = phase.core_cycles / (c * f)
+            # Memory time: a share of the stall budget is DRAM latency and
+            # does not contract with the core clock.
+            t_mem = mem_cycles * ((1.0 - inv) / f + inv / spec.fmax_hz)
+            t_io = max(
+                phase.io_bytes / nic_bytes_per_s,
+                phase.ops * io_service_floor_s_per_op,
+            )
+            busy = max(t_core, t_mem, t_io)
+            if busy > 0:
+                t_act = t_core
+                t_stall = max(0.0, t_mem - t_core)
+                avg_power = pw.idle_w + (
+                    p_act * t_act + p_stall * t_stall + p_mem * t_mem + p_net * t_io
+                ) / busy
+                segments.append(PowerSegment(duration_s=busy, power_w=avg_power))
+                elapsed += busy
+                work_cycles += phase.core_cycles
+                stall_cycles += t_stall * f  # stalls observed in core cycles
+                total_mem_cycles += mem_cycles
+                net_bytes += phase.io_bytes
+            if ni.phase_overhead_s > 0:
+                segments.append(
+                    PowerSegment(duration_s=ni.phase_overhead_s, power_w=p_overhead)
+                )
+                elapsed += ni.phase_overhead_s
+
+        return NodeRunResult(
+            node_type=spec.name,
+            cores=c,
+            frequency_hz=f,
+            elapsed_s=elapsed,
+            segments=tuple(segments),
+            true_work_cycles=work_cycles,
+            true_stall_cycles=stall_cycles,
+            true_mem_cycles=total_mem_cycles,
+            true_net_bytes=net_bytes,
+        )
+
+    def idle_segments(self, duration_s: float) -> Tuple[PowerSegment, ...]:
+        """The power profile of this node sitting idle for ``duration_s``."""
+        if duration_s < 0:
+            raise MeasurementError(f"duration must be non-negative, got {duration_s}")
+        if duration_s == 0:
+            return ()
+        return (PowerSegment(duration_s=duration_s, power_w=self._spec.power.idle_w),)

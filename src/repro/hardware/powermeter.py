@@ -1,0 +1,132 @@
+"""Simulated power meter — the testbed's Yokogawa WT210 stand-in.
+
+The paper measures node power and energy with a Yokogawa WT210 (Figure 4).
+This simulation reproduces the instrument's observable behaviour: it samples
+the (piecewise-constant) true power draw at a fixed rate, applies a fixed
+per-instrument gain error plus white readout noise, quantises to the
+display resolution, and integrates samples into energy.  Measurement error
+from this chain is one ingredient of the paper's Table 4 model-vs-measured
+gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+__all__ = ["PowerSegment", "EnergyMeasurement", "PowerMeter"]
+
+
+@dataclass(frozen=True)
+class PowerSegment:
+    """A stretch of constant true power draw."""
+
+    duration_s: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise MeasurementError(f"segment duration must be >= 0, got {self.duration_s}")
+        if self.power_w < 0:
+            raise MeasurementError(f"segment power must be >= 0, got {self.power_w}")
+
+
+@dataclass(frozen=True)
+class EnergyMeasurement:
+    """One integrated measurement."""
+
+    energy_j: float
+    duration_s: float
+    n_samples: int
+
+    @property
+    def mean_power_w(self) -> float:
+        """Average power over the measurement window."""
+        if self.duration_s <= 0:
+            raise MeasurementError("zero-duration measurement has no mean power")
+        return self.energy_j / self.duration_s
+
+
+class PowerMeter:
+    """Sampling power meter with gain error, noise and quantisation.
+
+    Parameters
+    ----------
+    rng:
+        Random stream; the instrument's gain error is drawn once at
+        construction (a real meter's calibration offset is fixed), readout
+        noise is drawn per sample.
+    sample_hz:
+        Sampling rate; the WT210 updates at ~10 Hz.
+    noise_frac:
+        Standard deviation of per-sample multiplicative readout noise.
+    gain_error_frac:
+        Standard deviation of the per-instrument gain error.
+    resolution_w:
+        Display quantisation step.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        sample_hz: float = 10.0,
+        noise_frac: float = 0.01,
+        gain_error_frac: float = 0.01,
+        resolution_w: float = 0.01,
+    ) -> None:
+        if sample_hz <= 0:
+            raise MeasurementError(f"sample rate must be positive, got {sample_hz}")
+        if noise_frac < 0 or gain_error_frac < 0 or resolution_w < 0:
+            raise MeasurementError("noise, gain error and resolution must be >= 0")
+        self._rng = rng
+        self._sample_hz = float(sample_hz)
+        self._noise_frac = float(noise_frac)
+        self._resolution_w = float(resolution_w)
+        self._gain = 1.0 + float(rng.normal(0.0, gain_error_frac)) if gain_error_frac else 1.0
+
+    @property
+    def gain(self) -> float:
+        """The instrument's fixed multiplicative gain error."""
+        return self._gain
+
+    @property
+    def sample_hz(self) -> float:
+        """Sampling rate (Hz)."""
+        return self._sample_hz
+
+    def measure(self, segments: Sequence[PowerSegment]) -> EnergyMeasurement:
+        """Sample a piecewise-constant power profile and integrate to energy.
+
+        Samples are taken at the midpoints of uniform intervals covering the
+        profile.  At least one sample is always taken, so very short runs
+        are measured (coarsely), like on the real instrument.
+        """
+        segs = [s for s in segments if s.duration_s > 0]
+        if not segs:
+            raise MeasurementError("cannot measure an empty power profile")
+        durations = np.asarray([s.duration_s for s in segs])
+        powers = np.asarray([s.power_w for s in segs])
+        total = float(durations.sum())
+        edges = np.concatenate([[0.0], np.cumsum(durations)])
+
+        n = max(1, int(np.ceil(total * self._sample_hz)))
+        ts = (np.arange(n) + 0.5) * (total / n)
+        idx = np.minimum(np.searchsorted(edges, ts, side="right") - 1, len(segs) - 1)
+        true = powers[idx]
+        noisy = true * self._gain
+        if self._noise_frac:
+            noisy = noisy * (1.0 + self._rng.normal(0.0, self._noise_frac, size=n))
+        if self._resolution_w:
+            noisy = np.round(noisy / self._resolution_w) * self._resolution_w
+        noisy = np.maximum(noisy, 0.0)
+        energy = float(noisy.mean()) * total
+        return EnergyMeasurement(energy_j=energy, duration_s=total, n_samples=n)
+
+    def measure_constant(self, power_w: float, duration_s: float) -> EnergyMeasurement:
+        """Measure a constant draw for ``duration_s`` seconds."""
+        return self.measure([PowerSegment(duration_s=duration_s, power_w=power_w)])

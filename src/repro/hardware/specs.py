@@ -1,0 +1,296 @@
+"""Node specifications for the simulated testbed.
+
+The paper's Table 5 describes the two node types used for validation:
+
+========== ===================== =====================
+Attribute   A9 (wimpy)            K10 (brawny)
+========== ===================== =====================
+ISA         ARMv7-A               x86_64
+Clock       0.2 - 1.4 GHz         0.8 - 2.1 GHz
+Cores/node  4                     6
+L1 data     32 KB / core          64 KB / core
+L2          1 MB / node           512 KB / core
+L3          --                    6 MB / node
+Memory      1 GB LP-DDR2          8 GB DDR3
+I/O         100 Mbps              1 Gbps
+========== ===================== =====================
+
+Measured powers reported in the text: A9 idles at ~1.8 W with a ~5 W
+nameplate peak; K10 idles at ~45 W with a ~60 W nameplate peak.  The paper's
+footnote 4 counts 5 selectable core frequencies for the ARM node and 3 for
+the AMD node, which fixes the DVFS tables below.
+
+Per-component power ceilings (CPU active, CPU stall, memory, NIC) are the
+quantities the paper measures with micro-benchmarks (Section II-B); the
+values here are the hidden "ground truth" of the simulated testbed and act
+as upper envelopes that per-workload activity factors scale down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.util.units import GB, GBPS, GHZ, KB, MB, MBPS
+
+__all__ = [
+    "DvfsPoint",
+    "PowerProfile",
+    "NodeSpec",
+    "a9",
+    "k10",
+    "get_node_spec",
+    "register_node_spec",
+    "registered_node_names",
+    "SWITCH_PEAK_W",
+    "A9_NODES_PER_SWITCH",
+]
+
+#: Peak power drawn by one Ethernet switch connecting wimpy nodes
+#: (paper footnote 3: "about 20W peak power drawn by the switch").
+SWITCH_PEAK_W = 20.0
+
+#: Number of A9 nodes sharing one switch.  The paper's 8:1 substitution ratio
+#: (one 60 W K10 is worth 8 A9 at 5 W plus a 20 W switch share) implies one
+#: switch per 8 wimpy nodes: 8 x 5 W + 20 W = 60 W.
+A9_NODES_PER_SWITCH = 8
+
+
+@dataclass(frozen=True)
+class DvfsPoint:
+    """One operating point of a node's frequency/voltage table."""
+
+    frequency_hz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(f"frequency must be positive, got {self.frequency_hz}")
+        if self.voltage_v <= 0:
+            raise ConfigurationError(f"voltage must be positive, got {self.voltage_v}")
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Per-component power envelope of a node (watts).
+
+    ``cpu_active_w`` / ``cpu_stall_w`` are the powers drawn with *all* cores
+    executing work cycles / stalling, at the maximum DVFS point; lower core
+    counts and frequencies scale them via :meth:`NodeSpec.cpu_power_scale`.
+    ``memory_w`` and ``network_w`` are the active-subsystem powers.
+    ``idle_w`` is the whole-node idle power; ``nameplate_peak_w`` is the
+    headline peak the paper uses for power-budget arithmetic.
+    """
+
+    idle_w: float
+    cpu_active_w: float
+    cpu_stall_w: float
+    memory_w: float
+    network_w: float
+    nameplate_peak_w: float
+
+    def __post_init__(self) -> None:
+        for name in ("idle_w", "cpu_active_w", "cpu_stall_w", "memory_w", "network_w", "nameplate_peak_w"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.cpu_stall_w > self.cpu_active_w:
+            raise ConfigurationError("stall power cannot exceed active power")
+        if self.nameplate_peak_w < self.idle_w:
+            raise ConfigurationError("nameplate peak below idle power")
+
+    @property
+    def dynamic_ceiling_w(self) -> float:
+        """Maximum possible dynamic power (all subsystems fully active)."""
+        return self.cpu_active_w + self.memory_w + self.network_w
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one node type of the heterogeneous cluster."""
+
+    name: str
+    isa: str
+    cores: int
+    dvfs: Tuple[DvfsPoint, ...]
+    l1d_bytes_per_core: int
+    l2_bytes: int
+    l3_bytes: Optional[int]
+    memory_bytes: int
+    memory_type: str
+    nic_bps: float
+    mem_bandwidth_bytes_per_s: float
+    power: PowerProfile
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"node {self.name!r}: cores must be positive")
+        if not self.dvfs:
+            raise ConfigurationError(f"node {self.name!r}: empty DVFS table")
+        freqs = [p.frequency_hz for p in self.dvfs]
+        if sorted(freqs) != freqs or len(set(freqs)) != len(freqs):
+            raise ConfigurationError(
+                f"node {self.name!r}: DVFS table must be strictly increasing in frequency"
+            )
+        if self.nic_bps <= 0 or self.mem_bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError(f"node {self.name!r}: bandwidths must be positive")
+
+    # ------------------------------------------------------------------
+    # DVFS helpers
+    # ------------------------------------------------------------------
+    @property
+    def fmin_hz(self) -> float:
+        """Lowest selectable core frequency."""
+        return self.dvfs[0].frequency_hz
+
+    @property
+    def fmax_hz(self) -> float:
+        """Highest selectable core frequency."""
+        return self.dvfs[-1].frequency_hz
+
+    @property
+    def frequencies_hz(self) -> Tuple[float, ...]:
+        """All selectable core frequencies, ascending."""
+        return tuple(p.frequency_hz for p in self.dvfs)
+
+    def voltage_at(self, frequency_hz: float) -> float:
+        """Supply voltage at an exact DVFS frequency.
+
+        Frequencies are discrete operating points; asking for a frequency not
+        in the table is a configuration error, not something to interpolate
+        silently.
+        """
+        for point in self.dvfs:
+            if math.isclose(point.frequency_hz, frequency_hz, rel_tol=1e-9):
+                return point.voltage_v
+        raise ConfigurationError(
+            f"node {self.name!r} has no DVFS point at {frequency_hz / GHZ:.3f} GHz; "
+            f"available: {[f / GHZ for f in self.frequencies_hz]} GHz"
+        )
+
+    def validate_operating_point(self, cores: int, frequency_hz: float) -> None:
+        """Raise :class:`ConfigurationError` unless (cores, f) is selectable."""
+        if not 1 <= cores <= self.cores:
+            raise ConfigurationError(
+                f"node {self.name!r}: active cores must be in [1, {self.cores}], got {cores}"
+            )
+        self.voltage_at(frequency_hz)  # raises if not a DVFS point
+
+    def cpu_power_scale(self, cores: int, frequency_hz: float) -> float:
+        """CMOS dynamic-power scale factor relative to (all cores, fmax).
+
+        Dynamic power scales with the number of switching cores and with
+        f * V(f)^2 (activity * frequency * voltage squared), the standard
+        CMOS model the paper's DVFS analysis relies on.  Returns a value in
+        (0, 1].
+        """
+        self.validate_operating_point(cores, frequency_hz)
+        v = self.voltage_at(frequency_hz)
+        vmax = self.dvfs[-1].voltage_v
+        per_core = (frequency_hz * v * v) / (self.fmax_hz * vmax * vmax)
+        return (cores / self.cores) * per_core
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} ({self.isa}, {self.cores} cores, "
+            f"{self.fmin_hz / GHZ:.1f}-{self.fmax_hz / GHZ:.1f} GHz, "
+            f"idle {self.power.idle_w:.1f} W, peak {self.power.nameplate_peak_w:.0f} W)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Built-in node types (paper Table 5)
+# ----------------------------------------------------------------------
+def a9() -> NodeSpec:
+    """The wimpy node: ARM Cortex-A9 (paper Table 5, left column)."""
+    return NodeSpec(
+        name="A9",
+        isa="ARMv7-A",
+        cores=4,
+        dvfs=(
+            DvfsPoint(0.2 * GHZ, 0.85),
+            DvfsPoint(0.5 * GHZ, 0.95),
+            DvfsPoint(0.8 * GHZ, 1.05),
+            DvfsPoint(1.1 * GHZ, 1.15),
+            DvfsPoint(1.4 * GHZ, 1.25),
+        ),
+        l1d_bytes_per_core=32 * KB,
+        l2_bytes=1 * MB,
+        l3_bytes=None,
+        memory_bytes=1 * GB,
+        memory_type="LP-DDR2",
+        nic_bps=100 * MBPS,
+        mem_bandwidth_bytes_per_s=1.5e9,
+        power=PowerProfile(
+            idle_w=1.8,
+            cpu_active_w=2.4,
+            cpu_stall_w=1.1,
+            memory_w=0.55,
+            network_w=0.35,
+            nameplate_peak_w=5.0,
+        ),
+    )
+
+
+def k10() -> NodeSpec:
+    """The brawny node: AMD Opteron K10 (paper Table 5, right column)."""
+    return NodeSpec(
+        name="K10",
+        isa="x86_64",
+        cores=6,
+        dvfs=(
+            DvfsPoint(0.8 * GHZ, 0.95),
+            DvfsPoint(1.5 * GHZ, 1.15),
+            DvfsPoint(2.1 * GHZ, 1.30),
+        ),
+        l1d_bytes_per_core=64 * KB,
+        l2_bytes=512 * KB,  # per core; total L2 = cores * l2_bytes for K10
+        l3_bytes=6 * MB,
+        memory_bytes=8 * GB,
+        memory_type="DDR3",
+        nic_bps=1 * GBPS,
+        mem_bandwidth_bytes_per_s=1.05e10,
+        power=PowerProfile(
+            idle_w=45.0,
+            cpu_active_w=33.0,
+            cpu_stall_w=15.0,
+            memory_w=6.0,
+            network_w=2.5,
+            nameplate_peak_w=60.0,
+        ),
+    )
+
+
+_REGISTRY: Dict[str, NodeSpec] = {}
+
+
+def register_node_spec(spec: NodeSpec, *, overwrite: bool = False) -> None:
+    """Register a node type for lookup by name.
+
+    User-defined node types (e.g. an ARM Cortex-A15 or a Xeon) participate in
+    every analysis exactly like the built-ins once registered.
+    """
+    if spec.name in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"node type {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+
+
+def get_node_spec(name: str) -> NodeSpec:
+    """Look up a registered node type by name (case-sensitive)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown node type {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_node_names() -> Tuple[str, ...]:
+    """Names of all registered node types, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+# Built-ins are always available.
+register_node_spec(a9())
+register_node_spec(k10())

@@ -1,0 +1,235 @@
+"""The simulated validation testbed (paper Figure 4).
+
+Wires simulated nodes, power meters and ``perf`` readers into a cluster that
+can *measure* a job end to end: generate per-node ground-truth traces, run
+them, time the makespan, and integrate every node's power draw (including
+the idle tail of nodes that finish early — a real cluster keeps burning idle
+power until the last straggler completes).
+
+The paper's validation setup is a small heterogeneous cluster of wimpy and
+brawny nodes attached to a Yokogawa WT210; :func:`validation_testbed` builds
+the equivalent simulated rack (4 x A9 + 1 x K10).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.errors import MeasurementError
+from repro.hardware.counters import CounterSet, PerfReader
+from repro.hardware.node import NodeRunResult, NonIdealities, SimulatedNode
+from repro.hardware.powermeter import PowerMeter
+from repro.util.rng import RngRegistry
+from repro.workloads.base import Workload
+from repro.workloads.generator import generate_trace
+
+__all__ = ["MeasuredJob", "Testbed", "validation_testbed"]
+
+
+@dataclass(frozen=True)
+class MeasuredJob:
+    """End-to-end measurement of one job on the testbed."""
+
+    workload_name: str
+    makespan_s: float
+    energy_j: float
+    node_runs: Tuple[NodeRunResult, ...]
+
+    @property
+    def mean_power_w(self) -> float:
+        """Average cluster power over the job."""
+        return self.energy_j / self.makespan_s
+
+
+class Testbed:
+    """A measurable simulated cluster.
+
+    (``__test__ = False`` keeps pytest from collecting this class when it is
+    imported into test modules — the name merely starts with "Test".)
+
+    Parameters
+    ----------
+    config:
+        Node composition and operating points.  All testbed mechanics (how
+        many simulated nodes, at which (c, f)) come from here.
+    registry:
+        Deterministic RNG registry; every node, meter and perf reader gets
+        its own named stream.
+    nonideal:
+        Second-order-effect magnitudes shared by all nodes.
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(
+        self,
+        config: ClusterConfiguration,
+        registry: RngRegistry,
+        *,
+        nonideal: NonIdealities = NonIdealities(),
+    ) -> None:
+        self._config = config
+        self._registry = registry
+        self._nodes: List[Tuple[SimulatedNode, int, float]] = []  # node, cores, f
+        self._meters: List[PowerMeter] = []
+        for group in config.groups:
+            for i in range(group.count):
+                name = f"{group.spec.name}/{i}"
+                self._nodes.append(
+                    (
+                        SimulatedNode(
+                            group.spec,
+                            registry.stream(f"node/{name}"),
+                            nonideal,
+                        ),
+                        group.cores,
+                        group.frequency_hz,
+                    )
+                )
+                self._meters.append(PowerMeter(registry.stream(f"meter/{name}")))
+        self._perf = PerfReader(registry.stream("perf"))
+
+    @property
+    def config(self) -> ClusterConfiguration:
+        """The cluster composition this testbed simulates."""
+        return self._config
+
+    @property
+    def n_nodes(self) -> int:
+        """Total simulated node count."""
+        return len(self._nodes)
+
+    def node_of_type(self, node_type: str) -> SimulatedNode:
+        """One representative node of a type (for characterization runs)."""
+        for node, _, _ in self._nodes:
+            if node.spec.name == node_type:
+                return node
+        raise MeasurementError(f"testbed has no {node_type!r} node")
+
+    def meter_for_type(self, node_type: str) -> PowerMeter:
+        """The power meter attached to the representative node of a type."""
+        for (node, _, _), meter in zip(self._nodes, self._meters):
+            if node.spec.name == node_type:
+                return meter
+        raise MeasurementError(f"testbed has no {node_type!r} node")
+
+    @property
+    def perf(self) -> PerfReader:
+        """The testbed's counter reader."""
+        return self._perf
+
+    # ------------------------------------------------------------------
+    def run_job(
+        self,
+        workload: Workload,
+        *,
+        work_split: Mapping[str, float],
+        job_index: int = 0,
+    ) -> MeasuredJob:
+        """Execute one job and measure makespan and total energy.
+
+        ``work_split`` maps node type to the fraction of the job's ops
+        assigned to EACH NODE of that type (the static mapping a deployer
+        derives from the model's execution rates).  Fractions must sum to 1
+        over all nodes.
+        """
+        total = sum(
+            work_split.get(g.spec.name, 0.0) * g.count for g in self._config.groups
+        )
+        if abs(total - 1.0) > 1e-6:
+            raise MeasurementError(
+                f"work split covers {total:.6f} of the job, expected 1.0"
+            )
+        # Full-size inputs shift the CPU power draw relative to the small
+        # characterization input (see ACTIVITY_SIZE_DRIFT); the drift follows
+        # the same saturating working-set step as the cycle demands.
+        from repro.workloads.suite import ACTIVITY_SIZE_DRIFT
+
+        small = workload.small_input_ops()
+        step = (
+            min(1.0, math.log(workload.ops_per_job / small) / math.log(16.0))
+            if workload.ops_per_job > small
+            else 0.0
+        )
+        drift = ACTIVITY_SIZE_DRIFT.get(workload.name, 0.0) * step
+
+        run_by_slot: Dict[int, NodeRunResult] = {}
+        for idx, (node, cores, freq) in enumerate(self._nodes):
+            spec_name = node.spec.name
+            share = work_split.get(spec_name, 0.0)
+            if share <= 0.0:
+                continue
+            demand = workload.demand_for(spec_name)
+            trace = generate_trace(
+                workload,
+                spec_name,
+                workload.ops_per_job * share,
+                self._registry.stream(f"trace/{spec_name}/{idx}/{job_index}"),
+            )
+            run_by_slot[idx] = node.execute(
+                trace,
+                demand.activity,
+                cores=cores,
+                frequency_hz=freq,
+                io_service_floor_s_per_op=demand.io_service_floor_s,
+                cpu_power_drift=drift,
+            )
+        if not run_by_slot:
+            raise MeasurementError("work split assigned no work to any node")
+        runs = list(run_by_slot.values())
+
+        makespan = max(r.elapsed_s for r in runs)
+        energy = 0.0
+        for idx, (node, _, _) in enumerate(self._nodes):
+            meter = self._meters[idx]
+            run = run_by_slot.get(idx)
+            if run is None:
+                # Unused node idles for the whole job.
+                energy += meter.measure(node.idle_segments(makespan)).energy_j
+                continue
+            segments = list(run.segments)
+            segments.extend(node.idle_segments(makespan - run.elapsed_s))
+            energy += meter.measure(segments).energy_j
+        return MeasuredJob(
+            workload_name=workload.name,
+            makespan_s=makespan,
+            energy_j=energy,
+            node_runs=tuple(runs),
+        )
+
+    def read_counters(self, run: NodeRunResult) -> CounterSet:
+        """Counter snapshot of a run on this testbed."""
+        return self._perf.read_run(run)
+
+    def measure_idle(self, duration_s: float) -> float:
+        """Metered energy of the whole rack idling for ``duration_s`` (J).
+
+        Zero duration measures nothing and reads zero.
+        """
+        if duration_s < 0:
+            raise MeasurementError(f"duration must be non-negative, got {duration_s}")
+        if duration_s == 0:
+            return 0.0
+        return sum(
+            meter.measure(node.idle_segments(duration_s)).energy_j
+            for (node, _, _), meter in zip(self._nodes, self._meters)
+        )
+
+
+def validation_testbed(
+    registry: RngRegistry,
+    *,
+    n_wimpy: int = 4,
+    n_brawny: int = 1,
+    nonideal: NonIdealities = NonIdealities(),
+) -> Testbed:
+    """The paper's Figure 4 validation rack: wimpy board farm + one brawny.
+
+    Node counts are parameters so tests can validate across different
+    heterogeneous configurations, as the paper reports doing.
+    """
+    config = ClusterConfiguration.mix({"A9": n_wimpy, "K10": n_brawny})
+    return Testbed(config, registry, nonideal=nonideal)

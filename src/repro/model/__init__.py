@@ -1,0 +1,55 @@
+"""The measurement-driven time-energy model (paper Table 2)."""
+
+from repro.model.energy_model import (
+    EffectivePowers,
+    GroupEnergy,
+    JobEnergy,
+    PowerDraw,
+    dynamic_power_w,
+    effective_powers,
+    energy_of_execution,
+    job_energy,
+    peak_power_w,
+    power_draw,
+)
+from repro.model.vectorized import (
+    MixEvaluation,
+    evaluate_mix_grid,
+    per_node_constants,
+)
+from repro.model.time_model import (
+    GroupExecution,
+    JobExecution,
+    OpTimeBreakdown,
+    cluster_service_rate,
+    execution_time,
+    group_service_rate,
+    job_execution,
+    node_service_rate,
+    op_time_breakdown,
+)
+
+__all__ = [
+    "OpTimeBreakdown",
+    "GroupExecution",
+    "JobExecution",
+    "op_time_breakdown",
+    "node_service_rate",
+    "group_service_rate",
+    "cluster_service_rate",
+    "job_execution",
+    "execution_time",
+    "EffectivePowers",
+    "GroupEnergy",
+    "JobEnergy",
+    "PowerDraw",
+    "effective_powers",
+    "energy_of_execution",
+    "job_energy",
+    "dynamic_power_w",
+    "peak_power_w",
+    "power_draw",
+    "MixEvaluation",
+    "evaluate_mix_grid",
+    "per_node_constants",
+]

@@ -1,0 +1,207 @@
+"""Energy model (paper Table 2, "Energy Performance").
+
+For one job on a configuration, per node of type *i* (all times from the
+time model, powers from the node's characterized component envelope scaled by
+the workload's activity factors and the DVFS operating point):
+
+* ``E_CPU  = P_CPU,act * T_act + P_CPU,stall * T_stall``
+* ``E_mem  = P_mem * T_mem``
+* ``E_I/O  = P_I/O * T_I/O``
+* ``E_idle = T_i * P_idle``      (baseline power runs for the whole job)
+
+and ``E_P = sum_i n_i * (E_CPU + E_mem + E_I/O + E_idle)``.
+
+The *dynamic* energy (everything except the idle baseline) divided by the
+execution time gives the configuration's dynamic power draw while serving the
+workload; idle plus dynamic is the workload peak power that normalises every
+energy-proportionality curve in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cluster.configuration import ClusterConfiguration, NodeGroup
+from repro.errors import ModelError
+from repro.model.time_model import JobExecution, job_execution
+from repro.workloads.base import Workload, WorkloadDemand
+
+__all__ = [
+    "EffectivePowers",
+    "GroupEnergy",
+    "JobEnergy",
+    "effective_powers",
+    "job_energy",
+    "energy_of_execution",
+    "dynamic_power_w",
+    "peak_power_w",
+    "PowerDraw",
+    "power_draw",
+]
+
+
+@dataclass(frozen=True)
+class EffectivePowers:
+    """Per-component power draw of one node running one workload (watts).
+
+    Component envelopes come from the node's micro-benchmark
+    characterization; the workload's activity factors and the CMOS DVFS
+    scale factor (for CPU components) reduce them to the effective draw.
+    """
+
+    cpu_active_w: float
+    cpu_stall_w: float
+    memory_w: float
+    network_w: float
+    idle_w: float
+
+
+def effective_powers(group: NodeGroup, demand: WorkloadDemand) -> EffectivePowers:
+    """Effective per-component powers for one node of ``group``."""
+    spec = group.spec
+    scale = spec.cpu_power_scale(group.cores, group.frequency_hz)
+    act = demand.activity
+    return EffectivePowers(
+        cpu_active_w=spec.power.cpu_active_w * scale * act.cpu_active,
+        cpu_stall_w=spec.power.cpu_stall_w * scale * act.cpu_stall,
+        memory_w=spec.power.memory_w * act.memory,
+        network_w=spec.power.network_w * act.network,
+        idle_w=spec.power.idle_w,
+    )
+
+
+@dataclass(frozen=True)
+class GroupEnergy:
+    """Energy of one job's share on ONE node of a group (joules)."""
+
+    group: NodeGroup
+    e_cpu_act: float
+    e_cpu_stall: float
+    e_mem: float
+    e_io: float
+    e_idle: float
+
+    @property
+    def e_cpu(self) -> float:
+        """CPU energy: active plus stall components."""
+        return self.e_cpu_act + self.e_cpu_stall
+
+    @property
+    def e_dynamic(self) -> float:
+        """Dynamic (above-idle) energy per node."""
+        return self.e_cpu + self.e_mem + self.e_io
+
+    @property
+    def e_total(self) -> float:
+        """Total per-node energy including the idle baseline."""
+        return self.e_dynamic + self.e_idle
+
+
+@dataclass(frozen=True)
+class JobEnergy:
+    """The energy model's full output for one job on one configuration."""
+
+    workload_name: str
+    config: ClusterConfiguration
+    tp_s: float
+    groups: Tuple[GroupEnergy, ...]
+
+    def group_for(self, node_name: str) -> GroupEnergy:
+        """Per-node energy detail for one node type."""
+        for ge in self.groups:
+            if ge.group.spec.name == node_name:
+                return ge
+        raise ModelError(f"job energy has no group {node_name!r}")
+
+    @property
+    def e_dynamic_j(self) -> float:
+        """Cluster-wide dynamic energy for the job (joules)."""
+        return sum(ge.e_dynamic * ge.group.count for ge in self.groups)
+
+    @property
+    def e_idle_j(self) -> float:
+        """Cluster-wide idle-baseline energy during the job (joules)."""
+        return sum(ge.e_idle * ge.group.count for ge in self.groups)
+
+    @property
+    def e_total_j(self) -> float:
+        """Cluster-wide total energy for the job, E_P (joules)."""
+        return self.e_dynamic_j + self.e_idle_j
+
+    @property
+    def dynamic_power_w(self) -> float:
+        """Average dynamic power while the job runs (watts)."""
+        return self.e_dynamic_j / self.tp_s
+
+    @property
+    def peak_power_w(self) -> float:
+        """Cluster power while serving the workload: idle + dynamic (watts).
+
+        This is the per-workload peak that normalises the proportionality
+        curves (distinct from the nameplate peak used for power budgets).
+        """
+        return self.dynamic_power_w + sum(ge.group.idle_w for ge in self.groups)
+
+
+def energy_of_execution(workload: Workload, execution: JobExecution) -> JobEnergy:
+    """Apply the energy model to a time-model result."""
+    groups = []
+    for ge in execution.groups:
+        demand = workload.demand_for(ge.group.spec)
+        powers = effective_powers(ge.group, demand)
+        groups.append(
+            GroupEnergy(
+                group=ge.group,
+                e_cpu_act=powers.cpu_active_w * ge.t_act,
+                e_cpu_stall=powers.cpu_stall_w * ge.t_stall,
+                e_mem=powers.memory_w * ge.t_mem,
+                e_io=powers.network_w * ge.t_io,
+                e_idle=powers.idle_w * execution.tp_s,
+            )
+        )
+    return JobEnergy(
+        workload_name=workload.name,
+        config=execution.config,
+        tp_s=execution.tp_s,
+        groups=tuple(groups),
+    )
+
+
+def job_energy(workload: Workload, config: ClusterConfiguration) -> JobEnergy:
+    """Run time and energy models for one job of ``workload`` on ``config``."""
+    return energy_of_execution(workload, job_execution(workload, config))
+
+
+def dynamic_power_w(workload: Workload, config: ClusterConfiguration) -> float:
+    """Average dynamic power while serving ``workload`` (watts)."""
+    return job_energy(workload, config).dynamic_power_w
+
+
+def peak_power_w(workload: Workload, config: ClusterConfiguration) -> float:
+    """Per-workload peak power: idle + dynamic (watts)."""
+    return job_energy(workload, config).peak_power_w
+
+
+@dataclass(frozen=True)
+class PowerDraw:
+    """Summary power characteristics of (workload, configuration)."""
+
+    idle_w: float
+    dynamic_w: float
+
+    @property
+    def peak_w(self) -> float:
+        """Per-workload peak power (watts)."""
+        return self.idle_w + self.dynamic_w
+
+    @property
+    def ipr(self) -> float:
+        """Idle-to-peak power ratio of this (workload, configuration)."""
+        return self.idle_w / self.peak_w
+
+
+def power_draw(workload: Workload, config: ClusterConfiguration) -> PowerDraw:
+    """Idle and dynamic power of ``config`` serving ``workload``."""
+    je = job_energy(workload, config)
+    return PowerDraw(idle_w=config.idle_w, dynamic_w=je.dynamic_power_w)

@@ -1,0 +1,224 @@
+"""Execution-time model (paper Table 2, "Time Performance").
+
+For a scale-out job of ``O`` work units on a heterogeneous configuration the
+paper divides work across node types by *matching execution rates* so that
+all nodes finish at the same time (Section II-D).  Per work unit on one node
+of type *i* running ``c`` cores at frequency ``f``:
+
+* core time        ``t_core = cycles_core / (c * f)``
+* memory time      ``t_mem  = cycles_mem / f``
+* CPU time         ``t_CPU  = max(t_core, t_mem)``   (out-of-order overlap)
+* I/O time         ``t_I/O  = max(bytes/bandwidth, 1/lambda_I/O)``
+* service time     ``t_op   = max(t_CPU, t_I/O)``    (DMA overlaps I/O)
+
+A node's service *rate* is ``1 / t_op`` ops/s; a group of ``n`` identical
+nodes serves ``n / t_op`` ops/s; the job's execution time is
+``T_P = O / sum_i(n_i / t_op,i)``, and every node is busy for the whole
+``T_P`` (the paper's equal-finish work division).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.cluster.configuration import ClusterConfiguration, NodeGroup
+from repro.errors import ModelError
+from repro.workloads.base import Workload, WorkloadDemand
+
+__all__ = [
+    "OpTimeBreakdown",
+    "GroupExecution",
+    "JobExecution",
+    "op_time_breakdown",
+    "node_service_rate",
+    "group_service_rate",
+    "cluster_service_rate",
+    "job_execution",
+    "execution_time",
+]
+
+
+@dataclass(frozen=True)
+class OpTimeBreakdown:
+    """Per-work-unit service time components on one node (seconds)."""
+
+    t_core: float
+    t_mem: float
+    t_io: float
+
+    @property
+    def t_cpu(self) -> float:
+        """CPU time: core and memory overlap out-of-order (max, not sum)."""
+        return max(self.t_core, self.t_mem)
+
+    @property
+    def t_op(self) -> float:
+        """Total service time per op: CPU and DMA-driven I/O overlap."""
+        return max(self.t_cpu, self.t_io)
+
+    @property
+    def t_act(self) -> float:
+        """Time the CPU spends executing work cycles."""
+        return self.t_core
+
+    @property
+    def t_stall(self) -> float:
+        """Time the CPU spends stalled on memory beyond the core overlap."""
+        return max(0.0, self.t_mem - self.t_core)
+
+    @property
+    def bottleneck(self) -> str:
+        """Which resource bounds this op: ``"core"``, ``"mem"`` or ``"io"``."""
+        if self.t_io >= self.t_cpu:
+            return "io"
+        return "core" if self.t_core >= self.t_mem else "mem"
+
+
+def op_time_breakdown(
+    group: NodeGroup, demand: WorkloadDemand
+) -> OpTimeBreakdown:
+    """Per-op time components for one node of ``group`` under ``demand``."""
+    spec = group.spec
+    f = group.frequency_hz
+    t_core = demand.core_cycles_per_op / (group.cores * f)
+    t_mem = demand.mem_cycles_per_op / f
+    nic_bytes_per_s = spec.nic_bps / 8.0
+    t_io = max(demand.io_bytes_per_op / nic_bytes_per_s, demand.io_service_floor_s)
+    return OpTimeBreakdown(t_core=t_core, t_mem=t_mem, t_io=t_io)
+
+
+def node_service_rate(group: NodeGroup, demand: WorkloadDemand) -> float:
+    """Service rate of ONE node of ``group``: work units per second."""
+    t_op = op_time_breakdown(group, demand).t_op
+    if t_op <= 0:
+        raise ModelError(
+            f"non-positive per-op time for {group.spec.name}; demand vector is degenerate"
+        )
+    return 1.0 / t_op
+
+
+def group_service_rate(group: NodeGroup, demand: WorkloadDemand) -> float:
+    """Aggregate service rate of the whole group (ops/s)."""
+    return group.count * node_service_rate(group, demand)
+
+
+def cluster_service_rate(workload: Workload, config: ClusterConfiguration) -> float:
+    """Aggregate service rate of a configuration for ``workload`` (ops/s).
+
+    This is the configuration's peak throughput — the numerator of the
+    cluster-wide PPR at 100% utilisation.
+    """
+    return sum(
+        group_service_rate(g, workload.demand_for(g.spec)) for g in config.groups
+    )
+
+
+@dataclass(frozen=True)
+class GroupExecution:
+    """Execution of one job's share on one node group.
+
+    All times are for ONE node of the group; ``ops_per_node`` is that node's
+    share of the job's work.
+    """
+
+    group: NodeGroup
+    ops_per_node: float
+    per_op: OpTimeBreakdown
+
+    @property
+    def t_core(self) -> float:
+        """Total core-active time per node (seconds)."""
+        return self.ops_per_node * self.per_op.t_core
+
+    @property
+    def t_mem(self) -> float:
+        """Total memory time per node (seconds)."""
+        return self.ops_per_node * self.per_op.t_mem
+
+    @property
+    def t_io(self) -> float:
+        """Total network I/O time per node (seconds)."""
+        return self.ops_per_node * self.per_op.t_io
+
+    @property
+    def t_act(self) -> float:
+        """Total CPU work-cycle time per node (seconds)."""
+        return self.ops_per_node * self.per_op.t_act
+
+    @property
+    def t_stall(self) -> float:
+        """Total CPU stall time per node (seconds)."""
+        return self.ops_per_node * self.per_op.t_stall
+
+    @property
+    def busy_time(self) -> float:
+        """Wall-clock busy time of the node for this job (seconds)."""
+        return self.ops_per_node * self.per_op.t_op
+
+
+@dataclass(frozen=True)
+class JobExecution:
+    """The time model's full output for one job on one configuration."""
+
+    workload_name: str
+    config: ClusterConfiguration
+    ops_total: float
+    tp_s: float
+    groups: Tuple[GroupExecution, ...]
+
+    def group_for(self, node_name: str) -> GroupExecution:
+        """Per-group execution detail for one node type."""
+        for ge in self.groups:
+            if ge.group.spec.name == node_name:
+                return ge
+        raise ModelError(f"job execution has no group {node_name!r}")
+
+    @property
+    def throughput_ops_per_s(self) -> float:
+        """Job-level throughput: ops per second of execution."""
+        return self.ops_total / self.tp_s
+
+    def work_share(self, node_name: str) -> float:
+        """Fraction of the job's ops served by one node type."""
+        ge = self.group_for(node_name)
+        return ge.ops_per_node * ge.group.count / self.ops_total
+
+
+def job_execution(workload: Workload, config: ClusterConfiguration) -> JobExecution:
+    """Run the time model for one job of ``workload`` on ``config``.
+
+    Work is split so all nodes finish together: node of type *i* gets
+    ``r_i * T_P`` ops where ``r_i`` is its service rate.
+    """
+    if workload.ops_per_job <= 0:
+        raise ModelError(f"workload {workload.name!r} has no work")
+    breakdowns: Dict[str, OpTimeBreakdown] = {}
+    total_rate = 0.0
+    for g in config.groups:
+        demand = workload.demand_for(g.spec)
+        per_op = op_time_breakdown(g, demand)
+        breakdowns[g.spec.name] = per_op
+        total_rate += g.count / per_op.t_op
+
+    tp = workload.ops_per_job / total_rate
+    groups = tuple(
+        GroupExecution(
+            group=g,
+            ops_per_node=tp / breakdowns[g.spec.name].t_op,
+            per_op=breakdowns[g.spec.name],
+        )
+        for g in config.groups
+    )
+    return JobExecution(
+        workload_name=workload.name,
+        config=config,
+        ops_total=workload.ops_per_job,
+        tp_s=tp,
+        groups=groups,
+    )
+
+
+def execution_time(workload: Workload, config: ClusterConfiguration) -> float:
+    """Shorthand for the job execution time T_P (seconds)."""
+    return job_execution(workload, config).tp_s

@@ -1,0 +1,29 @@
+"""Queueing substrate: the paper's M/D/1 utilisation model, analytic
+companions (M/M/1, M/G/1) and a discrete-event FIFO simulator."""
+
+from repro.queueing.arrivals import (
+    ArrivalProcess,
+    BatchArrivals,
+    DeterministicArrivals,
+    PoissonArrivals,
+)
+from repro.queueing.des import QueueSimulator, SimulationResult
+from repro.queueing.forkjoin import ForkJoinResult, simulate_fork_join
+from repro.queueing.md1 import MD1Queue
+from repro.queueing.mdc import MDCQueue
+from repro.queueing.mg1 import MG1Queue, MM1Queue
+
+__all__ = [
+    "MD1Queue",
+    "MDCQueue",
+    "MM1Queue",
+    "MG1Queue",
+    "QueueSimulator",
+    "SimulationResult",
+    "ForkJoinResult",
+    "simulate_fork_join",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "BatchArrivals",
+]

@@ -1,0 +1,133 @@
+"""Fork-join dispatch simulation — the scale-out job structure, explicitly.
+
+The paper's M/D/1 dispatcher abstracts a cluster-wide parallel job as ONE
+deterministic service.  Physically (its Figure 3), each job forks into one
+chunk per leaf node and joins when the slowest chunk finishes.  With the
+paper's equal-finish work division and perfectly regular programs the two
+views coincide: every chunk takes exactly T_P, all per-node queues see the
+same arrivals, and the join adds nothing.
+
+Real programs are not perfectly regular — the testbed's phase traces carry
+per-phase noise (``TRACE_VARIABILITY``) — and under fork-join that noise
+becomes a *straggler penalty*: the job waits for max of n noisy chunk
+times, which grows with the node count.  This simulator quantifies that
+penalty, i.e. how far the paper's single-server abstraction can be trusted
+for irregular workloads on wide clusters.
+
+Chunk times are lognormal around the job's T_P with coefficient of
+variation ``cv``; each node serves its chunks FIFO; a job's response is
+``max_i(completion_i) - arrival``.  ``cv = 0`` reduces exactly to M/D/1,
+which the tests pin against the analytic solution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueueingError
+from repro.util.stats import SummaryStats, summarize
+
+__all__ = ["ForkJoinResult", "simulate_fork_join"]
+
+
+@dataclass(frozen=True)
+class ForkJoinResult:
+    """Output of one fork-join simulation run."""
+
+    arrivals: np.ndarray
+    responses: np.ndarray
+    n_nodes: int
+    chunk_time_s: float
+    cv: float
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of simulated jobs."""
+        return int(len(self.arrivals))
+
+    def response_stats(self) -> SummaryStats:
+        """Summary statistics of the job responses."""
+        return summarize(self.responses)
+
+    @property
+    def p95_response_s(self) -> float:
+        """95th-percentile job response time."""
+        return float(np.percentile(self.responses, 95))
+
+    @property
+    def straggler_factor(self) -> float:
+        """Mean response relative to the noise-free chunk time.
+
+        1.0 means the single-server abstraction is exact; the excess is the
+        combined queueing + straggler penalty.
+        """
+        return float(self.responses.mean() / self.chunk_time_s)
+
+
+def simulate_fork_join(
+    *,
+    arrival_rate: float,
+    chunk_time_s: float,
+    n_nodes: int,
+    cv: float = 0.0,
+    n_jobs: int = 10_000,
+    rng: np.random.Generator,
+) -> ForkJoinResult:
+    """Simulate Poisson job arrivals forking over ``n_nodes`` FIFO queues.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson job arrival rate (jobs/s).  Stability requires
+        ``arrival_rate * chunk_time_s < 1`` — every node serves one chunk
+        of every job, so each node is itself loaded at the job rate.
+    chunk_time_s:
+        Mean per-node chunk service time (the model's T_P under equal-finish
+        division).
+    cv:
+        Coefficient of variation of per-chunk service times (lognormal);
+        0 gives deterministic chunks and reduces the system to M/D/1.
+    """
+    if chunk_time_s <= 0:
+        raise QueueingError(f"chunk time must be positive, got {chunk_time_s}")
+    if n_nodes <= 0:
+        raise QueueingError(f"n_nodes must be positive, got {n_nodes}")
+    if cv < 0:
+        raise QueueingError(f"cv must be non-negative, got {cv}")
+    if n_jobs <= 0:
+        raise QueueingError(f"n_jobs must be positive, got {n_jobs}")
+    if arrival_rate <= 0:
+        raise QueueingError(f"arrival rate must be positive, got {arrival_rate}")
+    if arrival_rate * chunk_time_s >= 1.0:
+        raise QueueingError(
+            f"unstable fork-join: per-node load {arrival_rate * chunk_time_s:.3f} >= 1"
+        )
+
+    gaps = rng.exponential(1.0 / arrival_rate, size=n_jobs)
+    arrivals = np.cumsum(gaps)
+
+    if cv > 0:
+        sigma = math.sqrt(math.log(1.0 + cv * cv))
+        mu = math.log(chunk_time_s) - 0.5 * sigma * sigma
+        services = rng.lognormal(mean=mu, sigma=sigma, size=(n_jobs, n_nodes))
+    else:
+        services = np.full((n_jobs, n_nodes), chunk_time_s)
+
+    # Per-node FIFO recursion, vectorised across nodes; the join is the
+    # row-wise maximum of completions.
+    free_at = np.zeros(n_nodes)
+    responses = np.empty(n_jobs)
+    for j in range(n_jobs):
+        start = np.maximum(free_at, arrivals[j])
+        free_at = start + services[j]
+        responses[j] = free_at.max() - arrivals[j]
+    return ForkJoinResult(
+        arrivals=arrivals,
+        responses=responses,
+        n_nodes=n_nodes,
+        chunk_time_s=chunk_time_s,
+        cv=cv,
+    )

@@ -1,0 +1,161 @@
+"""Analytic M/M/1 and M/G/1 queues.
+
+The paper commits to deterministic service (M/D/1).  These companions serve
+two purposes: (i) M/M/1 has closed-form waiting and response distributions,
+giving an independent sanity bound in tests (deterministic service waits are
+stochastically smaller than exponential ones at equal utilisation); and (ii)
+the M/G/1 Pollaczek-Khinchine means let users explore how service-time
+variability would shift the paper's mean-delay conclusions — one of the
+ablations DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import QueueingError
+__all__ = ["MM1Queue", "MG1Queue"]
+
+
+class MM1Queue:
+    """M/M/1 queue: Poisson arrivals, exponential service."""
+
+    def __init__(self, arrival_rate: float, mean_service_time_s: float) -> None:
+        if mean_service_time_s <= 0:
+            raise QueueingError(f"service time must be positive, got {mean_service_time_s}")
+        if arrival_rate < 0:
+            raise QueueingError(f"arrival rate must be non-negative, got {arrival_rate}")
+        if arrival_rate * mean_service_time_s >= 1.0:
+            raise QueueingError(
+                f"unstable queue: rho = {arrival_rate * mean_service_time_s:.4f} >= 1"
+            )
+        self._lambda = float(arrival_rate)
+        self._s = float(mean_service_time_s)
+
+    @classmethod
+    def from_utilisation(cls, utilisation: float, mean_service_time_s: float) -> "MM1Queue":
+        """Build the M/M/1 queue achieving a target utilisation."""
+        if not 0.0 <= utilisation < 1.0:
+            raise QueueingError(f"utilisation must be in [0, 1), got {utilisation}")
+        return cls(utilisation / mean_service_time_s, mean_service_time_s)
+
+    @property
+    def arrival_rate(self) -> float:
+        """Poisson arrival rate (jobs/s)."""
+        return self._lambda
+
+    @property
+    def mean_service_time_s(self) -> float:
+        """Mean (exponential) service time (seconds)."""
+        return self._s
+
+    @property
+    def utilisation(self) -> float:
+        """Server utilisation rho."""
+        return self._lambda * self._s
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Mean queueing delay rho*S/(1-rho)."""
+        rho = self.utilisation
+        return rho * self._s / (1.0 - rho)
+
+    @property
+    def mean_response_s(self) -> float:
+        """Mean response time S/(1-rho)."""
+        return self._s / (1.0 - self.utilisation)
+
+    def wait_cdf(self, x: float) -> float:
+        """P(W <= x) = 1 - rho * exp(-(mu - lambda) x)."""
+        if x < 0:
+            return 0.0
+        mu = 1.0 / self._s
+        return 1.0 - self.utilisation * math.exp(-(mu - self._lambda) * x)
+
+    def response_cdf(self, t: float) -> float:
+        """P(R <= t): response time is exponential with rate mu - lambda."""
+        if t < 0:
+            return 0.0
+        mu = 1.0 / self._s
+        return 1.0 - math.exp(-(mu - self._lambda) * t)
+
+    def response_percentile(self, q: float) -> float:
+        """Closed-form response-time percentile."""
+        if not 0.0 <= q < 100.0:
+            raise QueueingError(f"percentile must be in [0, 100), got {q}")
+        mu = 1.0 / self._s
+        return -math.log(1.0 - q / 100.0) / (mu - self._lambda)
+
+    def wait_percentile(self, q: float) -> float:
+        """Waiting-time percentile (0 below the atom at zero, else closed form)."""
+        if not 0.0 <= q < 100.0:
+            raise QueueingError(f"percentile must be in [0, 100), got {q}")
+        target = q / 100.0
+        if target <= 1.0 - self.utilisation:
+            return 0.0
+        mu = 1.0 / self._s
+        return -math.log((1.0 - target) / self.utilisation) / (mu - self._lambda)
+
+
+class MG1Queue:
+    """M/G/1 queue characterised by mean service time and its SCV.
+
+    The squared coefficient of variation (SCV) interpolates between the
+    paper's M/D/1 (SCV = 0) and M/M/1 (SCV = 1).  Means come from the
+    Pollaczek-Khinchine formula; full distributions are not available in
+    closed form for general service, so percentile queries are delegated to
+    the caller (use :class:`~repro.queueing.des.QueueSimulator`).
+    """
+
+    def __init__(
+        self, arrival_rate: float, mean_service_time_s: float, scv: float
+    ) -> None:
+        if mean_service_time_s <= 0:
+            raise QueueingError(f"service time must be positive, got {mean_service_time_s}")
+        if arrival_rate < 0:
+            raise QueueingError(f"arrival rate must be non-negative, got {arrival_rate}")
+        if scv < 0:
+            raise QueueingError(f"SCV must be non-negative, got {scv}")
+        if arrival_rate * mean_service_time_s >= 1.0:
+            raise QueueingError(
+                f"unstable queue: rho = {arrival_rate * mean_service_time_s:.4f} >= 1"
+            )
+        self._lambda = float(arrival_rate)
+        self._s = float(mean_service_time_s)
+        self._scv = float(scv)
+
+    @property
+    def arrival_rate(self) -> float:
+        """Poisson arrival rate (jobs/s)."""
+        return self._lambda
+
+    @property
+    def mean_service_time_s(self) -> float:
+        """Mean service time (seconds)."""
+        return self._s
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation of the service time."""
+        return self._scv
+
+    @property
+    def utilisation(self) -> float:
+        """Server utilisation rho."""
+        return self._lambda * self._s
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Pollaczek-Khinchine mean delay rho*S*(1+SCV) / (2(1-rho))."""
+        rho = self.utilisation
+        return rho * self._s * (1.0 + self._scv) / (2.0 * (1.0 - rho))
+
+    @property
+    def mean_response_s(self) -> float:
+        """Mean response time E[W] + S."""
+        return self.mean_wait_s + self._s
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean number waiting (Little's law)."""
+        return self._lambda * self.mean_wait_s

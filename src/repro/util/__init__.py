@@ -1,0 +1,38 @@
+"""Shared utilities: units, deterministic RNG streams, numerics, statistics,
+and plain-text table rendering."""
+
+from repro.util.numerics import (
+    bisect_increasing,
+    clamp,
+    is_monotone_nondecreasing,
+    linspace_utilisation,
+    logspace_utilisation,
+    relative_error_pct,
+    signed_relative_error_pct,
+    trapezoid,
+)
+from repro.util.rng import DEFAULT_SEED, RngRegistry, stable_hash32
+from repro.util.stats import SummaryStats, mape, p95, percentile, summarize
+from repro.util.tables import format_number, render_kv, render_table
+
+__all__ = [
+    "DEFAULT_SEED",
+    "RngRegistry",
+    "stable_hash32",
+    "trapezoid",
+    "relative_error_pct",
+    "signed_relative_error_pct",
+    "bisect_increasing",
+    "clamp",
+    "linspace_utilisation",
+    "logspace_utilisation",
+    "is_monotone_nondecreasing",
+    "percentile",
+    "p95",
+    "SummaryStats",
+    "summarize",
+    "mape",
+    "render_table",
+    "render_kv",
+    "format_number",
+]

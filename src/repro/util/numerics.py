@@ -1,0 +1,139 @@
+"""Numerical helpers shared across the library.
+
+These routines back the energy-proportionality integrals (EPM), the queueing
+CDF inversions (95th-percentile response times) and the validation error
+metrics.  They are deliberately small, pure functions so they can be
+property-tested in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "trapezoid",
+    "relative_error_pct",
+    "signed_relative_error_pct",
+    "bisect_increasing",
+    "clamp",
+    "logspace_utilisation",
+    "linspace_utilisation",
+    "is_monotone_nondecreasing",
+]
+
+
+def trapezoid(y: Sequence[float], x: Sequence[float]) -> float:
+    """Trapezoid-rule integral of sampled ``y(x)``.
+
+    Thin wrapper over :func:`numpy.trapezoid` that validates its inputs;
+    the EPM metric is an area ratio and silently integrating mismatched or
+    unsorted grids produces plausible-looking nonsense.
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.ndim != 1 or ya.ndim != 1:
+        raise ValueError("trapezoid expects 1-D arrays")
+    if xa.shape != ya.shape:
+        raise ValueError(f"shape mismatch: x has {xa.shape}, y has {ya.shape}")
+    if xa.size < 2:
+        raise ValueError("need at least two samples to integrate")
+    if np.any(np.diff(xa) <= 0):
+        raise ValueError("x grid must be strictly increasing")
+    return float(np.trapezoid(ya, xa))
+
+
+def relative_error_pct(model: float, measured: float) -> float:
+    """Absolute percentage difference between model and measurement.
+
+    This is the error the paper's Table 4 reports:
+    ``100 * |model - measured| / measured``.
+    """
+    if measured == 0:
+        raise ZeroDivisionError("measured value is zero; relative error undefined")
+    return abs(model - measured) / abs(measured) * 100.0
+
+
+def signed_relative_error_pct(model: float, measured: float) -> float:
+    """Signed percentage difference (positive when the model over-predicts)."""
+    if measured == 0:
+        raise ZeroDivisionError("measured value is zero; relative error undefined")
+    return (model - measured) / abs(measured) * 100.0
+
+
+def bisect_increasing(
+    func: Callable[[float], float],
+    target: float,
+    lo: float,
+    hi: float,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Solve ``func(x) == target`` for a nondecreasing ``func`` on [lo, hi].
+
+    Used to invert queueing CDFs for percentiles.  ``func(lo)`` may exceed
+    ``target`` (returns ``lo``); if ``func(hi) < target`` a ``ValueError`` is
+    raised — callers are expected to grow the bracket themselves because the
+    right scale is problem-specific.
+    """
+    if hi <= lo:
+        raise ValueError(f"invalid bracket [{lo}, {hi}]")
+    flo = func(lo)
+    if flo >= target:
+        return lo
+    fhi = func(hi)
+    if fhi < target:
+        raise ValueError(
+            f"func({hi}) = {fhi} is below target {target}; bracket too small"
+        )
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if func(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tol * max(1.0, abs(hi)):
+            break
+    return 0.5 * (lo + hi)
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` into the closed interval [lo, hi]."""
+    if lo > hi:
+        raise ValueError(f"empty interval [{lo}, {hi}]")
+    return min(max(value, lo), hi)
+
+
+def linspace_utilisation(
+    start: float = 0.1, stop: float = 1.0, num: int = 10
+) -> np.ndarray:
+    """Linearly spaced utilisation grid in (0, 1].
+
+    The paper's single-node plots sample u = 10%, 20%, ..., 100%.
+    """
+    if not (0.0 < start <= stop <= 1.0):
+        raise ValueError("utilisation grid must lie in (0, 1]")
+    return np.linspace(start, stop, num)
+
+
+def logspace_utilisation(
+    start: float = 0.01, stop: float = 1.0, num: int = 25
+) -> np.ndarray:
+    """Log-spaced utilisation grid in (0, 1].
+
+    The paper's cluster-wide plots (Figure 7) use a logarithmic utilisation
+    axis from 1% to 100%.
+    """
+    if not (0.0 < start <= stop <= 1.0):
+        raise ValueError("utilisation grid must lie in (0, 1]")
+    return np.logspace(np.log10(start), np.log10(stop), num)
+
+
+def is_monotone_nondecreasing(values: Sequence[float], *, atol: float = 1e-12) -> bool:
+    """True when ``values`` never decreases by more than ``atol``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2:
+        return True
+    return bool(np.all(np.diff(arr) >= -atol))

@@ -1,0 +1,73 @@
+"""Statistics helpers: percentiles, summaries, and error aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["percentile", "p95", "SummaryStats", "summarize", "mape"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``samples``, linearly interpolated.
+
+    Matches :func:`numpy.percentile` with the default "linear" method, which
+    is also what common latency tooling reports.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(arr, q))
+
+
+def p95(samples: Sequence[float]) -> float:
+    """95th percentile — the paper's response-time statistic."""
+    return percentile(samples, 95.0)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+
+def summarize(samples: Sequence[float]) -> SummaryStats:
+    """Compute a :class:`SummaryStats` for ``samples``."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return SummaryStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        maximum=float(arr.max()),
+    )
+
+
+def mape(model: Sequence[float], measured: Sequence[float]) -> float:
+    """Mean absolute percentage error between model and measured vectors."""
+    m = np.asarray(model, dtype=float)
+    g = np.asarray(measured, dtype=float)
+    if m.shape != g.shape:
+        raise ValueError(f"shape mismatch: {m.shape} vs {g.shape}")
+    if m.size == 0:
+        raise ValueError("empty inputs")
+    if np.any(g == 0):
+        raise ZeroDivisionError("measured vector contains zeros")
+    return float(np.mean(np.abs(m - g) / np.abs(g)) * 100.0)

@@ -1,0 +1,89 @@
+"""Plain-text table rendering.
+
+The benchmark harness regenerates the paper's tables as text.  This module
+renders aligned ASCII tables and simple key/value blocks without any third
+party dependency, so benchmark output remains readable under
+``pytest -s`` and when redirected to a file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["render_table", "render_kv", "format_number"]
+
+
+def format_number(value: object, *, digits: int = 4) -> str:
+    """Format a cell value for table output.
+
+    Floats use a fixed number of significant digits; very large magnitudes
+    switch to thousands separators (the paper prints PPRs like "6,048,057").
+    """
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}" if abs(value) >= 10_000 else str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 10_000:
+            return f"{value:,.0f}"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    digits: int = 4,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Every row must have exactly ``len(headers)`` cells; raising early beats a
+    silently misaligned table in a benchmark log.
+    """
+    header_cells = [str(h) for h in headers]
+    body: list[list[str]] = []
+    for row in rows:
+        cells = [format_number(c, digits=digits) for c in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(header_cells)}: {cells}"
+            )
+        body.append(cells)
+
+    widths = [len(h) for h in header_cells]
+    for cells in body:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(header_cells))
+    lines.append(rule)
+    lines.extend(fmt_row(cells) for cells in body)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Mapping[str, object], *, title: str | None = None) -> str:
+    """Render a mapping as an aligned ``key : value`` block."""
+    if not pairs:
+        return title or ""
+    width = max(len(str(k)) for k in pairs)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for key, val in pairs.items():
+        lines.append(f"{str(key).ljust(width)} : {format_number(val)}")
+    return "\n".join(lines)

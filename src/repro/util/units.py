@@ -1,0 +1,76 @@
+"""Unit constants and conversion helpers.
+
+The library works internally in SI base units: seconds, joules, watts, hertz,
+bytes, and bits-per-second for link rates.  These constants keep calibration
+code readable (``1.4 * GHZ`` instead of ``1.4e9``) and the conversion helpers
+make rendering code explicit about what it prints.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KHZ",
+    "MHZ",
+    "GHZ",
+    "KB",
+    "MB",
+    "GB",
+    "KBPS",
+    "MBPS",
+    "GBPS",
+    "MS",
+    "US",
+    "MINUTE",
+    "HOUR",
+    "to_ms",
+    "to_us",
+    "to_ghz",
+    "to_mbps",
+    "watts_to_milliwatts",
+]
+
+#: Frequency multipliers (Hz).
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+#: Binary byte-size multipliers.
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Link rates (bits per second).
+KBPS = 1e3
+MBPS = 1e6
+GBPS = 1e9
+
+#: Durations (seconds).
+MS = 1e-3
+US = 1e-6
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MS
+
+
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds / US
+
+
+def to_ghz(hertz: float) -> float:
+    """Convert hertz to gigahertz."""
+    return hertz / GHZ
+
+
+def to_mbps(bits_per_second: float) -> float:
+    """Convert bits/s to megabits/s."""
+    return bits_per_second / MBPS
+
+
+def watts_to_milliwatts(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts * 1e3

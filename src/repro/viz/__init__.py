@@ -1,0 +1,6 @@
+"""Figure containers, ASCII rendering and CSV/gnuplot export."""
+
+from repro.viz.ascii import render_figure
+from repro.viz.series import Figure, Series
+
+__all__ = ["Figure", "Series", "render_figure"]

@@ -1,0 +1,136 @@
+"""Data containers for figures: named series + figure metadata + exporters.
+
+matplotlib is not available in the reproduction environment, so figures are
+delivered as data: each benchmark builds a :class:`Figure` (a set of named
+(x, y) series with axis metadata), renders it as an ASCII chart for the
+console, and can export CSV (one column per series) and a gnuplot script
+for offline plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["Series", "Figure"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line of a figure."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __init__(self, label: str, x: Sequence[float], y: Sequence[float]) -> None:
+        xa = np.asarray(x, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        if xa.ndim != 1 or xa.shape != ya.shape:
+            raise ReproError(
+                f"series {label!r}: x and y must be matching 1-D arrays, "
+                f"got {xa.shape} and {ya.shape}"
+            )
+        if xa.size == 0:
+            raise ReproError(f"series {label!r} is empty")
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "x", xa)
+        object.__setattr__(self, "y", ya)
+
+    def __len__(self) -> int:
+        return int(self.x.size)
+
+
+@dataclass
+class Figure:
+    """A figure: titled collection of series with axis metadata."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    series: List[Series] = field(default_factory=list)
+    logx: bool = False
+    logy: bool = False
+
+    def add(self, label: str, x: Sequence[float], y: Sequence[float]) -> "Figure":
+        """Append one series; returns self for chaining."""
+        self.series.append(Series(label, x, y))
+        return self
+
+    def require_series(self, label: str) -> Series:
+        """Look a series up by label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise ReproError(
+            f"figure {self.title!r} has no series {label!r}; "
+            f"available: {[s.label for s in self.series]}"
+        )
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """CSV with one (x, y) column pair per series.
+
+        Series may have different grids, so each gets its own x column;
+        shorter series pad with empty cells.
+        """
+        if not self.series:
+            raise ReproError(f"figure {self.title!r} has no series")
+        buf = io.StringIO()
+        headers = []
+        for s in self.series:
+            headers.append(f"{s.label} [x]")
+            headers.append(f"{s.label} [y]")
+        buf.write(",".join(f'"{h}"' for h in headers) + "\n")
+        n = max(len(s) for s in self.series)
+        for i in range(n):
+            cells = []
+            for s in self.series:
+                if i < len(s):
+                    cells.append(f"{s.x[i]:.10g}")
+                    cells.append(f"{s.y[i]:.10g}")
+                else:
+                    cells.extend(["", ""])
+            buf.write(",".join(cells) + "\n")
+        return buf.getvalue()
+
+    def to_gnuplot(self, data_filename: str = "figure.csv") -> str:
+        """A gnuplot script plotting the figure from its CSV export."""
+        lines = [
+            "set datafile separator ','",
+            f"set title {self.title!r}",
+            f"set xlabel {self.xlabel!r}",
+            f"set ylabel {self.ylabel!r}",
+            "set key outside",
+        ]
+        if self.logx:
+            lines.append("set logscale x")
+        if self.logy:
+            lines.append("set logscale y")
+        plots = []
+        for i, s in enumerate(self.series):
+            xcol = 2 * i + 1
+            ycol = 2 * i + 2
+            plots.append(
+                f"'{data_filename}' using {xcol}:{ycol} with linespoints title {s.label!r}"
+            )
+        lines.append("plot \\\n  " + ", \\\n  ".join(plots))
+        return "\n".join(lines) + "\n"
+
+    def save(self, directory: str | Path, stem: str) -> Tuple[Path, Path]:
+        """Write ``<stem>.csv`` and ``<stem>.gp`` into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        csv_path = directory / f"{stem}.csv"
+        gp_path = directory / f"{stem}.gp"
+        csv_path.write_text(self.to_csv())
+        gp_path.write_text(self.to_gnuplot(csv_path.name))
+        return csv_path, gp_path

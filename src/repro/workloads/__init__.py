@@ -1,0 +1,46 @@
+"""Workloads: demand abstractions, the paper's six calibrated programs,
+trace generation and measurement-driven characterization."""
+
+from repro.workloads.base import ActivityFactors, Workload, WorkloadDemand
+from repro.workloads.calibration import (
+    BottleneckProfile,
+    dynamic_power_target,
+    peak_power_target,
+    solve_demand,
+)
+from repro.workloads.suite import (
+    BOTTLENECK_PROFILES,
+    JOB_SIZES,
+    PAPER_DOMAINS,
+    PAPER_IPR,
+    PAPER_PPR,
+    PAPER_UNITS,
+    PAPER_VALIDATION_ERRORS,
+    PAPER_WORKLOAD_NAMES,
+    TRACE_VARIABILITY,
+    build_workload,
+    paper_workloads,
+    workload,
+)
+
+__all__ = [
+    "ActivityFactors",
+    "Workload",
+    "WorkloadDemand",
+    "BottleneckProfile",
+    "solve_demand",
+    "peak_power_target",
+    "dynamic_power_target",
+    "PAPER_WORKLOAD_NAMES",
+    "PAPER_PPR",
+    "PAPER_IPR",
+    "PAPER_DOMAINS",
+    "PAPER_UNITS",
+    "PAPER_VALIDATION_ERRORS",
+    "TRACE_VARIABILITY",
+    "BOTTLENECK_PROFILES",
+    "JOB_SIZES",
+    "build_workload",
+    "paper_workloads",
+    "workload",
+]

@@ -1,0 +1,173 @@
+"""Workload abstractions: per-node demand vectors and workload definitions.
+
+The paper's methodology (Section II) characterizes each program once per node
+type into a small demand vector — core work cycles, memory stall cycles and
+network I/O volume per unit of work — plus per-component power activity.  The
+time–energy model of Table 2 then predicts execution time and energy for any
+cluster configuration from those vectors.
+
+Work units are program-specific (paper Table 6): EP counts random numbers,
+memcached bytes, x264 frames, blackscholes options, Julius audio samples and
+RSA-2048 signature verifications.  A *job* is a fixed number of work units
+(``ops_per_job``); datacenter load is expressed in jobs (Section II-B's
+M/D/1 model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Tuple
+
+from repro.errors import WorkloadError
+from repro.hardware.specs import NodeSpec
+
+__all__ = ["ActivityFactors", "WorkloadDemand", "Workload"]
+
+
+@dataclass(frozen=True)
+class ActivityFactors:
+    """Per-component power activity of a workload on one node type.
+
+    Each factor is in [0, 1] and scales the node's measured per-component
+    power envelope (:class:`repro.hardware.specs.PowerProfile`).  The paper
+    measures per-workload power directly; these factors are how our
+    calibration reconciles per-workload dynamic power with the node's
+    micro-benchmarked component maxima.
+    """
+
+    cpu_active: float
+    cpu_stall: float
+    memory: float
+    network: float
+
+    def __post_init__(self) -> None:
+        for name in ("cpu_active", "cpu_stall", "memory", "network"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(
+                    f"activity factor {name} must be in [0, 1], got {value}"
+                )
+
+
+@dataclass(frozen=True)
+class WorkloadDemand:
+    """Characterized demand of one workload on one node type.
+
+    Attributes
+    ----------
+    core_cycles_per_op:
+        Total CPU work cycles per work unit, aggregated over all active
+        cores; the time model divides by ``cores * f`` (scale-out workloads
+        parallelize linearly inside a node — paper Section II-D).
+    mem_cycles_per_op:
+        Memory stall cycles per work unit, expressed in core cycles; the time
+        model divides by ``f`` (paper Table 2: T_mem = cycles_mem / f).
+    io_bytes_per_op:
+        Network bytes transferred per work unit (DMA-overlapped with CPU).
+    io_service_floor_s:
+        Per-op I/O service floor, the ``1/lambda_I/O`` term of Table 2: even
+        infinitely fast links cannot beat the device's request service rate.
+    activity:
+        Per-component power activity factors.
+    """
+
+    core_cycles_per_op: float
+    mem_cycles_per_op: float
+    io_bytes_per_op: float
+    activity: ActivityFactors
+    io_service_floor_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.core_cycles_per_op < 0 or self.mem_cycles_per_op < 0:
+            raise WorkloadError("cycle demands must be non-negative")
+        if self.core_cycles_per_op == 0 and self.mem_cycles_per_op == 0 and self.io_bytes_per_op == 0:
+            raise WorkloadError("demand vector is empty: no core, memory or I/O work")
+        if self.io_bytes_per_op < 0 or self.io_service_floor_s < 0:
+            raise WorkloadError("I/O demands must be non-negative")
+
+    def scaled(self, factor: float) -> "WorkloadDemand":
+        """Return a demand vector with all per-op volumes scaled.
+
+        Used to derive perturbed/synthetic workloads in sensitivity studies;
+        activity factors are intensities, not volumes, and stay unchanged.
+        """
+        if factor <= 0:
+            raise WorkloadError(f"scale factor must be positive, got {factor}")
+        return replace(
+            self,
+            core_cycles_per_op=self.core_cycles_per_op * factor,
+            mem_cycles_per_op=self.mem_cycles_per_op * factor,
+            io_bytes_per_op=self.io_bytes_per_op * factor,
+            io_service_floor_s=self.io_service_floor_s * factor,
+        )
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A datacenter program with per-node-type characterized demands.
+
+    Parameters
+    ----------
+    name:
+        Program name (e.g. ``"EP"``).
+    domain:
+        Application domain, as in the paper's Table 4 (e.g. ``"HPC"``).
+    unit:
+        The work unit counted by throughput and PPR (e.g. ``"random no."``).
+    ops_per_job:
+        Work units per job; one job is the unit of arrival in the M/D/1
+        utilisation model.
+    demands:
+        Mapping from node-type name to :class:`WorkloadDemand`.
+    small_input_fraction:
+        Size of the characterization run (the paper's ``P_s``, "program P
+        with smaller input size") relative to the full job.
+    """
+
+    name: str
+    domain: str
+    unit: str
+    ops_per_job: float
+    demands: Mapping[str, WorkloadDemand] = field(default_factory=dict)
+    small_input_fraction: float = 1.0 / 16.0
+
+    def __post_init__(self) -> None:
+        if self.ops_per_job <= 0:
+            raise WorkloadError(f"{self.name}: ops_per_job must be positive")
+        if not 0 < self.small_input_fraction <= 1:
+            raise WorkloadError(f"{self.name}: small_input_fraction must be in (0, 1]")
+        if not self.demands:
+            raise WorkloadError(f"{self.name}: no per-node demands supplied")
+        # Freeze the mapping so the dataclass is effectively immutable.
+        object.__setattr__(self, "demands", dict(self.demands))
+
+    def demand_for(self, node: str | NodeSpec) -> WorkloadDemand:
+        """The demand vector for a node type (by name or spec)."""
+        name = node.name if isinstance(node, NodeSpec) else node
+        try:
+            return self.demands[name]
+        except KeyError:
+            raise WorkloadError(
+                f"workload {self.name!r} is not characterized for node type "
+                f"{name!r}; available: {sorted(self.demands)}"
+            ) from None
+
+    def node_types(self) -> Tuple[str, ...]:
+        """Node types this workload is characterized for, sorted."""
+        return tuple(sorted(self.demands))
+
+    def supports(self, node: str | NodeSpec) -> bool:
+        """True when this workload has a demand vector for ``node``."""
+        name = node.name if isinstance(node, NodeSpec) else node
+        return name in self.demands
+
+    def with_job_size(self, ops_per_job: float) -> "Workload":
+        """A copy of this workload with a different job size."""
+        return replace(self, ops_per_job=ops_per_job)
+
+    def small_input_ops(self) -> float:
+        """Work units of the characterization (small input, P_s) run."""
+        return self.ops_per_job * self.small_input_fraction
+
+    def __str__(self) -> str:
+        return f"{self.name} [{self.domain}] ({self.unit}; {self.ops_per_job:g} ops/job)"

@@ -1,0 +1,163 @@
+"""Calibration solver: paper-published targets -> demand vectors.
+
+The paper characterizes each workload on each node type by direct
+measurement (perf counters + Yokogawa power meter).  We do not have the
+hardware, but the paper publishes enough derived quantities to invert the
+characterization:
+
+* Table 7 gives the idle-to-peak ratio IPR(w, i); with the measured idle
+  powers (A9 ~1.8 W, K10 ~45 W) this fixes the per-workload dynamic power
+  ``P_dyn = P_idle * (1/IPR - 1)`` and workload peak ``P_peak = P_idle/IPR``.
+* Table 6 gives the performance-to-power ratio at the most energy-efficient
+  operating point; with ``P_peak`` this fixes the node's peak throughput
+  ``ops/s = PPR * P_peak`` and therefore the per-op service time ``t_op``.
+* The workload's *bottleneck profile* (which resource saturates, and the
+  relative occupancy of the others — known qualitatively from the paper's
+  Section III-A discussion) splits ``t_op`` into core, memory and I/O time,
+  from which the Table 1 demand parameters follow:
+
+  - ``cycles_core = rho_core * t_op * c_max * f_max``
+  - ``cycles_mem  = rho_mem  * t_op * f_max``
+  - ``io_bytes    = rho_io   * t_op * nic_bytes_per_s``
+
+* Finally the CPU activity factor is solved from the dynamic-power balance
+  ``P_dyn * t_op = P_act*af*t_core + P_stall*af*t_stall + P_mem*mf*t_mem +
+  P_net*nf*t_io`` given the memory/network activity factors of the profile.
+
+Every derived quantity is validated; an infeasible target set raises
+:class:`~repro.errors.CalibrationError` instead of silently producing a
+workload that cannot reproduce the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CalibrationError
+from repro.hardware.specs import NodeSpec
+from repro.workloads.base import ActivityFactors, WorkloadDemand
+
+__all__ = ["BottleneckProfile", "solve_demand", "dynamic_power_target", "peak_power_target"]
+
+
+@dataclass(frozen=True)
+class BottleneckProfile:
+    """Relative per-op occupancy of each resource, bottleneck at 1.0.
+
+    ``rho_core`` is the fraction of the per-op service time the cores spend
+    executing work cycles, ``rho_mem`` the fraction covered by memory stalls
+    and ``rho_io`` the network transfer fraction; ``max(rho) == 1`` because
+    the bottleneck resource defines the service time.  ``mem_factor`` and
+    ``net_factor`` are the power activity of the memory and NIC subsystems
+    while those components are busy.
+    """
+
+    rho_core: float
+    rho_mem: float
+    rho_io: float
+    mem_factor: float
+    net_factor: float
+    io_service_floor_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("rho_core", "rho_mem", "rho_io", "mem_factor", "net_factor"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise CalibrationError(f"{name} must be in [0, 1], got {v}")
+        peak = max(self.rho_core, self.rho_mem, self.rho_io)
+        if abs(peak - 1.0) > 1e-9:
+            raise CalibrationError(
+                f"bottleneck occupancy must be exactly 1.0, got max rho = {peak}"
+            )
+        if not 0.0 <= self.io_service_floor_frac <= self.rho_io + 1e-12:
+            raise CalibrationError(
+                "io_service_floor_frac must be in [0, rho_io]: the request-rate "
+                "floor cannot exceed the transfer time at calibration"
+            )
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the saturated resource."""
+        best = max(
+            ("core", self.rho_core), ("mem", self.rho_mem), ("io", self.rho_io),
+            key=lambda kv: kv[1],
+        )
+        return best[0]
+
+
+def peak_power_target(spec: NodeSpec, ipr: float) -> float:
+    """Workload peak power implied by an IPR target (watts)."""
+    if not 0.0 < ipr < 1.0:
+        raise CalibrationError(f"IPR target must be in (0, 1), got {ipr}")
+    return spec.power.idle_w / ipr
+
+
+def dynamic_power_target(spec: NodeSpec, ipr: float) -> float:
+    """Workload dynamic power implied by an IPR target (watts)."""
+    return peak_power_target(spec, ipr) - spec.power.idle_w
+
+
+def solve_demand(
+    spec: NodeSpec,
+    *,
+    ppr_target: float,
+    ipr_target: float,
+    profile: BottleneckProfile,
+) -> WorkloadDemand:
+    """Solve a :class:`WorkloadDemand` hitting the published PPR and IPR.
+
+    The demand is exact at the node's maximal operating point (all cores at
+    ``f_max``): the time model reproduces ``1 / (PPR * P_peak)`` per op and
+    the energy model reproduces ``P_dyn = P_idle * (1/IPR - 1)``.
+    """
+    if ppr_target <= 0:
+        raise CalibrationError(f"PPR target must be positive, got {ppr_target}")
+    p_peak = peak_power_target(spec, ipr_target)
+    p_dyn = p_peak - spec.power.idle_w
+    throughput = ppr_target * p_peak  # ops/s at the maximal operating point
+    t_op = 1.0 / throughput
+
+    t_core = profile.rho_core * t_op
+    t_mem = profile.rho_mem * t_op
+    t_io = profile.rho_io * t_op
+    t_stall = max(0.0, t_mem - t_core)
+
+    # Demand volumes from the time split (Table 1 parameters).
+    core_cycles = t_core * spec.cores * spec.fmax_hz
+    mem_cycles = t_mem * spec.fmax_hz
+    io_bytes = t_io * (spec.nic_bps / 8.0)
+    io_floor = profile.io_service_floor_frac * t_op
+
+    # Power balance: solve the CPU activity factor.
+    pw = spec.power
+    fixed = pw.memory_w * profile.mem_factor * t_mem + pw.network_w * profile.net_factor * t_io
+    cpu_seconds_weighted = pw.cpu_active_w * t_core + pw.cpu_stall_w * t_stall
+    if cpu_seconds_weighted <= 0:
+        raise CalibrationError(
+            f"{spec.name}: profile has no CPU occupancy; cannot balance dynamic power"
+        )
+    af = (p_dyn * t_op - fixed) / cpu_seconds_weighted
+    if af <= 0:
+        raise CalibrationError(
+            f"{spec.name}: memory/network activity already exceeds the dynamic power "
+            f"target ({p_dyn:.3f} W); lower mem_factor/net_factor"
+        )
+    if af > 1.0 + 1e-9:
+        raise CalibrationError(
+            f"{spec.name}: required CPU activity factor {af:.3f} exceeds the node's "
+            f"measured envelope; the component powers in the NodeSpec are too small "
+            f"for a {p_dyn:.3f} W dynamic-power target"
+        )
+
+    return WorkloadDemand(
+        core_cycles_per_op=core_cycles,
+        mem_cycles_per_op=mem_cycles,
+        io_bytes_per_op=io_bytes,
+        io_service_floor_s=io_floor,
+        activity=ActivityFactors(
+            cpu_active=min(af, 1.0),
+            cpu_stall=min(af, 1.0),
+            memory=profile.mem_factor,
+            network=profile.net_factor,
+        ),
+    )

@@ -1,0 +1,119 @@
+"""Extended workload demands for the catalog node types.
+
+The paper characterizes its six workloads only for A9 and K10.  For the
+catalog's extension nodes (A15, XEOND — see
+:mod:`repro.hardware.catalog`) this module supplies solved demand vectors
+from *estimated* PPR/IPR targets.  The estimates are plausible
+interpolations positioned between the two validated nodes (the A15 behaves
+like a faster, slightly less power-proportional A9; the Xeon-D like a far
+more efficient small Opteron) and are clearly extension material: every
+number here is an assumption, not a paper value.
+
+Use :func:`extended_workload` to obtain a paper workload whose demand map
+additionally covers the catalog types, enabling degree-3+ heterogeneity
+studies:
+
+>>> from repro.hardware.catalog import register_catalog
+>>> register_catalog()
+>>> w = extended_workload("EP")
+>>> sorted(w.node_types())
+['A15', 'A9', 'K10', 'XEOND']
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import lru_cache
+from typing import Dict, Mapping
+
+from repro.errors import WorkloadError
+from repro.hardware.catalog import a15, xeond
+from repro.workloads.base import Workload, WorkloadDemand
+from repro.workloads.calibration import BottleneckProfile, solve_demand
+from repro.workloads.suite import PAPER_WORKLOAD_NAMES, workload
+
+__all__ = ["EXTENDED_PPR", "EXTENDED_IPR", "EXTENDED_PROFILES", "extended_workload"]
+
+#: Estimated PPR targets for the extension nodes (work units/s per watt).
+#: Positioned between the validated A9 and K10 values; the x264 and
+#: RSA-2048 entries keep the brawny-node advantages (memory bandwidth,
+#: crypto instructions) partially available on the x86 Xeon-D.
+EXTENDED_PPR: Mapping[str, Mapping[str, float]] = {
+    "EP": {"A15": 5_500_000.0, "XEOND": 2_400_000.0},
+    "memcached": {"A15": 2_200_000.0, "XEOND": 900_000.0},
+    "x264": {"A15": 0.8, "XEOND": 1.2},
+    "blackscholes": {"A15": 11_000.0, "XEOND": 5_000.0},
+    "julius": {"A15": 65_000.0, "XEOND": 30_000.0},
+    "rsa2048": {"A15": 900.0, "XEOND": 1_200.0},
+}
+
+#: Estimated IPR targets for the extension nodes.  The A15 board idles low
+#: relative to its loaded draw (embedded SoCs have wide dynamic ranges), so
+#: its IPRs sit well below the A9's; the Xeon-D is a small server board and
+#: behaves like a scaled-down Opteron.
+EXTENDED_IPR: Mapping[str, Mapping[str, float]] = {
+    "EP": {"A15": 0.45, "XEOND": 0.68},
+    "memcached": {"A15": 0.60, "XEOND": 0.88},
+    "x264": {"A15": 0.50, "XEOND": 0.63},
+    "blackscholes": {"A15": 0.48, "XEOND": 0.65},
+    "julius": {"A15": 0.50, "XEOND": 0.64},
+    "rsa2048": {"A15": 0.52, "XEOND": 0.61},
+}
+
+#: Bottleneck profiles for the extension nodes (same structure as the
+#: validated suite: which resource saturates, and component activity).
+EXTENDED_PROFILES: Mapping[str, Mapping[str, BottleneckProfile]] = {
+    "EP": {
+        "A15": BottleneckProfile(1.0, 0.25, 0.0, 0.40, 0.0),
+        "XEOND": BottleneckProfile(1.0, 0.25, 0.0, 0.40, 0.0),
+    },
+    "memcached": {
+        "A15": BottleneckProfile(1.0, 0.45, 0.30, 0.30, 0.70, io_service_floor_frac=0.05),
+        "XEOND": BottleneckProfile(1.0, 0.45, 0.05, 0.30, 0.80, io_service_floor_frac=0.02),
+    },
+    "x264": {
+        "A15": BottleneckProfile(0.65, 1.0, 0.01, 0.85, 0.20),
+        "XEOND": BottleneckProfile(0.75, 1.0, 0.005, 0.85, 0.20),
+    },
+    "blackscholes": {
+        "A15": BottleneckProfile(1.0, 0.32, 0.0, 0.40, 0.0),
+        "XEOND": BottleneckProfile(1.0, 0.30, 0.0, 0.35, 0.0),
+    },
+    "julius": {
+        "A15": BottleneckProfile(1.0, 0.55, 0.01, 0.50, 0.10),
+        "XEOND": BottleneckProfile(1.0, 0.50, 0.01, 0.50, 0.10),
+    },
+    "rsa2048": {
+        "A15": BottleneckProfile(1.0, 0.10, 0.005, 0.20, 0.10),
+        "XEOND": BottleneckProfile(1.0, 0.10, 0.005, 0.20, 0.10),
+    },
+}
+
+_SPEC_BUILDERS = {"A15": a15, "XEOND": xeond}
+
+
+@lru_cache(maxsize=None)
+def _extended_demands(name: str) -> Dict[str, WorkloadDemand]:
+    demands: Dict[str, WorkloadDemand] = {}
+    for node_name, builder in _SPEC_BUILDERS.items():
+        demands[node_name] = solve_demand(
+            builder(),
+            ppr_target=EXTENDED_PPR[name][node_name],
+            ipr_target=EXTENDED_IPR[name][node_name],
+            profile=EXTENDED_PROFILES[name][node_name],
+        )
+    return demands
+
+
+def extended_workload(name: str) -> Workload:
+    """A paper workload with demands for the catalog node types added.
+
+    The A9/K10 demands are the calibrated paper values; the A15/XEOND
+    demands are extension estimates (see module docs).
+    """
+    if name not in PAPER_WORKLOAD_NAMES:
+        raise WorkloadError(
+            f"unknown paper workload {name!r}; expected one of {PAPER_WORKLOAD_NAMES}"
+        )
+    base = workload(name)
+    return replace(base, demands={**base.demands, **_extended_demands(name)})

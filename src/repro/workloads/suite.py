@@ -1,0 +1,241 @@
+"""The paper's six datacenter workloads, calibrated to its published numbers.
+
+Section II-C selects six programs spanning typical datacenter domains:
+
+========== =================== =================================== ===========
+Name        Domain              Work unit (Table 6)                 Job size
+========== =================== =================================== ===========
+EP          HPC                 random numbers (NPB EP class)       2^25 ops
+memcached   Web server          bytes served (memslap driven)       1 MiB
+x264        Streaming video     frames encoded (PARSEC)             3000 frames
+blacksch.   Financial           options priced (PARSEC)             65536 opts
+julius      Speech recognition  audio samples (16 kHz real-time)    160000 smp
+RSA-2048    Web security        signature verifications (openssl)   2048 ops
+========== =================== =================================== ===========
+
+Calibration targets come straight from the paper:
+
+* ``PAPER_PPR`` — Table 6, performance-to-power ratio per node type at the
+  most energy-efficient configuration (the memcached K10 entry "2,68,067"
+  is read as 268,067 — Indian digit grouping in the original).
+* ``PAPER_IPR`` — Table 7, idle-to-peak power ratio per node type (DPR, EPM
+  and LDR in that table are all functions of IPR; see DESIGN.md Section 6).
+
+Bottleneck profiles encode the qualitative characterization the paper gives
+in Section III-A: EP, blackscholes and RSA-2048 are core-bound on both
+nodes; x264 is memory-bound (and much faster on K10's higher-bandwidth
+DDR3); memcached saturates the A9's 100 Mbps NIC but is request-processing
+bound on the K10's 1 Gbps link; Julius mixes core and memory demand.
+RSA-2048's K10 advantage reflects its ISA's cryptography-friendly
+instructions.
+
+``TRACE_VARIABILITY`` parameterises how irregular each program's phase
+behaviour is in the simulated testbed; it is the knob that makes the
+model-vs-measured validation errors (Table 4) workload-dependent: Julius and
+x264 have strongly input-dependent phases (the paper's largest errors, 13%
+and 11%) while EP and RSA-2048 are perfectly regular (2-3%).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import WorkloadError
+from repro.hardware.specs import get_node_spec
+from repro.workloads.base import Workload
+from repro.workloads.calibration import BottleneckProfile, solve_demand
+
+__all__ = [
+    "PAPER_WORKLOAD_NAMES",
+    "PAPER_PPR",
+    "PAPER_IPR",
+    "PAPER_DOMAINS",
+    "PAPER_UNITS",
+    "PAPER_VALIDATION_ERRORS",
+    "TRACE_VARIABILITY",
+    "BOTTLENECK_PROFILES",
+    "JOB_SIZES",
+    "build_workload",
+    "paper_workloads",
+    "workload",
+]
+
+#: Canonical workload names, in the paper's table order.
+PAPER_WORKLOAD_NAMES: Tuple[str, ...] = (
+    "EP",
+    "memcached",
+    "x264",
+    "blackscholes",
+    "julius",
+    "rsa2048",
+)
+
+#: Table 6 — performance-to-power ratio (work units per second per watt).
+PAPER_PPR: Mapping[str, Mapping[str, float]] = {
+    "EP": {"A9": 6_048_057.0, "K10": 1_414_922.0},
+    "memcached": {"A9": 5_224_004.0, "K10": 268_067.0},
+    "x264": {"A9": 0.7, "K10": 1.0},
+    "blackscholes": {"A9": 11_413.0, "K10": 2_902.0},
+    "julius": {"A9": 69_654.0, "K10": 21_390.0},
+    "rsa2048": {"A9": 968.0, "K10": 1_091.0},
+}
+
+#: Table 7 — idle-to-peak power ratio per workload per node type.
+PAPER_IPR: Mapping[str, Mapping[str, float]] = {
+    "EP": {"A9": 0.74, "K10": 0.65},
+    "memcached": {"A9": 0.83, "K10": 0.89},
+    "x264": {"A9": 0.64, "K10": 0.62},
+    "blackscholes": {"A9": 0.68, "K10": 0.63},
+    "julius": {"A9": 0.70, "K10": 0.62},
+    "rsa2048": {"A9": 0.64, "K10": 0.59},
+}
+
+#: Table 4 — application domain per workload.
+PAPER_DOMAINS: Mapping[str, str] = {
+    "EP": "HPC",
+    "memcached": "Web Server",
+    "x264": "Streaming video",
+    "blackscholes": "Financial",
+    "julius": "Speech recognition",
+    "rsa2048": "Web security",
+}
+
+#: Table 6 — throughput unit per workload.
+PAPER_UNITS: Mapping[str, str] = {
+    "EP": "random no./s",
+    "memcached": "bytes/s",
+    "x264": "frames/s",
+    "blackscholes": "options/s",
+    "julius": "samples/s",
+    "rsa2048": "verify/s",
+}
+
+#: Table 4 — the paper's model-vs-measured validation errors (percent).
+PAPER_VALIDATION_ERRORS: Mapping[str, Mapping[str, float]] = {
+    "EP": {"time": 3.0, "energy": 10.0},
+    "memcached": {"time": 10.0, "energy": 8.0},
+    "x264": {"time": 11.0, "energy": 10.0},
+    "blackscholes": {"time": 4.0, "energy": 7.0},
+    "julius": {"time": 13.0, "energy": 1.0},
+    "rsa2048": {"time": 2.0, "energy": 8.0},
+}
+
+#: Phase irregularity of each program in the simulated testbed (coefficient
+#: of variation of per-phase demand).  Ordered like the paper's validation
+#: errors: regular kernels (EP, RSA) near zero, input-dependent programs
+#: (Julius, x264, memcached) high.
+TRACE_VARIABILITY: Mapping[str, float] = {
+    "EP": 0.02,
+    "memcached": 0.09,
+    "x264": 0.10,
+    "blackscholes": 0.04,
+    "julius": 0.12,
+    "rsa2048": 0.02,
+}
+
+#: Relative drift of CPU power activity between the small characterization
+#: input and the full input (the working-set growth that inflates cycle
+#: demands also shifts the instruction mix, and with it power draw).  This
+#: is what decorrelates the paper's time and energy validation errors:
+#: e.g. EP's energy error (10%) far exceeds its time error (3%), while
+#: Julius shows the opposite (13% vs 1%).
+ACTIVITY_SIZE_DRIFT: Mapping[str, float] = {
+    "EP": 0.22,
+    "memcached": 0.10,
+    "x264": 0.10,
+    "blackscholes": 0.14,
+    "julius": -0.20,
+    "rsa2048": 0.18,
+}
+
+#: Work units per job (chosen so job service times land in the ranges the
+#: paper's response-time figures span: tens of ms for EP on the Fig. 9
+#: clusters, seconds for x264).
+JOB_SIZES: Mapping[str, float] = {
+    "EP": float(2**25),          # random numbers
+    "memcached": float(2**20),   # bytes
+    "x264": 3_000.0,             # frames
+    "blackscholes": 65_536.0,    # options
+    "julius": 160_000.0,         # samples (10 s of 16 kHz audio)
+    "rsa2048": 2_048.0,          # verifications
+}
+
+#: Qualitative per-(workload, node) bottleneck profiles (see module docs).
+BOTTLENECK_PROFILES: Mapping[str, Mapping[str, BottleneckProfile]] = {
+    "EP": {
+        "A9": BottleneckProfile(rho_core=1.0, rho_mem=0.25, rho_io=0.0, mem_factor=0.40, net_factor=0.0),
+        "K10": BottleneckProfile(rho_core=1.0, rho_mem=0.25, rho_io=0.0, mem_factor=0.40, net_factor=0.0),
+    },
+    "memcached": {
+        # A9: the 100 Mbps NIC saturates (rho_io = 1); half of the transfer
+        # time is the per-request service floor (the paper's 1/lambda_I/O).
+        "A9": BottleneckProfile(rho_core=0.85, rho_mem=0.50, rho_io=1.0, mem_factor=0.30, net_factor=0.60, io_service_floor_frac=0.50),
+        "K10": BottleneckProfile(rho_core=1.0, rho_mem=0.45, rho_io=0.11, mem_factor=0.30, net_factor=0.80, io_service_floor_frac=0.05),
+    },
+    "x264": {
+        "A9": BottleneckProfile(rho_core=0.55, rho_mem=1.0, rho_io=0.02, mem_factor=0.85, net_factor=0.20),
+        "K10": BottleneckProfile(rho_core=0.70, rho_mem=1.0, rho_io=0.005, mem_factor=0.85, net_factor=0.20),
+    },
+    "blackscholes": {
+        "A9": BottleneckProfile(rho_core=1.0, rho_mem=0.35, rho_io=0.0, mem_factor=0.40, net_factor=0.0),
+        "K10": BottleneckProfile(rho_core=1.0, rho_mem=0.30, rho_io=0.0, mem_factor=0.35, net_factor=0.0),
+    },
+    "julius": {
+        "A9": BottleneckProfile(rho_core=1.0, rho_mem=0.60, rho_io=0.01, mem_factor=0.50, net_factor=0.10),
+        "K10": BottleneckProfile(rho_core=1.0, rho_mem=0.50, rho_io=0.01, mem_factor=0.50, net_factor=0.10),
+    },
+    "rsa2048": {
+        "A9": BottleneckProfile(rho_core=1.0, rho_mem=0.10, rho_io=0.005, mem_factor=0.20, net_factor=0.10),
+        "K10": BottleneckProfile(rho_core=1.0, rho_mem=0.10, rho_io=0.005, mem_factor=0.20, net_factor=0.10),
+    },
+}
+
+
+def build_workload(name: str) -> Workload:
+    """Build one paper workload from the calibration targets.
+
+    Demand vectors are solved fresh on every call; use
+    :func:`paper_workloads` for the memoised set.
+    """
+    if name not in PAPER_WORKLOAD_NAMES:
+        raise WorkloadError(
+            f"unknown paper workload {name!r}; expected one of {PAPER_WORKLOAD_NAMES}"
+        )
+    demands = {}
+    for node_name, profile in BOTTLENECK_PROFILES[name].items():
+        spec = get_node_spec(node_name)
+        demands[node_name] = solve_demand(
+            spec,
+            ppr_target=PAPER_PPR[name][node_name],
+            ipr_target=PAPER_IPR[name][node_name],
+            profile=profile,
+        )
+    return Workload(
+        name=name,
+        domain=PAPER_DOMAINS[name],
+        unit=PAPER_UNITS[name],
+        ops_per_job=JOB_SIZES[name],
+        demands=demands,
+    )
+
+
+@lru_cache(maxsize=1)
+def _paper_workloads_cached() -> Dict[str, Workload]:
+    return {name: build_workload(name) for name in PAPER_WORKLOAD_NAMES}
+
+
+def paper_workloads() -> Dict[str, Workload]:
+    """All six paper workloads, keyed by canonical name (fresh dict copy)."""
+    return dict(_paper_workloads_cached())
+
+
+def workload(name: str) -> Workload:
+    """One paper workload by canonical name (memoised)."""
+    loads = _paper_workloads_cached()
+    try:
+        return loads[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown paper workload {name!r}; expected one of {PAPER_WORKLOAD_NAMES}"
+        ) from None

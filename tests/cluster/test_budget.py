@@ -1,0 +1,109 @@
+"""Tests for power-budget arithmetic and the paper's cluster mixes."""
+
+import pytest
+
+from repro.cluster.budget import (
+    PowerBudget,
+    budget_mixes,
+    substitution_ratio,
+    switch_power_w,
+)
+from repro.cluster.configuration import ClusterConfiguration
+from repro.errors import ConfigurationError
+
+
+class TestSwitchPower:
+    def test_zero_nodes_no_switch(self):
+        assert switch_power_w(0) == 0.0
+
+    def test_one_switch_per_eight(self):
+        assert switch_power_w(8) == 20.0
+        assert switch_power_w(9) == 40.0
+        assert switch_power_w(128) == 320.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            switch_power_w(-1)
+        with pytest.raises(ConfigurationError):
+            switch_power_w(8, nodes_per_switch=0)
+
+
+class TestSubstitutionRatio:
+    def test_paper_ratio_is_eight(self):
+        """Footnote 3: 60 W / (5 W + 20 W / 8) = 8."""
+        assert substitution_ratio() == pytest.approx(8.0)
+
+    def test_without_switch_is_twelve(self):
+        """Footnote 3's first step: 60 W / 5 W = 12 A9 per K10."""
+        assert substitution_ratio(switch_w=0.0) == pytest.approx(12.0)
+
+
+class TestPowerBudget:
+    def test_max_brawny_nodes(self):
+        assert PowerBudget(1000.0).max_nodes("K10") == 16
+
+    def test_max_wimpy_with_switch(self):
+        # 1000 / (5 + 2.5) = 133.3 -> 133.
+        assert PowerBudget(1000.0).max_nodes("A9", with_switch=True) == 133
+
+    def test_fits(self):
+        budget = PowerBudget(1000.0)
+        assert budget.fits(ClusterConfiguration.mix({"A9": 128}))
+        assert not budget.fits(ClusterConfiguration.mix({"K10": 17}))
+
+    def test_provisioned_peak_includes_switches(self):
+        budget = PowerBudget(1000.0)
+        config = ClusterConfiguration.mix({"A9": 64, "K10": 8})
+        assert budget.provisioned_peak_w(config) == pytest.approx(
+            64 * 5 + 8 * 60 + 160.0
+        )
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerBudget(0.0)
+
+
+class TestBudgetMixes:
+    def test_paper_mixes(self):
+        """The exact five mixes of Figures 7/8."""
+        labels = [c.label() for c in budget_mixes(1000.0)]
+        assert labels == [
+            "16 K10",
+            "32 A9 : 12 K10",
+            "64 A9 : 8 K10",
+            "96 A9 : 4 K10",
+            "128 A9",
+        ]
+
+    def test_all_mixes_within_budget(self):
+        budget = PowerBudget(1000.0)
+        for config in budget_mixes(1000.0):
+            assert budget.fits(config)
+
+    def test_equal_provisioned_peak(self):
+        """Every mix trades at exactly the substitution ratio: equal
+        provisioned peak (960 W for the paper's 1 kW budget)."""
+        budget = PowerBudget(1000.0)
+        for config in budget_mixes(1000.0):
+            assert budget.provisioned_peak_w(config) == pytest.approx(960.0)
+
+    def test_custom_step_count(self):
+        mixes = budget_mixes(1000.0, steps=3)
+        assert [c.count_of("K10") for c in mixes] == [16, 8, 0]
+
+    def test_indivisible_steps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            budget_mixes(1000.0, steps=4)  # 16 not divisible by 3
+
+    def test_too_small_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            budget_mixes(50.0)  # cannot fit one K10
+
+    def test_minimum_steps(self):
+        with pytest.raises(ConfigurationError):
+            budget_mixes(1000.0, steps=1)
+
+    def test_larger_budget_scales(self):
+        mixes = budget_mixes(2000.0, steps=4)  # k_max = 33, 3 equal steps
+        assert [c.count_of("K10") for c in mixes] == [33, 22, 11, 0]
+        assert mixes[-1].count_of("A9") == 8 * 33

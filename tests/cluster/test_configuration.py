@@ -1,0 +1,187 @@
+"""Tests for cluster configurations and the configuration space."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.configuration import (
+    ClusterConfiguration,
+    NodeGroup,
+    TypeSpace,
+    count_configurations,
+    enumerate_configurations,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.specs import a9, get_node_spec, k10
+
+
+class TestNodeGroup:
+    def test_defaults_to_full_throttle(self):
+        g = NodeGroup.of("A9", 3)
+        assert g.cores == 4
+        assert g.frequency_hz == a9().fmax_hz
+
+    def test_custom_operating_point(self):
+        spec = k10()
+        g = NodeGroup.of(spec, 2, cores=3, frequency_hz=spec.fmin_hz)
+        assert g.cores == 3
+        assert g.frequency_hz == spec.fmin_hz
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeGroup.of("A9", 0)
+
+    def test_invalid_operating_point_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeGroup.of("A9", 1, cores=5)
+        with pytest.raises(ConfigurationError):
+            NodeGroup.of("A9", 1, frequency_hz=3e9)
+
+    def test_group_powers(self):
+        g = NodeGroup.of("K10", 4)
+        assert g.nameplate_peak_w == pytest.approx(240.0)
+        assert g.idle_w == pytest.approx(180.0)
+
+    def test_str(self):
+        assert "2 A9" in str(NodeGroup.of("A9", 2))
+
+
+class TestClusterConfiguration:
+    def test_mix_constructor(self):
+        c = ClusterConfiguration.mix({"A9": 64, "K10": 8})
+        assert c.count_of("A9") == 64
+        assert c.count_of("K10") == 8
+        assert c.total_nodes == 72
+
+    def test_mix_drops_zero_counts(self):
+        c = ClusterConfiguration.mix({"A9": 128, "K10": 0})
+        assert c.is_homogeneous
+        assert c.count_of("K10") == 0
+
+    def test_empty_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfiguration.of()
+        with pytest.raises(ConfigurationError):
+            ClusterConfiguration.mix({})
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfiguration.of(NodeGroup.of("A9", 1), NodeGroup.of("A9", 2))
+
+    def test_groups_sorted_for_equality(self):
+        c1 = ClusterConfiguration.of(NodeGroup.of("A9", 1), NodeGroup.of("K10", 2))
+        c2 = ClusterConfiguration.of(NodeGroup.of("K10", 2), NodeGroup.of("A9", 1))
+        assert c1 == c2
+
+    def test_degree_of_heterogeneity(self):
+        hetero = ClusterConfiguration.mix({"A9": 1, "K10": 1})
+        assert hetero.degree_of_heterogeneity == 2
+        assert not hetero.is_homogeneous
+
+    def test_idle_power_matches_paper_quotes(self):
+        """720 W for 16 K10, ~3x lower for 128 A9 (Section III-C)."""
+        k10_cluster = ClusterConfiguration.mix({"K10": 16})
+        a9_cluster = ClusterConfiguration.mix({"A9": 128})
+        assert k10_cluster.idle_w == pytest.approx(720.0)
+        assert a9_cluster.idle_w == pytest.approx(230.4)
+        assert k10_cluster.idle_w / a9_cluster.idle_w == pytest.approx(3.125)
+
+    def test_label(self):
+        c = ClusterConfiguration.mix({"A9": 32, "K10": 12})
+        assert c.label() == "32 A9 : 12 K10"
+
+    def test_group_lookup(self):
+        c = ClusterConfiguration.mix({"A9": 4})
+        assert c.group_for("A9").count == 4
+        with pytest.raises(ConfigurationError):
+            c.group_for("K10")
+
+
+class TestTypeSpace:
+    def test_choices_count(self):
+        space = TypeSpace(a9(), n_max=10)
+        assert space.choices == 10 * 4 * 5  # n * cores * freqs
+
+    def test_restricted_space(self):
+        spec = a9()
+        space = TypeSpace(spec, n_max=3, c_max=2, frequencies_hz=(spec.fmax_hz,))
+        assert space.choices == 3 * 2 * 1
+
+    def test_groups_enumeration_size(self):
+        space = TypeSpace(a9(), n_max=2, c_max=2)
+        assert len(list(space.groups())) == 2 * 2 * 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TypeSpace(a9(), n_max=0)
+        with pytest.raises(ConfigurationError):
+            TypeSpace(a9(), n_max=1, c_max=5)
+        with pytest.raises(ConfigurationError):
+            TypeSpace(a9(), n_max=1, frequencies_hz=(123.0,))
+
+
+class TestConfigurationSpace:
+    def test_paper_footnote4_count(self):
+        """The paper's example: 10 ARM + 10 AMD -> 36,380 configurations."""
+        spaces = [TypeSpace(a9(), n_max=10), TypeSpace(k10(), n_max=10)]
+        assert count_configurations(spaces) == 36_380
+
+    def test_paper_footnote4_subcounts(self):
+        arm_only = count_configurations([TypeSpace(a9(), n_max=10)])
+        amd_only = count_configurations([TypeSpace(k10(), n_max=10)])
+        assert arm_only == 200
+        assert amd_only == 180
+
+    def test_enumeration_matches_closed_form_small(self):
+        spaces = [
+            TypeSpace(a9(), n_max=2, c_max=2),
+            TypeSpace(k10(), n_max=2, c_max=3),
+        ]
+        configs = list(enumerate_configurations(spaces))
+        assert len(configs) == count_configurations(spaces)
+
+    def test_enumeration_unique(self):
+        spaces = [
+            TypeSpace(a9(), n_max=2, c_max=2),
+            TypeSpace(k10(), n_max=1, c_max=2),
+        ]
+        configs = list(enumerate_configurations(spaces))
+        assert len(set(configs)) == len(configs)
+
+    def test_enumeration_covers_subsets(self):
+        spaces = [
+            TypeSpace(a9(), n_max=1, c_max=1, frequencies_hz=(a9().fmax_hz,)),
+            TypeSpace(k10(), n_max=1, c_max=1, frequencies_hz=(k10().fmax_hz,)),
+        ]
+        configs = list(enumerate_configurations(spaces))
+        kinds = {tuple(g.spec.name for g in c.groups) for c in configs}
+        assert kinds == {("A9",), ("K10",), ("A9", "K10")}
+
+    def test_empty_spaces_rejected(self):
+        with pytest.raises(ConfigurationError):
+            count_configurations([])
+        with pytest.raises(ConfigurationError):
+            list(enumerate_configurations([]))
+
+    def test_duplicate_types_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(
+                enumerate_configurations(
+                    [TypeSpace(a9(), n_max=1), TypeSpace(a9(), n_max=1)]
+                )
+            )
+
+    @given(
+        n1=st.integers(1, 4),
+        c1=st.integers(1, 4),
+        n2=st.integers(1, 4),
+        c2=st.integers(1, 6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_count_formula_property(self, n1, c1, n2, c2):
+        """Property: enumeration size always equals the closed form."""
+        spaces = [
+            TypeSpace(a9(), n_max=n1, c_max=c1),
+            TypeSpace(k10(), n_max=n2, c_max=c2),
+        ]
+        assert sum(1 for _ in enumerate_configurations(spaces)) == count_configurations(spaces)

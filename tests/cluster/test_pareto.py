@@ -1,0 +1,158 @@
+"""Tests for the energy-deadline Pareto frontier and the sweet region."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.configuration import ClusterConfiguration, TypeSpace
+from repro.cluster.pareto import (
+    ConfigEvaluation,
+    evaluate_configuration,
+    evaluate_space,
+    pareto_frontier,
+    sweet_region,
+    sweet_spot,
+)
+from repro.errors import ModelError
+from repro.hardware.specs import a9, k10
+
+
+def _eval(tp, energy):
+    return ConfigEvaluation(
+        config=ClusterConfiguration.mix({"A9": 1}),
+        workload_name="w",
+        tp_s=tp,
+        energy_j=energy,
+        peak_power_w=1.0,
+        idle_power_w=1.0,
+    )
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert _eval(1.0, 1.0).dominates(_eval(2.0, 2.0))
+
+    def test_equal_does_not_dominate(self):
+        assert not _eval(1.0, 1.0).dominates(_eval(1.0, 1.0))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not _eval(1.0, 3.0).dominates(_eval(2.0, 2.0))
+        assert not _eval(3.0, 1.0).dominates(_eval(2.0, 2.0))
+
+    def test_better_on_one_axis_dominates(self):
+        assert _eval(1.0, 2.0).dominates(_eval(1.0, 3.0))
+
+    def test_edp(self):
+        assert _eval(2.0, 3.0).edp == pytest.approx(6.0)
+
+
+class TestParetoFrontier:
+    def test_removes_dominated(self):
+        evals = [_eval(1.0, 5.0), _eval(2.0, 3.0), _eval(2.5, 4.0), _eval(3.0, 1.0)]
+        frontier = pareto_frontier(evals)
+        assert [(e.tp_s, e.energy_j) for e in frontier] == [
+            (1.0, 5.0), (2.0, 3.0), (3.0, 1.0),
+        ]
+
+    def test_time_ties_keep_cheapest(self):
+        frontier = pareto_frontier([_eval(1.0, 5.0), _eval(1.0, 4.0)])
+        assert len(frontier) == 1
+        assert frontier[0].energy_j == 4.0
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []
+
+    def test_energy_strictly_decreasing_along_frontier(self):
+        evals = [_eval(float(i), 10.0 - i + (i % 2)) for i in range(1, 10)]
+        frontier = pareto_frontier(evals)
+        energies = [e.energy_j for e in frontier]
+        assert energies == sorted(energies, reverse=True)
+        assert len(set(energies)) == len(energies)
+
+    def test_no_frontier_point_dominated(self):
+        evals = [_eval(t, e) for t, e in [(1, 9), (2, 7), (3, 8), (4, 3), (5, 5)]]
+        frontier = pareto_frontier(evals)
+        for a in frontier:
+            assert not any(b.dominates(a) for b in evals)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 100.0), st.floats(0.1, 100.0)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60)
+    def test_frontier_property(self, points):
+        """Property: every input is dominated by or on the frontier, and no
+        frontier point dominates another."""
+        evals = [_eval(t, e) for t, e in points]
+        frontier = pareto_frontier(evals)
+        assert frontier
+        for ev in evals:
+            assert any(
+                f.dominates(ev) or (f.tp_s == ev.tp_s and f.energy_j == ev.energy_j)
+                for f in frontier
+            )
+        for i, f1 in enumerate(frontier):
+            for f2 in frontier[i + 1:]:
+                assert not f1.dominates(f2)
+                assert not f2.dominates(f1)
+
+
+class TestSweetRegion:
+    def test_region_respects_deadline(self):
+        evals = [_eval(1.0, 5.0), _eval(2.0, 3.0), _eval(3.0, 1.0)]
+        region = sweet_region(evals, deadline_s=2.5)
+        assert [e.tp_s for e in region] == [1.0, 2.0]
+
+    def test_sweet_spot_is_min_energy_in_deadline(self):
+        evals = [_eval(1.0, 5.0), _eval(2.0, 3.0), _eval(3.0, 1.0)]
+        spot = sweet_spot(evals, deadline_s=2.5)
+        assert spot is not None
+        assert spot.energy_j == 3.0
+
+    def test_no_feasible_configuration(self):
+        evals = [_eval(5.0, 1.0)]
+        assert sweet_region(evals, deadline_s=1.0) == []
+        assert sweet_spot(evals, deadline_s=1.0) is None
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ModelError):
+            sweet_region([_eval(1.0, 1.0)], deadline_s=0.0)
+
+
+class TestModelIntegration:
+    def test_evaluate_configuration_consistent(self, workloads, small_mix):
+        from repro.model.energy_model import job_energy
+        from repro.model.time_model import execution_time
+
+        w = workloads["EP"]
+        ev = evaluate_configuration(w, small_mix)
+        assert ev.tp_s == pytest.approx(execution_time(w, small_mix))
+        assert ev.energy_j == pytest.approx(job_energy(w, small_mix).e_total_j)
+        assert ev.idle_power_w == pytest.approx(small_mix.idle_w)
+
+    def test_evaluate_space_covers_enumeration(self, workloads):
+        spaces = [
+            TypeSpace(a9(), n_max=2, c_max=1, frequencies_hz=(a9().fmax_hz,)),
+            TypeSpace(k10(), n_max=2, c_max=1, frequencies_hz=(k10().fmax_hz,)),
+        ]
+        evals = evaluate_space(workloads["EP"], spaces)
+        assert len(evals) == 8  # 2*2 mixes + 2 + 2 homogeneous
+
+    def test_frontier_of_real_space_nonempty(self, workloads):
+        spaces = [
+            TypeSpace(a9(), n_max=4), TypeSpace(k10(), n_max=2),
+        ]
+        evals = evaluate_space(workloads["blackscholes"], spaces)
+        frontier = pareto_frontier(evals)
+        assert 1 <= len(frontier) < len(evals)
+
+    def test_paper_sublinear_mixes_trade_time_for_energy(self, workloads):
+        """Fewer K10s: slower but cheaper (the Figure 9 story)."""
+        w = workloads["EP"]
+        big = evaluate_configuration(w, ClusterConfiguration.mix({"A9": 25, "K10": 10}))
+        small = evaluate_configuration(w, ClusterConfiguration.mix({"A9": 25, "K10": 5}))
+        assert small.tp_s > big.tp_s
+        assert small.energy_j < big.energy_j

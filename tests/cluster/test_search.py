@@ -1,0 +1,123 @@
+"""Tests for the configuration recommendation search."""
+
+import pytest
+
+from repro.cluster.budget import PowerBudget
+from repro.cluster.configuration import TypeSpace
+from repro.cluster.search import recommend_exhaustive, recommend_greedy
+from repro.errors import ModelError
+from repro.hardware.specs import a9, k10
+
+
+def _small_spaces(n_a9=3, n_k10=2):
+    return [TypeSpace(a9(), n_max=n_a9), TypeSpace(k10(), n_max=n_k10)]
+
+
+@pytest.fixture()
+def deadline(workloads):
+    """A deadline twice the maximal small-space configuration's time."""
+    from repro.cluster.configuration import ClusterConfiguration
+    from repro.model.time_model import execution_time
+
+    config = ClusterConfiguration.mix({"A9": 3, "K10": 2})
+    return 2.0 * execution_time(workloads["blackscholes"], config)
+
+
+class TestExhaustive:
+    def test_meets_deadline(self, workloads, deadline):
+        rec = recommend_exhaustive(
+            workloads["blackscholes"], _small_spaces(), deadline_s=deadline
+        )
+        assert rec is not None
+        assert rec.meets_deadline
+        assert rec.strategy == "exhaustive"
+
+    def test_minimality(self, workloads, deadline):
+        """No feasible configuration is cheaper."""
+        from repro.cluster.configuration import enumerate_configurations
+        from repro.cluster.pareto import evaluate_configuration
+
+        w = workloads["blackscholes"]
+        rec = recommend_exhaustive(w, _small_spaces(), deadline_s=deadline)
+        assert rec is not None
+        for config in enumerate_configurations(_small_spaces()):
+            ev = evaluate_configuration(w, config)
+            if ev.tp_s <= deadline:
+                assert ev.energy_j >= rec.evaluation.energy_j - 1e-12
+
+    def test_impossible_deadline(self, workloads):
+        rec = recommend_exhaustive(
+            workloads["blackscholes"], _small_spaces(), deadline_s=1e-9
+        )
+        assert rec is None
+
+    def test_budget_constraint(self, workloads, deadline):
+        w = workloads["blackscholes"]
+        tight = PowerBudget(30.0)  # fits a few A9 but no K10
+        rec = recommend_exhaustive(
+            w, _small_spaces(), deadline_s=deadline * 50, budget=tight
+        )
+        assert rec is not None
+        assert rec.config.count_of("K10") == 0
+
+    def test_invalid_deadline(self, workloads):
+        with pytest.raises(ModelError):
+            recommend_exhaustive(workloads["EP"], _small_spaces(), deadline_s=0.0)
+
+    def test_counts_whole_space(self, workloads, deadline):
+        from repro.cluster.configuration import count_configurations
+
+        rec = recommend_exhaustive(
+            workloads["blackscholes"], _small_spaces(), deadline_s=deadline
+        )
+        assert rec.evaluated_configs == count_configurations(_small_spaces())
+
+
+class TestGreedy:
+    def test_matches_exhaustive_on_small_space(self, workloads, deadline):
+        """The greedy heuristic finds the exhaustive optimum on the small
+        space (the model's monotone structure makes descent exact here)."""
+        w = workloads["blackscholes"]
+        exact = recommend_exhaustive(w, _small_spaces(), deadline_s=deadline)
+        greedy = recommend_greedy(w, _small_spaces(), deadline_s=deadline)
+        assert greedy is not None and exact is not None
+        assert greedy.evaluation.energy_j == pytest.approx(
+            exact.evaluation.energy_j, rel=0.02
+        )
+
+    def test_evaluates_far_fewer_configs(self, workloads):
+        from repro.cluster.configuration import ClusterConfiguration
+        from repro.model.time_model import execution_time
+
+        w = workloads["blackscholes"]
+        spaces = [TypeSpace(a9(), n_max=8), TypeSpace(k10(), n_max=3)]
+        config = ClusterConfiguration.mix({"A9": 8, "K10": 3})
+        deadline = 3.0 * execution_time(w, config)
+        exact = recommend_exhaustive(w, spaces, deadline_s=deadline)
+        greedy = recommend_greedy(w, spaces, deadline_s=deadline)
+        assert greedy is not None
+        assert greedy.evaluated_configs < exact.evaluated_configs / 3
+
+    def test_impossible_deadline_returns_none(self, workloads):
+        assert (
+            recommend_greedy(workloads["EP"], _small_spaces(), deadline_s=1e-9)
+            is None
+        )
+
+    def test_budget_infeasible_start_recovers(self, workloads, deadline):
+        """When the maximal configuration busts the budget, the greedy
+        search must still find a feasible downsized start."""
+        w = workloads["blackscholes"]
+        budget = PowerBudget(70.0)  # one K10 + switch-less A9s only
+        rec = recommend_greedy(
+            w, _small_spaces(), deadline_s=deadline * 50, budget=budget
+        )
+        assert rec is not None
+        assert budget.fits(rec.config)
+
+    def test_solution_meets_deadline(self, workloads, deadline):
+        rec = recommend_greedy(
+            workloads["blackscholes"], _small_spaces(), deadline_s=deadline
+        )
+        assert rec is not None
+        assert rec.evaluation.tp_s <= deadline

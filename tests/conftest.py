@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.util.rng import RngRegistry
+from repro.workloads.suite import paper_workloads
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """The six calibrated paper workloads (session-cached; treat as
+    read-only)."""
+    return paper_workloads()
+
+
+@pytest.fixture()
+def registry():
+    """A fresh deterministic RNG registry per test."""
+    return RngRegistry(seed=1234)
+
+
+@pytest.fixture()
+def rng():
+    """A plain seeded generator for tests that need one stream."""
+    return np.random.default_rng(99)
+
+
+@pytest.fixture()
+def single_a9():
+    """A single wimpy node at full throttle."""
+    return ClusterConfiguration.mix({"A9": 1})
+
+
+@pytest.fixture()
+def single_k10():
+    """A single brawny node at full throttle."""
+    return ClusterConfiguration.mix({"K10": 1})
+
+
+@pytest.fixture()
+def small_mix():
+    """A small heterogeneous mix at full throttle."""
+    return ClusterConfiguration.mix({"A9": 4, "K10": 1})

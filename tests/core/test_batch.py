@@ -1,0 +1,98 @@
+"""Tests for the batch-arrival response model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.core.batch import (
+    BatchWindow,
+    batch_response_percentile_s,
+    batch_response_sweep,
+)
+from repro.errors import QueueingError
+from repro.model.time_model import execution_time
+
+
+class TestBatchWindow:
+    def test_for_utilisation_job_count(self):
+        w = BatchWindow.for_utilisation(0.5, service_time_s=1.0, window_s=10.0)
+        assert w.n_jobs == 5
+        assert w.utilisation == pytest.approx(0.5)
+
+    def test_zero_utilisation_empty_batch(self):
+        w = BatchWindow.for_utilisation(0.0, 1.0, 10.0)
+        assert w.n_jobs == 0
+        assert w.response_percentile(95) == 0.0
+
+    def test_full_utilisation_fills_window(self):
+        w = BatchWindow.for_utilisation(1.0, 1.0, 10.0)
+        assert w.n_jobs == 10
+
+    def test_fifo_responses(self):
+        w = BatchWindow(service_time_s=2.0, window_s=10.0, n_jobs=3)
+        np.testing.assert_allclose(w.response_times(), [2.0, 4.0, 6.0])
+
+    def test_percentile_is_quantised(self):
+        w = BatchWindow(service_time_s=1.0, window_s=100.0, n_jobs=10)
+        # ceil(0.95 * 10) = 10th job -> 10 s.
+        assert w.response_percentile(95) == pytest.approx(10.0)
+        # ceil(0.5 * 10) = 5th job.
+        assert w.response_percentile(50) == pytest.approx(5.0)
+
+    def test_overfull_batch_rejected(self):
+        with pytest.raises(QueueingError):
+            BatchWindow(service_time_s=1.0, window_s=5.0, n_jobs=6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(QueueingError):
+            BatchWindow(service_time_s=0.0, window_s=1.0, n_jobs=1)
+        with pytest.raises(QueueingError):
+            BatchWindow.for_utilisation(1.5, 1.0, 10.0)
+        with pytest.raises(QueueingError):
+            BatchWindow(1.0, 10.0, 2).response_percentile(101.0)
+
+    @given(
+        u=st.floats(0.0, 1.0),
+        tp=st.floats(0.01, 10.0),
+        mult=st.floats(2.0, 100.0),
+    )
+    @settings(max_examples=60)
+    def test_p95_close_to_095_uT_property(self, u, tp, mult):
+        """Property: the batch p95 is 0.95*u*T up to one service-time of
+        quantisation (the observation driving the spread analysis)."""
+        window = mult * tp
+        w = BatchWindow.for_utilisation(u, tp, window)
+        p95 = w.response_percentile(95)
+        assert abs(p95 - 0.95 * w.utilisation * window) <= tp + 1e-9
+
+
+class TestBatchResponseIntegration:
+    def test_quantisation_scale_spread(self, workloads):
+        """Across Pareto mixes the batch p95 differs by at most one of the
+        LARGEST service times — the quantisation bound."""
+        w = workloads["EP"]
+        configs = [
+            ClusterConfiguration.mix({"A9": 32, "K10": 12}),
+            ClusterConfiguration.mix({"A9": 25, "K10": 5}),
+        ]
+        window = 20 * execution_time(w, configs[0])
+        values = [
+            batch_response_percentile_s(w, c, 0.6, window_s=window) for c in configs
+        ]
+        max_tp = max(execution_time(w, c) for c in configs)
+        assert abs(values[0] - values[1]) <= max_tp + 1e-9
+
+    def test_sweep_structure(self, workloads, small_mix):
+        w = workloads["EP"]
+        window = 50 * execution_time(w, small_mix)
+        s = batch_response_sweep(
+            w, small_mix, np.linspace(0.2, 0.9, 8), window_s=window
+        )
+        assert len(s.p95_s) == 8
+        assert (np.diff(s.p95_s) >= 0).all()
+
+    def test_empty_grid_rejected(self, workloads, small_mix):
+        with pytest.raises(QueueingError):
+            batch_response_sweep(workloads["EP"], small_mix, [], window_s=10.0)

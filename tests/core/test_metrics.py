@@ -1,0 +1,214 @@
+"""Tests for the energy-proportionality metrics (paper Table 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    LinearPowerCurve,
+    PPRCurve,
+    QuadraticPowerCurve,
+    SampledPowerCurve,
+    analyze_curve,
+    dpr,
+    epm,
+    ipr,
+    ldr_paper,
+    ldr_strict,
+    ppr,
+    proportionality_gap,
+)
+from repro.errors import ModelError
+
+
+class TestPowerCurves:
+    def test_linear_endpoints(self):
+        c = LinearPowerCurve(2.0, 10.0)
+        assert c.power_w(0.0) == 2.0
+        assert c.power_w(1.0) == 10.0
+        assert c.power_w(0.5) == 6.0
+
+    def test_linear_validation(self):
+        with pytest.raises(ModelError):
+            LinearPowerCurve(-1.0, 5.0)
+        with pytest.raises(ModelError):
+            LinearPowerCurve(10.0, 5.0)
+
+    def test_utilisation_domain(self):
+        c = LinearPowerCurve(1.0, 2.0)
+        with pytest.raises(ModelError):
+            c.power_w(1.5)
+        with pytest.raises(ModelError):
+            c.power_w(-0.1)
+
+    def test_quadratic_reduces_to_linear(self):
+        lin = LinearPowerCurve(2.0, 10.0)
+        quad = QuadraticPowerCurve(2.0, 10.0, curvature=0.0)
+        for u in (0.0, 0.3, 0.7, 1.0):
+            assert quad.power_w(u) == pytest.approx(lin.power_w(u))
+
+    def test_quadratic_curvature_direction(self):
+        sub = QuadraticPowerCurve(0.0, 10.0, curvature=0.8)
+        sup = QuadraticPowerCurve(0.0, 10.0, curvature=-0.8)
+        assert sub.power_w(0.5) < 5.0 < sup.power_w(0.5)
+
+    def test_quadratic_endpoints_fixed(self):
+        c = QuadraticPowerCurve(3.0, 9.0, curvature=0.5)
+        assert c.power_w(0.0) == pytest.approx(3.0)
+        assert c.power_w(1.0) == pytest.approx(9.0)
+
+    def test_quadratic_curvature_bounds(self):
+        with pytest.raises(ModelError):
+            QuadraticPowerCurve(1.0, 2.0, curvature=1.5)
+
+    def test_sampled_interpolates(self):
+        c = SampledPowerCurve([0.0, 0.5, 1.0], [1.0, 4.0, 5.0])
+        assert c.power_w(0.25) == pytest.approx(2.5)
+        assert c.idle_w == 1.0
+        assert c.peak_w == 5.0
+
+    def test_sampled_validation(self):
+        with pytest.raises(ModelError):
+            SampledPowerCurve([0.0, 1.0], [1.0])  # shape mismatch
+        with pytest.raises(ModelError):
+            SampledPowerCurve([0.1, 1.0], [1.0, 2.0])  # misses u=0
+        with pytest.raises(ModelError):
+            SampledPowerCurve([0.0, 0.0, 1.0], [1.0, 1.0, 2.0])  # not increasing
+        with pytest.raises(ModelError):
+            SampledPowerCurve([0.0, 1.0], [-1.0, 2.0])  # negative power
+
+    def test_normalized_against_reference(self):
+        c = LinearPowerCurve(2.0, 10.0)
+        assert c.normalized(1.0) == pytest.approx(1.0)
+        assert c.normalized(1.0, reference_peak_w=20.0) == pytest.approx(0.5)
+        with pytest.raises(ModelError):
+            c.normalized(0.5, reference_peak_w=0.0)
+
+
+class TestScalarMetrics:
+    def test_ipr_dpr_relationship(self):
+        c = LinearPowerCurve(3.0, 10.0)
+        assert ipr(c) == pytest.approx(0.3)
+        assert dpr(c) == pytest.approx(70.0)
+
+    def test_epm_of_linear_curve_is_one_minus_ipr(self):
+        """The paper's observation: on the model's linear-offset curves,
+        EPM collapses to 1 - IPR."""
+        for idle in (0.0, 1.8, 45.0):
+            c = LinearPowerCurve(idle, 60.0)
+            assert epm(c) == pytest.approx(1.0 - ipr(c), abs=1e-9)
+
+    def test_epm_of_ideal_curve_is_one(self):
+        assert epm(LinearPowerCurve(0.0, 10.0)) == pytest.approx(1.0)
+
+    def test_epm_of_flat_curve_is_zero(self):
+        assert epm(LinearPowerCurve(10.0, 10.0)) == pytest.approx(0.0)
+
+    def test_ldr_strict_zero_for_linear(self):
+        assert ldr_strict(LinearPowerCurve(2.0, 10.0)) == pytest.approx(0.0)
+
+    def test_ldr_strict_sign_convention(self):
+        # Positive curvature bows BELOW the chord -> negative (sub-linear).
+        sub = QuadraticPowerCurve(2.0, 10.0, curvature=0.8)
+        sup = QuadraticPowerCurve(2.0, 10.0, curvature=-0.8)
+        assert ldr_strict(sub) < 0
+        assert ldr_strict(sup) > 0
+
+    def test_ldr_paper_is_one_minus_ipr(self):
+        c = LinearPowerCurve(1.8, 2.43)
+        assert ldr_paper(c) == pytest.approx(1.0 - ipr(c))
+
+    def test_pg_positive_for_offset_curves(self):
+        c = LinearPowerCurve(2.0, 10.0)
+        for u in (0.1, 0.5, 0.9):
+            assert proportionality_gap(c, u) > 0
+
+    def test_pg_zero_at_full_load(self):
+        c = LinearPowerCurve(2.0, 10.0)
+        assert proportionality_gap(c, 1.0) == pytest.approx(0.0)
+
+    def test_pg_decreases_with_utilisation(self):
+        c = LinearPowerCurve(2.0, 10.0)
+        gaps = [proportionality_gap(c, u) for u in (0.1, 0.3, 0.5, 0.9)]
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_pg_closed_form(self):
+        # For the linear-offset curve: PG(u) = IPR*(1-u)/u.
+        c = LinearPowerCurve(2.0, 10.0)
+        for u in (0.2, 0.5, 0.8):
+            assert proportionality_gap(c, u) == pytest.approx(0.2 * (1 - u) / u)
+
+    def test_pg_with_reference_can_be_negative(self):
+        # A small config against a big reference: sub-linear.
+        c = LinearPowerCurve(1.0, 5.0)
+        assert proportionality_gap(c, 0.9, reference_peak_w=20.0) < 0
+
+    def test_pg_domain(self):
+        c = LinearPowerCurve(2.0, 10.0)
+        with pytest.raises(ModelError):
+            proportionality_gap(c, 0.0)
+
+    @given(idle=st.floats(0.0, 49.0), peak=st.floats(50.0, 500.0))
+    @settings(max_examples=50)
+    def test_metric_identities_property(self, idle, peak):
+        """Property: for ANY linear-offset curve the paper's degeneracy
+        holds — DPR = 100*(1-IPR) = 100*EPM = 100*LDR_paper."""
+        c = LinearPowerCurve(idle, peak)
+        assert dpr(c) == pytest.approx(100 * (1 - ipr(c)))
+        assert epm(c) == pytest.approx(1 - ipr(c), abs=1e-9)
+        assert ldr_paper(c) == pytest.approx(1 - ipr(c))
+        assert abs(ldr_strict(c)) < 1e-9
+
+    @given(curv=st.floats(-1.0, 1.0))
+    @settings(max_examples=50)
+    def test_epm_ordering_with_curvature(self, curv):
+        """Property: bowing a curve below the chord can only raise EPM."""
+        base = QuadraticPowerCurve(2.0, 10.0, curvature=0.0)
+        bowed = QuadraticPowerCurve(2.0, 10.0, curvature=curv)
+        if curv > 0:
+            assert epm(bowed) >= epm(base) - 1e-9
+        elif curv < 0:
+            assert epm(bowed) <= epm(base) + 1e-9
+
+
+class TestPPR:
+    def test_scalar_ppr(self):
+        assert ppr(1000.0, 10.0) == pytest.approx(100.0)
+        with pytest.raises(ModelError):
+            ppr(1000.0, 0.0)
+        with pytest.raises(ModelError):
+            ppr(-1.0, 10.0)
+
+    def test_ppr_curve_peak(self):
+        curve = PPRCurve(1000.0, LinearPowerCurve(2.0, 10.0))
+        assert curve.peak_ppr == pytest.approx(100.0)
+
+    def test_ppr_increases_with_utilisation_for_offset_curves(self):
+        """Idle power amortises better at high load."""
+        curve = PPRCurve(1000.0, LinearPowerCurve(2.0, 10.0))
+        grid = np.linspace(0.1, 1.0, 10)
+        values = curve.series(grid)
+        assert np.all(np.diff(values) > 0)
+
+    def test_ppr_constant_for_ideal_curve(self):
+        curve = PPRCurve(1000.0, LinearPowerCurve(0.0, 10.0))
+        assert curve.ppr_at(0.2) == pytest.approx(curve.ppr_at(0.9))
+
+    def test_ppr_domain(self):
+        curve = PPRCurve(1000.0, LinearPowerCurve(2.0, 10.0))
+        with pytest.raises(ModelError):
+            curve.ppr_at(0.0)
+        with pytest.raises(ModelError):
+            PPRCurve(0.0, LinearPowerCurve(2.0, 10.0))
+
+
+class TestReport:
+    def test_report_fields(self):
+        c = LinearPowerCurve(3.0, 10.0)
+        report = analyze_curve(c)
+        assert report.idle_w == 3.0
+        assert report.peak_w == 10.0
+        assert report.ipr == pytest.approx(0.3)
+        assert report.dpr == pytest.approx(70.0)
+        assert report.as_row() == pytest.approx((70.0, 0.3, 0.7, 0.7))

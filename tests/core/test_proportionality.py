@@ -1,0 +1,161 @@
+"""Tests for proportionality analysis of (workload, configuration) pairs."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.core.metrics import LinearPowerCurve
+from repro.core.proportionality import (
+    power_curve,
+    ppr_curve,
+    proportionality_report,
+    sublinear_crossover,
+    sublinear_mask,
+    sweep,
+    window_energy_j,
+)
+from repro.errors import ModelError
+from repro.model.energy_model import power_draw
+from repro.model.time_model import cluster_service_rate
+
+
+class TestPowerCurve:
+    def test_endpoints_match_power_draw(self, workloads, small_mix):
+        w = workloads["EP"]
+        curve = power_curve(w, small_mix)
+        draw = power_draw(w, small_mix)
+        assert curve.idle_w == pytest.approx(draw.idle_w)
+        assert curve.peak_w == pytest.approx(draw.peak_w)
+
+    def test_linear_in_utilisation(self, workloads, single_a9):
+        curve = power_curve(workloads["x264"], single_a9)
+        mid = curve.power_w(0.5)
+        assert mid == pytest.approx((curve.idle_w + curve.peak_w) / 2)
+
+
+class TestPPRCurveIntegration:
+    def test_peak_matches_table6(self, workloads, single_a9):
+        from repro.workloads.suite import PAPER_PPR
+
+        curve = ppr_curve(workloads["EP"], single_a9)
+        assert curve.peak_ppr == pytest.approx(PAPER_PPR["EP"]["A9"], rel=1e-6)
+
+    def test_throughput_is_cluster_rate(self, workloads, small_mix):
+        w = workloads["julius"]
+        curve = ppr_curve(w, small_mix)
+        assert curve.peak_throughput_ops_per_s == pytest.approx(
+            cluster_service_rate(w, small_mix)
+        )
+
+
+class TestReportIntegration:
+    def test_report_matches_table7(self, workloads, single_k10):
+        from repro.workloads.suite import PAPER_IPR
+
+        report = proportionality_report(workloads["rsa2048"], single_k10)
+        assert report.ipr == pytest.approx(PAPER_IPR["rsa2048"]["K10"], rel=1e-6)
+        assert report.epm == pytest.approx(1 - report.ipr, abs=1e-9)
+
+
+class TestWindowEnergy:
+    def test_idle_window(self):
+        curve = LinearPowerCurve(2.0, 10.0)
+        assert window_energy_j(curve, 0.0, 100.0) == pytest.approx(200.0)
+
+    def test_full_window(self):
+        curve = LinearPowerCurve(2.0, 10.0)
+        assert window_energy_j(curve, 1.0, 100.0) == pytest.approx(1000.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ModelError):
+            window_energy_j(LinearPowerCurve(1.0, 2.0), 0.5, 0.0)
+
+
+class TestSublinearity:
+    def test_mask_against_larger_reference(self):
+        curve = LinearPowerCurve(1.0, 5.0)
+        grid = np.array([0.1, 0.5, 0.9])
+        mask = sublinear_mask(curve, grid, reference_peak_w=20.0)
+        # At u=0.1: P=1.4 vs ideal 2.0 -> sub-linear already.
+        assert mask.tolist() == [True, True, True]
+
+    def test_mask_against_own_peak_never_sublinear(self):
+        curve = LinearPowerCurve(1.0, 5.0)
+        grid = np.linspace(0.01, 1.0, 50)
+        mask = sublinear_mask(curve, grid, reference_peak_w=curve.peak_w)
+        assert not mask.any()
+
+    def test_crossover_closed_form(self):
+        curve = LinearPowerCurve(1.0, 5.0)  # dyn = 4
+        # u* = idle / (ref - dyn) = 1 / (20 - 4).
+        assert sublinear_crossover(curve, reference_peak_w=20.0) == pytest.approx(
+            1.0 / 16.0
+        )
+
+    def test_crossover_none_when_reference_too_small(self):
+        curve = LinearPowerCurve(1.0, 5.0)
+        assert sublinear_crossover(curve, reference_peak_w=4.0) is None
+
+    def test_crossover_none_when_beyond_full_load(self):
+        curve = LinearPowerCurve(10.0, 12.0)
+        # u* = 10/(13-2) = 0.909 < 1 -> exists; with ref=11.5: 10/9.5 > 1.
+        assert sublinear_crossover(curve, reference_peak_w=11.5) is None
+
+    def test_crossover_consistent_with_mask(self, workloads):
+        """The closed-form crossover agrees with the sampled mask."""
+        w = workloads["EP"]
+        reference = power_curve(w, ClusterConfiguration.mix({"A9": 32, "K10": 12}))
+        small = power_curve(w, ClusterConfiguration.mix({"A9": 25, "K10": 5}))
+        u_star = sublinear_crossover(small, reference_peak_w=reference.peak_w)
+        assert u_star is not None
+        grid = np.linspace(0.05, 1.0, 100)
+        mask = sublinear_mask(small, grid, reference_peak_w=reference.peak_w)
+        assert not mask[grid < u_star - 0.02].any()
+        assert mask[grid > u_star + 0.02].all()
+
+    def test_invalid_reference(self):
+        curve = LinearPowerCurve(1.0, 5.0)
+        with pytest.raises(ModelError):
+            sublinear_mask(curve, [0.5], reference_peak_w=0.0)
+        with pytest.raises(ModelError):
+            sublinear_crossover(curve, reference_peak_w=-1.0)
+
+
+class TestSweep:
+    def test_series_lengths(self, workloads, small_mix):
+        grid = np.linspace(0.1, 1.0, 10)
+        s = sweep(workloads["EP"], small_mix, grid)
+        assert len(s.power_w) == 10
+        assert len(s.ppr) == 10
+
+    def test_normalisation_default_own_peak(self, workloads, small_mix):
+        s = sweep(workloads["EP"], small_mix, np.linspace(0.1, 1.0, 10))
+        assert s.pct_of_reference_peak[-1] == pytest.approx(100.0)
+
+    def test_reference_peak_normalisation(self, workloads, small_mix):
+        curve = power_curve(workloads["EP"], small_mix)
+        s = sweep(
+            workloads["EP"], small_mix, np.linspace(0.1, 1.0, 10),
+            reference_peak_w=2 * curve.peak_w,
+        )
+        assert s.pct_of_reference_peak[-1] == pytest.approx(50.0)
+
+    def test_gap_and_sublinear_consistent(self, workloads, small_mix):
+        s = sweep(workloads["EP"], small_mix, np.linspace(0.1, 1.0, 10))
+        assert ((s.proportionality_gap < 0) == s.sublinear).all()
+
+    def test_custom_label(self, workloads, small_mix):
+        s = sweep(workloads["EP"], small_mix, [0.5], label="mine")
+        assert s.label == "mine"
+
+    def test_default_label_is_mix(self, workloads, small_mix):
+        s = sweep(workloads["EP"], small_mix, [0.5])
+        assert s.label == small_mix.label()
+
+    def test_grid_validation(self, workloads, small_mix):
+        with pytest.raises(ModelError):
+            sweep(workloads["EP"], small_mix, [])
+        with pytest.raises(ModelError):
+            sweep(workloads["EP"], small_mix, [0.0, 0.5])
+        with pytest.raises(ModelError):
+            sweep(workloads["EP"], small_mix, [0.5, 1.5])

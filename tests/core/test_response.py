@@ -1,0 +1,73 @@
+"""Tests for response-time analysis of configurations."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.core.response import p95_response_s, response_percentile_s, response_sweep
+from repro.errors import QueueingError
+from repro.model.time_model import execution_time
+from repro.queueing.md1 import MD1Queue
+
+
+class TestResponsePercentile:
+    def test_matches_md1_directly(self, workloads, small_mix):
+        w = workloads["EP"]
+        tp = execution_time(w, small_mix)
+        direct = MD1Queue.from_utilisation(0.7, tp).response_percentile(95)
+        assert p95_response_s(w, small_mix, 0.7) == pytest.approx(direct)
+
+    def test_low_utilisation_close_to_service_time(self, workloads, small_mix):
+        w = workloads["EP"]
+        tp = execution_time(w, small_mix)
+        assert response_percentile_s(w, small_mix, 0.05) == pytest.approx(tp, rel=0.25)
+
+    def test_increases_with_utilisation(self, workloads, small_mix):
+        w = workloads["x264"]
+        values = [p95_response_s(w, small_mix, u) for u in (0.2, 0.5, 0.8, 0.95)]
+        assert values == sorted(values)
+
+    def test_full_load_is_finite(self, workloads, small_mix):
+        """u = 1.0 is evaluated at the saturation cap, not at divergence."""
+        value = p95_response_s(workloads["EP"], small_mix, 1.0)
+        assert np.isfinite(value)
+
+    def test_invalid_utilisation_rejected(self, workloads, small_mix):
+        with pytest.raises(QueueingError):
+            p95_response_s(workloads["EP"], small_mix, 0.0)
+        with pytest.raises(QueueingError):
+            p95_response_s(workloads["EP"], small_mix, 1.2)
+
+    def test_other_percentiles(self, workloads, small_mix):
+        w = workloads["EP"]
+        p50 = response_percentile_s(w, small_mix, 0.8, percentile=50)
+        p99 = response_percentile_s(w, small_mix, 0.8, percentile=99)
+        assert p50 < p99
+
+
+class TestResponseSweep:
+    def test_sweep_structure(self, workloads, small_mix):
+        grid = np.linspace(0.2, 0.9, 8)
+        s = response_sweep(workloads["EP"], small_mix, grid)
+        assert len(s.p95_s) == 8
+        assert s.service_time_s == pytest.approx(
+            execution_time(workloads["EP"], small_mix)
+        )
+
+    def test_degradation_factor_at_least_one(self, workloads, small_mix):
+        s = response_sweep(workloads["EP"], small_mix, np.linspace(0.2, 0.9, 8))
+        assert (s.degradation_factor >= 1.0).all()
+
+    def test_empty_grid_rejected(self, workloads, small_mix):
+        with pytest.raises(QueueingError):
+            response_sweep(workloads["EP"], small_mix, [])
+
+    def test_bigger_cluster_lower_response(self, workloads):
+        """More nodes -> shorter jobs -> lower p95 at equal utilisation."""
+        w = workloads["EP"]
+        small = ClusterConfiguration.mix({"A9": 25, "K10": 5})
+        big = ClusterConfiguration.mix({"A9": 32, "K10": 12})
+        grid = np.linspace(0.2, 0.9, 8)
+        s_small = response_sweep(w, small, grid)
+        s_big = response_sweep(w, big, grid)
+        assert (s_big.p95_s < s_small.p95_s).all()

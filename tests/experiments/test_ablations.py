@@ -1,0 +1,181 @@
+"""Tests for the ablation drivers."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    curvature_ablation,
+    knightshift_ablation,
+    open_vs_batch_ablation,
+    service_variability_ablation,
+    switch_power_ablation,
+)
+
+
+class TestCurvatureAblation:
+    def test_zero_curvature_degenerate(self):
+        headers, rows = curvature_ablation()
+        by_curv = {r[0]: r for r in rows}
+        zero = by_curv[0.0]
+        assert zero[3] == pytest.approx(zero[2], abs=0.01)  # EPM == 1-IPR
+        assert zero[4] == pytest.approx(0.0, abs=0.01)  # strict LDR == 0
+
+    def test_curvature_separates_metrics(self):
+        _, rows = curvature_ablation()
+        for curv, _, one_minus_ipr, epm, ldr in rows:
+            if curv > 0:
+                assert epm > one_minus_ipr
+                assert ldr < 0
+            elif curv < 0:
+                assert epm < one_minus_ipr
+                assert ldr > 0
+
+    def test_epm_monotone_in_curvature(self):
+        _, rows = curvature_ablation()
+        epms = [r[3] for r in rows]
+        assert epms == sorted(epms)
+
+
+class TestSwitchPowerAblation:
+    def test_paper_point(self):
+        _, rows = switch_power_ablation()
+        by_sw = {r[0]: r for r in rows}
+        assert by_sw[20.0][1] == pytest.approx(8.0)
+        assert by_sw[20.0][2] == "128 A9"
+
+    def test_no_switch_gives_twelve(self):
+        _, rows = switch_power_ablation()
+        by_sw = {r[0]: r for r in rows}
+        assert by_sw[0.0][1] == pytest.approx(12.0)
+        assert by_sw[0.0][2] == "192 A9"
+
+    def test_ratio_decreases_with_switch_power(self):
+        _, rows = switch_power_ablation()
+        ratios = [r[1] for r in rows]
+        assert ratios == sorted(ratios, reverse=True)
+
+
+class TestServiceVariabilityAblation:
+    def test_means_follow_pollaczek_khinchine(self):
+        _, rows = service_variability_ablation(scvs=(0.0, 1.0), des_jobs=1000)
+        means = [r[1] for r in rows]
+        # M/M/1 mean wait is twice M/D/1's; responses differ accordingly.
+        assert means[1] > means[0]
+
+    def test_p95_grows_with_variability(self):
+        _, rows = service_variability_ablation(scvs=(0.0, 0.5, 1.0), des_jobs=20_000)
+        p95s = [r[2] for r in rows]
+        assert p95s == sorted(p95s)
+
+    def test_sources_labelled(self):
+        _, rows = service_variability_ablation(scvs=(0.0, 0.5, 1.0), des_jobs=1000)
+        assert rows[0][3] == "M/D/1 analytic"
+        assert rows[2][3] == "M/M/1 analytic"
+        assert "DES" in rows[1][3]
+
+    def test_invalid_utilisation(self):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            service_variability_ablation(utilisation=1.5)
+
+
+class TestOpenVsBatchAblation:
+    def test_all_mixes_reported(self):
+        _, rows = open_vs_batch_ablation()
+        assert len(rows) == 5
+
+    def test_open_spread_exceeds_batch_spread(self):
+        """The point of the ablation: under batch windows the p95 spread
+        between mixes collapses to quantisation scale, far below the open
+        M/D/1 spread that tracks each mix's service time."""
+        _, rows = open_vs_batch_ablation()
+        open_values = [r[1] for r in rows]
+        batch_values = [r[2] for r in rows]
+        open_spread = max(open_values) - min(open_values)
+        batch_spread = max(batch_values) - min(batch_values)
+        assert batch_spread < open_spread
+
+
+class TestKnightshiftAblation:
+    def test_two_approaches(self):
+        headers, rows = knightshift_ablation()
+        assert {r[0] for r in rows} == {"knightshift", "internode"}
+
+    def test_epm_vs_ppr_tension(self):
+        headers, rows = knightshift_ablation()
+        by_name = {r[0]: dict(zip(headers, r)) for r in rows}
+        assert by_name["knightshift"]["EPM"] > by_name["internode"]["EPM"]
+        assert by_name["internode"]["ppr@100%"] > by_name["knightshift"]["ppr@100%"]
+
+
+class TestPoolingAblation:
+    def test_partitioning_degrades_latency(self):
+        from repro.experiments.ablations import pooling_ablation
+
+        _, rows = pooling_ablation(slot_counts=(1, 2, 4))
+        p95s = [r[3] for r in rows]
+        assert p95s == sorted(p95s)
+
+    def test_slot_service_time_scales(self):
+        from repro.experiments.ablations import pooling_ablation
+
+        _, rows = pooling_ablation(slot_counts=(1, 4))
+        assert rows[1][1] == pytest.approx(4 * rows[0][1], rel=1e-2)
+
+    def test_invalid_utilisation(self):
+        from repro.errors import ModelError
+        from repro.experiments.ablations import pooling_ablation
+
+        with pytest.raises(ModelError):
+            pooling_ablation(utilisation=0.0)
+
+
+class TestAdaptationAblation:
+    def test_savings_for_all_workloads(self):
+        from repro.experiments.ablations import adaptation_ablation
+
+        headers, rows = adaptation_ablation()
+        assert len(rows) == 3
+        for row in rows:
+            savings = float(row[4].rstrip("%"))
+            assert savings > 10.0  # diurnal adaptation saves double digits
+
+    def test_static_cluster_is_peak_choice(self):
+        from repro.experiments.ablations import adaptation_ablation
+
+        _, rows = adaptation_ablation(workload_names=("EP", "x264"))
+        by_name = {r[0]: r for r in rows}
+        assert by_name["EP"][1] == "128 A9"
+        assert by_name["x264"][1] == "16 K10"
+
+
+class TestValidationScaleAblation:
+    def test_errors_shrink_with_run_length(self):
+        from repro.experiments.ablations import validation_scale_ablation
+
+        _, rows = validation_scale_ablation(job_scales=(1.0, 16.0))
+        # Short runs are overhead-dominated: both errors improve at scale 16.
+        assert rows[1][2] < rows[0][2]
+        assert rows[1][3] < rows[0][3]
+
+    def test_run_length_grows(self):
+        from repro.experiments.ablations import validation_scale_ablation
+
+        _, rows = validation_scale_ablation(job_scales=(1.0, 4.0, 16.0))
+        lengths = [r[1] for r in rows]
+        assert lengths == sorted(lengths)
+
+
+class TestForkJoinAblation:
+    def test_penalty_monotone_in_width(self):
+        from repro.experiments.ablations import fork_join_ablation
+
+        _, rows = fork_join_ablation(node_counts=(1, 16, 44), n_jobs=6000)
+        p95s = [r[2] for r in rows[1:]]  # skip the analytic row
+        assert p95s == sorted(p95s)
+
+    def test_analytic_row_first(self):
+        from repro.experiments.ablations import fork_join_ablation
+
+        _, rows = fork_join_ablation(node_counts=(1,), n_jobs=2000)
+        assert rows[0][0] == "M/D/1 abstraction"

@@ -1,0 +1,54 @@
+"""Tests for the DVFS/core-scaling frontier study."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.experiments.dvfs import dvfs_frontier_study, frontier_pair
+
+
+class TestFrontierPair:
+    def test_full_frontier_dominates_counts_only(self):
+        """Adding DVFS/core dimensions can only improve (or tie) the
+        frontier: for every counts-only point some full-tuple point is at
+        least as good on both axes."""
+        _, full, counts = frontier_pair("blackscholes", n_a9=4, n_k10=2)
+        for ev in counts:
+            assert any(
+                f.tp_s <= ev.tp_s + 1e-12 and f.energy_j <= ev.energy_j + 1e-12
+                for f in full
+            )
+
+    def test_counts_only_subset_of_evaluations(self):
+        evals, _, counts = frontier_pair("EP", n_a9=3, n_k10=1)
+        assert len(counts) <= len(evals)
+        for ev in counts:
+            for g in ev.config.groups:
+                assert g.cores == g.spec.cores
+                assert g.frequency_hz == g.spec.fmax_hz
+
+
+class TestDvfsStudy:
+    def test_race_to_idle_wins_on_real_nodes(self):
+        """The headline negative result: with the paper's idle powers the
+        DVFS/core dimensions never improve the sweet spot."""
+        _, rows = dvfs_frontier_study(n_a9=4, n_k10=2)
+        for row in rows:
+            assert row[3] == "0.0%"
+            assert "f=1.4GHz" in row[5] or "f=2.1GHz" in row[5]
+
+    def test_dvfs_helps_on_proportional_hardware(self):
+        """Shrinking the idle baseline makes down-clocking worthwhile."""
+        _, rows = dvfs_frontier_study(n_a9=4, n_k10=2, idle_scale=0.1)
+        savings = [float(r[3].rstrip("%")) for r in rows]
+        assert max(savings) > 0.0
+
+    def test_energy_decreases_with_slack(self):
+        _, rows = dvfs_frontier_study(n_a9=4, n_k10=2)
+        energies = [r[2] for r in rows]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            dvfs_frontier_study(deadline_slacks=(0.5,))
+        with pytest.raises(ModelError):
+            dvfs_frontier_study(idle_scale=0.0)

@@ -1,0 +1,262 @@
+"""Tests for the figure regenerators: the paper's qualitative shapes."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    PARETO_MIXES,
+    compute_pareto_mixes,
+    figure2_metric_relationships,
+    figure5_node_proportionality,
+    figure6_node_ppr,
+    figure7_cluster_proportionality,
+    figure8_cluster_ppr,
+    figure9_pareto_proportionality,
+    figure11_response_time,
+    pareto_mix_configs,
+)
+
+
+class TestFigure2:
+    def test_three_series(self):
+        fig = figure2_metric_relationships()
+        labels = [s.label for s in fig.series]
+        assert labels == ["Ideal", "super-linear", "sub-linear"]
+
+    def test_super_above_sub(self):
+        fig = figure2_metric_relationships()
+        sup = fig.require_series("super-linear")
+        sub = fig.require_series("sub-linear")
+        mid = len(sup.y) // 2
+        assert sup.y[mid] > sub.y[mid]
+
+    def test_invalid_ipr_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            figure2_metric_relationships(ipr=1.5)
+
+
+class TestFigure5:
+    @pytest.mark.parametrize("name", ["EP", "x264", "blackscholes"])
+    def test_both_nodes_above_ideal(self, name):
+        """Single nodes are super-linear: always at or above the ideal."""
+        fig = figure5_node_proportionality(name)
+        ideal = fig.require_series("Ideal")
+        for node in ("A9", "K10"):
+            series = fig.require_series(node)
+            assert (series.y >= ideal.y - 1e-9).all()
+
+    def test_curves_start_at_ipr(self):
+        """At u->0 the percent-of-peak approaches 100*IPR; at u=10% it is
+        close to it (paper Figure 5 starting points)."""
+        from repro.workloads.suite import PAPER_IPR
+
+        fig = figure5_node_proportionality("EP")
+        for node in ("A9", "K10"):
+            y0 = fig.require_series(node).y[0]
+            expected = 100 * (PAPER_IPR["EP"][node] + 0.1 * (1 - PAPER_IPR["EP"][node]))
+            assert y0 == pytest.approx(expected, abs=0.5)
+
+    def test_curves_end_at_100(self):
+        fig = figure5_node_proportionality("blackscholes")
+        for node in ("A9", "K10"):
+            assert fig.require_series(node).y[-1] == pytest.approx(100.0)
+
+    def test_k10_below_a9_for_compute_workloads(self):
+        """Paper: 'usage of K10 nodes is more energy-proportional than the
+        A9 node for compute and memory intensive workloads'."""
+        for name in ("EP", "blackscholes"):
+            fig = figure5_node_proportionality(name)
+            a9 = fig.require_series("A9")
+            k10 = fig.require_series("K10")
+            assert (k10.y <= a9.y + 1e-9).all()
+
+
+class TestFigure6:
+    def test_a9_wins_ep_and_blackscholes(self):
+        """Paper Figure 6a/6c: A9's PPR curve lies above K10's."""
+        for name in ("EP", "blackscholes"):
+            fig = figure6_node_ppr(name)
+            assert (
+                fig.require_series("A9").y > fig.require_series("K10").y
+            ).all()
+
+    def test_k10_wins_x264(self):
+        """Paper Figure 6b: x264 is the exception."""
+        fig = figure6_node_ppr("x264")
+        assert (fig.require_series("K10").y > fig.require_series("A9").y).all()
+
+    def test_ppr_increases_with_utilisation(self):
+        fig = figure6_node_ppr("EP")
+        for s in fig.series:
+            assert (np.diff(s.y) > 0).all()
+
+    def test_log_scale_flag(self):
+        assert figure6_node_ppr("EP").logy
+
+
+class TestFigure7:
+    def test_five_mixes_plus_ideal(self):
+        fig = figure7_cluster_proportionality("EP")
+        assert len(fig.series) == 6
+        assert fig.series[0].label == "Ideal"
+        assert fig.logx
+
+    def test_k10_cluster_most_proportional(self):
+        """Paper: 'the homogeneous configuration using K10 nodes has the
+        least proportionality gap' — its curve is the lowest."""
+        fig = figure7_cluster_proportionality("EP")
+        k10 = fig.require_series("16 K10")
+        for label in ("128 A9", "64 A9 : 8 K10", "96 A9 : 4 K10", "32 A9 : 12 K10"):
+            other = fig.require_series(label)
+            assert (k10.y <= other.y + 1e-9).all()
+
+    def test_all_mixes_superlinear(self):
+        fig = figure7_cluster_proportionality("EP")
+        ideal = fig.require_series("Ideal")
+        for s in fig.series[1:]:
+            assert (s.y >= ideal.y - 1e-9).all()
+
+
+class TestFigure8:
+    def test_a9_cluster_best_ppr_for_ep(self):
+        """Paper: 'the homogeneous configuration consisting of 128 A9 nodes
+        exhibits the best PPR' for EP."""
+        fig = figure8_cluster_ppr("EP")
+        best = fig.require_series("128 A9")
+        for s in fig.series:
+            if s.label != "128 A9":
+                assert (best.y >= s.y - 1e-9).all()
+
+    def test_ppr_ordering_monotone_in_wimpy_count(self):
+        """For EP (A9-friendly), more A9 nodes -> better cluster PPR."""
+        fig = figure8_cluster_ppr("EP")
+        order = ["16 K10", "32 A9 : 12 K10", "64 A9 : 8 K10", "96 A9 : 4 K10", "128 A9"]
+        final = [fig.require_series(lbl).y[-1] for lbl in order]
+        assert final == sorted(final)
+
+    def test_metric_contradiction_with_figure7(self):
+        """The paper's headline: proportionality (Fig. 7) picks the K10
+        cluster while PPR (Fig. 8) picks the A9 cluster."""
+        fig7 = figure7_cluster_proportionality("EP")
+        fig8 = figure8_cluster_ppr("EP")
+        # Fig 7 winner (lowest curve): 16 K10. Fig 8 winner: 128 A9.
+        k10_power = fig7.require_series("16 K10").y
+        a9_power = fig7.require_series("128 A9").y
+        assert (k10_power <= a9_power).all()
+        k10_ppr = fig8.require_series("16 K10").y
+        a9_ppr = fig8.require_series("128 A9").y
+        assert (a9_ppr >= k10_ppr).all()
+
+
+class TestFigure9And10:
+    def test_reference_mix_is_never_sublinear(self):
+        fig = figure9_pareto_proportionality("EP")
+        ideal = fig.require_series("Ideal")
+        ref = fig.require_series("32 A9: 12 K10")
+        assert (ref.y >= ideal.y - 1e-9).all()
+
+    @pytest.mark.parametrize("name", ["EP", "x264"])
+    def test_smallest_mix_goes_sublinear(self, name):
+        """(25 A9, 5 K10) must fall below the reference ideal line at high
+        utilisation — the paper's sub-linear proportionality."""
+        fig = figure9_pareto_proportionality(name)
+        ideal = fig.require_series("Ideal")
+        small = fig.require_series("25 A9: 5 K10")
+        assert (small.y < ideal.y).any()
+        # And specifically at full utilisation.
+        assert small.y[-1] < ideal.y[-1]
+
+    def test_sublinearity_grows_as_brawny_nodes_removed(self, workloads):
+        """Fewer K10s -> curve sits lower (paper: 'configurations below the
+        ideal proportionality have decreasing number of brawny nodes')."""
+        fig = figure9_pareto_proportionality("EP")
+        y_by_k10 = {
+            k: fig.require_series(f"25 A9: {k} K10").y for k in (10, 8, 7, 5)
+        }
+        assert (y_by_k10[5] < y_by_k10[7]).all()
+        assert (y_by_k10[7] < y_by_k10[8]).all()
+        assert (y_by_k10[8] < y_by_k10[10]).all()
+
+    def test_mixes_constant(self):
+        assert PARETO_MIXES[0] == (32, 12)
+        configs = pareto_mix_configs()
+        assert configs[0].count_of("A9") == 32
+        assert configs[-1].count_of("K10") == 5
+
+
+class TestFigure11And12:
+    def test_ep_is_milliseconds(self):
+        fig = figure11_response_time("EP")
+        assert "[ms]" in fig.ylabel
+
+    def test_x264_is_seconds(self):
+        fig = figure11_response_time("x264")
+        assert "[s]" in fig.ylabel
+
+    def test_response_increases_with_utilisation(self):
+        fig = figure11_response_time("EP")
+        for s in fig.series:
+            assert (np.diff(s.y) > 0).all()
+
+    def test_fewer_brawny_nodes_higher_response(self):
+        fig = figure11_response_time("EP")
+        full = fig.require_series("32 A9: 12 K10")
+        small = fig.require_series("25 A9: 5 K10")
+        assert (small.y > full.y).all()
+
+    def test_x264_degrades_to_seconds_ep_stays_small(self, workloads):
+        """The paper's Section III-E contrast: for EP the absolute spread
+        between mixes stays small; for x264 it reaches seconds."""
+        ep = figure11_response_time("EP")  # in ms
+        x264 = figure11_response_time("x264")  # in s
+        mid = len(ep.series[0].y) // 2
+        ep_spread_ms = (
+            ep.require_series("25 A9: 5 K10").y[mid]
+            - ep.require_series("32 A9: 12 K10").y[mid]
+        )
+        x264_spread_s = (
+            x264.require_series("25 A9: 5 K10").y[mid]
+            - x264.require_series("32 A9: 12 K10").y[mid]
+        )
+        assert ep_spread_ms < 100.0  # sub-tenth-of-a-second for EP
+        assert x264_spread_s > 1.0  # whole seconds for x264
+
+    def test_explicit_unit_override(self):
+        fig = figure11_response_time("EP", unit="s")
+        assert "[s]" in fig.ylabel
+
+    def test_invalid_unit_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            figure11_response_time("EP", unit="hours")
+
+
+class TestComputedFrontier:
+    def test_frontier_contains_extreme_mixes(self):
+        frontier = compute_pareto_mixes("EP", n_a9=8, n_k10=4)
+        labels = [ev.config.label() for ev in frontier]
+        # The fastest configuration (all nodes) is always on the frontier.
+        assert "8 A9 : 4 K10" in labels
+
+    def test_frontier_energy_decreasing(self):
+        frontier = compute_pareto_mixes("EP", n_a9=8, n_k10=4)
+        energies = [ev.energy_j for ev in frontier]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_sublinear_figure_mixes_trade_like_frontier(self, workloads):
+        """The paper's named (25, k) mixes behave like frontier points:
+        monotone time-energy trade as k decreases."""
+        from repro.cluster.pareto import evaluate_configuration
+
+        w = workloads["EP"]
+        evals = [
+            evaluate_configuration(w, c)
+            for c in pareto_mix_configs(((25, 10), (25, 8), (25, 7), (25, 5)))
+        ]
+        times = [e.tp_s for e in evals]
+        energies = [e.energy_j for e in evals]
+        assert times == sorted(times)
+        assert energies == sorted(energies, reverse=True)

@@ -1,0 +1,102 @@
+"""Tests for measured power-vs-utilisation curves."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.core.proportionality import power_curve
+from repro.errors import MeasurementError
+from repro.experiments.measured import (
+    compare_measured_vs_model,
+    measure_power_curve,
+)
+from repro.util.rng import RngRegistry
+
+
+@pytest.fixture()
+def small_config():
+    return ClusterConfiguration.mix({"A9": 2, "K10": 1})
+
+
+class TestMeasurePowerCurve:
+    def test_anchors_present(self, workloads, small_config, registry):
+        curve, points = measure_power_curve(
+            workloads["EP"], small_config, registry=registry,
+            utilisations=(0.3, 0.7),
+        )
+        assert points[0].target_utilisation == 0.0
+        assert points[-1].target_utilisation == 1.0
+        assert curve.power_w(0.0) == pytest.approx(points[0].mean_power_w)
+
+    def test_idle_anchor_matches_cluster_idle(self, workloads, small_config, registry):
+        _, points = measure_power_curve(
+            workloads["EP"], small_config, registry=registry, utilisations=(0.5,),
+        )
+        assert points[0].mean_power_w == pytest.approx(small_config.idle_w, rel=0.03)
+
+    def test_power_increases_with_utilisation(self, workloads, small_config, registry):
+        _, points = measure_power_curve(
+            workloads["EP"], small_config, registry=registry,
+            utilisations=(0.25, 0.5, 0.75),
+        )
+        powers = [p.mean_power_w for p in points]
+        assert powers == sorted(powers)
+
+    def test_achieved_utilisation_tracks_target(self, workloads, small_config, registry):
+        _, points = measure_power_curve(
+            workloads["EP"], small_config, registry=registry,
+            utilisations=(0.4, 0.8), window_multiplier=40.0,
+        )
+        for p in points[1:-1]:
+            assert p.achieved_utilisation == pytest.approx(
+                p.target_utilisation, abs=0.12
+            )
+
+    def test_invalid_parameters(self, workloads, small_config, registry):
+        with pytest.raises(MeasurementError):
+            measure_power_curve(
+                workloads["EP"], small_config, registry=registry,
+                window_multiplier=1.0,
+            )
+        with pytest.raises(MeasurementError):
+            measure_power_curve(
+                workloads["EP"], small_config, registry=registry,
+                utilisations=(0.0,),
+            )
+
+    def test_deterministic_given_registry(self, workloads, small_config):
+        a, _ = measure_power_curve(
+            workloads["EP"], small_config, registry=RngRegistry(3),
+            utilisations=(0.5,),
+        )
+        b, _ = measure_power_curve(
+            workloads["EP"], small_config, registry=RngRegistry(3),
+            utilisations=(0.5,),
+        )
+        assert a.power_w(0.5) == b.power_w(0.5)
+
+
+class TestMeasuredVsModel:
+    def test_reports_agree(self, workloads, small_config, registry):
+        """The empirical curve confirms the analytic one within the
+        testbed's second-order effects (<10%)."""
+        measured, model = compare_measured_vs_model(
+            workloads["EP"], small_config, registry=registry,
+        )
+        assert measured.idle_w == pytest.approx(model.idle_w, rel=0.03)
+        assert measured.peak_w == pytest.approx(model.peak_w, rel=0.10)
+        assert measured.ipr == pytest.approx(model.ipr, abs=0.06)
+        assert measured.epm == pytest.approx(model.epm, abs=0.06)
+
+    def test_measured_curve_is_close_to_linear(self, workloads, small_config, registry):
+        """The measured points do not bow far from the model's line —
+        the empirical basis for the paper's linear-offset curves."""
+        curve, _ = measure_power_curve(
+            workloads["blackscholes"], small_config, registry=registry,
+            utilisations=(0.25, 0.5, 0.75),
+        )
+        model = power_curve(workloads["blackscholes"], small_config)
+        for u in np.linspace(0.1, 0.9, 9):
+            assert curve.power_w(float(u)) == pytest.approx(
+                model.power_w(float(u)), rel=0.12
+            )

@@ -1,0 +1,69 @@
+"""Tests for the text report renderers."""
+
+import pytest
+
+from repro.experiments.report import (
+    report_figure,
+    report_table5,
+    report_table6,
+    report_table7,
+    report_table8,
+)
+
+
+class TestTableReports:
+    def test_table5(self):
+        out = report_table5()
+        assert "Table 5" in out
+        assert "ARMv7-A" in out
+        assert "x86_64" in out
+
+    def test_table6(self):
+        out = report_table6()
+        assert "6,048,057" in out
+        assert "1,414,922" in out
+
+    def test_table7(self):
+        out = report_table7()
+        assert "Table 7" in out
+        assert "0.74" in out  # EP A9 IPR
+
+    def test_table8(self):
+        out = report_table8()
+        assert "64 A9 : 8 K10" in out
+        assert "128 A9" in out
+
+
+class TestFigureReports:
+    @pytest.mark.parametrize(
+        "name",
+        ["fig2", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c",
+         "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"],
+    )
+    def test_every_figure_renders(self, name):
+        out = report_figure(name)
+        assert "Figure" in out
+        assert "Utilization" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            report_figure("fig99")
+
+
+class TestCharacterizationReport:
+    def test_renders_measured_vs_true(self):
+        from repro.experiments.report import report_characterization
+
+        out = report_characterization("EP", seed=3)
+        assert "Characterization of EP" in out
+        assert "cycles_core / op" in out
+        assert "A9" in out and "K10" in out
+
+    def test_unknown_workload_rejected(self):
+        from repro.errors import WorkloadError
+        from repro.experiments.report import report_characterization
+
+        import pytest as _pytest
+
+        with _pytest.raises(WorkloadError):
+            report_characterization("doom")

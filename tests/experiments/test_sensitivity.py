@@ -1,0 +1,95 @@
+"""Tests for the calibration sensitivity analysis."""
+
+import pytest
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.errors import CalibrationError
+from repro.experiments.sensitivity import (
+    conclusion_sensitivity,
+    crossover_sensitivity,
+    perturbed_workload,
+    ppr_winner,
+)
+from repro.model.energy_model import power_draw
+from repro.model.time_model import cluster_service_rate
+from repro.workloads.suite import PAPER_IPR, PAPER_PPR
+
+
+class TestPerturbedWorkload:
+    def test_identity_perturbation_matches_calibration(self, workloads):
+        w = perturbed_workload("EP")
+        base = workloads["EP"]
+        for node in ("A9", "K10"):
+            assert w.demand_for(node).core_cycles_per_op == pytest.approx(
+                base.demand_for(node).core_cycles_per_op
+            )
+
+    def test_ppr_scaling_scales_throughput(self):
+        w = perturbed_workload("EP", ppr_scale=1.2)
+        config = ClusterConfiguration.mix({"A9": 1})
+        rate = cluster_service_rate(w, config)
+        peak = power_draw(w, config).peak_w
+        assert rate / peak == pytest.approx(1.2 * PAPER_PPR["EP"]["A9"], rel=1e-6)
+
+    def test_ipr_shift_moves_idle_share(self):
+        w = perturbed_workload("EP", ipr_shift=0.05)
+        draw = power_draw(w, ClusterConfiguration.mix({"A9": 1}))
+        assert draw.ipr == pytest.approx(PAPER_IPR["EP"]["A9"] + 0.05, rel=1e-6)
+
+    def test_per_node_perturbation(self):
+        w = perturbed_workload("EP", ppr_scale={"A9": 2.0, "K10": 1.0})
+        rate_a9 = cluster_service_rate(w, ClusterConfiguration.mix({"A9": 1}))
+        base = perturbed_workload("EP")
+        base_rate = cluster_service_rate(base, ClusterConfiguration.mix({"A9": 1}))
+        assert rate_a9 == pytest.approx(2 * base_rate, rel=1e-9)
+
+    def test_infeasible_perturbation_raises(self):
+        # rsa2048 on the K10 already sits near the power envelope; pushing
+        # the IPR down demands more dynamic power than the node has.
+        with pytest.raises(CalibrationError):
+            perturbed_workload("rsa2048", ipr_shift=-0.05)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(CalibrationError):
+            perturbed_workload("doom")
+
+
+class TestPPRWinner:
+    def test_paper_winners(self, workloads):
+        assert ppr_winner(workloads["EP"]) == "A9"
+        assert ppr_winner(workloads["x264"]) == "K10"
+        assert ppr_winner(workloads["rsa2048"]) == "K10"
+
+
+class TestCrossoverSensitivity:
+    def test_ppr_scaling_is_invariant(self):
+        """Sub-linearity is a power property: throughput scaling must not
+        move the crossover at all."""
+        _, rows = crossover_sensitivity(ppr_scales=(0.5, 1.0, 2.0), ipr_shifts=())
+        values = {r[1] for r in rows if r[2] == "ok"}
+        assert len(values) == 1
+
+    def test_ipr_shift_moves_crossover_mildly(self):
+        _, rows = crossover_sensitivity(ppr_scales=(), ipr_shifts=(-0.04, 0.0, 0.04))
+        values = [r[1] for r in rows if r[2] == "ok"]
+        assert len(values) == 3
+        assert values == sorted(values)  # higher IPR -> later crossover
+        # The paper's ~50% reading survives the whole band.
+        assert all(0.4 <= v <= 0.6 for v in values)
+
+
+class TestConclusionSensitivity:
+    def test_winners_stable_at_zero_shift(self):
+        headers, rows = conclusion_sensitivity(ipr_shifts=(0.0,))
+        row = dict(zip(headers, rows[0]))
+        assert row["EP"] == "A9"
+        assert row["x264"] == "K10"
+        assert row["rsa2048"] == "K10"
+        assert row["status"] == "ok"
+
+    def test_non_exception_winners_stable_under_small_shifts(self):
+        headers, rows = conclusion_sensitivity(ipr_shifts=(-0.02, 0.0, 0.02))
+        idx = {h: i for i, h in enumerate(headers)}
+        for name in ("EP", "memcached", "blackscholes", "julius"):
+            winners = {r[idx[name]] for r in rows}
+            assert winners == {"A9"}

@@ -1,0 +1,104 @@
+"""Tests for the simulated perf counters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.hardware.counters import CounterSet, PerfReader
+
+
+class TestCounterSet:
+    def test_work_cycles(self):
+        c = CounterSet(
+            cycles=100, stall_cycles=30, instructions=105, llc_misses=1,
+            net_bytes=0, elapsed_s=1.0,
+        )
+        assert c.work_cycles == 70
+
+    def test_stall_fraction(self):
+        c = CounterSet(
+            cycles=100, stall_cycles=25, instructions=100, llc_misses=1,
+            net_bytes=0, elapsed_s=1.0,
+        )
+        assert c.stall_fraction == pytest.approx(0.25)
+
+    def test_ipc(self):
+        c = CounterSet(
+            cycles=200, stall_cycles=0, instructions=300, llc_misses=0,
+            net_bytes=0, elapsed_s=1.0,
+        )
+        assert c.ipc == pytest.approx(1.5)
+
+    def test_zero_cycles_fractions(self):
+        c = CounterSet(
+            cycles=0, stall_cycles=0, instructions=0, llc_misses=0,
+            net_bytes=0, elapsed_s=1.0,
+        )
+        assert c.stall_fraction == 0.0
+        assert c.ipc == 0.0
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(MeasurementError):
+            CounterSet(
+                cycles=-1, stall_cycles=0, instructions=0, llc_misses=0,
+                net_bytes=0, elapsed_s=1.0,
+            )
+
+    def test_zero_elapsed_rejected(self):
+        with pytest.raises(MeasurementError):
+            CounterSet(
+                cycles=1, stall_cycles=0, instructions=0, llc_misses=0,
+                net_bytes=0, elapsed_s=0.0,
+            )
+
+    def test_mem_cycles_estimate_roundtrip(self):
+        reader = PerfReader(np.random.default_rng(0), jitter_frac=0.0)
+        snap = reader.read(
+            work_cycles=1e9, stall_cycles=1e8, mem_cycles=5e8, net_bytes=0,
+            elapsed_s=1.0,
+        )
+        assert snap.mem_cycles_estimate == pytest.approx(5e8)
+
+
+class TestPerfReader:
+    def test_zero_jitter_is_exact(self, rng):
+        reader = PerfReader(rng, jitter_frac=0.0)
+        snap = reader.read(
+            work_cycles=1000.0, stall_cycles=200.0, mem_cycles=400.0,
+            net_bytes=64.0, elapsed_s=0.5,
+        )
+        assert snap.work_cycles == pytest.approx(1000.0)
+        assert snap.stall_cycles == pytest.approx(200.0)
+        assert snap.net_bytes == pytest.approx(64.0)
+
+    def test_jitter_is_small(self, rng):
+        reader = PerfReader(rng, jitter_frac=0.003)
+        snap = reader.read(
+            work_cycles=1e9, stall_cycles=1e8, mem_cycles=2e8, net_bytes=1e6,
+            elapsed_s=1.0,
+        )
+        assert snap.work_cycles == pytest.approx(1e9, rel=0.02)
+        assert snap.stall_cycles == pytest.approx(1e8, rel=0.02)
+
+    def test_zero_counters_stay_zero(self, rng):
+        reader = PerfReader(rng, jitter_frac=0.01)
+        snap = reader.read(
+            work_cycles=0.0, stall_cycles=0.0, mem_cycles=0.0, net_bytes=0.0,
+            elapsed_s=1.0,
+        )
+        assert snap.cycles == 0.0
+        assert snap.net_bytes == 0.0
+
+    def test_negative_jitter_rejected(self, rng):
+        with pytest.raises(MeasurementError):
+            PerfReader(rng, jitter_frac=-0.1)
+
+    def test_counters_never_negative(self):
+        reader = PerfReader(np.random.default_rng(3), jitter_frac=2.0)
+        for _ in range(50):
+            snap = reader.read(
+                work_cycles=10.0, stall_cycles=10.0, mem_cycles=10.0,
+                net_bytes=10.0, elapsed_s=1.0,
+            )
+            assert snap.cycles >= 0
+            assert snap.llc_misses >= 0

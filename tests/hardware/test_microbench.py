@@ -1,0 +1,106 @@
+"""Tests for micro-benchmarks and power characterization."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.hardware.microbench import (
+    cache_antagonist_trace,
+    characterize_node_power,
+    cpu_max_trace,
+    net_blast_trace,
+    run_microbenchmark,
+)
+from repro.hardware.node import NonIdealities, SimulatedNode
+from repro.hardware.powermeter import PowerMeter
+from repro.hardware.specs import a9, k10
+
+
+@pytest.fixture()
+def quiet_meter(registry):
+    """An unbiased meter so characterization error comes from the method."""
+    return PowerMeter(
+        registry.stream("meter"), noise_frac=0.001, gain_error_frac=0.0,
+        resolution_w=0.01,
+    )
+
+
+class TestBenchTraces:
+    def test_cpu_max_duration(self, registry, quiet_meter):
+        spec = a9()
+        node = SimulatedNode(spec, registry.stream("node"))
+        result, _ = run_microbenchmark(node, cpu_max_trace(spec, 5.0), quiet_meter)
+        assert result.elapsed_s == pytest.approx(5.0, rel=0.05)
+
+    def test_cpu_max_is_pure_core(self):
+        trace = cpu_max_trace(a9(), 5.0)
+        assert trace.total_mem_cycles == 0.0
+        assert trace.total_io_bytes == 0.0
+        assert trace.total_core_cycles > 0
+
+    def test_antagonist_is_stall_dominated(self):
+        spec = a9()
+        trace = cache_antagonist_trace(spec, 5.0)
+        # Memory time dominates core time by the antagonist ratio.
+        t_core = trace.total_core_cycles / (spec.cores * spec.fmax_hz)
+        t_mem = trace.total_mem_cycles / spec.fmax_hz
+        assert t_mem / t_core == pytest.approx(25.0, rel=0.01)
+
+    def test_net_blast_saturates_nic(self):
+        spec = a9()
+        trace = net_blast_trace(spec, 5.0)
+        assert trace.total_io_bytes == pytest.approx(5.0 * spec.nic_bps / 8.0)
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(MeasurementError):
+            cpu_max_trace(a9(), 0.0)
+        with pytest.raises(MeasurementError):
+            cache_antagonist_trace(a9(), -1.0)
+        with pytest.raises(MeasurementError):
+            net_blast_trace(a9(), 0.0)
+
+
+class TestPowerCharacterization:
+    @pytest.mark.parametrize("make_spec", [a9, k10])
+    def test_recovers_true_profile(self, registry, quiet_meter, make_spec):
+        spec = make_spec()
+        node = SimulatedNode(spec, registry.stream("node"))
+        measured = characterize_node_power(node, quiet_meter)
+        true = spec.power
+        assert measured.power.idle_w == pytest.approx(true.idle_w, rel=0.02)
+        assert measured.power.cpu_active_w == pytest.approx(true.cpu_active_w, rel=0.05)
+        # The antagonist leaves ~4% of the stall power hidden behind its
+        # small core loop; allow a slightly wider band.
+        assert measured.power.cpu_stall_w == pytest.approx(true.cpu_stall_w, rel=0.12)
+        assert measured.power.network_w == pytest.approx(true.network_w, rel=0.10)
+
+    def test_memory_power_comes_from_spec_sheet(self, registry, quiet_meter):
+        spec = a9()
+        node = SimulatedNode(spec, registry.stream("node"))
+        measured = characterize_node_power(
+            node, quiet_meter, memory_power_spec_w=0.42
+        )
+        assert measured.power.memory_w == 0.42
+
+    def test_returns_same_identity(self, registry, quiet_meter):
+        spec = k10()
+        node = SimulatedNode(spec, registry.stream("node"))
+        measured = characterize_node_power(node, quiet_meter)
+        assert measured.name == spec.name
+        assert measured.cores == spec.cores
+        assert measured.frequencies_hz == spec.frequencies_hz
+        assert measured.power.nameplate_peak_w == spec.power.nameplate_peak_w
+
+    def test_biased_meter_biases_profile(self, registry):
+        spec = a9()
+        node = SimulatedNode(spec, registry.stream("node"))
+        import numpy as np
+
+        # Find a seed with a visibly positive gain error.
+        meter = PowerMeter(
+            np.random.default_rng(11), noise_frac=0.0, gain_error_frac=0.05,
+            resolution_w=0.0,
+        )
+        measured = characterize_node_power(node, meter)
+        assert measured.power.idle_w == pytest.approx(
+            spec.power.idle_w * meter.gain, rel=0.01
+        )

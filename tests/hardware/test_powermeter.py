@@ -1,0 +1,113 @@
+"""Tests for the simulated power meter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.hardware.powermeter import EnergyMeasurement, PowerMeter, PowerSegment
+
+
+def _ideal_meter(rng):
+    """A noiseless, unbiased, unquantised instrument."""
+    return PowerMeter(rng, noise_frac=0.0, gain_error_frac=0.0, resolution_w=0.0)
+
+
+class TestPowerSegment:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(MeasurementError):
+            PowerSegment(duration_s=-1.0, power_w=1.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(MeasurementError):
+            PowerSegment(duration_s=1.0, power_w=-1.0)
+
+
+class TestIdealMeter:
+    def test_constant_power_exact(self, rng):
+        meter = _ideal_meter(rng)
+        m = meter.measure_constant(5.0, 10.0)
+        assert m.energy_j == pytest.approx(50.0)
+        assert m.mean_power_w == pytest.approx(5.0)
+
+    def test_two_equal_segments_average(self, rng):
+        meter = _ideal_meter(rng)
+        m = meter.measure(
+            [PowerSegment(5.0, 2.0), PowerSegment(5.0, 4.0)]
+        )
+        assert m.mean_power_w == pytest.approx(3.0, rel=0.05)
+
+    def test_sample_count_matches_rate(self, rng):
+        meter = _ideal_meter(rng)
+        m = meter.measure_constant(1.0, 10.0)
+        assert m.n_samples == 100  # 10 Hz for 10 s
+
+    def test_short_run_still_sampled(self, rng):
+        meter = _ideal_meter(rng)
+        m = meter.measure_constant(3.0, 0.01)
+        assert m.n_samples >= 1
+        assert m.energy_j == pytest.approx(0.03)
+
+    def test_zero_duration_segments_skipped(self, rng):
+        meter = _ideal_meter(rng)
+        m = meter.measure(
+            [PowerSegment(0.0, 100.0), PowerSegment(1.0, 2.0)]
+        )
+        assert m.energy_j == pytest.approx(2.0)
+
+    def test_empty_profile_rejected(self, rng):
+        with pytest.raises(MeasurementError):
+            _ideal_meter(rng).measure([])
+
+    def test_all_zero_duration_rejected(self, rng):
+        with pytest.raises(MeasurementError):
+            _ideal_meter(rng).measure([PowerSegment(0.0, 1.0)])
+
+
+class TestRealisticMeter:
+    def test_gain_is_fixed_per_instrument(self, rng):
+        meter = PowerMeter(rng, gain_error_frac=0.05)
+        assert meter.gain == meter.gain  # stable
+        a = meter.measure_constant(10.0, 100.0)
+        b = meter.measure_constant(10.0, 100.0)
+        # Same instrument, same long window: measurements agree closely.
+        assert a.mean_power_w == pytest.approx(b.mean_power_w, rel=0.01)
+
+    def test_different_instruments_different_gains(self):
+        g1 = PowerMeter(np.random.default_rng(1), gain_error_frac=0.05).gain
+        g2 = PowerMeter(np.random.default_rng(2), gain_error_frac=0.05).gain
+        assert g1 != g2
+
+    def test_noise_averages_out_over_long_windows(self, rng):
+        meter = PowerMeter(rng, noise_frac=0.05, gain_error_frac=0.0)
+        m = meter.measure_constant(10.0, 1000.0)
+        assert m.mean_power_w == pytest.approx(10.0, rel=0.01)
+
+    def test_quantisation_rounds_to_resolution(self, rng):
+        meter = PowerMeter(
+            rng, noise_frac=0.0, gain_error_frac=0.0, resolution_w=0.5
+        )
+        m = meter.measure_constant(1.8, 10.0)
+        # 1.8 W quantised to 0.5 W steps -> every sample reads 2.0 W.
+        assert m.mean_power_w == pytest.approx(2.0)
+
+    def test_negative_parameters_rejected(self, rng):
+        with pytest.raises(MeasurementError):
+            PowerMeter(rng, sample_hz=0.0)
+        with pytest.raises(MeasurementError):
+            PowerMeter(rng, noise_frac=-0.1)
+
+    def test_readings_never_negative(self, rng):
+        meter = PowerMeter(rng, noise_frac=3.0)  # absurd noise
+        m = meter.measure_constant(0.1, 10.0)
+        assert m.energy_j >= 0.0
+
+
+class TestEnergyMeasurement:
+    def test_mean_power(self):
+        m = EnergyMeasurement(energy_j=100.0, duration_s=10.0, n_samples=100)
+        assert m.mean_power_w == pytest.approx(10.0)
+
+    def test_zero_duration_mean_rejected(self):
+        m = EnergyMeasurement(energy_j=0.0, duration_s=0.0, n_samples=0)
+        with pytest.raises(MeasurementError):
+            _ = m.mean_power_w

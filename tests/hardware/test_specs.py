@@ -1,0 +1,198 @@
+"""Tests for node specifications (paper Table 5)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.specs import (
+    A9_NODES_PER_SWITCH,
+    SWITCH_PEAK_W,
+    DvfsPoint,
+    NodeSpec,
+    PowerProfile,
+    a9,
+    get_node_spec,
+    k10,
+    register_node_spec,
+    registered_node_names,
+)
+from repro.util.units import GBPS, GHZ, MBPS
+
+
+class TestPaperTable5:
+    """Pin the built-in nodes to the paper's published specification."""
+
+    def test_a9_isa_and_cores(self):
+        spec = a9()
+        assert spec.isa == "ARMv7-A"
+        assert spec.cores == 4
+
+    def test_a9_clock_range(self):
+        spec = a9()
+        assert spec.fmin_hz == pytest.approx(0.2 * GHZ)
+        assert spec.fmax_hz == pytest.approx(1.4 * GHZ)
+
+    def test_a9_has_five_frequencies(self):
+        # Footnote 4 counts 5 selectable frequencies for the ARM node.
+        assert len(a9().frequencies_hz) == 5
+
+    def test_a9_io_bandwidth(self):
+        assert a9().nic_bps == pytest.approx(100 * MBPS)
+
+    def test_a9_powers(self):
+        spec = a9()
+        assert spec.power.idle_w == pytest.approx(1.8)
+        assert spec.power.nameplate_peak_w == pytest.approx(5.0)
+
+    def test_k10_isa_and_cores(self):
+        spec = k10()
+        assert spec.isa == "x86_64"
+        assert spec.cores == 6
+
+    def test_k10_clock_range(self):
+        spec = k10()
+        assert spec.fmin_hz == pytest.approx(0.8 * GHZ)
+        assert spec.fmax_hz == pytest.approx(2.1 * GHZ)
+
+    def test_k10_has_three_frequencies(self):
+        # Footnote 4 counts 3 selectable frequencies for the AMD node.
+        assert len(k10().frequencies_hz) == 3
+
+    def test_k10_io_bandwidth(self):
+        assert k10().nic_bps == pytest.approx(1 * GBPS)
+
+    def test_k10_powers(self):
+        spec = k10()
+        assert spec.power.idle_w == pytest.approx(45.0)
+        assert spec.power.nameplate_peak_w == pytest.approx(60.0)
+
+    def test_k10_has_l3_a9_does_not(self):
+        assert a9().l3_bytes is None
+        assert k10().l3_bytes is not None
+
+    def test_idle_ratio_at_least_25x(self):
+        # Paper: "the idle power of A9 is at least 25 times lower than K10".
+        assert k10().power.idle_w / a9().power.idle_w >= 25.0
+
+    def test_switch_constants(self):
+        # Footnote 3: 20 W switch, 8:1 substitution -> 8 nodes per switch.
+        assert SWITCH_PEAK_W == 20.0
+        assert A9_NODES_PER_SWITCH == 8
+
+
+class TestDvfs:
+    def test_voltage_lookup(self):
+        spec = a9()
+        assert spec.voltage_at(spec.fmax_hz) == spec.dvfs[-1].voltage_v
+
+    def test_unknown_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            a9().voltage_at(0.3 * GHZ)
+
+    def test_power_scale_is_one_at_max(self):
+        spec = k10()
+        assert spec.cpu_power_scale(spec.cores, spec.fmax_hz) == pytest.approx(1.0)
+
+    def test_power_scale_decreases_with_cores(self):
+        spec = k10()
+        full = spec.cpu_power_scale(6, spec.fmax_hz)
+        half = spec.cpu_power_scale(3, spec.fmax_hz)
+        assert half == pytest.approx(full / 2)
+
+    def test_power_scale_decreases_with_frequency(self):
+        spec = a9()
+        assert spec.cpu_power_scale(4, spec.fmin_hz) < spec.cpu_power_scale(4, spec.fmax_hz)
+
+    def test_power_scale_superlinear_in_frequency(self):
+        # f * V(f)^2 falls faster than f alone because voltage drops too.
+        spec = a9()
+        ratio_f = spec.fmin_hz / spec.fmax_hz
+        assert spec.cpu_power_scale(4, spec.fmin_hz) < ratio_f
+
+    def test_invalid_core_count_rejected(self):
+        spec = a9()
+        with pytest.raises(ConfigurationError):
+            spec.validate_operating_point(0, spec.fmax_hz)
+        with pytest.raises(ConfigurationError):
+            spec.validate_operating_point(5, spec.fmax_hz)
+
+    def test_voltages_increase_with_frequency(self):
+        for spec in (a9(), k10()):
+            voltages = [p.voltage_v for p in spec.dvfs]
+            assert voltages == sorted(voltages)
+
+
+class TestValidation:
+    def test_dvfs_table_must_be_sorted(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec(
+                name="bad",
+                isa="x",
+                cores=1,
+                dvfs=(DvfsPoint(2e9, 1.0), DvfsPoint(1e9, 0.9)),
+                l1d_bytes_per_core=1,
+                l2_bytes=1,
+                l3_bytes=None,
+                memory_bytes=1,
+                memory_type="t",
+                nic_bps=1.0,
+                mem_bandwidth_bytes_per_s=1.0,
+                power=PowerProfile(1, 1, 1, 1, 1, 2),
+            )
+
+    def test_stall_power_cannot_exceed_active(self):
+        with pytest.raises(ConfigurationError):
+            PowerProfile(
+                idle_w=1, cpu_active_w=1, cpu_stall_w=2, memory_w=0, network_w=0,
+                nameplate_peak_w=5,
+            )
+
+    def test_nameplate_below_idle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerProfile(
+                idle_w=10, cpu_active_w=5, cpu_stall_w=1, memory_w=0, network_w=0,
+                nameplate_peak_w=5,
+            )
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerProfile(
+                idle_w=-1, cpu_active_w=5, cpu_stall_w=1, memory_w=0, network_w=0,
+                nameplate_peak_w=5,
+            )
+
+    def test_dvfs_point_validation(self):
+        with pytest.raises(ConfigurationError):
+            DvfsPoint(frequency_hz=0.0, voltage_v=1.0)
+        with pytest.raises(ConfigurationError):
+            DvfsPoint(frequency_hz=1e9, voltage_v=0.0)
+
+    def test_dynamic_ceiling(self):
+        p = a9().power
+        assert p.dynamic_ceiling_w == pytest.approx(
+            p.cpu_active_w + p.memory_w + p.network_w
+        )
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert "A9" in registered_node_names()
+        assert "K10" in registered_node_names()
+
+    def test_lookup_roundtrip(self):
+        assert get_node_spec("A9").name == "A9"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_node_spec("Xeon")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_node_spec(a9())
+
+    def test_overwrite_allowed_when_requested(self):
+        register_node_spec(a9(), overwrite=True)
+        assert get_node_spec("A9").cores == 4
+
+    def test_str_summary(self):
+        text = str(a9())
+        assert "A9" in text and "ARMv7-A" in text

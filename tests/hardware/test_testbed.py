@@ -1,0 +1,101 @@
+"""Tests for the measurable simulated testbed."""
+
+import pytest
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.errors import MeasurementError
+from repro.hardware.testbed import Testbed, validation_testbed
+from repro.model.energy_model import job_energy
+from repro.model.time_model import job_execution, node_service_rate
+from repro.util.rng import RngRegistry
+
+
+def _split_for(workload, config):
+    """Per-node work shares from the model's service rates."""
+    rates = {
+        g.spec.name: node_service_rate(g, workload.demand_for(g.spec.name))
+        for g in config.groups
+    }
+    total = sum(rates[g.spec.name] * g.count for g in config.groups)
+    return {name: r / total for name, r in rates.items()}
+
+
+class TestConstruction:
+    def test_node_count(self, registry):
+        tb = validation_testbed(registry, n_wimpy=4, n_brawny=1)
+        assert tb.n_nodes == 5
+
+    def test_config_exposed(self, registry):
+        tb = validation_testbed(registry)
+        assert tb.config.count_of("A9") == 4
+        assert tb.config.count_of("K10") == 1
+
+    def test_node_lookup(self, registry):
+        tb = validation_testbed(registry)
+        assert tb.node_of_type("A9").spec.name == "A9"
+        assert tb.meter_for_type("K10") is not None
+        with pytest.raises(MeasurementError):
+            tb.node_of_type("Xeon")
+        with pytest.raises(MeasurementError):
+            tb.meter_for_type("Xeon")
+
+
+class TestRunJob:
+    def test_measured_close_to_model(self, registry, workloads):
+        """The testbed deviates from the model only by second-order effects."""
+        w = workloads["EP"].with_job_size(workloads["EP"].ops_per_job * 16)
+        config = ClusterConfiguration.mix({"A9": 4, "K10": 1})
+        tb = Testbed(config, registry)
+        measured = tb.run_job(w, work_split=_split_for(w, config))
+        model_time = job_execution(w, config).tp_s
+        model_energy = job_energy(w, config).e_total_j
+        assert measured.makespan_s == pytest.approx(model_time, rel=0.15)
+        assert measured.energy_j == pytest.approx(model_energy, rel=0.15)
+
+    def test_measured_slower_than_model(self, registry, workloads):
+        """Overheads and stragglers only ever ADD time."""
+        w = workloads["julius"].with_job_size(workloads["julius"].ops_per_job * 16)
+        config = ClusterConfiguration.mix({"A9": 4, "K10": 1})
+        tb = Testbed(config, registry)
+        measured = tb.run_job(w, work_split=_split_for(w, config))
+        assert measured.makespan_s > job_execution(w, config).tp_s
+
+    def test_bad_split_rejected(self, registry, workloads):
+        config = ClusterConfiguration.mix({"A9": 4, "K10": 1})
+        tb = Testbed(config, registry)
+        with pytest.raises(MeasurementError):
+            tb.run_job(workloads["EP"], work_split={"A9": 0.1, "K10": 0.1})
+
+    def test_empty_split_rejected(self, registry, workloads):
+        config = ClusterConfiguration.mix({"A9": 4, "K10": 1})
+        tb = Testbed(config, registry)
+        with pytest.raises(MeasurementError):
+            tb.run_job(workloads["EP"], work_split={})
+
+    def test_partial_split_idles_unused_type(self, registry, workloads):
+        """All work on the K10; the A9s idle but still burn energy."""
+        w = workloads["EP"]
+        config = ClusterConfiguration.mix({"A9": 4, "K10": 1})
+        tb = Testbed(config, registry)
+        measured = tb.run_job(w, work_split={"K10": 1.0})
+        assert len(measured.node_runs) == 1
+        # Energy must include the idling A9s: more than the K10 run alone.
+        k10_run = measured.node_runs[0]
+        assert measured.energy_j > k10_run.true_energy_j
+
+    def test_distinct_jobs_differ(self, registry, workloads):
+        w = workloads["julius"]
+        config = ClusterConfiguration.mix({"A9": 2, "K10": 1})
+        tb = Testbed(config, registry)
+        split = _split_for(w, config)
+        a = tb.run_job(w, work_split=split, job_index=0)
+        b = tb.run_job(w, work_split=split, job_index=1)
+        assert a.makespan_s != b.makespan_s
+
+    def test_mean_power_sane(self, registry, workloads):
+        w = workloads["EP"]
+        config = ClusterConfiguration.mix({"A9": 4, "K10": 1})
+        tb = Testbed(config, registry)
+        measured = tb.run_job(w, work_split=_split_for(w, config))
+        # Between cluster idle (52.2 W) and a loose dynamic ceiling.
+        assert config.idle_w < measured.mean_power_w < config.idle_w + 50.0

@@ -1,0 +1,120 @@
+"""Tests for dynamic configuration adaptation over diurnal load."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.errors import ModelError
+from repro.extensions.dynamic import (
+    diurnal_trace,
+    scaled_candidates,
+    simulate_adaptation,
+)
+
+
+class TestDiurnalTrace:
+    def test_bounds(self):
+        trace = diurnal_trace(low=0.2, high=0.8)
+        assert trace.min() >= 0.0
+        assert trace.max() <= 1.0
+        assert trace.min() == pytest.approx(0.2, abs=0.01)
+        assert trace.max() == pytest.approx(0.8, abs=0.01)
+
+    def test_peak_hour(self):
+        trace = diurnal_trace(n_intervals=24, peak_hour=14.0)
+        assert int(np.argmax(trace)) == 14
+
+    def test_noise_reproducible(self):
+        a = diurnal_trace(rng=np.random.default_rng(1))
+        b = diurnal_trace(rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            diurnal_trace(low=0.9, high=0.5)
+        with pytest.raises(ModelError):
+            diurnal_trace(n_intervals=0)
+
+
+class TestScaledCandidates:
+    def test_all_within_budget(self):
+        from repro.cluster.budget import PowerBudget
+
+        budget = PowerBudget(1000.0)
+        candidates = scaled_candidates(1000.0)
+        assert candidates
+        for config in candidates:
+            assert budget.fits(config)
+
+    def test_includes_shrunk_clusters(self):
+        labels = {c.label() for c in scaled_candidates(1000.0)}
+        assert "16 A9" in labels
+        assert "2 K10" in labels
+
+
+class TestSimulateAdaptation:
+    def test_adaptation_never_costs_energy(self, workloads):
+        """The static configuration is always a candidate, so the dynamic
+        policy can only save (ignoring switching costs)."""
+        trace = diurnal_trace(rng=np.random.default_rng(2))
+        for name in ("EP", "x264", "memcached"):
+            result = simulate_adaptation(
+                workloads[name], trace, candidates=scaled_candidates()
+            )
+            assert result.dynamic_energy_j <= result.static_energy_j + 1e-9
+
+    def test_savings_substantial_with_shrunk_candidates(self, workloads):
+        trace = diurnal_trace(rng=np.random.default_rng(2))
+        result = simulate_adaptation(
+            workloads["EP"], trace, candidates=scaled_candidates()
+        )
+        assert result.savings_fraction > 0.2
+
+    def test_budget_mixes_alone_save_nothing_for_ep(self, workloads):
+        """For EP the all-wimpy budget mix dominates at every load: without
+        node power-down there is nothing to adapt between."""
+        trace = diurnal_trace(rng=np.random.default_rng(2))
+        result = simulate_adaptation(workloads["EP"], trace)
+        assert result.savings_fraction == pytest.approx(0.0, abs=1e-9)
+        assert result.switches == 0
+
+    def test_static_provisioned_for_peak(self, workloads):
+        result = simulate_adaptation(
+            workloads["x264"],
+            [0.2, 0.9],
+            candidates=scaled_candidates(),
+        )
+        # The static choice is the fastest candidate (16 K10 for x264).
+        assert result.static_label == "16 K10"
+
+    def test_switching_cost_charged(self, workloads):
+        trace = [0.2, 0.9, 0.2]
+        free = simulate_adaptation(
+            workloads["EP"], trace, candidates=scaled_candidates()
+        )
+        paid = simulate_adaptation(
+            workloads["EP"], trace, candidates=scaled_candidates(),
+            switching_energy_j=1000.0,
+        )
+        assert paid.dynamic_energy_j == pytest.approx(
+            free.dynamic_energy_j + 1000.0 * free.switches
+        )
+
+    def test_all_intervals_covered(self, workloads):
+        trace = diurnal_trace(n_intervals=12)
+        result = simulate_adaptation(
+            workloads["julius"], trace, candidates=scaled_candidates()
+        )
+        assert len(result.intervals) == 12
+        for interval in result.intervals:
+            assert 0.0 <= interval.utilisation <= 1.0
+
+    def test_validation(self, workloads):
+        with pytest.raises(ModelError):
+            simulate_adaptation(workloads["EP"], [])
+        with pytest.raises(ModelError):
+            simulate_adaptation(workloads["EP"], [1.2])
+        with pytest.raises(ModelError):
+            simulate_adaptation(workloads["EP"], [0.5], interval_s=0.0)
+        with pytest.raises(ModelError):
+            simulate_adaptation(workloads["EP"], [0.5], candidates=[])

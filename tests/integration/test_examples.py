@@ -1,0 +1,69 @@
+"""Smoke tests: every example script must run clean end to end.
+
+Examples are part of the public deliverable; a refactor that breaks one
+should fail the suite, not a user.  Each runs in a subprocess with the
+repository's source tree on the path.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str, timeout: float = 300.0):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Energy-proportionality metrics" in result.stdout
+        assert "95th-percentile response time" in result.stdout
+
+    def test_quickstart_other_workload(self):
+        result = _run("quickstart.py", "x264")
+        assert result.returncode == 0, result.stderr
+        assert "x264" in result.stdout
+
+    def test_quickstart_rejects_unknown(self):
+        result = _run("quickstart.py", "doom")
+        assert result.returncode != 0
+
+    def test_capacity_planning(self):
+        result = _run("capacity_planning.py")
+        assert result.returncode == 0, result.stderr
+        assert "sweet spot" in result.stdout
+        assert "Recommendation" in result.stdout
+
+    def test_latency_sla_explorer(self):
+        result = _run("latency_sla_explorer.py")
+        assert result.returncode == 0, result.stderr
+        assert "SLA" in result.stdout
+        assert "simulated p95" in result.stdout
+
+    def test_custom_node_type(self):
+        result = _run("custom_node_type.py")
+        assert result.returncode == 0, result.stderr
+        assert "MyA15" in result.stdout
+
+    def test_memcached_request_latency(self):
+        result = _run("memcached_request_latency.py")
+        assert result.returncode == 0, result.stderr
+        assert "requests/s per W" in result.stdout
+
+    def test_proportionality_survey_skips_validation(self, tmp_path):
+        result = _run("proportionality_survey.py", "--skip-validation")
+        assert result.returncode == 0, result.stderr
+        assert "Table 7" in result.stdout
+        assert "Figure 9" in result.stdout
+        assert "exported under" in result.stdout

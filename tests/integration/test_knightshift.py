@@ -1,0 +1,122 @@
+"""Tests for the KnightShift server-level heterogeneity baseline."""
+
+import pytest
+
+from repro.core.metrics import analyze_curve
+from repro.errors import ModelError
+from repro.extensions.knightshift import (
+    KnightShiftCluster,
+    KnightShiftCurve,
+    compare_with_internode,
+    knightshift_node,
+)
+
+
+def _curve(**overrides):
+    params = dict(
+        primary_idle_w=45.0,
+        primary_peak_w=69.0,
+        knight_idle_w=1.8,
+        knight_peak_w=2.4,
+        knight_capability=0.15,
+        primary_sleep_w=0.5,
+    )
+    params.update(overrides)
+    return KnightShiftCurve(**params)
+
+
+class TestKnightShiftCurve:
+    def test_idle_is_knight_plus_sleep(self):
+        c = _curve()
+        assert c.idle_w == pytest.approx(2.3)
+
+    def test_peak_is_primary_plus_knight_idle(self):
+        c = _curve()
+        assert c.peak_w == pytest.approx(70.8)
+
+    def test_knight_regime_power(self):
+        c = _curve()
+        # At half the knight's capability: halfway up the knight's range.
+        p = c.power_w(0.075)
+        assert p == pytest.approx(0.5 + 1.8 + 0.5 * (2.4 - 1.8))
+
+    def test_primary_regime_power(self):
+        c = _curve()
+        p = c.power_w(0.5)
+        assert p == pytest.approx(1.8 + 45.0 + 0.5 * (69.0 - 45.0))
+
+    def test_discontinuity_at_handoff(self):
+        """Waking the primary costs a power step — the KnightShift papers'
+        hand-off penalty."""
+        c = _curve()
+        below = c.power_w(c.knight_capability)
+        above = c.power_w(c.knight_capability + 1e-9)
+        assert above > below + 40.0
+
+    def test_far_more_proportional_than_linear_offset(self):
+        c = _curve()
+        report = analyze_curve(c)
+        # The knight regime slashes low-utilisation power: EPM well above
+        # the linear-offset server's 1 - IPR = 1 - 45/69 = 0.35.
+        assert report.epm > 0.45
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            _curve(knight_capability=0.0)
+        with pytest.raises(ModelError):
+            _curve(knight_capability=1.0)
+        with pytest.raises(ModelError):
+            _curve(primary_peak_w=10.0)  # below idle
+
+
+class TestKnightShiftNode:
+    def test_built_from_calibrated_workload(self, workloads):
+        curve = knightshift_node(workloads["EP"])
+        # Capability = A9 rate / K10 rate for EP (~15%).
+        assert 0.05 < curve.knight_capability < 0.35
+        assert curve.primary_idle_w == pytest.approx(45.0)
+        assert curve.knight_idle_w == pytest.approx(1.8)
+
+    def test_knight_must_be_slower(self, workloads):
+        with pytest.raises(ModelError):
+            knightshift_node(workloads["EP"], primary="A9", knight="K10")
+
+
+class TestCluster:
+    def test_report_matches_curve(self, workloads):
+        curve = knightshift_node(workloads["EP"])
+        fleet = KnightShiftCluster(
+            curve=curve, n_servers=10, peak_throughput_per_server=1e6
+        )
+        assert fleet.report().epm == pytest.approx(analyze_curve(curve).epm)
+
+    def test_power_scales_with_servers(self, workloads):
+        curve = knightshift_node(workloads["EP"])
+        fleet = KnightShiftCluster(
+            curve=curve, n_servers=10, peak_throughput_per_server=1e6
+        )
+        assert fleet.power_w(0.5) == pytest.approx(10 * curve.power_w(0.5))
+
+    def test_validation(self, workloads):
+        curve = knightshift_node(workloads["EP"])
+        with pytest.raises(ModelError):
+            KnightShiftCluster(curve=curve, n_servers=0, peak_throughput_per_server=1e6)
+
+
+class TestComparison:
+    def test_related_work_tension(self, workloads):
+        """KnightShift wins proportionality; inter-node wins PPR at high
+        utilisation for an A9-favouring workload."""
+        result = compare_with_internode(workloads["EP"])
+        assert result["knightshift"]["epm"] > result["internode"]["epm"]
+        assert result["internode"]["ppr@100%"] > result["knightshift"]["ppr@100%"]
+
+    def test_knight_regime_ppr_spike(self, workloads):
+        """At 10% utilisation the knight serves alone at A9-class
+        efficiency — KnightShift's entire point."""
+        result = compare_with_internode(workloads["EP"])
+        assert result["knightshift"]["ppr@10%"] > result["internode"]["ppr@10%"]
+
+    def test_budget_too_small(self, workloads):
+        with pytest.raises(ModelError):
+            compare_with_internode(workloads["EP"], budget_w=10.0)

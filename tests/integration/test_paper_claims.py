@@ -1,0 +1,157 @@
+"""End-to-end tests of the paper's headline claims.
+
+Each test corresponds to a sentence in the paper's abstract, introduction or
+conclusion, exercised through the public API exactly as a user would.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestClaimProportionalityVsEfficiency:
+    """'Energy proportionality need not necessarily imply energy efficiency,
+    specifically when comparing nodes with diverse peak power usage.'"""
+
+    def test_k10_more_proportional_but_a9_more_efficient_for_ep(self):
+        ep = repro.workload("EP")
+        a9 = repro.ClusterConfiguration.mix({"A9": 1})
+        k10 = repro.ClusterConfiguration.mix({"K10": 1})
+        report_a9 = repro.proportionality_report(ep, a9)
+        report_k10 = repro.proportionality_report(ep, k10)
+        # K10 wins every proportionality metric...
+        assert report_k10.epm > report_a9.epm
+        assert report_k10.dpr > report_a9.dpr
+        assert report_k10.ipr < report_a9.ipr
+        # ...yet A9 wins the efficiency metric (PPR), at every utilisation.
+        grid = np.linspace(0.1, 1.0, 10)
+        ppr_a9 = repro.ppr_curve(ep, a9).series(grid)
+        ppr_k10 = repro.ppr_curve(ep, k10).series(grid)
+        assert (ppr_a9 > ppr_k10).all()
+
+    def test_cluster_level_contradiction(self):
+        """Same story cluster-wide under the 1 kW budget."""
+        ep = repro.workload("EP")
+        mixes = repro.budget_mixes(1000.0)
+        k10_cluster, a9_cluster = mixes[0], mixes[-1]
+        assert (
+            repro.proportionality_report(ep, k10_cluster).epm
+            > repro.proportionality_report(ep, a9_cluster).epm
+        )
+        assert (
+            repro.ppr_curve(ep, a9_cluster).peak_ppr
+            > repro.ppr_curve(ep, k10_cluster).peak_ppr
+        )
+
+    def test_proportionality_and_ppr_pick_different_mixes(self):
+        """Paper Section III-C: proportionality advocates 32 A9 : 12 K10
+        while PPR advocates 96 A9 : 4 K10 among the heterogeneous mixes."""
+        ep = repro.workload("EP")
+        hetero = repro.budget_mixes(1000.0)[1:-1]  # the three mixed configs
+        by_pg = min(
+            hetero,
+            key=lambda c: repro.proportionality_gap(
+                repro.power_curve(ep, c), 0.3
+            ),
+        )
+        by_ppr = max(hetero, key=lambda c: repro.ppr_curve(ep, c).peak_ppr)
+        assert by_pg.label() == "32 A9 : 12 K10"
+        assert by_ppr.label() == "96 A9 : 4 K10"
+
+
+class TestClaimSublinearConfigurations:
+    """'Inter-node heterogeneity has a positive effect of scaling the energy
+    proportionality wall by exposing configurations with sub-linear energy
+    proportionality.'"""
+
+    def test_sublinear_configs_exist_for_every_workload(self):
+        reference = repro.ClusterConfiguration.mix({"A9": 32, "K10": 12})
+        small = repro.ClusterConfiguration.mix({"A9": 25, "K10": 5})
+        for name in repro.PAPER_WORKLOAD_NAMES:
+            w = repro.workload(name)
+            ref_peak = repro.power_curve(w, reference).peak_w
+            crossover = repro.sublinear_crossover(
+                repro.power_curve(w, small), reference_peak_w=ref_peak
+            )
+            assert crossover is not None and crossover < 1.0, name
+
+    def test_paper_example_25_7_sublinear_around_half_load(self):
+        """Paper: '(25 A9, 7 K10) exhibits sub-linear proportionality for
+        cluster utilization of 50%' (EP, against the 32:12 reference)."""
+        ep = repro.workload("EP")
+        reference = repro.ClusterConfiguration.mix({"A9": 32, "K10": 12})
+        config = repro.ClusterConfiguration.mix({"A9": 25, "K10": 7})
+        ref_peak = repro.power_curve(ep, reference).peak_w
+        crossover = repro.sublinear_crossover(
+            repro.power_curve(ep, config), reference_peak_w=ref_peak
+        )
+        assert crossover is not None
+        assert 0.35 <= crossover <= 0.75
+
+    def test_homogeneous_configs_never_sublinear_alone(self):
+        """Without a larger reference, the linear-offset curves never dip
+        below their own ideal: the wall stands for single clusters."""
+        ep = repro.workload("EP")
+        config = repro.ClusterConfiguration.mix({"A9": 16})
+        curve = repro.power_curve(ep, config)
+        grid = np.linspace(0.05, 1.0, 50)
+        assert not repro.sublinear_mask(
+            curve, grid, reference_peak_w=curve.peak_w
+        ).any()
+
+
+class TestClaimResponseTime:
+    """'These sub-linear configurations have minimal impact on the 95th
+    percentile response time' — for workloads where the wimpy PPR wins."""
+
+    def test_ep_degradation_small_x264_large(self):
+        full = repro.ClusterConfiguration.mix({"A9": 32, "K10": 12})
+        small = repro.ClusterConfiguration.mix({"A9": 25, "K10": 5})
+        u = 0.6
+        ep = repro.workload("EP")
+        x264 = repro.workload("x264")
+        ep_delta = repro.p95_response_s(ep, small, u) - repro.p95_response_s(ep, full, u)
+        x264_delta = repro.p95_response_s(x264, small, u) - repro.p95_response_s(
+            x264, full, u
+        )
+        # EP: below a tenth of a second. x264: multiple seconds.
+        assert ep_delta < 0.1
+        assert x264_delta > 1.0
+
+    def test_relative_degradation_worse_for_brawny_favouring_workload(self):
+        """Removing K10s hurts x264 (K10-favouring) relatively more than
+        EP (A9-favouring) — the PPR-based explanation of Section III-E."""
+        full = repro.ClusterConfiguration.mix({"A9": 32, "K10": 12})
+        small = repro.ClusterConfiguration.mix({"A9": 25, "K10": 5})
+        ratios = {}
+        for name in ("EP", "x264"):
+            w = repro.workload(name)
+            ratios[name] = repro.execution_time(w, small) / repro.execution_time(w, full)
+        assert ratios["x264"] > ratios["EP"]
+
+
+class TestClaimEnergySavings:
+    """Sub-linear configurations 'consume less energy than ideal' — the
+    point of accepting the time trade-off."""
+
+    def test_sublinear_config_saves_window_energy(self):
+        ep = repro.workload("EP")
+        reference = repro.ClusterConfiguration.mix({"A9": 32, "K10": 12})
+        small = repro.ClusterConfiguration.mix({"A9": 25, "K10": 5})
+        ref_curve = repro.power_curve(ep, reference)
+        small_curve = repro.power_curve(ep, small)
+        window = 3600.0
+        u = 0.8
+        ideal_energy = u * ref_curve.peak_w * window
+        assert repro.window_energy_j(small_curve, u, window) < ideal_energy
+
+    def test_frontier_exposes_energy_savings(self):
+        from repro.experiments.figures import compute_pareto_mixes
+
+        frontier = compute_pareto_mixes("EP", n_a9=16, n_k10=6)
+        assert len(frontier) >= 3
+        cheapest = frontier[-1]
+        fastest = frontier[0]
+        assert cheapest.energy_j < fastest.energy_j
+        assert cheapest.tp_s > fastest.tp_s

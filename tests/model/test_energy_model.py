@@ -1,0 +1,145 @@
+"""Tests for the energy model (paper Table 2, energy half)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.configuration import ClusterConfiguration, NodeGroup
+from repro.hardware.specs import a9, k10
+from repro.model.energy_model import (
+    dynamic_power_w,
+    effective_powers,
+    job_energy,
+    peak_power_w,
+    power_draw,
+)
+from repro.model.time_model import job_execution
+from repro.workloads.base import ActivityFactors, Workload, WorkloadDemand
+
+ACT = ActivityFactors(0.5, 0.5, 0.5, 0.5)
+
+
+def _workload(ops=1e6):
+    return Workload(
+        name="synthetic",
+        domain="test",
+        unit="ops",
+        ops_per_job=ops,
+        demands={
+            "A9": WorkloadDemand(1000.0, 300.0, 2.0, ACT),
+            "K10": WorkloadDemand(500.0, 100.0, 2.0, ACT),
+        },
+    )
+
+
+class TestEffectivePowers:
+    def test_scaling_at_max_point(self):
+        spec = a9()
+        group = NodeGroup.of(spec, 1)
+        powers = effective_powers(group, _workload().demand_for("A9"))
+        assert powers.cpu_active_w == pytest.approx(spec.power.cpu_active_w * 0.5)
+        assert powers.memory_w == pytest.approx(spec.power.memory_w * 0.5)
+        assert powers.idle_w == spec.power.idle_w
+
+    def test_dvfs_scales_cpu_not_memory(self):
+        spec = a9()
+        slow = NodeGroup.of(spec, 1, frequency_hz=spec.fmin_hz)
+        fast = NodeGroup.of(spec, 1)
+        demand = _workload().demand_for("A9")
+        p_slow = effective_powers(slow, demand)
+        p_fast = effective_powers(fast, demand)
+        assert p_slow.cpu_active_w < p_fast.cpu_active_w
+        assert p_slow.memory_w == p_fast.memory_w
+        assert p_slow.network_w == p_fast.network_w
+
+
+class TestJobEnergy:
+    def test_total_is_dynamic_plus_idle(self):
+        w = _workload()
+        config = ClusterConfiguration.mix({"A9": 2, "K10": 1})
+        je = job_energy(w, config)
+        assert je.e_total_j == pytest.approx(je.e_dynamic_j + je.e_idle_j)
+
+    def test_idle_energy_is_cluster_idle_times_tp(self):
+        w = _workload()
+        config = ClusterConfiguration.mix({"A9": 2, "K10": 1})
+        je = job_energy(w, config)
+        assert je.e_idle_j == pytest.approx(config.idle_w * je.tp_s)
+
+    def test_group_components_nonnegative(self):
+        w = _workload()
+        je = job_energy(w, ClusterConfiguration.mix({"A9": 1, "K10": 1}))
+        for ge in je.groups:
+            assert ge.e_cpu_act >= 0
+            assert ge.e_cpu_stall >= 0
+            assert ge.e_mem >= 0
+            assert ge.e_io >= 0
+            assert ge.e_idle > 0
+            assert ge.e_total == pytest.approx(ge.e_dynamic + ge.e_idle)
+
+    def test_energy_linear_in_ops(self):
+        config = ClusterConfiguration.mix({"A9": 1, "K10": 1})
+        e1 = job_energy(_workload(ops=1e6), config).e_total_j
+        e2 = job_energy(_workload(ops=2e6), config).e_total_j
+        assert e2 == pytest.approx(2 * e1, rel=1e-9)
+
+    def test_peak_power_decomposition(self):
+        w = _workload()
+        config = ClusterConfiguration.mix({"A9": 4, "K10": 2})
+        assert peak_power_w(w, config) == pytest.approx(
+            dynamic_power_w(w, config) + config.idle_w
+        )
+
+    def test_unknown_group_lookup_raises(self):
+        from repro.errors import ModelError
+
+        je = job_energy(_workload(), ClusterConfiguration.mix({"A9": 1}))
+        with pytest.raises(ModelError):
+            je.group_for("K10")
+
+
+class TestPowerDraw:
+    def test_ipr_definition(self, workloads, single_a9):
+        draw = power_draw(workloads["EP"], single_a9)
+        assert draw.ipr == pytest.approx(draw.idle_w / draw.peak_w)
+
+    def test_idle_equals_config_idle(self, workloads, small_mix):
+        draw = power_draw(workloads["EP"], small_mix)
+        assert draw.idle_w == pytest.approx(small_mix.idle_w)
+
+    def test_dynamic_power_independent_of_job_size(self, workloads, single_k10):
+        w = workloads["x264"]
+        big = w.with_job_size(w.ops_per_job * 100)
+        assert power_draw(w, single_k10).dynamic_w == pytest.approx(
+            power_draw(big, single_k10).dynamic_w
+        )
+
+    @given(n_a9=st.integers(1, 50), n_k10=st.integers(0, 16))
+    @settings(max_examples=40)
+    def test_cluster_dynamic_power_is_node_weighted_sum(self, workloads, n_a9, n_k10):
+        """Property: with rate-matched splits, cluster dynamic power is the
+        sum of each node's single-node dynamic power (all nodes run flat
+        out for the whole job)."""
+        w = workloads["blackscholes"]
+        config = ClusterConfiguration.mix({"A9": n_a9, "K10": n_k10})
+        single = {
+            name: power_draw(w, ClusterConfiguration.mix({name: 1})).dynamic_w
+            for name in ("A9", "K10")
+        }
+        expected = n_a9 * single["A9"] + n_k10 * single["K10"]
+        assert power_draw(w, config).dynamic_w == pytest.approx(expected, rel=1e-9)
+
+
+class TestEnergyTimeConsistency:
+    def test_dynamic_power_matches_energy_over_time(self, workloads, small_mix):
+        w = workloads["julius"]
+        je = job_energy(w, small_mix)
+        assert je.dynamic_power_w == pytest.approx(je.e_dynamic_j / je.tp_s)
+
+    def test_energy_of_execution_matches_job_energy(self, workloads, small_mix):
+        from repro.model.energy_model import energy_of_execution
+
+        w = workloads["EP"]
+        via_exec = energy_of_execution(w, job_execution(w, small_mix))
+        direct = job_energy(w, small_mix)
+        assert via_exec.e_total_j == pytest.approx(direct.e_total_j)

@@ -1,0 +1,196 @@
+"""Tests for the execution-time model (paper Table 2, time half)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.configuration import ClusterConfiguration, NodeGroup
+from repro.errors import WorkloadError
+from repro.hardware.specs import a9, k10
+from repro.model.time_model import (
+    cluster_service_rate,
+    execution_time,
+    group_service_rate,
+    job_execution,
+    node_service_rate,
+    op_time_breakdown,
+)
+from repro.workloads.base import ActivityFactors, Workload, WorkloadDemand
+
+ACT = ActivityFactors(0.5, 0.5, 0.5, 0.5)
+
+
+def _workload(core_a9=1000.0, core_k10=500.0, mem_frac=0.3, io_bytes=0.0, ops=1e6):
+    """A synthetic two-type workload with controllable demands."""
+    return Workload(
+        name="synthetic",
+        domain="test",
+        unit="ops",
+        ops_per_job=ops,
+        demands={
+            "A9": WorkloadDemand(core_a9, core_a9 * mem_frac / 4, io_bytes, ACT),
+            "K10": WorkloadDemand(core_k10, core_k10 * mem_frac / 6, io_bytes, ACT),
+        },
+    )
+
+
+class TestOpTimeBreakdown:
+    def test_core_time(self):
+        group = NodeGroup.of("A9", 1)
+        demand = WorkloadDemand(5600.0, 0.0, 0.0, ACT)
+        bd = op_time_breakdown(group, demand)
+        # 5600 cycles over 4 cores at 1.4 GHz -> 1 microsecond.
+        assert bd.t_core == pytest.approx(1e-6)
+
+    def test_mem_time_single_core_scaled(self):
+        group = NodeGroup.of("A9", 1)
+        demand = WorkloadDemand(1.0, 1400.0, 0.0, ACT)
+        bd = op_time_breakdown(group, demand)
+        # 1400 stall cycles at 1.4 GHz -> 1 microsecond (not divided by cores).
+        assert bd.t_mem == pytest.approx(1e-6)
+
+    def test_io_time_from_bandwidth(self):
+        group = NodeGroup.of("A9", 1)
+        demand = WorkloadDemand(1.0, 0.0, 12.5e6, ACT)  # 1 s at 100 Mbps
+        bd = op_time_breakdown(group, demand)
+        assert bd.t_io == pytest.approx(1.0)
+
+    def test_io_floor_binds(self):
+        group = NodeGroup.of("A9", 1)
+        demand = WorkloadDemand(1.0, 0.0, 1.0, ACT, io_service_floor_s=0.5)
+        assert op_time_breakdown(group, demand).t_io == pytest.approx(0.5)
+
+    def test_cpu_is_max_of_core_and_mem(self):
+        group = NodeGroup.of("A9", 1)
+        demand = WorkloadDemand(5600.0, 2800.0, 0.0, ACT)
+        bd = op_time_breakdown(group, demand)
+        assert bd.t_cpu == pytest.approx(max(bd.t_core, bd.t_mem))
+
+    def test_stall_is_excess_memory_time(self):
+        group = NodeGroup.of("A9", 1)
+        demand = WorkloadDemand(1400.0, 2800.0, 0.0, ACT)
+        bd = op_time_breakdown(group, demand)
+        # t_core = 0.25 us (4 cores), t_mem = 2 us -> stall = 1.75 us.
+        assert bd.t_stall == pytest.approx(bd.t_mem - bd.t_core)
+        assert bd.t_act == bd.t_core
+
+    def test_no_stall_when_core_dominates(self):
+        group = NodeGroup.of("A9", 1)
+        demand = WorkloadDemand(5600.0, 700.0, 0.0, ACT)
+        assert op_time_breakdown(group, demand).t_stall == 0.0
+
+    def test_frequency_scaling(self):
+        spec = a9()
+        demand = WorkloadDemand(5600.0, 1400.0, 0.0, ACT)
+        fast = op_time_breakdown(NodeGroup.of(spec, 1), demand)
+        slow = op_time_breakdown(
+            NodeGroup.of(spec, 1, frequency_hz=spec.fmin_hz), demand
+        )
+        ratio = spec.fmax_hz / spec.fmin_hz
+        assert slow.t_core == pytest.approx(fast.t_core * ratio)
+        assert slow.t_mem == pytest.approx(fast.t_mem * ratio)
+
+
+class TestServiceRates:
+    def test_group_rate_scales_with_count(self):
+        w = _workload()
+        g1 = NodeGroup.of("A9", 1)
+        g4 = NodeGroup.of("A9", 4)
+        assert group_service_rate(g4, w.demand_for("A9")) == pytest.approx(
+            4 * group_service_rate(g1, w.demand_for("A9"))
+        )
+
+    def test_cluster_rate_is_sum_of_groups(self):
+        w = _workload()
+        mixed = ClusterConfiguration.mix({"A9": 3, "K10": 2})
+        only_a9 = ClusterConfiguration.mix({"A9": 3})
+        only_k10 = ClusterConfiguration.mix({"K10": 2})
+        assert cluster_service_rate(w, mixed) == pytest.approx(
+            cluster_service_rate(w, only_a9) + cluster_service_rate(w, only_k10)
+        )
+
+
+class TestJobExecution:
+    def test_tp_is_ops_over_rate(self):
+        w = _workload()
+        config = ClusterConfiguration.mix({"A9": 2, "K10": 1})
+        tp = execution_time(w, config)
+        assert tp == pytest.approx(w.ops_per_job / cluster_service_rate(w, config))
+
+    def test_all_nodes_finish_together(self):
+        """The equal-finish work division: every node is busy exactly T_P."""
+        w = _workload()
+        config = ClusterConfiguration.mix({"A9": 5, "K10": 3})
+        execution = job_execution(w, config)
+        for ge in execution.groups:
+            assert ge.busy_time == pytest.approx(execution.tp_s)
+
+    def test_work_shares_sum_to_one(self):
+        w = _workload()
+        config = ClusterConfiguration.mix({"A9": 5, "K10": 3})
+        execution = job_execution(w, config)
+        total = sum(execution.work_share(g.group.spec.name) for g in execution.groups)
+        assert total == pytest.approx(1.0)
+
+    def test_faster_nodes_get_more_work(self):
+        w = _workload(core_a9=1000.0, core_k10=100.0)
+        config = ClusterConfiguration.mix({"A9": 1, "K10": 1})
+        execution = job_execution(w, config)
+        a9_ops = execution.group_for("A9").ops_per_node
+        k10_ops = execution.group_for("K10").ops_per_node
+        assert k10_ops > a9_ops
+
+    def test_adding_nodes_never_slows_the_job(self, workloads):
+        w = workloads["EP"]
+        small = ClusterConfiguration.mix({"A9": 4})
+        big = ClusterConfiguration.mix({"A9": 4, "K10": 2})
+        assert execution_time(w, big) < execution_time(w, small)
+
+    def test_throughput_property(self):
+        w = _workload()
+        config = ClusterConfiguration.mix({"A9": 1})
+        execution = job_execution(w, config)
+        assert execution.throughput_ops_per_s == pytest.approx(
+            cluster_service_rate(w, config)
+        )
+
+    def test_missing_demand_raises(self, workloads):
+        w = Workload(
+            name="partial", domain="t", unit="u", ops_per_job=10.0,
+            demands={"A9": WorkloadDemand(10.0, 0.0, 0.0, ACT)},
+        )
+        config = ClusterConfiguration.mix({"A9": 1, "K10": 1})
+        with pytest.raises(WorkloadError):
+            job_execution(w, config)
+
+    def test_unknown_group_lookup_raises(self):
+        from repro.errors import ModelError
+
+        w = _workload()
+        execution = job_execution(w, ClusterConfiguration.mix({"A9": 1}))
+        with pytest.raises(ModelError):
+            execution.group_for("K10")
+
+    @given(
+        n_a9=st.integers(1, 30),
+        n_k10=st.integers(1, 12),
+        ops=st.floats(1e3, 1e9),
+    )
+    @settings(max_examples=40)
+    def test_tp_scales_linearly_with_ops(self, n_a9, n_k10, ops):
+        """Property: execution time is exactly linear in job size."""
+        config = ClusterConfiguration.mix({"A9": n_a9, "K10": n_k10})
+        w1 = _workload(ops=ops)
+        w2 = _workload(ops=2 * ops)
+        assert execution_time(w2, config) == pytest.approx(
+            2 * execution_time(w1, config), rel=1e-9
+        )
+
+    @given(n=st.integers(1, 64))
+    @settings(max_examples=30)
+    def test_homogeneous_scaling_is_ideal(self, n):
+        """Property: scale-out workloads speed up linearly in node count."""
+        w = _workload()
+        one = execution_time(w, ClusterConfiguration.mix({"A9": 1}))
+        many = execution_time(w, ClusterConfiguration.mix({"A9": n}))
+        assert many == pytest.approx(one / n, rel=1e-9)

@@ -1,0 +1,94 @@
+"""Tests for the vectorised mix-grid evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.cluster.pareto import evaluate_configuration
+from repro.errors import ModelError
+from repro.model.vectorized import evaluate_mix_grid, per_node_constants
+
+
+class TestPerNodeConstants:
+    def test_matches_table6_calibration(self, workloads):
+        from repro.workloads.suite import PAPER_IPR, PAPER_PPR
+
+        rates, idles, dyns = per_node_constants(workloads["EP"], ["A9", "K10"])
+        assert idles[0] == pytest.approx(1.8)
+        assert idles[1] == pytest.approx(45.0)
+        assert rates[0] / (idles[0] + dyns[0]) == pytest.approx(
+            PAPER_PPR["EP"]["A9"], rel=1e-6
+        )
+
+
+class TestGridAgainstScalar:
+    @given(a=st.integers(0, 40), k=st.integers(0, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_scalar_model(self, workloads, a, k):
+        if a == 0 and k == 0:
+            a = 1
+        w = workloads["blackscholes"]
+        grid = evaluate_mix_grid(w, {"A9": np.array([a]), "K10": np.array([k])})
+        scalar = evaluate_configuration(
+            w, ClusterConfiguration.mix({"A9": a, "K10": k})
+        )
+        assert grid.tp_s[0] == pytest.approx(scalar.tp_s, rel=1e-9)
+        assert grid.energy_j[0] == pytest.approx(scalar.energy_j, rel=1e-9)
+        assert grid.peak_w[0] == pytest.approx(scalar.peak_power_w, rel=1e-9)
+
+    def test_full_grid_shapes(self, workloads):
+        a, k = np.meshgrid(np.arange(1, 33), np.arange(0, 13))
+        grid = evaluate_mix_grid(workloads["EP"], {"A9": a, "K10": k})
+        assert grid.tp_s.shape == (13, 32)
+        assert grid.energy_j.shape == (13, 32)
+        assert np.all(grid.tp_s > 0)
+
+    def test_broadcasting(self, workloads):
+        grid = evaluate_mix_grid(
+            workloads["EP"],
+            {"A9": np.arange(1, 5)[:, None], "K10": np.arange(0, 3)[None, :]},
+        )
+        assert grid.tp_s.shape == (4, 3)
+
+    def test_power_and_ppr_helpers(self, workloads):
+        from repro.core.proportionality import power_curve, ppr_curve
+
+        w = workloads["EP"]
+        grid = evaluate_mix_grid(w, {"A9": np.array([25]), "K10": np.array([7])})
+        config = ClusterConfiguration.mix({"A9": 25, "K10": 7})
+        curve = power_curve(w, config)
+        assert grid.power_at(0.5)[0] == pytest.approx(curve.power_w(0.5), rel=1e-9)
+        assert grid.ipr[0] == pytest.approx(curve.idle_w / curve.peak_w, rel=1e-9)
+        assert grid.ppr_at(1.0)[0] == pytest.approx(
+            ppr_curve(w, config).peak_ppr, rel=1e-9
+        )
+
+    def test_validation(self, workloads):
+        with pytest.raises(ModelError):
+            evaluate_mix_grid(workloads["EP"], {})
+        with pytest.raises(ModelError):
+            evaluate_mix_grid(workloads["EP"], {"A9": np.array([-1])})
+        with pytest.raises(ModelError):
+            evaluate_mix_grid(
+                workloads["EP"], {"A9": np.array([0]), "K10": np.array([0])}
+            )
+        grid = evaluate_mix_grid(workloads["EP"], {"A9": np.array([1])})
+        with pytest.raises(ModelError):
+            grid.power_at(1.5)
+        with pytest.raises(ModelError):
+            grid.ppr_at(0.0)
+
+
+class TestGridPerformance:
+    def test_large_grid_is_fast(self, workloads):
+        """A quarter-million mixes evaluate in well under a second."""
+        import time
+
+        a, k = np.meshgrid(np.arange(1, 513), np.arange(0, 513))
+        start = time.perf_counter()
+        grid = evaluate_mix_grid(workloads["EP"], {"A9": a, "K10": k})
+        elapsed = time.perf_counter() - start
+        assert grid.tp_s.size == 512 * 513
+        assert elapsed < 1.0

@@ -1,0 +1,1 @@
+"""Cross-cutting hypothesis property tests."""

@@ -1,0 +1,137 @@
+"""Property tests: invariants of the proportionality metrics over random
+power curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    LinearPowerCurve,
+    PPRCurve,
+    QuadraticPowerCurve,
+    SampledPowerCurve,
+    analyze_curve,
+    epm,
+    ipr,
+    ldr_strict,
+    proportionality_gap,
+)
+from repro.core.proportionality import sublinear_crossover
+
+
+@st.composite
+def sampled_curves(draw):
+    """Random valid sampled power curves on [0, 1]."""
+    n = draw(st.integers(3, 12))
+    u = np.sort(draw(
+        st.lists(
+            st.floats(0.01, 0.99), min_size=n - 2, max_size=n - 2, unique=True
+        )
+    ))
+    powers = draw(
+        st.lists(st.floats(0.1, 1000.0), min_size=n, max_size=n)
+    )
+    return SampledPowerCurve(np.concatenate([[0.0], u, [1.0]]), powers)
+
+
+@st.composite
+def quadratic_curves(draw):
+    idle = draw(st.floats(0.0, 50.0))
+    peak = idle + draw(st.floats(0.1, 100.0))
+    curvature = draw(st.floats(-1.0, 1.0))
+    return QuadraticPowerCurve(idle, peak, curvature=curvature)
+
+
+class TestMetricBounds:
+    @given(curve=quadratic_curves())
+    @settings(max_examples=80)
+    def test_ipr_in_unit_interval(self, curve):
+        assert 0.0 <= ipr(curve) <= 1.0
+
+    @given(curve=quadratic_curves())
+    @settings(max_examples=80)
+    def test_report_consistency(self, curve):
+        report = analyze_curve(curve)
+        assert report.dpr == pytest.approx(100.0 * (1.0 - report.ipr))
+        assert report.ldr_paper == pytest.approx(1.0 - report.ipr)
+        assert report.idle_w == curve.idle_w
+        assert report.peak_w == curve.peak_w
+
+    @given(curve=quadratic_curves())
+    @settings(max_examples=80)
+    def test_ldr_sign_tracks_curvature(self, curve):
+        value = ldr_strict(curve)
+        if curve.curvature > 1e-6:
+            assert value <= 0.0
+        elif curve.curvature < -1e-6:
+            assert value >= 0.0
+
+    @given(curve=quadratic_curves())
+    @settings(max_examples=60)
+    def test_pg_vanishes_at_full_load(self, curve):
+        assert proportionality_gap(curve, 1.0) == pytest.approx(0.0, abs=1e-12)
+
+    @given(curve=sampled_curves())
+    @settings(max_examples=60)
+    def test_epm_defined_for_any_sampled_curve(self, curve):
+        value = epm(curve)
+        assert np.isfinite(value)
+
+    @given(curve=quadratic_curves())
+    @settings(max_examples=60)
+    def test_epm_at_most_one_for_nonnegative_curves(self, curve):
+        """A curve that never dips below zero power has EPM <= 1 + IPR-ish
+        bound; for curves above the ideal line EPM <= 1 exactly."""
+        grid = np.linspace(0.0, 1.0, 101)
+        above_ideal = np.all(curve.power_series(grid) >= grid * curve.peak_w - 1e-9)
+        if above_ideal:
+            assert epm(curve) <= 1.0 + 1e-9
+
+
+class TestPPRInvariants:
+    @given(
+        curve=quadratic_curves(),
+        throughput=st.floats(1.0, 1e9),
+        u=st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=80)
+    def test_ppr_positive_and_bounded_by_ideal(self, curve, throughput, u):
+        ppr_curve = PPRCurve(throughput, curve)
+        value = ppr_curve.ppr_at(u)
+        assert value > 0.0
+        if curve.idle_w > 0:
+            # Idle power only hurts: PPR is below the idle-free bound.
+            ideal = throughput / curve.peak_w if u == 1.0 else None
+        assert np.isfinite(value)
+
+    @given(curve=quadratic_curves(), throughput=st.floats(1.0, 1e9))
+    @settings(max_examples=60)
+    def test_peak_ppr_is_throughput_over_peak(self, curve, throughput):
+        ppr_curve = PPRCurve(throughput, curve)
+        assert ppr_curve.peak_ppr == pytest.approx(throughput / curve.peak_w)
+
+
+class TestSublinearityInvariants:
+    @given(
+        idle=st.floats(0.1, 50.0),
+        dyn=st.floats(0.1, 100.0),
+        ref_scale=st.floats(1.01, 10.0),
+    )
+    @settings(max_examples=80)
+    def test_crossover_exact(self, idle, dyn, ref_scale):
+        """Whenever a crossover exists, the curve equals the reference
+        ideal exactly there."""
+        curve = LinearPowerCurve(idle, idle + dyn)
+        reference = ref_scale * (idle + dyn)
+        u_star = sublinear_crossover(curve, reference_peak_w=reference)
+        if u_star is not None:
+            assert curve.power_w(u_star) == pytest.approx(
+                u_star * reference, rel=1e-9
+            )
+
+    @given(idle=st.floats(0.1, 50.0), dyn=st.floats(0.1, 100.0))
+    @settings(max_examples=60)
+    def test_no_crossover_against_own_peak(self, idle, dyn):
+        curve = LinearPowerCurve(idle, idle + dyn)
+        assert sublinear_crossover(curve, reference_peak_w=curve.peak_w) is None

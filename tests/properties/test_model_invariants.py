@@ -1,0 +1,134 @@
+"""Property tests: invariants of the time-energy model over random
+configurations and workloads."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.configuration import ClusterConfiguration, NodeGroup
+from repro.hardware.specs import a9, k10
+from repro.model.energy_model import job_energy, power_draw
+from repro.model.time_model import execution_time, job_execution
+from repro.workloads.base import ActivityFactors, Workload, WorkloadDemand
+
+_A9 = a9()
+_K10 = k10()
+
+
+@st.composite
+def configurations(draw):
+    """Random heterogeneous configurations over all (n, c, f) choices."""
+    groups = []
+    if draw(st.booleans()):
+        groups.append(
+            NodeGroup(
+                _A9,
+                draw(st.integers(1, 40)),
+                draw(st.integers(1, _A9.cores)),
+                draw(st.sampled_from(_A9.frequencies_hz)),
+            )
+        )
+    groups.append(
+        NodeGroup(
+            _K10,
+            draw(st.integers(1, 16)),
+            draw(st.integers(1, _K10.cores)),
+            draw(st.sampled_from(_K10.frequencies_hz)),
+        )
+    )
+    return ClusterConfiguration(groups=tuple(groups))
+
+
+@st.composite
+def workloads_strategy(draw):
+    """Random two-type workloads with non-degenerate demands."""
+    act = ActivityFactors(
+        draw(st.floats(0.05, 1.0)),
+        draw(st.floats(0.05, 1.0)),
+        draw(st.floats(0.0, 1.0)),
+        draw(st.floats(0.0, 1.0)),
+    )
+
+    def demand():
+        return WorkloadDemand(
+            core_cycles_per_op=draw(st.floats(10.0, 1e6)),
+            mem_cycles_per_op=draw(st.floats(0.0, 1e5)),
+            io_bytes_per_op=draw(st.floats(0.0, 1e3)),
+            activity=act,
+        )
+
+    return Workload(
+        name="prop",
+        domain="t",
+        unit="ops",
+        ops_per_job=draw(st.floats(1e3, 1e9)),
+        demands={"A9": demand(), "K10": demand()},
+    )
+
+
+class TestTimeModelInvariants:
+    @given(config=configurations(), workload=workloads_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_equal_finish_division(self, config, workload):
+        """Every node is busy exactly T_P and shares sum to one."""
+        execution = job_execution(workload, config)
+        total_share = 0.0
+        for ge in execution.groups:
+            assert ge.busy_time == pytest.approx(execution.tp_s, rel=1e-9)
+            total_share += ge.ops_per_node * ge.group.count
+        assert total_share == pytest.approx(workload.ops_per_job, rel=1e-9)
+
+    @given(config=configurations(), workload=workloads_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_adding_a_node_never_slows(self, config, workload):
+        bigger_groups = []
+        for g in config.groups:
+            bigger_groups.append(
+                NodeGroup(g.spec, g.count + 1, g.cores, g.frequency_hz)
+            )
+        bigger = ClusterConfiguration(groups=tuple(bigger_groups))
+        assert execution_time(workload, bigger) < execution_time(workload, config)
+
+    @given(config=configurations(), workload=workloads_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_time_positive_and_finite(self, config, workload):
+        tp = execution_time(workload, config)
+        assert 0.0 < tp < float("inf")
+
+
+class TestEnergyModelInvariants:
+    @given(config=configurations(), workload=workloads_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_energy_at_least_idle_baseline(self, config, workload):
+        je = job_energy(workload, config)
+        assert je.e_total_j >= config.idle_w * je.tp_s - 1e-9
+
+    @given(config=configurations(), workload=workloads_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_peak_at_least_idle(self, config, workload):
+        draw = power_draw(workload, config)
+        assert draw.peak_w >= draw.idle_w
+        assert 0.0 < draw.ipr <= 1.0
+
+    @given(config=configurations(), workload=workloads_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_dynamic_power_within_component_ceiling(self, config, workload):
+        """Dynamic power can never exceed the sum of every node's fully
+        active component envelope."""
+        draw = power_draw(workload, config)
+        ceiling = sum(
+            g.count * g.spec.power.dynamic_ceiling_w for g in config.groups
+        )
+        assert draw.dynamic_w <= ceiling + 1e-9
+
+    @given(
+        config=configurations(),
+        workload=workloads_strategy(),
+        k=st.floats(1.5, 100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_energy_and_time_linear_in_job_size(self, config, workload, k):
+        je1 = job_energy(workload, config)
+        je2 = job_energy(workload.with_job_size(workload.ops_per_job * k), config)
+        assert je2.tp_s == pytest.approx(k * je1.tp_s, rel=1e-9)
+        assert je2.e_total_j == pytest.approx(k * je1.e_total_j, rel=1e-9)

@@ -1,0 +1,75 @@
+"""Property tests: stochastic-ordering invariants of the queueing models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.md1 import MD1Queue
+from repro.queueing.mdc import MDCQueue
+from repro.queueing.mg1 import MG1Queue, MM1Queue
+
+
+class TestStochasticOrderings:
+    @given(rho=st.floats(0.05, 0.95), t=st.floats(0.0, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_service_stochastically_smaller(self, rho, t):
+        """M/D/1 waits are stochastically below M/M/1's at equal load:
+        F_MD1(t) >= F_MM1(t) for every t."""
+        md1 = MD1Queue.from_utilisation(rho, 1.0)
+        mm1 = MM1Queue.from_utilisation(rho, 1.0)
+        assert md1.wait_cdf(t) >= mm1.wait_cdf(t) - 1e-9
+
+    @given(
+        rho_lo=st.floats(0.05, 0.5),
+        extra=st.floats(0.05, 0.45),
+        t=st.floats(0.0, 10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wait_cdf_decreases_with_load(self, rho_lo, extra, t):
+        lighter = MD1Queue.from_utilisation(rho_lo, 1.0)
+        heavier = MD1Queue.from_utilisation(rho_lo + extra, 1.0)
+        assert lighter.wait_cdf(t) >= heavier.wait_cdf(t) - 1e-9
+
+    @given(rho=st.floats(0.1, 0.9), c=st.integers(1, 4), t=st.floats(0.0, 8.0))
+    @settings(max_examples=40, deadline=None)
+    def test_extra_server_only_helps(self, rho, c, t):
+        """At fixed arrival rate and service time, adding a server can only
+        raise the wait CDF."""
+        base = MDCQueue.from_utilisation(rho, 1.0, c)
+        lam = base.arrival_rate
+        more = MDCQueue(lam, 1.0, c + 1)
+        assert more.wait_cdf(t) >= base.wait_cdf(t) - 1e-6
+
+    @given(rho=st.floats(0.05, 0.9), scv=st.floats(0.0, 4.0))
+    @settings(max_examples=60)
+    def test_pk_mean_interpolates(self, rho, scv):
+        """M/G/1 mean wait is exactly (1 + SCV)/2 of the M/M/1 wait."""
+        mm1 = MM1Queue.from_utilisation(rho, 1.0)
+        mg1 = MG1Queue(mm1.arrival_rate, 1.0, scv)
+        assert mg1.mean_wait_s == pytest.approx(
+            mm1.mean_wait_s * (1 + scv) / 2.0, rel=1e-9
+        )
+
+
+class TestDistributionConsistency:
+    @given(rho=st.floats(0.05, 0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_wait_atom_matches_system_size(self, rho):
+        """PASTA: P(W = 0) equals P(system empty) for M/D/1."""
+        q = MD1Queue.from_utilisation(rho, 1.0)
+        assert q.wait_cdf(0.0) == pytest.approx(q.system_size_pmf(0), abs=1e-10)
+
+    @given(rho=st.floats(0.05, 0.9), n=st.integers(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_pmf_consistency(self, rho, n):
+        q = MD1Queue.from_utilisation(rho, 1.0)
+        direct = sum(q.system_size_pmf(i) for i in range(n + 1))
+        assert q.system_size_cdf(n) == pytest.approx(direct, abs=1e-12)
+
+    @given(rho=st.floats(0.05, 0.85), c=st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_mdc_mean_busy_servers(self, rho, c):
+        """Work conservation: E[min(N, c)] = offered load."""
+        q = MDCQueue.from_utilisation(rho, 1.0, c)
+        mean_busy = sum(min(n, c) * q.system_size_pmf(n) for n in range(800))
+        assert mean_busy == pytest.approx(q.offered_load, abs=1e-6)

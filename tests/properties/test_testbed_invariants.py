@@ -1,0 +1,81 @@
+"""Property tests: invariants of the simulated testbed."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.hardware.testbed import Testbed
+from repro.model.energy_model import job_energy
+from repro.model.time_model import job_execution, node_service_rate
+from repro.util.rng import RngRegistry
+from repro.workloads.suite import PAPER_WORKLOAD_NAMES, paper_workloads
+
+
+def _split(workload, config):
+    rates = {
+        g.spec.name: node_service_rate(g, workload.demand_for(g.spec.name))
+        for g in config.groups
+    }
+    total = sum(rates[g.spec.name] * g.count for g in config.groups)
+    return {name: r / total for name, r in rates.items()}
+
+
+@st.composite
+def small_mixes(draw):
+    a = draw(st.integers(0, 4))
+    k = draw(st.integers(0, 2))
+    if a == 0 and k == 0:
+        a = 1
+    return ClusterConfiguration.mix({"A9": a, "K10": k})
+
+
+class TestTestbedInvariants:
+    @given(
+        config=small_mixes(),
+        name=st.sampled_from(PAPER_WORKLOAD_NAMES),
+        seed=st.integers(0, 2**31),
+        scale=st.sampled_from([8.0, 32.0]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_measurement_brackets_model(self, config, name, seed, scale):
+        """Measured time stays inside the model's noise envelope.
+
+        Overheads, working-set growth and stragglers push the measured run
+        above the model; symmetric per-phase noise can pull a *single-node*
+        run marginally below it (no straggler max to break the symmetry),
+        so the lower bound allows a small noise margin rather than strict
+        dominance.  Measured energy is at least the idle baseline.
+        """
+        w = paper_workloads()[name].with_job_size(
+            paper_workloads()[name].ops_per_job * scale
+        )
+        testbed = Testbed(config, RngRegistry(seed))
+        measured = testbed.run_job(w, work_split=_split(w, config))
+        model_time = job_execution(w, config).tp_s
+        assert measured.makespan_s > model_time * 0.97
+        assert measured.makespan_s < model_time * 1.6
+        idle_floor = config.idle_w * measured.makespan_s
+        assert measured.energy_j > idle_floor * 0.95
+
+    @given(
+        config=small_mixes(),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_determinism(self, config, seed):
+        """Identical seeds reproduce measurements bit-for-bit."""
+        w = paper_workloads()["EP"]
+        split = _split(w, config)
+        a = Testbed(config, RngRegistry(seed)).run_job(w, work_split=split)
+        b = Testbed(config, RngRegistry(seed)).run_job(w, work_split=split)
+        assert a.makespan_s == b.makespan_s
+        assert a.energy_j == b.energy_j
+
+    @given(duration=st.floats(1.0, 100.0), seed=st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_idle_measurement_tracks_idle_power(self, duration, seed):
+        config = ClusterConfiguration.mix({"A9": 2, "K10": 1})
+        testbed = Testbed(config, RngRegistry(seed))
+        energy = testbed.measure_idle(duration)
+        assert energy == pytest.approx(config.idle_w * duration, rel=0.05)

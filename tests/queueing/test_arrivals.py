@@ -1,0 +1,80 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueueingError
+from repro.queueing.arrivals import (
+    BatchArrivals,
+    DeterministicArrivals,
+    PoissonArrivals,
+)
+
+
+class TestPoisson:
+    def test_rate_respected(self, rng):
+        times = PoissonArrivals(100.0, rng).arrival_times(100.0)
+        assert len(times) == pytest.approx(10_000, rel=0.1)
+
+    def test_sorted_and_bounded(self, rng):
+        times = PoissonArrivals(50.0, rng).arrival_times(5.0)
+        assert np.all(np.diff(times) > 0)
+        assert times[0] >= 0.0
+        assert times[-1] < 5.0
+
+    def test_exponential_gaps(self, rng):
+        rate = 200.0
+        times = PoissonArrivals(rate, rng).arrival_times(200.0)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(1.0 / rate, rel=0.05)
+        # Exponential: std == mean.
+        assert gaps.std() == pytest.approx(gaps.mean(), rel=0.1)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(QueueingError):
+            PoissonArrivals(0.0, rng)
+        with pytest.raises(QueueingError):
+            PoissonArrivals(1.0, rng).arrival_times(0.0)
+
+    def test_deterministic_given_stream(self):
+        a = PoissonArrivals(10.0, np.random.default_rng(3)).arrival_times(10.0)
+        b = PoissonArrivals(10.0, np.random.default_rng(3)).arrival_times(10.0)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDeterministic:
+    def test_even_spacing(self):
+        times = DeterministicArrivals(4.0).arrival_times(1.0)
+        np.testing.assert_allclose(times, [0.0, 0.25, 0.5, 0.75])
+
+    def test_offset(self):
+        times = DeterministicArrivals(2.0, offset_s=0.1).arrival_times(1.0)
+        np.testing.assert_allclose(times, [0.1, 0.6])
+
+    def test_offset_beyond_horizon(self):
+        assert len(DeterministicArrivals(1.0, offset_s=5.0).arrival_times(1.0)) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(QueueingError):
+            DeterministicArrivals(0.0)
+        with pytest.raises(QueueingError):
+            DeterministicArrivals(1.0, offset_s=-1.0)
+
+
+class TestBatch:
+    def test_jobs_repeat_per_batch(self, rng):
+        batches = BatchArrivals(batch_rate=10.0, batch_size=4, rng=rng)
+        times = batches.arrival_times(50.0)
+        assert len(times) % 4 == 0
+        # Each epoch appears exactly batch_size times.
+        unique, counts = np.unique(times, return_counts=True)
+        assert np.all(counts == 4)
+
+    def test_effective_rate(self, rng):
+        batches = BatchArrivals(batch_rate=10.0, batch_size=5, rng=rng)
+        assert batches.rate == pytest.approx(50.0)
+        assert batches.batch_size == 5
+
+    def test_invalid_batch_size(self, rng):
+        with pytest.raises(QueueingError):
+            BatchArrivals(batch_rate=1.0, batch_size=0, rng=rng)

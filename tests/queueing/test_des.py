@@ -1,0 +1,153 @@
+"""Tests for the discrete-event FIFO simulator, including the property
+tests cross-validating the analytic M/D/1 results."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueueingError
+from repro.queueing.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.queueing.des import QueueSimulator, SimulationResult
+from repro.queueing.md1 import MD1Queue
+from repro.queueing.mg1 import MM1Queue
+
+
+class TestDeterministicScenarios:
+    """Hand-computable schedules pin the FIFO recursion exactly."""
+
+    def test_no_contention_no_wait(self):
+        sim = QueueSimulator(DeterministicArrivals(1.0), 0.5)
+        result = sim.run(10.0)
+        assert np.all(result.waits == 0.0)
+
+    def test_saturated_arrivals_queue_up(self):
+        # Arrivals every 0.5 s, service 1 s: job n waits n * 0.5 s.
+        sim = QueueSimulator(DeterministicArrivals(2.0), 1.0)
+        result = sim.run(2.0)  # arrivals at 0, 0.5, 1.0, 1.5
+        np.testing.assert_allclose(result.waits, [0.0, 0.5, 1.0, 1.5])
+
+    def test_responses_are_wait_plus_service(self):
+        sim = QueueSimulator(DeterministicArrivals(2.0), 1.0)
+        result = sim.run(2.0)
+        np.testing.assert_allclose(result.responses, result.waits + 1.0)
+
+    def test_completions_sorted_fifo(self):
+        sim = QueueSimulator(DeterministicArrivals(3.0), 0.7)
+        result = sim.run(5.0)
+        assert np.all(np.diff(result.completions) > 0)
+
+    def test_busy_time(self):
+        sim = QueueSimulator(DeterministicArrivals(1.0), 0.25)
+        result = sim.run(4.0)  # 4 jobs
+        assert result.busy_time_s == pytest.approx(1.0)
+
+    def test_utilisation_never_above_one(self):
+        sim = QueueSimulator(DeterministicArrivals(10.0), 1.0)  # overloaded
+        result = sim.run(5.0)
+        assert result.utilisation <= 1.0
+
+
+class TestInterface:
+    def test_empty_horizon(self, rng):
+        sim = QueueSimulator(PoissonArrivals(0.001, rng), 1.0)
+        result = sim.run(0.001)
+        assert result.n_jobs in (0, 1)
+
+    def test_empty_result_statistics_raise(self):
+        result = SimulationResult(
+            arrivals=np.empty(0), waits=np.empty(0), services=np.empty(0),
+            horizon_s=1.0,
+        )
+        assert result.utilisation == 0.0
+        with pytest.raises(QueueingError):
+            result.empirical_wait_cdf(1.0)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(QueueingError):
+            SimulationResult(
+                arrivals=np.zeros(2), waits=np.zeros(3), services=np.zeros(2),
+                horizon_s=1.0,
+            )
+
+    def test_run_jobs_exact_count(self, rng):
+        sim = QueueSimulator.md1(50.0, 0.01, rng)
+        result = sim.run_jobs(500)
+        assert result.n_jobs == 500
+
+    def test_run_jobs_invalid_count(self, rng):
+        with pytest.raises(QueueingError):
+            QueueSimulator.md1(1.0, 0.1, rng).run_jobs(0)
+
+    def test_random_service_needs_rng(self):
+        with pytest.raises(QueueingError):
+            QueueSimulator(DeterministicArrivals(1.0), lambda r: 1.0, rng=None)
+
+    def test_nonpositive_service_rejected(self):
+        with pytest.raises(QueueingError):
+            QueueSimulator(DeterministicArrivals(1.0), 0.0)
+
+    def test_service_model_must_be_positive(self, rng):
+        sim = QueueSimulator(
+            DeterministicArrivals(1.0), lambda r: -1.0, rng=rng
+        )
+        with pytest.raises(QueueingError):
+            sim.run(3.0)
+
+
+class TestAgainstAnalytics:
+    """The DES is the ground truth the analytic formulas must match."""
+
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.85])
+    def test_md1_mean_wait(self, rho):
+        d = 0.02
+        q = MD1Queue.from_utilisation(rho, d)
+        sim = QueueSimulator.md1(q.arrival_rate, d, np.random.default_rng(17))
+        result = sim.run_jobs(40_000)
+        assert result.waits.mean() == pytest.approx(q.mean_wait_s, rel=0.08)
+
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.85])
+    def test_md1_wait_cdf(self, rho):
+        d = 0.02
+        q = MD1Queue.from_utilisation(rho, d)
+        sim = QueueSimulator.md1(q.arrival_rate, d, np.random.default_rng(23))
+        result = sim.run_jobs(40_000)
+        for t in (0.0, 0.5 * d, d, 2 * d, 5 * d):
+            assert result.empirical_wait_cdf(t) == pytest.approx(
+                q.wait_cdf(t), abs=0.02
+            )
+
+    @pytest.mark.parametrize("rho", [0.4, 0.7])
+    def test_md1_p95_response(self, rho):
+        d = 0.05
+        q = MD1Queue.from_utilisation(rho, d)
+        sim = QueueSimulator.md1(q.arrival_rate, d, np.random.default_rng(29))
+        result = sim.run_jobs(60_000)
+        assert float(np.percentile(result.responses, 95)) == pytest.approx(
+            q.p95_response_s(), rel=0.05
+        )
+
+    def test_mm1_mean_wait(self):
+        rho, s = 0.6, 0.02
+        q = MM1Queue.from_utilisation(rho, s)
+        sim = QueueSimulator(
+            PoissonArrivals(q.arrival_rate, np.random.default_rng(31)),
+            lambda r: float(r.exponential(s)),
+            rng=np.random.default_rng(37),
+        )
+        result = sim.run_jobs(60_000)
+        assert result.waits.mean() == pytest.approx(q.mean_wait_s, rel=0.08)
+
+    @given(rho=st.floats(0.1, 0.8))
+    @settings(max_examples=10, deadline=None)
+    def test_md1_cdf_property(self, rho):
+        """Property: across utilisations, the empirical wait CDF tracks the
+        Franx formula at several quantile anchors."""
+        d = 1.0
+        q = MD1Queue.from_utilisation(rho, d)
+        sim = QueueSimulator.md1(q.arrival_rate, d, np.random.default_rng(41))
+        result = sim.run_jobs(8_000)
+        for t in (0.0, d, 3 * d):
+            assert result.empirical_wait_cdf(t) == pytest.approx(
+                q.wait_cdf(t), abs=0.05
+            )

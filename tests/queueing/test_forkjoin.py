@@ -1,0 +1,99 @@
+"""Tests for the fork-join dispatch simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueueingError
+from repro.queueing.forkjoin import simulate_fork_join
+from repro.queueing.md1 import MD1Queue
+
+
+def _run(rho=0.6, n_nodes=4, cv=0.0, n_jobs=5000, seed=9):
+    q = MD1Queue.from_utilisation(rho, 1.0)
+    return simulate_fork_join(
+        arrival_rate=q.arrival_rate,
+        chunk_time_s=1.0,
+        n_nodes=n_nodes,
+        cv=cv,
+        n_jobs=n_jobs,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestReducesToMD1:
+    @pytest.mark.parametrize("rho", [0.3, 0.7])
+    def test_deterministic_chunks_match_md1(self, rho):
+        """cv = 0: every node is an identical sample path; the join adds
+        nothing and the system IS the single M/D/1 server."""
+        q = MD1Queue.from_utilisation(rho, 1.0)
+        result = simulate_fork_join(
+            arrival_rate=q.arrival_rate,
+            chunk_time_s=1.0,
+            n_nodes=8,
+            cv=0.0,
+            n_jobs=40_000,
+            rng=np.random.default_rng(3),
+        )
+        assert result.p95_response_s == pytest.approx(q.p95_response_s(), rel=0.05)
+        assert result.responses.mean() == pytest.approx(q.mean_response_s, rel=0.05)
+
+    def test_cv_zero_independent_of_node_count(self):
+        a = _run(n_nodes=1, n_jobs=2000)
+        b = _run(n_nodes=32, n_jobs=2000)
+        assert a.p95_response_s == pytest.approx(b.p95_response_s, rel=1e-9)
+
+
+class TestStragglerPenalty:
+    def test_penalty_grows_with_node_count(self):
+        p95s = [_run(cv=0.12, n_nodes=n, n_jobs=15_000).p95_response_s for n in (1, 8, 44)]
+        assert p95s == sorted(p95s)
+        assert p95s[-1] > p95s[0] * 1.05
+
+    def test_penalty_grows_with_variability(self):
+        p95s = [_run(cv=cv, n_nodes=16, n_jobs=15_000).p95_response_s for cv in (0.0, 0.05, 0.15)]
+        assert p95s == sorted(p95s)
+
+    def test_responses_at_least_a_chunk(self):
+        result = _run(cv=0.1)
+        assert (result.responses > 0).all()
+        # Deterministic floor does not apply with noise, but the mean must
+        # exceed the mean chunk time (queueing + join only add).
+        assert result.responses.mean() > result.chunk_time_s
+
+    def test_straggler_factor(self):
+        result = _run(cv=0.0, rho=0.1, n_jobs=3000)
+        # Light load, no noise: responses ~ one chunk time.
+        assert result.straggler_factor == pytest.approx(1.0, rel=0.15)
+
+
+class TestValidation:
+    def test_instability_rejected(self):
+        with pytest.raises(QueueingError):
+            simulate_fork_join(
+                arrival_rate=1.0, chunk_time_s=1.0, n_nodes=4, cv=0.0,
+                n_jobs=10, rng=np.random.default_rng(0),
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chunk_time_s": 0.0},
+            {"n_nodes": 0},
+            {"cv": -0.1},
+            {"n_jobs": 0},
+            {"arrival_rate": 0.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        defaults = dict(
+            arrival_rate=0.5, chunk_time_s=1.0, n_nodes=2, cv=0.0, n_jobs=10,
+            rng=np.random.default_rng(0),
+        )
+        defaults.update(kwargs)
+        with pytest.raises(QueueingError):
+            simulate_fork_join(**defaults)
+
+    def test_deterministic_given_seed(self):
+        a = _run(cv=0.1, seed=4)
+        b = _run(cv=0.1, seed=4)
+        np.testing.assert_array_equal(a.responses, b.responses)

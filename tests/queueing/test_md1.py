@@ -1,0 +1,200 @@
+"""Tests for the analytic M/D/1 queue."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueueingError
+from repro.queueing.md1 import MD1Queue
+
+
+class TestConstruction:
+    def test_stability_enforced(self):
+        with pytest.raises(QueueingError):
+            MD1Queue(arrival_rate=10.0, service_time_s=0.1)  # rho = 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(QueueingError):
+            MD1Queue(arrival_rate=-1.0, service_time_s=0.1)
+        with pytest.raises(QueueingError):
+            MD1Queue(arrival_rate=1.0, service_time_s=0.0)
+
+    def test_from_utilisation(self):
+        q = MD1Queue.from_utilisation(0.6, 0.05)
+        assert q.utilisation == pytest.approx(0.6)
+        assert q.arrival_rate == pytest.approx(12.0)
+
+    def test_from_utilisation_range(self):
+        with pytest.raises(QueueingError):
+            MD1Queue.from_utilisation(1.0, 0.05)
+        with pytest.raises(QueueingError):
+            MD1Queue.from_utilisation(-0.1, 0.05)
+
+
+class TestMoments:
+    def test_mean_wait_pollaczek_khinchine(self):
+        # E[W] = rho*D / (2(1-rho)).
+        q = MD1Queue.from_utilisation(0.5, 1.0)
+        assert q.mean_wait_s == pytest.approx(0.5)
+
+    def test_mean_response(self):
+        q = MD1Queue.from_utilisation(0.5, 1.0)
+        assert q.mean_response_s == pytest.approx(1.5)
+
+    def test_littles_law(self):
+        q = MD1Queue.from_utilisation(0.7, 0.2)
+        assert q.mean_queue_length == pytest.approx(q.arrival_rate * q.mean_wait_s)
+        assert q.mean_number_in_system == pytest.approx(
+            q.arrival_rate * q.mean_response_s
+        )
+
+    def test_zero_load_waits_nothing(self):
+        q = MD1Queue(arrival_rate=0.0, service_time_s=1.0)
+        assert q.mean_wait_s == 0.0
+        assert q.wait_cdf(0.0) == 1.0
+        assert q.wait_percentile(95) == 0.0
+
+
+class TestSystemSizeDistribution:
+    def test_p0_is_one_minus_rho(self):
+        q = MD1Queue.from_utilisation(0.7, 1.0)
+        assert q.system_size_pmf(0) == pytest.approx(0.3)
+
+    def test_p1_closed_form(self):
+        # For M/D/1: p1 = (1 - rho)(e^rho - 1).
+        rho = 0.6
+        q = MD1Queue.from_utilisation(rho, 1.0)
+        assert q.system_size_pmf(1) == pytest.approx((1 - rho) * (math.exp(rho) - 1))
+
+    def test_pmf_sums_to_one(self):
+        q = MD1Queue.from_utilisation(0.8, 1.0)
+        total = sum(q.system_size_pmf(n) for n in range(400))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_mean_matches_littles_law(self):
+        q = MD1Queue.from_utilisation(0.7, 1.0)
+        mean = sum(n * q.system_size_pmf(n) for n in range(400))
+        assert mean == pytest.approx(q.mean_number_in_system, abs=1e-9)
+
+    def test_cdf_monotone(self):
+        q = MD1Queue.from_utilisation(0.9, 1.0)
+        values = [q.system_size_cdf(n) for n in range(50)]
+        assert values == sorted(values)
+
+    def test_negative_size_rejected(self):
+        q = MD1Queue.from_utilisation(0.5, 1.0)
+        with pytest.raises(QueueingError):
+            q.system_size_pmf(-1)
+        assert q.system_size_cdf(-1) == 0.0
+
+
+class TestWaitDistribution:
+    def test_atom_at_zero_is_one_minus_rho(self):
+        # PASTA: P(W = 0) = P(empty system) = 1 - rho.
+        for rho in (0.2, 0.5, 0.8, 0.95):
+            q = MD1Queue.from_utilisation(rho, 1.0)
+            assert q.wait_cdf(0.0) == pytest.approx(1.0 - rho, abs=1e-12)
+
+    def test_negative_wait_impossible(self):
+        q = MD1Queue.from_utilisation(0.5, 1.0)
+        assert q.wait_cdf(-1.0) == 0.0
+
+    def test_cdf_reaches_one(self):
+        q = MD1Queue.from_utilisation(0.5, 1.0)
+        assert q.wait_cdf(50.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_cdf_monotone_dense_grid(self):
+        q = MD1Queue.from_utilisation(0.85, 1.0)
+        grid = np.linspace(0, 20, 400)
+        values = [q.wait_cdf(float(t)) for t in grid]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_cdf_continuous_at_service_multiples(self):
+        """The Franx piecewise form must agree across piece boundaries."""
+        q = MD1Queue.from_utilisation(0.8, 1.0)
+        for k in (1, 2, 3, 7):
+            below = q.wait_cdf(k - 1e-9)
+            at = q.wait_cdf(float(k))
+            assert at == pytest.approx(below, abs=1e-6)
+
+    def test_mean_from_cdf_matches_closed_form(self):
+        """Integrate the complementary CDF and compare with P-K."""
+        q = MD1Queue.from_utilisation(0.7, 1.0)
+        grid = np.linspace(0, 60, 6001)
+        ccdf = np.array([1.0 - q.wait_cdf(float(t)) for t in grid])
+        mean = np.trapezoid(ccdf, grid)
+        assert mean == pytest.approx(q.mean_wait_s, rel=1e-3)
+
+    def test_stable_at_high_utilisation(self):
+        """The positive-term series must not blow up where the classic
+        alternating Crommelin series loses all precision."""
+        q = MD1Queue.from_utilisation(0.98, 1.0)
+        value = q.wait_cdf(100.0)
+        assert 0.0 <= value <= 1.0
+        assert q.wait_cdf(400.0) > value
+
+
+class TestPercentiles:
+    def test_percentile_inverts_cdf(self):
+        q = MD1Queue.from_utilisation(0.8, 0.5)
+        for p in (50.0, 90.0, 95.0, 99.0):
+            t = q.wait_percentile(p)
+            assert q.wait_cdf(t) == pytest.approx(p / 100.0, abs=1e-6)
+
+    def test_response_percentile_offsets_by_service(self):
+        q = MD1Queue.from_utilisation(0.6, 0.25)
+        assert q.response_percentile(95) == pytest.approx(
+            q.wait_percentile(95) + 0.25
+        )
+
+    def test_p95_shorthand(self):
+        q = MD1Queue.from_utilisation(0.6, 0.25)
+        assert q.p95_response_s() == q.response_percentile(95.0)
+
+    def test_percentile_below_atom_is_zero(self):
+        q = MD1Queue.from_utilisation(0.3, 1.0)  # P(W=0) = 0.7
+        assert q.wait_percentile(50.0) == 0.0
+
+    def test_invalid_percentile_rejected(self):
+        q = MD1Queue.from_utilisation(0.5, 1.0)
+        with pytest.raises(QueueingError):
+            q.wait_percentile(100.0)
+        with pytest.raises(QueueingError):
+            q.wait_percentile(-5.0)
+
+    def test_percentiles_increase_with_utilisation(self):
+        values = [
+            MD1Queue.from_utilisation(u, 1.0).p95_response_s()
+            for u in (0.3, 0.5, 0.7, 0.9)
+        ]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    @given(
+        rho=st.floats(0.05, 0.95),
+        d=st.floats(1e-3, 100.0),
+        p=st.floats(5.0, 99.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_percentile_cdf_roundtrip_property(self, rho, d, p):
+        q = MD1Queue.from_utilisation(rho, d)
+        t = q.wait_percentile(p)
+        assert q.wait_cdf(t) >= p / 100.0 - 1e-6
+        if t > 0:
+            assert q.wait_cdf(t * 0.999) <= p / 100.0 + 1e-6
+
+
+class TestScalingProperty:
+    @given(rho=st.floats(0.1, 0.9), scale=st.floats(0.01, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_time_scale_invariance(self, rho, scale):
+        """Property: M/D/1 is scale-free — multiplying D (and dividing
+        lambda) scales every time quantile by the same factor."""
+        base = MD1Queue.from_utilisation(rho, 1.0)
+        scaled = MD1Queue.from_utilisation(rho, scale)
+        assert scaled.p95_response_s() == pytest.approx(
+            base.p95_response_s() * scale, rel=1e-6
+        )

@@ -1,0 +1,115 @@
+"""Tests for the M/M/1 and M/G/1 analytic queues."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueueingError
+from repro.queueing.md1 import MD1Queue
+from repro.queueing.mg1 import MG1Queue, MM1Queue
+
+
+class TestMM1:
+    def test_mean_response_closed_form(self):
+        q = MM1Queue.from_utilisation(0.5, 1.0)
+        assert q.mean_response_s == pytest.approx(2.0)
+
+    def test_mean_wait_closed_form(self):
+        q = MM1Queue.from_utilisation(0.5, 1.0)
+        assert q.mean_wait_s == pytest.approx(1.0)
+
+    def test_stability_enforced(self):
+        with pytest.raises(QueueingError):
+            MM1Queue(arrival_rate=1.0, mean_service_time_s=1.0)
+        with pytest.raises(QueueingError):
+            MM1Queue.from_utilisation(1.0, 1.0)
+
+    def test_response_is_exponential(self):
+        q = MM1Queue.from_utilisation(0.5, 1.0)
+        rate = 1.0 / q.mean_response_s
+        for t in (0.5, 1.0, 3.0):
+            assert q.response_cdf(t) == pytest.approx(1 - math.exp(-rate * t))
+
+    def test_response_percentile_inverts_cdf(self):
+        q = MM1Queue.from_utilisation(0.7, 0.2)
+        t = q.response_percentile(95)
+        assert q.response_cdf(t) == pytest.approx(0.95)
+
+    def test_wait_atom_at_zero(self):
+        q = MM1Queue.from_utilisation(0.6, 1.0)
+        assert q.wait_cdf(0.0) == pytest.approx(0.4)
+        assert q.wait_percentile(30.0) == 0.0
+
+    def test_wait_percentile_inverts_cdf(self):
+        q = MM1Queue.from_utilisation(0.6, 1.0)
+        t = q.wait_percentile(90.0)
+        assert q.wait_cdf(t) == pytest.approx(0.9)
+
+    def test_negative_times(self):
+        q = MM1Queue.from_utilisation(0.6, 1.0)
+        assert q.wait_cdf(-1.0) == 0.0
+        assert q.response_cdf(-1.0) == 0.0
+
+    def test_invalid_percentile_rejected(self):
+        q = MM1Queue.from_utilisation(0.6, 1.0)
+        with pytest.raises(QueueingError):
+            q.response_percentile(100.0)
+
+
+class TestMG1:
+    def test_scv_zero_matches_md1(self):
+        mg1 = MG1Queue(arrival_rate=0.5, mean_service_time_s=1.0, scv=0.0)
+        md1 = MD1Queue(arrival_rate=0.5, service_time_s=1.0)
+        assert mg1.mean_wait_s == pytest.approx(md1.mean_wait_s)
+
+    def test_scv_one_matches_mm1(self):
+        mg1 = MG1Queue(arrival_rate=0.5, mean_service_time_s=1.0, scv=1.0)
+        mm1 = MM1Queue(arrival_rate=0.5, mean_service_time_s=1.0)
+        assert mg1.mean_wait_s == pytest.approx(mm1.mean_wait_s)
+
+    def test_wait_grows_with_variability(self):
+        waits = [
+            MG1Queue(0.5, 1.0, scv).mean_wait_s for scv in (0.0, 0.5, 1.0, 4.0)
+        ]
+        assert waits == sorted(waits)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(QueueingError):
+            MG1Queue(0.5, 1.0, scv=-0.1)
+        with pytest.raises(QueueingError):
+            MG1Queue(1.0, 1.0, scv=0.0)
+        with pytest.raises(QueueingError):
+            MG1Queue(0.5, 0.0, scv=0.0)
+
+    def test_littles_law(self):
+        q = MG1Queue(0.4, 1.5, scv=2.0)
+        assert q.mean_queue_length == pytest.approx(q.arrival_rate * q.mean_wait_s)
+
+    @given(rho=st.floats(0.05, 0.9), scv=st.floats(0.0, 5.0))
+    @settings(max_examples=40)
+    def test_pk_formula_property(self, rho, scv):
+        """Property: P-K mean wait = rho*S*(1+SCV)/(2(1-rho))."""
+        s = 0.7
+        q = MG1Queue(rho / s, s, scv)
+        expected = rho * s * (1 + scv) / (2 * (1 - rho))
+        assert q.mean_wait_s == pytest.approx(expected, rel=1e-9)
+
+
+class TestOrderings:
+    """Deterministic service always beats exponential at equal utilisation."""
+
+    @given(rho=st.floats(0.05, 0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_md1_wait_half_of_mm1(self, rho):
+        d = 0.3
+        md1 = MD1Queue.from_utilisation(rho, d)
+        mm1 = MM1Queue.from_utilisation(rho, d)
+        assert md1.mean_wait_s == pytest.approx(mm1.mean_wait_s / 2, rel=1e-9)
+
+    def test_md1_p95_below_mm1(self):
+        for rho in (0.3, 0.6, 0.9):
+            md1 = MD1Queue.from_utilisation(rho, 1.0)
+            mm1 = MM1Queue.from_utilisation(rho, 1.0)
+            assert md1.p95_response_s() < mm1.response_percentile(95)

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_mix, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_choices(self):
+        args = build_parser().parse_args(["table", "7"])
+        assert args.number == 7
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+    def test_mix_parsing(self):
+        assert _parse_mix("A9=64,K10=8") == {"A9": 64, "K10": 8}
+        assert _parse_mix("A9=1") == {"A9": 1}
+
+    def test_mix_parsing_errors(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_mix("A9")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_mix("A9=x")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_mix("")
+
+
+class TestCommands:
+    def test_table7(self, capsys):
+        assert main(["table", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 7" in out
+        assert "0.74" in out
+
+    def test_table5(self, capsys):
+        assert main(["table", "5"]) == 0
+        assert "ARMv7-A" in capsys.readouterr().out
+
+    def test_figure(self, capsys):
+        assert main(["figure", "fig9"]) == 0
+        assert "Pareto" in capsys.readouterr().out
+
+    def test_figure_csv_export(self, capsys, tmp_path):
+        assert main(["figure", "fig2", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "fig2.csv").exists()
+        assert (tmp_path / "fig2.gp").exists()
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_report(self, capsys):
+        assert main(["report", "EP", "--mix", "A9=4,K10=1"]) == 0
+        out = capsys.readouterr().out
+        assert "4 A9 : 1 K10" in out
+        assert "EPM" in out
+
+    def test_report_unknown_workload(self, capsys):
+        assert main(["report", "doom"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_recommend(self, capsys):
+        code = main(
+            [
+                "recommend", "blackscholes",
+                "--deadline", "0.5",
+                "--max-wimpy", "4",
+                "--max-brawny", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Recommendation" in out
+        assert "strategy" in out
+
+    def test_recommend_infeasible(self, capsys):
+        code = main(
+            [
+                "recommend", "x264",
+                "--deadline", "0.000001",
+                "--max-wimpy", "2",
+                "--max-brawny", "1",
+            ]
+        )
+        assert code == 1
+        assert "No configuration" in capsys.readouterr().err
+
+    def test_recommend_exhaustive(self, capsys):
+        code = main(
+            [
+                "recommend", "EP",
+                "--deadline", "1.0",
+                "--max-wimpy", "2",
+                "--max-brawny", "1",
+                "--strategy", "exhaustive",
+            ]
+        )
+        assert code == 0
+        assert "exhaustive" in capsys.readouterr().out
+
+    def test_sensitivity_command(self, capsys):
+        assert main(["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "Sensitivity" in out
+        assert "crossover" in out
+
+    def test_characterize_command(self, capsys):
+        assert main(["characterize", "EP", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Characterization of EP" in out

@@ -1,0 +1,153 @@
+"""Tests for numerical helpers, including hypothesis property tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.numerics import (
+    bisect_increasing,
+    clamp,
+    is_monotone_nondecreasing,
+    linspace_utilisation,
+    logspace_utilisation,
+    relative_error_pct,
+    signed_relative_error_pct,
+    trapezoid,
+)
+
+
+class TestTrapezoid:
+    def test_constant_function(self):
+        x = np.linspace(0, 1, 11)
+        assert trapezoid(np.full(11, 3.0), x) == pytest.approx(3.0)
+
+    def test_linear_function_exact(self):
+        x = np.linspace(0, 2, 21)
+        assert trapezoid(2 * x, x) == pytest.approx(4.0)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            trapezoid([1, 2, 3], [0, 1])
+
+    def test_rejects_unsorted_grid(self):
+        with pytest.raises(ValueError):
+            trapezoid([1, 2, 3], [0, 2, 1])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            trapezoid([1.0], [0.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            trapezoid(np.ones((2, 2)), np.ones((2, 2)))
+
+    @given(st.lists(st.floats(0.1, 100), min_size=2, max_size=30))
+    def test_positive_integrand_positive_integral(self, ys):
+        x = np.linspace(0.0, 1.0, len(ys))
+        assert trapezoid(ys, x) > 0
+
+
+class TestRelativeError:
+    def test_exact_match_is_zero(self):
+        assert relative_error_pct(5.0, 5.0) == 0.0
+
+    def test_symmetric_in_magnitude(self):
+        assert relative_error_pct(11.0, 10.0) == pytest.approx(10.0)
+        assert relative_error_pct(9.0, 10.0) == pytest.approx(10.0)
+
+    def test_signed_keeps_direction(self):
+        assert signed_relative_error_pct(11.0, 10.0) == pytest.approx(10.0)
+        assert signed_relative_error_pct(9.0, 10.0) == pytest.approx(-10.0)
+
+    def test_zero_measured_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            relative_error_pct(1.0, 0.0)
+        with pytest.raises(ZeroDivisionError):
+            signed_relative_error_pct(1.0, 0.0)
+
+    @given(
+        st.floats(-1e6, 1e6),
+        st.floats(0.01, 1e6),
+    )
+    def test_always_non_negative(self, model, measured):
+        assert relative_error_pct(model, measured) >= 0.0
+
+
+class TestBisect:
+    def test_linear_inverse(self):
+        root = bisect_increasing(lambda x: 2 * x, 1.0, 0.0, 10.0)
+        assert root == pytest.approx(0.5, abs=1e-9)
+
+    def test_returns_lo_when_already_above(self):
+        assert bisect_increasing(lambda x: x + 5, 1.0, 0.0, 10.0) == 0.0
+
+    def test_raises_when_bracket_too_small(self):
+        with pytest.raises(ValueError):
+            bisect_increasing(lambda x: x, 100.0, 0.0, 1.0)
+
+    def test_rejects_empty_bracket(self):
+        with pytest.raises(ValueError):
+            bisect_increasing(lambda x: x, 0.5, 1.0, 0.0)
+
+    def test_step_function(self):
+        root = bisect_increasing(lambda x: 0.0 if x < 3 else 1.0, 0.5, 0.0, 10.0)
+        assert root == pytest.approx(3.0, abs=1e-6)
+
+    @given(st.floats(0.05, 0.95))
+    @settings(max_examples=30)
+    def test_cdf_like_inversion(self, target):
+        # Invert the exponential CDF and compare with the closed form.
+        cdf = lambda x: 1.0 - math.exp(-x)
+        root = bisect_increasing(cdf, target, 0.0, 100.0)
+        assert root == pytest.approx(-math.log(1 - target), rel=1e-6)
+
+
+class TestClamp:
+    def test_inside_unchanged(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_clamps_both_ends(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 1.0, 0.0)
+
+
+class TestUtilisationGrids:
+    def test_linspace_default_matches_paper_plots(self):
+        grid = linspace_utilisation()
+        assert grid[0] == pytest.approx(0.1)
+        assert grid[-1] == pytest.approx(1.0)
+        assert len(grid) == 10
+
+    def test_logspace_spans_range(self):
+        grid = logspace_utilisation(0.01, 1.0, 25)
+        assert grid[0] == pytest.approx(0.01)
+        assert grid[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(grid) > 0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            linspace_utilisation(0.0, 1.0)
+        with pytest.raises(ValueError):
+            logspace_utilisation(0.5, 1.5)
+
+
+class TestMonotone:
+    def test_detects_monotone(self):
+        assert is_monotone_nondecreasing([1, 1, 2, 3])
+
+    def test_detects_decrease(self):
+        assert not is_monotone_nondecreasing([1, 2, 1.5])
+
+    def test_tolerance_absorbs_noise(self):
+        assert is_monotone_nondecreasing([1.0, 1.0 - 1e-15, 2.0])
+
+    def test_short_sequences_trivially_monotone(self):
+        assert is_monotone_nondecreasing([])
+        assert is_monotone_nondecreasing([5.0])

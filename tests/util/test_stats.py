@@ -1,0 +1,73 @@
+"""Tests for statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import SummaryStats, mape, p95, percentile, summarize
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        assert percentile([1, 2, 3], 50) == 2.0
+
+    def test_p95_matches_numpy(self):
+        data = np.arange(100.0)
+        assert p95(data) == pytest.approx(np.percentile(data, 95))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_p95_within_sample_range(self, data):
+        value = p95(data)
+        assert min(data) <= value <= max(data)
+
+
+class TestSummarize:
+    def test_known_sample(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.p50 == pytest.approx(2.5)
+
+    def test_single_sample_std_zero(self):
+        assert summarize([7.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ordering_invariants(self):
+        s = summarize(np.random.default_rng(0).normal(size=500))
+        assert s.minimum <= s.p50 <= s.p95 <= s.p99 <= s.maximum
+
+
+class TestMape:
+    def test_exact_is_zero(self):
+        assert mape([1, 2], [1, 2]) == 0.0
+
+    def test_known_value(self):
+        assert mape([11, 22], [10, 20]) == pytest.approx(10.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mape([1], [1, 2])
+
+    def test_zero_measured_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            mape([1.0], [0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mape([], [])

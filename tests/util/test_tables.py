@@ -1,0 +1,72 @@
+"""Tests for plain-text table rendering."""
+
+import pytest
+
+from repro.util.tables import format_number, render_kv, render_table
+
+
+class TestFormatNumber:
+    def test_large_int_gets_separators(self):
+        assert format_number(6_048_057) == "6,048,057"
+
+    def test_small_int_plain(self):
+        assert format_number(42) == "42"
+
+    def test_float_significant_digits(self):
+        assert format_number(0.123456) == "0.1235"
+
+    def test_large_float_separators(self):
+        assert format_number(1_414_922.0) == "1,414,922"
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_nan(self):
+        assert format_number(float("nan")) == "nan"
+
+    def test_none_and_bool(self):
+        assert format_number(None) == "None"
+        assert format_number(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_number("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(("a", "b"), [(1, 2), (10, 20)])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "10" in lines[3]
+
+    def test_title_renders_with_rule(self):
+        out = render_table(("x",), [(1,)], title="My Table")
+        assert out.startswith("My Table\n========")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(("a", "b"), [(1,)])
+
+    def test_empty_rows_ok(self):
+        out = render_table(("a",), [])
+        assert "a" in out
+
+    def test_columns_align(self):
+        out = render_table(("col",), [(1,), (1000,)])
+        lines = out.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+
+class TestRenderKv:
+    def test_basic(self):
+        out = render_kv({"alpha": 1, "b": 2})
+        assert "alpha : 1" in out
+        assert "b     : 2" in out
+
+    def test_empty_with_title(self):
+        assert render_kv({}, title="T") == "T"
+
+    def test_title(self):
+        out = render_kv({"k": "v"}, title="Header")
+        assert out.startswith("Header\n======")

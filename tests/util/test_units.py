@@ -1,0 +1,46 @@
+"""Tests for unit constants and conversions."""
+
+import pytest
+
+from repro.util.units import (
+    GB,
+    GBPS,
+    GHZ,
+    KB,
+    MB,
+    MBPS,
+    MS,
+    US,
+    to_ghz,
+    to_mbps,
+    to_ms,
+    to_us,
+    watts_to_milliwatts,
+)
+
+
+def test_frequency_constants():
+    assert GHZ == 1e9
+    assert to_ghz(1.4 * GHZ) == pytest.approx(1.4)
+
+
+def test_byte_constants_binary():
+    assert KB == 1024
+    assert MB == 1024**2
+    assert GB == 1024**3
+
+
+def test_link_rate_constants_decimal():
+    assert MBPS == 1e6
+    assert GBPS == 1e9
+    assert to_mbps(100 * MBPS) == pytest.approx(100.0)
+
+
+def test_duration_conversions():
+    assert to_ms(0.5) == pytest.approx(500.0)
+    assert to_us(0.001) == pytest.approx(1000.0)
+    assert MS == 1e-3 and US == 1e-6
+
+
+def test_power_conversion():
+    assert watts_to_milliwatts(1.8) == pytest.approx(1800.0)

@@ -1,0 +1,70 @@
+"""Tests for ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.viz.ascii import render_figure
+from repro.viz.series import Figure
+
+
+def _figure(logy=False, logx=False):
+    fig = Figure(title="Demo", xlabel="u", ylabel="p", logx=logx, logy=logy)
+    x = np.linspace(1, 10, 10)
+    fig.add("line", x, 2 * x)
+    fig.add("flat", x, np.full(10, 5.0))
+    return fig
+
+
+class TestRenderFigure:
+    def test_contains_title_and_legend(self):
+        out = render_figure(_figure())
+        assert "Demo" in out
+        assert "* line" in out
+        assert "o flat" in out
+
+    def test_axis_labels_present(self):
+        out = render_figure(_figure())
+        assert "x: u" in out
+        assert "y: p" in out
+
+    def test_dimensions_respected(self):
+        out = render_figure(_figure(), width=40, height=10)
+        body = [l for l in out.splitlines() if "|" in l]
+        assert len(body) == 10
+
+    def test_log_axes_render(self):
+        out = render_figure(_figure(logy=True, logx=True))
+        assert "Demo" in out
+
+    def test_log_axis_rejects_nonpositive(self):
+        fig = Figure(title="T", xlabel="x", ylabel="y", logy=True)
+        fig.add("s", [1, 2], [0.0, 1.0])
+        with pytest.raises(ReproError):
+            render_figure(fig)
+
+    def test_empty_figure_rejected(self):
+        with pytest.raises(ReproError):
+            render_figure(Figure(title="T", xlabel="x", ylabel="y"))
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ReproError):
+            render_figure(_figure(), width=5, height=3)
+
+    def test_constant_series_renders(self):
+        fig = Figure(title="T", xlabel="x", ylabel="y")
+        fig.add("c", [1, 2, 3], [5, 5, 5])
+        out = render_figure(fig)
+        assert "c" in out
+
+    def test_single_point_series(self):
+        fig = Figure(title="T", xlabel="x", ylabel="y")
+        fig.add("p", [1], [1])
+        assert "p" in render_figure(fig)
+
+    def test_markers_cycle_beyond_ten_series(self):
+        fig = Figure(title="T", xlabel="x", ylabel="y")
+        for i in range(12):
+            fig.add(f"s{i}", [0, 1], [i, i + 1])
+        out = render_figure(fig)
+        assert "s11" in out

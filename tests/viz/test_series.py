@@ -1,0 +1,73 @@
+"""Tests for figure data containers and exports."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.viz.series import Figure, Series
+
+
+class TestSeries:
+    def test_construction(self):
+        s = Series("a", [1, 2, 3], [4, 5, 6])
+        assert len(s) == 3
+        np.testing.assert_array_equal(s.x, [1, 2, 3])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            Series("a", [1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            Series("a", [], [])
+
+
+class TestFigure:
+    def _figure(self):
+        fig = Figure(title="T", xlabel="x", ylabel="y")
+        fig.add("one", [1, 2, 3], [10, 20, 30])
+        fig.add("two", [1, 2], [5, 6])
+        return fig
+
+    def test_add_chains(self):
+        fig = Figure(title="T", xlabel="x", ylabel="y")
+        assert fig.add("s", [1], [2]) is fig
+
+    def test_require_series(self):
+        fig = self._figure()
+        assert fig.require_series("one").label == "one"
+        with pytest.raises(ReproError):
+            fig.require_series("three")
+
+    def test_csv_layout(self):
+        csv = self._figure().to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == '"one [x]","one [y]","two [x]","two [y]"'
+        assert lines[1].split(",") == ["1", "10", "1", "5"]
+        # Shorter series pads with empties.
+        assert lines[3].split(",") == ["3", "30", "", ""]
+
+    def test_csv_requires_series(self):
+        with pytest.raises(ReproError):
+            Figure(title="T", xlabel="x", ylabel="y").to_csv()
+
+    def test_gnuplot_script(self):
+        gp = self._figure().to_gnuplot("data.csv")
+        assert "set title 'T'" in gp
+        assert "using 1:2" in gp
+        assert "using 3:4" in gp
+        assert "'data.csv'" in gp
+
+    def test_gnuplot_log_axes(self):
+        fig = Figure(title="T", xlabel="x", ylabel="y", logx=True, logy=True)
+        fig.add("s", [1], [1])
+        gp = fig.to_gnuplot()
+        assert "set logscale x" in gp
+        assert "set logscale y" in gp
+
+    def test_save_writes_files(self, tmp_path):
+        csv_path, gp_path = self._figure().save(tmp_path, "fig1")
+        assert csv_path.exists()
+        assert gp_path.exists()
+        assert "one [x]" in csv_path.read_text()
+        assert csv_path.name in gp_path.read_text()

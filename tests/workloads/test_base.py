@@ -1,0 +1,118 @@
+"""Tests for workload demand abstractions."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.base import ActivityFactors, Workload, WorkloadDemand
+
+ACT = ActivityFactors(0.5, 0.5, 0.5, 0.5)
+
+
+def _demand(core=100.0, mem=10.0, io=0.0):
+    return WorkloadDemand(
+        core_cycles_per_op=core,
+        mem_cycles_per_op=mem,
+        io_bytes_per_op=io,
+        activity=ACT,
+    )
+
+
+class TestActivityFactors:
+    def test_valid(self):
+        ActivityFactors(0.0, 1.0, 0.5, 0.25)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(WorkloadError):
+            ActivityFactors(bad, 0.5, 0.5, 0.5)
+        with pytest.raises(WorkloadError):
+            ActivityFactors(0.5, 0.5, 0.5, bad)
+
+
+class TestWorkloadDemand:
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadDemand(-1.0, 0.0, 0.0, ACT)
+
+    def test_empty_demand_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadDemand(0.0, 0.0, 0.0, ACT)
+
+    def test_negative_io_floor_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadDemand(1.0, 0.0, 0.0, ACT, io_service_floor_s=-1.0)
+
+    def test_scaled(self):
+        scaled = _demand(core=100, mem=10, io=4).scaled(2.0)
+        assert scaled.core_cycles_per_op == 200
+        assert scaled.mem_cycles_per_op == 20
+        assert scaled.io_bytes_per_op == 8
+        assert scaled.activity == ACT
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(WorkloadError):
+            _demand().scaled(0.0)
+
+
+class TestWorkload:
+    def _workload(self):
+        return Workload(
+            name="w",
+            domain="test",
+            unit="ops",
+            ops_per_job=100.0,
+            demands={"A9": _demand()},
+        )
+
+    def test_demand_lookup_by_name(self):
+        w = self._workload()
+        assert w.demand_for("A9").core_cycles_per_op == 100.0
+
+    def test_demand_lookup_by_spec(self):
+        from repro.hardware.specs import a9
+
+        w = self._workload()
+        assert w.demand_for(a9()) is w.demand_for("A9")
+
+    def test_missing_demand_rejected(self):
+        with pytest.raises(WorkloadError):
+            self._workload().demand_for("K10")
+
+    def test_supports(self):
+        w = self._workload()
+        assert w.supports("A9")
+        assert not w.supports("K10")
+
+    def test_node_types_sorted(self):
+        w = Workload(
+            name="w", domain="d", unit="u", ops_per_job=1.0,
+            demands={"K10": _demand(), "A9": _demand()},
+        )
+        assert w.node_types() == ("A9", "K10")
+
+    def test_zero_ops_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="w", domain="d", unit="u", ops_per_job=0.0, demands={"A9": _demand()})
+
+    def test_empty_demands_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="w", domain="d", unit="u", ops_per_job=1.0, demands={})
+
+    def test_with_job_size(self):
+        w = self._workload().with_job_size(500.0)
+        assert w.ops_per_job == 500.0
+        assert w.name == "w"
+
+    def test_small_input(self):
+        w = self._workload()
+        assert w.small_input_ops() == pytest.approx(100.0 / 16.0)
+
+    def test_invalid_small_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(
+                name="w", domain="d", unit="u", ops_per_job=1.0,
+                demands={"A9": _demand()}, small_input_fraction=0.0,
+            )
+
+    def test_str(self):
+        assert "w" in str(self._workload())

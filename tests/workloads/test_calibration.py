@@ -1,0 +1,125 @@
+"""Tests for the calibration solver (paper targets -> demand vectors)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CalibrationError
+from repro.hardware.specs import a9, k10
+from repro.workloads.calibration import (
+    BottleneckProfile,
+    dynamic_power_target,
+    peak_power_target,
+    solve_demand,
+)
+
+CORE_BOUND = BottleneckProfile(
+    rho_core=1.0, rho_mem=0.3, rho_io=0.0, mem_factor=0.4, net_factor=0.0
+)
+
+
+class TestPowerTargets:
+    def test_peak_power_from_ipr(self):
+        assert peak_power_target(a9(), 0.74) == pytest.approx(1.8 / 0.74)
+
+    def test_dynamic_power_from_ipr(self):
+        assert dynamic_power_target(a9(), 0.5) == pytest.approx(1.8)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_ipr_rejected(self, bad):
+        with pytest.raises(CalibrationError):
+            peak_power_target(a9(), bad)
+
+
+class TestBottleneckProfile:
+    def test_bottleneck_identification(self):
+        assert CORE_BOUND.bottleneck == "core"
+        mem = BottleneckProfile(0.5, 1.0, 0.1, 0.8, 0.1)
+        assert mem.bottleneck == "mem"
+        io = BottleneckProfile(0.5, 0.3, 1.0, 0.3, 0.8)
+        assert io.bottleneck == "io"
+
+    def test_no_saturated_resource_rejected(self):
+        with pytest.raises(CalibrationError):
+            BottleneckProfile(0.5, 0.5, 0.5, 0.4, 0.4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CalibrationError):
+            BottleneckProfile(1.2, 0.5, 0.5, 0.4, 0.4)
+
+    def test_floor_cannot_exceed_transfer(self):
+        with pytest.raises(CalibrationError):
+            BottleneckProfile(1.0, 0.2, 0.1, 0.4, 0.4, io_service_floor_frac=0.5)
+
+
+class TestSolveDemand:
+    def test_roundtrip_throughput(self):
+        spec = a9()
+        demand = solve_demand(spec, ppr_target=1000.0, ipr_target=0.7, profile=CORE_BOUND)
+        # At (cmax, fmax): t_op = cycles_core/(c*fmax); throughput must be
+        # PPR * Ppeak.
+        t_op = demand.core_cycles_per_op / (spec.cores * spec.fmax_hz)
+        throughput = 1.0 / t_op
+        assert throughput == pytest.approx(1000.0 * 1.8 / 0.7)
+
+    def test_roundtrip_dynamic_power(self):
+        spec = k10()
+        demand = solve_demand(spec, ppr_target=500.0, ipr_target=0.65, profile=CORE_BOUND)
+        t_op = demand.core_cycles_per_op / (spec.cores * spec.fmax_hz)
+        t_mem = demand.mem_cycles_per_op / spec.fmax_hz
+        e_dyn = (
+            spec.power.cpu_active_w * demand.activity.cpu_active * t_op
+            + spec.power.memory_w * demand.activity.memory * t_mem
+        )
+        assert e_dyn / t_op == pytest.approx(dynamic_power_target(spec, 0.65), rel=1e-9)
+
+    def test_io_bound_profile_fills_nic(self):
+        spec = a9()
+        profile = BottleneckProfile(0.8, 0.4, 1.0, 0.3, 0.6)
+        demand = solve_demand(spec, ppr_target=2e6, ipr_target=0.83, profile=profile)
+        t_io = demand.io_bytes_per_op / (spec.nic_bps / 8.0)
+        t_op = 1.0 / (2e6 * 1.8 / 0.83)
+        assert t_io == pytest.approx(t_op)
+
+    def test_io_floor_propagates(self):
+        spec = a9()
+        profile = BottleneckProfile(0.8, 0.4, 1.0, 0.3, 0.6, io_service_floor_frac=0.5)
+        demand = solve_demand(spec, ppr_target=2e6, ipr_target=0.83, profile=profile)
+        assert demand.io_service_floor_s > 0
+
+    def test_infeasible_power_target_rejected(self):
+        # IPR 0.05 implies a dynamic power far above the A9's envelope.
+        with pytest.raises(CalibrationError):
+            solve_demand(a9(), ppr_target=1000.0, ipr_target=0.05, profile=CORE_BOUND)
+
+    def test_overcommitted_fixed_power_rejected(self):
+        # Huge memory/net activity already exceeds a tiny dynamic target.
+        profile = BottleneckProfile(0.05, 1.0, 0.0, 1.0, 0.0)
+        with pytest.raises(CalibrationError):
+            solve_demand(a9(), ppr_target=1000.0, ipr_target=0.95, profile=profile)
+
+    def test_nonpositive_ppr_rejected(self):
+        with pytest.raises(CalibrationError):
+            solve_demand(a9(), ppr_target=0.0, ipr_target=0.7, profile=CORE_BOUND)
+
+    @given(
+        ipr=st.floats(0.55, 0.9),
+        ppr=st.floats(100.0, 1e7),
+        rho_mem=st.floats(0.0, 0.9),
+    )
+    @settings(max_examples=60)
+    def test_solver_roundtrips_any_feasible_target(self, ipr, ppr, rho_mem):
+        """Property: for feasible targets the solved demand reproduces both
+        the PPR and IPR at the maximal operating point."""
+        spec = a9()
+        profile = BottleneckProfile(1.0, rho_mem, 0.0, 0.3, 0.0)
+        demand = solve_demand(spec, ppr_target=ppr, ipr_target=ipr, profile=profile)
+        t_op = demand.core_cycles_per_op / (spec.cores * spec.fmax_hz)
+        t_mem = demand.mem_cycles_per_op / spec.fmax_hz
+        p_dyn = (
+            spec.power.cpu_active_w * demand.activity.cpu_active
+            + spec.power.memory_w * demand.activity.memory * (t_mem / t_op)
+        )
+        peak = spec.power.idle_w + p_dyn
+        assert spec.power.idle_w / peak == pytest.approx(ipr, rel=1e-6)
+        assert (1.0 / t_op) / peak == pytest.approx(ppr, rel=1e-6)

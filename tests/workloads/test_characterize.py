@@ -1,0 +1,127 @@
+"""Tests for measurement-driven workload characterization."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.hardware.counters import PerfReader
+from repro.hardware.microbench import characterize_node_power
+from repro.hardware.node import SimulatedNode
+from repro.hardware.powermeter import PowerMeter
+from repro.hardware.specs import a9, k10
+from repro.workloads.characterize import characterize_demand, characterize_workload
+
+
+@pytest.fixture()
+def a9_node(registry):
+    return SimulatedNode(a9(), registry.stream("node/A9"))
+
+
+@pytest.fixture()
+def k10_node(registry):
+    return SimulatedNode(k10(), registry.stream("node/K10"))
+
+
+@pytest.fixture()
+def meter(registry):
+    return PowerMeter(registry.stream("meter"))
+
+
+@pytest.fixture()
+def perf(registry):
+    return PerfReader(registry.stream("perf"))
+
+
+class TestCharacterizeDemand:
+    @pytest.mark.parametrize("name", ["EP", "x264", "memcached"])
+    def test_recovers_demand_within_measurement_error(
+        self, workloads, a9_node, meter, perf, registry, name
+    ):
+        w = workloads[name]
+        true = w.demand_for("A9")
+        record = characterize_demand(
+            w, a9_node, meter, perf, registry.stream("trace")
+        )
+        got = record.demand
+        assert got.core_cycles_per_op == pytest.approx(true.core_cycles_per_op, rel=0.1)
+        assert got.mem_cycles_per_op == pytest.approx(true.mem_cycles_per_op, rel=0.15)
+        if true.io_bytes_per_op:
+            assert got.io_bytes_per_op == pytest.approx(true.io_bytes_per_op, rel=0.1)
+
+    def test_recovers_activity_factor(self, workloads, k10_node, meter, perf, registry):
+        w = workloads["blackscholes"]
+        true = w.demand_for("K10")
+        record = characterize_demand(w, k10_node, meter, perf, registry.stream("t"))
+        assert record.demand.activity.cpu_active == pytest.approx(
+            true.activity.cpu_active, rel=0.1
+        )
+
+    def test_run_is_long_enough_to_measure(self, workloads, a9_node, meter, perf, registry):
+        # rsa2048's small input lasts ~50 ms on an A9; the characterization
+        # must loop it into a measurable window.
+        w = workloads["rsa2048"]
+        record = characterize_demand(
+            w, a9_node, meter, perf, registry.stream("t"), min_duration_s=10.0
+        )
+        assert record.counters.elapsed_s >= 10.0
+        assert record.ops_measured > w.small_input_ops()
+
+    def test_mismatched_spec_rejected(self, workloads, a9_node, meter, perf, registry):
+        with pytest.raises(MeasurementError):
+            characterize_demand(
+                workloads["EP"], a9_node, meter, perf, registry.stream("t"),
+                characterized_spec=k10(),
+            )
+
+    def test_invalid_duration_rejected(self, workloads, a9_node, meter, perf, registry):
+        with pytest.raises(MeasurementError):
+            characterize_demand(
+                workloads["EP"], a9_node, meter, perf, registry.stream("t"),
+                min_duration_s=0.0,
+            )
+
+    def test_uses_characterized_spec_powers(
+        self, workloads, a9_node, meter, perf, registry
+    ):
+        """The activity fit must be made against the measured envelope."""
+        w = workloads["EP"]
+        char_spec = characterize_node_power(a9_node, meter)
+        record = characterize_demand(
+            w, a9_node, meter, perf, registry.stream("t"), characterized_spec=char_spec,
+        )
+        assert record.node_type == "A9"
+        assert 0.0 < record.demand.activity.cpu_active <= 1.0
+
+
+class TestCharacterizeWorkload:
+    def test_produces_workload_for_all_types(
+        self, workloads, a9_node, k10_node, meter, perf, registry
+    ):
+        w = workloads["EP"]
+        measured, records = characterize_workload(
+            w,
+            {"A9": a9_node, "K10": k10_node},
+            {"A9": meter, "K10": meter},
+            perf,
+            registry,
+        )
+        assert measured.node_types() == ("A9", "K10")
+        assert set(records) == {"A9", "K10"}
+        assert measured.ops_per_job == w.ops_per_job
+        assert measured.name == w.name
+
+    def test_measured_workload_differs_from_truth(
+        self, workloads, a9_node, k10_node, meter, perf, registry
+    ):
+        """Characterization is a measurement: close, but never exact."""
+        w = workloads["julius"]
+        measured, _ = characterize_workload(
+            w,
+            {"A9": a9_node, "K10": k10_node},
+            {"A9": meter, "K10": meter},
+            perf,
+            registry,
+        )
+        true = w.demand_for("A9")
+        got = measured.demand_for("A9")
+        assert got.core_cycles_per_op != true.core_cycles_per_op
+        assert got.core_cycles_per_op == pytest.approx(true.core_cycles_per_op, rel=0.15)

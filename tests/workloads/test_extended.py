@@ -1,0 +1,106 @@
+"""Tests for the extended (degree-3+) workload and node catalog."""
+
+import pytest
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.errors import WorkloadError
+from repro.hardware.catalog import CATALOG_NAMES, a15, register_catalog, xeond
+from repro.model.energy_model import power_draw
+from repro.model.time_model import cluster_service_rate, execution_time, job_execution
+from repro.workloads.extended import EXTENDED_IPR, EXTENDED_PPR, extended_workload
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _register():
+    register_catalog(overwrite=True)
+
+
+class TestCatalog:
+    def test_catalog_names(self):
+        assert CATALOG_NAMES == ("A15", "XEOND")
+
+    def test_a15_between_a9_and_k10_in_power(self):
+        assert 1.8 < a15().power.idle_w < 45.0
+        assert 5.0 < a15().power.nameplate_peak_w < 60.0
+
+    def test_xeond_specs(self):
+        spec = xeond()
+        assert spec.cores == 8
+        assert spec.isa == "x86_64"
+
+    def test_register_idempotent_with_overwrite(self):
+        register_catalog(overwrite=True)
+        register_catalog(overwrite=True)
+
+    def test_register_without_overwrite_raises_on_existing(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            register_catalog(overwrite=False)
+
+
+class TestExtendedWorkload:
+    def test_covers_four_node_types(self):
+        w = extended_workload("EP")
+        assert w.node_types() == ("A15", "A9", "K10", "XEOND")
+
+    def test_base_demands_untouched(self, workloads):
+        w = extended_workload("EP")
+        assert w.demand_for("A9") == workloads["EP"].demand_for("A9")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            extended_workload("doom")
+
+    @pytest.mark.parametrize("name", ["EP", "x264", "rsa2048"])
+    @pytest.mark.parametrize("node", ["A15", "XEOND"])
+    def test_extension_targets_roundtrip(self, name, node):
+        w = extended_workload(name)
+        config = ClusterConfiguration.mix({node: 1})
+        draw = power_draw(w, config)
+        ppr = cluster_service_rate(w, config) / draw.peak_w
+        assert draw.ipr == pytest.approx(EXTENDED_IPR[name][node], rel=1e-6)
+        assert ppr == pytest.approx(EXTENDED_PPR[name][node], rel=1e-6)
+
+    def test_a15_throughput_between_a9_and_k10(self):
+        w = extended_workload("EP")
+        rates = {
+            node: cluster_service_rate(w, ClusterConfiguration.mix({node: 1}))
+            for node in ("A9", "A15", "K10")
+        }
+        assert rates["A9"] < rates["A15"] < rates["K10"]
+
+
+class TestDegreeThreeAnalysis:
+    def test_three_type_execution(self):
+        w = extended_workload("blackscholes")
+        config = ClusterConfiguration.mix({"A9": 8, "A15": 4, "K10": 2})
+        assert config.degree_of_heterogeneity == 3
+        execution = job_execution(w, config)
+        shares = [execution.work_share(n) for n in ("A9", "A15", "K10")]
+        assert sum(shares) == pytest.approx(1.0)
+        for ge in execution.groups:
+            assert ge.busy_time == pytest.approx(execution.tp_s)
+
+    def test_four_type_execution(self):
+        w = extended_workload("EP")
+        config = ClusterConfiguration.mix(
+            {"A9": 4, "A15": 2, "K10": 1, "XEOND": 2}
+        )
+        assert config.degree_of_heterogeneity == 4
+        assert execution_time(w, config) > 0
+
+    def test_adding_third_type_speeds_up(self):
+        w = extended_workload("julius")
+        two = ClusterConfiguration.mix({"A9": 8, "K10": 2})
+        three = ClusterConfiguration.mix({"A9": 8, "K10": 2, "A15": 4})
+        assert execution_time(w, three) < execution_time(w, two)
+
+    def test_proportionality_report_d3(self):
+        from repro.core.proportionality import proportionality_report
+
+        w = extended_workload("EP")
+        config = ClusterConfiguration.mix({"A9": 16, "A15": 8, "K10": 2})
+        report = proportionality_report(w, config)
+        assert 0.0 < report.ipr < 1.0
+        assert report.epm == pytest.approx(1 - report.ipr, abs=1e-9)

@@ -1,0 +1,159 @@
+"""Tests for job-trace generation and the memslap-style request source."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.generator import (
+    SIZE_SENSITIVITY,
+    JobTrace,
+    KeyValueRequest,
+    RequestGenerator,
+    TracePhase,
+    generate_trace,
+)
+
+
+class TestTraceStructures:
+    def test_phase_validation(self):
+        with pytest.raises(WorkloadError):
+            TracePhase(ops=0.0, core_cycles=1.0, mem_cycles=0.0, io_bytes=0.0)
+        with pytest.raises(WorkloadError):
+            TracePhase(ops=1.0, core_cycles=-1.0, mem_cycles=0.0, io_bytes=0.0)
+
+    def test_trace_ops_must_sum(self):
+        phase = TracePhase(ops=1.0, core_cycles=1.0, mem_cycles=0.0, io_bytes=0.0)
+        with pytest.raises(WorkloadError):
+            JobTrace(workload_name="w", node_type="A9", ops_total=5.0, phases=(phase,))
+
+    def test_trace_needs_phases(self):
+        with pytest.raises(WorkloadError):
+            JobTrace(workload_name="w", node_type="A9", ops_total=1.0, phases=())
+
+    def test_totals(self):
+        phases = tuple(
+            TracePhase(ops=1.0, core_cycles=10.0, mem_cycles=5.0, io_bytes=2.0)
+            for _ in range(3)
+        )
+        trace = JobTrace(workload_name="w", node_type="A9", ops_total=3.0, phases=phases)
+        assert trace.total_core_cycles == 30.0
+        assert trace.total_mem_cycles == 15.0
+        assert trace.total_io_bytes == 6.0
+
+
+class TestGenerateTrace:
+    def test_noiseless_trace_matches_demand(self, workloads, rng):
+        w = workloads["EP"]
+        ops = w.small_input_ops()  # at/below the small input: factor = 1
+        trace = generate_trace(w, "A9", ops, rng, variability=0.0)
+        demand = w.demand_for("A9")
+        assert trace.total_core_cycles == pytest.approx(ops * demand.core_cycles_per_op)
+        assert trace.total_mem_cycles == pytest.approx(ops * demand.mem_cycles_per_op)
+
+    def test_phase_count(self, workloads, rng):
+        trace = generate_trace(workloads["EP"], "A9", 1000.0, rng, n_phases=7)
+        assert len(trace.phases) == 7
+
+    def test_noise_preserves_mean_roughly(self, workloads, rng):
+        w = workloads["EP"]
+        ops = w.small_input_ops()
+        demand = w.demand_for("A9")
+        totals = [
+            generate_trace(w, "A9", ops, rng, variability=0.1).total_core_cycles
+            for _ in range(100)
+        ]
+        assert np.mean(totals) == pytest.approx(ops * demand.core_cycles_per_op, rel=0.02)
+
+    def test_size_inflation_saturates(self, workloads, rng):
+        w = workloads["julius"]
+        small = w.small_input_ops()
+        demand = w.demand_for("A9")
+        s = SIZE_SENSITIVITY["julius"]
+
+        def per_op_cycles(ops):
+            trace = generate_trace(w, "A9", ops, rng, variability=0.0)
+            return trace.total_core_cycles / ops
+
+        base = demand.core_cycles_per_op
+        assert per_op_cycles(small) == pytest.approx(base)
+        assert per_op_cycles(16 * small) == pytest.approx(base * (1 + s))
+        # Saturation: 256x the small input inflates no further than 16x.
+        assert per_op_cycles(256 * small) == pytest.approx(base * (1 + s))
+
+    def test_size_reference_override(self, workloads, rng):
+        w = workloads["julius"]
+        small = w.small_input_ops()
+        trace = generate_trace(
+            w, "A9", 100 * small, rng, variability=0.0, size_reference_ops=small
+        )
+        demand = w.demand_for("A9")
+        assert trace.total_core_cycles / trace.ops_total == pytest.approx(
+            demand.core_cycles_per_op
+        )
+
+    def test_determinism_per_stream(self, workloads):
+        w = workloads["x264"]
+        a = generate_trace(w, "K10", 100.0, np.random.default_rng(5))
+        b = generate_trace(w, "K10", 100.0, np.random.default_rng(5))
+        assert a.total_core_cycles == b.total_core_cycles
+
+    def test_invalid_args_rejected(self, workloads, rng):
+        w = workloads["EP"]
+        with pytest.raises(WorkloadError):
+            generate_trace(w, "A9", 0.0, rng)
+        with pytest.raises(WorkloadError):
+            generate_trace(w, "A9", 1.0, rng, n_phases=0)
+        with pytest.raises(WorkloadError):
+            generate_trace(w, "A9", 1.0, rng, variability=-0.5)
+        with pytest.raises(WorkloadError):
+            generate_trace(w, "A9", 1.0, rng, size_reference_ops=0.0)
+
+
+class TestRequestGenerator:
+    def _gen(self, rng, **kwargs):
+        defaults = dict(rate_rps=1000.0, rng=rng)
+        defaults.update(kwargs)
+        return RequestGenerator(**defaults)
+
+    def test_rate_is_respected(self, rng):
+        gen = self._gen(rng)
+        requests = gen.generate(10.0)
+        assert len(requests) == pytest.approx(10_000, rel=0.1)
+
+    def test_arrivals_sorted_and_bounded(self, rng):
+        requests = self._gen(rng).generate(2.0)
+        times = [r.arrival_s for r in requests]
+        assert times == sorted(times)
+        assert all(0 <= t < 2.0 for t in times)
+
+    def test_fixed_sizes(self, rng):
+        requests = self._gen(rng, key_bytes=16, value_bytes=512).generate(0.5)
+        assert all(r.key_bytes == 16 and r.value_bytes == 512 for r in requests)
+        assert all(r.wire_bytes == 528 for r in requests)
+
+    def test_uniform_popularity(self, rng):
+        gen = self._gen(rng, n_keys=10)
+        requests = gen.generate(20.0)
+        counts = np.bincount([r.key for r in requests], minlength=10)
+        # Uniform popularity: no key dominates.
+        assert counts.min() > 0.5 * counts.mean()
+
+    def test_get_fraction(self, rng):
+        requests = self._gen(rng, get_fraction=0.9).generate(20.0)
+        frac = np.mean([r.is_get for r in requests])
+        assert frac == pytest.approx(0.9, abs=0.02)
+
+    def test_trace_ops_conversion(self, rng):
+        gen = self._gen(rng, key_bytes=10, value_bytes=90)
+        requests = gen.generate(1.0)
+        assert gen.to_trace_ops(requests) == pytest.approx(100.0 * len(requests))
+
+    def test_invalid_args_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            self._gen(rng, rate_rps=0.0)
+        with pytest.raises(WorkloadError):
+            self._gen(rng, n_keys=0)
+        with pytest.raises(WorkloadError):
+            self._gen(rng, get_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            self._gen(rng).generate(0.0)

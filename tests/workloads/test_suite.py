@@ -1,0 +1,124 @@
+"""Tests pinning the calibrated workload suite to the paper's numbers."""
+
+import pytest
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.errors import WorkloadError
+from repro.model.energy_model import power_draw
+from repro.model.time_model import cluster_service_rate
+from repro.workloads.suite import (
+    BOTTLENECK_PROFILES,
+    PAPER_IPR,
+    PAPER_PPR,
+    PAPER_WORKLOAD_NAMES,
+    build_workload,
+    paper_workloads,
+    workload,
+)
+
+
+class TestSuiteStructure:
+    def test_six_workloads(self):
+        assert len(PAPER_WORKLOAD_NAMES) == 6
+        assert set(paper_workloads()) == set(PAPER_WORKLOAD_NAMES)
+
+    def test_every_workload_characterized_for_both_nodes(self, workloads):
+        for w in workloads.values():
+            assert w.node_types() == ("A9", "K10")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload("doom")
+        with pytest.raises(WorkloadError):
+            build_workload("doom")
+
+    def test_memoised_accessor(self):
+        assert workload("EP") is workload("EP")
+
+    def test_build_workload_fresh(self):
+        assert build_workload("EP") is not build_workload("EP")
+
+    def test_calibration_tables_cover_all_workloads(self):
+        for name in PAPER_WORKLOAD_NAMES:
+            assert set(PAPER_PPR[name]) == {"A9", "K10"}
+            assert set(PAPER_IPR[name]) == {"A9", "K10"}
+            assert set(BOTTLENECK_PROFILES[name]) == {"A9", "K10"}
+
+
+class TestPaperTable6:
+    """Peak PPR at the maximal operating point must match Table 6 exactly."""
+
+    @pytest.mark.parametrize("name", PAPER_WORKLOAD_NAMES)
+    @pytest.mark.parametrize("node", ["A9", "K10"])
+    def test_ppr_matches_paper(self, workloads, name, node):
+        w = workloads[name]
+        config = ClusterConfiguration.mix({node: 1})
+        draw = power_draw(w, config)
+        ppr = cluster_service_rate(w, config) / draw.peak_w
+        assert ppr == pytest.approx(PAPER_PPR[name][node], rel=1e-6)
+
+
+class TestPaperTable7:
+    """Single-node IPR must match Table 7 exactly."""
+
+    @pytest.mark.parametrize("name", PAPER_WORKLOAD_NAMES)
+    @pytest.mark.parametrize("node", ["A9", "K10"])
+    def test_ipr_matches_paper(self, workloads, name, node):
+        w = workloads[name]
+        draw = power_draw(w, ClusterConfiguration.mix({node: 1}))
+        assert draw.ipr == pytest.approx(PAPER_IPR[name][node], rel=1e-6)
+
+
+class TestQualitativeCharacterization:
+    """Section III-A's qualitative claims about the workloads."""
+
+    def test_a9_ppr_better_except_x264_and_rsa(self, workloads):
+        # "A9 has a better PPR than K10, but with two notable exceptions"
+        for name in PAPER_WORKLOAD_NAMES:
+            a9_ppr = PAPER_PPR[name]["A9"]
+            k10_ppr = PAPER_PPR[name]["K10"]
+            if name in ("x264", "rsa2048"):
+                assert k10_ppr > a9_ppr
+            else:
+                assert a9_ppr > k10_ppr
+
+    def test_k10_raw_performance_always_better(self, workloads):
+        # "A9 has a better PPR but lower overall performance."
+        for name in PAPER_WORKLOAD_NAMES:
+            w = workloads[name]
+            rate_a9 = cluster_service_rate(w, ClusterConfiguration.mix({"A9": 1}))
+            rate_k10 = cluster_service_rate(w, ClusterConfiguration.mix({"K10": 1}))
+            assert rate_k10 > rate_a9
+
+    def test_memcached_is_network_bound_on_a9(self, workloads):
+        from repro.model.time_model import op_time_breakdown
+        from repro.cluster.configuration import NodeGroup
+
+        w = workloads["memcached"]
+        group = NodeGroup.of("A9", 1)
+        assert op_time_breakdown(group, w.demand_for("A9")).bottleneck == "io"
+
+    def test_x264_is_memory_bound(self, workloads):
+        from repro.model.time_model import op_time_breakdown
+        from repro.cluster.configuration import NodeGroup
+
+        w = workloads["x264"]
+        for node in ("A9", "K10"):
+            group = NodeGroup.of(node, 1)
+            assert op_time_breakdown(group, w.demand_for(node)).bottleneck == "mem"
+
+    def test_compute_kernels_are_core_bound(self, workloads):
+        from repro.model.time_model import op_time_breakdown
+        from repro.cluster.configuration import NodeGroup
+
+        for name in ("EP", "blackscholes", "rsa2048", "julius"):
+            for node in ("A9", "K10"):
+                group = NodeGroup.of(node, 1)
+                demand = workloads[name].demand_for(node)
+                assert op_time_breakdown(group, demand).bottleneck == "core"
+
+    def test_a9_idle_at_least_25x_lower(self, workloads):
+        # Section III-B: "idle power of A9 is at least 25 times lower".
+        a9_draw = power_draw(workloads["EP"], ClusterConfiguration.mix({"A9": 1}))
+        k10_draw = power_draw(workloads["EP"], ClusterConfiguration.mix({"K10": 1}))
+        assert k10_draw.idle_w / a9_draw.idle_w >= 25.0
