@@ -1,0 +1,42 @@
+"""Benchmark: batched sweep engine vs the scalar oracle, full paper space.
+
+Wraps :mod:`repro.benchmarks.sweep` (also runnable standalone as
+``python -m repro.benchmarks.sweep``) in the pytest harness: scores all
+36,380 configurations of the footnote-4 space both ways, writes
+``BENCH_sweep.json`` at the repository root, and pins the engine's
+contract — agreement within 1e-9 relative and at least a 10x speedup.
+"""
+
+import json
+from pathlib import Path
+
+from repro.benchmarks.sweep import run_benchmark
+from repro.util.tables import render_kv
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_sweep_engine_speedup(benchmark, emit):
+    result = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    out = _REPO_ROOT / "BENCH_sweep.json"
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+    timings = result["timings_s"]
+    errors = result["max_rel_error"]
+    emit(
+        render_kv(
+            {
+                "configs": result["space"]["configs"],
+                "scalar [s]": round(timings["scalar"], 3),
+                "batched cold [s]": round(timings["batched_cold"], 4),
+                "batched warm [s]": round(timings["batched_warm"], 4),
+                "materialised [s]": round(timings["materialised"], 3),
+                "speedup (warm)": round(result["speedup"]["batched_warm"], 1),
+                "max rel err": max(errors.values()),
+            },
+            title="Batched sweep engine vs scalar oracle (10 A9 + 10 K10)",
+        )
+    )
+    assert result["space"]["configs"] == 36_380
+    assert max(errors.values()) <= 1e-9
+    assert result["speedup"]["batched_warm"] >= 10.0

@@ -37,11 +37,19 @@ from repro.cluster.configuration import (
     count_configurations,
     enumerate_configurations,
 )
+from repro.cluster.search import (
+    Recommendation,
+    recommend_exhaustive,
+    recommend_greedy,
+)
 from repro.cluster.pareto import (
+    TIME_TIE_REL,
     ConfigEvaluation,
     evaluate_configuration,
+    evaluate_configuration_cached,
     evaluate_space,
     pareto_frontier,
+    pareto_indices,
     sweet_region,
     sweet_spot,
 )
@@ -110,6 +118,14 @@ from repro.model.time_model import (
     job_execution,
     node_service_rate,
 )
+from repro.model.batched import (
+    OperatingPointConstants,
+    SpaceEvaluationArrays,
+    clear_constants_cache,
+    config_constants,
+    evaluate_space_arrays,
+    operating_point_constants,
+)
 from repro.model.vectorized import MixEvaluation, evaluate_mix_grid
 from repro.model.validation import (
     ValidationPipeline,
@@ -174,11 +190,17 @@ __all__ = [
     "substitution_ratio",
     "switch_power_w",
     "ConfigEvaluation",
+    "TIME_TIE_REL",
     "evaluate_configuration",
+    "evaluate_configuration_cached",
     "evaluate_space",
     "pareto_frontier",
+    "pareto_indices",
     "sweet_region",
     "sweet_spot",
+    "Recommendation",
+    "recommend_exhaustive",
+    "recommend_greedy",
     # model
     "JobExecution",
     "JobEnergy",
@@ -196,6 +218,12 @@ __all__ = [
     "validate_workloads",
     "MixEvaluation",
     "evaluate_mix_grid",
+    "OperatingPointConstants",
+    "SpaceEvaluationArrays",
+    "operating_point_constants",
+    "config_constants",
+    "evaluate_space_arrays",
+    "clear_constants_cache",
     # queueing
     "MD1Queue",
     "MDCQueue",

@@ -1,0 +1,13 @@
+"""Runnable performance benchmarks for the library's sweep engines.
+
+Unlike ``benchmarks/`` at the repository root (pytest-benchmark harness
+regenerating paper artefacts), this package holds plain console entry
+points usable without pytest::
+
+    python -m repro.benchmarks.sweep
+
+"""
+
+from __future__ import annotations
+
+__all__: list = []

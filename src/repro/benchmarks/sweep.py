@@ -1,0 +1,175 @@
+"""Benchmark: scalar oracle vs batched engine on the footnote-4 space.
+
+Times three ways of scoring the paper's full configuration space (10 A9 +
+10 K10 with every core/DVFS choice, 36,380 configurations):
+
+* **scalar** — ``evaluate_configuration`` looped over
+  ``enumerate_configurations`` (the oracle path),
+* **batched** — ``evaluate_space_arrays`` in one broadcasted pass, timed
+  cold (empty operating-point constants cache) and warm,
+* **materialised** — ``evaluate_space``, the batched pass plus
+  ``ConfigEvaluation`` construction for every configuration.
+
+It also cross-checks the batched arrays against the scalar results on
+every configuration and records the worst relative disagreement — the
+engine's contract is <= 1e-9.  Run as a console entry::
+
+    python -m repro.benchmarks.sweep [--output BENCH_sweep.json]
+
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.configuration import (
+    TypeSpace,
+    count_configurations,
+    enumerate_configurations,
+)
+from repro.cluster.pareto import evaluate_configuration, evaluate_space
+from repro.errors import ModelError
+from repro.hardware.specs import get_node_spec
+from repro.model.batched import clear_constants_cache, evaluate_space_arrays
+from repro.workloads.suite import paper_workloads
+
+__all__ = ["paper_spaces", "run_benchmark", "main"]
+
+
+def paper_spaces(n_a9: int = 10, n_k10: int = 10) -> List[TypeSpace]:
+    """The paper's footnote-4 configuration space (all cores and DVFS)."""
+    return [
+        TypeSpace(get_node_spec("A9"), n_max=n_a9),
+        TypeSpace(get_node_spec("K10"), n_max=n_k10),
+    ]
+
+
+def run_benchmark(
+    workload_name: str = "EP",
+    *,
+    n_a9: int = 10,
+    n_k10: int = 10,
+    warm_repeats: int = 5,
+) -> Dict[str, object]:
+    """Time the scalar and batched sweeps and verify their agreement.
+
+    Returns a JSON-serialisable result dictionary; the scalar pass runs
+    once (it dominates the runtime), the warm batched pass reports the
+    minimum over ``warm_repeats`` runs.
+    """
+    suite = paper_workloads()
+    if workload_name not in suite:
+        raise ModelError(
+            f"unknown paper workload {workload_name!r}; "
+            f"expected one of {tuple(suite)}"
+        )
+    workload = suite[workload_name]
+    spaces = paper_spaces(n_a9, n_k10)
+    n_configs = count_configurations(spaces)
+
+    t0 = time.perf_counter()
+    scalar = [
+        evaluate_configuration(workload, config)
+        for config in enumerate_configurations(spaces)
+    ]
+    scalar_s = time.perf_counter() - t0
+
+    clear_constants_cache()
+    t0 = time.perf_counter()
+    arrays = evaluate_space_arrays(workload, spaces)
+    batched_cold_s = time.perf_counter() - t0
+
+    batched_warm_s = float("inf")
+    for _ in range(max(warm_repeats, 1)):
+        t0 = time.perf_counter()
+        arrays = evaluate_space_arrays(workload, spaces)
+        batched_warm_s = min(batched_warm_s, time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    materialised = evaluate_space(workload, spaces)
+    materialised_s = time.perf_counter() - t0
+
+    if len(scalar) != arrays.n_configs or len(materialised) != n_configs:
+        raise AssertionError("scalar and batched spaces differ in size")
+    tp_err = energy_err = peak_err = 0.0
+    for i, ev in enumerate(scalar):
+        tp_err = max(tp_err, abs(arrays.tp_s[i] / ev.tp_s - 1.0))
+        energy_err = max(energy_err, abs(arrays.energy_j[i] / ev.energy_j - 1.0))
+        peak_err = max(peak_err, abs(arrays.peak_power_w[i] / ev.peak_power_w - 1.0))
+
+    return {
+        "workload": workload_name,
+        "space": {"n_a9": n_a9, "n_k10": n_k10, "configs": n_configs},
+        "timings_s": {
+            "scalar": scalar_s,
+            "batched_cold": batched_cold_s,
+            "batched_warm": batched_warm_s,
+            "materialised": materialised_s,
+        },
+        "speedup": {
+            "batched_cold": scalar_s / batched_cold_s,
+            "batched_warm": scalar_s / batched_warm_s,
+            "materialised": scalar_s / materialised_s,
+        },
+        "max_rel_error": {
+            "tp_s": tp_err,
+            "energy_j": energy_err,
+            "peak_power_w": peak_err,
+        },
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point: run the sweep benchmark and write JSON."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.benchmarks.sweep",
+        description="Time the scalar vs batched configuration-space sweep.",
+    )
+    parser.add_argument("--workload", default="EP", help="paper workload name")
+    parser.add_argument("--n-a9", type=int, default=10, help="A9 node maximum")
+    parser.add_argument("--n-k10", type=int, default=10, help="K10 node maximum")
+    parser.add_argument(
+        "--output",
+        default="BENCH_sweep.json",
+        help="result JSON path (default: ./BENCH_sweep.json)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        result = run_benchmark(args.workload, n_a9=args.n_a9, n_k10=args.n_k10)
+    except ModelError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    timings = result["timings_s"]
+    speedup = result["speedup"]
+    errors = result["max_rel_error"]
+    print(f"configuration space: {result['space']['configs']} configs")
+    print(f"scalar oracle:   {timings['scalar']:.3f} s")
+    print(
+        f"batched engine:  {timings['batched_cold']:.3f} s cold / "
+        f"{timings['batched_warm']:.3f} s warm "
+        f"({speedup['batched_warm']:.0f}x)"
+    )
+    print(
+        f"materialised:    {timings['materialised']:.3f} s "
+        f"({speedup['materialised']:.0f}x)"
+    )
+    print(
+        "max relative error: "
+        f"tp {errors['tp_s']:.2e}, energy {errors['energy_j']:.2e}, "
+        f"peak {errors['peak_power_w']:.2e}"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - console entry
+    sys.exit(main())

@@ -237,6 +237,7 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
         ("Static vs dynamic configuration", ablations.adaptation_ablation),
         ("Fork-join straggler penalty", ablations.fork_join_ablation),
         ("KnightShift vs inter-node", ablations.knightshift_ablation),
+        ("Batched sweep engine vs scalar oracle", ablations.sweep_engine_ablation),
     ]
     for title, fn in studies:
         headers, rows = fn()

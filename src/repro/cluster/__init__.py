@@ -30,9 +30,12 @@ __all__ = [
     "budget_mixes",
     "substitution_ratio",
     "switch_power_w",
+    "TIME_TIE_REL",
     "ConfigEvaluation",
     "evaluate_configuration",
+    "evaluate_configuration_cached",
     "evaluate_space",
+    "pareto_indices",
     "pareto_frontier",
     "sweet_region",
     "sweet_spot",
@@ -42,9 +45,12 @@ __all__ = [
 ]
 
 _PARETO_NAMES = {
+    "TIME_TIE_REL",
     "ConfigEvaluation",
     "evaluate_configuration",
+    "evaluate_configuration_cached",
     "evaluate_space",
+    "pareto_indices",
     "pareto_frontier",
     "sweet_region",
     "sweet_spot",

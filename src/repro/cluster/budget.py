@@ -20,6 +20,8 @@ import math
 from dataclasses import dataclass
 from typing import List
 
+import numpy as np
+
 from repro.cluster.configuration import ClusterConfiguration
 from repro.errors import ConfigurationError
 from repro.hardware.specs import (
@@ -96,6 +98,21 @@ class PowerBudget:
     def fits(self, config: ClusterConfiguration, wimpy: str = "A9") -> bool:
         """True when the configuration's provisioned peak is within budget."""
         return self.provisioned_peak_w(config, wimpy) <= self.budget_w + 1e-9
+
+    def fits_mask(
+        self, nameplate_w: np.ndarray, wimpy_counts: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`fits` over whole configuration spaces.
+
+        ``nameplate_w`` holds per-configuration summed node nameplate peaks
+        and ``wimpy_counts`` the matching wimpy node counts (for switch
+        overhead); the batched sweep engine supplies both
+        (:class:`repro.model.batched.SpaceEvaluationArrays`).
+        """
+        nameplate = np.asarray(nameplate_w, dtype=float)
+        wimpy = np.asarray(wimpy_counts, dtype=float)
+        switch = np.ceil(wimpy / self.nodes_per_switch) * self.switch_w
+        return nameplate + switch <= self.budget_w + 1e-9
 
     def max_nodes(self, node: str | NodeSpec, *, with_switch: bool = False) -> int:
         """Largest homogeneous node count of one type within the budget."""

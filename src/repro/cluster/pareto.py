@@ -10,6 +10,15 @@ from that frontier and asks how proportional they are.
 We evaluate a configuration by the time model's execution time T_P for one
 job and the energy model's total energy E_P for that job, then apply a
 standard two-objective dominance filter.
+
+Two evaluation paths exist and are contractually interchangeable:
+
+* :func:`evaluate_configuration` runs the full scalar dataclass model — the
+  property-tested **oracle**;
+* :func:`evaluate_space` / :func:`evaluate_configuration_cached` ride the
+  batched engine (:mod:`repro.model.batched`), which agrees with the oracle
+  to 1e-9 relative on every configuration and is orders of magnitude faster
+  on whole spaces.
 """
 
 from __future__ import annotations
@@ -17,24 +26,35 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.cluster.configuration import (
     ClusterConfiguration,
     TypeSpace,
-    enumerate_configurations,
 )
 from repro.errors import ModelError
+from repro.model.batched import config_constants, evaluate_space_arrays
 from repro.model.energy_model import job_energy
 from repro.model.time_model import job_execution
 from repro.workloads.base import Workload
 
 __all__ = [
+    "TIME_TIE_REL",
     "ConfigEvaluation",
     "evaluate_configuration",
+    "evaluate_configuration_cached",
     "evaluate_space",
+    "pareto_indices",
     "pareto_frontier",
     "sweet_region",
     "sweet_spot",
 ]
+
+#: Relative tolerance under which two execution times count as a tie.  The
+#: frontier collapses time-ties to the cheapest configuration; exact float
+#: equality would treat values differing by rounding jitter (e.g. a scalar
+#: vs batched evaluation of the same configuration) as distinct points.
+TIME_TIE_REL = 1e-9
 
 
 @dataclass(frozen=True)
@@ -66,7 +86,11 @@ class ConfigEvaluation:
 def evaluate_configuration(
     workload: Workload, config: ClusterConfiguration
 ) -> ConfigEvaluation:
-    """Run the time and energy models for one job on one configuration."""
+    """Run the full scalar time and energy models for one configuration.
+
+    This is the scalar **oracle** the batched engine is tested against; use
+    :func:`evaluate_configuration_cached` on hot paths.
+    """
     execution = job_execution(workload, config)
     energy = job_energy(workload, config)
     return ConfigEvaluation(
@@ -79,40 +103,108 @@ def evaluate_configuration(
     )
 
 
+def evaluate_configuration_cached(
+    workload: Workload, config: ClusterConfiguration
+) -> ConfigEvaluation:
+    """Evaluate one configuration through the batched engine's constants cache.
+
+    Agrees with :func:`evaluate_configuration` to 1e-9 relative; repeated
+    evaluations at the same operating points (greedy descent, adaptation
+    policies) cost a few multiply-adds each.
+    """
+    total_rate, idle_w, dyn_w = config_constants(workload, config)
+    tp_s = workload.ops_per_job / total_rate
+    return ConfigEvaluation(
+        config=config,
+        workload_name=workload.name,
+        tp_s=tp_s,
+        energy_j=(idle_w + dyn_w) * tp_s,
+        peak_power_w=idle_w + dyn_w,
+        idle_power_w=idle_w,
+    )
+
+
 def evaluate_space(
     workload: Workload, spaces: Sequence[TypeSpace]
 ) -> List[ConfigEvaluation]:
     """Evaluate every configuration of an enumerated space.
 
-    The paper's 10+10-node example space has 36,380 configurations; each
-    evaluation is a handful of arithmetic operations, so exhaustive search
-    is practical well beyond that.
+    The paper's 10+10-node example space has 36,380 configurations; the
+    numbers come from one broadcasted pass of the batched engine
+    (:func:`repro.model.batched.evaluate_space_arrays`), and the returned
+    list preserves :func:`enumerate_configurations` order.
     """
+    arrays = evaluate_space_arrays(workload, spaces)
+    tp_s = arrays.tp_s
+    energy_j = arrays.energy_j
+    peak_w = arrays.peak_power_w
+    idle_w = arrays.idle_w
     return [
-        evaluate_configuration(workload, config)
-        for config in enumerate_configurations(spaces)
+        ConfigEvaluation(
+            config=config,
+            workload_name=workload.name,
+            tp_s=float(tp_s[i]),
+            energy_j=float(energy_j[i]),
+            peak_power_w=float(peak_w[i]),
+            idle_power_w=float(idle_w[i]),
+        )
+        for i, config in enumerate(arrays.iter_configs())
     ]
+
+
+def pareto_indices(
+    tp_s: np.ndarray,
+    energy_j: np.ndarray,
+    *,
+    time_tie_rel: float = TIME_TIE_REL,
+) -> np.ndarray:
+    """Indices of the non-dominated points, sorted by ascending time.
+
+    Sort-based O(n log n) vectorised dominance filter: lexsort by
+    (time, energy), keep points strictly cheaper than every faster point
+    (a running minimum), then collapse runs of time-ties — exact or within
+    ``time_tie_rel`` jitter — to their cheapest member.
+    """
+    tp = np.asarray(tp_s, dtype=float)
+    energy = np.asarray(energy_j, dtype=float)
+    if tp.shape != energy.shape or tp.ndim != 1:
+        raise ModelError("tp_s and energy_j must be 1-D arrays of equal length")
+    n = tp.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort((energy, tp))
+    sorted_energy = energy[order]
+    keep = np.empty(n, dtype=bool)
+    keep[0] = True
+    if n > 1:
+        running_min = np.minimum.accumulate(sorted_energy)
+        keep[1:] = sorted_energy[1:] < running_min[:-1]
+    kept = order[keep]
+    if kept.shape[0] > 1:
+        # Energies strictly decrease along ``kept``, so within a run of
+        # near-equal times the LAST member is the cheapest: drop every
+        # member whose successor is a time-tie.
+        kept_tp = tp[kept]
+        tie_with_next = np.isclose(
+            kept_tp[:-1], kept_tp[1:], rtol=time_tie_rel, atol=0.0
+        )
+        kept = kept[np.append(~tie_with_next, True)]
+    return kept
 
 
 def pareto_frontier(evaluations: Iterable[ConfigEvaluation]) -> List[ConfigEvaluation]:
     """The non-dominated subset, sorted by ascending execution time.
 
-    Sort by (time, energy); a configuration joins the frontier when its
-    energy is strictly below every faster configuration's.  Ties in time
-    keep only the lowest-energy entry.
+    Time-ties — exact or within :data:`TIME_TIE_REL` float jitter — keep
+    only the lowest-energy entry, so a configuration re-evaluated with
+    rounding noise cannot shadow the frontier with a near-duplicate.
     """
-    ordered = sorted(evaluations, key=lambda e: (e.tp_s, e.energy_j))
-    if not ordered:
+    evals = list(evaluations)
+    if not evals:
         return []
-    frontier: List[ConfigEvaluation] = []
-    best_energy = float("inf")
-    for ev in ordered:
-        if frontier and ev.tp_s == frontier[-1].tp_s:
-            continue  # same time, not cheaper (sort order) -> dominated
-        if ev.energy_j < best_energy:
-            frontier.append(ev)
-            best_energy = ev.energy_j
-    return frontier
+    tp = np.array([e.tp_s for e in evals])
+    energy = np.array([e.energy_j for e in evals])
+    return [evals[i] for i in pareto_indices(tp, energy)]
 
 
 def sweet_region(

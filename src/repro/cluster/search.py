@@ -7,22 +7,31 @@ space".  The exhaustive search is exact but the space grows as the product
 of per-type choices; the greedy search exploits the model's structure (time
 and energy are monotone in nodes/cores/frequency) to reach near-optimal
 answers while evaluating a tiny fraction of the space.
+
+Both searches ride the batched engine (:mod:`repro.model.batched`): the
+exhaustive search scores the whole space in one broadcasted pass and only
+materialises the winning configuration; the greedy descent evaluates each
+candidate through the operating-point constants cache and memoises per
+configuration, so ``evaluated_configs`` counts *distinct* configurations.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.cluster.budget import PowerBudget
 from repro.cluster.configuration import (
     ClusterConfiguration,
     NodeGroup,
     TypeSpace,
-    enumerate_configurations,
 )
-from repro.cluster.pareto import ConfigEvaluation, evaluate_configuration
+from repro.cluster.pareto import ConfigEvaluation, evaluate_configuration_cached
 from repro.errors import ModelError
+from repro.model.batched import evaluate_space_arrays
 from repro.workloads.base import Workload
 
 __all__ = ["Recommendation", "recommend_exhaustive", "recommend_greedy"]
@@ -30,7 +39,12 @@ __all__ = ["Recommendation", "recommend_exhaustive", "recommend_greedy"]
 
 @dataclass(frozen=True)
 class Recommendation:
-    """Result of a configuration search."""
+    """Result of a configuration search.
+
+    ``evaluated_configs`` counts the *distinct* configurations the search
+    scored: the whole space for the exhaustive search, the memoised
+    neighbour set for the greedy descent.
+    """
 
     evaluation: ConfigEvaluation
     deadline_s: float
@@ -68,28 +82,53 @@ def recommend_exhaustive(
 ) -> Optional[Recommendation]:
     """Exact search: the minimum-energy configuration meeting the deadline.
 
-    Evaluates EVERY configuration of the space; returns None when nothing
-    is feasible.  Ties in energy break toward the faster configuration.
+    Scores EVERY configuration of the space in one batched pass and
+    materialises only the winner; returns None when nothing is feasible.
+    Ties in energy break toward the faster configuration, then toward
+    enumeration order — exactly the scalar loop's semantics.
     """
     if deadline_s <= 0:
         raise ModelError(f"deadline must be positive, got {deadline_s}")
-    best: Optional[ConfigEvaluation] = None
-    count = 0
-    for config in enumerate_configurations(spaces):
-        count += 1
-        ev = evaluate_configuration(workload, config)
-        if not _feasible(ev, deadline_s, budget):
-            continue
-        if best is None or (ev.energy_j, ev.tp_s) < (best.energy_j, best.tp_s):
-            best = ev
-    if best is None:
+    arrays = evaluate_space_arrays(workload, spaces)
+    feasible = arrays.tp_s <= deadline_s
+    if budget is not None:
+        wimpy_counts = arrays.counts.get(
+            "A9", np.zeros(arrays.n_configs, dtype=np.int64)
+        )
+        feasible &= budget.fits_mask(arrays.nameplate_w, wimpy_counts)
+    candidates = np.flatnonzero(feasible)
+    if candidates.size == 0:
         return None
+    order = np.lexsort((arrays.tp_s[candidates], arrays.energy_j[candidates]))
+    best = int(candidates[order[0]])
+    evaluation = ConfigEvaluation(
+        config=arrays.config_at(best),
+        workload_name=workload.name,
+        tp_s=float(arrays.tp_s[best]),
+        energy_j=float(arrays.energy_j[best]),
+        peak_power_w=float(arrays.peak_power_w[best]),
+        idle_power_w=float(arrays.idle_w[best]),
+    )
     return Recommendation(
-        evaluation=best,
+        evaluation=evaluation,
         deadline_s=deadline_s,
-        evaluated_configs=count,
+        evaluated_configs=arrays.n_configs,
         strategy="exhaustive",
     )
+
+
+def _frequency_index(frequencies_hz: Sequence[float], frequency_hz: float) -> int:
+    """Index of the space frequency matching ``frequency_hz``, else -1.
+
+    Frequencies are physical DVFS points, so membership must tolerate float
+    jitter: a configuration built with a frequency that is not bit-identical
+    to the space's (e.g. ``1.4e9`` vs ``1.4 * GHZ`` computed differently)
+    still owns its DVFS shrink move.
+    """
+    for i, candidate in enumerate(frequencies_hz):
+        if math.isclose(candidate, frequency_hz, rel_tol=1e-9, abs_tol=0.0):
+            return i
+    return -1
 
 
 def _neighbours(
@@ -128,9 +167,10 @@ def _neighbours(
                     NodeGroup(group.spec, group.count, group.cores - 1, group.frequency_hz)
                 )
             )
-        # Step the frequency down.
+        # Step the frequency down (tolerant frequency lookup: see
+        # _frequency_index).
         freqs = space.frequencies_hz
-        idx = freqs.index(group.frequency_hz) if group.frequency_hz in freqs else -1
+        idx = _frequency_index(freqs, group.frequency_hz)
         if idx > 0:
             moves.append(
                 with_group(
@@ -151,10 +191,12 @@ def recommend_greedy(
 
     From the maximal configuration (all nodes, cores, top frequency), keep
     applying the single shrink move that saves the most energy while
-    remaining feasible.  Evaluates O(moves * steps) configurations instead
-    of the whole space; exact whenever the energy landscape is monotone
-    along shrink paths (which the linear time/energy model makes the common
-    case — the tests compare against the exhaustive answer).
+    remaining feasible.  Evaluations are memoised per configuration, so
+    revisiting the same neighbour across descent iterations costs nothing
+    and ``evaluated_configs`` reports distinct configurations.  Exact
+    whenever the energy landscape is monotone along shrink paths (which the
+    linear time/energy model makes the common case — the tests compare
+    against the exhaustive answer).
     """
     if deadline_s <= 0:
         raise ModelError(f"deadline must be positive, got {deadline_s}")
@@ -163,8 +205,17 @@ def recommend_greedy(
             NodeGroup(s.spec, s.n_max, s.c_max, s.frequencies_hz[-1]) for s in spaces
         )
     )
-    count = 1
-    current = evaluate_configuration(workload, maximal)
+
+    memo: Dict[ClusterConfiguration, ConfigEvaluation] = {}
+
+    def evaluate(config: ClusterConfiguration) -> ConfigEvaluation:
+        ev = memo.get(config)
+        if ev is None:
+            ev = evaluate_configuration_cached(workload, config)
+            memo[config] = ev
+        return ev
+
+    current = evaluate(maximal)
     if current.tp_s > deadline_s:
         # Shrink moves only slow things down: if the maximal configuration
         # misses the deadline, nothing in the space can meet it.
@@ -173,16 +224,13 @@ def recommend_greedy(
         # The maximal configuration busts the power budget; scan shrink
         # moves for a feasible start.
         frontier = [maximal]
-        seen = {maximal}
         start = None
         while frontier and start is None:
             config = frontier.pop()
             for move in _neighbours(config, spaces):
-                if move in seen:
+                if move in memo:
                     continue
-                seen.add(move)
-                count += 1
-                ev = evaluate_configuration(workload, move)
+                ev = evaluate(move)
                 if _feasible(ev, deadline_s, budget):
                     start = ev
                     break
@@ -196,8 +244,7 @@ def recommend_greedy(
         improved = False
         best_move: Optional[ConfigEvaluation] = None
         for move in _neighbours(current.config, spaces):
-            count += 1
-            ev = evaluate_configuration(workload, move)
+            ev = evaluate(move)
             if not _feasible(ev, deadline_s, budget):
                 continue
             if ev.energy_j < current.energy_j and (
@@ -210,6 +257,6 @@ def recommend_greedy(
     return Recommendation(
         evaluation=current,
         deadline_s=deadline_s,
-        evaluated_configs=count,
+        evaluated_configs=len(memo),
         strategy="greedy",
     )

@@ -51,6 +51,7 @@ __all__ = [
     "fork_join_ablation",
     "validation_scale_ablation",
     "knightshift_ablation",
+    "sweep_engine_ablation",
 ]
 
 Headers = Tuple[str, ...]
@@ -352,6 +353,62 @@ def adaptation_ablation(
         "dynamic [kWh/day]",
         "savings",
         "switches",
+    ), rows
+
+
+def sweep_engine_ablation(
+    workload_names: Sequence[str] = ("EP", "x264", "memcached"),
+    *,
+    n_a9: int = 6,
+    n_k10: int = 3,
+) -> Tuple[Headers, Rows]:
+    """Scalar oracle vs batched sweep engine over a full DVFS space.
+
+    The batched engine (:mod:`repro.model.batched`) scores node counts,
+    active cores AND per-type DVFS frequency in one broadcasted pass; the
+    scalar model remains the oracle.  This ablation enumerates a reduced
+    paper space (``n_a9`` A9 + ``n_k10`` K10, all cores/frequency choices)
+    both ways and reports the worst relative disagreement per workload —
+    the contract is <= 1e-9 on every configuration.
+    """
+    from repro.cluster.configuration import TypeSpace, enumerate_configurations
+    from repro.cluster.pareto import evaluate_configuration
+    from repro.hardware.specs import get_node_spec
+    from repro.model.batched import evaluate_space_arrays
+
+    rows: Rows = []
+    spaces = (
+        TypeSpace(get_node_spec("A9"), n_a9),
+        TypeSpace(get_node_spec("K10"), n_k10),
+    )
+    for name in workload_names:
+        w = paper_workloads()[name]
+        arrays = evaluate_space_arrays(w, spaces)
+        tp_err = 0.0
+        energy_err = 0.0
+        peak_err = 0.0
+        for i, config in enumerate(enumerate_configurations(spaces)):
+            ev = evaluate_configuration(w, config)
+            tp_err = max(tp_err, abs(arrays.tp_s[i] / ev.tp_s - 1.0))
+            energy_err = max(energy_err, abs(arrays.energy_j[i] / ev.energy_j - 1.0))
+            peak_err = max(
+                peak_err, abs(arrays.peak_power_w[i] / ev.peak_power_w - 1.0)
+            )
+        rows.append(
+            (
+                name,
+                arrays.n_configs,
+                f"{tp_err:.2e}",
+                f"{energy_err:.2e}",
+                f"{peak_err:.2e}",
+            )
+        )
+    return (
+        "workload",
+        "configs",
+        "max rel err T_P",
+        "max rel err E_P",
+        "max rel err peak W",
     ), rows
 
 

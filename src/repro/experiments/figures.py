@@ -257,16 +257,29 @@ def compute_pareto_mixes(
     frontier; this computes the frontier of OUR calibrated model over the
     same node-count space (all cores at f_max, counts a <= n_a9, k <= n_k10),
     letting the benchmarks check that sub-linear mixes really come from the
-    frontier's energy-saving end.
+    frontier's energy-saving end.  The whole grid is scored in one
+    vectorised pass and only the frontier mixes are materialised.
     """
-    from repro.cluster.pareto import evaluate_configuration
+    from repro.cluster.pareto import pareto_indices
+    from repro.model.vectorized import evaluate_mix_grid
 
     w = paper_workloads()[workload_name]
-    evals = []
-    for a in range(0, n_a9 + 1):
-        for k in range(0, n_k10 + 1):
-            if a == 0 and k == 0:
-                continue
-            config = ClusterConfiguration.mix({"A9": a, "K10": k})
-            evals.append(evaluate_configuration(w, config))
-    return pareto_frontier(evals)
+    a_grid, k_grid = np.meshgrid(np.arange(n_a9 + 1), np.arange(n_k10 + 1))
+    a_grid, k_grid = a_grid.ravel(), k_grid.ravel()
+    occupied = (a_grid + k_grid) > 0
+    a_grid, k_grid = a_grid[occupied], k_grid[occupied]
+    grid = evaluate_mix_grid(w, {"A9": a_grid, "K10": k_grid})
+    peak_w = grid.peak_w
+    return [
+        ConfigEvaluation(
+            config=ClusterConfiguration.mix(
+                {"A9": int(a_grid[i]), "K10": int(k_grid[i])}
+            ),
+            workload_name=w.name,
+            tp_s=float(grid.tp_s[i]),
+            energy_j=float(grid.energy_j[i]),
+            peak_power_w=float(peak_w[i]),
+            idle_power_w=float(grid.idle_w[i]),
+        )
+        for i in pareto_indices(grid.tp_s, grid.energy_j)
+    ]

@@ -26,9 +26,9 @@ import numpy as np
 
 from repro.cluster.budget import budget_mixes
 from repro.cluster.configuration import ClusterConfiguration
-from repro.core.proportionality import power_curve
+from repro.core.metrics import LinearPowerCurve
 from repro.errors import ModelError
-from repro.model.time_model import cluster_service_rate
+from repro.model.batched import config_constants
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -156,8 +156,15 @@ def simulate_adaptation(
     configs = list(candidates) if candidates is not None else budget_mixes(1000.0)
     if not configs:
         raise ModelError("need at least one candidate configuration")
-    rates = [cluster_service_rate(workload, c) for c in configs]
-    curves = [power_curve(workload, c) for c in configs]
+    # One constants-cache lookup per candidate replaces a full scalar model
+    # build: rate and the linear power curve's endpoints are exactly the
+    # cached (rate, idle, idle + dynamic) triple.
+    rates = []
+    curves = []
+    for c in configs:
+        rate, idle_w, dyn_w = config_constants(workload, c)
+        rates.append(rate)
+        curves.append(LinearPowerCurve(idle_w, idle_w + dyn_w))
     static_idx = int(np.argmax(rates))
     static_rate = rates[static_idx]
     static_curve = curves[static_idx]

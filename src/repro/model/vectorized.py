@@ -25,11 +25,9 @@ from typing import Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.cluster.configuration import ClusterConfiguration, NodeGroup
 from repro.errors import ModelError
 from repro.hardware.specs import get_node_spec
-from repro.model.energy_model import job_energy
-from repro.model.time_model import node_service_rate
+from repro.model.batched import operating_point_constants
 from repro.workloads.base import Workload
 
 __all__ = ["MixEvaluation", "evaluate_mix_grid", "per_node_constants"]
@@ -41,20 +39,21 @@ def per_node_constants(
     """(rates, idle powers, dynamic powers) per node type at full throttle.
 
     These are the only per-type quantities the vectorised sweep needs; they
-    come straight from the scalar model evaluated on single nodes, so the
-    two paths cannot drift apart.
+    come from the batched engine's operating-point constants cache — which
+    itself derives them from the scalar model's primitives — so the two
+    paths cannot drift apart and repeated sweeps pay no recomputation.
     """
     rates = []
     idles = []
     dyns = []
     for name in node_types:
         spec = get_node_spec(name)
-        group = NodeGroup.of(spec, 1)
-        config = ClusterConfiguration.of(group)
-        rates.append(node_service_rate(group, workload.demand_for(name)))
-        je = job_energy(workload, config)
-        idles.append(spec.power.idle_w)
-        dyns.append(je.dynamic_power_w)
+        k = operating_point_constants(
+            spec, workload.demand_for(name), spec.cores, spec.fmax_hz
+        )
+        rates.append(k.rate)
+        idles.append(k.idle_w)
+        dyns.append(k.busy_dyn_w)
     return np.asarray(rates), np.asarray(idles), np.asarray(dyns)
 
 

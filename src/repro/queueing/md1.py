@@ -71,6 +71,9 @@ class MD1Queue:
         # Stationary system-size probabilities pi_0..pi_n, grown on demand.
         self._pi: List[float] = []
         self._pi_cum: List[float] = []
+        # Poisson(lambda*D) pmf values a_0..a_{len-1}, grown incrementally
+        # alongside the recursion (each index is computed exactly once).
+        self._a: List[float] = []
 
     # ------------------------------------------------------------------
     # Constructors
@@ -134,6 +137,16 @@ class MD1Queue:
         mu = self.utilisation  # mean arrivals during one service = lambda*D
         return math.exp(j * math.log(mu) - mu - math.lgamma(j + 1)) if mu > 0 else (1.0 if j == 0 else 0.0)
 
+    def _grow_a(self, n: int) -> None:
+        """Ensure Poisson pmf values a_0..a_{n-1} are cached.
+
+        The pmf list is extended incrementally — never rebuilt — so repeated
+        ``wait_cdf``/``wait_percentile`` calls at high utilisation pay O(new
+        terms), not O(all terms), on top of the recursion itself.
+        """
+        while len(self._a) < n:
+            self._a.append(self._poisson_pmf(len(self._a)))
+
     def _grow_pi(self, n: int) -> None:
         """Ensure stationary probabilities pi_0..pi_n are computed."""
         if n < len(self._pi):
@@ -147,7 +160,8 @@ class MD1Queue:
         if not self._pi:
             self._pi = [1.0 - rho]
             self._pi_cum = [1.0 - rho]
-        a = [self._poisson_pmf(j) for j in range(n + 2)]
+        self._grow_a(n + 2)
+        a = self._a
         pi = self._pi
         while len(pi) <= n:
             m = len(pi)  # computing pi_m

@@ -1,11 +1,14 @@
 """Tests for the energy-deadline Pareto frontier and the sweet region."""
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster.configuration import ClusterConfiguration, TypeSpace
 from repro.cluster.pareto import (
+    TIME_TIE_REL,
     ConfigEvaluation,
     evaluate_configuration,
     evaluate_space,
@@ -59,6 +62,24 @@ class TestParetoFrontier:
         assert len(frontier) == 1
         assert frontier[0].energy_j == 4.0
 
+    def test_time_ties_tolerate_float_jitter(self):
+        """Regression: equal-time detection must not use exact equality.
+
+        Two configurations whose times differ only by round-off (well below
+        TIME_TIE_REL) are the same operating point; the frontier must keep
+        only the cheaper one instead of listing the slower-and-pricier twin.
+        """
+        jittered = 1.0 * (1.0 + 1e-13)
+        frontier = pareto_frontier([_eval(1.0, 5.0), _eval(jittered, 4.0)])
+        assert len(frontier) == 1
+        assert frontier[0].energy_j == 4.0
+
+    def test_time_gaps_above_tolerance_survive(self):
+        """Distinct times just above the tie tolerance remain separate."""
+        apart = 1.0 * (1.0 + 1e-6)
+        frontier = pareto_frontier([_eval(1.0, 5.0), _eval(apart, 4.0)])
+        assert len(frontier) == 2
+
     def test_empty_input(self):
         assert pareto_frontier([]) == []
 
@@ -90,8 +111,15 @@ class TestParetoFrontier:
         frontier = pareto_frontier(evals)
         assert frontier
         for ev in evals:
+            # A frontier point covers ev when it dominates it outright or
+            # sits at the same time (within the tie tolerance) at no more
+            # energy — tolerance-collapsed near-ties count as covered.
             assert any(
-                f.dominates(ev) or (f.tp_s == ev.tp_s and f.energy_j == ev.energy_j)
+                f.dominates(ev)
+                or (
+                    math.isclose(f.tp_s, ev.tp_s, rel_tol=TIME_TIE_REL, abs_tol=0.0)
+                    and f.energy_j <= ev.energy_j
+                )
                 for f in frontier
             )
         for i, f1 in enumerate(frontier):

@@ -2,9 +2,10 @@
 
 import pytest
 
+import repro.cluster.search as search_module
 from repro.cluster.budget import PowerBudget
-from repro.cluster.configuration import TypeSpace
-from repro.cluster.search import recommend_exhaustive, recommend_greedy
+from repro.cluster.configuration import ClusterConfiguration, NodeGroup, TypeSpace
+from repro.cluster.search import _neighbours, recommend_exhaustive, recommend_greedy
 from repro.errors import ModelError
 from repro.hardware.specs import a9, k10
 
@@ -121,3 +122,68 @@ class TestGreedy:
         )
         assert rec is not None
         assert rec.evaluation.tp_s <= deadline
+
+    def test_matches_exhaustive_under_power_budget(self, workloads, deadline):
+        """With a binding power budget the greedy descent still lands on
+        (or within 2% of) the exhaustive optimum."""
+        w = workloads["blackscholes"]
+        budget = PowerBudget(100.0)  # forces the budget-recovery path
+        exact = recommend_exhaustive(
+            w, _small_spaces(), deadline_s=deadline * 50, budget=budget
+        )
+        greedy = recommend_greedy(
+            w, _small_spaces(), deadline_s=deadline * 50, budget=budget
+        )
+        assert exact is not None and greedy is not None
+        assert budget.fits(greedy.config)
+        assert greedy.evaluation.energy_j == pytest.approx(
+            exact.evaluation.energy_j, rel=0.02
+        )
+
+    def test_never_evaluates_a_configuration_twice(self, workloads, monkeypatch):
+        """Regression: configurations rejected during budget recovery must
+        hit the memo when the descent meets them again, and
+        ``evaluated_configs`` reports distinct configurations."""
+        from repro.model.time_model import execution_time
+
+        w = workloads["blackscholes"]
+        spaces = _small_spaces()
+        maximal = ClusterConfiguration.mix({"A9": 3, "K10": 2})
+        deadline = 3.0 * execution_time(w, maximal)
+        seen = []
+        real = search_module.evaluate_configuration_cached
+
+        def counting(workload, config):
+            seen.append(config)
+            return real(workload, config)
+
+        monkeypatch.setattr(
+            search_module, "evaluate_configuration_cached", counting
+        )
+        rec = recommend_greedy(
+            w, spaces, deadline_s=deadline, budget=PowerBudget(60.0)
+        )
+        assert rec is not None
+        assert len(seen) == len(set(seen)), "a configuration was re-evaluated"
+        assert rec.evaluated_configs == len(seen)
+
+
+class TestNeighbourMoves:
+    def test_dvfs_step_survives_float_jitter(self, workloads):
+        """Regression: the DVFS shrink move must not require the group's
+        frequency to be bit-identical to the space's table entry."""
+        spaces = _small_spaces()
+        freqs = spaces[0].frequencies_hz
+        jittered = freqs[-1] * (1.0 + 1e-12)  # passes the spec's 1e-9 check
+        config = ClusterConfiguration(
+            groups=(NodeGroup(a9(), 2, a9().cores, jittered),)
+        )
+        moves = _neighbours(config, spaces)
+        stepped = [
+            m
+            for m in moves
+            if m.groups[0].frequency_hz == freqs[-2]
+            and m.groups[0].count == 2
+            and m.groups[0].cores == a9().cores
+        ]
+        assert stepped, "no DVFS down-step offered for a jittered frequency"

@@ -1,0 +1,198 @@
+"""Tests for the batched configuration-space engine and its constants cache.
+
+The engine's contract: for every configuration of an enumerated space, the
+batched arrays agree with the scalar oracle (``evaluate_configuration``)
+to 1e-9 relative, in exact enumeration order.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.configuration import (
+    TypeSpace,
+    count_configurations,
+    enumerate_configurations,
+)
+from repro.cluster.pareto import evaluate_configuration, evaluate_space, pareto_indices
+from repro.errors import ModelError
+from repro.hardware.specs import a9, k10
+from repro.model.batched import (
+    clear_constants_cache,
+    constants_cache_size,
+    evaluate_space_arrays,
+    operating_point_constants,
+)
+
+#: Relative agreement bound between the batched engine and the scalar oracle.
+_REL = 1e-9
+
+
+def _full_spaces(n_a9=2, n_k10=2):
+    """A small space exercising every (n, c, f) axis of both types."""
+    return [TypeSpace(a9(), n_max=n_a9), TypeSpace(k10(), n_max=n_k10)]
+
+
+class TestConstantsCache:
+    def test_hit_returns_cached_object(self, workloads):
+        clear_constants_cache()
+        spec = a9()
+        demand = workloads["EP"].demand_for("A9")
+        first = operating_point_constants(spec, demand, 2, spec.fmax_hz)
+        assert constants_cache_size() == 1
+        again = operating_point_constants(spec, demand, 2, spec.fmax_hz)
+        assert again is first
+        assert constants_cache_size() == 1
+
+    def test_distinct_operating_points_get_distinct_entries(self, workloads):
+        clear_constants_cache()
+        spec = a9()
+        demand = workloads["EP"].demand_for("A9")
+        operating_point_constants(spec, demand, 1, spec.fmax_hz)
+        operating_point_constants(spec, demand, 2, spec.fmax_hz)
+        operating_point_constants(spec, demand, 2, spec.frequencies_hz[0])
+        assert constants_cache_size() == 3
+
+    def test_modified_spec_is_not_conflated(self, workloads):
+        """A spec sharing a name but differing in content (e.g. the DVFS
+        study's scaled-idle variants) must get its own cache entry."""
+        clear_constants_cache()
+        spec = a9()
+        demand = workloads["EP"].demand_for("A9")
+        base = operating_point_constants(spec, demand, 1, spec.fmax_hz)
+        doubled_idle = dataclasses.replace(
+            spec, power=dataclasses.replace(spec.power, idle_w=2 * spec.power.idle_w)
+        )
+        other = operating_point_constants(doubled_idle, demand, 1, spec.fmax_hz)
+        assert other.idle_w == pytest.approx(2 * base.idle_w)
+        assert constants_cache_size() == 2
+
+    def test_clear_resets(self, workloads):
+        spec = a9()
+        operating_point_constants(
+            spec, workloads["EP"].demand_for("A9"), 1, spec.fmax_hz
+        )
+        assert constants_cache_size() >= 1
+        clear_constants_cache()
+        assert constants_cache_size() == 0
+
+
+class TestAgainstScalarOracle:
+    def test_full_small_space_agrees_in_enumeration_order(self, workloads):
+        w = workloads["EP"]
+        spaces = _full_spaces()
+        arrays = evaluate_space_arrays(w, spaces)
+        configs = list(enumerate_configurations(spaces))
+        assert arrays.n_configs == len(configs) == count_configurations(spaces)
+        for i, config in enumerate(configs):
+            ev = evaluate_configuration(w, config)
+            assert arrays.tp_s[i] == pytest.approx(ev.tp_s, rel=_REL)
+            assert arrays.energy_j[i] == pytest.approx(ev.energy_j, rel=_REL)
+            assert arrays.peak_power_w[i] == pytest.approx(ev.peak_power_w, rel=_REL)
+            assert arrays.idle_w[i] == pytest.approx(ev.idle_power_w, rel=_REL)
+            assert arrays.nameplate_w[i] == pytest.approx(config.nameplate_peak_w)
+
+    def test_config_at_matches_enumeration(self, workloads):
+        spaces = _full_spaces()
+        arrays = evaluate_space_arrays(workloads["EP"], spaces)
+        for i, config in enumerate(enumerate_configurations(spaces)):
+            assert arrays.config_at(i) == config
+
+    def test_iter_configs_matches_enumeration(self, workloads):
+        spaces = _full_spaces()
+        arrays = evaluate_space_arrays(workloads["EP"], spaces)
+        assert list(arrays.iter_configs()) == list(enumerate_configurations(spaces))
+
+    def test_counts_match_configurations(self, workloads):
+        spaces = _full_spaces()
+        arrays = evaluate_space_arrays(workloads["EP"], spaces)
+        for i, config in enumerate(enumerate_configurations(spaces)):
+            assert arrays.counts["A9"][i] == config.count_of("A9")
+            assert arrays.counts["K10"][i] == config.count_of("K10")
+
+    def test_materialised_space_preserves_order(self, workloads):
+        spaces = _full_spaces()
+        evals = evaluate_space(workloads["EP"], spaces)
+        assert [ev.config for ev in evals] == list(enumerate_configurations(spaces))
+
+    def test_config_at_rejects_out_of_range(self, workloads):
+        arrays = evaluate_space_arrays(workloads["EP"], _full_spaces())
+        with pytest.raises(ModelError):
+            arrays.config_at(arrays.n_configs)
+        with pytest.raises(ModelError):
+            arrays.config_at(-1)
+
+    def test_empty_spaces_rejected(self, workloads):
+        with pytest.raises(ModelError):
+            evaluate_space_arrays(workloads["EP"], [])
+
+    def test_duplicate_type_names_rejected(self, workloads):
+        with pytest.raises(ModelError):
+            evaluate_space_arrays(
+                workloads["EP"], [TypeSpace(a9(), 1), TypeSpace(a9(), 2)]
+            )
+
+    @given(
+        workload_name=st.sampled_from(["EP", "x264", "memcached"]),
+        n_a9=st.integers(1, 3),
+        n_k10=st.integers(1, 2),
+        c_a9=st.integers(1, 4),
+        c_k10=st.integers(1, 6),
+        f_a9=st.integers(1, 2 ** 5 - 1),  # non-empty subset of 5 DVFS points
+        f_k10=st.integers(1, 2 ** 3 - 1),  # non-empty subset of 3 DVFS points
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_spaces_agree_property(
+        self, workloads, workload_name, n_a9, n_k10, c_a9, c_k10, f_a9, f_k10
+    ):
+        """Property: batched == scalar oracle on arbitrary sub-spaces."""
+        w = workloads[workload_name]
+        freqs_a9 = tuple(
+            f for i, f in enumerate(a9().frequencies_hz) if f_a9 >> i & 1
+        )
+        freqs_k10 = tuple(
+            f for i, f in enumerate(k10().frequencies_hz) if f_k10 >> i & 1
+        )
+        spaces = [
+            TypeSpace(a9(), n_a9, c_a9, freqs_a9),
+            TypeSpace(k10(), n_k10, c_k10, freqs_k10),
+        ]
+        arrays = evaluate_space_arrays(w, spaces)
+        configs = list(enumerate_configurations(spaces))
+        assert arrays.n_configs == len(configs)
+        for i, config in enumerate(configs):
+            ev = evaluate_configuration(w, config)
+            assert arrays.tp_s[i] == pytest.approx(ev.tp_s, rel=_REL)
+            assert arrays.energy_j[i] == pytest.approx(ev.energy_j, rel=_REL)
+            assert arrays.peak_power_w[i] == pytest.approx(ev.peak_power_w, rel=_REL)
+
+
+class TestParetoIndices:
+    def _brute_force_pairs(self, tp, energy):
+        points = list(zip(tp, energy))
+
+        def dominates(p, q):
+            return p[0] <= q[0] and p[1] <= q[1] and p != q
+
+        return {p for p in points if not any(dominates(q, p) for q in points)}
+
+    def test_matches_brute_force_on_random_grids(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 40))
+            tp = rng.integers(1, 25, size=n).astype(float)
+            energy = rng.integers(1, 25, size=n).astype(float)
+            kept = pareto_indices(tp, energy)
+            got = {(tp[i], energy[i]) for i in kept}
+            assert got == self._brute_force_pairs(tp, energy)
+
+    def test_result_sorted_by_time(self, rng):
+        tp = rng.integers(1, 50, size=30).astype(float)
+        energy = rng.integers(1, 50, size=30).astype(float)
+        kept = pareto_indices(tp, energy)
+        assert list(tp[kept]) == sorted(tp[kept])
+
+    def test_empty(self):
+        assert pareto_indices(np.array([]), np.array([])).size == 0

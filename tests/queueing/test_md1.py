@@ -137,6 +137,33 @@ class TestWaitDistribution:
         assert q.wait_cdf(400.0) > value
 
 
+class TestPmfCaching:
+    def test_pmf_computed_once_per_index(self, monkeypatch):
+        """Regression: growing the stationary distribution must extend the
+        cached Poisson pmf, not rebuild it from scratch on every call."""
+        calls = []
+        real = MD1Queue._poisson_pmf
+
+        def counting(self, j):
+            calls.append(j)
+            return real(self, j)
+
+        monkeypatch.setattr(MD1Queue, "_poisson_pmf", counting)
+        q = MD1Queue.from_utilisation(0.95, 1.0)
+        q.wait_percentile(95.0)  # many wait_cdf calls, interleaved growth
+        q.wait_percentile(99.0)
+        assert len(calls) == len(set(calls)), "a pmf index was recomputed"
+        assert len(calls) <= len(q._pi) + 10
+
+    def test_p95_fast_and_sane_near_saturation(self):
+        """rho = 0.99 needs thousands of stationary terms; with incremental
+        pmf growth the percentile is quick and sits between the mean and
+        the heavy-traffic exponential bound (p95 -> ln(20) x mean)."""
+        q = MD1Queue.from_utilisation(0.99, 1.0)
+        p95 = q.wait_percentile(95.0)
+        assert q.mean_wait_s < p95 < 4.0 * q.mean_wait_s
+
+
 class TestPercentiles:
     def test_percentile_inverts_cdf(self):
         q = MD1Queue.from_utilisation(0.8, 0.5)
