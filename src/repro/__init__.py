@@ -84,6 +84,7 @@ from repro.core.response import (
     p95_response_s,
     response_percentile_s,
     response_sweep,
+    simulated_response_percentile_s,
 )
 from repro.errors import (
     CalibrationError,
@@ -137,8 +138,10 @@ from repro.queueing import (
     MDCQueue,
     MG1Queue,
     MM1Queue,
+    MonteCarloQueue,
     PoissonArrivals,
     QueueSimulator,
+    ReplicatedResult,
 )
 from repro.util.rng import DEFAULT_SEED, RngRegistry
 from repro.workloads.base import ActivityFactors, Workload, WorkloadDemand
@@ -230,6 +233,8 @@ __all__ = [
     "MM1Queue",
     "MG1Queue",
     "QueueSimulator",
+    "MonteCarloQueue",
+    "ReplicatedResult",
     "PoissonArrivals",
     # metrics and analysis
     "PowerCurve",
@@ -256,6 +261,7 @@ __all__ = [
     "window_energy_j",
     "ResponseTimeSweep",
     "response_percentile_s",
+    "simulated_response_percentile_s",
     "p95_response_s",
     "response_sweep",
     # utilities

@@ -1,0 +1,301 @@
+"""Benchmark: vectorized Monte-Carlo engine vs the scalar DES loop.
+
+Times the *simulate phase* — drawing one replication's randomness and
+producing its waiting times — for two scenarios at ``n_jobs`` jobs x
+``n_reps`` replications:
+
+* **md1** — deterministic service (the paper's M/D/1 queue).  The scalar
+  arm is :class:`repro.queueing.des.QueueSimulator` with
+  ``engine="scalar"``: NumPy arrival sampling plus the loop-carried
+  recursion.
+* **service_model** — exponential service (M/M/1).  The scalar arm is the
+  DES's original general-service contract: one Python
+  :data:`~repro.queueing.des.ServiceModel` call *per job*, then the scalar
+  loop.  The vectorized arm replaces both with batched draws and the
+  Lindley kernel — this is the scenario the >= 100x engine contract is
+  pinned on, because per-job Python sampling is exactly what capped the
+  replication counts before.
+
+The scalar arms are too slow to run all ``n_reps`` replications
+(~10 s for the service-model arm alone), so each is timed over
+``scalar_reps`` replications and extrapolated linearly — per-replication
+cost is constant, and the JSON records both the measured and the
+extrapolated figures.  Alongside the timings the benchmark verifies the
+engine's correctness contract: the span-normalised vectorized-vs-scalar
+kernel agreement (<= 1e-12) on shared inputs, and the full
+analytic-vs-simulated validation grid of
+:mod:`repro.experiments.validation_mc`.
+
+A note on the 100x target.  The issue that introduced this engine asked
+for a >= 100x speedup at 1e5 jobs x 100 replications.  On a single-core
+container that target is arithmetically out of reach for *any* correct
+implementation: the scalar loop costs ~300 ns/job, while one sequential
+memory pass over 1e5 float64s costs ~5 ns/element — and the vectorized
+pipeline needs several such passes (sampling, cumsum, running max), so
+its floor is ~15-25 ns/job, capping the ratio around 15-60x depending on
+machine state.  Reaching 100x requires parallel replications across
+cores, which the spawn-based generator streams support by construction
+but a 1-CPU container cannot exercise.  The JSON therefore records the
+honest measured ratio next to the aspirational target and a
+``target_met`` flag instead of silently asserting it.  Run as a console
+entry::
+
+    python -m repro.benchmarks.mc [--output BENCH_mc.json]
+
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.queueing.des import QueueSimulator
+from repro.queueing.mc import (
+    MonteCarloQueue,
+    exponential_service,
+    lindley_waits,
+    scalar_lindley_waits,
+    waits_agreement,
+)
+from repro.queueing.arrivals import PoissonArrivals
+from repro.util.rng import DEFAULT_SEED
+
+__all__ = ["run_benchmark", "main"]
+
+#: The engines' agreement contract: span-normalised max deviation.
+AGREEMENT_CONTRACT = 1e-12
+
+#: Default scenario shape — the ISSUE's 1e5 jobs x 100 replications.
+DEFAULT_N_JOBS = 100_000
+DEFAULT_N_REPS = 100
+
+#: The aspirational speedup target (see the module docstring for why a
+#: single-core container cannot reach it) and the floors the benchmark
+#: harness actually pins, chosen with 2x headroom for machine-state swings.
+TARGET_SPEEDUP = 100.0
+FLOOR_SPEEDUP = {"md1": 5.0, "service_model": 12.0}
+
+_UTILISATION = 0.7
+_SERVICE_S = 1.0
+
+
+def _scalar_des_seconds(
+    queue: MonteCarloQueue,
+    n_jobs: int,
+    scalar_reps: int,
+    *,
+    service_model: bool,
+) -> float:
+    """Time ``scalar_reps`` replications of the scalar DES engine.
+
+    Each replication is a fresh :class:`QueueSimulator` fed from the same
+    spawned generator stream the vectorized engine uses, so both arms solve
+    statistically identical problems.
+    """
+    rngs = queue.spawn_generators(scalar_reps)
+    t0 = time.perf_counter()
+    for rng in rngs:
+        if service_model:
+            sim = QueueSimulator(
+                PoissonArrivals(queue.arrival_rate, rng),
+                lambda r: float(r.exponential(_SERVICE_S)),
+                rng,
+                engine="scalar",
+            )
+        else:
+            sim = QueueSimulator(
+                PoissonArrivals(queue.arrival_rate, rng),
+                _SERVICE_S,
+                engine="scalar",
+            )
+        sim.run_jobs(n_jobs)
+    return time.perf_counter() - t0
+
+
+def _kernel_agreement(
+    queue: MonteCarloQueue, n_jobs: int, reps: int
+) -> float:
+    """Worst span-normalised vectorized-vs-scalar deviation on shared inputs."""
+    worst = 0.0
+    for rng in queue.spawn_generators(reps):
+        arrivals = np.cumsum(
+            rng.standard_exponential(n_jobs) / queue.arrival_rate
+        )
+        if queue.service_time_s is not None:
+            services: object = queue.service_time_s
+        else:
+            services = rng.exponential(_SERVICE_S, n_jobs)
+        vec = lindley_waits(arrivals, services)
+        ora = scalar_lindley_waits(arrivals, services)
+        worst = max(worst, waits_agreement(vec, ora, arrivals, services))
+    return worst
+
+
+def _scenario(
+    queue: MonteCarloQueue,
+    n_jobs: int,
+    n_reps: int,
+    scalar_reps: int,
+    agreement_reps: int,
+    *,
+    service_model: bool,
+) -> Dict[str, object]:
+    """Time one scenario and check its agreement contract."""
+    t0 = time.perf_counter()
+    queue.simulate_waits(n_jobs, n_reps)
+    vectorized_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    queue.run(n_jobs, n_reps)
+    with_stats_s = time.perf_counter() - t0
+
+    scalar_measured_s = _scalar_des_seconds(
+        queue, n_jobs, scalar_reps, service_model=service_model
+    )
+    scalar_extrapolated_s = scalar_measured_s * (n_reps / scalar_reps)
+    agreement = _kernel_agreement(queue, n_jobs, agreement_reps)
+    return {
+        "utilisation": _UTILISATION,
+        "service": "exponential" if service_model else "deterministic",
+        "timings_s": {
+            "vectorized": vectorized_s,
+            "vectorized_with_stats": with_stats_s,
+            "scalar_measured": scalar_measured_s,
+            "scalar_reps_measured": scalar_reps,
+            "scalar_extrapolated": scalar_extrapolated_s,
+        },
+        "speedup": {
+            "simulate_phase": scalar_extrapolated_s / vectorized_s,
+            "with_stats": scalar_extrapolated_s / with_stats_s,
+            "target": TARGET_SPEEDUP,
+            "target_met": scalar_extrapolated_s / vectorized_s >= TARGET_SPEEDUP,
+        },
+        "agreement": {
+            "max_span_normalised": agreement,
+            "contract": AGREEMENT_CONTRACT,
+            "reps_checked": agreement_reps,
+        },
+    }
+
+
+def run_benchmark(
+    n_jobs: int = DEFAULT_N_JOBS,
+    n_reps: int = DEFAULT_N_REPS,
+    *,
+    scalar_reps: int = 4,
+    agreement_reps: int = 3,
+    seed: int = DEFAULT_SEED,
+    validation_jobs: int = 20_000,
+    validation_reps: int = 40,
+) -> Dict[str, object]:
+    """Run both scenarios plus the validation grid; return a JSON dict."""
+    if n_jobs <= 0 or n_reps <= 0:
+        raise ReproError("n_jobs and n_reps must be positive")
+    scalar_reps = min(max(scalar_reps, 1), n_reps)
+
+    md1 = MonteCarloQueue.from_utilisation(_UTILISATION, _SERVICE_S, seed=seed)
+    mm1 = MonteCarloQueue(
+        _UTILISATION / _SERVICE_S, exponential_service(_SERVICE_S), seed=seed
+    )
+    scenarios = {
+        "md1": _scenario(
+            md1, n_jobs, n_reps, scalar_reps, agreement_reps, service_model=False
+        ),
+        "service_model": _scenario(
+            mm1, n_jobs, n_reps, scalar_reps, agreement_reps, service_model=True
+        ),
+    }
+
+    from repro.experiments.validation_mc import run_validation
+
+    report = run_validation(
+        n_jobs=validation_jobs, n_reps=validation_reps, seed=seed
+    )
+    import os
+
+    return {
+        "params": {
+            "n_jobs": n_jobs,
+            "n_reps": n_reps,
+            "scalar_reps": scalar_reps,
+            "seed": seed,
+            "cpus": os.cpu_count(),
+        },
+        "note": (
+            "speedups are single-core; the 100x target needs parallel "
+            "replications across cores (see repro/benchmarks/mc.py docstring)"
+        ),
+        "scenarios": scenarios,
+        "validation": {
+            "cells": len(report.cells),
+            "flagged": len(report.flagged),
+            "all_agree": report.all_agree,
+            "agreement_fraction": report.agreement_fraction,
+            "level": report.level,
+            "n_jobs": validation_jobs,
+            "n_reps": validation_reps,
+        },
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point: run the MC benchmark and write JSON."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.benchmarks.mc",
+        description="Time the vectorized Monte-Carlo engine vs the scalar DES loop.",
+    )
+    parser.add_argument("--jobs", type=int, default=DEFAULT_N_JOBS)
+    parser.add_argument("--reps", type=int, default=DEFAULT_N_REPS)
+    parser.add_argument(
+        "--scalar-reps",
+        type=int,
+        default=4,
+        help="replications to actually time on the scalar arms",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_mc.json",
+        help="result JSON path (default: ./BENCH_mc.json)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        result = run_benchmark(
+            args.jobs, args.reps, scalar_reps=args.scalar_reps
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    for name, sc in result["scenarios"].items():
+        t = sc["timings_s"]
+        s = sc["speedup"]
+        a = sc["agreement"]
+        print(
+            f"{name:14s} vectorized {t['vectorized']:.3f} s, scalar "
+            f"{t['scalar_extrapolated']:.1f} s (extrapolated from "
+            f"{t['scalar_reps_measured']} reps) -> "
+            f"{s['simulate_phase']:.0f}x "
+            f"(target {s['target']:.0f}x met: {s['target_met']}); "
+            f"agreement {a['max_span_normalised']:.2e}"
+        )
+    v = result["validation"]
+    print(
+        f"validation grid: {v['cells']} cells, {v['flagged']} flagged "
+        f"({'all agree' if v['all_agree'] else 'DISAGREEMENT'})"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - console entry
+    sys.exit(main())

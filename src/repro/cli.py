@@ -8,6 +8,9 @@ without writing any Python:
   ``fig5a``..``fig5c``, ``fig6a``..``fig6c``, ``fig7``..``fig12``);
   ``--csv DIR`` additionally exports the data.
 * ``validate`` — run the Table 4 measurement-driven validation pipeline.
+* ``validate-mc`` — Monte-Carlo cross-validation of the analytic p95
+  claims (exit 1 when any grid cell's analytic value falls outside the
+  simulated confidence interval).
 * ``report <workload> --mix A9=64,K10=8`` — proportionality + PPR +
   response-time report for one workload on one cluster mix.
 * ``recommend <workload> --deadline S`` — search the configuration space
@@ -76,6 +79,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--seed", type=int, default=None)
     p_val.add_argument("--wimpy", type=int, default=4, help="A9 nodes in the rack")
     p_val.add_argument("--brawny", type=int, default=1, help="K10 nodes in the rack")
+
+    p_mc = sub.add_parser(
+        "validate-mc",
+        help="Monte-Carlo cross-validation of the analytic p95 claims",
+    )
+    p_mc.add_argument("--seed", type=int, default=None, help="root seed")
+    p_mc.add_argument(
+        "--jobs", type=int, default=20_000, help="jobs per replication"
+    )
+    p_mc.add_argument(
+        "--reps", type=int, default=40, help="replications per grid cell"
+    )
+    p_mc.add_argument(
+        "--level", type=float, default=0.99, help="confidence level"
+    )
+    p_mc.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated paper workloads (default: EP,memcached,x264)",
+    )
 
     p_rep = sub.add_parser("report", help="analyse one workload on one mix")
     p_rep.add_argument("workload")
@@ -156,6 +179,30 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _cmd_validate_mc(args: argparse.Namespace) -> int:
+    from repro.experiments.validation_mc import (
+        VALIDATION_WORKLOADS,
+        render_validation_report,
+        run_validation,
+    )
+    from repro.util.rng import DEFAULT_SEED
+
+    workloads = (
+        tuple(part.strip() for part in args.workloads.split(",") if part.strip())
+        if args.workloads
+        else VALIDATION_WORKLOADS
+    )
+    report = run_validation(
+        workloads=workloads,
+        n_jobs=args.jobs,
+        n_reps=args.reps,
+        level=args.level,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+    )
+    print(render_validation_report(report))
+    return 0 if report.all_agree else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -277,6 +324,7 @@ _COMMANDS = {
     "table": _cmd_table,
     "figure": _cmd_figure,
     "validate": _cmd_validate,
+    "validate-mc": _cmd_validate_mc,
     "report": _cmd_report,
     "recommend": _cmd_recommend,
     "ablations": _cmd_ablations,

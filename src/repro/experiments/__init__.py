@@ -21,6 +21,13 @@ from repro.experiments.report import (
     report_table7,
     report_table8,
 )
+from repro.experiments.validation_mc import (
+    AgreementCell,
+    AgreementReport,
+    render_validation_report,
+    run_validation,
+    validate_cell,
+)
 from repro.experiments.tables import (
     most_efficient_single_node_config,
     table4_validation,
@@ -54,4 +61,9 @@ __all__ = [
     "report_table8",
     "report_figure",
     "report_characterization",
+    "AgreementCell",
+    "AgreementReport",
+    "validate_cell",
+    "run_validation",
+    "render_validation_report",
 ]

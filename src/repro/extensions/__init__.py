@@ -9,6 +9,8 @@
 from repro.extensions.dynamic import (
     AdaptationInterval,
     AdaptationResult,
+    IntervalTailCheck,
+    adaptation_tail_percentiles,
     diurnal_trace,
     scaled_candidates,
     simulate_adaptation,
@@ -30,4 +32,6 @@ __all__ = [
     "AdaptationInterval",
     "AdaptationResult",
     "simulate_adaptation",
+    "IntervalTailCheck",
+    "adaptation_tail_percentiles",
 ]

@@ -29,6 +29,7 @@ from repro.cluster.configuration import ClusterConfiguration
 from repro.core.metrics import LinearPowerCurve
 from repro.errors import ModelError
 from repro.model.batched import config_constants
+from repro.util.rng import DEFAULT_SEED
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -37,6 +38,8 @@ __all__ = [
     "AdaptationInterval",
     "AdaptationResult",
     "simulate_adaptation",
+    "IntervalTailCheck",
+    "adaptation_tail_percentiles",
 ]
 
 
@@ -209,3 +212,99 @@ def simulate_adaptation(
         dynamic_energy_j=dynamic_energy,
         intervals=tuple(intervals),
     )
+
+
+@dataclass(frozen=True)
+class IntervalTailCheck:
+    """Simulated tail latency of one adaptation interval."""
+
+    interval_index: int
+    chosen_label: str
+    utilisation: float
+    service_time_s: float
+    analytic_p95_s: float
+    simulated_p95_s: float
+    ci_lo_s: float
+    ci_hi_s: float
+
+    @property
+    def agrees(self) -> bool:
+        """Whether the analytic p95 lies inside the simulated CI."""
+        return self.ci_lo_s <= self.analytic_p95_s <= self.ci_hi_s
+
+
+def adaptation_tail_percentiles(
+    workload: Workload,
+    result: AdaptationResult,
+    *,
+    candidates: Optional[Sequence[ClusterConfiguration]] = None,
+    n_jobs: int = 10_000,
+    n_reps: int = 25,
+    level: float = 0.99,
+    seed: int = DEFAULT_SEED,
+) -> Tuple[IntervalTailCheck, ...]:
+    """Simulated 95th-percentile response time of every adaptation interval.
+
+    The adaptation policy picks configurations on *energy* alone; this
+    check quantifies what the choices cost in tail latency.  Each interval's
+    chosen configuration serves its load as an M/D/1 queue at the interval's
+    utilisation; the Monte-Carlo engine simulates it and the analytic p95 is
+    checked against the simulated confidence interval.  ``candidates`` must
+    be the same set handed to :func:`simulate_adaptation` (it defaults to
+    the paper's 1 kW budget mixes, like the simulation itself).
+
+    Intervals sharing (configuration, utilisation) are simulated once;
+    near-idle intervals (utilisation below 0.1%) carry no queueing and are
+    reported with the bare service time.
+    """
+    from repro.core.response import _effective_utilisation
+    from repro.model.time_model import execution_time
+    from repro.queueing.mc import MonteCarloQueue
+    from repro.queueing.md1 import MD1Queue
+
+    configs = list(candidates) if candidates is not None else budget_mixes(1000.0)
+    by_label = {c.label(): c for c in configs}
+    missing = {iv.chosen_label for iv in result.intervals} - set(by_label)
+    if missing:
+        raise ModelError(
+            f"adaptation trace chose configurations not in the candidate "
+            f"set: {sorted(missing)}"
+        )
+    tp_cache = {
+        label: execution_time(workload, config)
+        for label, config in by_label.items()
+    }
+    checks: List[IntervalTailCheck] = []
+    cell_cache: dict[Tuple[str, float], Tuple[float, float, float, float]] = {}
+    for i, iv in enumerate(result.intervals):
+        tp = tp_cache[iv.chosen_label]
+        if iv.utilisation < 1e-3:
+            # No meaningful queueing: response time is the service time.
+            checks.append(
+                IntervalTailCheck(i, iv.chosen_label, iv.utilisation, tp, tp, tp, tp, tp)
+            )
+            continue
+        key = (iv.chosen_label, round(iv.utilisation, 9))
+        if key not in cell_cache:
+            u = _effective_utilisation(iv.utilisation)
+            analytic = MD1Queue.from_utilisation(u, tp).p95_response_s()
+            ci = (
+                MonteCarloQueue.from_utilisation(u, tp, seed=seed)
+                .run(n_jobs, n_reps)
+                .percentile_ci(95.0, level=level)
+            )
+            cell_cache[key] = (analytic, ci.mean, ci.lo, ci.hi)
+        analytic, mean, lo, hi = cell_cache[key]
+        checks.append(
+            IntervalTailCheck(
+                interval_index=i,
+                chosen_label=iv.chosen_label,
+                utilisation=iv.utilisation,
+                service_time_s=tp,
+                analytic_p95_s=analytic,
+                simulated_p95_s=mean,
+                ci_lo_s=lo,
+                ci_hi_s=hi,
+            )
+        )
+    return tuple(checks)

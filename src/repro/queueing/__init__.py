@@ -1,5 +1,6 @@
 """Queueing substrate: the paper's M/D/1 utilisation model, analytic
-companions (M/M/1, M/G/1) and a discrete-event FIFO simulator."""
+companions (M/M/1, M/G/1), a discrete-event FIFO simulator and a
+vectorized Monte-Carlo replication engine."""
 
 from repro.queueing.arrivals import (
     ArrivalProcess,
@@ -9,6 +10,16 @@ from repro.queueing.arrivals import (
 )
 from repro.queueing.des import QueueSimulator, SimulationResult
 from repro.queueing.forkjoin import ForkJoinResult, simulate_fork_join
+from repro.queueing.mc import (
+    ConfidenceInterval,
+    MonteCarloQueue,
+    ReplicatedResult,
+    exponential_service,
+    lindley_waits,
+    scalar_lindley_waits,
+    uniform_service,
+    waits_agreement,
+)
 from repro.queueing.md1 import MD1Queue
 from repro.queueing.mdc import MDCQueue
 from repro.queueing.mg1 import MG1Queue, MM1Queue
@@ -26,4 +37,12 @@ __all__ = [
     "PoissonArrivals",
     "DeterministicArrivals",
     "BatchArrivals",
+    "MonteCarloQueue",
+    "ReplicatedResult",
+    "ConfidenceInterval",
+    "lindley_waits",
+    "scalar_lindley_waits",
+    "waits_agreement",
+    "exponential_service",
+    "uniform_service",
 ]

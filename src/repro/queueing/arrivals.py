@@ -10,6 +10,8 @@ sweeps (Section II-C).
 from __future__ import annotations
 
 import abc
+from typing import Optional
+
 import numpy as np
 
 from repro.errors import QueueingError
@@ -24,10 +26,26 @@ class ArrivalProcess(abc.ABC):
     def arrival_times(self, horizon_s: float) -> np.ndarray:
         """All arrival times in [0, horizon_s), ascending."""
 
+    def first_n(self, n: int) -> Optional[np.ndarray]:
+        """The first ``n`` arrival times, or None if unsupported.
+
+        Implementations must consume an amount of randomness that is a pure
+        function of ``n`` — never of a horizon guess — so that
+        :meth:`repro.queueing.des.QueueSimulator.run_jobs` is deterministic
+        for a given seed and job count.  The base class returns None;
+        callers then fall back to horizon growth.
+        """
+        return None
+
     @staticmethod
     def _check_horizon(horizon_s: float) -> None:
         if horizon_s <= 0:
             raise QueueingError(f"horizon must be positive, got {horizon_s}")
+
+    @staticmethod
+    def _check_count(n: int) -> None:
+        if n <= 0:
+            raise QueueingError(f"arrival count must be positive, got {n}")
 
 
 class PoissonArrivals(ArrivalProcess):
@@ -62,6 +80,11 @@ class PoissonArrivals(ArrivalProcess):
         all_times = np.concatenate(times)
         return all_times[all_times < horizon_s]
 
+    def first_n(self, n: int) -> np.ndarray:
+        """The first ``n`` arrivals: one batch of ``n`` exponential gaps."""
+        self._check_count(n)
+        return np.cumsum(self._rng.exponential(1.0 / self._rate, size=n))
+
 
 class DeterministicArrivals(ArrivalProcess):
     """Evenly spaced arrivals with period ``1/rate``; first at ``offset``."""
@@ -87,6 +110,11 @@ class DeterministicArrivals(ArrivalProcess):
         n = int(np.floor((horizon_s - self._offset) / period)) + 1
         times = self._offset + period * np.arange(n)
         return times[times < horizon_s]  # the horizon itself is exclusive
+
+    def first_n(self, n: int) -> np.ndarray:
+        """The first ``n`` evenly spaced arrivals."""
+        self._check_count(n)
+        return self._offset + np.arange(n) / self._rate
 
 
 class BatchArrivals(ArrivalProcess):
@@ -117,3 +145,14 @@ class BatchArrivals(ArrivalProcess):
     def arrival_times(self, horizon_s: float) -> np.ndarray:
         epochs = self._inner.arrival_times(horizon_s)
         return np.repeat(epochs, self._batch_size)
+
+    def first_n(self, n: int) -> np.ndarray:
+        """The first ``n`` jobs: ceil(n / batch_size) epochs, truncated.
+
+        Randomness consumption depends only on ``n`` (the epoch count is a
+        pure function of it).
+        """
+        self._check_count(n)
+        n_epochs = -(-n // self._batch_size)
+        epochs = self._inner.first_n(n_epochs)
+        return np.repeat(epochs, self._batch_size)[:n]

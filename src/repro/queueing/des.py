@@ -6,26 +6,43 @@ been serviced".  This simulator is the empirical ground truth the analytic
 M/D/1 results are property-tested against, and the only way to get
 percentiles for general service-time distributions (M/G/1).
 
-The single-server FIFO recursion makes an event calendar unnecessary:
+The single-server FIFO recursion
 
     start_n  = max(arrival_n, completion_{n-1})
     wait_n   = start_n - arrival_n
     completion_n = start_n + service_n
 
-which vectorises poorly (loop-carried dependency) but runs fine for the
-sample sizes the tests need; a busy-period bookkeeping pass then yields the
-server utilisation and the busy/idle time split used by the energy accounting.
+is served by the vectorized Lindley kernel from :mod:`repro.queueing.mc`
+(``W = running_max(B) - B`` with ``B_n = A_n - CS_{n-1}``); the original
+loop-carried recursion is kept as the ``engine="scalar"`` oracle the fast
+path is property-tested against.  Multi-server pools still use an
+earliest-free-server heap.
+
+RNG-stream contract
+-------------------
+``run`` and ``run_jobs`` consume randomness in a fixed order: the complete
+arrival sequence is drawn first, then — only once arrivals are final —
+exactly one service draw per job, in arrival order.  ``run_jobs(n)``
+consumes an amount of randomness that depends only on ``n`` for arrival
+processes implementing :meth:`~repro.queueing.arrivals.ArrivalProcess.first_n`
+(all built-in processes do), so a seeded simulation is reproducible
+regardless of any horizon hint.  This matters for *stateful* service
+models: the pre-fix implementation re-ran whole horizons until enough jobs
+arrived, re-sampling services for every attempt, so the delivered service
+times depended on how many retries the horizon guess caused.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import QueueingError
 from repro.queueing.arrivals import ArrivalProcess, PoissonArrivals
+from repro.queueing.mc import lindley_waits, scalar_lindley_waits
 from repro.util.stats import SummaryStats, summarize
 
 __all__ = ["ServiceModel", "QueueSimulator", "SimulationResult"]
@@ -43,12 +60,23 @@ class SimulationResult:
     services: np.ndarray
     horizon_s: float
     n_servers: int = 1
+    #: Per-server time of last completion (0.0 for servers that never
+    #: served).  Populated by :class:`QueueSimulator`; optional so that
+    #: hand-built results keep working.
+    server_completions_s: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if not (len(self.arrivals) == len(self.waits) == len(self.services)):
             raise QueueingError("result arrays must have equal length")
         if self.n_servers <= 0:
             raise QueueingError("n_servers must be positive")
+        if (
+            self.server_completions_s is not None
+            and len(self.server_completions_s) != self.n_servers
+        ):
+            raise QueueingError(
+                "server_completions_s must have one entry per server"
+            )
 
     @property
     def n_jobs(self) -> int:
@@ -67,19 +95,26 @@ class SimulationResult:
 
     @property
     def busy_time_s(self) -> float:
-        """Total time the server spent serving."""
+        """Total time the servers spent serving."""
         return float(np.sum(self.services))
 
     @property
     def utilisation(self) -> float:
-        """Per-server busy fraction over the *observed span*.
+        """Per-server busy fraction over each server's *observed span*.
 
-        The span runs to the later of the horizon and the last completion so
-        that jobs finishing after the horizon do not inflate utilisation
-        above one.
+        A server's span runs to the later of the horizon and that server's
+        own last completion, so jobs finishing after the horizon do not
+        inflate utilisation above one, and — in a multi-server pool — a
+        server that finished early is not charged idle time for a
+        colleague's long tail job.  Without per-server completions (a
+        hand-built result) the pool-wide last completion is used for every
+        server, which is exact for a single server.
         """
         if self.n_jobs == 0:
             return 0.0
+        if self.server_completions_s is not None:
+            spans = np.maximum(self.horizon_s, self.server_completions_s)
+            return self.busy_time_s / float(np.sum(spans))
         span = max(self.horizon_s, float(np.max(self.completions)))
         return self.busy_time_s / (span * self.n_servers)
 
@@ -99,7 +134,7 @@ class SimulationResult:
 
 
 class QueueSimulator:
-    """Single-server FIFO queue simulator.
+    """FIFO queue simulator (single server, or a shared-queue server pool).
 
     Parameters
     ----------
@@ -115,6 +150,11 @@ class QueueSimulator:
         Number of parallel servers sharing the FIFO queue (1 reproduces the
         paper's whole-cluster-as-one-server dispatcher; larger values model
         a cluster partitioned into independent job slots).
+    engine:
+        ``"vectorized"`` (default) computes single-server waits with the
+        Lindley kernel from :mod:`repro.queueing.mc`; ``"scalar"`` forces
+        the loop-carried recursion kept as the cross-validation oracle.
+        Both consume identical randomness.
     """
 
     def __init__(
@@ -124,10 +164,14 @@ class QueueSimulator:
         rng: Optional[np.random.Generator] = None,
         *,
         n_servers: int = 1,
+        engine: str = "vectorized",
     ) -> None:
         if n_servers <= 0:
             raise QueueingError(f"n_servers must be positive, got {n_servers}")
+        if engine not in ("vectorized", "scalar"):
+            raise QueueingError(f"unknown engine {engine!r}")
         self._n_servers = int(n_servers)
+        self._engine = engine
         self._arrivals = arrivals
         if callable(service):
             if rng is None:
@@ -147,13 +191,30 @@ class QueueSimulator:
         arrival_rate: float,
         service_time_s: float,
         rng: np.random.Generator,
+        **kwargs: object,
     ) -> "QueueSimulator":
         """Convenience constructor mirroring :class:`~repro.queueing.md1.MD1Queue`."""
-        return cls(PoissonArrivals(arrival_rate, rng), service_time_s)
+        return cls(PoissonArrivals(arrival_rate, rng), service_time_s, **kwargs)  # type: ignore[arg-type]
 
-    def run(self, horizon_s: float) -> SimulationResult:
-        """Simulate all arrivals in [0, horizon) and serve them to completion."""
-        arrivals = self._arrivals.arrival_times(horizon_s)
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _sample_services(self, n: int) -> np.ndarray:
+        """One service draw per job, in arrival order (the RNG contract)."""
+        if self._service_fixed is not None:
+            return np.full(n, self._service_fixed)
+        assert self._service_model is not None and self._rng is not None
+        services = np.fromiter(
+            (self._service_model(self._rng) for _ in range(n)),
+            dtype=float,
+            count=n,
+        )
+        if np.any(services <= 0):
+            raise QueueingError("service model produced a non-positive time")
+        return services
+
+    def _serve(self, arrivals: np.ndarray, horizon_s: float) -> SimulationResult:
+        """Serve a finalised arrival sequence to completion."""
         n = len(arrivals)
         if n == 0:
             return SimulationResult(
@@ -162,66 +223,89 @@ class QueueSimulator:
                 services=np.empty(0),
                 horizon_s=horizon_s,
                 n_servers=self._n_servers,
+                server_completions_s=np.zeros(self._n_servers),
             )
-        if self._service_fixed is not None:
-            services = np.full(n, self._service_fixed)
-        else:
-            assert self._service_model is not None and self._rng is not None
-            services = np.fromiter(
-                (self._service_model(self._rng) for _ in range(n)),
-                dtype=float,
-                count=n,
-            )
-            if np.any(services <= 0):
-                raise QueueingError("service model produced a non-positive time")
-
-        waits = np.empty(n)
+        services = self._sample_services(n)
         if self._n_servers == 1:
-            completion = 0.0
-            for i in range(n):
-                start = arrivals[i] if arrivals[i] > completion else completion
-                waits[i] = start - arrivals[i]
-                completion = start + services[i]
+            if self._engine == "vectorized":
+                if self._service_fixed is not None:
+                    waits = lindley_waits(arrivals, self._service_fixed)
+                else:
+                    waits = lindley_waits(arrivals, services)
+            else:
+                waits = scalar_lindley_waits(arrivals, services)
+            server_completions = np.array(
+                [arrivals[-1] + waits[-1] + services[-1]]
+            )
         else:
-            # Multi-server FIFO: each job takes the earliest-free server.
-            import heapq
-
-            free_at = [0.0] * self._n_servers
-            heapq.heapify(free_at)
-            for i in range(n):
-                earliest = heapq.heappop(free_at)
-                start = arrivals[i] if arrivals[i] > earliest else earliest
-                waits[i] = start - arrivals[i]
-                heapq.heappush(free_at, start + services[i])
+            waits, server_completions = self._serve_pool(arrivals, services)
         return SimulationResult(
             arrivals=arrivals,
             waits=waits,
             services=services,
             horizon_s=horizon_s,
             n_servers=self._n_servers,
+            server_completions_s=server_completions,
         )
 
-    def run_jobs(self, n_jobs: int, horizon_hint_s: Optional[float] = None) -> SimulationResult:
-        """Simulate until at least ``n_jobs`` have arrived, then truncate.
+    def _serve_pool(
+        self, arrivals: np.ndarray, services: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Multi-server FIFO: each job takes the earliest-free server."""
+        n = len(arrivals)
+        waits = np.empty(n)
+        free_at = [0.0] * self._n_servers
+        heapq.heapify(free_at)
+        for i in range(n):
+            earliest = heapq.heappop(free_at)
+            start = arrivals[i] if arrivals[i] > earliest else earliest
+            waits[i] = start - arrivals[i]
+            heapq.heappush(free_at, start + services[i])
+        return waits, np.asarray(free_at, dtype=float)
 
-        Percentile estimates need a controlled sample size; this keeps
-        growing the horizon until the arrival process has produced enough
-        jobs, then keeps exactly the first ``n_jobs``.
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, horizon_s: float) -> SimulationResult:
+        """Simulate all arrivals in [0, horizon) and serve them to completion."""
+        return self._serve(self._arrivals.arrival_times(horizon_s), horizon_s)
+
+    def run_jobs(self, n_jobs: int, horizon_hint_s: Optional[float] = None) -> SimulationResult:
+        """Simulate exactly the first ``n_jobs`` arrivals.
+
+        Percentile estimates need a controlled sample size.  For arrival
+        processes with :meth:`~repro.queueing.arrivals.ArrivalProcess.first_n`
+        (all built-ins) the arrivals are generated exactly, services are
+        sampled once — after the arrivals are final — and
+        ``horizon_hint_s`` is ignored: the result is a pure function of the
+        seeds and ``n_jobs``.  Only for exotic processes without ``first_n``
+        does the horizon-doubling fallback run, and even then services are
+        sampled exactly once, for the truncated arrivals.
         """
         if n_jobs <= 0:
             raise QueueingError(f"n_jobs must be positive, got {n_jobs}")
+        arrivals = self._arrivals.first_n(n_jobs)
+        if arrivals is None:
+            arrivals = self._grow_arrivals(n_jobs, horizon_hint_s)
+        if len(arrivals) != n_jobs:
+            raise QueueingError(
+                f"arrival process returned {len(arrivals)} jobs, "
+                f"expected {n_jobs}"
+            )
+        return self._serve(arrivals, float(arrivals[-1]) + 1e-12)
+
+    def _grow_arrivals(
+        self, n_jobs: int, horizon_hint_s: Optional[float]
+    ) -> np.ndarray:
+        """Fallback for processes without ``first_n``: grow the horizon until
+        enough jobs arrive, then truncate.  Only arrival randomness is
+        consumed here — no services are drawn for the discarded tail."""
         rate = getattr(self._arrivals, "rate", None)
         horizon = horizon_hint_s or (n_jobs / rate * 1.2 if rate else float(n_jobs))
         for _ in range(64):
-            result = self.run(horizon)
-            if result.n_jobs >= n_jobs:
-                return SimulationResult(
-                    arrivals=result.arrivals[:n_jobs],
-                    waits=result.waits[:n_jobs],
-                    services=result.services[:n_jobs],
-                    horizon_s=float(result.arrivals[n_jobs - 1]) + 1e-12,
-                    n_servers=self._n_servers,
-                )
+            arrivals = self._arrivals.arrival_times(horizon)
+            if len(arrivals) >= n_jobs:
+                return arrivals[:n_jobs]
             horizon *= 2.0
         raise QueueingError(
             f"arrival process produced fewer than {n_jobs} jobs even over a "

@@ -1,0 +1,597 @@
+"""Vectorized Monte-Carlo queue engine.
+
+The discrete-event simulator in :mod:`repro.queueing.des` advances the
+single-server FIFO recursion one job at a time::
+
+    start_n      = max(arrival_n, completion_{n-1})
+    completion_n = start_n + service_n
+
+The loop-carried dependency makes it a pure-Python bottleneck, which caps
+the replication counts the statistical validation of the paper's
+95th-percentile claims can afford.  This module removes the loop with the
+vectorized Lindley form.  Writing ``CS_n = sum_{j<=n} S_j`` for the service
+cumsum, the completion time of job ``n`` is
+
+    C_n = CS_n + max_{k<=n} (A_k - CS_{k-1})
+
+so with ``B_n = A_n - CS_{n-1}`` the waiting times collapse to
+
+    W_n = C_n - S_n - A_n = running_max(B)_n - B_n
+
+— three elementwise passes plus one :func:`numpy.maximum.accumulate`, no
+Python loop.  The scalar recursion is kept here as
+:func:`scalar_lindley_waits`, the oracle the vectorized kernel is
+property-tested against (agreement within ``1e-12`` of the simulated span;
+the two differ only by cumulative-sum round-off, which is O(n*eps*T)).
+
+Replications
+------------
+:class:`MonteCarloQueue` runs batched replications: ``n_reps`` independent
+simulations of ``n_jobs`` jobs each, as rows of a conceptual ``(reps, jobs)``
+array.  Each replication draws from its own :class:`numpy.random.Generator`
+seeded via ``SeedSequence.spawn`` from a single root seed, so results are
+reproducible and independent of replication execution order.  Within one
+replication the randomness contract is: first one batch of ``n_jobs``
+inter-arrival gaps, then (for random service) one batch of ``n_jobs``
+service times — arrivals are finalised before any service draw.
+
+The per-replication wait/response vectors are reduced on the fly (the
+working set stays cache-resident); :class:`ReplicatedResult` keeps the
+per-replication percentiles, utilisation and busy/idle split, and derives
+mean estimates with normal (Student-t) and bootstrap confidence intervals
+for the cross-validation harness in
+:mod:`repro.experiments.validation_mc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import QueueingError
+from repro.util.rng import DEFAULT_SEED
+
+__all__ = [
+    "BatchServiceSampler",
+    "lindley_waits",
+    "scalar_lindley_waits",
+    "waits_agreement",
+    "exponential_service",
+    "uniform_service",
+    "ConfidenceInterval",
+    "ReplicatedResult",
+    "MonteCarloQueue",
+]
+
+#: A batched service sampler: given an RNG and a count, return that many
+#: service times (seconds) in one vectorized draw.  The batched counterpart
+#: of :data:`repro.queueing.des.ServiceModel`.
+BatchServiceSampler = Callable[[np.random.Generator, int], np.ndarray]
+
+#: Percentiles every replication records (the paper reports p95; p50/p99
+#: bracket the tail for the validation report).
+TRACKED_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+def lindley_waits(arrivals: np.ndarray, services: Union[float, np.ndarray]) -> np.ndarray:
+    """Waiting times of a single-server FIFO queue, vectorized.
+
+    Accepts 1-D arrays (one replication) or 2-D ``(reps, jobs)`` arrays
+    batched along the last axis.  ``services`` may be a scalar (the
+    deterministic M/D/1 case) or an array matching ``arrivals``.
+    """
+    a = np.asarray(arrivals, dtype=float)
+    if a.size == 0:
+        return np.zeros_like(a)
+    if np.isscalar(services) or np.ndim(services) == 0:
+        d = float(services)
+        # CS_{n-1} = d * (n - 1): no service array needed.
+        b = a - d * np.arange(a.shape[-1], dtype=float)
+    else:
+        s = np.asarray(services, dtype=float)
+        if s.shape != a.shape:
+            raise QueueingError(
+                f"arrival/service shape mismatch: {a.shape} vs {s.shape}"
+            )
+        cs_prev = np.cumsum(s, axis=-1) - s
+        b = a - cs_prev
+    m = np.maximum.accumulate(b, axis=-1)
+    return m - b
+
+
+def scalar_lindley_waits(
+    arrivals: np.ndarray, services: Union[float, np.ndarray]
+) -> np.ndarray:
+    """The loop-carried FIFO recursion — the oracle for :func:`lindley_waits`.
+
+    This is the exact per-job recursion the discrete-event simulator used
+    before the vectorized fast path existed; it is kept as the reference
+    the kernel is property-tested (and benchmarked) against.
+    """
+    a = np.asarray(arrivals, dtype=float)
+    if a.ndim != 1:
+        raise QueueingError("the scalar oracle handles one replication at a time")
+    n = a.size
+    if np.isscalar(services) or np.ndim(services) == 0:
+        s = np.full(n, float(services))
+    else:
+        s = np.asarray(services, dtype=float)
+    waits = np.empty(n)
+    completion = 0.0
+    for i in range(n):
+        arrival = a[i]
+        start = arrival if arrival > completion else completion
+        waits[i] = start - arrival
+        completion = start + s[i]
+    return waits
+
+
+def waits_agreement(
+    vectorized: np.ndarray, scalar: np.ndarray, arrivals: np.ndarray,
+    services: Union[float, np.ndarray],
+) -> float:
+    """Span-normalised disagreement between the two kernels.
+
+    The kernels compute identical quantities in different summation orders,
+    so their difference is bounded by the round-off of a length-n cumulative
+    sum — an *absolute* error proportional to the simulated span.  The
+    engine's contract is therefore stated scale-free::
+
+        max |W_vec - W_scalar| / max(1, span)  <=  1e-12
+
+    where ``span`` is the last completion time.
+    """
+    v = np.asarray(vectorized, dtype=float)
+    s = np.asarray(scalar, dtype=float)
+    if v.size == 0:
+        return 0.0
+    a = np.asarray(arrivals, dtype=float)
+    last_service = (
+        float(services) if np.ndim(services) == 0 else float(np.asarray(services).flat[-1])
+    )
+    span = float(a.flat[-1] + s.flat[-1] + last_service)
+    return float(np.max(np.abs(v - s)) / max(1.0, span))
+
+
+# ----------------------------------------------------------------------
+# Service samplers
+# ----------------------------------------------------------------------
+def exponential_service(mean_s: float) -> BatchServiceSampler:
+    """Exponential service times with the given mean (M/M/1 service)."""
+    if mean_s <= 0:
+        raise QueueingError(f"mean service time must be positive, got {mean_s}")
+
+    def sampler(rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(mean_s, size)
+
+    return sampler
+
+
+def uniform_service(low_s: float, high_s: float) -> BatchServiceSampler:
+    """Uniform service times on ``[low_s, high_s)`` — bounded variability."""
+    if not 0 < low_s <= high_s:
+        raise QueueingError(f"need 0 < low <= high, got ({low_s}, {high_s})")
+
+    def sampler(rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(low_s, high_s, size)
+
+    return sampler
+
+
+# ----------------------------------------------------------------------
+# Replicated results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean estimate with a two-sided confidence interval."""
+
+    mean: float
+    lo: float
+    hi: float
+    level: float
+    method: str
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.lo <= value <= self.hi
+
+    @property
+    def half_width(self) -> float:
+        """Half the interval width."""
+        return 0.5 * (self.hi - self.lo)
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Per-replication statistics of a batched Monte-Carlo run.
+
+    All arrays have length ``n_reps``.  Response-time percentiles and means
+    are computed on the post-warm-up jobs; the utilisation and busy/idle
+    split cover the full replication span (the energy accounting needs the
+    whole busy period, not just the measured window).
+    """
+
+    n_jobs: int
+    n_reps: int
+    warmup_jobs: int
+    arrival_rate: float
+    #: (n_percentiles, n_reps) response-time percentiles, rows ordered as
+    #: :data:`TRACKED_PERCENTILES`.
+    response_percentiles_s: np.ndarray
+    mean_response_s: np.ndarray
+    mean_wait_s: np.ndarray
+    utilisation: np.ndarray
+    busy_time_s: np.ndarray
+    idle_time_s: np.ndarray
+    span_s: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.n_reps < 1:
+            raise QueueingError("need at least one replication")
+        expected = (len(TRACKED_PERCENTILES), self.n_reps)
+        if self.response_percentiles_s.shape != expected:
+            raise QueueingError(
+                f"percentile matrix must be {expected}, "
+                f"got {self.response_percentiles_s.shape}"
+            )
+
+    # -- access ---------------------------------------------------------
+    def percentile_samples(self, q: float) -> np.ndarray:
+        """Per-replication estimates of the ``q``-th response percentile."""
+        for i, tracked in enumerate(TRACKED_PERCENTILES):
+            if abs(tracked - q) < 1e-9:
+                return self.response_percentiles_s[i]
+        raise QueueingError(
+            f"percentile {q} not tracked; available: {TRACKED_PERCENTILES}"
+        )
+
+    @property
+    def p50_s(self) -> np.ndarray:
+        """Per-replication median response times."""
+        return self.percentile_samples(50.0)
+
+    @property
+    def p95_s(self) -> np.ndarray:
+        """Per-replication 95th-percentile response times — the paper's
+        Figures 9-12 metric."""
+        return self.percentile_samples(95.0)
+
+    @property
+    def p99_s(self) -> np.ndarray:
+        """Per-replication 99th-percentile response times."""
+        return self.percentile_samples(99.0)
+
+    # -- interval estimates ---------------------------------------------
+    def _mean_ci_normal(self, samples: np.ndarray, level: float) -> ConfidenceInterval:
+        from scipy import stats
+
+        r = samples.size
+        mean = float(samples.mean())
+        if r < 2:
+            raise QueueingError("normal CI needs at least 2 replications")
+        half = float(
+            stats.t.ppf(0.5 + level / 2.0, df=r - 1) * samples.std(ddof=1) / np.sqrt(r)
+        )
+        return ConfidenceInterval(mean, mean - half, mean + half, level, "normal")
+
+    def _mean_ci_bootstrap(
+        self, samples: np.ndarray, level: float, n_resamples: int, seed: int
+    ) -> ConfidenceInterval:
+        r = samples.size
+        if r < 2:
+            raise QueueingError("bootstrap CI needs at least 2 replications")
+        rng = np.random.default_rng(np.random.SeedSequence([seed, r, n_resamples]))
+        idx = rng.integers(0, r, size=(n_resamples, r))
+        means = samples[idx].mean(axis=1)
+        alpha = (1.0 - level) / 2.0
+        lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+        return ConfidenceInterval(
+            float(samples.mean()), float(lo), float(hi), level, "bootstrap"
+        )
+
+    def percentile_ci(
+        self,
+        q: float = 95.0,
+        *,
+        level: float = 0.99,
+        method: str = "normal",
+        n_resamples: int = 2000,
+        seed: int = DEFAULT_SEED,
+    ) -> ConfidenceInterval:
+        """CI for the mean ``q``-th response percentile across replications.
+
+        ``method`` is ``"normal"`` (Student-t over the per-replication
+        estimates) or ``"bootstrap"`` (percentile bootstrap over
+        replications).
+        """
+        if not 0.0 < level < 1.0:
+            raise QueueingError(f"confidence level must be in (0, 1), got {level}")
+        samples = self.percentile_samples(q)
+        if method == "normal":
+            return self._mean_ci_normal(samples, level)
+        if method == "bootstrap":
+            return self._mean_ci_bootstrap(samples, level, n_resamples, seed)
+        raise QueueingError(f"unknown CI method {method!r}")
+
+    def mean_response_ci(
+        self, *, level: float = 0.99, method: str = "normal"
+    ) -> ConfidenceInterval:
+        """CI for the mean response time across replications."""
+        if method == "normal":
+            return self._mean_ci_normal(self.mean_response_s, level)
+        if method == "bootstrap":
+            return self._mean_ci_bootstrap(
+                self.mean_response_s, level, 2000, DEFAULT_SEED
+            )
+        raise QueueingError(f"unknown CI method {method!r}")
+
+    @property
+    def mean_utilisation(self) -> float:
+        """Mean per-replication busy fraction."""
+        return float(self.utilisation.mean())
+
+    @property
+    def busy_fraction(self) -> float:
+        """Pooled busy time over pooled span — the energy-accounting split."""
+        return float(self.busy_time_s.sum() / self.span_s.sum())
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class MonteCarloQueue:
+    """Batched Monte-Carlo simulation of the paper's dispatcher queue.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate ``lambda_job`` (jobs/s).
+    service:
+        Either a fixed service time in seconds (the paper's deterministic
+        T_P — an M/D/1 queue) or a :data:`BatchServiceSampler` for general
+        service distributions.
+    seed:
+        Root seed; each replication's generator is spawned from it.
+    warmup_fraction:
+        Fraction of each replication's jobs discarded from the response
+        statistics to remove the empty-start transient (utilisation and the
+        busy/idle split still cover the full span).
+    """
+
+    def __init__(
+        self,
+        arrival_rate: float,
+        service: Union[float, BatchServiceSampler],
+        *,
+        seed: int = DEFAULT_SEED,
+        warmup_fraction: float = 0.1,
+    ) -> None:
+        if arrival_rate <= 0:
+            raise QueueingError(f"arrival rate must be positive, got {arrival_rate}")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise QueueingError(
+                f"warmup fraction must be in [0, 1), got {warmup_fraction}"
+            )
+        if callable(service):
+            self._sampler: Optional[BatchServiceSampler] = service
+            self._service_fixed: Optional[float] = None
+        else:
+            if service <= 0:
+                raise QueueingError(f"service time must be positive, got {service}")
+            self._sampler = None
+            self._service_fixed = float(service)
+        self._rate = float(arrival_rate)
+        self._seed = int(seed)
+        self._warmup_fraction = float(warmup_fraction)
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def md1(
+        cls, arrival_rate: float, service_time_s: float, **kwargs: object
+    ) -> "MonteCarloQueue":
+        """The paper's M/D/1 queue (deterministic service at T_P)."""
+        return cls(arrival_rate, float(service_time_s), **kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_utilisation(
+        cls, utilisation: float, service_time_s: float, **kwargs: object
+    ) -> "MonteCarloQueue":
+        """Build the M/D/1 queue achieving a target utilisation
+        (``U = T_P * lambda_job`` inverted, like
+        :meth:`repro.queueing.md1.MD1Queue.from_utilisation`)."""
+        if not 0.0 < utilisation < 1.0:
+            raise QueueingError(f"utilisation must be in (0, 1), got {utilisation}")
+        return cls(
+            utilisation / service_time_s, float(service_time_s), **kwargs  # type: ignore[arg-type]
+        )
+
+    # -- properties ------------------------------------------------------
+    @property
+    def arrival_rate(self) -> float:
+        """Poisson arrival rate (jobs/s)."""
+        return self._rate
+
+    @property
+    def service_time_s(self) -> Optional[float]:
+        """The deterministic service time, or None for random service."""
+        return self._service_fixed
+
+    @property
+    def utilisation(self) -> Optional[float]:
+        """``lambda * D`` for deterministic service, else None."""
+        if self._service_fixed is None:
+            return None
+        return self._rate * self._service_fixed
+
+    def spawn_generators(self, n_reps: int) -> list[np.random.Generator]:
+        """The per-replication generators (exposed for reproducibility
+        tests): stream ``r`` is ``default_rng(SeedSequence(seed).spawn(n)[r])``."""
+        root = np.random.SeedSequence(self._seed)
+        return [np.random.default_rng(child) for child in root.spawn(n_reps)]
+
+    # -- simulation ------------------------------------------------------
+    def _replication_inputs(
+        self, rng: np.random.Generator, n_jobs: int,
+        gaps: np.ndarray,
+    ) -> Tuple[np.ndarray, Union[float, np.ndarray]]:
+        """Sample one replication's arrivals (into ``gaps``) and services."""
+        rng.standard_exponential(n_jobs, out=gaps)
+        np.multiply(gaps, 1.0 / self._rate, out=gaps)
+        arrivals = np.cumsum(gaps)
+        if self._service_fixed is not None:
+            return arrivals, self._service_fixed
+        services = np.asarray(self._sampler(rng, n_jobs), dtype=float)  # type: ignore[misc]
+        if services.shape != (n_jobs,):
+            raise QueueingError(
+                f"service sampler returned shape {services.shape}, "
+                f"expected ({n_jobs},)"
+            )
+        if np.any(services <= 0):
+            raise QueueingError("service sampler produced a non-positive time")
+        return arrivals, services
+
+    def _iter_waits(self, n_jobs: int, n_reps: int):
+        """Yield ``(arrivals, services, waits)`` per replication.
+
+        The vectorized hot path: every array except the sampler's service
+        draw lives in buffers reused across replications (one replication's
+        working set stays cache-resident, and no per-rep page faulting).
+        Consumers must reduce or copy each yield before advancing — the
+        buffers are overwritten by the next replication.
+        """
+        gaps = np.empty(n_jobs)
+        arrivals = np.empty(n_jobs)
+        b = np.empty(n_jobs)
+        waits = np.empty(n_jobs)
+        if self._service_fixed is not None:
+            # CS_{n-1} for deterministic service, shared by every rep.
+            drift = self._service_fixed * np.arange(n_jobs, dtype=float)
+        else:
+            cs_prev = np.empty(n_jobs)
+        inv_rate = 1.0 / self._rate
+        for rng in self.spawn_generators(n_reps):
+            rng.standard_exponential(n_jobs, out=gaps)
+            np.multiply(gaps, inv_rate, out=gaps)
+            np.cumsum(gaps, out=arrivals)
+            if self._service_fixed is not None:
+                services: Union[float, np.ndarray] = self._service_fixed
+                np.subtract(arrivals, drift, out=b)
+            else:
+                services = np.asarray(self._sampler(rng, n_jobs), dtype=float)  # type: ignore[misc]
+                if services.shape != (n_jobs,):
+                    raise QueueingError(
+                        f"service sampler returned shape {services.shape}, "
+                        f"expected ({n_jobs},)"
+                    )
+                if np.any(services <= 0):
+                    raise QueueingError(
+                        "service sampler produced a non-positive time"
+                    )
+                np.cumsum(services, out=cs_prev)
+                np.subtract(cs_prev, services, out=cs_prev)
+                np.subtract(arrivals, cs_prev, out=b)
+            np.maximum.accumulate(b, out=waits)
+            np.subtract(waits, b, out=waits)
+            yield arrivals, services, waits
+
+    def simulate_waits(
+        self, n_jobs: int, n_reps: int, *, engine: str = "vectorized"
+    ) -> np.ndarray:
+        """All replications' waiting times as a ``(n_reps, n_jobs)`` array.
+
+        ``engine`` selects the vectorized Lindley kernel (default) or the
+        ``"scalar"`` loop oracle; both consume identical randomness, so the
+        outputs differ only by cumulative-sum round-off.
+        """
+        if n_jobs <= 0:
+            raise QueueingError(f"n_jobs must be positive, got {n_jobs}")
+        if n_reps <= 0:
+            raise QueueingError(f"n_reps must be positive, got {n_reps}")
+        if engine not in ("vectorized", "scalar"):
+            raise QueueingError(f"unknown engine {engine!r}")
+        out = np.empty((n_reps, n_jobs))
+        if engine == "vectorized":
+            for r, (_, _, waits) in enumerate(self._iter_waits(n_jobs, n_reps)):
+                out[r] = waits
+        else:
+            gaps = np.empty(n_jobs)
+            for r, rng in enumerate(self.spawn_generators(n_reps)):
+                arrivals, services = self._replication_inputs(rng, n_jobs, gaps)
+                out[r] = scalar_lindley_waits(arrivals, services)
+        return out
+
+    def run(self, n_jobs: int, n_reps: int) -> ReplicatedResult:
+        """Run ``n_reps`` independent replications of ``n_jobs`` jobs each.
+
+        Each replication is reduced to its tracked percentiles, means and
+        busy/idle split immediately, while its arrays are cache-hot; the
+        full ``(reps, jobs)`` wait matrix is never materialised (use
+        :meth:`simulate_waits` when the raw waits are needed).
+        """
+        if n_jobs <= 0:
+            raise QueueingError(f"n_jobs must be positive, got {n_jobs}")
+        if n_reps <= 0:
+            raise QueueingError(f"n_reps must be positive, got {n_reps}")
+        warmup = int(self._warmup_fraction * n_jobs)
+        if warmup >= n_jobs:
+            warmup = n_jobs - 1
+
+        pct = np.empty((len(TRACKED_PERCENTILES), n_reps))
+        mean_resp = np.empty(n_reps)
+        mean_wait = np.empty(n_reps)
+        util = np.empty(n_reps)
+        busy = np.empty(n_reps)
+        idle = np.empty(n_reps)
+        span = np.empty(n_reps)
+        q = np.asarray(TRACKED_PERCENTILES)
+
+        for r, (arrivals, services, waits) in enumerate(
+            self._iter_waits(n_jobs, n_reps)
+        ):
+            if self._service_fixed is not None:
+                d = self._service_fixed
+                busy_r = n_jobs * d
+                measured = waits[warmup:]
+                # R = W + D exactly: percentiles shift by D.
+                pct[:, r] = np.percentile(measured, q) + d
+                mean_wait[r] = measured.mean()
+                mean_resp[r] = mean_wait[r] + d
+                last_completion = arrivals[-1] + waits[-1] + d
+            else:
+                responses = waits + services
+                busy_r = float(services.sum())
+                measured = responses[warmup:]
+                pct[:, r] = np.percentile(measured, q)
+                mean_resp[r] = measured.mean()
+                mean_wait[r] = waits[warmup:].mean()
+                last_completion = arrivals[-1] + waits[-1] + services[-1]
+            span[r] = last_completion
+            busy[r] = busy_r
+            idle[r] = last_completion - busy_r
+            util[r] = busy_r / last_completion
+        return ReplicatedResult(
+            n_jobs=n_jobs,
+            n_reps=n_reps,
+            warmup_jobs=warmup,
+            arrival_rate=self._rate,
+            response_percentiles_s=pct,
+            mean_response_s=mean_resp,
+            mean_wait_s=mean_wait,
+            utilisation=util,
+            busy_time_s=busy,
+            idle_time_s=idle,
+            span_s=span,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        service = (
+            f"D={self._service_fixed:.6g}s"
+            if self._service_fixed is not None
+            else "service=<sampler>"
+        )
+        return f"MonteCarloQueue(lambda={self._rate:.6g}/s, {service}, seed={self._seed})"

@@ -2,12 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.cluster.configuration import ClusterConfiguration
 from repro.util.rng import RngRegistry
 from repro.workloads.suite import paper_workloads
+
+# Hypothesis profiles: "ci" (default) derandomizes so every run replays the
+# same example sequence — statistical property tests must not flake in CI —
+# while "dev" keeps random exploration for local bug-hunting.  Select with
+# HYPOTHESIS_PROFILE=dev.
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,154 @@
+"""Statistical cross-validation: analytic M/D/1 p95 vs the MC engine.
+
+The paper's response-time claims rest on closed-form M/D/1 percentiles.
+These tests check the analytic 95th percentile lands inside the Monte-Carlo
+99% confidence interval — fixed seeds, derandomized hypothesis profile, so
+the verdicts never flake.  The full paper grid (all workloads x all mixes x
+five utilisations) is marked ``slow``; the default run covers every
+workload on both pure node types across the same utilisation grid.
+"""
+
+import pytest
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.errors import ReproError
+from repro.experiments.validation_mc import (
+    VALIDATION_GRID,
+    VALIDATION_MIXES,
+    VALIDATION_WORKLOADS,
+    AgreementCell,
+    run_validation,
+    render_validation_report,
+    validate_cell,
+)
+from repro.queueing.mc import ConfidenceInterval
+
+# Grid cells are cheap-ish (~25 ms each at these settings) but there are
+# many; keep default-run cells small and stable.
+_JOBS, _REPS = 8_000, 25
+
+
+def _pure_config(node):
+    return ClusterConfiguration.mix({node: 1})
+
+
+class TestAnalyticInsideSimulatedCI:
+    """ISSUE S3: analytic p95 inside the MC 99% CI on a >= 5-point grid,
+    for EP, memcached and x264 on both A9 and K10."""
+
+    @pytest.mark.parametrize("node", ["A9", "K10"])
+    @pytest.mark.parametrize("name", VALIDATION_WORKLOADS)
+    def test_workload_grid(self, workloads, name, node):
+        assert len(VALIDATION_GRID) >= 5
+        workload = workloads[name]
+        config = _pure_config(node)
+        for u in VALIDATION_GRID:
+            cell = validate_cell(
+                workload, config, u, n_jobs=_JOBS, n_reps=_REPS
+            )
+            assert cell.agrees, (
+                f"{name} on {node} at u={u}: analytic "
+                f"{cell.analytic_p95_s:.6g} outside "
+                f"[{cell.ci.lo:.6g}, {cell.ci.hi:.6g}]"
+            )
+
+    def test_cell_fields(self, workloads, single_a9):
+        cell = validate_cell(
+            workloads["EP"], single_a9, 0.5,
+            n_jobs=_JOBS, n_reps=_REPS,
+        )
+        assert isinstance(cell, AgreementCell)
+        assert isinstance(cell.ci, ConfidenceInterval)
+        assert cell.config_label == "1 A9"
+        assert cell.utilisation == 0.5
+        assert cell.analytic_p95_s > cell.service_time_s
+        assert cell.relative_gap < 0.05  # CI mean hugs the analytic value
+
+    def test_deterministic_given_seed(self, workloads, single_k10):
+        a = validate_cell(
+            workloads["x264"], single_k10, 0.7,
+            n_jobs=_JOBS, n_reps=_REPS, seed=5,
+        )
+        b = validate_cell(
+            workloads["x264"], single_k10, 0.7,
+            n_jobs=_JOBS, n_reps=_REPS, seed=5,
+        )
+        assert (a.ci.lo, a.ci.mean, a.ci.hi) == (b.ci.lo, b.ci.mean, b.ci.hi)
+
+    def test_invalid_utilisation_rejected(self, workloads, single_a9):
+        with pytest.raises(ReproError):
+            validate_cell(workloads["EP"], single_a9, 1.2)
+
+
+class TestRunValidation:
+    def test_small_grid_report(self, workloads):
+        report = run_validation(
+            grid=(0.3, 0.7),
+            mixes=((1, 0), (0, 1)),
+            workloads=("EP",),
+            n_jobs=_JOBS,
+            n_reps=_REPS,
+        )
+        assert len(report.cells) == 4
+        assert report.all_agree
+        assert report.agreement_fraction == 1.0
+        assert report.flagged == ()
+
+    @pytest.mark.slow
+    def test_full_paper_grid(self):
+        """The complete grid the benchmark JSON summarises: every workload
+        x every mix (pure and heterogeneous Pareto points) x 5
+        utilisations."""
+        report = run_validation(n_jobs=20_000, n_reps=40)
+        expected = (
+            len(VALIDATION_WORKLOADS)
+            * len(VALIDATION_MIXES)
+            * len(VALIDATION_GRID)
+        )
+        assert len(report.cells) == expected
+        assert report.all_agree, [
+            (c.workload_name, c.config_label, c.utilisation)
+            for c in report.flagged
+        ]
+
+    def test_render_report(self, workloads):
+        report = run_validation(
+            grid=(0.5,),
+            mixes=((1, 0),),
+            workloads=("EP", "memcached"),
+            n_jobs=_JOBS,
+            n_reps=_REPS,
+        )
+        text = render_validation_report(report)
+        assert "EP" in text and "memcached" in text
+        assert "all cells agree" in text
+
+    def test_render_flags_disagreement(self, workloads):
+        report = run_validation(
+            grid=(0.5,),
+            mixes=((1, 0),),
+            workloads=("EP",),
+            n_jobs=_JOBS,
+            n_reps=_REPS,
+        )
+        cell = report.cells[0]
+        # Forge a disagreeing cell: shift the analytic value far outside.
+        bad = AgreementCell(
+            workload_name=cell.workload_name,
+            config_label=cell.config_label,
+            utilisation=cell.utilisation,
+            service_time_s=cell.service_time_s,
+            analytic_p95_s=cell.ci.hi * 10.0,
+            ci=cell.ci,
+            n_jobs=cell.n_jobs,
+            n_reps=cell.n_reps,
+        )
+        forged = type(report)(cells=(bad,), level=report.level)
+        assert not forged.all_agree
+        assert forged.agreement_fraction == 0.0
+        assert "FLAG" in render_validation_report(forged)
+        assert "1 of 1 cells FLAGGED" in render_validation_report(forged)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ReproError):
+            run_validation(workloads=("definitely-not-a-workload",))

@@ -118,3 +118,54 @@ class TestSimulateAdaptation:
             simulate_adaptation(workloads["EP"], [0.5], interval_s=0.0)
         with pytest.raises(ModelError):
             simulate_adaptation(workloads["EP"], [0.5], candidates=[])
+
+
+class TestAdaptationTailPercentiles:
+    """The energy-only adaptation policy, audited for tail latency with the
+    Monte-Carlo engine."""
+
+    def test_every_interval_checked_and_agrees(self, workloads):
+        from repro.extensions.dynamic import adaptation_tail_percentiles
+
+        candidates = scaled_candidates()
+        result = simulate_adaptation(
+            workloads["EP"], [0.2, 0.6, 0.9], candidates=candidates
+        )
+        checks = adaptation_tail_percentiles(
+            workloads["EP"], result, candidates=candidates,
+            n_jobs=6_000, n_reps=20,
+        )
+        assert len(checks) == len(result.intervals)
+        for check, interval in zip(checks, result.intervals):
+            assert check.chosen_label == interval.chosen_label
+            assert check.utilisation == interval.utilisation
+            assert check.analytic_p95_s >= check.service_time_s
+            assert check.agrees, (check.chosen_label, check.utilisation)
+
+    def test_idle_interval_has_no_queueing(self, workloads):
+        from repro.extensions.dynamic import adaptation_tail_percentiles
+
+        candidates = scaled_candidates()
+        result = simulate_adaptation(
+            workloads["EP"], [0.0, 0.5], candidates=candidates
+        )
+        checks = adaptation_tail_percentiles(
+            workloads["EP"], result, candidates=candidates,
+            n_jobs=4_000, n_reps=15,
+        )
+        idle = checks[0]
+        assert idle.utilisation == 0.0
+        assert idle.analytic_p95_s == idle.service_time_s
+        assert idle.agrees
+
+    def test_foreign_candidates_rejected(self, workloads):
+        from repro.extensions.dynamic import adaptation_tail_percentiles
+
+        result = simulate_adaptation(
+            workloads["EP"], [0.5], candidates=scaled_candidates()
+        )
+        with pytest.raises(ModelError):
+            adaptation_tail_percentiles(
+                workloads["EP"], result,
+                candidates=[ClusterConfiguration.mix({"A9": 1})],
+            )

@@ -119,6 +119,41 @@ class TestClaimResponseTime:
         assert ep_delta < 0.1
         assert x264_delta > 1.0
 
+    def test_fig9_claim_backed_by_simulation(self):
+        """The Fig. 9 deltas re-derived from simulated ground truth: the
+        Monte-Carlo p95 CIs reproduce 'EP near-flat, x264 seconds-large'
+        without the analytic M/D/1 formula in the loop."""
+        full = repro.ClusterConfiguration.mix({"A9": 32, "K10": 12})
+        small = repro.ClusterConfiguration.mix({"A9": 25, "K10": 5})
+        u = 0.6
+        cis = {
+            (name, cfg.label()): repro.simulated_response_percentile_s(
+                repro.workload(name), cfg, u, n_jobs=10_000, n_reps=25
+            )
+            for name in ("EP", "x264")
+            for cfg in (full, small)
+        }
+        ep_delta = (
+            cis[("EP", small.label())].mean - cis[("EP", full.label())].mean
+        )
+        x264_delta = (
+            cis[("x264", small.label())].mean
+            - cis[("x264", full.label())].mean
+        )
+        # Same thresholds as the analytic check above, now on simulated
+        # means; the x264 gap holds even between the conservative CI edges.
+        assert ep_delta < 0.1
+        assert x264_delta > 1.0
+        assert (
+            cis[("x264", small.label())].lo - cis[("x264", full.label())].hi
+            > 1.0
+        )
+        # And each simulated CI brackets its analytic counterpart.
+        for name in ("EP", "x264"):
+            for cfg in (full, small):
+                analytic = repro.p95_response_s(repro.workload(name), cfg, u)
+                assert cis[(name, cfg.label())].contains(analytic)
+
     def test_relative_degradation_worse_for_brawny_favouring_workload(self):
         """Removing K10s hurts x264 (K10-favouring) relatively more than
         EP (A9-favouring) — the PPR-based explanation of Section III-E."""

@@ -151,3 +151,149 @@ class TestAgainstAnalytics:
             assert result.empirical_wait_cdf(t) == pytest.approx(
                 q.wait_cdf(t), abs=0.05
             )
+
+
+class _ScriptedService:
+    """A stateful service model yielding a scripted sequence of times.
+
+    Stateful on purpose: any re-sampling (e.g. a horizon retry drawing
+    services twice) shifts the sequence and changes the waits, so these
+    tests detect it.
+    """
+
+    def __init__(self, times):
+        self._times = list(times)
+        self._i = 0
+
+    def __call__(self, rng):
+        t = self._times[self._i % len(self._times)]
+        self._i += 1
+        return t
+
+
+class TestMultiServerUtilisation:
+    """S1 regression: utilisation must use per-server busy spans."""
+
+    def test_unbalanced_servers_fully_busy(self, rng):
+        # Two servers, both jobs arrive at t=0; services 1 s and 9 s.
+        # Each server is 100% busy over its own span, so utilisation is
+        # exactly 1.0.  The old formula divided total busy time (10 s) by
+        # n_servers * last completion (2 * 9 s) and reported ~0.556.
+        sim = QueueSimulator(
+            DeterministicArrivals(1e9),  # arrivals at ~0, ~0: effectively a batch
+            _ScriptedService([1.0, 9.0]),
+            rng,
+            n_servers=2,
+        )
+        result = sim.run_jobs(2)
+        assert result.utilisation == pytest.approx(1.0)
+
+    def test_result_exposes_server_completions(self, rng):
+        sim = QueueSimulator(
+            PoissonArrivals(2.0, rng),
+            lambda r: float(r.exponential(0.4)),
+            rng,
+            n_servers=3,
+        )
+        result = sim.run_jobs(200)
+        assert result.server_completions_s is not None
+        assert result.server_completions_s.shape == (3,)
+
+    def test_server_completions_length_validated(self):
+        with pytest.raises(QueueingError):
+            SimulationResult(
+                arrivals=np.zeros(2), waits=np.zeros(2), services=np.ones(2),
+                horizon_s=5.0, n_servers=2,
+                server_completions_s=np.array([1.0]),
+            )
+
+    def test_legacy_results_fall_back(self):
+        # Results built without per-server spans keep the old estimate.
+        result = SimulationResult(
+            arrivals=np.array([0.0, 0.0]), waits=np.array([0.0, 0.0]),
+            services=np.array([1.0, 9.0]), horizon_s=1.0, n_servers=2,
+        )
+        assert result.utilisation == pytest.approx(10.0 / 18.0)
+
+    def test_single_server_unchanged(self):
+        sim = QueueSimulator(DeterministicArrivals(1.0), 0.25)
+        result = sim.run(4.0)  # 4 jobs, busy 1 s over the 4 s horizon
+        assert result.utilisation == pytest.approx(0.25)
+
+
+class TestSeedDeterminism:
+    """S2 regression: run_jobs randomness depends only on seeds and n."""
+
+    @staticmethod
+    def _run(horizon_hint, seed=4242):
+        sim = QueueSimulator(
+            PoissonArrivals(5.0, np.random.default_rng(seed)),
+            _ScriptedService([0.1, 0.3, 0.05, 0.2]),
+            np.random.default_rng(seed + 1),
+        )
+        return sim.run_jobs(300, horizon_hint_s=horizon_hint)
+
+    def test_horizon_hint_does_not_change_randomness(self):
+        # Before the fix, a too-small first horizon guess triggered retries
+        # that advanced the arrival stream and re-drew services, so the
+        # realised sample depended on the hint.  Now arrivals come from one
+        # first_n batch and services are drawn once, post-truncation.
+        base = self._run(None)
+        for hint in (1e-6, 1.0, 1e9):
+            other = self._run(hint)
+            np.testing.assert_array_equal(base.arrivals, other.arrivals)
+            np.testing.assert_array_equal(base.services, other.services)
+            np.testing.assert_array_equal(base.waits, other.waits)
+
+    def test_same_seed_same_result(self, rng):
+        a = QueueSimulator.md1(
+            20.0, 0.03, np.random.default_rng(77)
+        ).run_jobs(1_000)
+        b = QueueSimulator.md1(
+            20.0, 0.03, np.random.default_rng(77)
+        ).run_jobs(1_000)
+        np.testing.assert_array_equal(a.arrivals, b.arrivals)
+        np.testing.assert_array_equal(a.waits, b.waits)
+
+
+class TestEngineParity:
+    """The vectorized fast path against the scalar oracle loop."""
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(QueueingError):
+            QueueSimulator(DeterministicArrivals(1.0), 0.5, engine="magic")
+
+    @pytest.mark.parametrize("engine_pair", [("vectorized", "scalar")])
+    def test_md1_engines_agree(self, engine_pair):
+        results = [
+            QueueSimulator(
+                PoissonArrivals(0.7, np.random.default_rng(55)),
+                1.0,
+                engine=engine,
+            ).run_jobs(5_000)
+            for engine in engine_pair
+        ]
+        span = max(1.0, float(results[0].completions[-1]))
+        assert (
+            np.max(np.abs(results[0].waits - results[1].waits)) / span
+            <= 1e-12
+        )
+
+    def test_service_model_engines_agree(self):
+        results = [
+            QueueSimulator(
+                PoissonArrivals(2.0, np.random.default_rng(66)),
+                lambda r: float(r.exponential(0.45)),
+                np.random.default_rng(67),
+                engine=engine,
+            ).run_jobs(5_000)
+            for engine in ("vectorized", "scalar")
+        ]
+        np.testing.assert_array_equal(
+            results[0].services, results[1].services
+        )
+        span = max(1.0, float(results[0].completions[-1]))
+        assert (
+            np.max(np.abs(results[0].waits - results[1].waits)) / span
+            <= 1e-12
+        )

@@ -104,6 +104,33 @@ class TestCommands:
         assert code == 0
         assert "exhaustive" in capsys.readouterr().out
 
+    def test_validate_mc_defaults(self):
+        args = build_parser().parse_args(["validate-mc"])
+        assert args.jobs == 20_000
+        assert args.reps == 40
+        assert args.level == 0.99
+        assert args.workloads is None
+        assert args.seed is None
+
+    def test_validate_mc_runs(self, capsys):
+        # Small but real: one workload over the full mix/utilisation grid.
+        code = main(
+            [
+                "validate-mc",
+                "--jobs", "4000",
+                "--reps", "15",
+                "--workloads", "EP",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all cells agree" in out
+        assert "Analytic M/D/1 p95" in out
+
+    def test_validate_mc_unknown_workload(self, capsys):
+        assert main(["validate-mc", "--workloads", "doom"]) == 1
+        assert "error" in capsys.readouterr().err
+
     def test_sensitivity_command(self, capsys):
         assert main(["sensitivity"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Minimal line-coverage measurement without coverage.py.
+
+The toolchain image ships neither ``coverage`` nor ``pytest-cov``, but the
+repository pins a measured coverage floor in ``pyproject.toml``
+(``[tool.coverage.report] fail_under``).  This script produces that number
+with the standard library alone: a :func:`sys.settrace` line tracer records
+every ``(filename, lineno)`` executed while the test suite runs in-process,
+and the executable-line universe comes from walking each module's compiled
+code objects (the same line table coverage.py uses).
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/mini_coverage.py [pytest args...]
+
+Notes: tracing slows the suite roughly an order of magnitude, so prefer
+``-m "not slow"``; the result matches coverage.py's line (not branch) mode
+to within a fraction of a percent — close enough to pin a floor.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def executable_lines(path: Path) -> set:
+    """All line numbers the compiler emits code for, incl. nested defs."""
+    code = compile(path.read_text(encoding="utf-8"), str(path), "exec")
+    lines = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        lines.update(
+            line for _, _, line in obj.co_lines() if line is not None
+        )
+        stack.extend(
+            const for const in obj.co_consts if hasattr(const, "co_lines")
+        )
+    return lines
+
+
+def main(argv):
+    sources = sorted(
+        p
+        for p in (SRC / "repro").rglob("*.py")
+        if p.name != "__main__.py"
+    )
+    universe = {str(p): executable_lines(p) for p in sources}
+    hit = {name: set() for name in universe}
+    prefix = str(SRC / "repro")
+
+    def tracer(frame, event, arg):
+        filename = frame.f_code.co_filename
+        if not filename.startswith(prefix):
+            # Never trace test/third-party frames: return None so the
+            # interpreter skips line events for the entire subtree.
+            return None
+        if event == "line":
+            lines = hit.get(filename)
+            if lines is not None:
+                lines.add(frame.f_lineno)
+        return tracer
+
+    import pytest
+
+    sys.settrace(tracer)
+    try:
+        exit_code = pytest.main(argv or ["-q", "-p", "no:cacheprovider"])
+    finally:
+        sys.settrace(None)
+    if exit_code != 0:
+        print(f"warning: pytest exited {exit_code}; coverage is partial")
+
+    total = covered = 0
+    rows = []
+    for name in sorted(universe):
+        want = universe[name]
+        got = hit[name] & want
+        total += len(want)
+        covered += len(got)
+        pct = 100.0 * len(got) / len(want) if want else 100.0
+        rows.append((pct, name, len(got), len(want)))
+    rows.sort()
+    print("\nworst-covered modules:")
+    for pct, name, got, want in rows[:10]:
+        rel = Path(name).relative_to(SRC)
+        print(f"  {pct:6.1f}%  {got:4d}/{want:<4d}  {rel}")
+    overall = 100.0 * covered / total
+    print(f"\nTOTAL: {covered}/{total} lines = {overall:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
