@@ -1,0 +1,45 @@
+"""Benchmark: online scheduling engine event throughput.
+
+Wraps :mod:`repro.benchmarks.scheduler` (also runnable standalone as
+``python -m repro.benchmarks.scheduler``) in the pytest harness: replays
+the full scheduling study (every policy over a diurnal day plus the
+fixed-mix contrasts), writes ``BENCH_scheduler.json`` at the repository
+root, and pins a conservative floor on the engine's event rate — the lazy
+per-node event treatment must keep a whole day's replay inside a
+unit-test budget.
+"""
+
+import json
+from pathlib import Path
+
+from repro.benchmarks.scheduler import run_benchmark
+from repro.util.tables import render_kv
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Conservative floor (events/second); the engine does ~10x this on an
+#: unloaded core, so trips mean an order-of-magnitude regression, not noise.
+_FLOOR_EVENTS_PER_S = 2_000.0
+
+
+def test_scheduler_event_rate(benchmark, emit):
+    result = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    out = _REPO_ROOT / "BENCH_scheduler.json"
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+    counts = result["counts"]
+    emit(
+        render_kv(
+            {
+                "engine runs": counts["engine_runs"],
+                "jobs dispatched (autoscaled)": counts["jobs_dispatched_autoscaled"],
+                "control ticks": counts["control_ticks"],
+                "study wall time [s]": round(result["timings_s"]["study_best"], 3),
+                "events/s": round(result["events_per_s"], 0),
+                "floor": _FLOOR_EVENTS_PER_S,
+            },
+            title="Online scheduler event throughput",
+        )
+    )
+    assert counts["jobs_dispatched_autoscaled"] > 10_000
+    assert result["events_per_s"] >= _FLOOR_EVENTS_PER_S

@@ -19,6 +19,13 @@ without writing any Python:
   the simulated testbed.
 * ``ablations`` — print every ablation study.
 * ``sensitivity`` — print the calibration sensitivity analyses.
+* ``schedule`` — replay one autoscaled day through the online scheduler
+  (``--policy``, ``--trace``, ``--workload``) and print the timeline.
+
+The top-level ``--seed`` feeds every seeded command (``schedule``,
+``validate-mc``, ``sensitivity``, ``table 4``, ``validate``,
+``characterize``); a subcommand's own ``--seed`` takes precedence when
+both are given.
 """
 
 from __future__ import annotations
@@ -56,6 +63,9 @@ def _parse_mix(text: str) -> Dict[str, int]:
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
+    from repro import __version__
+    from repro.scheduler.policies import POLICY_NAMES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -63,12 +73,26 @@ def build_parser() -> argparse.ArgumentParser:
             "heterogeneous clusters (CLUSTER 2016 reproduction)."
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root seed for every seeded command (subcommand --seed wins)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Subcommand --seed flags default to SUPPRESS so an omitted flag leaves
+    # the top-level value in the namespace instead of clobbering it.
     p_table = sub.add_parser("table", help="print one of the paper's tables")
     p_table.add_argument("number", type=int, choices=(4, 5, 6, 7, 8))
     p_table.add_argument(
-        "--seed", type=int, default=None, help="root seed for Table 4's pipeline"
+        "--seed",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="root seed for Table 4's pipeline",
     )
 
     p_fig = sub.add_parser("figure", help="render one of the paper's figures")
@@ -76,7 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--csv", type=Path, default=None, help="export data to DIR")
 
     p_val = sub.add_parser("validate", help="run the Table 4 validation pipeline")
-    p_val.add_argument("--seed", type=int, default=None)
+    p_val.add_argument("--seed", type=int, default=argparse.SUPPRESS)
     p_val.add_argument("--wimpy", type=int, default=4, help="A9 nodes in the rack")
     p_val.add_argument("--brawny", type=int, default=1, help="K10 nodes in the rack")
 
@@ -84,7 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
         "validate-mc",
         help="Monte-Carlo cross-validation of the analytic p95 claims",
     )
-    p_mc.add_argument("--seed", type=int, default=None, help="root seed")
+    p_mc.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="root seed"
+    )
     p_mc.add_argument(
         "--jobs", type=int, default=20_000, help="jobs per replication"
     )
@@ -121,11 +147,56 @@ def build_parser() -> argparse.ArgumentParser:
         "characterize", help="measured-vs-true Table 1 parameters for a workload"
     )
     p_char.add_argument("workload")
-    p_char.add_argument("--seed", type=int, default=None)
+    p_char.add_argument("--seed", type=int, default=argparse.SUPPRESS)
 
     sub.add_parser("ablations", help="print every ablation study")
-    sub.add_parser(
+    p_sens = sub.add_parser(
         "sensitivity", help="print the calibration sensitivity analyses"
+    )
+    p_sens.add_argument(
+        "--seed",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="root seed for the random-perturbation draws",
+    )
+    p_sens.add_argument(
+        "--draws", type=int, default=32, help="random perturbation draws"
+    )
+
+    p_sched = sub.add_parser(
+        "schedule", help="replay one autoscaled day through the online scheduler"
+    )
+    p_sched.add_argument(
+        "--workload", default="EP", help="study workload (EP, memcached, x264)"
+    )
+    p_sched.add_argument(
+        "--policy", choices=POLICY_NAMES, default="ppr-greedy", help="dispatch policy"
+    )
+    p_sched.add_argument(
+        "--trace",
+        choices=("diurnal", "constant"),
+        default="diurnal",
+        help="demand trace shape",
+    )
+    p_sched.add_argument(
+        "--demand",
+        type=float,
+        default=0.5,
+        help="demand fraction for --trace constant",
+    )
+    p_sched.add_argument(
+        "--intervals", type=int, default=24, help="control intervals in the day"
+    )
+    p_sched.add_argument(
+        "--interval-s", type=float, default=20.0, help="control interval length [s]"
+    )
+    p_sched.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="root seed"
+    )
+    p_sched.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full study (all policies, mix contrast) instead of one day",
     )
     return parser
 
@@ -308,15 +379,47 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.experiments import sensitivity
+    from repro.util.rng import DEFAULT_SEED
     from repro.util.tables import render_table
 
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
     for title, fn in (
         ("Sub-linear crossover (EP, 25 A9 : 7 K10)", sensitivity.crossover_sensitivity),
         ("Per-workload PPR winners", sensitivity.conclusion_sensitivity),
+        (
+            f"Random perturbation draws (seed {seed})",
+            lambda: sensitivity.seeded_sensitivity(seed, n_draws=args.draws),
+        ),
     ):
         headers, rows = fn()
         print(render_table(headers, rows, title=f"Sensitivity: {title}"))
         print()
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.experiments.scheduling import (
+        render_schedule_summary,
+        render_scheduling_report,
+        replay_day,
+        run_scheduling_study,
+    )
+    from repro.util.rng import DEFAULT_SEED
+
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    if args.full:
+        print(render_scheduling_report(run_scheduling_study(seed)))
+        return 0
+    result, oracle = replay_day(
+        args.workload,
+        args.policy,
+        trace_kind=args.trace,
+        seed=seed,
+        n_intervals=args.intervals,
+        interval_s=args.interval_s,
+        demand=args.demand,
+    )
+    print(render_schedule_summary(result, oracle))
     return 0
 
 
@@ -330,6 +433,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "sensitivity": _cmd_sensitivity,
     "characterize": _cmd_characterize,
+    "schedule": _cmd_schedule,
 }
 
 

@@ -36,6 +36,8 @@ __all__ = [
     "sublinear_crossover",
     "UtilisationSweep",
     "sweep",
+    "DynamicProportionality",
+    "dynamic_proportionality",
 ]
 
 
@@ -155,6 +157,85 @@ class UtilisationSweep:
     def sublinear(self) -> np.ndarray:
         """Boolean per-sample sub-linearity against the reference ideal."""
         return self.power_w < self.utilisation * self.reference_peak_w
+
+
+# ----------------------------------------------------------------------
+# Dynamic (realised-trace) proportionality
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DynamicProportionality:
+    """Proportionality metrics of a *realised* (utilisation, power) trace.
+
+    The Table 3 metrics above score a static power *curve*; an online
+    scheduler instead produces a time series: per interval, the work it
+    actually served (as a fraction of the reference configuration's peak
+    throughput) and the power it actually drew — including autoscaling,
+    parked-node idle draw, and power-state transition charges.  These are
+    the same quantities, computed over that trace against the reference
+    ideal line ``P_ideal(t) = u_t * P_ref``:
+
+    * ``epm`` is the realised energy-proportionality metric
+      ``1 - (E - E_ideal) / E_ideal`` with ``E_ideal = sum(u_t * P_ref * dt)``
+      — 1 when the cluster consumed exactly the ideal energy for the work
+      it did, negative when it burned more than twice the ideal;
+    * ``mean_pg`` / ``max_pg`` are the time-averaged and worst per-interval
+      proportionality gaps ``(P_t - P_ideal,t) / P_ideal,t``;
+    * ``sublinear_fraction`` is the share of intervals served *below* the
+      reference ideal line — the dynamic analogue of Section III-D's
+      sub-linear region, and exactly what a Pareto-walking autoscaler is
+      supposed to maximise.
+    """
+
+    reference_peak_w: float
+    realized_energy_j: float
+    ideal_energy_j: float
+    epm: float
+    mean_pg: float
+    max_pg: float
+    sublinear_fraction: float
+
+
+def dynamic_proportionality(
+    utilisation: Sequence[float],
+    power_w: Sequence[float],
+    reference_peak_w: float,
+    *,
+    interval_s: float = 1.0,
+) -> DynamicProportionality:
+    """Score a realised per-interval (utilisation, power) trace.
+
+    ``utilisation`` is served work per interval as a fraction of the
+    reference configuration's peak throughput (may transiently exceed 1
+    when a backlog drains); ``power_w`` is the realised mean power of each
+    interval.  Intervals that served no work contribute energy but have no
+    defined per-interval gap; they are excluded from the gap statistics.
+    """
+    u = np.asarray(utilisation, dtype=float)
+    p = np.asarray(power_w, dtype=float)
+    if u.ndim != 1 or u.shape != p.shape or u.size == 0:
+        raise ModelError("need matching non-empty 1-D utilisation/power traces")
+    if interval_s <= 0:
+        raise ModelError(f"interval must be positive, got {interval_s}")
+    if reference_peak_w <= 0:
+        raise ModelError("reference peak must be positive")
+    if np.any(u < 0) or np.any(p < 0):
+        raise ModelError("utilisation and power traces must be non-negative")
+    ideal = u * reference_peak_w
+    realized_energy = float(p.sum() * interval_s)
+    ideal_energy = float(ideal.sum() * interval_s)
+    if ideal_energy <= 0:
+        raise ModelError("trace served no work; dynamic proportionality undefined")
+    worked = ideal > 0
+    gaps = (p[worked] - ideal[worked]) / ideal[worked]
+    return DynamicProportionality(
+        reference_peak_w=reference_peak_w,
+        realized_energy_j=realized_energy,
+        ideal_energy_j=ideal_energy,
+        epm=1.0 - (realized_energy - ideal_energy) / ideal_energy,
+        mean_pg=float(gaps.mean()),
+        max_pg=float(gaps.max()),
+        sublinear_fraction=float(np.mean(p[worked] < ideal[worked])),
+    )
 
 
 def sweep(

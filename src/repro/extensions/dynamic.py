@@ -33,6 +33,7 @@ from repro.util.rng import DEFAULT_SEED
 from repro.workloads.base import Workload
 
 __all__ = [
+    "TRACE_FLOOR",
     "diurnal_trace",
     "scaled_candidates",
     "AdaptationInterval",
@@ -41,6 +42,14 @@ __all__ = [
     "IntervalTailCheck",
     "adaptation_tail_percentiles",
 ]
+
+
+#: Smallest demand fraction :func:`diurnal_trace` ever emits.  Gaussian
+#: noise around a low trough can push an interval to (or below) zero, and a
+#: zero-demand interval makes every downstream arrival process degenerate
+#: (lambda = 0 breaks queue constructors and divides in the schedulers), so
+#: the floor is a small positive epsilon rather than 0.
+TRACE_FLOOR = 1e-3
 
 
 def diurnal_trace(
@@ -56,7 +65,9 @@ def diurnal_trace(
 
     A sinusoid between ``low`` and ``high`` peaking at ``peak_hour``, with
     optional Gaussian noise — the canonical diurnal shape of interactive
-    datacenter load.
+    datacenter load.  Values are clamped into ``[TRACE_FLOOR, 1]``: noise
+    must never produce a zero-load interval (a degenerate lambda = 0
+    arrival process downstream).
     """
     if not 0.0 < low <= high <= 1.0:
         raise ModelError(f"need 0 < low <= high <= 1, got ({low}, {high})")
@@ -67,7 +78,7 @@ def diurnal_trace(
     base = low + (high - low) * 0.5 * (1.0 + np.cos(phase))
     if rng is not None and noise > 0:
         base = base + rng.normal(0.0, noise, size=n_intervals)
-    return np.clip(base, 0.0, 1.0)
+    return np.clip(base, TRACE_FLOOR, 1.0)
 
 
 def scaled_candidates(

@@ -1,0 +1,79 @@
+"""Online heterogeneity-aware cluster scheduler.
+
+The paper picks a *static* Pareto-optimal mix and defers dynamic adaptation
+("dynamic adaptation ... complements our approach", Section I);
+:mod:`repro.extensions.dynamic` quantifies an *offline per-interval oracle*
+for that complement.  This package closes the remaining gap with a real
+online scheduling layer:
+
+* :mod:`repro.scheduler.policies` — pluggable per-job dispatch policies
+  (round-robin, join-shortest-queue, power-of-two-choices, and a
+  PPR-greedy policy that ranks node *types* by the paper's PPR at one
+  common evaluation utilisation — peak by default, the Table 6 winners —
+  and joins the shortest queue within the winning type);
+* :mod:`repro.scheduler.powerstate` — a per-node power-state machine
+  (active / idle / off) with configurable transition latency and energy,
+  so "turning wimpy nodes off" has a modelled cost instead of being free;
+* :mod:`repro.scheduler.autoscaler` — reactive (threshold + hysteresis)
+  and predictive (trace-informed) controllers that walk a power budget's
+  capacity/power Pareto ladder online;
+* :mod:`repro.scheduler.engine` — the event-driven trace-replaying
+  simulation core, emitting per-node utilisation and energy, response-time
+  percentiles, and *dynamic* cluster EP metrics over the realised power
+  trace.
+
+The experiment driver comparing policies against the static
+peak-provisioned cluster and the offline oracle lives in
+:mod:`repro.experiments.scheduling`; the CLI front end is
+``repro schedule``.
+"""
+
+from repro.scheduler.autoscaler import (
+    Autoscaler,
+    PredictiveAutoscaler,
+    ReactiveAutoscaler,
+    Rung,
+    build_ladder,
+)
+from repro.scheduler.engine import (
+    ClusterScheduler,
+    NodeStats,
+    ScheduleResult,
+    TimelineSample,
+)
+from repro.scheduler.policies import (
+    POLICY_NAMES,
+    DispatchPolicy,
+    JoinShortestQueue,
+    PowerOfTwoChoices,
+    PPRGreedy,
+    RoundRobin,
+    make_policy,
+)
+from repro.scheduler.powerstate import (
+    NodePowerState,
+    PowerStateMachine,
+    TransitionCosts,
+)
+
+__all__ = [
+    "Autoscaler",
+    "PredictiveAutoscaler",
+    "ReactiveAutoscaler",
+    "Rung",
+    "build_ladder",
+    "ClusterScheduler",
+    "NodeStats",
+    "ScheduleResult",
+    "TimelineSample",
+    "POLICY_NAMES",
+    "DispatchPolicy",
+    "RoundRobin",
+    "JoinShortestQueue",
+    "PowerOfTwoChoices",
+    "PPRGreedy",
+    "make_policy",
+    "NodePowerState",
+    "PowerStateMachine",
+    "TransitionCosts",
+]

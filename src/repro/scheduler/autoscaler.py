@@ -1,0 +1,276 @@
+"""Online autoscalers that walk a power budget's capacity ladder.
+
+The offline oracle in :mod:`repro.extensions.dynamic` re-picks the cheapest
+covering configuration every interval with perfect knowledge and free
+switching.  The controllers here make the same kind of decision *online*:
+
+* :class:`ReactiveAutoscaler` sees only the realised utilisation of the
+  current configuration and steps one rung at a time between a high and a
+  low threshold, with a cooldown (hysteresis) so noise does not make it
+  thrash;
+* :class:`PredictiveAutoscaler` knows the demand trace shape (diurnal load
+  is forecastable to a few percent) and jumps straight to the
+  lowest-modelled-power rung that covers the next interval's demand with a
+  target-utilisation headroom — the online mirror of the oracle's
+  min-power covering rule.
+
+The ladder they walk is built by :func:`build_ladder`: candidate
+configurations under the power budget, dominance-filtered so only useful
+rungs remain.  A candidate is dropped when another candidate has at least
+its capacity while drawing no more power both at idle and at peak — under
+the linear power model ``P(u) = idle + u * dyn`` the dominating rung is
+then cheaper at *every* served load, so filtering never discards the
+oracle's optimum (the scheduling experiment pins the resulting energy gap
+at a few percent).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.errors import ReproError
+from repro.model.batched import config_constants
+from repro.workloads.base import Workload
+
+__all__ = [
+    "Rung",
+    "build_ladder",
+    "Autoscaler",
+    "ReactiveAutoscaler",
+    "PredictiveAutoscaler",
+]
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One step of the capacity ladder: a configuration and its constants.
+
+    ``capacity_ops`` is the configuration's peak throughput for the ladder's
+    workload; ``idle_w``/``dyn_w`` are the endpoints of its linear power
+    curve (all straight from :func:`repro.model.batched.config_constants`,
+    so the ladder is consistent with the sweep engine and the oracle).
+    """
+
+    config: ClusterConfiguration
+    capacity_ops: float
+    idle_w: float
+    dyn_w: float
+
+    @property
+    def peak_w(self) -> float:
+        """Power at full utilisation (watts)."""
+        return self.idle_w + self.dyn_w
+
+    @property
+    def label(self) -> str:
+        """The configuration's mix label."""
+        return self.config.label()
+
+    def utilisation_at(self, required_ops: float) -> float:
+        """Utilisation when serving ``required_ops`` per second (clipped)."""
+        return min(required_ops / self.capacity_ops, 1.0)
+
+    def power_at(self, required_ops: float) -> float:
+        """Modelled power (watts) while serving ``required_ops`` per second."""
+        return self.idle_w + self.utilisation_at(required_ops) * self.dyn_w
+
+    def covers(self, required_ops: float, headroom: float = 1.0) -> bool:
+        """Whether this rung can carry the load at utilisation ``headroom``."""
+        return self.capacity_ops * headroom + 1e-9 >= required_ops
+
+
+def build_ladder(
+    workload: Workload,
+    candidates: Sequence[ClusterConfiguration],
+) -> Tuple[Rung, ...]:
+    """Turn candidate configurations into a sorted, dominance-filtered ladder.
+
+    Rungs are sorted by capacity ascending.  A candidate is removed when
+    some other candidate offers at least as much capacity for no more power
+    at both curve endpoints (idle and peak) — such a rung could never be
+    the cheapest covering choice at any load.
+    """
+    if not candidates:
+        raise ReproError("need at least one candidate configuration")
+    rungs: List[Rung] = []
+    for config in candidates:
+        rate, idle_w, dyn_w = config_constants(workload, config)
+        rungs.append(Rung(config, rate, idle_w, dyn_w))
+    kept: List[Rung] = []
+    for r in rungs:
+        dominated = any(
+            o is not r
+            and o.capacity_ops >= r.capacity_ops
+            and o.idle_w <= r.idle_w
+            and o.peak_w <= r.peak_w
+            and (o.capacity_ops > r.capacity_ops or o.idle_w < r.idle_w or o.peak_w < r.peak_w)
+            for o in rungs
+        )
+        if not dominated:
+            kept.append(r)
+    kept.sort(key=lambda r: (r.capacity_ops, r.peak_w, r.label))
+    return tuple(kept)
+
+
+class Autoscaler(abc.ABC):
+    """Base class: pick the active rung for the next control interval."""
+
+    def __init__(self, ladder: Sequence[Rung]) -> None:
+        if not ladder:
+            raise ReproError("autoscaler needs a non-empty ladder")
+        self.ladder: Tuple[Rung, ...] = tuple(ladder)
+
+    @property
+    def top(self) -> int:
+        """Index of the highest-capacity rung."""
+        return len(self.ladder) - 1
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        tick: int,
+        observed_utilisation: float,
+        current_index: int,
+    ) -> int:
+        """Rung index to run the next interval on.
+
+        ``observed_utilisation`` is the current rung's realised utilisation
+        over the interval that just ended (0 for the very first decision).
+        """
+
+    def expected_park_s(self, tick: int, chosen_index: int, interval_s: float) -> Optional[float]:
+        """Forecast how long capacity freed at ``tick`` stays unneeded.
+
+        The engine uses this against the power-state break-even time to
+        choose between parking released nodes IDLE and powering them OFF.
+        ``None`` means the controller cannot forecast (reactive case) and
+        the engine falls back to a conservative default.
+        """
+        return None
+
+    def reset(self) -> None:
+        """Clear controller state between runs."""
+
+
+class ReactiveAutoscaler(Autoscaler):
+    """Threshold controller with hysteresis.
+
+    Steps up one rung when the observed utilisation exceeds ``high``, down
+    one when it falls below ``low`` *and* the rung below could carry the
+    observed load without immediately re-triggering the up-threshold.
+    After every change the controller holds for ``cooldown_ticks``
+    intervals so a single noisy sample cannot bounce the cluster between
+    rungs.
+    """
+
+    def __init__(
+        self,
+        ladder: Sequence[Rung],
+        *,
+        high: float = 0.85,
+        low: float = 0.50,
+        cooldown_ticks: int = 2,
+    ) -> None:
+        super().__init__(ladder)
+        if not 0.0 < low < high <= 1.0:
+            raise ReproError(f"need 0 < low < high <= 1, got ({low}, {high})")
+        if cooldown_ticks < 0:
+            raise ReproError("cooldown_ticks must be non-negative")
+        self.high = high
+        self.low = low
+        self.cooldown_ticks = cooldown_ticks
+        self._cooldown = 0
+
+    def decide(self, tick: int, observed_utilisation: float, current_index: int) -> int:
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return current_index
+        if observed_utilisation > self.high and current_index < self.top:
+            self._cooldown = self.cooldown_ticks
+            return current_index + 1
+        if observed_utilisation < self.low and current_index > 0:
+            served_ops = observed_utilisation * self.ladder[current_index].capacity_ops
+            below = self.ladder[current_index - 1]
+            if below.covers(served_ops, headroom=self.high):
+                self._cooldown = self.cooldown_ticks
+                return current_index - 1
+        return current_index
+
+    def reset(self) -> None:
+        self._cooldown = 0
+
+
+class PredictiveAutoscaler(Autoscaler):
+    """Trace-informed controller mirroring the oracle's covering rule.
+
+    ``trace`` gives each interval's demand as a fraction of
+    ``reference_capacity_ops`` (the same normalisation the engine uses to
+    generate arrivals).  Each tick the controller looks at the demand of
+    the next interval — taking the max over ``lookahead`` further intervals
+    so capacity is booting *before* a rising edge arrives, not after — and
+    picks the rung with the lowest modelled power among those that cover it
+    at ``target_utilisation``.
+    """
+
+    def __init__(
+        self,
+        ladder: Sequence[Rung],
+        trace: Sequence[float],
+        reference_capacity_ops: float,
+        *,
+        target_utilisation: float = 0.95,
+        lookahead: int = 1,
+    ) -> None:
+        super().__init__(ladder)
+        self.trace = np.asarray(trace, dtype=float)
+        if self.trace.ndim != 1 or self.trace.size == 0:
+            raise ReproError("trace must be a non-empty 1-D sequence")
+        if reference_capacity_ops <= 0:
+            raise ReproError("reference capacity must be positive")
+        if not 0.0 < target_utilisation <= 1.0:
+            raise ReproError(
+                f"target_utilisation must be in (0, 1], got {target_utilisation}"
+            )
+        if lookahead < 0:
+            raise ReproError("lookahead must be non-negative")
+        self.reference_capacity_ops = float(reference_capacity_ops)
+        self.target_utilisation = target_utilisation
+        self.lookahead = lookahead
+
+    def _required_ops(self, tick: int) -> float:
+        """Planned load of interval ``tick`` (clamped into the trace)."""
+        i = min(max(tick, 0), self.trace.size - 1)
+        return float(self.trace[i]) * self.reference_capacity_ops
+
+    def _planning_ops(self, tick: int) -> float:
+        hi = min(tick + self.lookahead, self.trace.size - 1)
+        window = self.trace[min(tick, self.trace.size - 1) : hi + 1]
+        return float(window.max()) * self.reference_capacity_ops
+
+    def choose(self, required_ops: float) -> int:
+        """Lowest-power rung covering ``required_ops`` at the target headroom."""
+        best: Optional[int] = None
+        best_power = float("inf")
+        for i, rung in enumerate(self.ladder):
+            if not rung.covers(required_ops, headroom=self.target_utilisation):
+                continue
+            power = rung.power_at(required_ops)
+            if power < best_power:
+                best, best_power = i, power
+        return best if best is not None else self.top
+
+    def decide(self, tick: int, observed_utilisation: float, current_index: int) -> int:
+        return self.choose(self._planning_ops(tick))
+
+    def expected_park_s(self, tick: int, chosen_index: int, interval_s: float) -> Optional[float]:
+        """Intervals until demand outgrows the chosen rung again."""
+        chosen = self.ladder[chosen_index]
+        for j in range(tick + 1, self.trace.size):
+            if not chosen.covers(self._required_ops(j), headroom=self.target_utilisation):
+                return (j - tick) * interval_s
+        return (self.trace.size - tick) * interval_s

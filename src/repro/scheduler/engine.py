@@ -1,0 +1,644 @@
+"""Event-driven, trace-replaying cluster scheduling engine.
+
+The engine replays a per-interval demand trace against a pool of
+*individual* heterogeneous nodes: jobs arrive as a Poisson process whose
+rate follows the trace, a :class:`~repro.scheduler.policies.DispatchPolicy`
+places each job on a node, and (optionally) an
+:class:`~repro.scheduler.autoscaler.Autoscaler` re-targets the active
+configuration at every control tick, with node power states and transition
+costs handled by :class:`~repro.scheduler.powerstate.PowerStateMachine`.
+
+Simulation design
+-----------------
+Per-node FIFO queues admit the same lazy event treatment the vectorised
+Monte-Carlo engine (:mod:`repro.queueing.mc`) exploits via the Lindley
+recursion: a node's whole future is its clearing time ``free_at``, so
+
+* *arrivals* are the only events processed in time order — assignment
+  updates ``free_at`` and the job's completion time in O(1);
+* *completions* are lazy: a deque of completion times popped against
+  "now" whenever a policy asks for the queue length;
+* *busy time in a window* is exact without event lists:
+  ``busy_up_to(T) = assigned_service - max(0, free_at - T)`` (the pending
+  backlog always drains contiguously), which gives per-interval
+  utilisation and dynamic energy by differencing two marks;
+* *control* happens at interval boundaries: the autoscaler picks a rung,
+  the engine activates/drains/parks nodes through their power-state
+  machines, and per-interval telemetry is sampled.
+
+Per-node constants (service rate, busy dynamic power, idle power) come
+from :func:`repro.model.batched.operating_point_constants` — the same
+memoised cache behind the sweep engine and the offline oracle, so engine
+energies are directly comparable to both.
+
+Energy accounting
+-----------------
+``baseline_energy_j`` integrates each node's power-state baseline (idle
+draw while powered, ``off_w`` while off); ``transition_energy_j`` is the
+lump boot/shutdown charges; ``dynamic_energy_j`` charges each node's busy
+dynamic power for the busy time realised inside the horizon.  The offline
+oracle charges exactly the same quantities for the work it models, minus
+every transition and parked-idle cost — which is precisely the gap the
+scheduling experiment measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.core.metrics import LinearPowerCurve, PPRCurve
+from repro.core.proportionality import DynamicProportionality, dynamic_proportionality
+from repro.errors import ReproError
+from repro.model.batched import operating_point_constants
+from repro.scheduler.autoscaler import Autoscaler, Rung
+from repro.scheduler.policies import DispatchPolicy, make_policy
+from repro.scheduler.powerstate import (
+    NodePowerState,
+    PowerStateMachine,
+    TransitionCosts,
+)
+from repro.util.rng import DEFAULT_SEED, RngRegistry
+from repro.workloads.base import Workload
+
+__all__ = ["ClusterScheduler", "NodeStats", "TimelineSample", "ScheduleResult"]
+
+
+class _Node:
+    """One schedulable node: queue state, power state, and constants.
+
+    Implements the read-only node protocol the dispatch policies rely on
+    (see :mod:`repro.scheduler.policies`).
+    """
+
+    __slots__ = (
+        "name",
+        "index",
+        "spec_name",
+        "rate",
+        "busy_dyn_w",
+        "idle_w",
+        "nameplate_w",
+        "service_time_s",
+        "window_s",
+        "costs",
+        "off_w",
+        "psm",
+        "free_at",
+        "available_from",
+        "assigned_service_s",
+        "jobs",
+        "draining",
+        "park_off_pref",
+        "in_dispatch",
+        "busy_mark",
+        "baseline_mark",
+        "_completions",
+        "_ppr",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        spec_name: str,
+        rate: float,
+        busy_dyn_w: float,
+        idle_w: float,
+        nameplate_w: float,
+        ops_per_job: float,
+        window_s: float,
+        costs: TransitionCosts,
+        off_w: float,
+    ) -> None:
+        self.name = name
+        self.index = index
+        self.spec_name = spec_name
+        self.rate = rate
+        self.busy_dyn_w = busy_dyn_w
+        self.idle_w = idle_w
+        self.nameplate_w = nameplate_w
+        self.service_time_s = ops_per_job / rate
+        self.window_s = window_s
+        self.costs = costs
+        self.off_w = off_w
+        self.psm: Optional[PowerStateMachine] = None
+        self.free_at = 0.0
+        self.available_from = 0.0
+        self.assigned_service_s = 0.0
+        self.jobs = 0
+        self.draining = False
+        self.park_off_pref = False
+        self.in_dispatch = False
+        self.busy_mark = 0.0
+        self.baseline_mark = 0.0
+        self._completions: deque = deque()
+        self._ppr = PPRCurve(rate, LinearPowerCurve(idle_w, idle_w + busy_dyn_w))
+
+    # -- policy protocol -------------------------------------------------
+    def backlog_s(self, now: float) -> float:
+        return max(0.0, max(self.free_at, self.available_from) - now)
+
+    def queue_len(self, now: float) -> int:
+        done = self._completions
+        while done and done[0] <= now:
+            done.popleft()
+        return len(done)
+
+    def utilisation_estimate(self, now: float) -> float:
+        return min(self.backlog_s(now) / self.window_s, 1.0)
+
+    def ppr_at(self, u: float) -> float:
+        return self._ppr.ppr_at(min(max(u, 1e-6), 1.0))
+
+    # -- engine-side state -----------------------------------------------
+    def assign(self, t: float) -> float:
+        """Append a job arriving at ``t``; returns its completion time."""
+        start = max(t, self.free_at, self.available_from)
+        done = start + self.service_time_s
+        self.free_at = done
+        self.assigned_service_s += self.service_time_s
+        self.jobs += 1
+        self._completions.append(done)
+        return done
+
+    def busy_up_to(self, until: float) -> float:
+        """Busy seconds realised in ``[0, until]``.
+
+        Exact while the pending backlog drains contiguously (always true,
+        except across a boot gap, where it under-counts by at most the
+        boot latency); clamped non-negative for that edge.
+        """
+        return max(0.0, self.assigned_service_s - max(0.0, self.free_at - until))
+
+    def ensure_psm(self, initial: NodePowerState) -> PowerStateMachine:
+        if self.psm is None:
+            self.psm = PowerStateMachine(
+                self.idle_w, self.costs, off_w=self.off_w, initial=initial, t0=0.0
+            )
+        return self.psm
+
+    def activate(self, t: float) -> None:
+        self.draining = False
+        if self.psm is None:
+            self.ensure_psm(NodePowerState.ACTIVE)
+            self.available_from = t
+        else:
+            self.available_from = self.psm.request_active(t)
+
+    def deactivate(self, t: float, park_off: bool) -> None:
+        self.park_off_pref = park_off
+        if self.psm is None:
+            # Initial placement: the node simply starts parked, no charge.
+            self.ensure_psm(NodePowerState.OFF if park_off else NodePowerState.IDLE)
+            return
+        self.psm.advance(t)
+        if self.psm.state in (NodePowerState.ACTIVE, NodePowerState.BOOTING):
+            # Pre-schedule the park for the moment the backlog clears —
+            # a drained node must not burn idle power until the next
+            # control tick happens to notice it.
+            t_park = max(t, self.free_at, self.available_from)
+            if park_off:
+                self.psm.request_off(t_park)
+            else:
+                self.psm.request_idle(t_park)
+            self.draining = self.free_at > t
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """Per-node outcome of one schedule run."""
+
+    name: str
+    spec_name: str
+    jobs: int
+    busy_s: float
+    utilisation: float
+    energy_j: float
+    boots: int
+    shutdowns: int
+    final_state: str
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """Telemetry of one control interval."""
+
+    t_s: float
+    demand_fraction: float
+    rung_label: str
+    n_active: int
+    n_powered: int
+    utilisation: float
+    power_w: float
+    arrivals: int
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of one trace replay."""
+
+    workload_name: str
+    policy_name: str
+    interval_s: float
+    horizon_s: float
+    reference_capacity_ops: float
+    reference_peak_w: float
+    jobs_arrived: int
+    jobs_completed: int
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    mean_response_s: float
+    baseline_energy_j: float
+    dynamic_energy_j: float
+    transition_energy_j: float
+    boots: int
+    shutdowns: int
+    node_stats: Tuple[NodeStats, ...]
+    timeline: Tuple[TimelineSample, ...]
+    proportionality: Optional[DynamicProportionality]
+
+    @property
+    def total_energy_j(self) -> float:
+        """Everything consumed inside the horizon (joules)."""
+        return self.baseline_energy_j + self.transition_energy_j + self.dynamic_energy_j
+
+    @property
+    def mean_power_w(self) -> float:
+        """Realised mean cluster power over the horizon."""
+        return self.total_energy_j / self.horizon_s
+
+    @property
+    def rung_switches(self) -> int:
+        """Number of active-configuration changes across the timeline."""
+        labels = [s.rung_label for s in self.timeline]
+        return sum(1 for a, b in zip(labels, labels[1:]) if a != b)
+
+
+class ClusterScheduler:
+    """Replay a demand trace through a policy (and optionally an autoscaler).
+
+    Parameters
+    ----------
+    workload:
+        The served workload; ``workload.ops_per_job`` sets the job size
+        (chunk jobs with :meth:`repro.workloads.base.Workload.with_job_size`
+        to control service times).
+    policy:
+        A :class:`DispatchPolicy` instance or a CLI policy name.
+    demand_trace:
+        Per-interval demand as a fraction of ``reference_capacity_ops``.
+    config:
+        Fixed-mix mode: every node of this configuration stays active for
+        the whole run (the paper's static provisioning).  Mutually
+        exclusive with ``autoscaler``.
+    autoscaler:
+        Autoscaled mode: the controller re-targets a ladder rung at every
+        control tick; the node pool is the per-type maximum over the
+        ladder.
+    reference_capacity_ops:
+        Peak throughput the trace is normalised by.  Defaults to the fixed
+        configuration's capacity, or the ladder's top rung — which is also
+        how the offline oracle normalises, so energies are comparable.
+    transition_costs:
+        One :class:`TransitionCosts` for every node, a mapping from node
+        type name to per-type costs, or ``None`` for per-node defaults
+        scaled to each node's nameplate power.
+    park_state:
+        ``"auto"`` applies the economic rule per node (OFF when the
+        forecast park exceeds the node's off/on break-even time, IDLE
+        otherwise), ``"idle"``/``"off"`` force one park state.
+    default_park_s:
+        Park-duration forecast used when the autoscaler cannot provide one
+        (reactive controllers); defaults to two control intervals.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        policy: Union[DispatchPolicy, str],
+        demand_trace: Sequence[float],
+        *,
+        interval_s: float = 30.0,
+        config: Optional[ClusterConfiguration] = None,
+        autoscaler: Optional[Autoscaler] = None,
+        reference_capacity_ops: Optional[float] = None,
+        transition_costs: Union[TransitionCosts, Dict[str, TransitionCosts], None] = None,
+        off_w: float = 0.0,
+        park_state: str = "auto",
+        default_park_s: Optional[float] = None,
+        seed: int = DEFAULT_SEED,
+    ) -> None:
+        if (config is None) == (autoscaler is None):
+            raise ReproError("provide exactly one of config= or autoscaler=")
+        if interval_s <= 0:
+            raise ReproError(f"interval must be positive, got {interval_s}")
+        if park_state not in ("auto", "idle", "off"):
+            raise ReproError(f"park_state must be auto/idle/off, got {park_state!r}")
+        trace = np.asarray(demand_trace, dtype=float)
+        if trace.ndim != 1 or trace.size == 0:
+            raise ReproError("demand trace must be a non-empty 1-D sequence")
+        if np.any(trace <= 0) or np.any(trace > 1):
+            raise ReproError("demand fractions must lie in (0, 1]")
+
+        self.workload = workload
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.trace = trace
+        self.interval_s = float(interval_s)
+        self.autoscaler = autoscaler
+        self.park_state = park_state
+        self.default_park_s = (
+            2.0 * self.interval_s if default_park_s is None else float(default_park_s)
+        )
+        self.seed = int(seed)
+
+        # Node pool: per type, the largest count any reachable configuration
+        # asks for (all rungs share a type's operating point by construction).
+        pool: Dict[str, Tuple] = {}  # type -> (group, max count)
+        configs = (
+            [r.config for r in autoscaler.ladder] if autoscaler is not None else [config]
+        )
+        for c in configs:
+            for g in c.groups:
+                prev = pool.get(g.spec.name)
+                if prev is None or g.count > prev[1]:
+                    pool[g.spec.name] = (g, g.count)
+
+        self._nodes: List[_Node] = []
+        self._by_type: Dict[str, List[_Node]] = {}
+        for type_name in sorted(pool):
+            group, count = pool[type_name]
+            k = operating_point_constants(
+                group.spec,
+                workload.demand_for(group.spec),
+                group.cores,
+                group.frequency_hz,
+            )
+            if transition_costs is None:
+                costs = TransitionCosts.scaled(k.nameplate_w)
+            elif isinstance(transition_costs, TransitionCosts):
+                costs = transition_costs
+            else:
+                try:
+                    costs = transition_costs[type_name]
+                except KeyError:
+                    raise ReproError(
+                        f"no transition costs supplied for node type {type_name!r}"
+                    ) from None
+            members = [
+                _Node(
+                    name=f"{type_name}-{i:03d}",
+                    index=i,
+                    spec_name=type_name,
+                    rate=k.rate,
+                    busy_dyn_w=k.busy_dyn_w,
+                    idle_w=k.idle_w,
+                    nameplate_w=k.nameplate_w,
+                    ops_per_job=workload.ops_per_job,
+                    window_s=self.interval_s,
+                    costs=costs,
+                    off_w=off_w,
+                )
+                for i in range(count)
+            ]
+            self._by_type[type_name] = members
+            self._nodes.extend(members)
+
+        if autoscaler is not None:
+            top = autoscaler.ladder[autoscaler.top]
+            self.reference_capacity_ops = (
+                top.capacity_ops
+                if reference_capacity_ops is None
+                else float(reference_capacity_ops)
+            )
+            self.reference_peak_w = top.peak_w
+            self._fixed_config = None
+        else:
+            rate = sum(
+                n.rate for n in self._nodes
+            )
+            self.reference_capacity_ops = (
+                rate if reference_capacity_ops is None else float(reference_capacity_ops)
+            )
+            self.reference_peak_w = sum(n.idle_w + n.busy_dyn_w for n in self._nodes)
+            self._fixed_config = config
+        if self.reference_capacity_ops <= 0:
+            raise ReproError("reference capacity must be positive")
+        self._reference_jobs_per_s = self.reference_capacity_ops / workload.ops_per_job
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def _park_off(self, node: _Node, expected_park_s: float) -> bool:
+        if self.park_state == "idle":
+            return False
+        if self.park_state == "off":
+            return True
+        return expected_park_s >= node.costs.off_breakeven_s(node.idle_w, node.off_w)
+
+    def _reconcile(self, tick: int, t: float, rung: Rung, chosen_index: int) -> None:
+        expected = None
+        if self.autoscaler is not None:
+            expected = self.autoscaler.expected_park_s(tick, chosen_index, self.interval_s)
+        if expected is None:
+            expected = self.default_park_s
+        for type_name, members in self._by_type.items():
+            want = rung.config.count_of(type_name)
+            # Prefer nodes already serving so a rung change drains the
+            # fewest queues; fall back to stable index order.
+            order = sorted(
+                members,
+                key=lambda n: (
+                    0
+                    if n.psm is not None
+                    and not n.draining
+                    and n.psm.state in (NodePowerState.ACTIVE, NodePowerState.BOOTING)
+                    else 1,
+                    n.index,
+                ),
+            )
+            for i, node in enumerate(order):
+                if i < want:
+                    node.activate(t)
+                else:
+                    node.deactivate(t, self._park_off(node, expected))
+
+    def _park_drained(self, t: float) -> None:
+        # Parks are pre-scheduled at drain time by deactivate(); here we
+        # just retire the draining flag once the backlog has cleared.
+        for node in self._nodes:
+            if node.draining and node.free_at <= t:
+                node.draining = False
+
+    def _dispatch_set(self) -> List[_Node]:
+        out = [
+            n
+            for n in self._nodes
+            if not n.draining
+            and n.psm is not None
+            and n.psm.state in (NodePowerState.ACTIVE, NodePowerState.BOOTING)
+        ]
+        if out:
+            return out
+        # Degenerate fallback (a rung that drained everything mid-boot):
+        # serve on whatever is still powered rather than dropping jobs.
+        powered = [n for n in self._nodes if n.psm is not None and n.psm.state.powered]
+        return powered if powered else list(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self) -> ScheduleResult:
+        """Replay the trace once; deterministic for a fixed seed."""
+        self.policy.reset()
+        if self.autoscaler is not None:
+            self.autoscaler.reset()
+        rng = RngRegistry(self.seed).stream("scheduler/engine")
+        interval = self.interval_s
+        n_intervals = int(self.trace.size)
+        horizon = n_intervals * interval
+
+        current = self.autoscaler.top if self.autoscaler is not None else 0
+        u_obs = 0.0
+        responses: List[float] = []
+        completed = 0
+        arrived = 0
+        timeline: List[TimelineSample] = []
+        u_ref: List[float] = []
+        p_trace: List[float] = []
+
+        for k in range(n_intervals):
+            demand = float(self.trace[k])
+            t0 = k * interval
+            t1 = t0 + interval
+            if self.autoscaler is not None:
+                current = self.autoscaler.decide(k, u_obs, current)
+                rung = self.autoscaler.ladder[current]
+                self._reconcile(k, t0, rung, current)
+                label = rung.label
+            else:
+                if k == 0:
+                    for node in self._nodes:
+                        node.activate(0.0)
+                label = self._fixed_config.label()
+            self._park_drained(t0)
+            dispatch = self._dispatch_set()
+            for n in self._nodes:
+                n.in_dispatch = False
+            for n in dispatch:
+                n.in_dispatch = True
+
+            lam = demand * self._reference_jobs_per_s
+            n_arr = int(rng.poisson(lam * interval))
+            arrived += n_arr
+            if n_arr:
+                times = np.sort(rng.uniform(t0, t1, size=n_arr))
+                select = self.policy.select
+                for ta in times:
+                    t_arr = float(ta)
+                    node = select(dispatch, t_arr, rng)
+                    done = node.assign(t_arr)
+                    responses.append(done - t_arr)
+                    if done <= horizon:
+                        completed += 1
+
+            # Interval telemetry: difference the busy/baseline marks.
+            busy_active = 0.0
+            served_ops = 0.0
+            energy = 0.0
+            for n in self._nodes:
+                if n.psm is None:
+                    continue
+                n.psm.advance(t1)
+                b1 = n.busy_up_to(t1)
+                db = b1 - n.busy_mark
+                n.busy_mark = b1
+                e1 = n.psm.baseline_energy_j(t1)
+                energy += (e1 - n.baseline_mark) + db * n.busy_dyn_w
+                n.baseline_mark = e1
+                served_ops += db * n.rate
+                if n.in_dispatch:
+                    busy_active += db
+            u_obs = busy_active / (len(dispatch) * interval)
+            power = energy / interval
+            u_ref.append(served_ops / (self.reference_capacity_ops * interval))
+            p_trace.append(power)
+            timeline.append(
+                TimelineSample(
+                    t_s=t0,
+                    demand_fraction=demand,
+                    rung_label=label,
+                    n_active=len(dispatch),
+                    n_powered=sum(
+                        1 for n in self._nodes if n.psm is not None and n.psm.state.powered
+                    ),
+                    utilisation=u_obs,
+                    power_w=power,
+                    arrivals=n_arr,
+                )
+            )
+
+        # Totals (marks were last updated at t = horizon).
+        baseline_total = sum(
+            n.baseline_mark for n in self._nodes if n.psm is not None
+        )
+        transition_total = sum(
+            n.psm.transition_energy_j for n in self._nodes if n.psm is not None
+        )
+        dynamic_total = sum(n.busy_mark * n.busy_dyn_w for n in self._nodes)
+        resp = np.asarray(responses, dtype=float)
+        if resp.size:
+            p50, p95, p99 = (float(np.percentile(resp, q)) for q in (50.0, 95.0, 99.0))
+            mean_resp = float(resp.mean())
+        else:
+            p50 = p95 = p99 = mean_resp = 0.0
+
+        node_stats = tuple(
+            NodeStats(
+                name=n.name,
+                spec_name=n.spec_name,
+                jobs=n.jobs,
+                busy_s=n.busy_mark,
+                utilisation=n.busy_mark / horizon,
+                energy_j=(n.baseline_mark if n.psm is not None else 0.0)
+                + n.busy_mark * n.busy_dyn_w,
+                boots=n.psm.boot_count if n.psm is not None else 0,
+                shutdowns=n.psm.shutdown_count if n.psm is not None else 0,
+                final_state=n.psm.state.value if n.psm is not None else "off",
+            )
+            for n in self._nodes
+        )
+        proportionality: Optional[DynamicProportionality] = None
+        if sum(u_ref) > 0:
+            proportionality = dynamic_proportionality(
+                u_ref, p_trace, self.reference_peak_w, interval_s=interval
+            )
+        return ScheduleResult(
+            workload_name=self.workload.name,
+            policy_name=self.policy.name,
+            interval_s=interval,
+            horizon_s=horizon,
+            reference_capacity_ops=self.reference_capacity_ops,
+            reference_peak_w=self.reference_peak_w,
+            jobs_arrived=arrived,
+            jobs_completed=completed,
+            p50_s=p50,
+            p95_s=p95,
+            p99_s=p99,
+            mean_response_s=mean_resp,
+            baseline_energy_j=baseline_total - transition_total,
+            dynamic_energy_j=dynamic_total,
+            transition_energy_j=transition_total,
+            boots=sum(n.psm.boot_count for n in self._nodes if n.psm is not None),
+            shutdowns=sum(
+                n.psm.shutdown_count for n in self._nodes if n.psm is not None
+            ),
+            node_stats=node_stats,
+            timeline=tuple(timeline),
+            proportionality=proportionality,
+        )

@@ -1,0 +1,322 @@
+"""Per-node power-state machine with charged transitions.
+
+The offline adaptation oracle (:mod:`repro.extensions.dynamic`) switches
+whole configurations for free: a node that is "off" simply stops existing.
+Physically, powering a server down and back up costs both *time* (it cannot
+serve while booting) and *energy* (the boot sequence draws near-peak power
+while contributing no work).  This module models those costs so the online
+scheduler can answer the question the oracle cannot: when is it worth
+turning a node off at all, and when should it merely sit idle?
+
+States
+------
+``ACTIVE``
+    Powered and eligible for dispatch; draws its idle power plus the
+    workload's busy dynamic power while serving (the engine accounts for
+    the dynamic part — this machine integrates the state baseline).
+``IDLE``
+    Powered but parked out of the dispatch set; draws idle power.  Resuming
+    to ACTIVE is cheap (``resume_latency_s`` / ``resume_energy_j``).
+``OFF``
+    Drawing ``off_w`` (0 by default).  Booting back costs
+    ``boot_latency_s`` / ``boot_energy_j``; shutting down costs
+    ``shutdown_latency_s`` / ``shutdown_energy_j``.
+``BOOTING`` / ``SHUTTING``
+    In-flight transitions; the node is unavailable and draws idle power for
+    the transition duration (the lump transition energy is charged on top).
+
+The machine records a segment timeline (for the ASCII timeline view and
+for exact baseline-energy integration) and counts transitions.  The
+break-even dwell time — how long a park must last before OFF beats IDLE —
+is :meth:`TransitionCosts.off_breakeven_s`; the autoscaler's hysteresis
+test pins that large transition costs push the break-even beyond the park
+horizon, keeping nodes idle instead of thrashing off/on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ReproError
+
+
+__all__ = ["NodePowerState", "TransitionCosts", "PowerStateMachine"]
+
+
+class NodePowerState(enum.Enum):
+    """Power state of one node."""
+
+    ACTIVE = "active"
+    IDLE = "idle"
+    OFF = "off"
+    BOOTING = "booting"
+    SHUTTING = "shutting"
+
+    @property
+    def powered(self) -> bool:
+        """Whether the node draws its idle baseline in this state."""
+        return self is not NodePowerState.OFF
+
+
+@dataclass(frozen=True)
+class TransitionCosts:
+    """Latency and energy of every power-state transition of one node.
+
+    Defaults model a small server: a 10 s boot and 5 s shutdown, each
+    charged with a lump of energy on top of the idle draw during the
+    transition window.  Set the energies/latencies large to model machines
+    that are expensive to cycle (the hysteresis tests do exactly this).
+    """
+
+    boot_latency_s: float = 10.0
+    boot_energy_j: float = 0.0
+    shutdown_latency_s: float = 5.0
+    shutdown_energy_j: float = 0.0
+    resume_latency_s: float = 0.0
+    resume_energy_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field in (
+            "boot_latency_s",
+            "boot_energy_j",
+            "shutdown_latency_s",
+            "shutdown_energy_j",
+            "resume_latency_s",
+            "resume_energy_j",
+        ):
+            if getattr(self, field) < 0:
+                raise ReproError(f"{field} must be non-negative")
+
+    @classmethod
+    def scaled(
+        cls,
+        nameplate_w: float,
+        *,
+        boot_latency_s: float = 10.0,
+        shutdown_latency_s: float = 5.0,
+        resume_latency_s: float = 0.0,
+    ) -> "TransitionCosts":
+        """Costs scaled to a node's size: transitions draw nameplate power.
+
+        A node booting for ``boot_latency_s`` at its nameplate peak is the
+        usual first-order model (firmware and OS bring-up run the machine
+        flat out while serving nothing).
+        """
+        if nameplate_w < 0:
+            raise ReproError(f"nameplate power must be non-negative, got {nameplate_w}")
+        return cls(
+            boot_latency_s=boot_latency_s,
+            boot_energy_j=nameplate_w * boot_latency_s,
+            shutdown_latency_s=shutdown_latency_s,
+            shutdown_energy_j=nameplate_w * shutdown_latency_s,
+            resume_latency_s=resume_latency_s,
+            resume_energy_j=0.0,
+        )
+
+    def off_breakeven_s(self, idle_w: float, off_w: float = 0.0) -> float:
+        """Park duration above which OFF beats IDLE for this node.
+
+        Staying idle for T costs ``idle_w * T``; an off/on cycle costs the
+        shutdown + boot energies plus ``off_w * T``.  The break-even is
+        ``(E_down + E_up) / (idle_w - off_w)``; infinite when OFF saves no
+        power at all.
+        """
+        saving_w = idle_w - off_w
+        if saving_w <= 0:
+            return float("inf")
+        return (self.shutdown_energy_j + self.boot_energy_j) / saving_w
+
+
+class PowerStateMachine:
+    """The power-state machine of one node.
+
+    Parameters
+    ----------
+    idle_w:
+        Baseline draw while powered (ACTIVE/IDLE and during transitions).
+    costs:
+        Transition latencies and energies.
+    off_w:
+        Residual draw while OFF (0 for a hard power cycle; small for e.g.
+        suspend-to-RAM).
+    initial:
+        Starting state; must be ACTIVE, IDLE or OFF.
+    t0:
+        Simulation time the machine starts existing at.
+    """
+
+    def __init__(
+        self,
+        idle_w: float,
+        costs: TransitionCosts,
+        *,
+        off_w: float = 0.0,
+        initial: NodePowerState = NodePowerState.ACTIVE,
+        t0: float = 0.0,
+    ) -> None:
+        if idle_w < 0 or off_w < 0:
+            raise ReproError("powers must be non-negative")
+        if off_w > idle_w:
+            raise ReproError(f"off power {off_w} exceeds idle power {idle_w}")
+        if initial in (NodePowerState.BOOTING, NodePowerState.SHUTTING):
+            raise ReproError("cannot start mid-transition")
+        self.idle_w = float(idle_w)
+        self.off_w = float(off_w)
+        self.costs = costs
+        self._state = initial
+        self._segments: List[Tuple[float, NodePowerState]] = [(float(t0), initial)]
+        self._pending_until: float = float(t0)
+        self._pending_target: NodePowerState = initial
+        self._transition_energy_j = 0.0
+        self.boot_count = 0
+        self.shutdown_count = 0
+
+    # -- state queries ---------------------------------------------------
+    @property
+    def state(self) -> NodePowerState:
+        """Current state (call :meth:`advance` first when time has moved)."""
+        return self._state
+
+    @property
+    def transition_energy_j(self) -> float:
+        """Lump energy charged for transitions so far."""
+        return self._transition_energy_j
+
+    @property
+    def segments(self) -> Tuple[Tuple[float, NodePowerState], ...]:
+        """The ``(start_time, state)`` timeline recorded so far."""
+        return tuple(self._segments)
+
+    @property
+    def switch_count(self) -> int:
+        """Number of recorded state changes."""
+        return len(self._segments) - 1
+
+    def ready_at(self) -> float:
+        """When the in-flight transition (if any) completes."""
+        return self._pending_until
+
+    def advance(self, now: float) -> None:
+        """Complete any in-flight transition that has finished by ``now``."""
+        if (
+            self._state in (NodePowerState.BOOTING, NodePowerState.SHUTTING)
+            and now >= self._pending_until
+        ):
+            self._enter(self._pending_target, self._pending_until)
+
+    # -- transitions -----------------------------------------------------
+    def _enter(self, state: NodePowerState, t: float) -> None:
+        if state is not self._state:
+            # Callers may pre-schedule a transition at a future drain time;
+            # clamping keeps the segment clock monotone if the node is
+            # reclaimed before that time arrives.
+            t = max(t, self._segments[-1][0])
+            self._segments.append((t, state))
+            self._state = state
+
+    def request_active(self, now: float) -> float:
+        """Ask for ACTIVE; returns the time the node will be dispatchable.
+
+        IDLE resumes after ``resume_latency_s``; OFF boots after
+        ``boot_latency_s`` (charging ``boot_energy_j``); a node already
+        mid-boot reports its existing ready time.
+        """
+        self.advance(now)
+        if self._state is NodePowerState.ACTIVE:
+            return now
+        if self._state is NodePowerState.BOOTING:
+            return self._pending_until
+        if self._state is NodePowerState.SHUTTING:
+            # Finish the shutdown, then boot from OFF.
+            self._enter(NodePowerState.OFF, self._pending_until)
+            now = self._pending_until
+        if self._state is NodePowerState.IDLE:
+            if self.costs.resume_latency_s <= 0:
+                self._transition_energy_j += self.costs.resume_energy_j
+                self._enter(NodePowerState.ACTIVE, now)
+                return now
+            self._transition_energy_j += self.costs.resume_energy_j
+            self._enter(NodePowerState.BOOTING, now)
+            self._pending_until = now + self.costs.resume_latency_s
+            self._pending_target = NodePowerState.ACTIVE
+            return self._pending_until
+        # OFF -> boot.
+        self.boot_count += 1
+        self._transition_energy_j += self.costs.boot_energy_j
+        self._enter(NodePowerState.BOOTING, now)
+        self._pending_until = now + self.costs.boot_latency_s
+        self._pending_target = NodePowerState.ACTIVE
+        return self._pending_until
+
+    def request_idle(self, now: float) -> None:
+        """Park an ACTIVE (or booting) node to IDLE."""
+        self.advance(now)
+        if self._state in (NodePowerState.IDLE, NodePowerState.SHUTTING):
+            return
+        if self._state is NodePowerState.BOOTING:
+            # Let the boot finish, then park.
+            self._enter(NodePowerState.ACTIVE, self._pending_until)
+            now = self._pending_until
+        if self._state is NodePowerState.OFF:
+            raise ReproError("cannot park an OFF node to IDLE; boot it first")
+        self._enter(NodePowerState.IDLE, now)
+
+    def request_off(self, now: float) -> float:
+        """Shut an ACTIVE/IDLE node down; returns when it reaches OFF."""
+        self.advance(now)
+        if self._state is NodePowerState.OFF:
+            return now
+        if self._state is NodePowerState.SHUTTING:
+            return self._pending_until
+        if self._state is NodePowerState.BOOTING:
+            self._enter(NodePowerState.ACTIVE, self._pending_until)
+            now = self._pending_until
+        self.shutdown_count += 1
+        self._transition_energy_j += self.costs.shutdown_energy_j
+        if self.costs.shutdown_latency_s <= 0:
+            self._enter(NodePowerState.OFF, now)
+            return now
+        self._enter(NodePowerState.SHUTTING, now)
+        self._pending_until = now + self.costs.shutdown_latency_s
+        self._pending_target = NodePowerState.OFF
+        return self._pending_until
+
+    # -- energy ----------------------------------------------------------
+    def _segment_power_w(self, state: NodePowerState) -> float:
+        return self.off_w if state is NodePowerState.OFF else self.idle_w
+
+    def baseline_energy_j(self, until: float) -> float:
+        """Integral of the state baseline power up to ``until`` (joules).
+
+        Includes the lump transition energies; excludes the busy dynamic
+        power, which the engine accounts per served job.
+        """
+        if until < self._segments[0][0]:
+            raise ReproError("cannot integrate energy before the machine existed")
+        total = 0.0
+        for (t0, state), (t1, _) in zip(self._segments, self._segments[1:]):
+            overlap = min(t1, until) - t0
+            if overlap > 0:
+                total += overlap * self._segment_power_w(state)
+        last_t, last_state = self._segments[-1]
+        if until > last_t:
+            total += (until - last_t) * self._segment_power_w(last_state)
+        return total + self._transition_energy_j
+
+    def state_at(self, t: float) -> NodePowerState:
+        """The recorded state at time ``t`` (segment lookup)."""
+        state = self._segments[0][1]
+        for start, seg_state in self._segments:
+            if start <= t:
+                state = seg_state
+            else:
+                break
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PowerStateMachine(state={self._state.value}, idle={self.idle_w}W, "
+            f"boots={self.boot_count}, shutdowns={self.shutdown_count})"
+        )

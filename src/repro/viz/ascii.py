@@ -10,17 +10,20 @@ reproduction is judged on, and those survive character resolution.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ReproError
 from repro.viz.series import Figure
 
-__all__ = ["render_figure"]
+__all__ = ["render_figure", "render_timeline"]
 
 #: Marker glyphs assigned to series in order.
 _MARKERS = "*o+x#@%&st"
+
+#: Intensity ramp for timeline tracks, lowest to highest.
+_RAMP = " .:-=+*#%@"
 
 
 def _transform(values: np.ndarray, log: bool, axis: str) -> np.ndarray:
@@ -125,4 +128,62 @@ def render_figure(
     lines.append("")
     for idx, s in enumerate(figure.series):
         lines.append(f"  {_MARKERS[idx % len(_MARKERS)]} {s.label}")
+    return "\n".join(lines)
+
+
+def render_timeline(
+    tracks: Sequence[Tuple[str, Sequence[float]]],
+    *,
+    title: str = "",
+    t0_s: float = 0.0,
+    dt_s: float = 1.0,
+) -> str:
+    """Render per-interval metric tracks as intensity rows, one column per
+    interval.
+
+    Each ``(label, values)`` track is normalised to its own [min, max] range
+    and drawn with the glyph ramp ``" .:-=+*#%@"`` — what matters in a
+    scheduler timeline is the *shape* of each signal (demand rising, the
+    active set following, power tracking both), which survives a 10-level
+    ramp.  The row suffix prints the track's actual min/max so magnitudes
+    stay readable.
+    """
+    if not tracks:
+        raise ReproError("timeline needs at least one track")
+    arrays = []
+    for label, values in tracks:
+        v = np.asarray(values, dtype=float)
+        if v.ndim != 1 or v.size == 0:
+            raise ReproError(f"track {label!r} must be a non-empty 1-D sequence")
+        arrays.append((str(label), v))
+    n = arrays[0][1].size
+    if any(v.size != n for _, v in arrays):
+        raise ReproError("all timeline tracks must have the same length")
+    if dt_s <= 0:
+        raise ReproError(f"dt must be positive, got {dt_s}")
+
+    label_width = max(len(label) for label, _ in arrays)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, v in arrays:
+        lo, hi = float(v.min()), float(v.max())
+        if math.isclose(lo, hi):
+            levels = np.zeros(n, dtype=int)
+        else:
+            levels = np.clip(
+                ((v - lo) / (hi - lo) * (len(_RAMP) - 1)).round().astype(int),
+                0,
+                len(_RAMP) - 1,
+            )
+        row = "".join(_RAMP[i] for i in levels)
+        lines.append(
+            f"{label.rjust(label_width)} |{row}| "
+            f"[{lo:.3g} .. {hi:.3g}]"
+        )
+    axis = f"{'t [s]'.rjust(label_width)} |{'^'}{' ' * (n - 2)}{'^' if n > 1 else ''}|"
+    lines.append(axis)
+    t_end = t0_s + (n - 1) * dt_s
+    lines.append(f"{' ' * label_width}  {t0_s:g} .. {t_end:g} (dt={dt_s:g}s)")
     return "\n".join(lines)

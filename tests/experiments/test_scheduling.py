@@ -1,0 +1,148 @@
+"""Acceptance tests for the online scheduling study.
+
+These pin the issue's acceptance criteria: the energy-aware policy lands
+within 5% of the offline oracle's energy while beating round-robin, the
+Fig. 9-style mix contrast preserves p95 for EP but visibly degrades x264,
+and heterogeneity-aware dispatch strictly saves energy on a fixed mix.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.scheduling import (
+    ENERGY_POLICY,
+    STUDY_WORKLOADS,
+    render_schedule_summary,
+    render_scheduling_report,
+    replay_day,
+    run_scheduling_study,
+    scheduling_workloads,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_scheduling_study()
+
+
+class TestStudyShape:
+    def test_covers_the_study_workloads(self, study):
+        assert tuple(c.workload for c in study.comparisons) == STUDY_WORKLOADS
+        assert len(study.trace) == 24
+        assert all(0.0 < d <= 1.0 for d in study.trace)
+
+    def test_lookup_helpers(self, study):
+        assert study.comparison("EP").workload == "EP"
+        assert study.contrast("x264").workload == "x264"
+        with pytest.raises(ReproError):
+            study.comparison("doom")
+        with pytest.raises(ReproError):
+            study.contrast("doom")
+        with pytest.raises(ReproError):
+            study.comparison("EP").outcome("fifo")
+
+    def test_workload_chunking(self):
+        loads = scheduling_workloads()
+        assert set(loads) == set(STUDY_WORKLOADS)
+        # x264 keeps per-frame granularity: seconds on an A9, sub-second
+        # on a K10 — the asymmetry the mix contrast is about.
+        assert loads["x264"].ops_per_job == pytest.approx(30.0)
+
+
+class TestOracleGap:
+    def test_energy_policy_within_five_percent_of_oracle(self, study):
+        for comp in study.comparisons:
+            gap = comp.outcome(ENERGY_POLICY).oracle_gap
+            assert 0.0 < gap <= 0.05, (comp.workload, gap)
+
+    def test_oracle_beats_static_provisioning(self, study):
+        for comp in study.comparisons:
+            assert comp.oracle_energy_j < comp.static_energy_j
+            assert comp.outcome(ENERGY_POLICY).total_energy_j < comp.static_energy_j
+
+    def test_dynamic_metrics_are_sane(self, study):
+        for comp in study.comparisons:
+            o = comp.outcome(ENERGY_POLICY)
+            assert 0.0 < o.epm <= 1.0
+            assert 0.0 <= o.sublinear_fraction <= 1.0
+            assert o.jobs_arrived > 0
+            assert o.p50_s <= o.p95_s <= o.p99_s
+
+
+class TestPolicyOrdering:
+    def test_energy_policy_beats_round_robin_on_single_type_ladders(self, study):
+        # EP and memcached ladders are pure-A9, so the strict comparison is
+        # clean: ppr-greedy must not consume more energy than round-robin.
+        for name in ("EP", "memcached"):
+            comp = study.comparison(name)
+            ppr = comp.outcome(ENERGY_POLICY).total_energy_j
+            rr = comp.outcome("round-robin").total_energy_j
+            assert ppr <= rr * (1.0 + 1e-9), name
+
+    def test_round_robin_melts_down_on_x264(self, study):
+        # Round-robin loads 15 s/frame A9s and 0.4 s/frame K10s equally;
+        # on the mixed x264 ladder its tail collapses while ppr-greedy
+        # keeps serving.
+        comp = study.comparison("x264")
+        assert comp.outcome("round-robin").p95_s > 20 * comp.outcome(ENERGY_POLICY).p95_s
+        assert comp.outcome(ENERGY_POLICY).p95_s < 30.0
+
+    def test_tails_stay_bounded_for_the_energy_policy(self, study):
+        for comp in study.comparisons:
+            assert comp.outcome(ENERGY_POLICY).p99_s < 60.0
+
+
+class TestMixContrast:
+    def test_ep_p95_is_preserved_on_the_wimpy_mix(self, study):
+        assert study.contrast("EP").degradation <= 1.5
+
+    def test_x264_p95_visibly_degrades(self, study):
+        assert study.contrast("x264").degradation >= 5.0
+
+    def test_contrast_mirrors_figure9(self, study):
+        assert study.contrast("x264").degradation > 3 * study.contrast("EP").degradation
+
+
+class TestHeterogeneousDispatch:
+    def test_ppr_greedy_strictly_saves_energy(self, study):
+        het = study.het_energy
+        assert het.ppr_greedy_energy_j < het.round_robin_energy_j
+        assert het.saving_fraction > 0.0
+
+
+class TestRendering:
+    def test_report_mentions_every_block(self, study):
+        text = render_scheduling_report(study)
+        for marker in (
+            "Autoscaled day: EP",
+            "Autoscaled day: x264",
+            "offline oracle",
+            "Mix contrast",
+            "Heterogeneity-aware dispatch energy",
+            ENERGY_POLICY,
+        ):
+            assert marker in text
+
+    def test_schedule_summary(self):
+        result, oracle = replay_day("EP", n_intervals=6)
+        text = render_schedule_summary(result, oracle)
+        assert "gap vs oracle" in text
+        assert "EP / ppr-greedy" in text
+
+
+class TestReplayDay:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            replay_day("doom")
+        with pytest.raises(ReproError):
+            replay_day("EP", trace_kind="square")
+        with pytest.raises(ReproError):
+            replay_day("EP", trace_kind="constant", demand=0.0)
+
+    def test_constant_trace(self):
+        result, oracle = replay_day(
+            "EP", trace_kind="constant", demand=0.3, n_intervals=6
+        )
+        assert result.jobs_arrived > 0
+        assert oracle.dynamic_energy_j > 0
+        assert all(s.demand_fraction == pytest.approx(0.3) for s in result.timeline)

@@ -35,6 +35,17 @@ class TestDiurnalTrace:
         with pytest.raises(ModelError):
             diurnal_trace(n_intervals=0)
 
+    def test_noise_never_clips_to_zero(self):
+        """Regression: heavy noise at a low trough used to clip intervals
+        to exactly 0, a degenerate lambda = 0 arrival process downstream."""
+        from repro.extensions.dynamic import TRACE_FLOOR
+
+        trace = diurnal_trace(
+            low=0.01, high=0.2, rng=np.random.default_rng(0), noise=0.5
+        )
+        assert trace.min() >= TRACE_FLOOR > 0.0
+        assert trace.max() <= 1.0
+
 
 class TestScaledCandidates:
     def test_all_within_budget(self):

@@ -1,0 +1,130 @@
+"""Property tests: the fork-join simulator against its analytic anchors.
+
+Two families of invariants:
+
+* ``cv = 0`` collapses fork-join to M/D/1 — exactly on the sample path
+  (every chunk takes the same time, the join adds nothing, so responses
+  are the scalar Lindley waits plus the service), and statistically
+  against the analytic M/D/1 percentile;
+* the straggler penalty is monotone: widening the chunk-time noise or the
+  fan-out can only lengthen the tail.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueueingError
+from repro.queueing.forkjoin import simulate_fork_join
+from repro.queueing.mc import scalar_lindley_waits
+from repro.queueing.md1 import MD1Queue
+
+
+class TestDeterministicChunksAreMD1:
+    @given(
+        rho=st.floats(0.1, 0.85),
+        n_nodes=st.integers(1, 8),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sample_path_equals_scalar_lindley(self, rho, n_nodes, seed):
+        """With cv=0 every node sees the same arrivals and the same
+        deterministic service, so the join is a no-op and the response of
+        each job is exactly its single-queue Lindley wait plus service."""
+        chunk = 1.0
+        result = simulate_fork_join(
+            arrival_rate=rho / chunk,
+            chunk_time_s=chunk,
+            n_nodes=n_nodes,
+            cv=0.0,
+            n_jobs=400,
+            rng=np.random.default_rng(seed),
+        )
+        waits = scalar_lindley_waits(result.arrivals, chunk)
+        np.testing.assert_allclose(result.responses, waits + chunk, rtol=1e-12)
+
+    @given(rho=st.floats(0.15, 0.7), seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_p95_matches_the_analytic_md1(self, rho, seed):
+        chunk = 1.0
+        result = simulate_fork_join(
+            arrival_rate=rho / chunk,
+            chunk_time_s=chunk,
+            n_nodes=4,
+            cv=0.0,
+            n_jobs=8_000,
+            rng=np.random.default_rng(seed),
+        )
+        analytic = MD1Queue.from_utilisation(rho, chunk).p95_response_s()
+        assert result.p95_response_s == pytest.approx(analytic, rel=0.15)
+
+
+class TestStragglerMonotonicity:
+    @given(
+        cv_lo=st.floats(0.0, 0.4),
+        cv_step=st.floats(0.3, 1.0),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_penalty_grows_with_chunk_noise(self, cv_lo, cv_step, seed):
+        def p95(cv):
+            return simulate_fork_join(
+                arrival_rate=0.5,
+                chunk_time_s=1.0,
+                n_nodes=6,
+                cv=cv,
+                n_jobs=6_000,
+                rng=np.random.default_rng(seed),
+            ).p95_response_s
+
+        # 2% slack absorbs sampling noise; the effect itself is much larger.
+        assert p95(cv_lo + cv_step) >= p95(cv_lo) * 0.98
+
+    @given(
+        n_lo=st.integers(1, 6),
+        n_step=st.integers(2, 8),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_penalty_grows_with_fan_out(self, n_lo, n_step, seed):
+        def p95(n_nodes):
+            return simulate_fork_join(
+                arrival_rate=0.5,
+                chunk_time_s=1.0,
+                n_nodes=n_nodes,
+                cv=0.5,
+                n_jobs=6_000,
+                rng=np.random.default_rng(seed),
+            ).p95_response_s
+
+        assert p95(n_lo + n_step) >= p95(n_lo) * 0.98
+
+    @given(cv=st.floats(0.0, 1.0), seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_straggler_factor_at_least_one(self, cv, seed):
+        result = simulate_fork_join(
+            arrival_rate=0.3,
+            chunk_time_s=1.0,
+            n_nodes=4,
+            cv=cv,
+            n_jobs=3_000,
+            rng=np.random.default_rng(seed),
+        )
+        # Responses include a full chunk service, so the mean can only sit
+        # above the noise-free chunk time (small slack for lognormal skew).
+        assert result.straggler_factor >= 0.95
+
+
+class TestStability:
+    @given(rho=st.floats(1.0, 3.0))
+    @settings(max_examples=10, deadline=None)
+    def test_overloaded_system_rejected(self, rho):
+        with pytest.raises(QueueingError):
+            simulate_fork_join(
+                arrival_rate=rho,
+                chunk_time_s=1.0,
+                n_nodes=2,
+                n_jobs=10,
+                rng=np.random.default_rng(0),
+            )

@@ -1,0 +1,176 @@
+"""Tests for the capacity ladder and the online autoscalers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.errors import ReproError
+from repro.extensions.dynamic import scaled_candidates
+from repro.model.batched import config_constants
+from repro.scheduler.autoscaler import (
+    PredictiveAutoscaler,
+    ReactiveAutoscaler,
+    Rung,
+    build_ladder,
+)
+from repro.workloads.suite import workload
+
+
+@pytest.fixture(scope="module")
+def ep():
+    return workload("EP")
+
+
+def synthetic_ladder():
+    """Three rungs with round numbers: capacity n, idle n, peak 2n."""
+    return tuple(
+        Rung(
+            config=ClusterConfiguration.mix({"A9": n}),
+            capacity_ops=float(n),
+            idle_w=float(n),
+            dyn_w=float(n),
+        )
+        for n in (4, 8, 16)
+    )
+
+
+class TestRung:
+    def test_derived_quantities(self):
+        rung = Rung(
+            config=ClusterConfiguration.mix({"A9": 1}),
+            capacity_ops=100.0,
+            idle_w=10.0,
+            dyn_w=30.0,
+        )
+        assert rung.peak_w == pytest.approx(40.0)
+        assert rung.utilisation_at(50.0) == pytest.approx(0.5)
+        assert rung.utilisation_at(250.0) == 1.0  # clipped
+        assert rung.power_at(50.0) == pytest.approx(25.0)
+        assert rung.covers(95.0, headroom=0.95)
+        assert not rung.covers(96.0, headroom=0.95)
+        assert "A9" in rung.label
+
+
+class TestBuildLadder:
+    def test_needs_candidates(self, ep):
+        with pytest.raises(ReproError):
+            build_ladder(ep, [])
+
+    def test_sorted_by_capacity(self, ep):
+        ladder = build_ladder(ep, scaled_candidates(1000.0, a9_step=4, k10_step=1))
+        caps = [r.capacity_ops for r in ladder]
+        assert caps == sorted(caps)
+        assert len(ladder) >= 2
+
+    def test_dominance_filter_preserves_min_power_covering(self, ep):
+        """The optimum-preservation argument, checked numerically.
+
+        At every required load, the cheapest covering rung of the filtered
+        ladder must match the cheapest covering candidate overall — the
+        filter may only drop configurations that are never the optimum.
+        """
+        candidates = scaled_candidates(1000.0, a9_step=4, k10_step=1)
+        all_rungs = [
+            Rung(c, *config_constants(ep, c)) for c in candidates
+        ]
+        ladder = build_ladder(ep, candidates)
+        assert len(ladder) <= len(all_rungs)
+        top = max(r.capacity_ops for r in all_rungs)
+        for frac in np.linspace(0.05, 1.0, 20):
+            need = frac * top
+            best_all = min(r.power_at(need) for r in all_rungs if r.covers(need))
+            best_kept = min(r.power_at(need) for r in ladder if r.covers(need))
+            assert best_kept == pytest.approx(best_all)
+
+
+class TestReactiveAutoscaler:
+    def test_validation(self):
+        ladder = synthetic_ladder()
+        with pytest.raises(ReproError):
+            ReactiveAutoscaler(())
+        with pytest.raises(ReproError):
+            ReactiveAutoscaler(ladder, high=0.5, low=0.6)
+        with pytest.raises(ReproError):
+            ReactiveAutoscaler(ladder, cooldown_ticks=-1)
+
+    def test_steps_up_on_high_utilisation(self):
+        scaler = ReactiveAutoscaler(synthetic_ladder(), cooldown_ticks=0)
+        assert scaler.decide(0, 0.95, 0) == 1
+        assert scaler.decide(1, 0.95, 2) == 2  # already at the top
+
+    def test_cooldown_holds_after_a_change(self):
+        scaler = ReactiveAutoscaler(synthetic_ladder(), cooldown_ticks=2)
+        assert scaler.decide(0, 0.95, 0) == 1
+        # Two noisy samples inside the cooldown change nothing.
+        assert scaler.decide(1, 0.95, 1) == 1
+        assert scaler.decide(2, 0.95, 1) == 1
+        assert scaler.decide(3, 0.95, 1) == 2
+
+    def test_step_down_guarded_by_the_rung_below(self):
+        scaler = ReactiveAutoscaler(
+            synthetic_ladder(), high=0.85, low=0.50, cooldown_ticks=0
+        )
+        # u=0.45 on capacity 8 is 3.6 served ops; the rung below holds
+        # 4 * 0.85 = 3.4 — stepping down would instantly re-trigger.
+        assert scaler.decide(0, 0.45, 1) == 1
+        # u=0.40 serves 3.2 <= 3.4, so the step down is safe.
+        assert scaler.decide(1, 0.40, 1) == 0
+        assert scaler.decide(2, 0.10, 0) == 0  # already at the bottom
+
+    def test_reset_clears_cooldown(self):
+        scaler = ReactiveAutoscaler(synthetic_ladder(), cooldown_ticks=3)
+        scaler.decide(0, 0.95, 0)
+        scaler.reset()
+        assert scaler.decide(1, 0.95, 1) == 2
+
+    def test_no_forecast(self):
+        scaler = ReactiveAutoscaler(synthetic_ladder())
+        assert scaler.expected_park_s(0, 0, 20.0) is None
+
+
+class TestPredictiveAutoscaler:
+    def test_validation(self):
+        ladder = synthetic_ladder()
+        with pytest.raises(ReproError):
+            PredictiveAutoscaler(ladder, [], 16.0)
+        with pytest.raises(ReproError):
+            PredictiveAutoscaler(ladder, [0.5], 0.0)
+        with pytest.raises(ReproError):
+            PredictiveAutoscaler(ladder, [0.5], 16.0, target_utilisation=1.5)
+        with pytest.raises(ReproError):
+            PredictiveAutoscaler(ladder, [0.5], 16.0, lookahead=-1)
+
+    def test_choose_is_min_power_covering(self):
+        scaler = PredictiveAutoscaler(
+            synthetic_ladder(), [0.5], 16.0, target_utilisation=1.0
+        )
+        assert scaler.choose(3.0) == 0
+        assert scaler.choose(6.0) == 1
+        assert scaler.choose(12.0) == 2
+        # Demand beyond every rung falls back to the top.
+        assert scaler.choose(100.0) == 2
+
+    def test_decide_follows_the_trace_not_the_observation(self):
+        trace = [0.2, 0.9, 0.2]
+        scaler = PredictiveAutoscaler(
+            synthetic_ladder(), trace, 16.0, target_utilisation=1.0, lookahead=0
+        )
+        assert scaler.decide(0, 0.99, 2) == 0  # trace says 3.2 ops
+        assert scaler.decide(1, 0.0, 0) == 2  # trace says 14.4 ops
+
+    def test_lookahead_boots_before_the_rising_edge(self):
+        trace = [0.2, 0.9, 0.2]
+        eager = PredictiveAutoscaler(
+            synthetic_ladder(), trace, 16.0, target_utilisation=1.0, lookahead=1
+        )
+        assert eager.decide(0, 0.0, 0) == 2  # sees the 0.9 coming
+
+    def test_expected_park_scans_the_trace(self):
+        trace = [0.2, 0.2, 0.9, 0.2]
+        scaler = PredictiveAutoscaler(
+            synthetic_ladder(), trace, 16.0, target_utilisation=1.0, lookahead=0
+        )
+        # The bottom rung chosen at tick 0 is outgrown at tick 2.
+        assert scaler.expected_park_s(0, 0, 20.0) == pytest.approx(40.0)
+        # The top rung is never outgrown: parked to the end of the trace.
+        assert scaler.expected_park_s(0, 2, 20.0) == pytest.approx(80.0)

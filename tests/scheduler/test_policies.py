@@ -1,0 +1,170 @@
+"""Unit tests for the dispatch policies, on protocol-only fake nodes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.scheduler.policies import (
+    POLICY_NAMES,
+    JoinShortestQueue,
+    PowerOfTwoChoices,
+    PPRGreedy,
+    RoundRobin,
+    make_policy,
+)
+
+
+class FakeNode:
+    """Minimal stand-in implementing the policy node protocol."""
+
+    def __init__(self, name, spec_name="A9", backlog=0.0, ppr=1.0, service=1.0):
+        self.name = name
+        self.spec_name = spec_name
+        self.service_time_s = service
+        self._backlog = float(backlog)
+        self._ppr = float(ppr)
+
+    def backlog_s(self, now):
+        return self._backlog
+
+    def queue_len(self, now):
+        return int(self._backlog / self.service_time_s)
+
+    def utilisation_estimate(self, now):
+        return min(self._backlog / 5.0, 1.0)
+
+    def ppr_at(self, u):
+        return self._ppr
+
+
+def nodes_named(*names, **kwargs):
+    return [FakeNode(name, **kwargs) for name in names]
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        pool = nodes_named("a", "b", "c")
+        rr = RoundRobin()
+        picks = [rr.select(pool, 0.0).name for _ in range(5)]
+        assert picks == ["a", "b", "c", "a", "b"]
+
+    def test_reset_rewinds_cursor(self):
+        pool = nodes_named("a", "b")
+        rr = RoundRobin()
+        rr.select(pool, 0.0)
+        rr.reset()
+        assert rr.select(pool, 0.0).name == "a"
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ReproError):
+            RoundRobin().select([], 0.0)
+
+
+class TestJoinShortestQueue:
+    def test_least_backlog_wins(self):
+        pool = [
+            FakeNode("a", backlog=3.0),
+            FakeNode("b", backlog=1.0),
+            FakeNode("c", backlog=2.0),
+        ]
+        assert JoinShortestQueue().select(pool, 0.0).name == "b"
+
+    def test_ties_break_on_name(self):
+        pool = [FakeNode("b", backlog=1.0), FakeNode("a", backlog=1.0)]
+        assert JoinShortestQueue().select(pool, 0.0).name == "a"
+
+
+class TestPowerOfTwoChoices:
+    def test_requires_rng(self):
+        with pytest.raises(ReproError):
+            PowerOfTwoChoices().select(nodes_named("a", "b"), 0.0, rng=None)
+
+    def test_single_node_shortcut(self):
+        pool = nodes_named("only")
+        pick = PowerOfTwoChoices().select(pool, 0.0, rng=np.random.default_rng(0))
+        assert pick.name == "only"
+
+    def test_two_nodes_picks_lesser_backlog(self):
+        pool = [FakeNode("a", backlog=5.0), FakeNode("b", backlog=1.0)]
+        po2 = PowerOfTwoChoices()
+        # With two nodes both are always sampled, so the global minimum wins.
+        for seed in range(5):
+            assert po2.select(pool, 0.0, rng=np.random.default_rng(seed)).name == "b"
+
+    def test_tie_breaks_on_name(self):
+        pool = [FakeNode("b", backlog=2.0), FakeNode("a", backlog=2.0)]
+        pick = PowerOfTwoChoices().select(pool, 0.0, rng=np.random.default_rng(3))
+        assert pick.name == "a"
+
+    def test_deterministic_for_a_seeded_rng(self):
+        pool = [FakeNode(f"n{i}", backlog=float(i)) for i in range(6)]
+        picks_a = [
+            PowerOfTwoChoices().select(pool, 0.0, rng=np.random.default_rng(42)).name
+            for _ in range(1)
+        ]
+        picks_b = [
+            PowerOfTwoChoices().select(pool, 0.0, rng=np.random.default_rng(42)).name
+            for _ in range(1)
+        ]
+        assert picks_a == picks_b
+
+
+class TestPPRGreedy:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            PPRGreedy(u_cap=0.0)
+        with pytest.raises(ReproError):
+            PPRGreedy(u_cap=1.5)
+        with pytest.raises(ReproError):
+            PPRGreedy(window_s=0.0)
+        with pytest.raises(ReproError):
+            PPRGreedy(u_eval=0.0)
+
+    def test_routes_to_best_ppr_type(self):
+        pool = [
+            FakeNode("a0", spec_name="A9", backlog=0.0, ppr=2.0),
+            FakeNode("a1", spec_name="A9", backlog=0.0, ppr=2.0),
+            FakeNode("k0", spec_name="K10", backlog=0.5, ppr=5.0),
+        ]
+        # K10 wins on PPR even though an A9 has the shorter queue.
+        assert PPRGreedy().select(pool, 0.0).name == "k0"
+
+    def test_jsq_within_the_winning_type(self):
+        pool = [
+            FakeNode("k0", spec_name="K10", backlog=3.0, ppr=5.0),
+            FakeNode("k1", spec_name="K10", backlog=1.0, ppr=5.0),
+            FakeNode("a0", spec_name="A9", backlog=0.0, ppr=2.0),
+        ]
+        assert PPRGreedy().select(pool, 0.0).name == "k1"
+
+    def test_saturated_type_is_closed(self):
+        # One K10 with window_s=5 has a 5 s horizon; backlog 4.9 puts it at
+        # u = 0.98 >= u_cap, so jobs overflow to the A9 group.
+        pool = [
+            FakeNode("k0", spec_name="K10", backlog=4.9, ppr=5.0),
+            FakeNode("a0", spec_name="A9", backlog=0.2, ppr=2.0),
+        ]
+        assert PPRGreedy(u_cap=0.9, window_s=5.0).select(pool, 0.0).name == "a0"
+
+    def test_all_types_closed_degrades_to_global_jsq(self):
+        pool = [
+            FakeNode("k0", spec_name="K10", backlog=5.0, ppr=5.0),
+            FakeNode("a0", spec_name="A9", backlog=4.8, ppr=2.0),
+        ]
+        pick = PPRGreedy(u_cap=0.9, window_s=5.0).select(pool, 0.0)
+        assert pick.name == "a0"  # smallest backlog overall
+
+
+class TestMakePolicy:
+    def test_every_name_constructs(self):
+        for name in POLICY_NAMES:
+            assert make_policy(name).name == name
+
+    def test_kwargs_reach_ppr_greedy(self):
+        policy = make_policy("ppr-greedy", u_cap=0.5, u_eval=0.8)
+        assert policy.u_cap == 0.5
+        assert policy.u_eval == 0.8
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError):
+            make_policy("fifo")

@@ -1,0 +1,148 @@
+"""Tests for the per-node power-state machine and transition costs."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.scheduler.powerstate import (
+    NodePowerState,
+    PowerStateMachine,
+    TransitionCosts,
+)
+
+IDLE_W = 2.0
+LIGHT = TransitionCosts(
+    boot_latency_s=2.0,
+    boot_energy_j=10.0,
+    shutdown_latency_s=1.0,
+    shutdown_energy_j=5.0,
+)
+
+
+class TestTransitionCosts:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            TransitionCosts(boot_latency_s=-1.0)
+        with pytest.raises(ReproError):
+            TransitionCosts(resume_energy_j=-0.1)
+
+    def test_scaled_charges_nameplate_power(self):
+        c = TransitionCosts.scaled(5.0, boot_latency_s=4.0, shutdown_latency_s=2.0)
+        assert c.boot_energy_j == pytest.approx(20.0)
+        assert c.shutdown_energy_j == pytest.approx(10.0)
+        assert c.resume_energy_j == 0.0
+        with pytest.raises(ReproError):
+            TransitionCosts.scaled(-1.0)
+
+    def test_off_breakeven(self):
+        c = TransitionCosts(boot_energy_j=10.0, shutdown_energy_j=5.0)
+        assert c.off_breakeven_s(idle_w=3.0) == pytest.approx(5.0)
+        # Residual off draw narrows the saving, pushing the break-even out.
+        assert c.off_breakeven_s(idle_w=3.0, off_w=1.0) == pytest.approx(7.5)
+        assert c.off_breakeven_s(idle_w=1.0, off_w=1.0) == float("inf")
+
+
+class TestStateMachine:
+    def test_constructor_validation(self):
+        with pytest.raises(ReproError):
+            PowerStateMachine(-1.0, LIGHT)
+        with pytest.raises(ReproError):
+            PowerStateMachine(1.0, LIGHT, off_w=2.0)
+        with pytest.raises(ReproError):
+            PowerStateMachine(IDLE_W, LIGHT, initial=NodePowerState.BOOTING)
+
+    def test_powered_property(self):
+        assert not NodePowerState.OFF.powered
+        for s in (
+            NodePowerState.ACTIVE,
+            NodePowerState.IDLE,
+            NodePowerState.BOOTING,
+            NodePowerState.SHUTTING,
+        ):
+            assert s.powered
+
+    def test_boot_charges_energy_and_latency(self):
+        m = PowerStateMachine(IDLE_W, LIGHT, initial=NodePowerState.OFF)
+        ready = m.request_active(10.0)
+        assert ready == pytest.approx(12.0)
+        assert m.state is NodePowerState.BOOTING
+        assert m.ready_at() == pytest.approx(12.0)
+        assert m.boot_count == 1
+        assert m.transition_energy_j == pytest.approx(10.0)
+        # A repeated request mid-boot reports the existing ready time.
+        assert m.request_active(11.0) == pytest.approx(12.0)
+        m.advance(12.0)
+        assert m.state is NodePowerState.ACTIVE
+        assert m.request_active(13.0) == pytest.approx(13.0)
+
+    def test_idle_resume_is_free_by_default(self):
+        m = PowerStateMachine(IDLE_W, LIGHT)
+        m.request_idle(5.0)
+        assert m.state is NodePowerState.IDLE
+        m.request_idle(6.0)  # idempotent
+        assert m.request_active(6.0) == pytest.approx(6.0)
+        assert m.state is NodePowerState.ACTIVE
+        assert m.boot_count == 0
+
+    def test_resume_latency_goes_through_booting(self):
+        costs = TransitionCosts(resume_latency_s=0.5, resume_energy_j=1.0)
+        m = PowerStateMachine(IDLE_W, costs)
+        m.request_idle(0.0)
+        ready = m.request_active(4.0)
+        assert ready == pytest.approx(4.5)
+        assert m.state is NodePowerState.BOOTING
+        assert m.transition_energy_j == pytest.approx(1.0)
+
+    def test_activation_mid_shutdown_finishes_then_boots(self):
+        m = PowerStateMachine(IDLE_W, LIGHT)
+        t_off = m.request_off(0.0)
+        assert t_off == pytest.approx(1.0)
+        assert m.state is NodePowerState.SHUTTING
+        assert m.request_off(0.2) == pytest.approx(1.0)  # idempotent
+        ready = m.request_active(0.5)
+        assert ready == pytest.approx(1.0 + LIGHT.boot_latency_s)
+        assert m.shutdown_count == 1
+        assert m.boot_count == 1
+
+    def test_cannot_park_off_node_idle(self):
+        m = PowerStateMachine(IDLE_W, LIGHT, initial=NodePowerState.OFF)
+        with pytest.raises(ReproError):
+            m.request_idle(0.0)
+        assert m.request_off(0.0) == pytest.approx(0.0)  # already off
+
+    def test_park_during_boot_waits_for_the_boot(self):
+        m = PowerStateMachine(IDLE_W, LIGHT, initial=NodePowerState.OFF)
+        m.request_active(0.0)
+        m.request_idle(1.0)
+        assert m.state is NodePowerState.IDLE
+        assert m.state_at(1.5) is NodePowerState.BOOTING
+        assert m.state_at(2.0) is NodePowerState.IDLE
+
+    def test_baseline_energy_integrates_states(self):
+        m = PowerStateMachine(IDLE_W, LIGHT, off_w=0.5)
+        m.request_idle(10.0)
+        m.request_off(20.0)
+        m.advance(21.0)
+        assert m.state is NodePowerState.OFF
+        # 21 s powered at 2 W, the shutdown lump, then 4 s off at 0.5 W.
+        assert m.baseline_energy_j(25.0) == pytest.approx(21 * 2.0 + 5.0 + 4 * 0.5)
+        with pytest.raises(ReproError):
+            m.baseline_energy_j(-1.0)
+
+    def test_instant_shutdown(self):
+        costs = TransitionCosts(shutdown_latency_s=0.0, shutdown_energy_j=2.0)
+        m = PowerStateMachine(IDLE_W, costs)
+        assert m.request_off(3.0) == pytest.approx(3.0)
+        assert m.state is NodePowerState.OFF
+        assert m.transition_energy_j == pytest.approx(2.0)
+
+    def test_prescheduled_park_keeps_segments_monotone(self):
+        m = PowerStateMachine(IDLE_W, LIGHT)
+        # Pre-schedule a park for a future drain time, then reclaim the
+        # node before that time arrives: the segment clock must not move
+        # backwards.
+        m.request_idle(30.0)
+        m.request_active(15.0)
+        starts = [t for t, _ in m.segments]
+        assert starts == sorted(starts)
+        assert m.state is NodePowerState.ACTIVE
+        assert m.switch_count == len(m.segments) - 1

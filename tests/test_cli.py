@@ -141,3 +141,60 @@ class TestCommands:
         assert main(["characterize", "EP", "--seed", "5"]) == 0
         out = capsys.readouterr().out
         assert "Characterization of EP" in out
+
+
+class TestVersionAndSeed:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+    def test_top_level_seed_survives_subcommand_parsing(self):
+        args = build_parser().parse_args(["--seed", "7", "schedule"])
+        assert args.seed == 7
+        args = build_parser().parse_args(["--seed", "7", "schedule", "--seed", "9"])
+        assert args.seed == 9
+        args = build_parser().parse_args(["sensitivity"])
+        assert args.seed is None
+
+    def test_sensitivity_draws(self, capsys):
+        assert main(["--seed", "3", "sensitivity", "--draws", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Random perturbation draws (seed 3)" in out
+        assert "% of 2 draws" in out
+
+
+class TestScheduleCommand:
+    def test_replay_is_deterministic(self, capsys):
+        argv = ["schedule", "--policy", "ppr-greedy", "--trace", "diurnal",
+                "--seed", "42", "--intervals", "8"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert "gap vs oracle" in first
+        assert "EP / ppr-greedy" in first
+
+    def test_top_level_seed_matches_subcommand_seed(self, capsys):
+        assert main(["--seed", "42", "schedule", "--intervals", "8"]) == 0
+        top = capsys.readouterr().out
+        assert main(["schedule", "--seed", "42", "--intervals", "8"]) == 0
+        assert capsys.readouterr().out == top
+
+    def test_constant_trace_and_policy_choice(self, capsys):
+        argv = ["schedule", "--workload", "x264", "--policy", "jsq",
+                "--trace", "constant", "--demand", "0.3", "--intervals", "6"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "x264 / jsq" in out
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        assert main(["schedule", "--workload", "doom"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_policy_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--policy", "fifo"])

@@ -90,7 +90,23 @@ def main(argv):
         print(f"  {pct:6.1f}%  {got:4d}/{want:<4d}  {rel}")
     overall = 100.0 * covered / total
     print(f"\nTOTAL: {covered}/{total} lines = {overall:.2f}%")
+    floor = coverage_floor()
+    if overall < floor:
+        print(f"FAIL: coverage {overall:.2f}% is below the pinned floor {floor}%")
+        return 1
+    print(f"OK: floor {floor}% held")
     return 0
+
+
+def coverage_floor() -> float:
+    """The ``fail_under`` value pinned in pyproject.toml (0 if absent)."""
+    import tomllib
+
+    with open(REPO / "pyproject.toml", "rb") as fh:
+        config = tomllib.load(fh)
+    return float(
+        config.get("tool", {}).get("coverage", {}).get("report", {}).get("fail_under", 0)
+    )
 
 
 if __name__ == "__main__":
