@@ -12,10 +12,10 @@ target itself needs multi-core replication parallelism; this single-core
 container caps the honest ratio — see the module docstring).
 """
 
-import json
 from pathlib import Path
 
 from repro.benchmarks.mc import AGREEMENT_CONTRACT, FLOOR_SPEEDUP, run_benchmark
+from repro.obs.timer import BENCH_SCHEMA, write_bench_json
 from repro.util.tables import render_table
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -23,8 +23,9 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 
 def test_mc_engine_speedup(benchmark, emit):
     result = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
-    out = _REPO_ROOT / "BENCH_mc.json"
-    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    sidecar = write_bench_json(_REPO_ROOT / "BENCH_mc.json", result)
+    assert result["schema"] == BENCH_SCHEMA
+    assert sidecar is not None and sidecar.exists()
 
     rows = []
     for name, sc in result["scenarios"].items():

@@ -9,10 +9,10 @@ per-node event treatment must keep a whole day's replay inside a
 unit-test budget.
 """
 
-import json
 from pathlib import Path
 
 from repro.benchmarks.scheduler import run_benchmark
+from repro.obs.timer import BENCH_SCHEMA, write_bench_json
 from repro.util.tables import render_kv
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -21,13 +21,19 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 #: unloaded core, so trips mean an order-of-magnitude regression, not noise.
 _FLOOR_EVENTS_PER_S = 2_000.0
 
+#: The obs layer's contract is <= 5% overhead; the CI bound leaves room
+#: for single-shot timing noise on a loaded container.
+_MAX_OVERHEAD_RATIO = 1.15
+
 
 def test_scheduler_event_rate(benchmark, emit):
     result = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
-    out = _REPO_ROOT / "BENCH_scheduler.json"
-    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    sidecar = write_bench_json(_REPO_ROOT / "BENCH_scheduler.json", result)
+    assert result["schema"] == BENCH_SCHEMA
+    assert sidecar is not None and sidecar.exists()
 
     counts = result["counts"]
+    overhead = result["instrumentation"]["overhead_ratio"]
     emit(
         render_kv(
             {
@@ -37,9 +43,11 @@ def test_scheduler_event_rate(benchmark, emit):
                 "study wall time [s]": round(result["timings_s"]["study_best"], 3),
                 "events/s": round(result["events_per_s"], 0),
                 "floor": _FLOOR_EVENTS_PER_S,
+                "instrumented overhead": f"x{overhead:.3f}",
             },
             title="Online scheduler event throughput",
         )
     )
     assert counts["jobs_dispatched_autoscaled"] > 10_000
     assert result["events_per_s"] >= _FLOOR_EVENTS_PER_S
+    assert overhead <= _MAX_OVERHEAD_RATIO

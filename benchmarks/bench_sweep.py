@@ -7,10 +7,10 @@ Wraps :mod:`repro.benchmarks.sweep` (also runnable standalone as
 contract — agreement within 1e-9 relative and at least a 10x speedup.
 """
 
-import json
 from pathlib import Path
 
 from repro.benchmarks.sweep import run_benchmark
+from repro.obs.timer import BENCH_SCHEMA, write_bench_json
 from repro.util.tables import render_kv
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -18,8 +18,9 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 
 def test_sweep_engine_speedup(benchmark, emit):
     result = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
-    out = _REPO_ROOT / "BENCH_sweep.json"
-    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    sidecar = write_bench_json(_REPO_ROOT / "BENCH_sweep.json", result)
+    assert result["schema"] == BENCH_SCHEMA
+    assert sidecar is not None and sidecar.exists()
 
     timings = result["timings_s"]
     errors = result["max_rel_error"]

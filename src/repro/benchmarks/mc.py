@@ -47,14 +47,14 @@ entry::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ReproError
+from repro.obs import get_registry, instrumented
+from repro.obs.timer import bench_envelope, measure, timed, write_bench_json
 from repro.queueing.des import QueueSimulator
 from repro.queueing.mc import (
     MonteCarloQueue,
@@ -99,23 +99,23 @@ def _scalar_des_seconds(
     statistically identical problems.
     """
     rngs = queue.spawn_generators(scalar_reps)
-    t0 = time.perf_counter()
-    for rng in rngs:
-        if service_model:
-            sim = QueueSimulator(
-                PoissonArrivals(queue.arrival_rate, rng),
-                lambda r: float(r.exponential(_SERVICE_S)),
-                rng,
-                engine="scalar",
-            )
-        else:
-            sim = QueueSimulator(
-                PoissonArrivals(queue.arrival_rate, rng),
-                _SERVICE_S,
-                engine="scalar",
-            )
-        sim.run_jobs(n_jobs)
-    return time.perf_counter() - t0
+    with timed() as elapsed:
+        for rng in rngs:
+            if service_model:
+                sim = QueueSimulator(
+                    PoissonArrivals(queue.arrival_rate, rng),
+                    lambda r: float(r.exponential(_SERVICE_S)),
+                    rng,
+                    engine="scalar",
+                )
+            else:
+                sim = QueueSimulator(
+                    PoissonArrivals(queue.arrival_rate, rng),
+                    _SERVICE_S,
+                    engine="scalar",
+                )
+            sim.run_jobs(n_jobs)
+    return elapsed()
 
 
 def _kernel_agreement(
@@ -147,13 +147,13 @@ def _scenario(
     service_model: bool,
 ) -> Dict[str, object]:
     """Time one scenario and check its agreement contract."""
-    t0 = time.perf_counter()
-    queue.simulate_waits(n_jobs, n_reps)
-    vectorized_s = time.perf_counter() - t0
+    _, t_vec = measure(
+        lambda: queue.simulate_waits(n_jobs, n_reps), repeats=1, warmup=0
+    )
+    vectorized_s = t_vec.best_s
 
-    t0 = time.perf_counter()
-    queue.run(n_jobs, n_reps)
-    with_stats_s = time.perf_counter() - t0
+    _, t_stats = measure(lambda: queue.run(n_jobs, n_reps), repeats=1, warmup=0)
+    with_stats_s = t_stats.best_s
 
     scalar_measured_s = _scalar_des_seconds(
         queue, n_jobs, scalar_reps, service_model=service_model
@@ -194,7 +194,8 @@ def run_benchmark(
     validation_jobs: int = 20_000,
     validation_reps: int = 40,
 ) -> Dict[str, object]:
-    """Run both scenarios plus the validation grid; return a JSON dict."""
+    """Run both scenarios plus the validation grid; return a JSON dict in
+    the shared ``repro-bench/1`` envelope."""
     if n_jobs <= 0 or n_reps <= 0:
         raise ReproError("n_jobs and n_reps must be positive")
     scalar_reps = min(max(scalar_reps, 1), n_reps)
@@ -203,36 +204,47 @@ def run_benchmark(
     mm1 = MonteCarloQueue(
         _UTILISATION / _SERVICE_S, exponential_service(_SERVICE_S), seed=seed
     )
-    scenarios = {
-        "md1": _scenario(
-            md1, n_jobs, n_reps, scalar_reps, agreement_reps, service_model=False
-        ),
-        "service_model": _scenario(
-            mm1, n_jobs, n_reps, scalar_reps, agreement_reps, service_model=True
-        ),
-    }
+    with timed() as elapsed:
+        scenarios = {
+            "md1": _scenario(
+                md1, n_jobs, n_reps, scalar_reps, agreement_reps,
+                service_model=False,
+            ),
+            "service_model": _scenario(
+                mm1, n_jobs, n_reps, scalar_reps, agreement_reps,
+                service_model=True,
+            ),
+        }
 
-    from repro.experiments.validation_mc import run_validation
+        from repro.experiments.validation_mc import run_validation
 
-    report = run_validation(
-        n_jobs=validation_jobs, n_reps=validation_reps, seed=seed
-    )
+        report = run_validation(
+            n_jobs=validation_jobs, n_reps=validation_reps, seed=seed
+        )
     import os
 
-    return {
-        "params": {
+    # One short instrumented reduction feeds the metrics sidecar
+    # (replication/job counters, buffer reuses); timed separately above.
+    with instrumented():
+        md1.run(min(n_jobs, 10_000), min(n_reps, 8))
+        metrics = get_registry().snapshot()
+
+    return bench_envelope(
+        "mc",
+        {
             "n_jobs": n_jobs,
             "n_reps": n_reps,
             "scalar_reps": scalar_reps,
             "seed": seed,
             "cpus": os.cpu_count(),
         },
-        "note": (
+        {"total": elapsed()},
+        note=(
             "speedups are single-core; the 100x target needs parallel "
             "replications across cores (see repro/benchmarks/mc.py docstring)"
         ),
-        "scenarios": scenarios,
-        "validation": {
+        scenarios=scenarios,
+        validation={
             "cells": len(report.cells),
             "flagged": len(report.flagged),
             "all_agree": report.all_agree,
@@ -241,7 +253,8 @@ def run_benchmark(
             "n_jobs": validation_jobs,
             "n_reps": validation_reps,
         },
-    }
+        metrics=metrics,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -272,9 +285,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    with open(args.output, "w", encoding="utf-8") as fh:
-        json.dump(result, fh, indent=2)
-        fh.write("\n")
+    sidecar = write_bench_json(args.output, result)
 
     for name, sc in result["scenarios"].items():
         t = sc["timings_s"]
@@ -293,7 +304,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"validation grid: {v['cells']} cells, {v['flagged']} flagged "
         f"({'all agree' if v['all_agree'] else 'DISAGREEMENT'})"
     )
-    print(f"wrote {args.output}")
+    print(f"wrote {args.output}" + (f" (+ {sidecar})" if sidecar else ""))
     return 0
 
 

@@ -21,9 +21,7 @@ engine's contract is <= 1e-9.  Run as a console entry::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.configuration import (
@@ -35,6 +33,8 @@ from repro.cluster.pareto import evaluate_configuration, evaluate_space
 from repro.errors import ModelError
 from repro.hardware.specs import get_node_spec
 from repro.model.batched import clear_constants_cache, evaluate_space_arrays
+from repro.obs import get_registry, instrumented
+from repro.obs.timer import bench_envelope, measure, write_bench_json
 from repro.workloads.suite import paper_workloads
 
 __all__ = ["paper_spaces", "run_benchmark", "main"]
@@ -57,9 +57,10 @@ def run_benchmark(
 ) -> Dict[str, object]:
     """Time the scalar and batched sweeps and verify their agreement.
 
-    Returns a JSON-serialisable result dictionary; the scalar pass runs
-    once (it dominates the runtime), the warm batched pass reports the
-    minimum over ``warm_repeats`` runs.
+    Returns a JSON-serialisable result dictionary in the shared
+    ``repro-bench/1`` envelope; the scalar pass runs once (it dominates
+    the runtime), the warm batched pass reports the minimum over
+    ``warm_repeats`` runs after one explicit warmup run.
     """
     suite = paper_workloads()
     if workload_name not in suite:
@@ -71,27 +72,27 @@ def run_benchmark(
     spaces = paper_spaces(n_a9, n_k10)
     n_configs = count_configurations(spaces)
 
-    t0 = time.perf_counter()
-    scalar = [
-        evaluate_configuration(workload, config)
-        for config in enumerate_configurations(spaces)
-    ]
-    scalar_s = time.perf_counter() - t0
+    scalar, t_scalar = measure(
+        lambda: [
+            evaluate_configuration(workload, config)
+            for config in enumerate_configurations(spaces)
+        ],
+        repeats=1,
+        warmup=0,
+    )
 
     clear_constants_cache()
-    t0 = time.perf_counter()
-    arrays = evaluate_space_arrays(workload, spaces)
-    batched_cold_s = time.perf_counter() - t0
-
-    batched_warm_s = float("inf")
-    for _ in range(max(warm_repeats, 1)):
-        t0 = time.perf_counter()
-        arrays = evaluate_space_arrays(workload, spaces)
-        batched_warm_s = min(batched_warm_s, time.perf_counter() - t0)
-
-    t0 = time.perf_counter()
-    materialised = evaluate_space(workload, spaces)
-    materialised_s = time.perf_counter() - t0
+    arrays, t_cold = measure(
+        lambda: evaluate_space_arrays(workload, spaces), repeats=1, warmup=0
+    )
+    arrays, t_warm = measure(
+        lambda: evaluate_space_arrays(workload, spaces),
+        repeats=max(warm_repeats, 1),
+        warmup=1,
+    )
+    materialised, t_mat = measure(
+        lambda: evaluate_space(workload, spaces), repeats=1, warmup=0
+    )
 
     if len(scalar) != arrays.n_configs or len(materialised) != n_configs:
         raise AssertionError("scalar and batched spaces differ in size")
@@ -101,26 +102,42 @@ def run_benchmark(
         energy_err = max(energy_err, abs(arrays.energy_j[i] / ev.energy_j - 1.0))
         peak_err = max(peak_err, abs(arrays.peak_power_w[i] / ev.peak_power_w - 1.0))
 
-    return {
-        "workload": workload_name,
-        "space": {"n_a9": n_a9, "n_k10": n_k10, "configs": n_configs},
-        "timings_s": {
+    # One instrumented batched pass feeds the metrics sidecar (cache
+    # counters, configs/s gauge); it plays no part in the timings above.
+    with instrumented():
+        evaluate_space_arrays(workload, spaces)
+        metrics = get_registry().snapshot()
+
+    scalar_s = t_scalar.best_s
+    return bench_envelope(
+        "sweep",
+        {
+            "workload": workload_name,
+            "n_a9": n_a9,
+            "n_k10": n_k10,
+            "warm_repeats": t_warm.repeats,
+            "warmup": t_warm.warmup,
+        },
+        {
             "scalar": scalar_s,
-            "batched_cold": batched_cold_s,
-            "batched_warm": batched_warm_s,
-            "materialised": materialised_s,
+            "batched_cold": t_cold.best_s,
+            "batched_warm": t_warm.best_s,
+            "materialised": t_mat.best_s,
         },
-        "speedup": {
-            "batched_cold": scalar_s / batched_cold_s,
-            "batched_warm": scalar_s / batched_warm_s,
-            "materialised": scalar_s / materialised_s,
+        workload=workload_name,
+        space={"n_a9": n_a9, "n_k10": n_k10, "configs": n_configs},
+        speedup={
+            "batched_cold": scalar_s / t_cold.best_s,
+            "batched_warm": scalar_s / t_warm.best_s,
+            "materialised": scalar_s / t_mat.best_s,
         },
-        "max_rel_error": {
+        max_rel_error={
             "tp_s": tp_err,
             "energy_j": energy_err,
             "peak_power_w": peak_err,
         },
-    }
+        metrics=metrics,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -144,9 +161,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ModelError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    with open(args.output, "w", encoding="utf-8") as fh:
-        json.dump(result, fh, indent=2)
-        fh.write("\n")
+    sidecar = write_bench_json(args.output, result)
 
     timings = result["timings_s"]
     speedup = result["speedup"]
@@ -167,7 +182,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"tp {errors['tp_s']:.2e}, energy {errors['energy_j']:.2e}, "
         f"peak {errors['peak_power_w']:.2e}"
     )
-    print(f"wrote {args.output}")
+    print(f"wrote {args.output}" + (f" (+ {sidecar})" if sidecar else ""))
     return 0
 
 

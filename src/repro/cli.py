@@ -20,22 +20,34 @@ without writing any Python:
 * ``ablations`` — print every ablation study.
 * ``sensitivity`` — print the calibration sensitivity analyses.
 * ``schedule`` — replay one autoscaled day through the online scheduler
-  (``--policy``, ``--trace``, ``--workload``) and print the timeline.
+  (``--policy``, ``--trace``, ``--workload``) and print the timeline;
+  ``--json`` emits the full per-interval telemetry stream instead.
+* ``profile <command> ...`` — run any other command under instrumentation
+  and print a flame summary plus the collected metrics.
 
 The top-level ``--seed`` feeds every seeded command (``schedule``,
 ``validate-mc``, ``sensitivity``, ``table 4``, ``validate``,
 ``characterize``); a subcommand's own ``--seed`` takes precedence when
-both are given.
+both are given.  The top-level ``--log-level`` configures the ``repro``
+logger hierarchy (see :mod:`repro.obs.logs`).
+
+Observability: every command accepts ``--trace-out PATH`` (Chrome-trace
+JSON, loadable in ``chrome://tracing``) and ``--metrics-out PATH`` (the
+metrics-registry snapshot as JSON).  Either flag runs the command under
+:func:`repro.obs.instrumented`; ``profile`` does the same and adds the
+human-readable summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
 from repro.errors import ReproError
+from repro.obs.logs import LOG_LEVELS, configure_logging
 
 __all__ = ["main", "build_parser"]
 
@@ -82,11 +94,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="root seed for every seeded command (subcommand --seed wins)",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default=None,
+        help="configure the repro logger hierarchy on stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # Shared observability flags: any command can dump a Chrome trace and a
+    # metrics snapshot of its own run.  A parent parser puts the flags
+    # *after* the subcommand, where argparse can still see them when
+    # ``profile`` re-parses its REMAINDER.
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    obs_parent.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="run instrumented; write spans as Chrome-trace JSON to PATH",
+    )
+    obs_parent.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="run instrumented; write the metrics snapshot as JSON to PATH",
+    )
 
     # Subcommand --seed flags default to SUPPRESS so an omitted flag leaves
     # the top-level value in the namespace instead of clobbering it.
-    p_table = sub.add_parser("table", help="print one of the paper's tables")
+    p_table = sub.add_parser(
+        "table", help="print one of the paper's tables", parents=[obs_parent]
+    )
     p_table.add_argument("number", type=int, choices=(4, 5, 6, 7, 8))
     p_table.add_argument(
         "--seed",
@@ -95,11 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="root seed for Table 4's pipeline",
     )
 
-    p_fig = sub.add_parser("figure", help="render one of the paper's figures")
+    p_fig = sub.add_parser(
+        "figure", help="render one of the paper's figures", parents=[obs_parent]
+    )
     p_fig.add_argument("name", help="figure id, e.g. fig9 (see repro.experiments)")
     p_fig.add_argument("--csv", type=Path, default=None, help="export data to DIR")
 
-    p_val = sub.add_parser("validate", help="run the Table 4 validation pipeline")
+    p_val = sub.add_parser(
+        "validate", help="run the Table 4 validation pipeline", parents=[obs_parent]
+    )
     p_val.add_argument("--seed", type=int, default=argparse.SUPPRESS)
     p_val.add_argument("--wimpy", type=int, default=4, help="A9 nodes in the rack")
     p_val.add_argument("--brawny", type=int, default=1, help="K10 nodes in the rack")
@@ -107,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc = sub.add_parser(
         "validate-mc",
         help="Monte-Carlo cross-validation of the analytic p95 claims",
+        parents=[obs_parent],
     )
     p_mc.add_argument(
         "--seed", type=int, default=argparse.SUPPRESS, help="root seed"
@@ -126,14 +171,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated paper workloads (default: EP,memcached,x264)",
     )
 
-    p_rep = sub.add_parser("report", help="analyse one workload on one mix")
+    p_rep = sub.add_parser(
+        "report", help="analyse one workload on one mix", parents=[obs_parent]
+    )
     p_rep.add_argument("workload")
     p_rep.add_argument("--mix", type=_parse_mix, default={"A9": 64, "K10": 8})
     p_rep.add_argument(
         "--utilisation", type=float, default=0.9, help="for the response-time row"
     )
 
-    p_rec = sub.add_parser("recommend", help="search for a deadline-meeting cluster")
+    p_rec = sub.add_parser(
+        "recommend", help="search for a deadline-meeting cluster", parents=[obs_parent]
+    )
     p_rec.add_argument("workload")
     p_rec.add_argument("--deadline", type=float, required=True, help="seconds")
     p_rec.add_argument("--max-wimpy", type=int, default=16)
@@ -144,14 +193,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_char = sub.add_parser(
-        "characterize", help="measured-vs-true Table 1 parameters for a workload"
+        "characterize",
+        help="measured-vs-true Table 1 parameters for a workload",
+        parents=[obs_parent],
     )
     p_char.add_argument("workload")
     p_char.add_argument("--seed", type=int, default=argparse.SUPPRESS)
 
-    sub.add_parser("ablations", help="print every ablation study")
+    sub.add_parser(
+        "ablations", help="print every ablation study", parents=[obs_parent]
+    )
     p_sens = sub.add_parser(
-        "sensitivity", help="print the calibration sensitivity analyses"
+        "sensitivity",
+        help="print the calibration sensitivity analyses",
+        parents=[obs_parent],
     )
     p_sens.add_argument(
         "--seed",
@@ -164,7 +219,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_sched = sub.add_parser(
-        "schedule", help="replay one autoscaled day through the online scheduler"
+        "schedule",
+        help="replay one autoscaled day through the online scheduler",
+        parents=[obs_parent],
     )
     p_sched.add_argument(
         "--workload", default="EP", help="study workload (EP, memcached, x264)"
@@ -197,6 +254,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="run the full study (all policies, mix contrast) instead of one day",
+    )
+    p_sched.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the replay as JSON with the full per-interval telemetry stream",
+    )
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run any command under instrumentation and print a flame summary",
+    )
+    p_prof.add_argument("cmd", help="the command to wrap (e.g. schedule)")
+    p_prof.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        help="arguments for the wrapped command (including --trace-out/--metrics-out)",
     )
     return parser
 
@@ -403,11 +476,14 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         render_scheduling_report,
         replay_day,
         run_scheduling_study,
+        schedule_result_json,
     )
     from repro.util.rng import DEFAULT_SEED
 
     seed = args.seed if args.seed is not None else DEFAULT_SEED
     if args.full:
+        if args.json:
+            raise ReproError("--json covers a single replay; drop --full")
         print(render_scheduling_report(run_scheduling_study(seed)))
         return 0
     result, oracle = replay_day(
@@ -419,7 +495,10 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         interval_s=args.interval_s,
         demand=args.demand,
     )
-    print(render_schedule_summary(result, oracle))
+    if args.json:
+        print(json.dumps(schedule_result_json(result, oracle, seed=seed), indent=2))
+    else:
+        print(render_schedule_summary(result, oracle))
     return 0
 
 
@@ -437,12 +516,53 @@ _COMMANDS = {
 }
 
 
+def _run_command(args: argparse.Namespace, *, summary: bool = False) -> int:
+    """Dispatch one parsed command, instrumenting when artifacts are asked for."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out is None and metrics_out is None and not summary:
+        return _COMMANDS[args.command](args)
+
+    from repro.obs import get_registry, get_tracer, instrumented
+
+    with instrumented():
+        rc = _COMMANDS[args.command](args)
+    if trace_out is not None:
+        get_tracer().write_chrome_trace(trace_out)
+        print(f"[trace: {trace_out}]", file=sys.stderr)
+    if metrics_out is not None:
+        get_registry().write_json(metrics_out)
+        print(f"[metrics: {metrics_out}]", file=sys.stderr)
+    if summary:
+        print()
+        print(get_tracer().render_flame())
+        prom = get_registry().to_prometheus()
+        if prom:
+            print()
+            print(prom, end="")
+    return rc
+
+
+def _cmd_profile(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    inner = parser.parse_args([args.cmd] + list(args.rest))
+    if inner.command == "profile":
+        raise ReproError("profile cannot wrap itself")
+    # Propagate the outer --seed unless the wrapped command set its own.
+    if args.seed is not None and getattr(inner, "seed", None) is None:
+        inner.seed = args.seed
+    return _run_command(inner, summary=True)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        configure_logging(args.log_level)
     try:
-        return _COMMANDS[args.command](args)
+        if args.command == "profile":
+            return _cmd_profile(args, parser)
+        return _run_command(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -31,6 +31,7 @@ pin the oracle gap, the p95 contrast and the energy ordering.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -63,6 +64,7 @@ __all__ = [
     "SchedulingStudy",
     "run_scheduling_study",
     "render_scheduling_report",
+    "schedule_result_json",
 ]
 
 #: Workloads the study replays (one per paper domain represented at the
@@ -443,6 +445,61 @@ def replay_day(
         seed=seed,
     )
     return result, oracle
+
+
+def schedule_result_json(
+    result: ScheduleResult, oracle=None, *, seed: Optional[int] = None
+) -> Dict[str, object]:
+    """One replayed day as a JSON-serialisable dict (CLI ``schedule --json``).
+
+    ``telemetry`` carries the full per-interval stream (every
+    :class:`TimelineSample` field, one entry per control interval) so
+    external tools can consume what the ASCII timeline only sketches;
+    ``node_stats`` is the per-node outcome, ``oracle`` the offline bound
+    when one was computed.
+    """
+    out: Dict[str, object] = {
+        "schema": "repro-schedule/1",
+        "workload": result.workload_name,
+        "policy": result.policy_name,
+        "interval_s": result.interval_s,
+        "horizon_s": result.horizon_s,
+        "summary": {
+            "jobs_arrived": result.jobs_arrived,
+            "jobs_completed": result.jobs_completed,
+            "p50_s": result.p50_s,
+            "p95_s": result.p95_s,
+            "p99_s": result.p99_s,
+            "mean_response_s": result.mean_response_s,
+            "baseline_energy_j": result.baseline_energy_j,
+            "dynamic_energy_j": result.dynamic_energy_j,
+            "transition_energy_j": result.transition_energy_j,
+            "total_energy_j": result.total_energy_j,
+            "mean_power_w": result.mean_power_w,
+            "boots": result.boots,
+            "shutdowns": result.shutdowns,
+            "rung_switches": result.rung_switches,
+        },
+        "telemetry": [dataclasses.asdict(s) for s in result.timeline],
+        "node_stats": [dataclasses.asdict(n) for n in result.node_stats],
+    }
+    if seed is not None:
+        out["seed"] = int(seed)
+    prop = result.proportionality
+    if prop is not None:
+        out["proportionality"] = {
+            "epm": prop.epm,
+            "mean_pg": prop.mean_pg,
+            "sublinear_fraction": prop.sublinear_fraction,
+        }
+    if oracle is not None:
+        out["oracle"] = {
+            "static_label": oracle.static_label,
+            "static_energy_j": oracle.static_energy_j,
+            "dynamic_energy_j": oracle.dynamic_energy_j,
+            "gap": result.total_energy_j / oracle.dynamic_energy_j - 1.0,
+        }
+    return out
 
 
 def render_schedule_summary(result: ScheduleResult, oracle) -> str:

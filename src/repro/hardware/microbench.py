@@ -31,6 +31,7 @@ from repro.errors import MeasurementError
 from repro.hardware.node import NodeRunResult, SimulatedNode
 from repro.hardware.powermeter import PowerMeter
 from repro.hardware.specs import NodeSpec, PowerProfile
+from repro.obs.logs import get_logger
 from repro.workloads.base import ActivityFactors
 from repro.workloads.generator import JobTrace, TracePhase
 
@@ -42,6 +43,8 @@ __all__ = [
     "MeasuredPowerProfile",
     "characterize_node_power",
 ]
+
+logger = get_logger(__name__)
 
 #: Default micro-benchmark duration; long enough that meter sampling noise
 #: averages well below one percent.
@@ -191,6 +194,16 @@ def characterize_node_power(
         cpu_stall_w=stall,
         memory_w=mem_spec,
         network_w=net,
+    )
+    logger.debug(
+        "%s: characterized idle=%.3f W, cpu_active=%.3f W, cpu_stall=%.3f W, "
+        "memory=%.3f W (spec), network=%.3f W",
+        spec.name,
+        idle,
+        cpu_active,
+        stall,
+        mem_spec,
+        net,
     )
     return dataclasses.replace(
         spec, power=measured.as_power_profile(spec.power.nameplate_peak_w)

@@ -38,6 +38,7 @@ materialise any configuration by index without evaluating it again.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
 import numpy as np
@@ -51,6 +52,8 @@ from repro.errors import ModelError
 from repro.hardware.specs import NodeSpec
 from repro.model.energy_model import effective_powers
 from repro.model.time_model import op_time_breakdown
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.workloads.base import Workload, WorkloadDemand
 
 __all__ = [
@@ -129,8 +132,19 @@ def operating_point_constants(
     """
     key = _cache_key(spec, demand, cores, frequency_hz)
     cached = _CONSTANTS_CACHE.get(key)
+    registry = get_registry()
     if cached is not None:
+        if registry.enabled:
+            registry.counter(
+                "repro_model_constants_cache_hits_total",
+                help="Operating-point constants served from the memo cache",
+            ).inc()
         return cached
+    if registry.enabled:
+        registry.counter(
+            "repro_model_constants_cache_misses_total",
+            help="Operating-point constants computed from scalar primitives",
+        ).inc()
     group = NodeGroup(spec=spec, count=1, cores=cores, frequency_hz=frequency_hz)
     per_op = op_time_breakdown(group, demand)
     if per_op.t_op <= 0:
@@ -310,20 +324,36 @@ def evaluate_space_arrays(
     if len(set(names)) != len(names):
         raise ModelError(f"duplicate node types in spaces: {names}")
 
-    tables = [
-        _type_choice_tables(space, workload.demand_for(space.spec))
-        for space in spaces
-    ]
-    idx = _choice_indices([space.choices for space in spaces])
+    registry = get_registry()
+    t_start = perf_counter() if registry.enabled else 0.0
+    with span("model.evaluate_space", workload=workload.name) as sp:
+        tables = [
+            _type_choice_tables(space, workload.demand_for(space.spec))
+            for space in spaces
+        ]
+        idx = _choice_indices([space.choices for space in spaces])
 
-    total_rate = sum(tables[t][0][idx[t]] for t in range(len(spaces)))
-    dyn_w = sum(tables[t][1][idx[t]] for t in range(len(spaces)))
-    idle_w = sum(tables[t][2][idx[t]] for t in range(len(spaces)))
-    nameplate_w = sum(tables[t][3][idx[t]] for t in range(len(spaces)))
-    counts = {names[t]: tables[t][4][idx[t]] for t in range(len(spaces))}
+        total_rate = sum(tables[t][0][idx[t]] for t in range(len(spaces)))
+        dyn_w = sum(tables[t][1][idx[t]] for t in range(len(spaces)))
+        idle_w = sum(tables[t][2][idx[t]] for t in range(len(spaces)))
+        nameplate_w = sum(tables[t][3][idx[t]] for t in range(len(spaces)))
+        counts = {names[t]: tables[t][4][idx[t]] for t in range(len(spaces))}
 
-    tp_s = workload.ops_per_job / total_rate
-    energy_j = (idle_w + dyn_w) * tp_s
+        tp_s = workload.ops_per_job / total_rate
+        energy_j = (idle_w + dyn_w) * tp_s
+        n_configs = int(tp_s.shape[0])
+        sp.set(n_configs=n_configs)
+    if registry.enabled:
+        registry.counter(
+            "repro_model_configs_evaluated_total",
+            help="Configurations evaluated by the batched space engine",
+        ).inc(n_configs)
+        elapsed = perf_counter() - t_start
+        if elapsed > 0:
+            registry.gauge(
+                "repro_model_configs_per_s",
+                help="Throughput of the most recent batched space evaluation",
+            ).set(n_configs / elapsed)
     group_lists = tuple(tuple(space.groups()) for space in spaces)
     return SpaceEvaluationArrays(
         workload_name=workload.name,

@@ -1,0 +1,108 @@
+"""Unified observability layer: metrics, tracing, timing, logging.
+
+Four small modules share one design rule — *near-zero cost while
+disabled, zero effect on results while enabled*:
+
+* :mod:`repro.obs.metrics` — process-wide :class:`MetricsRegistry` of
+  counters, gauges, and fixed-bucket histograms with JSON and
+  Prometheus-text exporters;
+* :mod:`repro.obs.tracing` — nestable :func:`span` context managers
+  recording wall/CPU time into a ring buffer, exportable as Chrome-trace
+  JSON and as an ASCII flame summary;
+* :mod:`repro.obs.timer` — the shared benchmark timer and the
+  ``BENCH_*.json`` envelope;
+* :mod:`repro.obs.logs` — the ``repro`` stdlib-logging hierarchy.
+
+Both the registry and the tracer are process-wide singletons, disabled
+by default; enable them together for a bounded scope with::
+
+    with instrumented():
+        run_scheduling_study(...)
+
+Instrumentation never touches RNG streams or floating-point work, so a
+seeded run produces bit-identical results with observability on or off
+(covered by ``tests/obs/test_instrumentation.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.logs import LOG_LEVELS, configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    exponential_buckets,
+    get_registry,
+    linear_buckets,
+)
+from repro.obs.timer import (
+    BENCH_SCHEMA,
+    Timing,
+    bench_envelope,
+    measure,
+    metrics_sidecar_path,
+    timed,
+    write_bench_json,
+)
+from repro.obs.tracing import FlameRow, SpanRecord, Tracer, get_tracer, span
+
+__all__ = [
+    # metrics
+    "MetricsRegistry",
+    "get_registry",
+    "exponential_buckets",
+    "linear_buckets",
+    "DEFAULT_TIME_BUCKETS",
+    # tracing
+    "Tracer",
+    "SpanRecord",
+    "FlameRow",
+    "get_tracer",
+    "span",
+    # timer
+    "BENCH_SCHEMA",
+    "Timing",
+    "measure",
+    "timed",
+    "bench_envelope",
+    "write_bench_json",
+    "metrics_sidecar_path",
+    # logs
+    "get_logger",
+    "configure_logging",
+    "LOG_LEVELS",
+    # scope
+    "instrumented",
+]
+
+
+@contextmanager
+def instrumented(
+    *, metrics: bool = True, tracing: bool = True, reset: bool = True
+) -> Iterator[None]:
+    """Enable the process-wide registry and tracer for one scope.
+
+    Restores each singleton's previous enabled state on exit, so nested
+    or overlapping scopes compose; ``reset=True`` (the default) clears
+    previously collected data first so the scope's exports describe only
+    the scope.  Collected data stays readable after exit.
+    """
+    registry = get_registry()
+    tracer = get_tracer()
+    prev_metrics = registry.enabled
+    prev_tracing = tracer.enabled
+    if metrics:
+        if reset:
+            registry.reset(clear=True)
+        registry.enable()
+    if tracing:
+        if reset:
+            tracer.reset()
+        tracer.enable()
+    try:
+        yield
+    finally:
+        registry.enabled = prev_metrics
+        tracer.enabled = prev_tracing

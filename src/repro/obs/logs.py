@@ -1,0 +1,77 @@
+"""The ``repro`` logger hierarchy.
+
+Every diagnostic the library emits goes through one stdlib ``logging``
+hierarchy rooted at the ``repro`` logger: modules ask for
+``get_logger(__name__)`` (which maps ``repro.hardware.microbench`` →
+logger ``repro.hardware.microbench``) and never print.  Nothing is shown
+unless the embedding application configures handlers — the library adds a
+:class:`logging.NullHandler` to the root so an unconfigured import stays
+silent, per stdlib convention.
+
+The CLI's top-level ``--log-level`` flag calls :func:`configure_logging`,
+which attaches a single stderr handler to the ``repro`` root (idempotent:
+reconfiguring adjusts the level instead of stacking handlers).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["ROOT_LOGGER", "LOG_LEVELS", "get_logger", "configure_logging"]
+
+#: Name of the hierarchy root every repro logger descends from.
+ROOT_LOGGER = "repro"
+
+#: CLI-facing level names, least to most severe.
+LOG_LEVELS: Tuple[str, ...] = ("debug", "info", "warning", "error", "critical")
+
+#: Marker attribute identifying the handler configure_logging installed.
+_HANDLER_MARK = "_repro_cli_handler"
+
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger inside the ``repro`` hierarchy.
+
+    ``get_logger()`` returns the root; ``get_logger("repro.queueing.des")``
+    (the usual ``get_logger(__name__)`` call) and ``get_logger("des")``
+    both return children of it.
+    """
+    if not name or name == ROOT_LOGGER:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(
+    level: str = "warning", *, stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Point the ``repro`` hierarchy at one stderr (or ``stream``) handler.
+
+    Idempotent: a handler previously installed by this function is
+    replaced, so repeated CLI invocations in one process never stack
+    duplicate handlers.  Returns the configured root logger.
+    """
+    lvl = level.lower()
+    if lvl not in LOG_LEVELS:
+        raise ReproError(
+            f"unknown log level {level!r}; expected one of {LOG_LEVELS}"
+        )
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, lvl.upper()))
+    return root

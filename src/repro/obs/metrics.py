@@ -1,0 +1,463 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+The reproduction's claims rest on fine-grained accounting — per-phase
+time/energy splits, utilisation-resolved power curves, p95 tails — yet the
+engines that compute them (batched sweep, vectorized Lindley, scheduler
+replay) were black boxes at runtime.  This module gives every engine a
+shared, inspectable instrument panel:
+
+* :class:`Counter` — monotonically increasing totals (cache hits, jobs
+  dispatched, power-state transitions);
+* :class:`Gauge` — last-written values (queue depth, active node count);
+* :class:`Histogram` — fixed-bucket distributions with Prometheus ``le``
+  semantics (dispatch latencies); scalar observes go through
+  :func:`bisect.bisect_left` (a few hundred nanoseconds) while batched
+  observes use one vectorized ``searchsorted`` + ``bincount`` pass.
+
+Instrumentation is **disabled by default** and the disabled fast path is a
+single attribute check followed by ``return`` — no allocation, no state
+change — so permanent instrumentation of hot loops costs effectively
+nothing when nobody is looking (the zero-allocation contract is pinned in
+``tests/obs/test_metrics.py``).  Enable the process-wide registry with
+:func:`repro.obs.instrumented` (scoped) or ``get_registry().enable()``.
+
+Exporters: :meth:`MetricsRegistry.snapshot` (plain dict),
+:meth:`~MetricsRegistry.to_json` and :meth:`~MetricsRegistry.to_prometheus`
+(text exposition format, ``scrape``-compatible).  The registry is designed
+for the single-threaded simulation engines; concurrent writers would need
+external locking.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "exponential_buckets",
+    "linear_buckets",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+#: Label set attached to one instrument: an immutable, order-insensitive key.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """``count`` bucket edges growing geometrically from ``start``."""
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise ReproError(
+            f"need start > 0, factor > 1, count >= 1; got ({start}, {factor}, {count})"
+        )
+    return tuple(start * factor**i for i in range(count))
+
+
+def linear_buckets(start: float, width: float, count: int) -> Tuple[float, ...]:
+    """``count`` bucket edges advancing by ``width`` from ``start``."""
+    if width <= 0 or count < 1:
+        raise ReproError(f"need width > 0, count >= 1; got ({width}, {count})")
+    return tuple(start + width * i for i in range(count))
+
+
+#: Default latency buckets: 1 µs to ~0.5 s, doubling — covers a policy
+#: ``select`` call (microseconds) through a whole engine interval.
+DEFAULT_TIME_BUCKETS = exponential_buckets(1e-6, 2.0, 20)
+
+
+class Counter:
+    """A monotonically increasing total.  Created via :meth:`MetricsRegistry.counter`."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "labels", "_registry", "_value")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str, labels: LabelSet):
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be non-negative); no-op while disabled."""
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ReproError(f"counter {self.name} cannot decrease (inc {amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The accumulated total."""
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+    def _snapshot_value(self) -> object:
+        return self._value
+
+
+class Gauge:
+    """A last-written value.  Created via :meth:`MetricsRegistry.gauge`."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "labels", "_registry", "_value")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str, labels: LabelSet):
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge; no-op while disabled."""
+        if not self._registry.enabled:
+            return
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        if not self._registry.enabled:
+            return
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The last written value."""
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+    def _snapshot_value(self) -> object:
+        return self._value
+
+
+class Histogram:
+    """A fixed-bucket distribution with Prometheus ``le`` semantics.
+
+    ``edges`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    catches overflow.  A value ``v`` lands in the first bucket with
+    ``v <= edge`` (edge-exact observations count toward that edge's bucket
+    — the boundary contract ``tests/obs/test_metrics.py`` pins).  Bucket
+    counts are kept as a plain Python list so the scalar hot path is one
+    ``bisect_left`` plus a list increment; exports and the batched
+    :meth:`observe_many` path are NumPy-backed.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "labels", "edges", "_registry", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labels: LabelSet,
+        edges: Sequence[float],
+    ):
+        e = tuple(float(x) for x in edges)
+        if not e:
+            raise ReproError(f"histogram {name} needs at least one bucket edge")
+        if any(b <= a for a, b in zip(e, e[1:])):
+            raise ReproError(f"histogram {name} edges must be strictly increasing: {e}")
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.edges = e
+        self._counts = [0] * (len(e) + 1)  # last slot = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation; no-op while disabled."""
+        if not self._registry.enabled:
+            return
+        self._counts[bisect_left(self.edges, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a batch of observations in one vectorized pass."""
+        if not self._registry.enabled:
+            return
+        v = np.asarray(values, dtype=float)
+        if v.size == 0:
+            return
+        idx = np.searchsorted(self.edges, v, side="left")
+        batch = np.bincount(idx, minlength=len(self._counts))
+        for i, n in enumerate(batch):
+            if n:
+                self._counts[i] += int(n)
+        self._sum += float(v.sum())
+        self._count += int(v.size)
+
+    # -- read side --------------------------------------------------------
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-bucket counts (last entry is the ``+Inf`` overflow bucket)."""
+        return np.asarray(self._counts, dtype=np.int64)
+
+    @property
+    def cumulative_counts(self) -> np.ndarray:
+        """Prometheus-style cumulative bucket counts."""
+        return np.cumsum(self._counts)
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate in ``[0, 1]``.
+
+        Linear interpolation inside the containing bucket (the usual
+        Prometheus ``histogram_quantile`` estimate); the overflow bucket
+        reports its lower edge.  Returns 0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        cum = 0
+        for i, n in enumerate(self._counts):
+            cum += n
+            if cum >= target and n:
+                if i == len(self.edges):
+                    return self.edges[-1]
+                lo = self.edges[i - 1] if i > 0 else 0.0
+                hi = self.edges[i]
+                return lo + (hi - lo) * (1.0 - (cum - target) / n)
+        return self.edges[-1]
+
+    def _reset(self) -> None:
+        self._counts = [0] * (len(self.edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def _snapshot_value(self) -> object:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self._counts),
+            "sum": self._sum,
+            "count": self._count,
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A process-wide registry of named instruments.
+
+    Instruments are created lazily with :meth:`counter` / :meth:`gauge` /
+    :meth:`histogram`; asking for an existing ``(name, labels)`` pair
+    returns the same object, and asking for an existing name with a
+    different kind (or different histogram edges) raises
+    :class:`~repro.errors.ReproError`.  The ``enabled`` flag gates every
+    write — it is a plain attribute so hot paths pay one load per call.
+    """
+
+    def __init__(self, *, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self._instruments: Dict[Tuple[str, LabelSet], Instrument] = {}
+        self._kinds: Dict[str, str] = {}
+
+    # -- lifecycle --------------------------------------------------------
+    def enable(self) -> None:
+        """Start recording."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording (instruments keep their accumulated state)."""
+        self.enabled = False
+
+    def reset(self, *, clear: bool = False) -> None:
+        """Zero every instrument; ``clear=True`` also forgets them."""
+        if clear:
+            self._instruments.clear()
+            self._kinds.clear()
+            return
+        for inst in self._instruments.values():
+            inst._reset()
+
+    # -- creation ---------------------------------------------------------
+    def _get_or_create(
+        self,
+        kind: str,
+        factory,
+        name: str,
+        help: str,
+        labels: Optional[Mapping[str, str]],
+    ) -> Instrument:
+        if not name:
+            raise ReproError("instrument name must be non-empty")
+        known = self._kinds.get(name)
+        if known is not None and known != kind:
+            raise ReproError(
+                f"metric {name!r} already registered as a {known}, not a {kind}"
+            )
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = factory(key[1])
+            self._instruments[key] = inst
+            self._kinds[name] = kind
+        return inst
+
+    def counter(
+        self, name: str, *, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        """Get or create the counter ``name`` for one label set."""
+        return self._get_or_create(
+            "counter", lambda ls: Counter(self, name, help, ls), name, help, labels
+        )
+
+    def gauge(
+        self, name: str, *, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        """Get or create the gauge ``name`` for one label set."""
+        return self._get_or_create(
+            "gauge", lambda ls: Gauge(self, name, help, ls), name, help, labels
+        )
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` for one label set.
+
+        Every label series of one histogram name must share bucket edges.
+        """
+        inst = self._get_or_create(
+            "histogram",
+            lambda ls: Histogram(self, name, help, ls, buckets),
+            name,
+            help,
+            labels,
+        )
+        assert isinstance(inst, Histogram)
+        if inst.edges != tuple(float(x) for x in buckets):
+            raise ReproError(
+                f"histogram {name!r} already registered with edges {inst.edges}"
+            )
+        return inst
+
+    # -- access -----------------------------------------------------------
+    def instruments(self) -> Iterator[Instrument]:
+        """Every registered instrument, sorted by (name, labels)."""
+        for key in sorted(self._instruments):
+            yield self._instruments[key]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- exporters --------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """The registry as a plain nested dict (JSON-serialisable).
+
+        Shape: ``{name: {"kind": ..., "help": ..., "series": [{"labels":
+        {...}, "value": <number or histogram dict>}, ...]}}``.
+        """
+        out: Dict[str, dict] = {}
+        for inst in self.instruments():
+            entry = out.setdefault(
+                inst.name, {"kind": inst.kind, "help": inst.help, "series": []}
+            )
+            entry["series"].append(
+                {"labels": dict(inst.labels), "value": inst._snapshot_value()}
+            )
+        return out
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The snapshot rendered as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def write_json(self, path) -> None:
+        """Write the JSON snapshot to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    def to_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: List[str] = []
+        seen_header = set()
+        for inst in self.instruments():
+            if inst.name not in seen_header:
+                seen_header.add(inst.name)
+                if inst.help:
+                    lines.append(f"# HELP {inst.name} {inst.help}")
+                lines.append(f"# TYPE {inst.name} {inst.kind}")
+            if isinstance(inst, Histogram):
+                cum = 0
+                for edge, n in zip(inst.edges, inst._counts):
+                    cum += n
+                    lines.append(
+                        f"{inst.name}_bucket{_prom_labels(inst.labels, le=f'{edge:.9g}')} {cum}"
+                    )
+                cum += inst._counts[-1]
+                lines.append(
+                    f"{inst.name}_bucket{_prom_labels(inst.labels, le='+Inf')} {cum}"
+                )
+                lines.append(f"{inst.name}_sum{_prom_labels(inst.labels)} {inst._sum:.9g}")
+                lines.append(f"{inst.name}_count{_prom_labels(inst.labels)} {inst._count}")
+            else:
+                lines.append(
+                    f"{inst.name}{_prom_labels(inst.labels)} {inst.value:.9g}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_labels(labels: LabelSet, **extra: str) -> str:
+    items = list(labels) + sorted(extra.items())
+    if not items:
+        return ""
+    body = ",".join(
+        f'{k}="{v.replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for k, v in items
+    )
+    return "{" + body + "}"
+
+
+#: The process-wide registry every engine instruments against.  Disabled by
+#: default; scope enablement with :func:`repro.obs.instrumented`.
+_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry` singleton."""
+    return _REGISTRY

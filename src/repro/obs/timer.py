@@ -1,0 +1,159 @@
+"""Shared benchmark timer and the BENCH_*.json envelope.
+
+Before this module each benchmark driver hand-rolled its own
+``perf_counter`` loop with its own warmup/repeat conventions (the sweep
+took a min over warm repeats with no explicit warmup, the MC benchmark
+timed single shots, the scheduler repeated whole studies) and its own
+JSON-writing code.  Every driver now measures through :func:`measure`
+— explicit ``warmup`` runs discarded, ``repeats`` timed runs, best/mean
+reported — and writes through :func:`write_bench_json`, which gives all
+``BENCH_*.json`` artifacts one shared envelope::
+
+    {"schema": "repro-bench/1", "benchmark": "<name>", "params": {...},
+     "timings_s": {...}, ...benchmark-specific sections...}
+
+plus a ``BENCH_<name>.metrics.json`` *sidecar* holding the metrics-registry
+snapshot collected while the benchmark ran (dropped silently when the
+run was not instrumented).  ``tools/bench_compare.py`` consumes the
+envelope to gate CI on floor-bearing metric regressions.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "Timing",
+    "measure",
+    "timed",
+    "bench_envelope",
+    "write_bench_json",
+    "metrics_sidecar_path",
+]
+
+#: Version tag of the shared BENCH_*.json envelope.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Wall-clock timings of one measured callable."""
+
+    times_s: Tuple[float, ...]
+    warmup: int
+
+    @property
+    def repeats(self) -> int:
+        """Number of timed (post-warmup) runs."""
+        return len(self.times_s)
+
+    @property
+    def best_s(self) -> float:
+        """Minimum over the timed runs — the usual noise shield."""
+        return min(self.times_s)
+
+    @property
+    def mean_s(self) -> float:
+        """Mean over the timed runs."""
+        return sum(self.times_s) / len(self.times_s)
+
+
+def measure(
+    fn: Callable[[], object], *, repeats: int = 3, warmup: int = 1
+) -> Tuple[object, Timing]:
+    """Time ``fn()``: ``warmup`` discarded runs, then ``repeats`` timed runs.
+
+    Returns ``(last_result, Timing)`` — the callable's final return value
+    is handed back so benchmarks can verify what they just timed.
+    """
+    if repeats < 1:
+        raise ReproError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ReproError(f"warmup must be >= 0, got {warmup}")
+    result: object = None
+    for _ in range(warmup):
+        result = fn()
+    times = []
+    for _ in range(repeats):
+        t0 = perf_counter()
+        result = fn()
+        times.append(perf_counter() - t0)
+    return result, Timing(times_s=tuple(times), warmup=warmup)
+
+
+@contextmanager
+def timed() -> Iterator[Callable[[], float]]:
+    """Context manager timing its body; yields a callable reading elapsed
+    seconds (valid both inside and after the block)::
+
+        with timed() as elapsed:
+            work()
+        print(elapsed())
+    """
+    t0 = perf_counter()
+    done: Dict[str, float] = {}
+
+    def elapsed() -> float:
+        return done.get("t", perf_counter() - t0)
+
+    try:
+        yield elapsed
+    finally:
+        done["t"] = perf_counter() - t0
+
+
+def bench_envelope(
+    benchmark: str,
+    params: Dict[str, object],
+    timings_s: Dict[str, object],
+    **sections: object,
+) -> Dict[str, object]:
+    """Assemble the shared BENCH_*.json envelope around one benchmark run."""
+    if not benchmark:
+        raise ReproError("benchmark name must be non-empty")
+    out: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "benchmark": benchmark,
+        "params": dict(params),
+        "timings_s": dict(timings_s),
+    }
+    for key, value in sections.items():
+        out[key] = value
+    return out
+
+
+def metrics_sidecar_path(path) -> Path:
+    """The metrics sidecar path of one BENCH artifact
+    (``BENCH_x.json`` → ``BENCH_x.metrics.json``)."""
+    p = Path(path)
+    return p.with_name(p.stem + ".metrics.json")
+
+
+def write_bench_json(path, result: Dict[str, object]) -> Optional[Path]:
+    """Write one benchmark envelope, splitting metrics into the sidecar.
+
+    A ``"metrics"`` key in ``result`` (the registry snapshot collected
+    during the run) is written to ``metrics_sidecar_path(path)`` instead of
+    the main artifact; returns the sidecar path, or None when the run was
+    not instrumented.
+    """
+    payload = dict(result)
+    metrics = payload.pop("metrics", None)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    if not metrics:
+        return None
+    sidecar = metrics_sidecar_path(path)
+    with open(sidecar, "w", encoding="utf-8") as fh:
+        json.dump(metrics, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return sidecar

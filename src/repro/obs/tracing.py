@@ -1,0 +1,304 @@
+"""Structured tracing: nestable spans, ring buffer, Chrome-trace export.
+
+A *span* wraps one phase of work — an engine run, one control interval,
+one replication batch — and records its wall-clock and CPU time plus any
+user attributes.  Spans nest: the tracer keeps an active-span stack, so
+each record carries its full call path (``scheduler.run;interval`` …) and
+the exports can reconstruct the hierarchy without parent pointers.
+
+Usage::
+
+    from repro.obs import span, get_tracer
+    get_tracer().enable()
+    with span("scheduler.run", policy="ppr-greedy"):
+        with span("interval", k=0):
+            ...
+
+Records land in a fixed-capacity ring buffer (oldest spans drop first —
+the tracer never grows without bound during a long replay) and export two
+ways:
+
+* :meth:`Tracer.to_chrome_trace` — the Chrome trace-event JSON format
+  (complete ``"ph": "X"`` events), loadable in ``chrome://tracing`` /
+  Perfetto;
+* :meth:`Tracer.flame` / :meth:`Tracer.render_flame` — per-call-path
+  aggregation (calls, total/self wall time, CPU time) rendered as an
+  ASCII flame summary via :func:`repro.viz.ascii.render_flame`.
+
+Like the metrics registry, tracing is disabled by default: ``span()``
+then returns a shared no-op context manager — no record, no allocation
+beyond the call itself.  Exception safety: a span that exits through an
+exception is still recorded, with an ``error`` attribute naming the
+exception type (and the exception propagates unchanged).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from time import perf_counter, process_time
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "SpanRecord",
+    "FlameRow",
+    "Tracer",
+    "get_tracer",
+    "span",
+]
+
+#: Default ring-buffer capacity: enough for a full scheduling study's
+#: per-interval spans with room to spare, small enough to stay cheap.
+DEFAULT_CAPACITY = 65_536
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    #: Full call path, outermost first (this span's name is ``path[-1]``).
+    path: Tuple[str, ...]
+    #: Nesting depth (0 = top level).
+    depth: int
+    #: Start time relative to the tracer's origin (seconds).
+    t0_s: float
+    wall_s: float
+    cpu_s: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FlameRow:
+    """Aggregate of every span sharing one call path."""
+
+    path: Tuple[str, ...]
+    calls: int
+    wall_s: float
+    cpu_s: float
+    #: Wall time not covered by child paths.
+    self_wall_s: float
+
+
+class _ActiveSpan:
+    """Context manager for one open span (internal)."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_t0", "_cpu0", "_path")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_ActiveSpan":
+        stack = self._tracer._stack
+        parent_path = stack[-1]._path if stack else ()
+        self._path = parent_path + (self._name,)
+        stack.append(self)
+        self._t0 = perf_counter()
+        self._cpu0 = process_time()
+        return self
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes to the open span."""
+        self._attrs.update(attrs)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall = perf_counter() - self._t0
+        cpu = process_time() - self._cpu0
+        tracer = self._tracer
+        # Pop self even if inner spans leaked (defensive against misuse).
+        stack = tracer._stack
+        while stack:
+            if stack.pop() is self:
+                break
+        if exc_type is not None:
+            self._attrs["error"] = exc_type.__name__
+        tracer._record(
+            SpanRecord(
+                name=self._name,
+                path=self._path,
+                depth=len(self._path) - 1,
+                t0_s=self._t0 - tracer._origin,
+                wall_s=wall,
+                cpu_s=cpu,
+                attrs=self._attrs,
+            )
+        )
+        return None  # never swallow exceptions
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class Tracer:
+    """A ring buffer of completed spans plus the active-span stack."""
+
+    def __init__(self, *, capacity: int = DEFAULT_CAPACITY, enabled: bool = False):
+        if capacity < 1:
+            raise ReproError(f"tracer capacity must be positive, got {capacity}")
+        self.enabled = bool(enabled)
+        self._capacity = capacity
+        self._records: List[Optional[SpanRecord]] = []
+        self._next = 0  # insertion slot once the ring is full
+        self._total = 0
+        self._stack: List[_ActiveSpan] = []
+        self._origin = perf_counter()
+
+    # -- lifecycle --------------------------------------------------------
+    def enable(self) -> None:
+        """Start recording spans."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording (kept records remain exportable)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every record and restart the clock origin."""
+        self._records = []
+        self._next = 0
+        self._total = 0
+        self._stack = []
+        self._origin = perf_counter()
+
+    # -- recording --------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> object:
+        """Open a span named ``name``; returns a context manager.
+
+        While the tracer is disabled this returns a shared no-op object.
+        """
+        if not self.enabled:
+            return _NOOP
+        return _ActiveSpan(self, name, attrs)
+
+    def _record(self, record: SpanRecord) -> None:
+        if len(self._records) < self._capacity:
+            self._records.append(record)
+        else:
+            self._records[self._next] = record
+            self._next = (self._next + 1) % self._capacity
+        self._total += 1
+
+    # -- read side --------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Ring-buffer capacity."""
+        return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by ring wrap-around."""
+        return max(0, self._total - self._capacity)
+
+    def spans(self) -> List[SpanRecord]:
+        """Completed spans, oldest first (accounting for ring wrap)."""
+        if len(self._records) < self._capacity:
+            return list(self._records)
+        return self._records[self._next :] + self._records[: self._next]
+
+    # -- exports ----------------------------------------------------------
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """The spans as a Chrome trace-event document.
+
+        Complete events (``"ph": "X"``) with microsecond timestamps; load
+        the JSON in ``chrome://tracing`` or https://ui.perfetto.dev.
+        """
+        events = []
+        for r in self.spans():
+            args = {k: _jsonable(v) for k, v in r.attrs.items()}
+            args["cpu_ms"] = round(r.cpu_s * 1e3, 6)
+            events.append(
+                {
+                    "name": r.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": round(r.t0_s * 1e6, 3),
+                    "dur": round(r.wall_s * 1e6, 3),
+                    "pid": 0,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs.tracing", "dropped_spans": self.dropped},
+        }
+
+    def write_chrome_trace(self, path) -> None:
+        """Write the Chrome-trace JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=2)
+            fh.write("\n")
+
+    def flame(self) -> List[FlameRow]:
+        """Per-call-path aggregation, sorted by total wall time descending."""
+        totals: Dict[Tuple[str, ...], List[float]] = {}
+        for r in self.spans():
+            agg = totals.setdefault(r.path, [0, 0.0, 0.0])
+            agg[0] += 1
+            agg[1] += r.wall_s
+            agg[2] += r.cpu_s
+        child_wall: Dict[Tuple[str, ...], float] = {}
+        for path, (_, wall, _) in totals.items():
+            if len(path) > 1:
+                child_wall[path[:-1]] = child_wall.get(path[:-1], 0.0) + wall
+        rows = [
+            FlameRow(
+                path=path,
+                calls=int(calls),
+                wall_s=wall,
+                cpu_s=cpu,
+                self_wall_s=max(0.0, wall - child_wall.get(path, 0.0)),
+            )
+            for path, (calls, wall, cpu) in totals.items()
+        ]
+        rows.sort(key=lambda row: (-row.wall_s, row.path))
+        return rows
+
+    def render_flame(self, *, width: int = 40) -> str:
+        """The flame aggregation as an ASCII summary (see ``repro.viz``)."""
+        from repro.viz.ascii import render_flame
+
+        return render_flame(self.flame(), width=width)
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+#: The process-wide tracer; disabled by default.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide :class:`Tracer` singleton."""
+    return _TRACER
+
+
+def span(name: str, **attrs: object) -> object:
+    """Open a span on the process-wide tracer (no-op while disabled)."""
+    tracer = _TRACER
+    if not tracer.enabled:
+        return _NOOP
+    return _ActiveSpan(tracer, name, attrs)

@@ -41,9 +41,13 @@ from typing import Callable, Optional, Tuple
 import numpy as np
 
 from repro.errors import QueueingError
+from repro.obs.logs import get_logger
+from repro.obs.metrics import get_registry
 from repro.queueing.arrivals import ArrivalProcess, PoissonArrivals
 from repro.queueing.mc import lindley_waits, scalar_lindley_waits
 from repro.util.stats import SummaryStats, summarize
+
+logger = get_logger(__name__)
 
 __all__ = ["ServiceModel", "QueueSimulator", "SimulationResult"]
 
@@ -302,10 +306,20 @@ class QueueSimulator:
         consumed here — no services are drawn for the discarded tail."""
         rate = getattr(self._arrivals, "rate", None)
         horizon = horizon_hint_s or (n_jobs / rate * 1.2 if rate else float(n_jobs))
-        for _ in range(64):
+        registry = get_registry()
+        for attempt in range(64):
             arrivals = self._arrivals.arrival_times(horizon)
             if len(arrivals) >= n_jobs:
                 return arrivals[:n_jobs]
+            if registry.enabled:
+                registry.counter(
+                    "repro_des_horizon_growths_total",
+                    help="Horizon guesses rejected for yielding too few jobs",
+                ).inc()
+            logger.debug(
+                "horizon %.3g s yielded %d/%d jobs; doubling (attempt %d)",
+                horizon, len(arrivals), n_jobs, attempt + 1,
+            )
             horizon *= 2.0
         raise QueueingError(
             f"arrival process produced fewer than {n_jobs} jobs even over a "

@@ -51,6 +51,8 @@ from typing import Callable, Optional, Tuple, Union
 import numpy as np
 
 from repro.errors import QueueingError
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.util.rng import DEFAULT_SEED
 
 __all__ = [
@@ -464,6 +466,21 @@ class MonteCarloQueue:
         Consumers must reduce or copy each yield before advancing — the
         buffers are overwritten by the next replication.
         """
+        registry = get_registry()
+        rep_counter = jobs_counter = reuse_counter = None
+        if registry.enabled:
+            rep_counter = registry.counter(
+                "repro_mc_replications_total",
+                help="Monte-Carlo replication batches simulated",
+            )
+            jobs_counter = registry.counter(
+                "repro_mc_jobs_simulated_total",
+                help="Jobs pushed through the vectorized Lindley kernel",
+            )
+            reuse_counter = registry.counter(
+                "repro_mc_buffer_reuses_total",
+                help="Replications served from the preallocated work buffers",
+            )
         gaps = np.empty(n_jobs)
         arrivals = np.empty(n_jobs)
         b = np.empty(n_jobs)
@@ -474,7 +491,7 @@ class MonteCarloQueue:
         else:
             cs_prev = np.empty(n_jobs)
         inv_rate = 1.0 / self._rate
-        for rng in self.spawn_generators(n_reps):
+        for rep_index, rng in enumerate(self.spawn_generators(n_reps)):
             rng.standard_exponential(n_jobs, out=gaps)
             np.multiply(gaps, inv_rate, out=gaps)
             np.cumsum(gaps, out=arrivals)
@@ -497,6 +514,11 @@ class MonteCarloQueue:
                 np.subtract(arrivals, cs_prev, out=b)
             np.maximum.accumulate(b, out=waits)
             np.subtract(waits, b, out=waits)
+            if rep_counter is not None:
+                rep_counter.inc()
+                jobs_counter.inc(n_jobs)
+                if rep_index:
+                    reuse_counter.inc()
             yield arrivals, services, waits
 
     def simulate_waits(
@@ -515,14 +537,15 @@ class MonteCarloQueue:
         if engine not in ("vectorized", "scalar"):
             raise QueueingError(f"unknown engine {engine!r}")
         out = np.empty((n_reps, n_jobs))
-        if engine == "vectorized":
-            for r, (_, _, waits) in enumerate(self._iter_waits(n_jobs, n_reps)):
-                out[r] = waits
-        else:
-            gaps = np.empty(n_jobs)
-            for r, rng in enumerate(self.spawn_generators(n_reps)):
-                arrivals, services = self._replication_inputs(rng, n_jobs, gaps)
-                out[r] = scalar_lindley_waits(arrivals, services)
+        with span("mc.simulate_waits", engine=engine, n_jobs=n_jobs, n_reps=n_reps):
+            if engine == "vectorized":
+                for r, (_, _, waits) in enumerate(self._iter_waits(n_jobs, n_reps)):
+                    out[r] = waits
+            else:
+                gaps = np.empty(n_jobs)
+                for r, rng in enumerate(self.spawn_generators(n_reps)):
+                    arrivals, services = self._replication_inputs(rng, n_jobs, gaps)
+                    out[r] = scalar_lindley_waits(arrivals, services)
         return out
 
     def run(self, n_jobs: int, n_reps: int) -> ReplicatedResult:
@@ -547,33 +570,34 @@ class MonteCarloQueue:
         util = np.empty(n_reps)
         busy = np.empty(n_reps)
         idle = np.empty(n_reps)
-        span = np.empty(n_reps)
+        spans = np.empty(n_reps)
         q = np.asarray(TRACKED_PERCENTILES)
 
-        for r, (arrivals, services, waits) in enumerate(
-            self._iter_waits(n_jobs, n_reps)
-        ):
-            if self._service_fixed is not None:
-                d = self._service_fixed
-                busy_r = n_jobs * d
-                measured = waits[warmup:]
-                # R = W + D exactly: percentiles shift by D.
-                pct[:, r] = np.percentile(measured, q) + d
-                mean_wait[r] = measured.mean()
-                mean_resp[r] = mean_wait[r] + d
-                last_completion = arrivals[-1] + waits[-1] + d
-            else:
-                responses = waits + services
-                busy_r = float(services.sum())
-                measured = responses[warmup:]
-                pct[:, r] = np.percentile(measured, q)
-                mean_resp[r] = measured.mean()
-                mean_wait[r] = waits[warmup:].mean()
-                last_completion = arrivals[-1] + waits[-1] + services[-1]
-            span[r] = last_completion
-            busy[r] = busy_r
-            idle[r] = last_completion - busy_r
-            util[r] = busy_r / last_completion
+        with span("mc.run", n_jobs=n_jobs, n_reps=n_reps):
+            for r, (arrivals, services, waits) in enumerate(
+                self._iter_waits(n_jobs, n_reps)
+            ):
+                if self._service_fixed is not None:
+                    d = self._service_fixed
+                    busy_r = n_jobs * d
+                    measured = waits[warmup:]
+                    # R = W + D exactly: percentiles shift by D.
+                    pct[:, r] = np.percentile(measured, q) + d
+                    mean_wait[r] = measured.mean()
+                    mean_resp[r] = mean_wait[r] + d
+                    last_completion = arrivals[-1] + waits[-1] + d
+                else:
+                    responses = waits + services
+                    busy_r = float(services.sum())
+                    measured = responses[warmup:]
+                    pct[:, r] = np.percentile(measured, q)
+                    mean_resp[r] = measured.mean()
+                    mean_wait[r] = waits[warmup:].mean()
+                    last_completion = arrivals[-1] + waits[-1] + services[-1]
+                spans[r] = last_completion
+                busy[r] = busy_r
+                idle[r] = last_completion - busy_r
+                util[r] = busy_r / last_completion
         return ReplicatedResult(
             n_jobs=n_jobs,
             n_reps=n_reps,
@@ -585,7 +609,7 @@ class MonteCarloQueue:
             utilisation=util,
             busy_time_s=busy,
             idle_time_s=idle,
-            span_s=span,
+            span_s=spans,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -46,7 +46,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -55,6 +56,8 @@ from repro.core.metrics import LinearPowerCurve, PPRCurve
 from repro.core.proportionality import DynamicProportionality, dynamic_proportionality
 from repro.errors import ReproError
 from repro.model.batched import operating_point_constants
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 from repro.scheduler.autoscaler import Autoscaler, Rung
 from repro.scheduler.policies import DispatchPolicy, make_policy
 from repro.scheduler.powerstate import (
@@ -493,8 +496,32 @@ class ClusterScheduler:
     # ------------------------------------------------------------------
     # Run
     # ------------------------------------------------------------------
-    def run(self) -> ScheduleResult:
-        """Replay the trace once; deterministic for a fixed seed."""
+    def run(
+        self,
+        *,
+        on_interval: Optional[Callable[[TimelineSample], None]] = None,
+    ) -> ScheduleResult:
+        """Replay the trace once; deterministic for a fixed seed.
+
+        ``on_interval`` is called with each :class:`TimelineSample` the
+        moment its interval closes, streaming the telemetry the result
+        would otherwise only expose after the run.  Neither the callback
+        nor the observability instruments touch the RNG stream or any
+        float the simulation consumes, so a seeded run's
+        :class:`ScheduleResult` is bit-identical with or without them
+        (pinned by ``tests/obs/test_instrumentation.py``).
+        """
+        with span(
+            "scheduler.run",
+            policy=self.policy.name,
+            workload=self.workload.name,
+            intervals=int(self.trace.size),
+        ):
+            return self._run(on_interval)
+
+    def _run(
+        self, on_interval: Optional[Callable[[TimelineSample], None]]
+    ) -> ScheduleResult:
         self.policy.reset()
         if self.autoscaler is not None:
             self.autoscaler.reset()
@@ -502,6 +529,49 @@ class ClusterScheduler:
         interval = self.interval_s
         n_intervals = int(self.trace.size)
         horizon = n_intervals * interval
+
+        registry = get_registry()
+        dispatch_hist = None
+        if registry.enabled:
+            policy_label = {"policy": self.policy.name}
+            dispatch_hist = registry.histogram(
+                "repro_sched_dispatch_latency_s",
+                help="Wall-clock latency of one policy select() call",
+                labels=policy_label,
+            )
+            jobs_counter = registry.counter(
+                "repro_sched_jobs_dispatched_total",
+                help="Jobs placed on a node by the dispatch policy",
+                labels=policy_label,
+            )
+            boot_counter = registry.counter(
+                "repro_sched_power_transitions_total",
+                help="Node power-state transitions committed by the engine",
+                labels={"transition": "boot"},
+            )
+            shutdown_counter = registry.counter(
+                "repro_sched_power_transitions_total",
+                help="Node power-state transitions committed by the engine",
+                labels={"transition": "shutdown"},
+            )
+            interval_counter = registry.counter(
+                "repro_sched_intervals_total",
+                help="Control intervals replayed",
+            )
+            queue_gauge = registry.gauge(
+                "repro_sched_queue_depth_jobs",
+                help="Jobs still queued cluster-wide at the last interval edge",
+            )
+            active_gauge = registry.gauge(
+                "repro_sched_active_nodes",
+                help="Nodes in the dispatch set at the last interval edge",
+            )
+            powered_gauge = registry.gauge(
+                "repro_sched_powered_nodes",
+                help="Powered nodes at the last interval edge",
+            )
+            boots_mark = 0
+            shutdowns_mark = 0
 
         current = self.autoscaler.top if self.autoscaler is not None else 0
         u_obs = 0.0
@@ -539,13 +609,29 @@ class ClusterScheduler:
             if n_arr:
                 times = np.sort(rng.uniform(t0, t1, size=n_arr))
                 select = self.policy.select
-                for ta in times:
-                    t_arr = float(ta)
-                    node = select(dispatch, t_arr, rng)
-                    done = node.assign(t_arr)
-                    responses.append(done - t_arr)
-                    if done <= horizon:
-                        completed += 1
+                if dispatch_hist is not None:
+                    # Instrumented twin of the loop below: bound methods
+                    # prefetched so per-job overhead stays inside the obs
+                    # layer's <= 5% contract.
+                    observe = dispatch_hist.observe
+                    for ta in times:
+                        t_arr = float(ta)
+                        t_sel = perf_counter()
+                        node = select(dispatch, t_arr, rng)
+                        observe(perf_counter() - t_sel)
+                        done = node.assign(t_arr)
+                        responses.append(done - t_arr)
+                        if done <= horizon:
+                            completed += 1
+                    jobs_counter.inc(n_arr)
+                else:
+                    for ta in times:
+                        t_arr = float(ta)
+                        node = select(dispatch, t_arr, rng)
+                        done = node.assign(t_arr)
+                        responses.append(done - t_arr)
+                        if done <= horizon:
+                            completed += 1
 
             # Interval telemetry: difference the busy/baseline marks.
             busy_active = 0.0
@@ -568,20 +654,36 @@ class ClusterScheduler:
             power = energy / interval
             u_ref.append(served_ops / (self.reference_capacity_ops * interval))
             p_trace.append(power)
-            timeline.append(
-                TimelineSample(
-                    t_s=t0,
-                    demand_fraction=demand,
-                    rung_label=label,
-                    n_active=len(dispatch),
-                    n_powered=sum(
-                        1 for n in self._nodes if n.psm is not None and n.psm.state.powered
-                    ),
-                    utilisation=u_obs,
-                    power_w=power,
-                    arrivals=n_arr,
-                )
+            sample = TimelineSample(
+                t_s=t0,
+                demand_fraction=demand,
+                rung_label=label,
+                n_active=len(dispatch),
+                n_powered=sum(
+                    1 for n in self._nodes if n.psm is not None and n.psm.state.powered
+                ),
+                utilisation=u_obs,
+                power_w=power,
+                arrivals=n_arr,
             )
+            timeline.append(sample)
+            if dispatch_hist is not None:
+                boots_now = sum(
+                    n.psm.boot_count for n in self._nodes if n.psm is not None
+                )
+                shutdowns_now = sum(
+                    n.psm.shutdown_count for n in self._nodes if n.psm is not None
+                )
+                boot_counter.inc(boots_now - boots_mark)
+                shutdown_counter.inc(shutdowns_now - shutdowns_mark)
+                boots_mark = boots_now
+                shutdowns_mark = shutdowns_now
+                interval_counter.inc()
+                queue_gauge.set(sum(n.queue_len(t1) for n in self._nodes))
+                active_gauge.set(sample.n_active)
+                powered_gauge.set(sample.n_powered)
+            if on_interval is not None:
+                on_interval(sample)
 
         # Totals (marks were last updated at t = horizon).
         baseline_total = sum(

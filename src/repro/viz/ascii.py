@@ -17,7 +17,7 @@ import numpy as np
 from repro.errors import ReproError
 from repro.viz.series import Figure
 
-__all__ = ["render_figure", "render_timeline"]
+__all__ = ["render_figure", "render_timeline", "render_flame"]
 
 #: Marker glyphs assigned to series in order.
 _MARKERS = "*o+x#@%&st"
@@ -186,4 +186,37 @@ def render_timeline(
     lines.append(axis)
     t_end = t0_s + (n - 1) * dt_s
     lines.append(f"{' ' * label_width}  {t0_s:g} .. {t_end:g} (dt={dt_s:g}s)")
+    return "\n".join(lines)
+
+
+def render_flame(rows: Sequence, *, width: int = 40) -> str:
+    """Render a span flame aggregation as an indented ASCII summary.
+
+    ``rows`` are :class:`repro.obs.tracing.FlameRow` records (or anything
+    with ``path``/``calls``/``wall_s``/``self_wall_s``/``cpu_s``) — one row
+    per call path.  Rows print in depth-first path order, indented by
+    nesting depth, with a bar of up to ``width`` characters proportional to
+    each path's share of the maximum wall time.
+    """
+    if width < 4:
+        raise ReproError(f"flame bar width must be at least 4, got {width}")
+    ordered = sorted(rows, key=lambda r: tuple(r.path))
+    if not ordered:
+        return "Flame summary: no spans recorded"
+    max_wall = max(r.wall_s for r in ordered) or 1.0
+    names = [
+        "  " * (len(r.path) - 1) + r.path[-1] for r in ordered
+    ]
+    name_width = max(len(n) for n in names + ["path"])
+    header = (
+        f"{'path'.ljust(name_width)}  {'calls':>7}  {'wall ms':>10}  "
+        f"{'self ms':>10}  {'cpu ms':>10}"
+    )
+    lines = ["Flame summary (wall time)", header, "-" * len(header)]
+    for name, r in zip(names, ordered):
+        bar = "#" * max(1, int(round(r.wall_s / max_wall * width)))
+        lines.append(
+            f"{name.ljust(name_width)}  {r.calls:>7d}  {r.wall_s * 1e3:>10.3f}  "
+            f"{r.self_wall_s * 1e3:>10.3f}  {r.cpu_s * 1e3:>10.3f}  {bar}"
+        )
     return "\n".join(lines)

@@ -35,9 +35,12 @@ from dataclasses import dataclass
 
 from repro.errors import CalibrationError
 from repro.hardware.specs import NodeSpec
+from repro.obs.logs import get_logger
 from repro.workloads.base import ActivityFactors, WorkloadDemand
 
 __all__ = ["BottleneckProfile", "solve_demand", "dynamic_power_target", "peak_power_target"]
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -148,6 +151,21 @@ def solve_demand(
             f"measured envelope; the component powers in the NodeSpec are too small "
             f"for a {p_dyn:.3f} W dynamic-power target"
         )
+    if af > 1.0:
+        logger.debug(
+            "%s: activity factor %.12f within rounding tolerance of 1.0; clamping",
+            spec.name,
+            af,
+        )
+    logger.debug(
+        "%s: calibrated t_op=%.4g s (core %.2f / mem %.2f / io %.2f), af=%.4f",
+        spec.name,
+        t_op,
+        profile.rho_core,
+        profile.rho_mem,
+        profile.rho_io,
+        af,
+    )
 
     return WorkloadDemand(
         core_cycles_per_op=core_cycles,

@@ -1,0 +1,27 @@
+"""Fixtures for the observability suite.
+
+The metrics registry and tracer are process-wide singletons; every test
+here runs against a clean, disabled pair and is guaranteed to leave them
+that way, so obs tests cannot bleed state into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import get_registry, get_tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_singletons():
+    registry = get_registry()
+    tracer = get_tracer()
+    registry.disable()
+    registry.reset(clear=True)
+    tracer.disable()
+    tracer.reset()
+    yield
+    registry.disable()
+    registry.reset(clear=True)
+    tracer.disable()
+    tracer.reset()

@@ -1,0 +1,74 @@
+"""Tests for the repro logger hierarchy and CLI log configuration."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.logs import (
+    LOG_LEVELS,
+    ROOT_LOGGER,
+    _HANDLER_MARK,
+    configure_logging,
+    get_logger,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_root_logger():
+    root = logging.getLogger(ROOT_LOGGER)
+    before_handlers = list(root.handlers)
+    before_level = root.level
+    yield
+    root.handlers[:] = before_handlers
+    root.setLevel(before_level)
+
+
+class TestGetLogger:
+    def test_maps_names_into_the_hierarchy(self):
+        assert get_logger().name == ROOT_LOGGER
+        assert get_logger(ROOT_LOGGER).name == ROOT_LOGGER
+        assert get_logger("repro.queueing.des").name == "repro.queueing.des"
+        assert get_logger("des").name == "repro.des"
+
+    def test_children_propagate_to_the_root(self):
+        assert get_logger("repro.scheduler.engine").parent.name.startswith(
+            ROOT_LOGGER
+        )
+
+    def test_unconfigured_import_is_silent(self):
+        root = logging.getLogger(ROOT_LOGGER)
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestConfigureLogging:
+    def test_installs_one_stderr_handler_at_level(self):
+        buf = io.StringIO()
+        root = configure_logging("info", stream=buf)
+        get_logger("x").info("hello %d", 7)
+        get_logger("x").debug("hidden")
+        out = buf.getvalue()
+        assert "INFO repro.x: hello 7" in out
+        assert "hidden" not in out
+        assert root.level == logging.INFO
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        configure_logging("info", stream=io.StringIO())
+        buf = io.StringIO()
+        configure_logging("debug", stream=buf)
+        root = logging.getLogger(ROOT_LOGGER)
+        marked = [h for h in root.handlers if getattr(h, _HANDLER_MARK, False)]
+        assert len(marked) == 1
+        get_logger("y").debug("now visible")
+        assert "now visible" in buf.getvalue()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ReproError):
+            configure_logging("loud")
+
+    def test_level_names_cover_the_cli_choices(self):
+        for name in LOG_LEVELS:
+            assert hasattr(logging, name.upper())

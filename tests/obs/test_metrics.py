@@ -1,0 +1,267 @@
+"""Tests for the metrics registry: instruments, buckets, exporters."""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    exponential_buckets,
+    get_registry,
+    linear_buckets,
+)
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry(enabled=True)
+
+
+class TestBucketHelpers:
+    def test_exponential(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_linear(self):
+        assert linear_buckets(0.0, 0.5, 3) == (0.0, 0.5, 1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ReproError):
+            exponential_buckets(0.0, 2.0, 3)
+        with pytest.raises(ReproError):
+            exponential_buckets(1.0, 1.0, 3)
+        with pytest.raises(ReproError):
+            linear_buckets(0.0, -1.0, 3)
+
+    def test_default_time_buckets_span_select_to_interval(self):
+        assert DEFAULT_TIME_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_TIME_BUCKETS[-1] == pytest.approx(1e-6 * 2**19)
+
+
+class TestCounter:
+    def test_accumulates(self, reg):
+        c = reg.counter("jobs_total")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6.0
+
+    def test_rejects_decrease(self, reg):
+        with pytest.raises(ReproError):
+            reg.counter("jobs_total").inc(-1)
+
+    def test_disabled_is_noop(self, reg):
+        c = reg.counter("jobs_total")
+        reg.disable()
+        c.inc(100)
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_set_and_inc(self, reg):
+        g = reg.gauge("queue_depth")
+        g.set(7)
+        g.inc(-2.5)
+        assert g.value == 4.5
+
+    def test_disabled_is_noop(self, reg):
+        g = reg.gauge("queue_depth")
+        reg.disable()
+        g.set(9)
+        g.inc(1)
+        assert g.value == 0.0
+
+
+class TestHistogramBuckets:
+    """The bucket-edge contract: ``v <= edge`` lands at that edge."""
+
+    def test_edge_exact_counts_toward_that_edge(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 4.0):
+            h.observe(v)
+        # 0.5 and 1.0 -> le=1; 1.5 and 2.0 -> le=2; 4.0 -> le=4.
+        assert h.counts.tolist() == [2, 2, 1, 0]
+
+    def test_overflow_bucket(self, reg):
+        h = reg.histogram("lat", buckets=(1.0,))
+        h.observe(1.0000001)
+        h.observe(1e9)
+        assert h.counts.tolist() == [0, 2]
+
+    def test_cumulative_counts(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.cumulative_counts.tolist() == [1, 2, 3]
+
+    def test_observe_many_matches_scalar_path(self, reg):
+        edges = (0.1, 0.3, 1.0, 3.0)
+        scalar = reg.histogram("scalar", buckets=edges)
+        batched = reg.histogram("batched", buckets=edges)
+        values = np.abs(np.random.default_rng(7).normal(0.5, 1.0, size=500))
+        for v in values:
+            scalar.observe(float(v))
+        batched.observe_many(values)
+        assert batched.counts.tolist() == scalar.counts.tolist()
+        assert batched.count == scalar.count == 500
+        assert batched.sum == pytest.approx(scalar.sum)
+
+    def test_sum_count_mean(self, reg):
+        h = reg.histogram("lat", buckets=(10.0,))
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.count == 2
+        assert h.sum == pytest.approx(6.0)
+        assert h.mean == pytest.approx(3.0)
+        assert reg.histogram("empty", buckets=(1.0,)).mean == 0.0
+
+    def test_quantile_interpolates(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5,) * 50 + (1.5,) * 50:
+            h.observe(v)
+        assert h.quantile(0.5) == pytest.approx(1.0, abs=0.05)
+        assert 1.0 <= h.quantile(0.9) <= 2.0
+        with pytest.raises(ReproError):
+            h.quantile(1.5)
+
+    def test_invalid_edges(self, reg):
+        with pytest.raises(ReproError):
+            reg.histogram("bad", buckets=())
+        with pytest.raises(ReproError):
+            reg.histogram("bad2", buckets=(1.0, 1.0))
+        with pytest.raises(ReproError):
+            reg.histogram("bad3", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, reg):
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a", labels={"k": "v"}) is reg.counter(
+            "a", labels={"k": "v"}
+        )
+        assert reg.counter("a") is not reg.counter("a", labels={"k": "v"})
+        assert len(reg) == 2
+
+    def test_label_order_is_insensitive(self, reg):
+        a = reg.gauge("g", labels={"x": "1", "y": "2"})
+        b = reg.gauge("g", labels={"y": "2", "x": "1"})
+        assert a is b
+
+    def test_kind_conflict_raises(self, reg):
+        reg.counter("n")
+        with pytest.raises(ReproError):
+            reg.gauge("n")
+
+    def test_histogram_edge_conflict_raises(self, reg):
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ReproError):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_empty_name_rejected(self, reg):
+        with pytest.raises(ReproError):
+            reg.counter("")
+
+    def test_reset_zeroes_but_keeps_instruments(self, reg):
+        c = reg.counter("a")
+        c.inc(3)
+        reg.reset()
+        assert c.value == 0.0
+        assert reg.counter("a") is c
+
+    def test_reset_clear_forgets(self, reg):
+        c = reg.counter("a")
+        reg.reset(clear=True)
+        assert len(reg) == 0
+        assert reg.counter("a") is not c
+        # The name is free again for another kind.
+        reg.reset(clear=True)
+        reg.gauge("a")
+
+    def test_instruments_sorted(self, reg):
+        reg.counter("b")
+        reg.counter("a", labels={"z": "1"})
+        reg.counter("a")
+        names = [(i.name, i.labels) for i in reg.instruments()]
+        assert names == sorted(names)
+
+
+class TestDisabledFastPath:
+    def test_disabled_writes_allocate_nothing(self, reg):
+        """The permanent-instrumentation contract: a disabled write is an
+        attribute check plus return — zero new allocations."""
+        c = reg.counter("a")
+        g = reg.gauge("b")
+        h = reg.histogram("c", buckets=(1.0,))
+        reg.disable()
+        # Warm up any lazy interpreter state before measuring.
+        c.inc()
+        g.set(1)
+        h.observe(1.0)
+        tracemalloc.start()
+        for _ in range(100):
+            c.inc()
+            g.set(2)
+            h.observe(0.5)
+        current, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert current == 0
+
+
+class TestExporters:
+    def test_snapshot_shape(self, reg):
+        reg.counter("c", help="a counter").inc(2)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["c"] == {
+            "kind": "counter",
+            "help": "a counter",
+            "series": [{"labels": {}, "value": 2.0}],
+        }
+        assert snap["h"]["series"][0]["value"]["counts"] == [1, 0]
+
+    def test_json_round_trip(self, reg, tmp_path):
+        reg.counter("c", labels={"k": "v"}).inc(3)
+        parsed = json.loads(reg.to_json())
+        assert parsed["c"]["series"][0] == {"labels": {"k": "v"}, "value": 3.0}
+        path = tmp_path / "m.json"
+        reg.write_json(path)
+        assert json.loads(path.read_text(encoding="utf-8")) == parsed
+
+    def test_prometheus_counter_and_gauge(self, reg):
+        reg.counter("c_total", help="things").inc(4)
+        reg.gauge("g", labels={"node": "A9"}).set(2.5)
+        text = reg.to_prometheus()
+        assert "# HELP c_total things" in text
+        assert "# TYPE c_total counter" in text
+        assert "c_total 4" in text
+        assert 'g{node="A9"} 2.5' in text
+        assert text.endswith("\n")
+
+    def test_prometheus_histogram_cumulative_buckets(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 9.0):
+            h.observe(v)
+        text = reg.to_prometheus()
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="2"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 11" in text
+        assert "lat_count 3" in text
+
+    def test_prometheus_escapes_label_values(self, reg):
+        reg.gauge("g", labels={"k": 'a"b\\c'}).set(1)
+        assert 'g{k="a\\"b\\\\c"} 1' in reg.to_prometheus()
+
+    def test_empty_registry_exports(self, reg):
+        assert reg.to_prometheus() == ""
+        assert reg.snapshot() == {}
+
+
+class TestSingleton:
+    def test_process_wide_and_disabled_by_default(self):
+        assert get_registry() is get_registry()
+        assert get_registry().enabled is False

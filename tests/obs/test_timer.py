@@ -1,0 +1,113 @@
+"""Tests for the shared benchmark timer and the BENCH envelope."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.timer import (
+    BENCH_SCHEMA,
+    Timing,
+    bench_envelope,
+    measure,
+    metrics_sidecar_path,
+    timed,
+    write_bench_json,
+)
+
+
+class TestMeasure:
+    def test_runs_warmup_plus_repeats(self):
+        calls = []
+        result, timing = measure(
+            lambda: calls.append(1) or len(calls), repeats=3, warmup=2
+        )
+        assert len(calls) == 5
+        assert result == 5  # last run's return value
+        assert timing.repeats == 3
+        assert timing.warmup == 2
+
+    def test_best_and_mean(self):
+        t = Timing(times_s=(3.0, 1.0, 2.0), warmup=0)
+        assert t.best_s == 1.0
+        assert t.mean_s == pytest.approx(2.0)
+        assert t.repeats == 3
+
+    def test_timings_are_positive(self):
+        _, timing = measure(lambda: sum(range(100)), repeats=2, warmup=0)
+        assert all(t >= 0 for t in timing.times_s)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            measure(lambda: None, repeats=0)
+        with pytest.raises(ReproError):
+            measure(lambda: None, warmup=-1)
+
+
+class TestTimed:
+    def test_elapsed_freezes_after_the_block(self):
+        with timed() as elapsed:
+            sum(range(1000))
+            inside = elapsed()
+        frozen = elapsed()
+        assert inside >= 0
+        assert frozen >= inside
+        assert elapsed() == frozen
+
+    def test_elapsed_survives_exceptions(self):
+        with pytest.raises(ValueError):
+            with timed() as elapsed:
+                raise ValueError
+        assert elapsed() >= 0
+
+
+class TestEnvelope:
+    def test_shape(self):
+        env = bench_envelope(
+            "demo", {"n": 3}, {"total": 1.5}, extra={"k": "v"}
+        )
+        assert env == {
+            "schema": BENCH_SCHEMA,
+            "benchmark": "demo",
+            "params": {"n": 3},
+            "timings_s": {"total": 1.5},
+            "extra": {"k": "v"},
+        }
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReproError):
+            bench_envelope("", {}, {})
+
+    def test_sidecar_path(self):
+        assert metrics_sidecar_path("BENCH_mc.json") == Path(
+            "BENCH_mc.metrics.json"
+        )
+        assert metrics_sidecar_path(Path("/x/BENCH_a.json")) == Path(
+            "/x/BENCH_a.metrics.json"
+        )
+
+
+class TestWriteBenchJson:
+    def test_metrics_split_into_sidecar(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        env = bench_envelope(
+            "demo", {}, {"total": 1.0}, metrics={"c": {"kind": "counter"}}
+        )
+        sidecar = write_bench_json(path, env)
+        main_doc = json.loads(path.read_text(encoding="utf-8"))
+        assert "metrics" not in main_doc
+        assert main_doc["schema"] == BENCH_SCHEMA
+        assert sidecar == tmp_path / "BENCH_demo.metrics.json"
+        assert json.loads(sidecar.read_text(encoding="utf-8")) == {
+            "c": {"kind": "counter"}
+        }
+        # The caller's dict is not mutated.
+        assert "metrics" in env
+
+    def test_no_metrics_no_sidecar(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        assert write_bench_json(path, bench_envelope("demo", {}, {})) is None
+        assert not (tmp_path / "BENCH_demo.metrics.json").exists()

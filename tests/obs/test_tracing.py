@@ -1,0 +1,178 @@
+"""Tests for the span tracer: nesting, exception safety, ring, exports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.tracing import Tracer, get_tracer, span
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestNesting:
+    def test_paths_record_the_call_stack(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        paths = [r.path for r in tracer.spans()]
+        # Children complete before their parent.
+        assert paths == [
+            ("outer", "inner"),
+            ("outer", "inner"),
+            ("outer",),
+        ]
+        assert [r.depth for r in tracer.spans()] == [1, 1, 0]
+
+    def test_attrs_at_open_and_via_set(self, tracer):
+        with tracer.span("s", policy="ppr-greedy") as sp:
+            sp.set(n_jobs=42)
+        (rec,) = tracer.spans()
+        assert rec.attrs == {"policy": "ppr-greedy", "n_jobs": 42}
+
+    def test_timings_are_positive_and_ordered(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(1000))
+        inner, outer = tracer.spans()
+        assert 0 <= inner.wall_s <= outer.wall_s
+        assert outer.t0_s <= inner.t0_s
+
+
+class TestExceptionSafety:
+    def test_span_recorded_with_error_attr(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (rec,) = tracer.spans()
+        assert rec.attrs["error"] == "ValueError"
+
+    def test_stack_unwinds_through_exceptions(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError
+        # A new top-level span nests correctly afterwards.
+        with tracer.span("after"):
+            pass
+        assert tracer.spans()[-1].path == ("after",)
+        assert tracer.spans()[-1].depth == 0
+
+
+class TestRingBuffer:
+    def test_wraps_oldest_first(self):
+        tracer = Tracer(capacity=3, enabled=True)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [r.name for r in tracer.spans()] == ["s2", "s3", "s4"]
+        assert tracer.dropped == 2
+
+    def test_no_drops_below_capacity(self, tracer):
+        with tracer.span("a"):
+            pass
+        assert tracer.dropped == 0
+
+    def test_reset_drops_records(self, tracer):
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.spans() == []
+        assert tracer.dropped == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ReproError):
+            Tracer(capacity=0)
+
+
+class TestDisabledFastPath:
+    def test_disabled_returns_shared_noop(self, tracer):
+        tracer.disable()
+        a = tracer.span("x")
+        b = tracer.span("y", k=1)
+        assert a is b
+        with a as sp:
+            sp.set(ignored=True)
+        assert tracer.spans() == []
+
+    def test_module_level_span_nests_on_the_singleton(self):
+        tracer = get_tracer()
+        assert span("x") is span("y")  # disabled: shared no-op
+        tracer.enable()
+        try:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        finally:
+            tracer.disable()
+        assert [r.path for r in tracer.spans()] == [
+            ("outer", "inner"),
+            ("outer",),
+        ]
+
+
+class TestExports:
+    def test_chrome_trace_shape(self, tracer, tmp_path):
+        with tracer.span("run", policy="rr"):
+            with tracer.span("interval"):
+                pass
+        doc = tracer.to_chrome_trace()
+        assert {e["name"] for e in doc["traceEvents"]} == {"run", "interval"}
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert {"pid", "tid", "cat", "args"} <= set(event)
+        run = next(e for e in doc["traceEvents"] if e["name"] == "run")
+        assert run["args"]["policy"] == "rr"
+        path = tmp_path / "t.json"
+        tracer.write_chrome_trace(path)
+        assert json.loads(path.read_text(encoding="utf-8")) == doc
+
+    def test_chrome_trace_stringifies_exotic_attrs(self, tracer):
+        with tracer.span("s", obj=object(), ok=1):
+            pass
+        (event,) = tracer.to_chrome_trace()["traceEvents"]
+        assert isinstance(event["args"]["obj"], str)
+        assert event["args"]["ok"] == 1
+
+    def test_flame_aggregates_and_computes_self_time(self, tracer):
+        for _ in range(3):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        rows = {r.path: r for r in tracer.flame()}
+        assert rows[("outer",)].calls == 3
+        assert rows[("outer", "inner")].calls == 3
+        outer = rows[("outer",)]
+        inner = rows[("outer", "inner")]
+        assert outer.self_wall_s == pytest.approx(
+            outer.wall_s - inner.wall_s, abs=1e-12
+        )
+        assert inner.self_wall_s == pytest.approx(inner.wall_s)
+
+    def test_flame_sorted_by_wall_descending(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        rows = tracer.flame()
+        assert rows[0].path == ("outer",)
+
+    def test_render_flame_lists_indented_paths(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        text = tracer.render_flame()
+        assert "Flame summary" in text
+        assert "outer" in text
+        assert "  inner" in text
+
+    def test_render_flame_empty(self, tracer):
+        assert "no spans" in tracer.render_flame()

@@ -1,0 +1,162 @@
+"""Tests for the CI benchmark-regression gate (tools/bench_compare.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parent.parent / "tools" / "bench_compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _TOOL)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+@pytest.fixture()
+def git_repo(tmp_path):
+    """A throwaway git repo with a committed baseline BENCH artifact."""
+    subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", "commit",
+         "-q", "--allow-empty", "-m", "seed"],
+        cwd=tmp_path,
+        check=True,
+    )
+
+    def commit(name, doc):
+        (tmp_path / name).write_text(json.dumps(doc), encoding="utf-8")
+        subprocess.run(["git", "add", name], cwd=tmp_path, check=True)
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", "commit",
+             "-q", "-m", f"add {name}"],
+            cwd=tmp_path,
+            check=True,
+        )
+
+    return tmp_path, commit
+
+
+class TestLookup:
+    def test_dotted_paths(self):
+        doc = {"a": {"b": {"c": 3}}}
+        assert bench_compare.lookup(doc, "a.b.c") == 3.0
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            bench_compare.lookup({"a": 1}, "a.b")
+        with pytest.raises(KeyError):
+            bench_compare.lookup({}, "missing")
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        rows = bench_compare.compare(
+            {"m": 80.0}, {"m": 100.0}, ["m"], tolerance=0.25
+        )
+        assert rows == [
+            {"path": "m", "fresh": 80.0, "baseline": 100.0, "ratio": 0.8,
+             "status": "ok"}
+        ]
+
+    def test_regression_flagged(self):
+        (row,) = bench_compare.compare(
+            {"m": 70.0}, {"m": 100.0}, ["m"], tolerance=0.25
+        )
+        assert row["status"] == "regression"
+
+    def test_improvement_passes(self):
+        (row,) = bench_compare.compare({"m": 500.0}, {"m": 100.0}, ["m"])
+        assert row["status"] == "ok"
+
+    def test_missing_baseline_path_skipped(self):
+        (row,) = bench_compare.compare({"m": 1.0}, {}, ["m"])
+        assert row["status"] == "no-baseline"
+
+    def test_missing_fresh_path_raises(self):
+        with pytest.raises(KeyError):
+            bench_compare.compare({}, {"m": 1.0}, ["m"])
+
+
+class TestLoadBaseline:
+    def test_reads_committed_artifact(self, git_repo):
+        repo, commit = git_repo
+        commit("BENCH_x.json", {"v": 1})
+        doc = bench_compare.load_baseline("BENCH_x.json", repo_root=repo)
+        assert doc == {"v": 1}
+
+    def test_absent_artifact_is_none(self, git_repo):
+        repo, _commit = git_repo
+        assert (
+            bench_compare.load_baseline("BENCH_missing.json", repo_root=repo)
+            is None
+        )
+
+
+class TestMain:
+    def _floor_doc(self, value):
+        return {
+            "BENCH_sweep.json": {"speedup": {"batched_warm": value}},
+            "BENCH_mc.json": {
+                "scenarios": {
+                    "md1": {"speedup": {"simulate_phase": value}},
+                    "service_model": {"speedup": {"simulate_phase": value}},
+                }
+            },
+            "BENCH_scheduler.json": {"events_per_s": value},
+        }
+
+    def _write_all(self, repo, docs):
+        for name, doc in docs.items():
+            (repo / name).write_text(json.dumps(doc), encoding="utf-8")
+
+    def test_clean_pass(self, git_repo, capsys):
+        repo, commit = git_repo
+        for name, doc in self._floor_doc(100.0).items():
+            commit(name, doc)
+        self._write_all(repo, self._floor_doc(90.0))
+        assert bench_compare.main(["--dir", str(repo)]) == 0
+        assert "REGRESSION" not in capsys.readouterr().out
+
+    def test_regression_fails(self, git_repo, capsys):
+        repo, commit = git_repo
+        for name, doc in self._floor_doc(100.0).items():
+            commit(name, doc)
+        fresh = self._floor_doc(90.0)
+        fresh["BENCH_scheduler.json"]["events_per_s"] = 10.0
+        self._write_all(repo, fresh)
+        assert bench_compare.main(["--dir", str(repo)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_missing_baseline_skips(self, git_repo, capsys):
+        repo, _commit = git_repo
+        self._write_all(repo, self._floor_doc(90.0))
+        assert bench_compare.main(["--dir", str(repo)]) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_missing_fresh_skips(self, git_repo, capsys):
+        repo, _commit = git_repo
+        assert bench_compare.main(["--dir", str(repo)]) == 0
+        assert "fresh artifact missing" in capsys.readouterr().out
+
+    def test_fresh_without_floor_metric_is_error(self, git_repo, capsys):
+        repo, commit = git_repo
+        commit("BENCH_scheduler.json", {"events_per_s": 100.0})
+        (repo / "BENCH_scheduler.json").write_text("{}", encoding="utf-8")
+        assert bench_compare.main(["--dir", str(repo)]) == 2
+
+    def test_bad_tolerance_rejected(self, capsys):
+        assert bench_compare.main(["--tolerance", "1.5"]) == 2
+
+    def test_repo_floor_metrics_match_committed_artifacts(self):
+        """Every floor path must resolve in the committed baselines."""
+        root = _TOOL.parent.parent
+        for name, paths in bench_compare.FLOOR_METRICS.items():
+            doc = bench_compare.load_baseline(name, repo_root=root)
+            if doc is None:
+                pytest.skip(f"{name} not committed at HEAD")
+            for path in paths:
+                assert bench_compare.lookup(doc, path) > 0

@@ -198,3 +198,90 @@ class TestScheduleCommand:
     def test_bad_policy_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["schedule", "--policy", "fifo"])
+
+
+class TestObservabilityFlags:
+    def test_schedule_json_telemetry_stream(self, capsys):
+        import json as _json
+
+        argv = ["schedule", "--workload", "x264", "--policy", "ppr-greedy",
+                "--seed", "42", "--intervals", "6", "--json"]
+        assert main(argv) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-schedule/1"
+        assert doc["workload"] == "x264"
+        assert doc["seed"] == 42
+        assert len(doc["telemetry"]) == 6
+        sample = doc["telemetry"][0]
+        assert {"t_s", "demand_fraction", "power_w", "arrivals"} <= set(sample)
+        assert doc["summary"]["jobs_arrived"] == sum(
+            s["arrivals"] for s in doc["telemetry"]
+        )
+        assert "oracle" in doc and "node_stats" in doc
+
+    def test_schedule_json_rejects_full(self, capsys):
+        assert main(["schedule", "--json", "--full"]) == 1
+        assert "drop --full" in capsys.readouterr().err
+
+    def test_trace_and_metrics_out(self, capsys, tmp_path):
+        import json as _json
+
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        argv = ["schedule", "--intervals", "4", "--seed", "1",
+                "--trace-out", str(trace), "--metrics-out", str(metrics)]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert f"[trace: {trace}]" in err
+        assert f"[metrics: {metrics}]" in err
+        trace_doc = _json.loads(trace.read_text(encoding="utf-8"))
+        names = {e["name"] for e in trace_doc["traceEvents"]}
+        assert "scheduler.run" in names
+        assert all(e["ph"] == "X" for e in trace_doc["traceEvents"])
+        metrics_doc = _json.loads(metrics.read_text(encoding="utf-8"))
+        assert "repro_sched_dispatch_latency_s" in metrics_doc
+        assert "repro_sched_power_transitions_total" in metrics_doc
+
+    def test_obs_disabled_after_instrumented_run(self, capsys, tmp_path):
+        from repro.obs import get_registry, get_tracer
+
+        argv = ["schedule", "--intervals", "4",
+                "--metrics-out", str(tmp_path / "m.json")]
+        assert main(argv) == 0
+        assert not get_registry().enabled
+        assert not get_tracer().enabled
+
+    def test_profile_wraps_schedule(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        argv = ["profile", "schedule", "--intervals", "4", "--seed", "7",
+                "--trace-out", str(trace)]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "Flame summary" in captured.out
+        assert "scheduler.run" in captured.out
+        assert "repro_sched_jobs_dispatched_total" in captured.out
+        assert trace.exists()
+
+    def test_profile_propagates_outer_seed(self, capsys):
+        assert main(["--seed", "42", "profile", "schedule", "--intervals", "6"]) == 0
+        profiled = capsys.readouterr().out
+        assert main(["schedule", "--seed", "42", "--intervals", "6"]) == 0
+        plain = capsys.readouterr().out
+        # The wrapped run replays the same seeded day.
+        assert plain.strip().splitlines()[0] in profiled
+
+    def test_profile_cannot_wrap_itself(self, capsys):
+        assert main(["profile", "profile", "schedule"]) == 1
+        assert "cannot wrap itself" in capsys.readouterr().err
+
+    def test_log_level_flag(self, capsys):
+        import logging
+
+        assert main(["--log-level", "debug", "table", "7"]) == 0
+        root = logging.getLogger("repro")
+        assert root.level == logging.DEBUG
+        root.setLevel(logging.WARNING)
+
+    def test_bad_log_level_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "loud", "table", "7"])

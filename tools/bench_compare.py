@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Gate CI on regressions of the floor-bearing benchmark metrics.
+
+The benchmark suite refreshes ``BENCH_*.json`` at the repository root on
+every run; the committed copies are the baselines.  This tool diffs the
+fresh artifacts against the versions at a git ref (default ``HEAD``) and
+fails when any *floor-bearing* metric — the handful of numbers the
+benchmark floor tests actually pin — regresses by more than the
+tolerance (default 25%).  Improvements and sub-tolerance wobble pass;
+a missing baseline (first run of a new benchmark, or a shallow checkout
+without the artifact) is reported and skipped rather than failed, so the
+gate never blocks the commit that introduces a benchmark.
+
+Usage::
+
+    python tools/bench_compare.py [--ref HEAD] [--tolerance 0.25]
+                                  [--dir REPO_ROOT]
+
+Exit status: 0 when every comparable metric is within tolerance, 1 on
+any regression, 2 on a malformed artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+#: The metrics the benchmark floor tests pin, as dotted paths into each
+#: artifact.  Higher is better for every entry (speedups and rates);
+#: anything not listed here is informational and never gates.
+FLOOR_METRICS: Dict[str, Sequence[str]] = {
+    "BENCH_sweep.json": ("speedup.batched_warm",),
+    "BENCH_mc.json": (
+        "scenarios.md1.speedup.simulate_phase",
+        "scenarios.service_model.speedup.simulate_phase",
+    ),
+    "BENCH_scheduler.json": ("events_per_s",),
+}
+
+#: Allowed fractional drop before the gate trips.  Benchmark machines in
+#: CI are noisy neighbours; the floors these metrics back already carry
+#: ~2x headroom, so a >25% drop signals a real regression, not jitter.
+DEFAULT_TOLERANCE = 0.25
+
+
+def lookup(doc: object, dotted: str) -> float:
+    """Resolve a dotted path (``a.b.c``) into a nested dict of floats."""
+    node = doc
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            raise KeyError(dotted)
+        node = node[key]
+    return float(node)  # type: ignore[arg-type]
+
+
+def load_baseline(
+    name: str, *, ref: str = "HEAD", repo_root: Optional[Path] = None
+) -> Optional[Dict[str, object]]:
+    """The committed artifact at ``ref``, or None when absent there."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{name}"],
+        capture_output=True,
+        cwd=repo_root,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout.decode("utf-8"))
+
+
+def compare(
+    fresh: Dict[str, object],
+    baseline: Dict[str, object],
+    paths: Sequence[str],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[Dict[str, object]]:
+    """Compare floor-bearing metrics; one row per comparable path.
+
+    A path missing from the *baseline* (an older artifact schema) is
+    skipped with ``"status": "no-baseline"``; missing from the *fresh*
+    artifact it is an error — the benchmark stopped reporting a number
+    its floor test depends on.
+    """
+    rows: List[Dict[str, object]] = []
+    for path in paths:
+        fresh_v = lookup(fresh, path)
+        try:
+            base_v = lookup(baseline, path)
+        except KeyError:
+            rows.append({"path": path, "fresh": fresh_v, "status": "no-baseline"})
+            continue
+        floor = base_v * (1.0 - tolerance)
+        rows.append(
+            {
+                "path": path,
+                "fresh": fresh_v,
+                "baseline": base_v,
+                "ratio": fresh_v / base_v if base_v else float("inf"),
+                "status": "ok" if fresh_v >= floor else "regression",
+            }
+        )
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench_compare.py",
+        description="Diff fresh BENCH_*.json against the committed baselines.",
+    )
+    parser.add_argument("--ref", default="HEAD", help="baseline git ref")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional drop (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--dir",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="directory holding the fresh artifacts (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        print(f"error: tolerance must be in [0, 1), got {args.tolerance}",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    for name, paths in sorted(FLOOR_METRICS.items()):
+        fresh_path = args.dir / name
+        if not fresh_path.exists():
+            print(f"{name}: fresh artifact missing, skipped")
+            continue
+        try:
+            fresh = json.loads(fresh_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            print(f"{name}: unreadable fresh artifact ({exc})", file=sys.stderr)
+            return 2
+        baseline = load_baseline(name, ref=args.ref, repo_root=args.dir)
+        if baseline is None:
+            print(f"{name}: no baseline at {args.ref}, skipped")
+            continue
+        try:
+            rows = compare(fresh, baseline, paths, tolerance=args.tolerance)
+        except KeyError as exc:
+            print(f"{name}: fresh artifact lacks floor metric {exc}",
+                  file=sys.stderr)
+            return 2
+        for row in rows:
+            if row["status"] == "no-baseline":
+                print(f"{name}: {row['path']} = {row['fresh']:.4g} "
+                      f"(no baseline value, skipped)")
+                continue
+            verdict = "OK" if row["status"] == "ok" else "REGRESSION"
+            print(
+                f"{name}: {row['path']} = {row['fresh']:.4g} vs "
+                f"{row['baseline']:.4g} (x{row['ratio']:.2f}) {verdict}"
+            )
+            if row["status"] == "regression":
+                failed = True
+    if failed:
+        print(
+            f"bench_compare: floor-bearing metric regressed by more than "
+            f"{args.tolerance:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
