@@ -24,6 +24,12 @@ without writing any Python:
   ``--json`` emits the full per-interval telemetry stream instead.
 * ``profile <command> ...`` — run any other command under instrumentation
   and print a flame summary plus the collected metrics.
+* ``obs {record,report,diff,check,watch,compact}`` — the run-ledger
+  family: ingest bench envelopes or manual records (``record``), render
+  the sparkline trend dashboard (``report`` / ``watch``), statistically
+  diff metric histories (``diff``, exit 1 on a regression beyond
+  tolerance), evaluate the paper's claim monitors (``check``, exit 1 on
+  any red), and archive old records (``compact``).
 
 The top-level ``--seed`` feeds every seeded command (``schedule``,
 ``validate-mc``, ``sensitivity``, ``table 4``, ``validate``,
@@ -35,7 +41,19 @@ Observability: every command accepts ``--trace-out PATH`` (Chrome-trace
 JSON, loadable in ``chrome://tracing``) and ``--metrics-out PATH`` (the
 metrics-registry snapshot as JSON).  Either flag runs the command under
 :func:`repro.obs.instrumented`; ``profile`` does the same and adds the
-human-readable summary.
+human-readable summary.  Both paths get their missing parent directories
+created and **overwrite** an existing file — each run's artifact replaces
+the last; point different runs at different paths to keep both.
+
+Run ledger: every non-``obs`` subcommand appends one ``repro-run/1``
+record (git SHA, seed, config digest, result scalars, wall/CPU time) to
+the append-only JSONL store under ``.repro/runs/`` (see
+:mod:`repro.obs.ledger`).  ``--no-ledger`` disables recording for one
+invocation, ``--ledger-dir DIR`` relocates the store, and the
+``REPRO_LEDGER`` / ``REPRO_LEDGER_DIR`` environment variables do the
+same globally.  The ``obs`` family itself never appends ``cli/*``
+records — reading the ledger must not grow it (``obs check`` writes
+``monitor/*`` records, which is its job).
 """
 
 from __future__ import annotations
@@ -100,6 +118,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="configure the repro logger hierarchy on stderr",
     )
+    parser.add_argument(
+        "--ledger-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="run-ledger store (default: $REPRO_LEDGER_DIR or .repro/runs)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append this run to the run ledger",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     # Shared observability flags: any command can dump a Chrome trace and a
@@ -112,14 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         metavar="PATH",
-        help="run instrumented; write spans as Chrome-trace JSON to PATH",
+        help=(
+            "run instrumented; write spans as Chrome-trace JSON to PATH "
+            "(parent dirs created, existing file overwritten)"
+        ),
     )
     obs_parent.add_argument(
         "--metrics-out",
         type=Path,
         default=None,
         metavar="PATH",
-        help="run instrumented; write the metrics snapshot as JSON to PATH",
+        help=(
+            "run instrumented; write the metrics snapshot as JSON to PATH "
+            "(parent dirs created, existing file overwritten)"
+        ),
     )
 
     # Subcommand --seed flags default to SUPPRESS so an omitted flag leaves
@@ -271,6 +307,116 @@ def build_parser() -> argparse.ArgumentParser:
         nargs=argparse.REMAINDER,
         help="arguments for the wrapped command (including --trace-out/--metrics-out)",
     )
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="run ledger: record, report, diff, check, watch, compact",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_obs_rec = obs_sub.add_parser(
+        "record",
+        help="append records: ingest BENCH_*.json envelopes or one manual record",
+    )
+    p_obs_rec.add_argument(
+        "--bench",
+        type=Path,
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help="repro-bench/1 envelope(s) to ingest as bench/<name> records",
+    )
+    p_obs_rec.add_argument(
+        "--name", default=None, help="run name for a manual record"
+    )
+    p_obs_rec.add_argument(
+        "--kind",
+        choices=("cli", "benchmark", "monitor", "experiment"),
+        default="experiment",
+        help="kind of the manual record",
+    )
+    p_obs_rec.add_argument(
+        "--scalar",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="result scalar of the manual record (repeatable)",
+    )
+    p_obs_rec.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="seed of the recorded run"
+    )
+
+    p_obs_rep = obs_sub.add_parser(
+        "report", help="render the sparkline trend dashboard over the ledger"
+    )
+    p_obs_rep.add_argument(
+        "--names", default=None, help="comma-separated run names (default: all)"
+    )
+    p_obs_rep.add_argument(
+        "--tolerance", type=float, default=0.25, help="drift annotation tolerance"
+    )
+
+    p_obs_diff = obs_sub.add_parser(
+        "diff",
+        help="statistical drift check over ledger history (exit 1 on regression)",
+    )
+    p_obs_diff.add_argument(
+        "--names", default=None, help="comma-separated run names (default: all)"
+    )
+    p_obs_diff.add_argument(
+        "--scalars", default=None, help="comma-separated scalar keys (default: all)"
+    )
+    p_obs_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative-change tolerance band (default 0.25)",
+    )
+
+    p_obs_check = obs_sub.add_parser(
+        "check",
+        help="evaluate the paper's claim monitors (exit 1 when any goes red)",
+    )
+    p_obs_check.add_argument(
+        "--monitors",
+        default=None,
+        help="comma-separated monitor names (default: all; see repro.obs.monitors)",
+    )
+    p_obs_check.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="root seed"
+    )
+    p_obs_check.add_argument(
+        "--no-record",
+        action="store_true",
+        help="do not append monitor results to the ledger",
+    )
+
+    p_obs_watch = obs_sub.add_parser(
+        "watch", help="re-render the dashboard every interval"
+    )
+    p_obs_watch.add_argument(
+        "--interval", type=float, default=5.0, help="seconds between renders"
+    )
+    p_obs_watch.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after N renders (default: run until interrupted)",
+    )
+    p_obs_watch.add_argument(
+        "--names", default=None, help="comma-separated run names (default: all)"
+    )
+
+    p_obs_compact = obs_sub.add_parser(
+        "compact",
+        help="move records beyond the retention window to the archive",
+    )
+    p_obs_compact.add_argument(
+        "--keep",
+        type=int,
+        default=None,
+        help="records kept per run name (default: 200)",
+    )
     return parser
 
 
@@ -345,6 +491,9 @@ def _cmd_validate_mc(args: argparse.Namespace) -> int:
         level=args.level,
         seed=args.seed if args.seed is not None else DEFAULT_SEED,
     )
+    from repro.experiments.validation_mc import report_scalars
+
+    args._scalars = report_scalars(report)
     print(render_validation_report(report))
     return 0 if report.all_agree else 1
 
@@ -397,6 +546,12 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     if rec is None:
         print("No configuration meets the deadline (and budget).", file=sys.stderr)
         return 1
+    args._scalars = {
+        "tp_s": rec.evaluation.tp_s,
+        "energy_j": rec.evaluation.energy_j,
+        "peak_power_w": rec.evaluation.peak_power_w,
+        "evaluated_configs": float(rec.evaluated_configs),
+    }
     group = rec.config.groups[0]
     print(
         render_kv(
@@ -475,8 +630,10 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         render_schedule_summary,
         render_scheduling_report,
         replay_day,
+        replay_scalars,
         run_scheduling_study,
         schedule_result_json,
+        study_scalars,
     )
     from repro.util.rng import DEFAULT_SEED
 
@@ -484,7 +641,9 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     if args.full:
         if args.json:
             raise ReproError("--json covers a single replay; drop --full")
-        print(render_scheduling_report(run_scheduling_study(seed)))
+        study = run_scheduling_study(seed)
+        args._scalars = study_scalars(study)
+        print(render_scheduling_report(study))
         return 0
     result, oracle = replay_day(
         args.workload,
@@ -495,11 +654,164 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         interval_s=args.interval_s,
         demand=args.demand,
     )
+    args._scalars = replay_scalars(result, oracle)
     if args.json:
         print(json.dumps(schedule_result_json(result, oracle, seed=seed), indent=2))
     else:
         print(render_schedule_summary(result, oracle))
     return 0
+
+
+def _parse_scalar_pairs(pairs: Sequence[str]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ReproError(f"bad scalar {pair!r}; expected KEY=VALUE")
+        try:
+            out[key] = float(value)
+        except ValueError:
+            raise ReproError(f"bad scalar value in {pair!r}") from None
+    return out
+
+
+def _split_csv(text: Optional[str]) -> Optional[list]:
+    if text is None:
+        return None
+    parts = [p.strip() for p in text.split(",") if p.strip()]
+    return parts or None
+
+
+def _obs_record(args: argparse.Namespace, ledger) -> int:
+    from repro.obs.drift import bench_scalars
+    from repro.obs.ledger import new_record
+
+    if args.bench is None and args.name is None:
+        raise ReproError("obs record needs --bench PATH... or --name NAME")
+    if args.bench is not None:
+        for path in args.bench:
+            try:
+                doc = json.loads(Path(path).read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise ReproError(f"cannot read bench envelope {path}: {exc}") from None
+            benchmark = str(doc.get("benchmark", "")) or "unknown"
+            params = {
+                k: v
+                for k, v in dict(doc.get("params", {})).items()
+                if isinstance(v, (str, int, float, bool)) or v is None
+            }
+            seed = params.get("seed")
+            rec = ledger.append(
+                new_record(
+                    "benchmark",
+                    f"bench/{benchmark}",
+                    params=params,
+                    scalars=bench_scalars(benchmark, doc),
+                    seed=seed if isinstance(seed, int) else None,
+                )
+            )
+            print(f"recorded bench/{benchmark} ({rec.run_id}) from {path}")
+        return 0
+    scalars = _parse_scalar_pairs(args.scalar or [])
+    rec = ledger.append(
+        new_record(
+            args.kind,
+            args.name,
+            scalars=scalars,
+            seed=getattr(args, "seed", None),
+        )
+    )
+    print(f"recorded {rec.name} ({rec.run_id}): {len(scalars)} scalar(s)")
+    return 0
+
+
+def _obs_report(args: argparse.Namespace, ledger) -> int:
+    from repro.obs.dashboard import render_dashboard
+
+    print(
+        render_dashboard(
+            ledger, names=_split_csv(args.names), tolerance=args.tolerance
+        )
+    )
+    return 0
+
+
+def _obs_diff(args: argparse.Namespace, ledger) -> int:
+    from repro.obs.drift import diff_ledger, render_drifts
+
+    drifts = diff_ledger(
+        ledger,
+        names=_split_csv(args.names),
+        scalars=_split_csv(args.scalars),
+        tolerance=args.tolerance,
+    )
+    print(render_drifts(drifts))
+    return 1 if any(d.status == "regression" for d in drifts) else 0
+
+
+def _obs_check(args: argparse.Namespace, ledger) -> int:
+    from repro.obs.monitors import render_monitor_report, run_monitors
+    from repro.util.rng import DEFAULT_SEED
+
+    results = run_monitors(
+        _split_csv(args.monitors),
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        ledger=ledger,
+        record=not args.no_record,
+    )
+    print(render_monitor_report(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _obs_watch(args: argparse.Namespace, ledger) -> int:
+    import time
+
+    from repro.obs.dashboard import render_dashboard
+
+    if args.interval < 0:
+        raise ReproError(f"interval must be >= 0, got {args.interval}")
+    if args.iterations is not None and args.iterations < 1:
+        raise ReproError(f"iterations must be >= 1, got {args.iterations}")
+    n = 0
+    try:
+        while True:
+            print(render_dashboard(ledger, names=_split_csv(args.names)))
+            n += 1
+            if args.iterations is not None and n >= args.iterations:
+                return 0
+            print(f"--- refresh in {args.interval:g}s (ctrl-c to stop) ---")
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _obs_compact(args: argparse.Namespace, ledger) -> int:
+    from repro.obs.ledger import DEFAULT_RETENTION
+
+    keep = args.keep if args.keep is not None else DEFAULT_RETENTION
+    moved = ledger.compact(keep=keep)
+    print(
+        f"archived {moved} record(s) beyond the newest {keep} per name"
+        f" (archive: {ledger.archive_path})"
+    )
+    return 0
+
+
+_OBS_COMMANDS = {
+    "record": _obs_record,
+    "report": _obs_report,
+    "diff": _obs_diff,
+    "check": _obs_check,
+    "watch": _obs_watch,
+    "compact": _obs_compact,
+}
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import default_ledger
+
+    ledger = default_ledger(getattr(args, "ledger_dir", None))
+    return _OBS_COMMANDS[args.obs_command](args, ledger)
 
 
 _COMMANDS = {
@@ -513,20 +825,81 @@ _COMMANDS = {
     "sensitivity": _cmd_sensitivity,
     "characterize": _cmd_characterize,
     "schedule": _cmd_schedule,
+    "obs": _cmd_obs,
 }
+
+#: Namespace keys that are plumbing, not run configuration — excluded from
+#: the ledger record's params (and hence from its config digest).
+_NON_CONFIG_KEYS = frozenset(
+    {"command", "obs_command", "log_level", "trace_out", "metrics_out",
+     "ledger_dir", "no_ledger", "csv"}
+)
+
+
+def _ledger_params(args: argparse.Namespace) -> Dict[str, object]:
+    """The command's configuration as a JSON-able params dict.
+
+    Output paths and plumbing flags are excluded so the config digest
+    identifies *what was computed*, not where artifacts landed.
+    """
+    params: Dict[str, object] = {}
+    for key, value in vars(args).items():
+        if key.startswith("_") or key in _NON_CONFIG_KEYS:
+            continue
+        if isinstance(value, Path):
+            continue
+        if isinstance(value, dict):
+            params[key] = {str(k): v for k, v in sorted(value.items())}
+        elif isinstance(value, (str, int, float, bool)) or value is None:
+            params[key] = value
+    return params
+
+
+def _record_cli_run(
+    args: argparse.Namespace, rc: int, wall_s: float, cpu_s: float
+) -> None:
+    """Append one ``cli/<command>`` record; never fails the command."""
+    from repro.obs.ledger import default_ledger, ledger_enabled, new_record
+
+    if getattr(args, "no_ledger", False) or not ledger_enabled():
+        return
+    record = new_record(
+        "cli",
+        f"cli/{args.command}",
+        params=_ledger_params(args),
+        scalars=getattr(args, "_scalars", None),
+        seed=getattr(args, "seed", None),
+        wall_s=wall_s,
+        cpu_s=cpu_s,
+        exit_code=rc,
+    )
+    try:
+        default_ledger(getattr(args, "ledger_dir", None)).append(record)
+    except OSError:
+        pass
 
 
 def _run_command(args: argparse.Namespace, *, summary: bool = False) -> int:
-    """Dispatch one parsed command, instrumenting when artifacts are asked for."""
+    """Dispatch one parsed command, instrumenting when artifacts are asked
+    for and appending the run to the ledger (``obs`` family excluded —
+    reading the ledger must not grow it)."""
+    from time import perf_counter, process_time
+
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
+    record = args.command != "obs"
+    t0, c0 = perf_counter(), process_time()
     if trace_out is None and metrics_out is None and not summary:
-        return _COMMANDS[args.command](args)
+        rc = _COMMANDS[args.command](args)
+        if record:
+            _record_cli_run(args, rc, perf_counter() - t0, process_time() - c0)
+        return rc
 
     from repro.obs import get_registry, get_tracer, instrumented
 
     with instrumented():
         rc = _COMMANDS[args.command](args)
+    wall, cpu = perf_counter() - t0, process_time() - c0
     if trace_out is not None:
         get_tracer().write_chrome_trace(trace_out)
         print(f"[trace: {trace_out}]", file=sys.stderr)
@@ -540,6 +913,8 @@ def _run_command(args: argparse.Namespace, *, summary: bool = False) -> int:
         if prom:
             print()
             print(prom, end="")
+    if record:
+        _record_cli_run(args, rc, wall, cpu)
     return rc
 
 
@@ -550,6 +925,10 @@ def _cmd_profile(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     # Propagate the outer --seed unless the wrapped command set its own.
     if args.seed is not None and getattr(inner, "seed", None) is None:
         inner.seed = args.seed
+    # Ledger flags live before the subcommand, so the wrapped parse never
+    # sees the outer values; carry them over.
+    inner.no_ledger = args.no_ledger
+    inner.ledger_dir = args.ledger_dir
     return _run_command(inner, summary=True)
 
 

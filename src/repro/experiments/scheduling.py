@@ -63,8 +63,11 @@ __all__ = [
     "HeterogeneousEnergy",
     "SchedulingStudy",
     "run_scheduling_study",
+    "run_mix_contrast",
     "render_scheduling_report",
     "schedule_result_json",
+    "replay_scalars",
+    "study_scalars",
 ]
 
 #: Workloads the study replays (one per paper domain represented at the
@@ -345,10 +348,62 @@ def run_scheduling_study(
 
     # Fig. 9-style contrast: same absolute load, reference vs wimpy mix.
     ref_config = ClusterConfiguration.mix(_REFERENCE_MIX)
+    contrasts = run_mix_contrast(
+        seed=seed,
+        n_intervals=n_intervals,
+        interval_s=interval_s,
+        contrast_demand=contrast_demand,
+    )
+
+    # Dispatch energy on a fixed mixed cluster: identical arrivals (neither
+    # policy consumes the RNG), different silicon choices.
+    w = loads["x264"]
+    low = np.full(n_intervals, het_demand)
+    rr = _fixed_run(w, "round-robin", low, ref_config, costs, interval_s=interval_s, seed=seed)
+    ppr = _fixed_run(w, ENERGY_POLICY, low, ref_config, costs, interval_s=interval_s, seed=seed)
+    het = HeterogeneousEnergy(
+        workload="x264",
+        mix_label=ref_config.label(),
+        demand_fraction=het_demand,
+        round_robin_energy_j=rr.total_energy_j,
+        ppr_greedy_energy_j=ppr.total_energy_j,
+    )
+
+    return SchedulingStudy(
+        seed=seed,
+        interval_s=interval_s,
+        trace=tuple(float(x) for x in trace),
+        comparisons=tuple(comparisons),
+        contrasts=tuple(contrasts),
+        het_energy=het,
+    )
+
+
+def run_mix_contrast(
+    workload_names: Sequence[str] = ("EP", "x264"),
+    *,
+    seed: int = DEFAULT_SEED,
+    n_intervals: int = 24,
+    interval_s: float = 20.0,
+    contrast_demand: float = 0.40,
+) -> Tuple[MixContrast, ...]:
+    """The Fig. 9-style mix contrast on its own: same absolute load on the
+    reference mix (32 A9 : 12 K10) and the wimpy Pareto mix (25 A9 : 5 K10).
+
+    Extracted from :func:`run_scheduling_study` so the claim monitors can
+    re-derive the EP x~1.03 vs x264 x~11 p95 contrast without replaying
+    the whole policy comparison.  Deterministic for a fixed seed.
+    """
+    loads = scheduling_workloads()
+    unknown = [n for n in workload_names if n not in loads]
+    if unknown:
+        raise ReproError(f"unknown study workloads {unknown}")
+    costs = light_transition_costs()
+    ref_config = ClusterConfiguration.mix(_REFERENCE_MIX)
     wimpy_config = ClusterConfiguration.mix(_WIMPY_MIX)
     flat = np.full(n_intervals, contrast_demand)
     contrasts: List[MixContrast] = []
-    for name in ("EP", "x264"):
+    for name in workload_names:
         w = loads[name]
         ref_capacity = config_constants(w, ref_config)[0]
         ref = _fixed_run(
@@ -374,29 +429,44 @@ def run_scheduling_study(
                 wimpy_p95_s=wimpy.p95_s,
             )
         )
+    return tuple(contrasts)
 
-    # Dispatch energy on a fixed mixed cluster: identical arrivals (neither
-    # policy consumes the RNG), different silicon choices.
-    w = loads["x264"]
-    low = np.full(n_intervals, het_demand)
-    rr = _fixed_run(w, "round-robin", low, ref_config, costs, interval_s=interval_s, seed=seed)
-    ppr = _fixed_run(w, ENERGY_POLICY, low, ref_config, costs, interval_s=interval_s, seed=seed)
-    het = HeterogeneousEnergy(
-        workload="x264",
-        mix_label=ref_config.label(),
-        demand_fraction=het_demand,
-        round_robin_energy_j=rr.total_energy_j,
-        ppr_greedy_energy_j=ppr.total_energy_j,
-    )
 
-    return SchedulingStudy(
-        seed=seed,
-        interval_s=interval_s,
-        trace=tuple(float(x) for x in trace),
-        comparisons=tuple(comparisons),
-        contrasts=tuple(contrasts),
-        het_energy=het,
-    )
+def replay_scalars(result: ScheduleResult, oracle=None) -> Dict[str, float]:
+    """One replayed day's key result scalars for the run ledger.
+
+    Deterministic for a fixed (seed, configuration) — these are model
+    outputs, not timings — so ledger records of the same seeded replay
+    are byte-comparable across runs.
+    """
+    out: Dict[str, float] = {
+        "total_energy_j": result.total_energy_j,
+        "p95_s": result.p95_s,
+        "p99_s": result.p99_s,
+        "jobs_arrived": float(result.jobs_arrived),
+        "boots": float(result.boots),
+        "rung_switches": float(result.rung_switches),
+    }
+    if oracle is not None:
+        out["oracle_gap"] = result.total_energy_j / oracle.dynamic_energy_j - 1.0
+    prop = result.proportionality
+    if prop is not None:
+        out["epm"] = prop.epm
+    return out
+
+
+def study_scalars(study: SchedulingStudy) -> Dict[str, float]:
+    """The full study's headline scalars (one flat dict for the ledger)."""
+    out: Dict[str, float] = {}
+    for comp in study.comparisons:
+        o = comp.outcome(ENERGY_POLICY)
+        out[f"{comp.workload}.oracle_gap"] = o.oracle_gap
+        out[f"{comp.workload}.p95_s"] = o.p95_s
+        out[f"{comp.workload}.total_energy_j"] = o.total_energy_j
+    for c in study.contrasts:
+        out[f"{c.workload}.degradation"] = c.degradation
+    out["het_saving_fraction"] = study.het_energy.saving_fraction
+    return out
 
 
 def replay_day(

@@ -43,6 +43,7 @@ __all__ = [
     "validate_cell",
     "run_validation",
     "render_validation_report",
+    "report_scalars",
 ]
 
 #: Utilisation grid of the agreement study (the ISSUE asks for >= 5 points;
@@ -212,6 +213,19 @@ def run_validation(
                     )
                 )
     return AgreementReport(cells=tuple(cells), level=level)
+
+
+def report_scalars(report: AgreementReport) -> Dict[str, float]:
+    """One agreement report's key scalars for the run ledger and monitors."""
+    max_gap = max(
+        (abs(c.relative_gap) for c in report.cells), default=0.0
+    )
+    return {
+        "agreement_fraction": report.agreement_fraction,
+        "n_cells": float(len(report.cells)),
+        "n_flagged": float(len(report.flagged)),
+        "max_abs_relative_gap": float(max_gap),
+    }
 
 
 def render_validation_report(report: AgreementReport) -> str:

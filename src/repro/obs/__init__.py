@@ -1,6 +1,8 @@
-"""Unified observability layer: metrics, tracing, timing, logging.
+"""Unified observability layer: metrics, tracing, timing, logging — and
+the longitudinal layer on top: run ledger, drift detection, claim
+monitors, dashboard.
 
-Four small modules share one design rule — *near-zero cost while
+The point-in-time modules share one design rule — *near-zero cost while
 disabled, zero effect on results while enabled*:
 
 * :mod:`repro.obs.metrics` — process-wide :class:`MetricsRegistry` of
@@ -12,6 +14,17 @@ disabled, zero effect on results while enabled*:
 * :mod:`repro.obs.timer` — the shared benchmark timer and the
   ``BENCH_*.json`` envelope;
 * :mod:`repro.obs.logs` — the ``repro`` stdlib-logging hierarchy.
+
+The longitudinal modules remember across runs:
+
+* :mod:`repro.obs.ledger` — the append-only ``repro-run/1`` JSONL store
+  every CLI subcommand, benchmark and monitor appends to;
+* :mod:`repro.obs.drift` — Welch/bootstrap/changepoint drift detection
+  over ledger scalar histories (``repro obs diff``);
+* :mod:`repro.obs.monitors` — the paper's load-bearing claims as
+  SLO-style checks with tolerance bands (``repro obs check``);
+* :mod:`repro.obs.dashboard` — the sparkline trend dashboard
+  (``repro obs report`` / ``watch``).
 
 Both the registry and the tracer are process-wide singletons, disabled
 by default; enable them together for a bounded scope with::
@@ -29,6 +42,24 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs.dashboard import render_dashboard
+from repro.obs.drift import (
+    MetricDrift,
+    bench_scalars,
+    diff_history,
+    diff_ledger,
+    render_drifts,
+)
+from repro.obs.ledger import (
+    RUN_SCHEMA,
+    Ledger,
+    RunRecord,
+    config_digest,
+    default_ledger,
+    ledger_enabled,
+    new_record,
+    record_bench_result,
+)
 from repro.obs.logs import LOG_LEVELS, configure_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
@@ -36,6 +67,14 @@ from repro.obs.metrics import (
     exponential_buckets,
     get_registry,
     linear_buckets,
+)
+from repro.obs.monitors import (
+    MONITORS,
+    ClaimMonitor,
+    MonitorResult,
+    monitor_names,
+    render_monitor_report,
+    run_monitors,
 )
 from repro.obs.timer import (
     BENCH_SCHEMA,
@@ -75,6 +114,30 @@ __all__ = [
     "LOG_LEVELS",
     # scope
     "instrumented",
+    # ledger
+    "RUN_SCHEMA",
+    "RunRecord",
+    "Ledger",
+    "config_digest",
+    "default_ledger",
+    "ledger_enabled",
+    "new_record",
+    "record_bench_result",
+    # drift
+    "MetricDrift",
+    "bench_scalars",
+    "diff_history",
+    "diff_ledger",
+    "render_drifts",
+    # monitors
+    "MONITORS",
+    "ClaimMonitor",
+    "MonitorResult",
+    "monitor_names",
+    "run_monitors",
+    "render_monitor_report",
+    # dashboard
+    "render_dashboard",
 ]
 
 

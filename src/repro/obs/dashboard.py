@@ -1,0 +1,95 @@
+"""The ASCII ledger dashboard behind ``repro obs report`` / ``watch``.
+
+One screen summarising the run ledger: per run name, the newest record's
+identity (git SHA, seed, age) and, per result scalar, a sparkline of the
+recorded history (oldest left, newest right, via
+:func:`repro.viz.ascii.render_sparkline`) with the latest value and its
+change against the prior mean.  Drift verdicts from
+:mod:`repro.obs.drift` annotate rows that moved beyond tolerance, so the
+dashboard is the human view over the same statistics ``repro obs diff``
+gates on.
+
+``repro obs watch`` re-renders this dashboard every interval — there is
+no terminal-UI machinery here, just a string; the CLI owns the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.drift import MetricDrift, diff_ledger
+from repro.obs.ledger import Ledger
+from repro.viz.ascii import render_sparkline
+
+__all__ = ["render_dashboard"]
+
+#: Sparkline width of the history column.
+_SPARK_WIDTH = 32
+
+
+def _short_sha(sha: str) -> str:
+    return sha[:10] if sha and sha != "unknown" else "unknown"
+
+
+def render_dashboard(
+    ledger: Ledger,
+    *,
+    names: Optional[Sequence[str]] = None,
+    tolerance: float = 0.25,
+) -> str:
+    """The ledger as one ASCII dashboard string.
+
+    ``names`` restricts to a subset of run names; default is everything
+    in the live store.  An empty ledger renders a hint, not an error.
+    """
+    targets = list(names) if names else ledger.names()
+    targets = [n for n in targets if ledger.latest(n) is not None]
+    if not targets:
+        return (
+            "run ledger is empty (no records under "
+            f"{ledger.root}); run any `repro` command or "
+            "`repro obs check` to populate it"
+        )
+    drifts: Dict[tuple, MetricDrift] = {
+        (d.name, d.scalar): d
+        for d in diff_ledger(ledger, names=targets, tolerance=tolerance)
+    }
+    lines: List[str] = [f"Run ledger dashboard  ({ledger.root})", ""]
+    for name in targets:
+        latest = ledger.latest(name)
+        assert latest is not None  # filtered above
+        n_records = len(ledger.records(name=name))
+        head = (
+            f"{name}  [{latest.kind}]  {n_records} run(s)  "
+            f"last: {_short_sha(latest.git_sha)}"
+            + (f"  seed={latest.seed}" if latest.seed is not None else "")
+            + f"  {latest.timestamp_utc}"
+        )
+        lines.append(head)
+        if not latest.scalars:
+            lines.append("    (no result scalars recorded)")
+            lines.append("")
+            continue
+        key_width = max(len(k) for k in latest.scalars)
+        for key in sorted(latest.scalars):
+            history = [v for _, v in ledger.history(name, key)]
+            spark = render_sparkline(history, width=_SPARK_WIDTH)
+            drift = drifts.get((name, key))
+            if drift is not None and drift.drifted:
+                tag = f"  <- {drift.status.upper()} {drift.rel_change:+.1%}"
+            elif drift is not None:
+                tag = f"  ({drift.rel_change:+.1%} vs mean)"
+            else:
+                tag = ""
+            lines.append(
+                f"    {key:<{key_width}}  |{spark:<{_SPARK_WIDTH}}|  "
+                f"{latest.scalars[key]:.6g}{tag}"
+            )
+        lines.append("")
+    total = len(ledger)
+    flagged = sum(1 for d in drifts.values() if d.drifted)
+    lines.append(
+        f"{total} record(s), {len(targets)} name(s), "
+        + (f"{flagged} drifted metric(s)" if flagged else "no drift")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,367 @@
+"""Cross-run drift detection over the run ledger.
+
+PR 4's CI gate (``tools/bench_compare.py``) compared one fresh
+``BENCH_*.json`` artifact against the single copy committed at ``HEAD``
+via ``git show`` — a two-point comparison with no memory and no
+statistics.  With the ledger (:mod:`repro.obs.ledger`) recording every
+run, drift detection becomes a *series* problem: for each result scalar
+of each run name we hold an ordered history, and this module answers
+"has this metric moved?" three complementary ways:
+
+* **Relative change** — the latest value against the mean of the prior
+  history, flagged beyond a tolerance band.  This is the load-bearing
+  check: it needs only two records and is what gates CI.
+* **Welch's t-test / bootstrap CI** — when the history is long enough to
+  form two windows, an unequal-variance t-test (via :mod:`scipy.stats`,
+  imported lazily like :mod:`repro.queueing.mc` does) and a seeded
+  bootstrap confidence interval on the window mean difference separate
+  real shifts from run-to-run noise.
+* **Changepoint flagging** — the split of the full series maximising the
+  standardised mean shift, so a drift report can say not just *that* a
+  metric moved but *where in the history* it moved.
+
+Direction matters: benchmark throughput/speedup scalars are
+higher-is-better (a drop is a regression, a rise an improvement), while
+generic result scalars are two-sided (any move beyond tolerance is
+drift).  :data:`HIGHER_IS_BETTER_PREFIXES` encodes the convention.
+
+All statistics are deterministic: the bootstrap uses a fixed seeded
+generator, and nothing here consumes the experiment RNG registry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.obs.ledger import Ledger
+
+__all__ = [
+    "BENCH_FLOOR_METRICS",
+    "HIGHER_IS_BETTER_PREFIXES",
+    "MetricDrift",
+    "bench_scalars",
+    "bootstrap_mean_diff",
+    "changepoint",
+    "diff_history",
+    "diff_ledger",
+    "lookup",
+    "render_drifts",
+    "welch_t_pvalue",
+]
+
+#: Floor-bearing dotted metric paths per benchmark envelope, the same
+#: numbers ``tools/bench_compare.py`` gates CI on.  Keys are benchmark
+#: names (the ``benchmark`` field of a ``repro-bench/1`` envelope).
+BENCH_FLOOR_METRICS: Dict[str, Tuple[str, ...]] = {
+    "sweep": ("speedup.batched_warm",),
+    "mc": (
+        "scenarios.md1.speedup.simulate_phase",
+        "scenarios.service_model.speedup.simulate_phase",
+    ),
+    "scheduler": ("events_per_s",),
+}
+
+#: Scalar-name prefixes where larger is better, so only drops count as
+#: regressions.  Everything else is judged two-sided.
+HIGHER_IS_BETTER_PREFIXES: Tuple[str, ...] = (
+    "speedup.",
+    "events_per_s",
+    "agreement_fraction",
+)
+
+#: Standardised-shift score above which a changepoint is flagged.
+CHANGEPOINT_THRESHOLD = 3.0
+
+
+def lookup(doc: Mapping[str, object], dotted: str) -> float:
+    """Resolve one dotted path (``a.b.c``) in a nested mapping to a float."""
+    node: object = doc
+    for part in dotted.split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            raise KeyError(f"path {dotted!r} missing at {part!r}")
+        node = node[part]
+    return float(node)  # type: ignore[arg-type]
+
+
+def bench_scalars(
+    benchmark: str, result: Mapping[str, object]
+) -> Dict[str, float]:
+    """Extract one ``repro-bench/1`` envelope's ledger scalars.
+
+    The floor-bearing metrics (under their dotted paths, so drift
+    reports and ``tools/bench_compare.py`` speak the same names) plus
+    the envelope's top-level wall timings as ``timings_s.<phase>``.
+    Floor paths absent from the envelope are skipped, not errors — the
+    gate in ``bench_compare`` handles missing paths loudly.
+    """
+    scalars: Dict[str, float] = {}
+    for path in BENCH_FLOOR_METRICS.get(benchmark, ()):
+        try:
+            scalars[path] = lookup(result, path)
+        except (KeyError, TypeError, ValueError):
+            continue
+    timings = result.get("timings_s")
+    if isinstance(timings, Mapping):
+        for phase, value in timings.items():
+            if isinstance(value, (int, float)):
+                scalars[f"timings_s.{phase}"] = float(value)
+    return scalars
+
+
+def higher_is_better(scalar: str) -> bool:
+    """Whether a scalar follows the larger-is-better convention."""
+    return any(scalar.startswith(p) for p in HIGHER_IS_BETTER_PREFIXES)
+
+
+# -- statistics -----------------------------------------------------------
+
+
+def welch_t_pvalue(a: Sequence[float], b: Sequence[float]) -> Optional[float]:
+    """Two-sided Welch (unequal-variance) t-test p-value, or None when
+    either sample is too small or degenerate for the test to mean anything.
+    """
+    if len(a) < 2 or len(b) < 2:
+        return None
+    xa = np.asarray(a, dtype=float)
+    xb = np.asarray(b, dtype=float)
+    if float(xa.std()) == 0.0 and float(xb.std()) == 0.0:
+        # Identical-variance-free samples: equal means agree perfectly,
+        # different means differ certainly.
+        return 1.0 if float(xa.mean()) == float(xb.mean()) else 0.0
+    from scipy import stats  # heavy import deferred, as in queueing.mc
+
+    return float(stats.ttest_ind(xa, xb, equal_var=False).pvalue)
+
+
+def bootstrap_mean_diff(
+    a: Sequence[float],
+    b: Sequence[float],
+    *,
+    n_boot: int = 2000,
+    level: float = 0.95,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Seeded percentile-bootstrap CI of ``mean(b) - mean(a)``.
+
+    Deterministic for fixed inputs and seed; vectorised (one resample
+    matrix per side, no Python loop over replicates).
+    """
+    if not a or not b:
+        raise ReproError("bootstrap needs non-empty samples on both sides")
+    if not 0.0 < level < 1.0:
+        raise ReproError(f"level must be in (0, 1), got {level}")
+    rng = np.random.default_rng(seed)
+    xa = np.asarray(a, dtype=float)
+    xb = np.asarray(b, dtype=float)
+    means_a = xa[rng.integers(0, len(xa), size=(n_boot, len(xa)))].mean(axis=1)
+    means_b = xb[rng.integers(0, len(xb), size=(n_boot, len(xb)))].mean(axis=1)
+    diffs = means_b - means_a
+    lo = float(np.quantile(diffs, (1.0 - level) / 2.0))
+    hi = float(np.quantile(diffs, 1.0 - (1.0 - level) / 2.0))
+    return lo, hi
+
+
+def changepoint(values: Sequence[float]) -> Tuple[Optional[int], float]:
+    """The split index maximising the standardised mean shift.
+
+    Returns ``(index, score)`` where ``values[:index]`` / ``values[index:]``
+    are the two regimes; ``(None, 0.0)`` when the series is too short
+    (< 4 points) or flat.  The score at each split is the two-sample
+    t statistic ``|mean_right - mean_left| / s_within * sqrt(k (n-k) / n)``
+    with ``s_within`` the *pooled within-segment* standard deviation —
+    standardising by the global std would fold the shift itself into the
+    denominator and deflate clean steps below any threshold.  A perfectly
+    noise-free step has ``s_within = 0`` and scores ``inf``.  Flag the
+    best split when its score exceeds :data:`CHANGEPOINT_THRESHOLD`.
+    """
+    x = np.asarray(values, dtype=float)
+    n = len(x)
+    if n < 4:
+        return None, 0.0
+    if float(x.std(ddof=1)) == 0.0:
+        return None, 0.0
+    prefix = np.cumsum(x)
+    prefix_sq = np.cumsum(x * x)
+    best_k, best_score = None, 0.0
+    for k in range(2, n - 1):
+        sum_l, sum_r = prefix[k - 1], prefix[-1] - prefix[k - 1]
+        mean_l, mean_r = sum_l / k, sum_r / (n - k)
+        ss_l = prefix_sq[k - 1] - sum_l * mean_l
+        ss_r = (prefix_sq[-1] - prefix_sq[k - 1]) - sum_r * mean_r
+        s_within = math.sqrt(max(0.0, ss_l + ss_r) / (n - 2))
+        shift = abs(mean_r - mean_l)
+        if s_within == 0.0:
+            score = math.inf if shift > 0.0 else 0.0
+        else:
+            score = shift / s_within * math.sqrt(k * (n - k) / n)
+        if score > best_score:
+            best_k, best_score = k, score
+    return best_k, best_score
+
+
+# -- the drift report -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricDrift:
+    """Drift verdict for one scalar of one run name."""
+
+    name: str
+    scalar: str
+    n: int
+    latest: float
+    baseline_mean: float
+    #: ``(latest - baseline_mean) / |baseline_mean|``.
+    rel_change: float
+    #: ``regression`` | ``improvement`` | ``stable``.
+    status: str
+    #: Welch p-value of recent-vs-earlier windows (None when too short).
+    p_value: Optional[float] = None
+    #: Bootstrap CI of the window mean shift (None when too short).
+    ci_low: Optional[float] = None
+    ci_high: Optional[float] = None
+    #: Flagged changepoint split index and its score.
+    changepoint_index: Optional[int] = None
+    changepoint_score: float = 0.0
+
+    @property
+    def drifted(self) -> bool:
+        return self.status != "stable"
+
+
+def diff_history(
+    name: str,
+    scalar: str,
+    values: Sequence[float],
+    *,
+    tolerance: float = 0.25,
+    level: float = 0.95,
+    seed: int = 0,
+) -> MetricDrift:
+    """Judge one scalar's ordered history (oldest first, >= 2 points).
+
+    The verdict compares the latest value against the mean of all prior
+    values; when the history holds >= 6 points the recent third (min 2)
+    is tested against the remainder with Welch + bootstrap, and the full
+    series is scanned for a changepoint.
+    """
+    if len(values) < 2:
+        raise ReproError(
+            f"{name}:{scalar} needs >= 2 recorded values, got {len(values)}"
+        )
+    if not 0.0 < tolerance < 1.0:
+        raise ReproError(f"tolerance must be in (0, 1), got {tolerance}")
+    x = [float(v) for v in values]
+    latest = x[-1]
+    baseline = x[:-1]
+    base_mean = sum(baseline) / len(baseline)
+    if base_mean == 0.0:
+        rel = 0.0 if latest == 0.0 else math.inf
+    else:
+        rel = (latest - base_mean) / abs(base_mean)
+
+    if abs(rel) <= tolerance:
+        status = "stable"
+    elif higher_is_better(scalar):
+        status = "regression" if rel < 0.0 else "improvement"
+    else:
+        status = "regression"
+
+    p_value: Optional[float] = None
+    ci: Tuple[Optional[float], Optional[float]] = (None, None)
+    if len(x) >= 6:
+        window = max(2, len(x) // 3)
+        earlier, recent = x[:-window], x[-window:]
+        p_value = welch_t_pvalue(earlier, recent)
+        ci = bootstrap_mean_diff(earlier, recent, level=level, seed=seed)
+    cp_index, cp_score = changepoint(x)
+    if cp_score < CHANGEPOINT_THRESHOLD:
+        cp_index = None
+    return MetricDrift(
+        name=name,
+        scalar=scalar,
+        n=len(x),
+        latest=latest,
+        baseline_mean=base_mean,
+        rel_change=rel,
+        status=status,
+        p_value=p_value,
+        ci_low=ci[0],
+        ci_high=ci[1],
+        changepoint_index=cp_index,
+        changepoint_score=cp_score,
+    )
+
+
+def diff_ledger(
+    ledger: Ledger,
+    *,
+    names: Optional[Sequence[str]] = None,
+    scalars: Optional[Sequence[str]] = None,
+    tolerance: float = 0.25,
+    level: float = 0.95,
+    seed: int = 0,
+) -> List[MetricDrift]:
+    """Drift verdicts for every (name, scalar) pair with >= 2 ledger records.
+
+    ``names``/``scalars`` filter which run names and which scalar keys are
+    judged; unfiltered, every scalar of every recorded name is covered.
+    Pairs with fewer than two recorded values are silently skipped — a
+    fresh ledger produces an empty report, not an error.
+    """
+    targets = list(names) if names else ledger.names()
+    out: List[MetricDrift] = []
+    for name in targets:
+        latest = ledger.latest(name)
+        if latest is None:
+            continue
+        keys = [k for k in sorted(latest.scalars) if not scalars or k in scalars]
+        for key in keys:
+            history = [v for _, v in ledger.history(name, key)]
+            if len(history) < 2:
+                continue
+            out.append(
+                diff_history(
+                    name,
+                    key,
+                    history,
+                    tolerance=tolerance,
+                    level=level,
+                    seed=seed,
+                )
+            )
+    return out
+
+
+def render_drifts(drifts: Sequence[MetricDrift]) -> str:
+    """Human-readable drift table (one line per judged scalar)."""
+    if not drifts:
+        return "no metric has >= 2 ledger records yet; nothing to diff"
+    lines = []
+    width = max(len(f"{d.name}:{d.scalar}") for d in drifts)
+    for d in drifts:
+        tag = {"stable": "ok", "regression": "REGRESSION", "improvement": "improved"}[
+            d.status
+        ]
+        extras = []
+        if d.p_value is not None:
+            extras.append(f"welch p={d.p_value:.3f}")
+        if d.ci_low is not None and d.ci_high is not None:
+            extras.append(f"shift CI [{d.ci_low:+.3g}, {d.ci_high:+.3g}]")
+        if d.changepoint_index is not None:
+            extras.append(
+                f"changepoint @ {d.changepoint_index}/{d.n}"
+                f" (score {d.changepoint_score:.1f})"
+            )
+        suffix = f"  ({', '.join(extras)})" if extras else ""
+        lines.append(
+            f"{f'{d.name}:{d.scalar}':<{width}}  "
+            f"{d.latest:>12.4g} vs {d.baseline_mean:>12.4g}  "
+            f"{d.rel_change:+8.1%}  {tag}{suffix}"
+        )
+    return "\n".join(lines)

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 from bisect import bisect_left
+from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -407,20 +408,31 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
     def write_json(self, path) -> None:
-        """Write the JSON snapshot to ``path``."""
-        with open(path, "w", encoding="utf-8") as fh:
+        """Write the JSON snapshot to ``path``.
+
+        Missing parent directories are created; an existing file at
+        ``path`` is overwritten (each run's snapshot replaces the last).
+        """
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        with open(p, "w", encoding="utf-8") as fh:
             fh.write(self.to_json())
             fh.write("\n")
 
     def to_prometheus(self) -> str:
-        """The registry in the Prometheus text exposition format."""
+        """The registry in the Prometheus text exposition format.
+
+        Per the exposition-format spec, every metric family gets a
+        ``# HELP`` line (help text with backslash and line-feed escaped)
+        and a ``# TYPE`` line; label values escape backslash, double
+        quote and line feed (pinned in ``tests/obs/test_prometheus.py``).
+        """
         lines: List[str] = []
         seen_header = set()
         for inst in self.instruments():
             if inst.name not in seen_header:
                 seen_header.add(inst.name)
-                if inst.help:
-                    lines.append(f"# HELP {inst.name} {inst.help}")
+                lines.append(f"# HELP {inst.name} {_escape_help(inst.help)}")
                 lines.append(f"# TYPE {inst.name} {inst.kind}")
             if isinstance(inst, Histogram):
                 cum = 0
@@ -442,14 +454,23 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _escape_help(text: str) -> str:
+    """HELP-text escaping per the exposition format: ``\\`` and line feed."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Label-value escaping per the exposition format: ``\\``, ``"``, LF."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: LabelSet, **extra: str) -> str:
     items = list(labels) + sorted(extra.items())
     if not items:
         return ""
-    body = ",".join(
-        f'{k}="{v.replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
-        for k, v in items
-    )
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items)
     return "{" + body + "}"
 
 

@@ -143,13 +143,25 @@ def write_bench_json(path, result: Dict[str, object]) -> Optional[Path]:
     A ``"metrics"`` key in ``result`` (the registry snapshot collected
     during the run) is written to ``metrics_sidecar_path(path)`` instead of
     the main artifact; returns the sidecar path, or None when the run was
-    not instrumented.
+    not instrumented.  Missing parent directories are created and existing
+    artifacts are overwritten (each run's envelope replaces the last).
+
+    Writing an envelope also appends a ``bench/<name>`` record to the run
+    ledger (:func:`repro.obs.ledger.record_bench_result`) so every
+    benchmark run — console main, pytest driver, ad-hoc script — lands in
+    the longitudinal history without the caller doing anything; disable
+    with ``REPRO_LEDGER=0``.
     """
     payload = dict(result)
     metrics = payload.pop("metrics", None)
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
+
+    from repro.obs.ledger import record_bench_result
+
+    record_bench_result(payload)
     if not metrics:
         return None
     sidecar = metrics_sidecar_path(path)

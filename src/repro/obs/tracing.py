@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from time import perf_counter, process_time
 from typing import Dict, List, Optional, Tuple
 
@@ -244,8 +245,14 @@ class Tracer:
         }
 
     def write_chrome_trace(self, path) -> None:
-        """Write the Chrome-trace JSON to ``path``."""
-        with open(path, "w", encoding="utf-8") as fh:
+        """Write the Chrome-trace JSON to ``path``.
+
+        Missing parent directories are created; an existing file at
+        ``path`` is overwritten (each run's trace replaces the last).
+        """
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        with open(p, "w", encoding="utf-8") as fh:
             json.dump(self.to_chrome_trace(), fh, indent=2)
             fh.write("\n")
 

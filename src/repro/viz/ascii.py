@@ -17,7 +17,7 @@ import numpy as np
 from repro.errors import ReproError
 from repro.viz.series import Figure
 
-__all__ = ["render_figure", "render_timeline", "render_flame"]
+__all__ = ["render_figure", "render_timeline", "render_flame", "render_sparkline"]
 
 #: Marker glyphs assigned to series in order.
 _MARKERS = "*o+x#@%&st"
@@ -187,6 +187,40 @@ def render_timeline(
     t_end = t0_s + (n - 1) * dt_s
     lines.append(f"{' ' * label_width}  {t0_s:g} .. {t_end:g} (dt={dt_s:g}s)")
     return "\n".join(lines)
+
+
+def render_sparkline(values: Sequence[float], *, width: int = 40) -> str:
+    """One metric history as a single-line intensity sparkline.
+
+    Values are normalised to their own [min, max] range and drawn with the
+    shared glyph ramp (oldest left, newest right); histories longer than
+    ``width`` keep the newest ``width`` points, shorter ones render at
+    their natural length.  NaNs draw as ``?`` — a recorded-but-missing
+    point is information, not an error.  The ledger dashboard puts one of
+    these per (run name, scalar) row.
+    """
+    if width < 1:
+        raise ReproError(f"sparkline width must be at least 1, got {width}")
+    v = np.asarray(values, dtype=float)
+    if v.ndim != 1 or v.size == 0:
+        raise ReproError("sparkline needs a non-empty 1-D sequence")
+    v = v[-width:]
+    finite = v[np.isfinite(v)]
+    if finite.size == 0:
+        return "?" * v.size
+    lo, hi = float(finite.min()), float(finite.max())
+    vv = np.where(np.isfinite(v), v, lo)  # placeholders; drawn as '?' below
+    if math.isclose(lo, hi):
+        levels = np.full(v.size, (len(_RAMP) - 1) // 2, dtype=int)
+    else:
+        levels = np.clip(
+            ((vv - lo) / (hi - lo) * (len(_RAMP) - 1)).round().astype(int),
+            0,
+            len(_RAMP) - 1,
+        )
+    return "".join(
+        "?" if not np.isfinite(x) else _RAMP[i] for x, i in zip(v, levels)
+    )
 
 
 def render_flame(rows: Sequence, *, width: int = 40) -> str:

@@ -21,6 +21,17 @@ settings.register_profile("dev", deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test tmp dir.
+
+    Every CLI subcommand appends a ``repro-run/1`` record by default
+    (:mod:`repro.obs.ledger`); without this redirect, tests that call
+    ``main()`` would grow a real ``.repro/runs`` store inside the repo.
+    """
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+
+
 @pytest.fixture(scope="session")
 def workloads():
     """The six calibrated paper workloads (session-cached; treat as

@@ -1,0 +1,67 @@
+"""Tests for the ASCII ledger dashboard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.dashboard import render_dashboard
+from repro.obs.ledger import Ledger, new_record
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    return Ledger(tmp_path / "runs")
+
+
+def _append(ledger, name, scalars, kind="cli", seed=None):
+    ledger.append(new_record(kind, name, scalars=scalars, seed=seed))
+
+
+class TestRenderDashboard:
+    def test_empty_ledger_renders_a_hint(self, ledger):
+        text = render_dashboard(ledger)
+        assert "run ledger is empty" in text
+        assert str(ledger.root) in text
+
+    def test_one_name_with_history(self, ledger):
+        _append(ledger, "cli/schedule", {"p95_s": 1.0}, seed=42)
+        _append(ledger, "cli/schedule", {"p95_s": 1.1}, seed=42)
+        text = render_dashboard(ledger)
+        assert "cli/schedule" in text
+        assert "[cli]" in text
+        assert "2 run(s)" in text
+        assert "seed=42" in text
+        assert "p95_s" in text
+        assert "1.1" in text
+        assert "2 record(s), 1 name(s)" in text
+
+    def test_drift_annotation_on_regressed_scalar(self, ledger):
+        _append(ledger, "bench/s", {"speedup.x": 100.0}, kind="benchmark")
+        _append(ledger, "bench/s", {"speedup.x": 50.0}, kind="benchmark")
+        text = render_dashboard(ledger)
+        assert "<- REGRESSION" in text
+        assert "1 drifted metric(s)" in text
+
+    def test_stable_scalar_shows_relative_change(self, ledger):
+        _append(ledger, "cli/a", {"v": 1.0})
+        _append(ledger, "cli/a", {"v": 1.01})
+        text = render_dashboard(ledger)
+        assert "vs mean)" in text
+        assert "no drift" in text
+
+    def test_names_filter(self, ledger):
+        _append(ledger, "cli/a", {"v": 1.0})
+        _append(ledger, "cli/b", {"w": 2.0})
+        text = render_dashboard(ledger, names=["cli/a"])
+        assert "cli/a" in text
+        assert "cli/b" not in text
+
+    def test_record_without_scalars(self, ledger):
+        _append(ledger, "cli/bare", {})
+        assert "(no result scalars recorded)" in render_dashboard(ledger)
+
+    def test_single_record_has_sparkline_but_no_drift(self, ledger):
+        _append(ledger, "cli/a", {"v": 3.0})
+        text = render_dashboard(ledger)
+        assert "cli/a" in text
+        assert "no drift" in text

@@ -1,0 +1,212 @@
+"""Tests for cross-run drift detection: stats, verdicts, ledger diffing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.drift import (
+    CHANGEPOINT_THRESHOLD,
+    MetricDrift,
+    bench_scalars,
+    bootstrap_mean_diff,
+    changepoint,
+    diff_history,
+    diff_ledger,
+    higher_is_better,
+    lookup,
+    render_drifts,
+    welch_t_pvalue,
+)
+from repro.obs.ledger import Ledger, new_record
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    return Ledger(tmp_path / "runs")
+
+
+def _append(ledger, name, scalars, kind="cli"):
+    ledger.append(new_record(kind, name, scalars=scalars))
+
+
+class TestLookupAndBenchScalars:
+    def test_lookup_dotted_path(self):
+        assert lookup({"a": {"b": {"c": 3}}}, "a.b.c") == 3.0
+
+    def test_lookup_missing_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            lookup({"a": {}}, "a.b")
+
+    def test_bench_scalars_extracts_floor_and_timings(self):
+        doc = {
+            "benchmark": "sweep",
+            "speedup": {"batched_warm": 700.0},
+            "timings_s": {"batched_warm": 0.1, "note": "text"},
+        }
+        scalars = bench_scalars("sweep", doc)
+        assert scalars == {
+            "speedup.batched_warm": 700.0,
+            "timings_s.batched_warm": 0.1,
+        }
+
+    def test_bench_scalars_missing_floor_path_skipped(self):
+        assert bench_scalars("sweep", {"timings_s": {}}) == {}
+
+    def test_unknown_benchmark_keeps_timings_only(self):
+        scalars = bench_scalars("custom", {"timings_s": {"run": 2.0}})
+        assert scalars == {"timings_s.run": 2.0}
+
+
+class TestDirectionConvention:
+    def test_speedup_and_rates_are_higher_is_better(self):
+        assert higher_is_better("speedup.batched_warm")
+        assert higher_is_better("events_per_s")
+        assert higher_is_better("agreement_fraction")
+
+    def test_generic_scalars_are_two_sided(self):
+        assert not higher_is_better("p95_s")
+        assert not higher_is_better("total_energy_j")
+
+
+class TestWelch:
+    def test_detects_a_clear_shift(self):
+        p = welch_t_pvalue([1.0, 1.1, 0.9, 1.0], [5.0, 5.1, 4.9, 5.0])
+        assert p is not None and p < 0.01
+
+    def test_same_sample_is_insignificant(self):
+        p = welch_t_pvalue([1.0, 1.2, 0.8], [1.0, 1.2, 0.8])
+        assert p is not None and p > 0.5
+
+    def test_too_small_returns_none(self):
+        assert welch_t_pvalue([1.0], [1.0, 2.0]) is None
+
+    def test_degenerate_zero_variance(self):
+        assert welch_t_pvalue([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert welch_t_pvalue([2.0, 2.0], [3.0, 3.0]) == 0.0
+
+
+class TestBootstrap:
+    def test_ci_brackets_the_true_shift(self):
+        a = [1.0, 1.1, 0.9, 1.05, 0.95]
+        b = [2.0, 2.1, 1.9, 2.05, 1.95]
+        lo, hi = bootstrap_mean_diff(a, b, seed=3)
+        assert lo <= 1.0 <= hi
+        assert lo > 0.5  # a real shift excludes zero
+
+    def test_deterministic_for_fixed_seed(self):
+        a, b = [1.0, 2.0, 3.0], [2.0, 3.0, 4.0]
+        assert bootstrap_mean_diff(a, b, seed=7) == bootstrap_mean_diff(
+            a, b, seed=7
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            bootstrap_mean_diff([], [1.0])
+        with pytest.raises(ReproError):
+            bootstrap_mean_diff([1.0], [1.0], level=1.0)
+
+
+class TestChangepoint:
+    def test_finds_a_step(self):
+        values = [1.0, 1.0, 1.0, 1.0, 5.0, 5.0, 5.0, 5.0]
+        idx, score = changepoint(values)
+        assert idx == 4
+        assert score > CHANGEPOINT_THRESHOLD
+
+    def test_flat_series_has_no_changepoint(self):
+        assert changepoint([2.0] * 8) == (None, 0.0)
+
+    def test_short_series_has_no_changepoint(self):
+        assert changepoint([1.0, 9.0, 1.0]) == (None, 0.0)
+
+
+class TestDiffHistory:
+    def test_stable_within_tolerance(self):
+        d = diff_history("cli/x", "p95_s", [1.0, 1.0, 1.1])
+        assert d.status == "stable"
+        assert not d.drifted
+        assert d.latest == 1.1
+        assert d.baseline_mean == 1.0
+
+    def test_two_sided_scalar_flags_any_move(self):
+        up = diff_history("cli/x", "p95_s", [1.0, 1.0, 2.0])
+        down = diff_history("cli/x", "p95_s", [1.0, 1.0, 0.5])
+        assert up.status == "regression"
+        assert down.status == "regression"
+
+    def test_higher_is_better_drop_is_regression_rise_improvement(self):
+        drop = diff_history("bench/s", "speedup.batched_warm", [100.0, 60.0])
+        rise = diff_history("bench/s", "speedup.batched_warm", [100.0, 150.0])
+        assert drop.status == "regression"
+        assert rise.status == "improvement"
+        assert rise.drifted  # improvements are drift too, just not gating
+
+    def test_zero_baseline(self):
+        assert diff_history("n", "s", [0.0, 0.0]).rel_change == 0.0
+        assert math.isinf(diff_history("n", "s", [0.0, 1.0]).rel_change)
+
+    def test_long_history_gets_window_statistics(self):
+        values = [1.0, 1.02, 0.98, 1.01, 0.99, 1.0, 5.0, 5.1, 4.9]
+        d = diff_history("cli/x", "p95_s", values)
+        assert d.p_value is not None and d.p_value < 0.05
+        assert d.ci_low is not None and d.ci_low > 0
+        assert d.changepoint_index == 6
+
+    def test_short_history_skips_window_statistics(self):
+        d = diff_history("cli/x", "p95_s", [1.0, 1.0, 1.0])
+        assert d.p_value is None and d.ci_low is None and d.ci_high is None
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            diff_history("n", "s", [1.0])
+        with pytest.raises(ReproError):
+            diff_history("n", "s", [1.0, 2.0], tolerance=1.5)
+
+
+class TestDiffLedger:
+    def test_covers_every_pair_with_history(self, ledger):
+        _append(ledger, "cli/a", {"v": 1.0, "w": 2.0})
+        _append(ledger, "cli/a", {"v": 1.0, "w": 4.0})
+        _append(ledger, "cli/b", {"x": 1.0})  # single record: skipped
+        drifts = diff_ledger(ledger)
+        assert {(d.name, d.scalar) for d in drifts} == {
+            ("cli/a", "v"),
+            ("cli/a", "w"),
+        }
+        by_key = {d.scalar: d for d in drifts}
+        assert by_key["v"].status == "stable"
+        assert by_key["w"].status == "regression"
+
+    def test_name_and_scalar_filters(self, ledger):
+        _append(ledger, "cli/a", {"v": 1.0, "w": 2.0})
+        _append(ledger, "cli/a", {"v": 1.0, "w": 2.0})
+        drifts = diff_ledger(ledger, names=["cli/a"], scalars=["w"])
+        assert [(d.name, d.scalar) for d in drifts] == [("cli/a", "w")]
+
+    def test_empty_ledger_is_empty_report(self, ledger):
+        assert diff_ledger(ledger) == []
+
+
+class TestRenderDrifts:
+    def test_mentions_statuses_and_values(self):
+        drifts = [
+            diff_history("bench/s", "speedup.x", [100.0, 50.0]),
+            diff_history("cli/a", "p95_s", [1.0, 1.0]),
+        ]
+        text = render_drifts(drifts)
+        assert "REGRESSION" in text
+        assert "ok" in text
+        assert "bench/s:speedup.x" in text
+
+    def test_empty_report_hint(self):
+        assert "nothing to diff" in render_drifts([])
+
+    def test_annotations_for_long_history(self):
+        values = [1.0, 1.02, 0.98, 1.01, 0.99, 1.0, 5.0, 5.1, 4.9]
+        text = render_drifts([diff_history("n", "s", values)])
+        assert "welch p=" in text
+        assert "shift CI" in text
+        assert "changepoint @ 6/9" in text

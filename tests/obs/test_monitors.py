@@ -1,0 +1,171 @@
+"""Tests for the claim monitors: bands, evaluation, recording, report."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.ledger import Ledger
+from repro.obs.monitors import (
+    MONITORS,
+    Band,
+    ClaimMonitor,
+    monitor_names,
+    render_monitor_report,
+    run_monitors,
+)
+
+
+class TestBand:
+    def test_closed_interval(self):
+        band = Band(0.0, 0.5)
+        assert band.contains(0.0)
+        assert band.contains(0.5)
+        assert not band.contains(0.51)
+        assert not band.contains(-0.01)
+
+    def test_nan_never_passes(self):
+        assert not Band(-math.inf, math.inf).contains(math.nan)
+
+    def test_str_forms(self):
+        assert str(Band(1.0, 1.0)) == "== 1"
+        assert str(Band(-math.inf, 0.05)) == "<= 0.05"
+        assert str(Band(0.9, math.inf)) == ">= 0.9"
+        assert str(Band(0.9, 1.3)) == "[0.9, 1.3]"
+
+
+def _fake(name="fake", scalars=None, bands=None):
+    return ClaimMonitor(
+        name=name,
+        claim="a fake claim for the framework tests",
+        derive=lambda seed: dict(scalars or {"metric": 1.0}),
+        bands=dict(bands or {"metric": Band(0.5, 1.5)}),
+    )
+
+
+class TestEvaluate:
+    def test_passing_monitor(self):
+        result = _fake().evaluate(seed=1)
+        assert result.passed
+        assert result.failed_checks == ()
+        assert result.scalars == {"metric": 1.0}
+        assert result.seed == 1
+
+    def test_failing_monitor_reports_the_check(self):
+        result = _fake(scalars={"metric": 9.0}).evaluate()
+        assert not result.passed
+        (failed,) = result.failed_checks
+        assert failed.scalar == "metric"
+        assert failed.value == 9.0
+
+    def test_missing_banded_scalar_fails_as_nan(self):
+        # A derivation that stops computing its number must go red, not
+        # silently green.
+        result = _fake(scalars={"other": 1.0}).evaluate()
+        assert not result.passed
+        (failed,) = result.failed_checks
+        assert math.isnan(failed.value)
+
+
+class TestRegistry:
+    def test_the_five_paper_claims_are_registered(self):
+        assert monitor_names() == (
+            "md1-mc-agreement",
+            "table6-ppr-winners",
+            "fig9-mix-contrast",
+            "pareto-sublinearity",
+            "scheduler-oracle-gap",
+        )
+
+    def test_every_monitor_has_bands_and_claim(self):
+        for monitor in MONITORS.values():
+            assert monitor.bands
+            assert monitor.claim
+
+
+class TestRunMonitors:
+    @pytest.fixture()
+    def fake_registry(self, monkeypatch):
+        fake = _fake()
+        monkeypatch.setattr(
+            "repro.obs.monitors.MONITORS", {fake.name: fake}
+        )
+        return fake
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError):
+            run_monitors(["no-such-monitor"], record=False)
+
+    def test_records_to_the_ledger(self, fake_registry, tmp_path):
+        ledger = Ledger(tmp_path / "runs")
+        (result,) = run_monitors(ledger=ledger)
+        assert result.passed
+        (rec,) = ledger.records()
+        assert rec.name == "monitor/fake"
+        assert rec.kind == "monitor"
+        assert rec.scalars == {"metric": 1.0}
+        assert rec.exit_code == 0
+
+    def test_failed_monitor_records_exit_code_1(self, monkeypatch, tmp_path):
+        fake = _fake(scalars={"metric": 9.0})
+        monkeypatch.setattr("repro.obs.monitors.MONITORS", {fake.name: fake})
+        ledger = Ledger(tmp_path / "runs")
+        run_monitors(ledger=ledger)
+        assert ledger.records()[0].exit_code == 1
+
+    def test_record_false_skips_the_ledger(self, fake_registry, tmp_path):
+        ledger = Ledger(tmp_path / "runs")
+        run_monitors(ledger=ledger, record=False)
+        assert len(ledger) == 0
+
+    def test_disable_switch_skips_the_ledger(
+        self, fake_registry, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_LEDGER", "0")
+        ledger = Ledger(tmp_path / "runs")
+        run_monitors(ledger=ledger)
+        assert len(ledger) == 0
+
+
+class TestRenderReport:
+    def test_green_report(self):
+        text = render_monitor_report([_fake().evaluate()])
+        assert "ok" in text
+        assert "all green" in text
+        assert "metric=1 in [0.5, 1.5]" in text
+
+    def test_red_report_names_the_claim(self):
+        text = render_monitor_report([_fake(scalars={"metric": 9.0}).evaluate()])
+        assert "FAIL" in text
+        assert "1 RED" in text
+        assert "claim:" in text
+
+
+class TestPaperClaims:
+    """The cheap deterministic monitors, evaluated for real.
+
+    The full five-monitor sweep (including the Monte-Carlo and scheduler
+    replays) runs as ``repro obs check`` in CI; here we pin the two
+    sub-second derivations so a model change that flips a claim fails
+    close to its source.
+    """
+
+    def test_table6_ppr_winners_green(self):
+        result = MONITORS["table6-ppr-winners"].evaluate()
+        assert result.passed
+        assert result.scalars["match_fraction"] == 1.0
+        assert result.scalars["n_workloads"] == 6.0
+
+    def test_pareto_sublinearity_green(self):
+        result = MONITORS["pareto-sublinearity"].evaluate()
+        assert result.passed
+        assert result.scalars["monotone"] == 1.0
+        # The crossover ordering the claim rests on.
+        assert (
+            result.scalars["crossover_25_5"]
+            < result.scalars["crossover_25_7"]
+            < result.scalars["crossover_25_8"]
+            < result.scalars["crossover_25_10"]
+        )

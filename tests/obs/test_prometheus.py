@@ -1,0 +1,129 @@
+"""Prometheus text exposition-format compliance of ``to_prometheus``.
+
+The exposition format (Prometheus docs, "text-based format") requires:
+
+* every metric family is announced by ``# HELP <name> <help>`` and
+  ``# TYPE <name> <type>`` lines before its samples;
+* HELP text escapes backslash (``\\`` -> ``\\\\``) and line feed
+  (LF -> ``\\n``);
+* label *values* escape backslash, double quote and line feed; label
+  names and metric names are never escaped.
+
+These rules matter the moment a scrape target carries user-controlled
+strings — a workload name with a quote, a path with backslashes — so the
+escaping is pinned here character by character.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _lines(registry: MetricsRegistry):
+    return registry.to_prometheus().splitlines()
+
+
+class TestFamilyHeaders:
+    def test_help_and_type_precede_samples(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("jobs_total", help="jobs dispatched").inc(3)
+        lines = _lines(reg)
+        assert lines[0] == "# HELP jobs_total jobs dispatched"
+        assert lines[1] == "# TYPE jobs_total counter"
+        assert lines[2] == "jobs_total 3"
+
+    def test_help_emitted_even_when_empty(self):
+        # The spec allows empty help but the family announcement itself
+        # must still be present for every exposed metric name.
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("queue_depth").set(5)
+        lines = _lines(reg)
+        assert lines[0] == "# HELP queue_depth "
+        assert lines[1] == "# TYPE queue_depth gauge"
+
+    def test_headers_once_per_family_across_label_series(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("hits_total", help="h", labels={"node": "A9"}).inc()
+        reg.counter("hits_total", help="h", labels={"node": "K10"}).inc()
+        text = reg.to_prometheus()
+        assert text.count("# HELP hits_total") == 1
+        assert text.count("# TYPE hits_total") == 1
+
+    def test_histogram_family_type(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("lat_s", buckets=(0.1, 1.0), help="latency")
+        h.observe(0.05)
+        lines = _lines(reg)
+        assert "# TYPE lat_s histogram" in lines
+        # Samples use the _bucket/_sum/_count suffixes, not bare name.
+        assert any(line.startswith("lat_s_bucket{") for line in lines)
+        assert any(line.startswith("lat_s_sum") for line in lines)
+        assert any(line.startswith("lat_s_count") for line in lines)
+
+    def test_empty_registry_exposes_nothing(self):
+        assert MetricsRegistry(enabled=True).to_prometheus() == ""
+
+
+class TestHelpEscaping:
+    def test_backslash_and_newline(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("g", help="path C:\\tmp\nsecond line").set(1)
+        lines = _lines(reg)
+        assert lines[0] == "# HELP g path C:\\\\tmp\\nsecond line"
+        # The physical line count proves the LF never leaked through.
+        assert len(lines) == 3
+
+    def test_quotes_not_escaped_in_help(self):
+        # Per the spec only backslash and LF are escaped in HELP text.
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("g", help='say "hi"').set(1)
+        assert _lines(reg)[0] == '# HELP g say "hi"'
+
+
+class TestLabelValueEscaping:
+    def test_double_quote(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("g", labels={"w": 'x"y'}).set(1)
+        assert 'g{w="x\\"y"} 1' in _lines(reg)
+
+    def test_backslash(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("g", labels={"w": "a\\b"}).set(1)
+        assert 'g{w="a\\\\b"} 1' in _lines(reg)
+
+    def test_line_feed(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("g", labels={"w": "a\nb"}).set(1)
+        assert 'g{w="a\\nb"} 1' in _lines(reg)
+
+    def test_backslash_escaped_before_quote(self):
+        # The dangerous composition: a literal backslash followed by a
+        # quote must render \\\" (escaped backslash, escaped quote), not
+        # \\" which would terminate the label value early.
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("g", labels={"w": 'a\\"'}).set(1)
+        assert 'g{w="a\\\\\\""} 1' in _lines(reg)
+
+    def test_histogram_le_label_coexists_with_escaped_labels(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("lat_s", buckets=(1.0,), labels={"p": 'q"r'})
+        h.observe(0.5)
+        text = reg.to_prometheus()
+        assert 'lat_s_bucket{p="q\\"r",le="1"} 1' in text
+        assert 'lat_s_bucket{p="q\\"r",le="+Inf"} 1' in text
+
+
+class TestParseability:
+    def test_every_sample_line_parses(self):
+        # A scrape-shaped smoke test: each non-comment line must split
+        # into <name-and-labels> <value> with a float-parseable value.
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c_total", help="things\nwith\\escapes").inc(2)
+        reg.gauge("g", labels={"a": 'v"\\\n'}).set(-1.5)
+        reg.histogram("h_s", buckets=(0.5, 1.5)).observe_many([0.1, 2.0])
+        for line in _lines(reg):
+            if line.startswith("#"):
+                continue
+            body, value = line.rsplit(" ", 1)
+            assert body
+            float(value)  # must not raise

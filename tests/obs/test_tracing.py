@@ -176,3 +176,58 @@ class TestExports:
 
     def test_render_flame_empty(self, tracer):
         assert "no spans" in tracer.render_flame()
+
+
+class TestExportEdgeCases:
+    """Exports on an empty and on an overflowed span ring buffer."""
+
+    def test_chrome_trace_on_empty_ring(self, tracer, tmp_path):
+        doc = tracer.to_chrome_trace()
+        assert doc["traceEvents"] == []
+        assert doc["otherData"]["dropped_spans"] == 0
+        # The writer must still produce a loadable document.
+        path = tmp_path / "empty.json"
+        tracer.write_chrome_trace(path)
+        assert json.loads(path.read_text(encoding="utf-8")) == doc
+
+    def test_chrome_trace_on_overflowed_ring(self, tmp_path):
+        tracer = Tracer(capacity=3, enabled=True)
+        for i in range(7):
+            with tracer.span(f"s{i}"):
+                pass
+        doc = tracer.to_chrome_trace()
+        # Only surviving spans export, oldest first, and the drop count
+        # is surfaced so a truncated trace is never mistaken for a
+        # complete one.
+        assert [e["name"] for e in doc["traceEvents"]] == ["s4", "s5", "s6"]
+        assert doc["otherData"]["dropped_spans"] == 4
+        path = tmp_path / "wrapped.json"
+        tracer.write_chrome_trace(path)
+        assert json.loads(path.read_text(encoding="utf-8")) == doc
+
+    def test_flame_on_overflowed_ring_counts_survivors_only(self):
+        tracer = Tracer(capacity=4, enabled=True)
+        for _ in range(6):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        rows = {r.path: r for r in tracer.flame()}
+        # 12 spans total, ring keeps 4: aggregation sees the survivors.
+        assert sum(r.calls for r in rows.values()) == 4
+        assert set(rows) <= {("outer",), ("outer", "inner")}
+
+    def test_render_flame_on_overflowed_ring(self):
+        tracer = Tracer(capacity=2, enabled=True)
+        for _ in range(5):
+            with tracer.span("work"):
+                pass
+        text = tracer.render_flame()
+        assert "Flame summary" in text
+        assert "work" in text
+
+    def test_write_chrome_trace_creates_parent_dirs(self, tracer, tmp_path):
+        with tracer.span("s"):
+            pass
+        path = tmp_path / "deep" / "nested" / "trace.json"
+        tracer.write_chrome_trace(path)
+        assert json.loads(path.read_text(encoding="utf-8"))["traceEvents"]

@@ -68,3 +68,48 @@ class TestRenderFigure:
             fig.add(f"s{i}", [0, 1], [i, i + 1])
         out = render_figure(fig)
         assert "s11" in out
+
+
+class TestRenderSparkline:
+    def test_monotone_series_rises_left_to_right(self):
+        from repro.viz.ascii import render_sparkline
+
+        out = render_sparkline([0, 1, 2, 3, 4])
+        assert len(out) == 5
+        assert out[0] == " " and out[-1] == "@"
+
+    def test_flat_series_uses_mid_ramp(self):
+        from repro.viz.ascii import render_sparkline
+
+        out = render_sparkline([7.0, 7.0, 7.0])
+        assert len(set(out)) == 1 and out[0] not in (" ", "@")
+
+    def test_keeps_newest_width_points(self):
+        from repro.viz.ascii import render_sparkline
+
+        # Oldest points (the high plateau) fall off the left edge.
+        out = render_sparkline([9, 9, 9, 0, 1, 2], width=3)
+        assert len(out) == 3
+        assert out[0] == " " and out[-1] == "@"
+
+    def test_nan_draws_as_question_mark(self):
+        from repro.viz.ascii import render_sparkline
+
+        out = render_sparkline([0.0, float("nan"), 1.0])
+        assert out[1] == "?"
+        assert out[0] == " " and out[2] == "@"
+
+    def test_all_nan_is_all_question_marks(self):
+        from repro.viz.ascii import render_sparkline
+
+        assert render_sparkline([float("nan")] * 4) == "????"
+
+    def test_invalid_inputs(self):
+        from repro.viz.ascii import render_sparkline
+
+        with pytest.raises(ReproError):
+            render_sparkline([])
+        with pytest.raises(ReproError):
+            render_sparkline([1.0], width=0)
+        with pytest.raises(ReproError):
+            render_sparkline([[1.0, 2.0]])

@@ -2,14 +2,19 @@
 """Gate CI on regressions of the floor-bearing benchmark metrics.
 
 The benchmark suite refreshes ``BENCH_*.json`` at the repository root on
-every run; the committed copies are the baselines.  This tool diffs the
-fresh artifacts against the versions at a git ref (default ``HEAD``) and
-fails when any *floor-bearing* metric — the handful of numbers the
-benchmark floor tests actually pin — regresses by more than the
-tolerance (default 25%).  Improvements and sub-tolerance wobble pass;
-a missing baseline (first run of a new benchmark, or a shallow checkout
-without the artifact) is reported and skipped rather than failed, so the
-gate never blocks the commit that introduces a benchmark.
+every run, and every envelope write also appends a ``bench/<name>``
+record to the run ledger (:mod:`repro.obs.ledger`).  The gate therefore
+prefers the *ledger* baseline — the mean of the prior recorded runs of
+the same benchmark, exactly the baseline :func:`repro.obs.drift.diff_history`
+uses — and only falls back to the committed artifact at a git ref
+(default ``HEAD``) when no ledger history exists yet (fresh clone, first
+run, or recording disabled via ``REPRO_LEDGER=0``).  Either way it fails
+when any *floor-bearing* metric — the handful of numbers the benchmark
+floor tests actually pin — regresses by more than the tolerance
+(default 25%).  Improvements and sub-tolerance wobble pass; a missing
+baseline (first run of a new benchmark, or a shallow checkout without
+the artifact) is reported and skipped rather than failed, so the gate
+never blocks the commit that introduces a benchmark.
 
 Usage::
 
@@ -69,6 +74,54 @@ def load_baseline(
     if proc.returncode != 0:
         return None
     return json.loads(proc.stdout.decode("utf-8"))
+
+
+def _set_dotted(doc: Dict[str, object], dotted: str, value: float) -> None:
+    node = doc
+    keys = dotted.split(".")
+    for key in keys[:-1]:
+        node = node.setdefault(key, {})  # type: ignore[assignment]
+    node[keys[-1]] = value
+
+
+def load_ledger_baseline(
+    name: str, fresh: Dict[str, object]
+) -> Optional[Dict[str, object]]:
+    """A baseline document synthesised from the run-ledger history.
+
+    For each floor metric of ``name``, the baseline value is the mean of
+    the *prior* ledger records of ``bench/<benchmark>`` (the newest record
+    is the fresh run itself, appended when the artifact was written) —
+    the same baseline :func:`repro.obs.drift.diff_history` compares
+    against.  Returns None when the ledger is unavailable, disabled, or
+    holds no prior history, in which case the git-show baseline applies.
+    """
+    try:
+        from repro.obs.ledger import default_ledger, ledger_enabled
+    except ImportError:
+        return None
+    if not ledger_enabled():
+        return None
+    benchmark = fresh.get("benchmark")
+    if not isinstance(benchmark, str) or not benchmark:
+        return None
+    try:
+        records = default_ledger().records(name=f"bench/{benchmark}")
+    except OSError:
+        return None
+    prior = records[:-1]
+    if not prior:
+        return None
+    baseline: Dict[str, object] = {}
+    for path in FLOOR_METRICS.get(name, ()):
+        values = [
+            float(rec.scalars[path])
+            for rec in prior
+            if isinstance(rec.scalars.get(path), (int, float))
+        ]
+        if values:
+            _set_dotted(baseline, path, sum(values) / len(values))
+    return baseline or None
 
 
 def compare(
@@ -141,7 +194,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except json.JSONDecodeError as exc:
             print(f"{name}: unreadable fresh artifact ({exc})", file=sys.stderr)
             return 2
-        baseline = load_baseline(name, ref=args.ref, repo_root=args.dir)
+        baseline = load_ledger_baseline(name, fresh)
+        source = "ledger mean"
+        if baseline is None:
+            baseline = load_baseline(name, ref=args.ref, repo_root=args.dir)
+            source = f"git {args.ref}"
         if baseline is None:
             print(f"{name}: no baseline at {args.ref}, skipped")
             continue
@@ -159,7 +216,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             verdict = "OK" if row["status"] == "ok" else "REGRESSION"
             print(
                 f"{name}: {row['path']} = {row['fresh']:.4g} vs "
-                f"{row['baseline']:.4g} (x{row['ratio']:.2f}) {verdict}"
+                f"{row['baseline']:.4g} [{source}] (x{row['ratio']:.2f}) "
+                f"{verdict}"
             )
             if row["status"] == "regression":
                 failed = True
