@@ -19,12 +19,47 @@ import argparse
 import sys
 from typing import Dict, Optional, Sequence
 
-from repro.experiments.scheduling import run_scheduling_study
+from repro.experiments.scheduling import replay_day, run_scheduling_study
 from repro.obs import get_registry, instrumented
 from repro.obs.timer import bench_envelope, measure, write_bench_json
+from repro.parallel.pool import resolve_workers
 from repro.util.rng import DEFAULT_SEED
 
 __all__ = ["run_benchmark", "main"]
+
+
+def _sharded_arm(seed: int, n_intervals: int, workers: int) -> Dict[str, object]:
+    """Time one sharded EP/ppr-greedy replay at ``workers`` workers and
+    check worker-count invariance (workers=1 vs workers=N, same shard
+    plan) on the telemetry the merge produces."""
+    run_sharded = lambda w: replay_day(  # noqa: E731
+        "EP",
+        "ppr-greedy",
+        seed=seed,
+        n_intervals=n_intervals,
+        shards=workers,
+        workers=w,
+    )
+    (result, _), t_par = measure(lambda: run_sharded(workers), repeats=1, warmup=0)
+    (serial, _), _ = measure(lambda: run_sharded(1), repeats=1, warmup=0)
+    bit_identical = (
+        serial.total_energy_j == result.total_energy_j
+        and serial.p50_s == result.p50_s
+        and serial.p95_s == result.p95_s
+        and serial.p99_s == result.p99_s
+        and serial.boots == result.boots
+        and serial.shutdowns == result.shutdowns
+        and serial.timeline == result.timeline
+    )
+    return {
+        "workload": "EP",
+        "policy": "ppr-greedy",
+        "n_shards": workers,
+        "workers": workers,
+        "replay_s": t_par.best_s,
+        "jobs": result.jobs_arrived,
+        "bit_identical": bool(bit_identical),
+    }
 
 
 def run_benchmark(
@@ -32,6 +67,7 @@ def run_benchmark(
     seed: int = DEFAULT_SEED,
     n_intervals: int = 24,
     repeats: int = 3,
+    workers: Optional[int] = None,
 ) -> Dict[str, object]:
     """Time the full scheduling study; returns a JSON-serialisable dict in
     the shared ``repro-bench/1`` envelope.
@@ -75,12 +111,21 @@ def run_benchmark(
     runs += 2 * len(study.contrasts) + 2
     ticks = runs * n_intervals
     events = jobs + ticks
+
+    import os
+
+    n_workers = resolve_workers(workers)
+    extra: Dict[str, object] = {}
+    if n_workers > 1:
+        extra["sharded"] = _sharded_arm(seed, n_intervals, n_workers)
     return bench_envelope(
         "scheduler",
         {
             "seed": seed,
             "n_intervals": n_intervals,
             "repeats": len(plain_s),
+            "workers": n_workers,
+            "cpus_available": os.cpu_count(),
         },
         {
             "study_best": best_s,
@@ -100,6 +145,7 @@ def run_benchmark(
             "events_per_s_instrumented": events / instrumented_s,
         },
         metrics=metrics,
+        **extra,
     )
 
 
@@ -113,16 +159,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--intervals", type=int, default=24)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the sharded-replay arm (0 = all CPUs); "
+            "the sharded result is bit-identical at any worker count"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default="BENCH_scheduler.json",
         help="result JSON path (default: ./BENCH_scheduler.json)",
     )
     args = parser.parse_args(argv)
     result = run_benchmark(
-        seed=args.seed, n_intervals=args.intervals, repeats=args.repeats
+        seed=args.seed,
+        n_intervals=args.intervals,
+        repeats=args.repeats,
+        workers=args.workers,
     )
     sidecar = write_bench_json(args.output, result)
     overhead = result["instrumentation"]["overhead_ratio"]
+    sharded = result.get("sharded")
+    if sharded:
+        print(
+            f"sharded arm: {sharded['n_shards']} shards x "
+            f"{sharded['workers']} workers, {sharded['jobs']} jobs in "
+            f"{sharded['replay_s']:.3f}s, bit-identical to workers=1: "
+            f"{sharded['bit_identical']}",
+            file=sys.stderr,
+        )
     print(
         f"{result['counts']['events']} events in "
         f"{result['timings_s']['study_best']:.3f}s -> "

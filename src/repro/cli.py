@@ -206,6 +206,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated paper workloads (default: EP,memcached,x264)",
     )
+    p_mc.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the MC replications (0 = all CPUs); "
+        "the report is bit-identical at any worker count",
+    )
 
     p_rep = sub.add_parser(
         "report", help="analyse one workload on one mix", parents=[obs_parent]
@@ -226,6 +233,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--budget", type=float, default=None, help="watts")
     p_rec.add_argument(
         "--strategy", choices=("greedy", "exhaustive"), default="greedy"
+    )
+    p_rec.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the exhaustive search (0 = all CPUs); "
+        "the greedy descent is inherently serial and ignores this",
     )
 
     p_char = sub.add_parser(
@@ -285,6 +299,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sched.add_argument(
         "--seed", type=int, default=argparse.SUPPRESS, help="root seed"
+    )
+    p_sched.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition the fleet into this many independently-autoscaled "
+        "shards (0 = unsharded global dispatch); changes the experiment, "
+        "not just its execution",
+    )
+    p_sched.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes executing the shards (0 = all CPUs); the "
+        "sharded result is bit-identical at any worker count",
     )
     p_sched.add_argument(
         "--full",
@@ -490,6 +519,7 @@ def _cmd_validate_mc(args: argparse.Namespace) -> int:
         n_reps=args.reps,
         level=args.level,
         seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        workers=args.workers,
     )
     from repro.experiments.validation_mc import report_scalars
 
@@ -533,6 +563,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_recommend(args: argparse.Namespace) -> int:
     import repro
     from repro.cluster.search import recommend_exhaustive, recommend_greedy
+    from repro.parallel.pool import resolve_workers
     from repro.util.tables import render_kv
 
     w = repro.workload(args.workload)
@@ -541,8 +572,16 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         repro.TypeSpace(repro.get_node_spec("K10"), n_max=args.max_brawny),
     ]
     budget = repro.PowerBudget(args.budget) if args.budget else None
-    search = recommend_greedy if args.strategy == "greedy" else recommend_exhaustive
-    rec = search(w, spaces, deadline_s=args.deadline, budget=budget)
+    if args.strategy == "greedy":
+        rec = recommend_greedy(w, spaces, deadline_s=args.deadline, budget=budget)
+    elif resolve_workers(args.workers) > 1:
+        from repro.parallel.search import recommend_parallel
+
+        rec = recommend_parallel(
+            w, spaces, deadline_s=args.deadline, budget=budget, workers=args.workers
+        )
+    else:
+        rec = recommend_exhaustive(w, spaces, deadline_s=args.deadline, budget=budget)
     if rec is None:
         print("No configuration meets the deadline (and budget).", file=sys.stderr)
         return 1
@@ -641,6 +680,11 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     if args.full:
         if args.json:
             raise ReproError("--json covers a single replay; drop --full")
+        if args.shards > 1 or (args.workers is not None and args.workers != 1):
+            raise ReproError(
+                "--full replays every policy x trace cell unsharded; "
+                "drop --shards/--workers or run a single replay"
+            )
         study = run_scheduling_study(seed)
         args._scalars = study_scalars(study)
         print(render_scheduling_report(study))
@@ -653,6 +697,8 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         n_intervals=args.intervals,
         interval_s=args.interval_s,
         demand=args.demand,
+        shards=args.shards,
+        workers=args.workers,
     )
     args._scalars = replay_scalars(result, oracle)
     if args.json:
@@ -832,7 +878,11 @@ _COMMANDS = {
 #: the ledger record's params (and hence from its config digest).
 _NON_CONFIG_KEYS = frozenset(
     {"command", "obs_command", "log_level", "trace_out", "metrics_out",
-     "ledger_dir", "no_ledger", "csv"}
+     "ledger_dir", "no_ledger", "csv",
+     # Execution placement, not configuration: results are bit-identical
+     # at any worker count, so the config digest must not change with it.
+     # (--shards stays in params — sharding changes the experiment.)
+     "workers"}
 )
 
 

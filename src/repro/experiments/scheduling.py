@@ -479,6 +479,8 @@ def replay_day(
     interval_s: float = 20.0,
     demand: float = 0.5,
     budget_w: float = 1000.0,
+    shards: int = 0,
+    workers: Optional[int] = None,
 ):
     """One autoscaled day for the CLI: ``(ScheduleResult, AdaptationResult)``.
 
@@ -486,6 +488,13 @@ def replay_day(
     or ``"constant"`` (flat at ``demand``).  Deterministic for a fixed
     seed — the CLI test replays ``repro schedule --policy ppr-greedy
     --trace diurnal --seed 42`` twice and compares bytes.
+
+    ``shards > 1`` replays the day with the fleet partitioned into that
+    many independently-autoscaled shards (:mod:`repro.parallel.sharding`),
+    executed across ``workers`` processes; the shard plan is a pure
+    function of ``(shards, seed)``, so the result is worker-count
+    invariant.  The oracle keeps modelling the unpartitioned fleet, so
+    the reported gap includes the cost of partitioning.
     """
     if workload_name not in STUDY_WORKLOADS:
         raise ReproError(
@@ -501,19 +510,35 @@ def replay_day(
     else:
         raise ReproError(f"trace must be 'diurnal' or 'constant', got {trace_kind!r}")
     w = scheduling_workloads()[workload_name]
-    ladder = build_ladder(w, scaled_candidates(budget_w, a9_step=4, k10_step=1))
+    candidates = scaled_candidates(budget_w, a9_step=4, k10_step=1)
+    ladder = build_ladder(w, candidates)
     oracle = simulate_adaptation(
         w, trace, candidates=[r.config for r in ladder], interval_s=interval_s
     )
-    result = _autoscaled_run(
-        w,
-        policy,
-        trace,
-        ladder,
-        light_transition_costs(),
-        interval_s=interval_s,
-        seed=seed,
-    )
+    if shards and shards > 1:
+        from repro.parallel.sharding import sharded_replay
+
+        result = sharded_replay(
+            w,
+            policy,
+            trace,
+            n_shards=int(shards),
+            workers=workers,
+            candidates=candidates,
+            interval_s=interval_s,
+            transition_costs=light_transition_costs(),
+            seed=seed,
+        )
+    else:
+        result = _autoscaled_run(
+            w,
+            policy,
+            trace,
+            ladder,
+            light_transition_costs(),
+            interval_s=interval_s,
+            seed=seed,
+        )
     return result, oracle
 
 

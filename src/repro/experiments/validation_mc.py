@@ -139,6 +139,7 @@ def validate_cell(
     n_reps: int = 40,
     level: float = 0.99,
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> AgreementCell:
     """Check one grid cell: analytic M/D/1 p95 vs the simulated CI.
 
@@ -147,7 +148,10 @@ def validate_cell(
     ``U / T_P`` (the paper's ``U = T_P * lambda_job`` inverted), exactly as
     in :func:`repro.core.response.response_percentile_s`.  ``seed`` is a
     root seed: each cell derives its own independent stream from it (see
-    :func:`_cell_seed`).
+    :func:`_cell_seed`).  ``workers`` fans the cell's replications across
+    a process pool; the replication streams make the cell's statistics
+    bit-identical at any worker count, so the agreement verdicts never
+    depend on the machine running them.
     """
     u = _effective_utilisation(utilisation)
     tp = execution_time(workload, config)
@@ -157,7 +161,7 @@ def validate_cell(
         tp,
         seed=_cell_seed(seed, workload.name, config.label(), utilisation),
     )
-    result = mc.run(n_jobs, n_reps)
+    result = mc.run(n_jobs, n_reps, workers=workers)
     ci = result.percentile_ci(95.0, level=level)
     return AgreementCell(
         workload_name=workload.name,
@@ -180,8 +184,14 @@ def run_validation(
     n_reps: int = 40,
     level: float = 0.99,
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> AgreementReport:
-    """Sweep the agreement study over the full validation grid."""
+    """Sweep the agreement study over the full validation grid.
+
+    ``workers`` parallelises each cell's Monte-Carlo replications
+    (:meth:`repro.queueing.mc.MonteCarloQueue.run`); the report is
+    bit-identical at any worker count.
+    """
     if not workloads or not mixes or not grid:
         raise QueueingError("validation needs workloads, mixes and a grid")
     suite = paper_workloads()
@@ -210,6 +220,7 @@ def run_validation(
                         n_reps=n_reps,
                         level=level,
                         seed=seed,
+                        workers=workers,
                     )
                 )
     return AgreementReport(cells=tuple(cells), level=level)

@@ -62,6 +62,11 @@ BENCH_FLOOR_METRICS: Dict[str, Tuple[str, ...]] = {
     "mc": (
         "scenarios.md1.speedup.simulate_phase",
         "scenarios.service_model.speedup.simulate_phase",
+        # The workers>1 parallel arm of repro.parallel.mc; absent from
+        # serial envelopes, and absent paths are skipped, so serial runs
+        # are unaffected.
+        "scenarios.md1.speedup.with_stats_parallel",
+        "scenarios.service_model.speedup.with_stats_parallel",
     ),
     "scheduler": ("events_per_s",),
 }

@@ -224,16 +224,27 @@ class Ledger:
         most itself.
         """
         self.root.mkdir(parents=True, exist_ok=True)
-        needs_newline = False
-        if self.path.exists() and self.path.stat().st_size > 0:
-            with open(self.path, "rb") as fh:
-                fh.seek(-1, os.SEEK_END)
-                needs_newline = fh.read(1) != b"\n"
-        with open(self.path, "a", encoding="utf-8") as fh:
-            if needs_newline:
-                fh.write("\n")
-            fh.write(record.to_json())
-            fh.write("\n")
+        payload = (record.to_json() + "\n").encode("utf-8")
+        # One O_APPEND write per record: POSIX guarantees the kernel
+        # performs the seek-to-end and the write atomically, so records
+        # appended concurrently from several processes never interleave
+        # (pinned by the multiprocess hammer in tests/obs/test_ledger.py).
+        # The buffered text-mode append this replaces could flush a record
+        # in several write(2) calls, letting another process's record land
+        # mid-line.
+        fd = os.open(self.path, os.O_RDWR | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            try:
+                size = os.fstat(fd).st_size
+                if size > 0 and os.pread(fd, 1, size - 1) != b"\n":
+                    # A crash mid-write left a torn line: start a fresh one
+                    # so the fragment poisons at most itself.
+                    payload = b"\n" + payload
+            except OSError:
+                pass
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
         self._write_index()
         return record
 
@@ -353,9 +364,15 @@ class Ledger:
             "total": len(records),
             "names": names,
         }
-        with open(self.index_path, "w", encoding="utf-8") as fh:
+        # The index is a derived cache, but concurrent appenders rewriting
+        # it in place could expose a half-written document to a reader.
+        # Write-to-temp + rename keeps every observable index complete
+        # (per-pid temp name so two writers never share a temp file).
+        tmp = self.index_path.with_name(f".index.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
+        os.replace(tmp, self.index_path)
 
     def index(self) -> Dict[str, object]:
         """The index document (rebuilt from the store when missing)."""

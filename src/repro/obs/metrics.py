@@ -386,6 +386,69 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._instruments)
 
+    # -- cross-process merge ----------------------------------------------
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold a :meth:`snapshot` document from another registry into this one.
+
+        The registry is process-global, so increments made in a worker
+        process land in the *worker's* copy and would otherwise be lost
+        when the process exits.  :mod:`repro.parallel` snapshots each
+        worker's registry after its task and merges the snapshots back
+        here.  Merge semantics per kind:
+
+        * counters and histograms **accumulate** (counts, sums, totals add);
+        * gauges keep the **maximum** of the current and incoming value —
+          a deterministic reduction whatever order worker results arrive in
+          (gauges record high-water readings like queue depth, where the
+          cluster-wide max is the honest aggregate);
+        * kind conflicts and histogram bucket-edge mismatches raise
+          :class:`~repro.errors.ReproError`.
+
+        Merging is bookkeeping, not measurement: it applies even while the
+        registry is disabled, mirroring how :meth:`snapshot` reads state
+        regardless of the ``enabled`` gate.
+        """
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            if not isinstance(entry, Mapping):
+                raise ReproError(f"malformed snapshot entry for metric {name!r}")
+            kind = entry.get("kind")
+            help_text = str(entry.get("help", ""))
+            for series in entry.get("series", ()):
+                labels = dict(series.get("labels") or {})
+                value = series.get("value")
+                if kind == "counter":
+                    inst = self.counter(name, help=help_text, labels=labels)
+                    inst._value += float(value)  # type: ignore[arg-type]
+                elif kind == "gauge":
+                    inst = self.gauge(name, help=help_text, labels=labels)
+                    inst._value = max(inst._value, float(value))  # type: ignore[arg-type]
+                elif kind == "histogram":
+                    if not isinstance(value, Mapping):
+                        raise ReproError(
+                            f"histogram {name!r} snapshot value must be a mapping"
+                        )
+                    hist = self.histogram(
+                        name,
+                        buckets=tuple(float(x) for x in value["edges"]),
+                        help=help_text,
+                        labels=labels,
+                    )
+                    counts = list(value["counts"])
+                    if len(counts) != len(hist._counts):
+                        raise ReproError(
+                            f"histogram {name!r} snapshot has {len(counts)} buckets, "
+                            f"registry has {len(hist._counts)}"
+                        )
+                    for i, n in enumerate(counts):
+                        hist._counts[i] += int(n)
+                    hist._sum += float(value["sum"])
+                    hist._count += int(value["count"])
+                else:
+                    raise ReproError(
+                        f"metric {name!r} snapshot has unknown kind {kind!r}"
+                    )
+
     # -- exporters --------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
         """The registry as a plain nested dict (JSON-serialisable).

@@ -1,0 +1,57 @@
+"""Multi-core parallel execution layer.
+
+Fans the repository's deterministic engines out across worker processes
+without changing a single bit of their output:
+
+* :mod:`repro.parallel.pool` — the process-pool core: worker resolution,
+  deterministic chunking, ordered task execution, and the metrics
+  round-trip that folds worker-process counters back into the parent
+  registry;
+* :mod:`repro.parallel.mc` — Monte-Carlo replications distributed by
+  slicing the ``SeedSequence.spawn`` streams (bit-identical at any
+  worker count);
+* :mod:`repro.parallel.sharding` — scheduler trace replay with the node
+  fleet partitioned into shards (the shard plan is a pure function of
+  the fleet and seed; workers only execute it);
+* :mod:`repro.parallel.search` — exhaustive configuration search with
+  the space partitioned along the first type's DVFS frequencies.
+
+The design rule throughout: **work decomposition is simulation
+semantics, worker count is execution placement.**  Every decomposition
+(replication slices, fleet shards, space chunks) is derived from the
+problem and the root seed alone, so results never depend on how many
+processes happened to execute them — the contract
+``tests/properties/test_parallel_invariants.py`` pins.
+"""
+
+from repro.parallel.mc import run_parallel
+from repro.parallel.pool import (
+    DEFAULT_CHUNKS_PER_WORKER,
+    chunk_ranges,
+    default_chunks,
+    resolve_workers,
+    run_tasks,
+)
+from repro.parallel.search import recommend_parallel
+from repro.parallel.sharding import (
+    merge_shard_results,
+    shard_config,
+    shard_counts,
+    shard_seed,
+    sharded_replay,
+)
+
+__all__ = [
+    "DEFAULT_CHUNKS_PER_WORKER",
+    "chunk_ranges",
+    "default_chunks",
+    "resolve_workers",
+    "run_tasks",
+    "run_parallel",
+    "recommend_parallel",
+    "merge_shard_results",
+    "shard_config",
+    "shard_counts",
+    "shard_seed",
+    "sharded_replay",
+]

@@ -1,0 +1,107 @@
+"""Parallel Monte-Carlo replications: fan ``MonteCarloQueue.run`` across cores.
+
+The MC engine already gives every replication its own generator, spawned
+as stream ``r`` of ``SeedSequence(seed).spawn(n_reps)`` — stream identity
+depends only on the root seed and the *total* replication count.  Cutting
+``range(n_reps)`` into contiguous chunks and shipping each chunk to a
+worker therefore reproduces the serial run exactly: each worker calls
+:meth:`~repro.queueing.mc.MonteCarloQueue.run_slice` (the same reduction
+code the serial path runs) on its slice, and the parent reassembles the
+per-replication arrays positionally.  No float is recomputed, reordered
+or re-reduced, so the assembled :class:`~repro.queueing.mc.ReplicatedResult`
+is **bit-identical at any worker count** — the contract
+``tests/parallel/test_mc_parallel.py`` and the hypothesis invariants pin.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import QueueingError
+from repro.obs.tracing import span
+from repro.parallel.pool import (
+    chunk_ranges,
+    default_chunks,
+    resolve_workers,
+    run_tasks,
+)
+from repro.queueing.mc import (
+    TRACKED_PERCENTILES,
+    MonteCarloQueue,
+    ReplicatedResult,
+    SliceStats,
+)
+
+__all__ = ["run_parallel"]
+
+
+def _mc_slice_task(
+    queue: MonteCarloQueue, n_jobs: int, n_reps: int, start: int, stop: int
+) -> SliceStats:
+    """Top-level (hence picklable) worker task: one replication slice."""
+    return queue.run_slice(n_jobs, n_reps, start, stop)
+
+
+def run_parallel(
+    queue: MonteCarloQueue,
+    n_jobs: int,
+    n_reps: int,
+    *,
+    workers: Optional[int] = None,
+    chunks: Optional[int] = None,
+) -> ReplicatedResult:
+    """``queue.run(n_jobs, n_reps)`` fanned out across worker processes.
+
+    ``chunks`` overrides the submission granularity (default: a few chunks
+    per worker, see :data:`~repro.parallel.pool.DEFAULT_CHUNKS_PER_WORKER`);
+    the chunking never affects the result, only the load balance.
+    """
+    if n_jobs <= 0:
+        raise QueueingError(f"n_jobs must be positive, got {n_jobs}")
+    if n_reps <= 0:
+        raise QueueingError(f"n_reps must be positive, got {n_reps}")
+    w = resolve_workers(workers)
+    n_chunks = default_chunks(n_reps, w) if chunks is None else int(chunks)
+    ranges = chunk_ranges(n_reps, n_chunks)
+
+    with span("parallel.mc.run", n_jobs=n_jobs, n_reps=n_reps,
+              workers=w, chunks=len(ranges)):
+        slices = run_tasks(
+            [(_mc_slice_task, (queue, n_jobs, n_reps, a, b)) for a, b in ranges],
+            workers=w,
+        )
+
+    pct = np.empty((len(TRACKED_PERCENTILES), n_reps))
+    mean_resp = np.empty(n_reps)
+    mean_wait = np.empty(n_reps)
+    util = np.empty(n_reps)
+    busy = np.empty(n_reps)
+    idle = np.empty(n_reps)
+    spans = np.empty(n_reps)
+    warmup = 0
+    for s in slices:
+        assert isinstance(s, SliceStats)
+        sel = slice(s.start, s.stop)
+        pct[:, sel] = s.response_percentiles_s
+        mean_resp[sel] = s.mean_response_s
+        mean_wait[sel] = s.mean_wait_s
+        util[sel] = s.utilisation
+        busy[sel] = s.busy_time_s
+        idle[sel] = s.idle_time_s
+        spans[sel] = s.span_s
+        warmup = s.warmup_jobs
+    return ReplicatedResult(
+        n_jobs=n_jobs,
+        n_reps=n_reps,
+        warmup_jobs=warmup,
+        arrival_rate=queue.arrival_rate,
+        response_percentiles_s=pct,
+        mean_response_s=mean_resp,
+        mean_wait_s=mean_wait,
+        utilisation=util,
+        busy_time_s=busy,
+        idle_time_s=idle,
+        span_s=spans,
+    )

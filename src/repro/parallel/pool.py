@@ -1,0 +1,172 @@
+"""Process-pool fan-out core shared by every parallel front-end.
+
+The engines in this repository are deliberately deterministic: Monte-Carlo
+replication ``r`` always consumes stream ``r`` of a spawned
+``SeedSequence``, and a scheduler shard always derives its seed from the
+root seed and its shard index.  That makes parallelism an *execution*
+detail — the work decomposition is fixed by the problem, never by the
+worker count — so this module only has to solve the mechanical half:
+
+* :func:`resolve_workers` — normalise a ``--workers`` value (``None``/``1``
+  = in-process, ``0`` = one worker per available CPU);
+* :func:`chunk_ranges` — deterministic contiguous chunking of ``n`` items;
+* :func:`run_tasks` — submit picklable ``(fn, args)`` tasks to a
+  :class:`~concurrent.futures.ProcessPoolExecutor` and return results in
+  submission order, folding each worker's metrics back into the parent.
+
+Metrics round-trip
+------------------
+The :class:`~repro.obs.metrics.MetricsRegistry` is process-global, so an
+increment made inside a worker process lands in the *worker's* copy of the
+registry and evaporates with the process.  Worse, under the ``fork`` start
+method the child inherits whatever totals the parent had already
+accumulated, so naively snapshotting the child would double-count the
+parent's history on merge.  :func:`run_tasks` therefore wraps every task:
+the worker resets its inherited registry, sets ``enabled`` from the
+parent's flag at submission time, runs the task, and ships a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` home alongside the
+result; the parent merges the snapshots in submission order (counters and
+histograms add, gauges keep the max), so a parallel run reports the same
+``repro_mc_jobs_simulated_total`` / dispatch counts as a serial one —
+pinned by ``tests/parallel/test_mc_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "DEFAULT_CHUNKS_PER_WORKER",
+    "resolve_workers",
+    "chunk_ranges",
+    "default_chunks",
+    "run_tasks",
+]
+
+#: Chunks submitted per worker when the caller does not pick a chunk
+#: count: a few chunks per worker amortise per-task pickling while
+#: keeping the pool's tail (the last chunk finishing alone) short.
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+#: One parallel task: a picklable top-level callable plus its arguments.
+Task = Tuple[Callable, Tuple]
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a worker-count request into a concrete positive count.
+
+    ``None`` and ``1`` mean in-process execution; ``0`` means one worker
+    per available CPU (``os.cpu_count()``); any other positive integer is
+    taken literally.  Negative counts are an error.
+    """
+    if workers is None:
+        return 1
+    w = int(workers)
+    if w == 0:
+        return max(1, os.cpu_count() or 1)
+    if w < 0:
+        raise ReproError(f"workers must be >= 0 (0 = all CPUs), got {workers}")
+    return w
+
+
+def chunk_ranges(n: int, chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into at most ``chunks`` contiguous ``(start, stop)``
+    spans, sizes differing by at most one, earlier spans larger.
+
+    Deterministic in ``(n, chunks)`` alone — the decomposition never
+    depends on timing or worker count, which is half of the bit-identity
+    story (the other half is per-item seeding).
+    """
+    if n < 0:
+        raise ReproError(f"cannot chunk a negative item count: {n}")
+    if chunks < 1:
+        raise ReproError(f"need at least one chunk, got {chunks}")
+    chunks = min(chunks, n) or 1
+    base, extra = divmod(n, chunks)
+    out: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(chunks):
+        width = base + (1 if i < extra else 0)
+        if width == 0:
+            break
+        out.append((start, start + width))
+        start += width
+    return out
+
+
+def default_chunks(n_items: int, workers: int) -> int:
+    """The default chunk count for ``n_items`` across ``workers``."""
+    return max(1, min(n_items, workers * DEFAULT_CHUNKS_PER_WORKER))
+
+
+def _run_task_in_worker(fn: Callable, args: Tuple, instrument: bool):
+    """Worker-side task wrapper: isolate and snapshot the metrics registry.
+
+    Under ``fork`` the child starts with a *copy* of the parent's registry
+    totals; reset first so the snapshot covers exactly this task's
+    increments and the parent's history is never double-counted on merge.
+    """
+    registry = get_registry()
+    registry.reset()
+    registry.enabled = bool(instrument)
+    try:
+        result = fn(*args)
+        snapshot = registry.snapshot() if instrument else None
+    finally:
+        registry.enabled = False
+    return result, snapshot
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    *,
+    workers: Optional[int] = None,
+    instrument: Optional[bool] = None,
+) -> List[object]:
+    """Execute ``tasks`` and return their results in submission order.
+
+    With a resolved worker count of 1 the tasks simply run in-process (no
+    pool, no pickling, metrics recorded directly); otherwise they are
+    submitted to a :class:`ProcessPoolExecutor` and each worker's metrics
+    snapshot is merged into the parent registry once all results are in.
+    ``instrument`` defaults to the parent registry's ``enabled`` flag at
+    call time.
+
+    Every ``fn`` must be a picklable top-level callable and every argument
+    picklable — closures cannot cross the process boundary (the service
+    samplers in :mod:`repro.queueing.mc` are callable classes for exactly
+    this reason).
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    w = resolve_workers(workers)
+    registry = get_registry()
+    if instrument is None:
+        instrument = registry.enabled
+    if w == 1:
+        return [fn(*args) for fn, args in tasks]
+
+    results: List[object] = [None] * len(tasks)
+    snapshots: List[Optional[dict]] = [None] * len(tasks)
+    with ProcessPoolExecutor(max_workers=min(w, len(tasks))) as pool:
+        futures = {
+            pool.submit(_run_task_in_worker, fn, args, instrument): i
+            for i, (fn, args) in enumerate(tasks)
+        }
+        for future in as_completed(futures):
+            i = futures[future]
+            results[i], snapshots[i] = future.result()
+    if instrument:
+        # Submission order, not completion order: gauge merges take a max
+        # (order-free), but a deterministic fold order costs nothing and
+        # keeps any future merge semantics reproducible.
+        for snapshot in snapshots:
+            if snapshot:
+                registry.merge(snapshot)
+    return results

@@ -1,0 +1,118 @@
+"""Parallel configuration search: partition the space, race the chunks.
+
+The exhaustive search (:func:`repro.cluster.search.recommend_exhaustive`)
+scores the whole configuration space in one broadcasted pass; its memory
+and time both scale with the space size, which is the product of per-type
+choices.  This front-end partitions the space along the *first* type's
+DVFS frequencies — each chunk pins that type to one frequency (sub-spaces
+are plain :class:`~repro.cluster.configuration.TypeSpace` objects, so
+every chunk reuses the serial batched pass unchanged) — and takes the
+best feasible winner across chunks under the serial search's own
+``(energy, then time)`` tie-break.
+
+Chunks overlap only on configurations where the first type is absent;
+those duplicates score identically in every chunk, so the cross-chunk
+minimum equals the serial winner whenever that winner is unique under
+``(energy_j, tp_s)``.  ``evaluated_configs`` reports the closed-form
+space size (:func:`~repro.cluster.configuration.count_configurations`),
+matching the serial report exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.cluster.budget import PowerBudget
+from repro.cluster.configuration import TypeSpace, count_configurations
+from repro.cluster.search import Recommendation, recommend_exhaustive
+from repro.errors import ModelError
+from repro.obs.tracing import span
+from repro.parallel.pool import resolve_workers, run_tasks
+from repro.workloads.base import Workload
+
+__all__ = ["recommend_parallel"]
+
+
+def partition_spaces(spaces: Sequence[TypeSpace]) -> List[List[TypeSpace]]:
+    """Split a configuration space into sub-spaces along the first type's
+    frequencies.
+
+    Deterministic in the space alone: chunk ``i`` pins the first type to
+    its ``i``-th frequency (ascending DVFS-table order) and leaves every
+    other type's space untouched.  Each chunk still contains the
+    first-type-absent configurations — an overlap, not a gap, which the
+    winner fold tolerates because duplicated configurations score
+    identically everywhere.
+    """
+    if not spaces:
+        raise ModelError("no type spaces supplied")
+    first = spaces[0]
+    rest = list(spaces[1:])
+    return [
+        [dataclasses.replace(first, frequencies_hz=(f,))] + rest
+        for f in first.frequencies_hz
+    ]
+
+
+def _search_chunk(
+    workload: Workload,
+    sub_spaces: List[TypeSpace],
+    deadline_s: float,
+    budget: Optional[PowerBudget],
+) -> Optional[Recommendation]:
+    """Top-level (hence picklable) worker task: search one sub-space."""
+    return recommend_exhaustive(
+        workload, sub_spaces, deadline_s=deadline_s, budget=budget
+    )
+
+
+def recommend_parallel(
+    workload: Workload,
+    spaces: Sequence[TypeSpace],
+    *,
+    deadline_s: float,
+    budget: Optional[PowerBudget] = None,
+    workers: Optional[int] = None,
+) -> Optional[Recommendation]:
+    """Exhaustive recommendation with the space searched across workers.
+
+    Same contract as :func:`~repro.cluster.search.recommend_exhaustive`
+    (including ``strategy="exhaustive"`` and the closed-form
+    ``evaluated_configs``), parallelised over frequency-pinned chunks of
+    the first type's space.  Worker-count invariant: the partition and the
+    winner fold depend only on the space, so any ``workers`` value returns
+    the same recommendation.
+    """
+    if deadline_s <= 0:
+        raise ModelError(f"deadline must be positive, got {deadline_s}")
+    chunks = partition_spaces(spaces)
+    w = resolve_workers(workers)
+    with span(
+        "parallel.search.recommend",
+        workload=workload.name,
+        chunks=len(chunks),
+        workers=w,
+    ):
+        results = run_tasks(
+            [(_search_chunk, (workload, sub, deadline_s, budget)) for sub in chunks],
+            workers=w,
+        )
+    best: Optional[Recommendation] = None
+    for rec in results:
+        if rec is None:
+            continue
+        assert isinstance(rec, Recommendation)
+        if best is None or (rec.evaluation.energy_j, rec.evaluation.tp_s) < (
+            best.evaluation.energy_j,
+            best.evaluation.tp_s,
+        ):
+            best = rec
+    if best is None:
+        return None
+    return Recommendation(
+        evaluation=best.evaluation,
+        deadline_s=deadline_s,
+        evaluated_configs=count_configurations(spaces),
+        strategy="exhaustive",
+    )

@@ -1,0 +1,332 @@
+"""Sharded scheduler trace replay: partition the fleet, merge the telemetry.
+
+Unlike MC replications, one scheduler replay is a single coupled
+simulation — every job placement depends on every queue — so it cannot be
+split without changing the answer.  What *can* be made worker-invariant
+is the decomposition itself: a **shard** plan is a pure function of
+``(fleet, n_shards, seed)``, never of the worker count.  Shard ``i``
+replays the trace against its slice of the node fleet with its own
+derived seed and its own proportional slice of the reference capacity
+(each shard sees the same demand *fraction*, which against its smaller
+fleet means the same per-node load), and the merge is a deterministic
+fold in shard-index order.  Executing the shards on 1, 2 or 8 workers
+therefore yields bit-identical merged results — the invariance
+``tests/parallel/test_sharding.py`` and the hypothesis suite pin.
+
+The decomposition models a *partitioned* cluster (each shard dispatches
+over its own sub-fleet), which is how scale-out clusters are actually
+operated at size; a sharded replay is a different — coarser-grained —
+experiment than the global single-dispatcher replay, not an approximation
+of it.  Telemetry merges exactly: energies, arrivals, boots and
+``served_ops`` add; response percentiles are recomputed from the pooled
+raw responses (shards return them via ``collect_responses``); the
+proportionality score is recomputed from the summed per-interval served
+work and power against the summed reference peak.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.core.proportionality import DynamicProportionality, dynamic_proportionality
+from repro.errors import ReproError
+from repro.obs.tracing import span
+from repro.parallel.pool import resolve_workers, run_tasks
+from repro.scheduler.autoscaler import PredictiveAutoscaler, build_ladder
+from repro.scheduler.engine import ClusterScheduler, ScheduleResult, TimelineSample
+from repro.scheduler.powerstate import TransitionCosts
+from repro.util.rng import DEFAULT_SEED
+from repro.workloads.base import Workload
+
+__all__ = [
+    "shard_counts",
+    "shard_config",
+    "shard_seed",
+    "sharded_replay",
+    "merge_shard_results",
+]
+
+
+def shard_counts(count: int, n_shards: int) -> List[int]:
+    """Deterministically split ``count`` nodes across ``n_shards``.
+
+    Earlier shards get the remainder: shard ``i`` receives
+    ``count // n_shards + (1 if i < count % n_shards else 0)`` nodes, so
+    the split is a pure function of ``(count, n_shards)`` and the shard
+    sizes sum exactly to ``count``.
+    """
+    if count < 0:
+        raise ReproError(f"node count must be non-negative, got {count}")
+    if n_shards < 1:
+        raise ReproError(f"need at least one shard, got {n_shards}")
+    base, extra = divmod(count, n_shards)
+    return [base + (1 if i < extra else 0) for i in range(n_shards)]
+
+
+def shard_config(
+    config: ClusterConfiguration, index: int, n_shards: int
+) -> Optional[ClusterConfiguration]:
+    """Shard ``index``'s slice of a configuration, or None when empty.
+
+    Every node group is split with :func:`shard_counts`; groups whose
+    slice is empty are dropped, and a shard left with no nodes at all
+    returns None (more shards than nodes — the caller skips it).
+    """
+    if not 0 <= index < n_shards:
+        raise ReproError(f"shard index {index} out of range for {n_shards} shards")
+    groups = []
+    for g in config.groups:
+        count = shard_counts(g.count, n_shards)[index]
+        if count:
+            groups.append(dataclasses.replace(g, count=count))
+    if not groups:
+        return None
+    return ClusterConfiguration(groups=tuple(groups))
+
+
+def shard_seed(seed: int, index: int, n_shards: int) -> int:
+    """A per-shard seed, derived deterministically from the root seed.
+
+    Hashing the shard identity (index *and* shard count) into the seed
+    keeps shard arrival streams statistically independent while staying a
+    pure function of the plan — the same derivation idiom as the
+    per-cell seeds in :mod:`repro.experiments.validation_mc`.
+    """
+    key = f"{seed}|shard|{index}|{n_shards}"
+    digest = hashlib.blake2s(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def _replay_shard(
+    workload: Workload,
+    policy: str,
+    trace: np.ndarray,
+    interval_s: float,
+    fixed_config: Optional[ClusterConfiguration],
+    candidates: Optional[Tuple[ClusterConfiguration, ...]],
+    costs: Union[TransitionCosts, Dict[str, TransitionCosts], None],
+    park_state: str,
+    seed: int,
+) -> ScheduleResult:
+    """Top-level (hence picklable) worker task: replay one shard's fleet.
+
+    Autoscaled shards rebuild their own ladder from the shard-sliced
+    candidates — dominance filtering and rung order are pure functions of
+    the candidate set, so the ladder is identical wherever it is built.
+    """
+    if (fixed_config is None) == (candidates is None):
+        raise ReproError("shard needs exactly one of fixed_config or candidates")
+    if candidates is not None:
+        ladder = build_ladder(workload, candidates)
+        scaler = PredictiveAutoscaler(
+            ladder,
+            trace,
+            ladder[-1].capacity_ops,
+            target_utilisation=0.98,
+            lookahead=0,
+        )
+        engine = ClusterScheduler(
+            workload,
+            policy,
+            trace,
+            interval_s=interval_s,
+            autoscaler=scaler,
+            transition_costs=costs,
+            park_state=park_state,
+            seed=seed,
+        )
+    else:
+        engine = ClusterScheduler(
+            workload,
+            policy,
+            trace,
+            interval_s=interval_s,
+            config=fixed_config,
+            transition_costs=costs,
+            park_state=park_state,
+            seed=seed,
+        )
+    return engine.run(collect_responses=True)
+
+
+def _merged_label(labels: Sequence[str]) -> str:
+    """One rung label for a merged interval: the common label, or a join."""
+    unique = list(dict.fromkeys(labels))
+    return unique[0] if len(unique) == 1 else " | ".join(labels)
+
+
+def merge_shard_results(
+    results: Sequence[ScheduleResult], *, interval_s: float
+) -> ScheduleResult:
+    """Fold per-shard :class:`ScheduleResult`\\ s into one cluster-wide result.
+
+    The fold is deterministic in shard-index order: additive telemetry
+    (energies, arrivals, boots, ``served_ops``, power) sums; per-interval
+    utilisation is the active-node-weighted mean (recovering pooled busy
+    seconds over pooled active capacity); response percentiles come from
+    the pooled raw responses; the proportionality score is recomputed
+    from the merged per-interval series against the summed reference peak.
+    """
+    if not results:
+        raise ReproError("need at least one shard result to merge")
+    n_intervals = len(results[0].timeline)
+    for r in results:
+        if len(r.timeline) != n_intervals:
+            raise ReproError("shard timelines disagree on interval count")
+        if r.responses_s is None:
+            raise ReproError("shard results must carry responses_s to merge")
+
+    timeline: List[TimelineSample] = []
+    u_ref: List[float] = []
+    p_trace: List[float] = []
+    ref_cap = sum(r.reference_capacity_ops for r in results)
+    ref_peak = sum(r.reference_peak_w for r in results)
+    for k in range(n_intervals):
+        samples = [r.timeline[k] for r in results]
+        n_active = sum(s.n_active for s in samples)
+        power = sum(s.power_w for s in samples)
+        served = sum(s.served_ops for s in samples)
+        busy_active = sum(s.utilisation * s.n_active for s in samples)
+        timeline.append(
+            TimelineSample(
+                t_s=samples[0].t_s,
+                demand_fraction=samples[0].demand_fraction,
+                rung_label=_merged_label([s.rung_label for s in samples]),
+                n_active=n_active,
+                n_powered=sum(s.n_powered for s in samples),
+                utilisation=busy_active / n_active if n_active else 0.0,
+                power_w=power,
+                arrivals=sum(s.arrivals for s in samples),
+                served_ops=served,
+            )
+        )
+        u_ref.append(served / (ref_cap * interval_s))
+        p_trace.append(power)
+
+    responses = np.concatenate([r.responses_s for r in results])
+    if responses.size:
+        p50, p95, p99 = (
+            float(np.percentile(responses, q)) for q in (50.0, 95.0, 99.0)
+        )
+        mean_resp = float(responses.mean())
+    else:
+        p50 = p95 = p99 = mean_resp = 0.0
+
+    node_stats = tuple(
+        dataclasses.replace(stats, name=f"s{i}/{stats.name}")
+        for i, r in enumerate(results)
+        for stats in r.node_stats
+    )
+    proportionality: Optional[DynamicProportionality] = None
+    if sum(u_ref) > 0:
+        proportionality = dynamic_proportionality(
+            u_ref, p_trace, ref_peak, interval_s=interval_s
+        )
+    return ScheduleResult(
+        workload_name=results[0].workload_name,
+        policy_name=results[0].policy_name,
+        interval_s=interval_s,
+        horizon_s=results[0].horizon_s,
+        reference_capacity_ops=ref_cap,
+        reference_peak_w=ref_peak,
+        jobs_arrived=sum(r.jobs_arrived for r in results),
+        jobs_completed=sum(r.jobs_completed for r in results),
+        p50_s=p50,
+        p95_s=p95,
+        p99_s=p99,
+        mean_response_s=mean_resp,
+        baseline_energy_j=sum(r.baseline_energy_j for r in results),
+        dynamic_energy_j=sum(r.dynamic_energy_j for r in results),
+        transition_energy_j=sum(r.transition_energy_j for r in results),
+        boots=sum(r.boots for r in results),
+        shutdowns=sum(r.shutdowns for r in results),
+        node_stats=node_stats,
+        timeline=tuple(timeline),
+        proportionality=proportionality,
+        responses_s=responses,
+    )
+
+
+def sharded_replay(
+    workload: Workload,
+    policy: str,
+    demand_trace: Sequence[float],
+    *,
+    n_shards: int,
+    workers: Optional[int] = None,
+    config: Optional[ClusterConfiguration] = None,
+    candidates: Optional[Sequence[ClusterConfiguration]] = None,
+    interval_s: float = 30.0,
+    transition_costs: Union[TransitionCosts, Dict[str, TransitionCosts], None] = None,
+    park_state: str = "auto",
+    seed: int = DEFAULT_SEED,
+) -> ScheduleResult:
+    """Replay a demand trace against a fleet partitioned into ``n_shards``.
+
+    Exactly one of ``config`` (fixed-mix shards) or ``candidates``
+    (each shard autoscales its own sliced ladder) must be given.  The
+    shard plan — fleet slices, per-shard seeds, merge order — depends
+    only on ``(n_shards, seed)``; ``workers`` only chooses how many
+    processes execute the plan, so the merged result is bit-identical at
+    any worker count.  Shards that receive no nodes (more shards than
+    nodes) are skipped.
+    """
+    if (config is None) == (candidates is None):
+        raise ReproError("provide exactly one of config= or candidates=")
+    if n_shards < 1:
+        raise ReproError(f"need at least one shard, got {n_shards}")
+    trace = np.asarray(demand_trace, dtype=float)
+    w = resolve_workers(workers)
+
+    tasks = []
+    for i in range(n_shards):
+        if config is not None:
+            shard_fixed = shard_config(config, i, n_shards)
+            shard_cands: Optional[Tuple[ClusterConfiguration, ...]] = None
+            if shard_fixed is None:
+                continue
+        else:
+            shard_fixed = None
+            sliced = []
+            for c in candidates:
+                sc = shard_config(c, i, n_shards)
+                if sc is not None and sc not in sliced:
+                    sliced.append(sc)
+            if not sliced:
+                continue
+            shard_cands = tuple(sliced)
+        tasks.append(
+            (
+                _replay_shard,
+                (
+                    workload,
+                    policy,
+                    trace,
+                    float(interval_s),
+                    shard_fixed,
+                    shard_cands,
+                    transition_costs,
+                    park_state,
+                    shard_seed(seed, i, n_shards),
+                ),
+            )
+        )
+    if not tasks:
+        raise ReproError("sharding left no shard with any nodes")
+    with span(
+        "parallel.sharding.replay",
+        policy=policy,
+        workload=workload.name,
+        shards=len(tasks),
+        workers=w,
+    ):
+        results = run_tasks(tasks, workers=w)
+    return merge_shard_results(
+        [r for r in results if isinstance(r, ScheduleResult)],
+        interval_s=float(interval_s),
+    )

@@ -60,10 +60,13 @@ __all__ = [
     "lindley_waits",
     "scalar_lindley_waits",
     "waits_agreement",
+    "ExponentialService",
+    "UniformService",
     "exponential_service",
     "uniform_service",
     "ConfidenceInterval",
     "ReplicatedResult",
+    "SliceStats",
     "MonteCarloQueue",
 ]
 
@@ -163,26 +166,53 @@ def waits_agreement(
 # ----------------------------------------------------------------------
 # Service samplers
 # ----------------------------------------------------------------------
+# Samplers are callable *classes* rather than closures so a configured
+# MonteCarloQueue pickles cleanly into repro.parallel worker processes
+# (a closure cannot cross a process boundary).  The factory functions
+# below keep the original construction API.
+class ExponentialService:
+    """Exponential service times with a given mean (M/M/1 service)."""
+
+    __slots__ = ("mean_s",)
+
+    def __init__(self, mean_s: float) -> None:
+        if mean_s <= 0:
+            raise QueueingError(f"mean service time must be positive, got {mean_s}")
+        self.mean_s = float(mean_s)
+
+    def __call__(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(self.mean_s, size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExponentialService(mean_s={self.mean_s!r})"
+
+
+class UniformService:
+    """Uniform service times on ``[low_s, high_s)`` — bounded variability."""
+
+    __slots__ = ("low_s", "high_s")
+
+    def __init__(self, low_s: float, high_s: float) -> None:
+        if not 0 < low_s <= high_s:
+            raise QueueingError(f"need 0 < low <= high, got ({low_s}, {high_s})")
+        self.low_s = float(low_s)
+        self.high_s = float(high_s)
+
+    def __call__(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(self.low_s, self.high_s, size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UniformService(low_s={self.low_s!r}, high_s={self.high_s!r})"
+
+
 def exponential_service(mean_s: float) -> BatchServiceSampler:
     """Exponential service times with the given mean (M/M/1 service)."""
-    if mean_s <= 0:
-        raise QueueingError(f"mean service time must be positive, got {mean_s}")
-
-    def sampler(rng: np.random.Generator, size: int) -> np.ndarray:
-        return rng.exponential(mean_s, size)
-
-    return sampler
+    return ExponentialService(mean_s)
 
 
 def uniform_service(low_s: float, high_s: float) -> BatchServiceSampler:
     """Uniform service times on ``[low_s, high_s)`` — bounded variability."""
-    if not 0 < low_s <= high_s:
-        raise QueueingError(f"need 0 < low <= high, got ({low_s}, {high_s})")
-
-    def sampler(rng: np.random.Generator, size: int) -> np.ndarray:
-        return rng.uniform(low_s, high_s, size)
-
-    return sampler
+    return UniformService(low_s, high_s)
 
 
 # ----------------------------------------------------------------------
@@ -343,6 +373,44 @@ class ReplicatedResult:
         return float(self.busy_time_s.sum() / self.span_s.sum())
 
 
+@dataclass(frozen=True)
+class SliceStats:
+    """Reduced statistics of the replication slice ``[start, stop)``.
+
+    The picklable unit of work :mod:`repro.parallel.mc` ships between
+    processes: every array has length ``stop - start`` and holds exactly
+    the per-replication reductions :meth:`MonteCarloQueue.run` computes,
+    for the slice's replications only.  Because replication ``r`` always
+    draws from stream ``r`` of ``SeedSequence(seed).spawn(n_reps)``,
+    slices reassemble into a :class:`ReplicatedResult` that is
+    bit-identical to a serial run regardless of how the slices were cut
+    or which process computed them.
+    """
+
+    start: int
+    stop: int
+    warmup_jobs: int
+    response_percentiles_s: np.ndarray
+    mean_response_s: np.ndarray
+    mean_wait_s: np.ndarray
+    utilisation: np.ndarray
+    busy_time_s: np.ndarray
+    idle_time_s: np.ndarray
+    span_s: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.stop:
+            raise QueueingError(
+                f"need 0 <= start < stop, got [{self.start}, {self.stop})"
+            )
+        expected = (len(TRACKED_PERCENTILES), self.stop - self.start)
+        if self.response_percentiles_s.shape != expected:
+            raise QueueingError(
+                f"slice percentile matrix must be {expected}, "
+                f"got {self.response_percentiles_s.shape}"
+            )
+
+
 # ----------------------------------------------------------------------
 # Engine
 # ----------------------------------------------------------------------
@@ -457,14 +525,21 @@ class MonteCarloQueue:
             raise QueueingError("service sampler produced a non-positive time")
         return arrivals, services
 
-    def _iter_waits(self, n_jobs: int, n_reps: int):
-        """Yield ``(arrivals, services, waits)`` per replication.
+    def _iter_waits(self, n_jobs: int, n_reps: int, start: int = 0,
+                    stop: Optional[int] = None):
+        """Yield ``(arrivals, services, waits)`` for replications
+        ``[start, stop)`` of an ``n_reps``-replication run.
 
         The vectorized hot path: every array except the sampler's service
         draw lives in buffers reused across replications (one replication's
         working set stays cache-resident, and no per-rep page faulting).
         Consumers must reduce or copy each yield before advancing — the
         buffers are overwritten by the next replication.
+
+        The slice bounds exist for :mod:`repro.parallel.mc`: all ``n_reps``
+        generators are spawned (stream identity depends on the *total*
+        replication count, never on the slice) and only the slice's streams
+        are simulated.
         """
         registry = get_registry()
         rep_counter = jobs_counter = reuse_counter = None
@@ -491,7 +566,8 @@ class MonteCarloQueue:
         else:
             cs_prev = np.empty(n_jobs)
         inv_rate = 1.0 / self._rate
-        for rep_index, rng in enumerate(self.spawn_generators(n_reps)):
+        generators = self.spawn_generators(n_reps)[start:stop]
+        for rep_index, rng in enumerate(generators):
             rng.standard_exponential(n_jobs, out=gaps)
             np.multiply(gaps, inv_rate, out=gaps)
             np.cumsum(gaps, out=arrivals)
@@ -548,34 +624,50 @@ class MonteCarloQueue:
                     out[r] = scalar_lindley_waits(arrivals, services)
         return out
 
-    def run(self, n_jobs: int, n_reps: int) -> ReplicatedResult:
-        """Run ``n_reps`` independent replications of ``n_jobs`` jobs each.
+    def _warmup_jobs(self, n_jobs: int) -> int:
+        warmup = int(self._warmup_fraction * n_jobs)
+        if warmup >= n_jobs:
+            warmup = n_jobs - 1
+        return warmup
 
-        Each replication is reduced to its tracked percentiles, means and
-        busy/idle split immediately, while its arrays are cache-hot; the
-        full ``(reps, jobs)`` wait matrix is never materialised (use
-        :meth:`simulate_waits` when the raw waits are needed).
+    def run_slice(
+        self, n_jobs: int, n_reps: int, start: int, stop: int
+    ) -> SliceStats:
+        """Simulate and reduce replications ``[start, stop)`` of an
+        ``n_reps``-replication run.
+
+        The worker-side half of :meth:`run`: identical arithmetic, on a
+        contiguous slice of the replication streams.  A serial
+        :meth:`run` is literally ``run_slice(n_jobs, n_reps, 0, n_reps)``
+        rewrapped, which is what makes parallel fan-out bit-identical to
+        the serial path — both perform the same reductions on the same
+        streams, only the process doing the work differs.
         """
         if n_jobs <= 0:
             raise QueueingError(f"n_jobs must be positive, got {n_jobs}")
         if n_reps <= 0:
             raise QueueingError(f"n_reps must be positive, got {n_reps}")
-        warmup = int(self._warmup_fraction * n_jobs)
-        if warmup >= n_jobs:
-            warmup = n_jobs - 1
+        if not 0 <= start < stop <= n_reps:
+            raise QueueingError(
+                f"need 0 <= start < stop <= n_reps, got [{start}, {stop}) "
+                f"of {n_reps}"
+            )
+        warmup = self._warmup_jobs(n_jobs)
+        width = stop - start
 
-        pct = np.empty((len(TRACKED_PERCENTILES), n_reps))
-        mean_resp = np.empty(n_reps)
-        mean_wait = np.empty(n_reps)
-        util = np.empty(n_reps)
-        busy = np.empty(n_reps)
-        idle = np.empty(n_reps)
-        spans = np.empty(n_reps)
+        pct = np.empty((len(TRACKED_PERCENTILES), width))
+        mean_resp = np.empty(width)
+        mean_wait = np.empty(width)
+        util = np.empty(width)
+        busy = np.empty(width)
+        idle = np.empty(width)
+        spans = np.empty(width)
         q = np.asarray(TRACKED_PERCENTILES)
 
-        with span("mc.run", n_jobs=n_jobs, n_reps=n_reps):
+        with span("mc.run_slice", n_jobs=n_jobs, n_reps=n_reps,
+                  start=start, stop=stop):
             for r, (arrivals, services, waits) in enumerate(
-                self._iter_waits(n_jobs, n_reps)
+                self._iter_waits(n_jobs, n_reps, start, stop)
             ):
                 if self._service_fixed is not None:
                     d = self._service_fixed
@@ -598,11 +690,10 @@ class MonteCarloQueue:
                 busy[r] = busy_r
                 idle[r] = last_completion - busy_r
                 util[r] = busy_r / last_completion
-        return ReplicatedResult(
-            n_jobs=n_jobs,
-            n_reps=n_reps,
+        return SliceStats(
+            start=start,
+            stop=stop,
             warmup_jobs=warmup,
-            arrival_rate=self._rate,
             response_percentiles_s=pct,
             mean_response_s=mean_resp,
             mean_wait_s=mean_wait,
@@ -610,6 +701,44 @@ class MonteCarloQueue:
             busy_time_s=busy,
             idle_time_s=idle,
             span_s=spans,
+        )
+
+    def run(
+        self, n_jobs: int, n_reps: int, *, workers: Optional[int] = None
+    ) -> ReplicatedResult:
+        """Run ``n_reps`` independent replications of ``n_jobs`` jobs each.
+
+        Each replication is reduced to its tracked percentiles, means and
+        busy/idle split immediately, while its arrays are cache-hot; the
+        full ``(reps, jobs)`` wait matrix is never materialised (use
+        :meth:`simulate_waits` when the raw waits are needed).
+
+        ``workers`` fans the replications out across a process pool via
+        :mod:`repro.parallel.mc` (``None``/``1`` runs in-process, ``0``
+        means one worker per available CPU).  Replication ``r`` always
+        consumes stream ``r`` of ``SeedSequence(seed).spawn(n_reps)``, so
+        the result is **bit-identical at any worker count** — pinned by
+        ``tests/parallel/test_mc_parallel.py`` and the hypothesis
+        invariants in ``tests/properties/test_parallel_invariants.py``.
+        """
+        if workers is not None and workers != 1:
+            from repro.parallel.mc import run_parallel
+
+            return run_parallel(self, n_jobs, n_reps, workers=workers)
+        with span("mc.run", n_jobs=n_jobs, n_reps=n_reps):
+            stats = self.run_slice(n_jobs, n_reps, 0, n_reps)
+        return ReplicatedResult(
+            n_jobs=n_jobs,
+            n_reps=n_reps,
+            warmup_jobs=stats.warmup_jobs,
+            arrival_rate=self._rate,
+            response_percentiles_s=stats.response_percentiles_s,
+            mean_response_s=stats.mean_response_s,
+            mean_wait_s=stats.mean_wait_s,
+            utilisation=stats.utilisation,
+            busy_time_s=stats.busy_time_s,
+            idle_time_s=stats.idle_time_s,
+            span_s=stats.span_s,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -239,6 +239,12 @@ class TimelineSample:
     utilisation: float
     power_w: float
     arrivals: int
+    #: Operations served inside the interval (busy seconds x node rate,
+    #: summed over the pool).  Dividing by ``reference_capacity_ops *
+    #: interval_s`` recovers the normalised utilisation the
+    #: proportionality scoring consumes — kept raw so shard timelines
+    #: merge by plain addition (:mod:`repro.parallel.sharding`).
+    served_ops: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -265,6 +271,11 @@ class ScheduleResult:
     node_stats: Tuple[NodeStats, ...]
     timeline: Tuple[TimelineSample, ...]
     proportionality: Optional[DynamicProportionality]
+    #: Raw per-job response times in arrival order, populated only when
+    #: the run was asked to ``collect_responses`` — shard runs return them
+    #: so the merged percentiles are exact, not an approximation from
+    #: per-shard percentiles.
+    responses_s: Optional[np.ndarray] = None
 
     @property
     def total_energy_j(self) -> float:
@@ -500,6 +511,7 @@ class ClusterScheduler:
         self,
         *,
         on_interval: Optional[Callable[[TimelineSample], None]] = None,
+        collect_responses: bool = False,
     ) -> ScheduleResult:
         """Replay the trace once; deterministic for a fixed seed.
 
@@ -510,6 +522,12 @@ class ClusterScheduler:
         float the simulation consumes, so a seeded run's
         :class:`ScheduleResult` is bit-identical with or without them
         (pinned by ``tests/obs/test_instrumentation.py``).
+
+        ``collect_responses`` additionally returns the raw per-job
+        response times on the result (``responses_s``) — shard runs need
+        them so :mod:`repro.parallel.sharding` can merge exact
+        percentiles.  It is read-only bookkeeping: the simulated floats
+        and RNG stream are untouched.
         """
         with span(
             "scheduler.run",
@@ -517,10 +535,12 @@ class ClusterScheduler:
             workload=self.workload.name,
             intervals=int(self.trace.size),
         ):
-            return self._run(on_interval)
+            return self._run(on_interval, collect_responses)
 
     def _run(
-        self, on_interval: Optional[Callable[[TimelineSample], None]]
+        self,
+        on_interval: Optional[Callable[[TimelineSample], None]],
+        collect_responses: bool = False,
     ) -> ScheduleResult:
         self.policy.reset()
         if self.autoscaler is not None:
@@ -665,6 +685,7 @@ class ClusterScheduler:
                 utilisation=u_obs,
                 power_w=power,
                 arrivals=n_arr,
+                served_ops=served_ops,
             )
             timeline.append(sample)
             if dispatch_hist is not None:
@@ -743,4 +764,5 @@ class ClusterScheduler:
             node_stats=node_stats,
             timeline=tuple(timeline),
             proportionality=proportionality,
+            responses_s=resp if collect_responses else None,
         )

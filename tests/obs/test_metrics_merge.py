@@ -1,0 +1,120 @@
+"""Tests for MetricsRegistry.merge: the worker-snapshot fold semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+
+
+def _worker(fill) -> dict:
+    reg = MetricsRegistry(enabled=True)
+    fill(reg)
+    return reg.snapshot()
+
+
+class TestCounterMerge:
+    def test_counters_accumulate(self):
+        parent = MetricsRegistry(enabled=True)
+        parent.counter("jobs_total").inc(5)
+        parent.merge(_worker(lambda r: r.counter("jobs_total").inc(7)))
+        assert parent.counter("jobs_total").value == 12.0
+
+    def test_unknown_counter_is_created(self):
+        parent = MetricsRegistry(enabled=True)
+        parent.merge(_worker(lambda r: r.counter("fresh_total").inc(3)))
+        assert parent.counter("fresh_total").value == 3.0
+
+    def test_labelled_series_merge_independently(self):
+        def fill(r):
+            r.counter("dispatch_total", labels={"policy": "jsq"}).inc(2)
+            r.counter("dispatch_total", labels={"policy": "po2"}).inc(9)
+
+        parent = MetricsRegistry(enabled=True)
+        parent.counter("dispatch_total", labels={"policy": "jsq"}).inc(1)
+        parent.merge(_worker(fill))
+        assert parent.counter("dispatch_total", labels={"policy": "jsq"}).value == 3.0
+        assert parent.counter("dispatch_total", labels={"policy": "po2"}).value == 9.0
+
+
+class TestGaugeMerge:
+    def test_gauges_keep_the_maximum(self):
+        parent = MetricsRegistry(enabled=True)
+        parent.gauge("queue_depth").set(4)
+        parent.merge(_worker(lambda r: r.gauge("queue_depth").set(9)))
+        assert parent.gauge("queue_depth").value == 9.0
+        parent.merge(_worker(lambda r: r.gauge("queue_depth").set(2)))
+        assert parent.gauge("queue_depth").value == 9.0
+
+
+class TestHistogramMerge:
+    def test_counts_sum_and_count_accumulate(self):
+        edges = (1.0, 2.0, 4.0)
+
+        def fill(r):
+            h = r.histogram("latency_s", buckets=edges)
+            h.observe(0.5)
+            h.observe(3.0)
+
+        parent = MetricsRegistry(enabled=True)
+        h = parent.histogram("latency_s", buckets=edges)
+        h.observe(1.5)
+        parent.merge(_worker(fill))
+        snap = parent.histogram("latency_s", buckets=edges)._snapshot_value()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(5.0)
+        assert sum(snap["counts"]) == 3
+
+    def test_edge_mismatch_raises(self):
+        parent = MetricsRegistry(enabled=True)
+        parent.histogram("latency_s", buckets=(1.0, 2.0))
+        snapshot = _worker(
+            lambda r: r.histogram("latency_s", buckets=(1.0, 8.0)).observe(0.5)
+        )
+        with pytest.raises(ReproError):
+            parent.merge(snapshot)
+
+
+class TestMergeSemantics:
+    def test_kind_conflict_raises(self):
+        parent = MetricsRegistry(enabled=True)
+        parent.counter("depth")
+        with pytest.raises(ReproError):
+            parent.merge(_worker(lambda r: r.gauge("depth").set(1)))
+
+    def test_unknown_kind_raises(self):
+        parent = MetricsRegistry(enabled=True)
+        bogus = {"m": {"kind": "summary", "help": "", "series": [
+            {"labels": {}, "value": 1.0}
+        ]}}
+        with pytest.raises(ReproError):
+            parent.merge(bogus)
+
+    def test_malformed_entry_raises(self):
+        parent = MetricsRegistry(enabled=True)
+        with pytest.raises(ReproError):
+            parent.merge({"m": 3.0})
+
+    def test_merge_applies_while_disabled(self):
+        """Merging is bookkeeping, not measurement: the parent may be
+        disabled (the default outside `instrumented()`) when worker
+        snapshots arrive, and their totals must still land."""
+        parent = MetricsRegistry(enabled=False)
+        parent.merge(_worker(lambda r: r.counter("jobs_total").inc(4)))
+        assert parent.counter("jobs_total").value == 4.0
+
+    def test_merge_roundtrip_equals_single_registry(self):
+        """Splitting increments across two registries and merging gives
+        the same snapshot as one registry taking all increments."""
+        combined = MetricsRegistry(enabled=True)
+        combined.counter("a_total").inc(10)
+        combined.gauge("g").set(7)
+
+        parent = MetricsRegistry(enabled=True)
+        parent.counter("a_total").inc(4)
+        parent.gauge("g").set(7)
+        parent.merge(
+            _worker(lambda r: (r.counter("a_total").inc(6), r.gauge("g").set(3)))
+        )
+        assert parent.snapshot() == combined.snapshot()

@@ -1,0 +1,27 @@
+"""Fixtures for the parallel-layer suite.
+
+The metrics registry is a process-wide singleton and ``run_tasks`` merges
+worker snapshots into it; every test here runs against a clean, disabled
+registry and leaves it that way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import get_registry, get_tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_singletons():
+    registry = get_registry()
+    tracer = get_tracer()
+    registry.disable()
+    registry.reset(clear=True)
+    tracer.disable()
+    tracer.reset()
+    yield
+    registry.disable()
+    registry.reset(clear=True)
+    tracer.disable()
+    tracer.reset()

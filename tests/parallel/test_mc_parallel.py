@@ -1,0 +1,99 @@
+"""Bit-identity of parallel Monte-Carlo replications at any worker count."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import QueueingError
+from repro.obs import get_registry
+from repro.parallel.mc import run_parallel
+from repro.queueing.mc import (
+    MonteCarloQueue,
+    exponential_service,
+    uniform_service,
+)
+
+_RESULT_ARRAYS = (
+    "response_percentiles_s",
+    "mean_response_s",
+    "mean_wait_s",
+    "utilisation",
+    "busy_time_s",
+    "idle_time_s",
+    "span_s",
+)
+
+
+def _assert_identical(a, b):
+    assert a.n_jobs == b.n_jobs
+    assert a.n_reps == b.n_reps
+    assert a.warmup_jobs == b.warmup_jobs
+    assert a.arrival_rate == b.arrival_rate
+    for field in _RESULT_ARRAYS:
+        assert np.array_equal(getattr(a, field), getattr(b, field)), field
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_deterministic_service(self, workers):
+        mc = MonteCarloQueue.from_utilisation(0.7, 1.0, seed=123)
+        serial = mc.run(2_000, 10)
+        parallel = mc.run(2_000, 10, workers=workers)
+        _assert_identical(serial, parallel)
+
+    def test_exponential_service(self):
+        mc = MonteCarloQueue(0.6, exponential_service(1.0), seed=7)
+        _assert_identical(mc.run(1_500, 8), mc.run(1_500, 8, workers=2))
+
+    def test_chunking_never_affects_the_result(self):
+        mc = MonteCarloQueue.from_utilisation(0.5, 1.0, seed=42)
+        serial = mc.run(1_000, 9)
+        for chunks in (1, 2, 9):
+            _assert_identical(
+                serial, run_parallel(mc, 1_000, 9, workers=2, chunks=chunks)
+            )
+
+    def test_workers_one_takes_the_serial_path(self):
+        mc = MonteCarloQueue.from_utilisation(0.7, 1.0, seed=5)
+        _assert_identical(mc.run(800, 6), mc.run(800, 6, workers=1))
+
+
+class TestMetricsRoundTrip:
+    def test_parallel_run_reports_serial_counter_totals(self):
+        """The worker-increments-dropped bug: a parallel run must report
+        the same jobs/replications totals as a serial one."""
+        registry = get_registry()
+        mc = MonteCarloQueue.from_utilisation(0.7, 1.0, seed=99)
+
+        registry.enable()
+        mc.run(2_000, 8)
+        serial_jobs = registry.counter("repro_mc_jobs_simulated_total").value
+        serial_reps = registry.counter("repro_mc_replications_total").value
+        registry.reset(clear=True)
+
+        registry.enable()
+        mc.run(2_000, 8, workers=2)
+        assert registry.counter("repro_mc_jobs_simulated_total").value == serial_jobs
+        assert registry.counter("repro_mc_replications_total").value == serial_reps
+        assert serial_jobs == 2_000 * 8
+
+
+class TestSamplerPicklability:
+    def test_service_samplers_cross_the_process_boundary(self):
+        for sampler in (exponential_service(1.5), uniform_service(0.5, 2.5)):
+            clone = pickle.loads(pickle.dumps(sampler))
+            rng_a = np.random.default_rng(3)
+            rng_b = np.random.default_rng(3)
+            assert np.array_equal(sampler(rng_a, 16), clone(rng_b, 16))
+
+
+class TestValidation:
+    def test_bad_shapes_rejected(self):
+        mc = MonteCarloQueue.from_utilisation(0.7, 1.0, seed=1)
+        with pytest.raises(QueueingError):
+            run_parallel(mc, 0, 4, workers=2)
+        with pytest.raises(QueueingError):
+            run_parallel(mc, 100, 0, workers=2)

@@ -1,0 +1,111 @@
+"""Tests for the process-pool core: chunking, worker resolution, task runs."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import get_registry
+from repro.parallel.pool import (
+    DEFAULT_CHUNKS_PER_WORKER,
+    chunk_ranges,
+    default_chunks,
+    resolve_workers,
+    run_tasks,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _counting_task(n):
+    get_registry().counter("pool_test_items_total").inc(n)
+    return n
+
+
+def _worker_pid(_):
+    return os.getpid()
+
+
+class TestResolveWorkers:
+    def test_none_and_one_mean_in_process(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_workers(0) == max(1, os.cpu_count() or 1)
+
+    def test_literal_counts(self):
+        assert resolve_workers(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_workers(-1)
+
+
+class TestChunkRanges:
+    def test_exact_cover_no_overlap(self):
+        ranges = chunk_ranges(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+        covered = [i for a, b in ranges for i in range(a, b)]
+        assert covered == list(range(10))
+
+    def test_sizes_differ_by_at_most_one_earlier_larger(self):
+        for n in range(1, 40):
+            for chunks in range(1, 12):
+                widths = [b - a for a, b in chunk_ranges(n, chunks)]
+                assert sum(widths) == n
+                assert max(widths) - min(widths) <= 1
+                assert widths == sorted(widths, reverse=True)
+
+    def test_more_chunks_than_items_collapses(self):
+        assert chunk_ranges(2, 8) == [(0, 1), (1, 2)]
+
+    def test_zero_items(self):
+        assert chunk_ranges(0, 4) == []
+
+    def test_invalid(self):
+        with pytest.raises(ReproError):
+            chunk_ranges(-1, 2)
+        with pytest.raises(ReproError):
+            chunk_ranges(5, 0)
+
+    def test_deterministic_in_inputs_alone(self):
+        assert chunk_ranges(17, 5) == chunk_ranges(17, 5)
+
+    def test_default_chunks(self):
+        assert default_chunks(100, 2) == 2 * DEFAULT_CHUNKS_PER_WORKER
+        assert default_chunks(3, 2) == 3
+        assert default_chunks(0, 2) == 1
+
+
+class TestRunTasks:
+    def test_empty(self):
+        assert run_tasks([]) == []
+
+    def test_in_process_results_in_submission_order(self):
+        results = run_tasks([(_square, (i,)) for i in range(6)])
+        assert results == [0, 1, 4, 9, 16, 25]
+
+    def test_pool_results_in_submission_order(self):
+        results = run_tasks([(_square, (i,)) for i in range(9)], workers=2)
+        assert results == [i * i for i in range(9)]
+
+    def test_pool_actually_crosses_process_boundary(self):
+        pids = run_tasks([(_worker_pid, (i,)) for i in range(4)], workers=2)
+        assert all(pid != os.getpid() for pid in pids)
+
+    def test_worker_counters_merge_into_parent(self):
+        registry = get_registry()
+        registry.enable()
+        run_tasks([(_counting_task, (n,)) for n in (3, 4, 5)], workers=2)
+        assert registry.counter("pool_test_items_total").value == 12.0
+
+    def test_uninstrumented_run_merges_nothing(self):
+        registry = get_registry()
+        assert not registry.enabled
+        run_tasks([(_counting_task, (7,)) for _ in range(2)], workers=2)
+        assert len(registry) == 0

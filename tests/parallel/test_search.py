@@ -1,0 +1,74 @@
+"""Tests for the parallel exhaustive search: partition and winner fold."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.budget import PowerBudget
+from repro.cluster.configuration import TypeSpace, count_configurations
+from repro.cluster.search import recommend_exhaustive
+from repro.errors import ModelError
+from repro.hardware.specs import get_node_spec
+from repro.parallel.search import partition_spaces, recommend_parallel
+
+
+def _spaces(n_a9=4, n_k10=2):
+    return [
+        TypeSpace(get_node_spec("A9"), n_max=n_a9),
+        TypeSpace(get_node_spec("K10"), n_max=n_k10),
+    ]
+
+
+class TestPartition:
+    def test_one_chunk_per_first_type_frequency(self):
+        spaces = _spaces()
+        chunks = partition_spaces(spaces)
+        assert len(chunks) == len(spaces[0].frequencies_hz)
+        for chunk, f in zip(chunks, spaces[0].frequencies_hz):
+            assert chunk[0].frequencies_hz == (f,)
+            assert chunk[1:] == list(spaces[1:])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            partition_spaces([])
+
+
+class TestParallelSearch:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_matches_serial_exhaustive(self, workloads, workers):
+        spaces = _spaces()
+        serial = recommend_exhaustive(workloads["EP"], spaces, deadline_s=500.0)
+        parallel = recommend_parallel(
+            workloads["EP"], spaces, deadline_s=500.0, workers=workers
+        )
+        assert parallel is not None and serial is not None
+        assert parallel.config == serial.config
+        assert parallel.evaluation == serial.evaluation
+        assert parallel.evaluated_configs == serial.evaluated_configs
+        assert parallel.evaluated_configs == count_configurations(spaces)
+        assert parallel.strategy == "exhaustive"
+
+    def test_matches_serial_under_budget(self, workloads):
+        spaces = _spaces()
+        budget = PowerBudget(40.0)
+        serial = recommend_exhaustive(
+            workloads["EP"], spaces, deadline_s=500.0, budget=budget
+        )
+        parallel = recommend_parallel(
+            workloads["EP"], spaces, deadline_s=500.0, budget=budget, workers=2
+        )
+        assert serial is not None and parallel is not None
+        assert parallel.config == serial.config
+        assert parallel.evaluation == serial.evaluation
+
+    def test_infeasible_deadline_returns_none(self, workloads):
+        assert (
+            recommend_parallel(
+                workloads["EP"], _spaces(2, 1), deadline_s=1e-6, workers=2
+            )
+            is None
+        )
+
+    def test_invalid_deadline(self, workloads):
+        with pytest.raises(ModelError):
+            recommend_parallel(workloads["EP"], _spaces(), deadline_s=0.0)

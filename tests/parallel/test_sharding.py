@@ -1,0 +1,203 @@
+"""Tests for the sharded scheduler replay: plans, merges, worker invariance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.errors import ReproError
+from repro.extensions.dynamic import diurnal_trace, scaled_candidates
+from repro.parallel.sharding import (
+    _replay_shard,
+    merge_shard_results,
+    shard_config,
+    shard_counts,
+    shard_seed,
+    sharded_replay,
+)
+
+_TRACE = diurnal_trace(n_intervals=12)
+
+
+def _fixed_mix():
+    return ClusterConfiguration.mix({"A9": 16, "K10": 6})
+
+
+class TestShardPlan:
+    def test_counts_conserve_nodes(self):
+        for count in range(0, 30):
+            for n_shards in range(1, 9):
+                counts = shard_counts(count, n_shards)
+                assert sum(counts) == count
+                assert len(counts) == n_shards
+                assert max(counts) - min(counts) <= 1
+
+    def test_counts_invalid(self):
+        with pytest.raises(ReproError):
+            shard_counts(-1, 2)
+        with pytest.raises(ReproError):
+            shard_counts(4, 0)
+
+    def test_config_slices_conserve_every_group(self):
+        config = _fixed_mix()
+        n_shards = 3
+        slices = [shard_config(config, i, n_shards) for i in range(n_shards)]
+        for spec_name, total in (("A9", 16), ("K10", 6)):
+            sliced = sum(
+                g.count
+                for s in slices
+                if s is not None
+                for g in s.groups
+                if g.spec.name == spec_name
+            )
+            assert sliced == total
+
+    def test_config_empty_shard_is_none(self):
+        tiny = ClusterConfiguration.mix({"A9": 1})
+        assert shard_config(tiny, 0, 4) is not None
+        assert shard_config(tiny, 3, 4) is None
+
+    def test_config_index_out_of_range(self):
+        with pytest.raises(ReproError):
+            shard_config(_fixed_mix(), 2, 2)
+
+    def test_seeds_differ_by_index_and_plan(self):
+        seeds = {shard_seed(1, i, 4) for i in range(4)}
+        assert len(seeds) == 4
+        assert shard_seed(1, 0, 4) != shard_seed(1, 0, 8)
+        assert shard_seed(1, 2, 4) == shard_seed(1, 2, 4)
+
+
+class TestWorkerInvariance:
+    def test_fixed_config_bit_identical_across_workers(self, workloads):
+        runs = [
+            sharded_replay(
+                workloads["EP"],
+                "ppr-greedy",
+                _TRACE,
+                n_shards=3,
+                workers=w,
+                config=_fixed_mix(),
+                seed=11,
+            )
+            for w in (1, 2)
+        ]
+        a, b = runs
+        assert a.total_energy_j == b.total_energy_j
+        assert (a.p50_s, a.p95_s, a.p99_s) == (b.p50_s, b.p95_s, b.p99_s)
+        assert a.timeline == b.timeline
+        assert np.array_equal(a.responses_s, b.responses_s)
+        assert a.node_stats == b.node_stats
+
+    def test_autoscaled_bit_identical_across_workers(self, workloads):
+        candidates = scaled_candidates(1000.0, a9_step=16, k10_step=2)
+        runs = [
+            sharded_replay(
+                workloads["EP"],
+                "ppr-greedy",
+                _TRACE,
+                n_shards=2,
+                workers=w,
+                candidates=candidates,
+                seed=11,
+            )
+            for w in (1, 2)
+        ]
+        a, b = runs
+        assert a.total_energy_j == b.total_energy_j
+        assert a.timeline == b.timeline
+        assert np.array_equal(a.responses_s, b.responses_s)
+
+
+class TestMergeArithmetic:
+    def test_merge_is_additive_over_shards(self, workloads):
+        """The merged telemetry equals the per-shard sums — no double
+        counting, nothing dropped."""
+        config = _fixed_mix()
+        n_shards = 3
+        shards = [
+            _replay_shard(
+                workloads["EP"],
+                "ppr-greedy",
+                _TRACE,
+                30.0,
+                shard_config(config, i, n_shards),
+                None,
+                None,
+                "auto",
+                shard_seed(11, i, n_shards),
+            )
+            for i in range(n_shards)
+        ]
+        merged = merge_shard_results(shards, interval_s=30.0)
+        assert merged.jobs_arrived == sum(s.jobs_arrived for s in shards)
+        assert merged.total_energy_j == pytest.approx(
+            sum(s.total_energy_j for s in shards)
+        )
+        assert merged.boots == sum(s.boots for s in shards)
+        assert merged.shutdowns == sum(s.shutdowns for s in shards)
+        assert merged.reference_peak_w == pytest.approx(
+            sum(s.reference_peak_w for s in shards)
+        )
+        for k, sample in enumerate(merged.timeline):
+            assert sample.arrivals == sum(s.timeline[k].arrivals for s in shards)
+            assert sample.power_w == pytest.approx(
+                sum(s.timeline[k].power_w for s in shards)
+            )
+        assert merged.responses_s.size == sum(s.responses_s.size for s in shards)
+
+    def test_merged_percentiles_are_exact_pooled_percentiles(self, workloads):
+        config = _fixed_mix()
+        shards = [
+            _replay_shard(
+                workloads["EP"],
+                "jsq",
+                _TRACE,
+                30.0,
+                shard_config(config, i, 2),
+                None,
+                None,
+                "auto",
+                shard_seed(3, i, 2),
+            )
+            for i in range(2)
+        ]
+        merged = merge_shard_results(shards, interval_s=30.0)
+        pooled = np.concatenate([s.responses_s for s in shards])
+        assert merged.p95_s == float(np.percentile(pooled, 95.0))
+
+    def test_merge_rejects_empty_and_mismatched(self, workloads):
+        with pytest.raises(ReproError):
+            merge_shard_results([], interval_s=30.0)
+        shard = _replay_shard(
+            workloads["EP"], "jsq", _TRACE, 30.0,
+            _fixed_mix(), None, None, "auto", 1,
+        )
+        import dataclasses
+
+        stripped = dataclasses.replace(shard, responses_s=None)
+        with pytest.raises(ReproError):
+            merge_shard_results([stripped], interval_s=30.0)
+
+
+class TestValidation:
+    def test_exactly_one_of_config_or_candidates(self, workloads):
+        with pytest.raises(ReproError):
+            sharded_replay(workloads["EP"], "jsq", _TRACE, n_shards=2)
+        with pytest.raises(ReproError):
+            sharded_replay(
+                workloads["EP"],
+                "jsq",
+                _TRACE,
+                n_shards=2,
+                config=_fixed_mix(),
+                candidates=[_fixed_mix()],
+            )
+
+    def test_more_shards_than_nodes_skips_empty_shards(self, workloads):
+        tiny = ClusterConfiguration.mix({"A9": 2})
+        result = sharded_replay(
+            workloads["EP"], "jsq", _TRACE, n_shards=4, config=tiny, seed=2
+        )
+        assert result.jobs_arrived > 0

@@ -1,0 +1,87 @@
+"""Property tests: worker count never changes a single bit of any result.
+
+The parallel layer's one contract — decomposition is simulation
+semantics, worker count is execution placement — as hypothesis
+properties: ``run(workers=k)`` must equal ``run(workers=1)`` bit-for-bit
+for k in {1, 2, 4}, on Monte-Carlo replications and on sharded scheduler
+telemetry, across random shapes, loads and seeds.  Example counts are
+deliberately small: every parallel example forks a process pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.configuration import ClusterConfiguration
+from repro.extensions.dynamic import diurnal_trace
+from repro.parallel.sharding import sharded_replay
+from repro.queueing.mc import MonteCarloQueue
+from repro.workloads.suite import paper_workloads
+
+_WORKERS = st.sampled_from([1, 2, 4])
+_TRACE = diurnal_trace(n_intervals=8)
+_EP = paper_workloads()["EP"]
+
+_MC_FIELDS = (
+    "response_percentiles_s",
+    "mean_response_s",
+    "mean_wait_s",
+    "utilisation",
+    "busy_time_s",
+    "idle_time_s",
+    "span_s",
+)
+
+
+class TestMonteCarloWorkerInvariance:
+    @given(
+        workers=_WORKERS,
+        rho=st.floats(0.2, 0.9),
+        n_reps=st.integers(2, 7),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_replications_bit_identical(self, workers, rho, n_reps, seed):
+        mc = MonteCarloQueue.from_utilisation(rho, 1.0, seed=seed)
+        serial = mc.run(400, n_reps)
+        parallel = mc.run(400, n_reps, workers=workers)
+        for field in _MC_FIELDS:
+            assert np.array_equal(
+                getattr(serial, field), getattr(parallel, field)
+            ), field
+
+
+class TestShardedReplayWorkerInvariance:
+    @given(
+        workers=_WORKERS,
+        n_shards=st.integers(2, 3),
+        a9=st.integers(2, 8),
+        k10=st.integers(0, 3),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_telemetry_bit_identical(self, workers, n_shards, a9, k10, seed):
+        config = ClusterConfiguration.mix(
+            {name: n for name, n in (("A9", a9), ("K10", k10)) if n > 0}
+        )
+        runs = [
+            sharded_replay(
+                _EP,
+                "jsq",
+                _TRACE,
+                n_shards=n_shards,
+                workers=w,
+                config=config,
+                seed=seed,
+            )
+            for w in (1, workers)
+        ]
+        a, b = runs
+        assert a.timeline == b.timeline
+        assert a.total_energy_j == b.total_energy_j
+        assert (a.p50_s, a.p95_s, a.p99_s) == (b.p50_s, b.p95_s, b.p99_s)
+        assert a.boots == b.boots and a.shutdowns == b.shutdowns
+        assert np.array_equal(a.responses_s, b.responses_s)
+        assert a.node_stats == b.node_stats

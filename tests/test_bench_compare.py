@@ -95,6 +95,93 @@ class TestLoadBaseline:
         )
 
 
+class TestRecordWorkers:
+    def test_absent_params_mean_serial(self):
+        assert bench_compare.record_workers(None) == 1
+        assert bench_compare.record_workers({}) == 1
+        assert bench_compare.record_workers("junk") == 1
+
+    def test_explicit_counts(self):
+        assert bench_compare.record_workers({"workers": 4}) == 4
+        assert bench_compare.record_workers({"workers": 1}) == 1
+
+    def test_garbage_normalises_to_serial(self):
+        assert bench_compare.record_workers({"workers": None}) == 1
+        assert bench_compare.record_workers({"workers": "many"}) == 1
+
+
+class TestWorkersMismatch:
+    def test_git_baseline_with_other_worker_count_is_refused(
+        self, git_repo, capsys
+    ):
+        """A serial fresh run must never gate against a 2-worker baseline:
+        the parallel arm's numbers measure core count, not code."""
+        repo, commit = git_repo
+        commit(
+            "BENCH_scheduler.json",
+            {"events_per_s": 100.0, "params": {"workers": 2}},
+        )
+        (repo / "BENCH_scheduler.json").write_text(
+            json.dumps({"events_per_s": 10.0, "params": {"workers": 1}}),
+            encoding="utf-8",
+        )
+        # 10x slower than baseline, but incomparable -> skipped, not failed.
+        assert bench_compare.main(["--dir", str(repo)]) == 0
+        assert "not comparable" in capsys.readouterr().out
+
+    def test_ledger_baseline_only_uses_matching_worker_records(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.obs.ledger import Ledger, new_record
+
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "runs"))
+        ledger = Ledger(tmp_path / "runs")
+        path = "events_per_s"
+        for workers, value in ((1, 1000.0), (2, 50.0), (2, 60.0)):
+            ledger.append(
+                new_record(
+                    "benchmark",
+                    "bench/scheduler",
+                    params={"workers": workers},
+                    scalars={path: value},
+                )
+            )
+        fresh = {
+            "benchmark": "scheduler",
+            "params": {"workers": 2},
+            path: 55.0,
+        }
+        baseline = bench_compare.load_ledger_baseline(
+            "BENCH_scheduler.json", fresh
+        )
+        # Prior records: workers=1 (1000.0) and workers=2 (50.0); the
+        # newest (60.0) is the fresh run itself.  Only the matching
+        # workers=2 record feeds the mean.
+        assert baseline == {path: 50.0}
+
+    def test_ledger_baseline_none_when_no_matching_priors(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.obs.ledger import Ledger, new_record
+
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "runs"))
+        ledger = Ledger(tmp_path / "runs")
+        for workers in (1, 2):
+            ledger.append(
+                new_record(
+                    "benchmark",
+                    "bench/scheduler",
+                    params={"workers": workers},
+                    scalars={"events_per_s": 100.0},
+                )
+            )
+        fresh = {"benchmark": "scheduler", "params": {"workers": 4}}
+        assert (
+            bench_compare.load_ledger_baseline("BENCH_scheduler.json", fresh)
+            is None
+        )
+
+
 class TestMain:
     def _floor_doc(self, value):
         return {

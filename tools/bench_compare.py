@@ -43,6 +43,10 @@ FLOOR_METRICS: Dict[str, Sequence[str]] = {
         "scenarios.md1.speedup.simulate_phase",
         "scenarios.service_model.speedup.simulate_phase",
     ),
+    "BENCH_mc_workers2.json": (
+        "scenarios.md1.speedup.with_stats_parallel",
+        "scenarios.service_model.speedup.with_stats_parallel",
+    ),
     "BENCH_scheduler.json": ("events_per_s",),
 }
 
@@ -74,6 +78,21 @@ def load_baseline(
     if proc.returncode != 0:
         return None
     return json.loads(proc.stdout.decode("utf-8"))
+
+
+def record_workers(params: object) -> int:
+    """The worker count a params mapping records (absent = serial).
+
+    Envelopes written before the parallel layer carried no ``workers``
+    key; they were serial runs, so they normalise to 1.
+    """
+    if not isinstance(params, dict):
+        return 1
+    value = params.get("workers", 1)
+    try:
+        return int(value) if value else 1
+    except (TypeError, ValueError):
+        return 1
 
 
 def _set_dotted(doc: Dict[str, object], dotted: str, value: float) -> None:
@@ -109,7 +128,16 @@ def load_ledger_baseline(
         records = default_ledger().records(name=f"bench/{benchmark}")
     except OSError:
         return None
-    prior = records[:-1]
+    # A 2-worker run is a different experiment from a serial one: the
+    # parallel arm's speedups depend on core count, not code quality, so
+    # mixed-worker means would gate on hardware, not regressions.  Only
+    # records matching the fresh run's worker count are comparable.
+    fresh_workers = record_workers(fresh.get("params"))
+    prior = [
+        rec
+        for rec in records[:-1]
+        if record_workers(rec.params) == fresh_workers
+    ]
     if not prior:
         return None
     baseline: Dict[str, object] = {}
@@ -199,6 +227,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if baseline is None:
             baseline = load_baseline(name, ref=args.ref, repo_root=args.dir)
             source = f"git {args.ref}"
+            if baseline is not None:
+                fresh_workers = record_workers(fresh.get("params"))
+                base_workers = record_workers(baseline.get("params"))
+                if base_workers != fresh_workers:
+                    print(
+                        f"{name}: baseline ran with workers={base_workers}, "
+                        f"fresh with workers={fresh_workers} — not "
+                        f"comparable, skipped"
+                    )
+                    continue
         if baseline is None:
             print(f"{name}: no baseline at {args.ref}, skipped")
             continue
