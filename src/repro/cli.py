@@ -22,6 +22,11 @@ without writing any Python:
 * ``schedule`` — replay one autoscaled day through the online scheduler
   (``--policy``, ``--trace``, ``--workload``) and print the timeline;
   ``--json`` emits the full per-interval telemetry stream instead.
+* ``robustness`` — re-ask the Table 6 ranking and Fig. 9 contrast under
+  the stochastic-process grid (bursty/flash-crowd/diurnal arrivals,
+  heavy-tailed services; see :mod:`repro.experiments.robustness`); the
+  report is ledgered as a ``repro-robustness/1`` envelope and exits 1
+  when the baseline cell stops matching the paper.
 * ``profile <command> ...`` — run any other command under instrumentation
   and print a flame summary plus the collected metrics.
 * ``obs {record,report,diff,check,watch,compact}`` — the run-ledger
@@ -32,9 +37,9 @@ without writing any Python:
   any red), and archive old records (``compact``).
 
 The top-level ``--seed`` feeds every seeded command (``schedule``,
-``validate-mc``, ``sensitivity``, ``table 4``, ``validate``,
-``characterize``); a subcommand's own ``--seed`` takes precedence when
-both are given.  The top-level ``--log-level`` configures the ``repro``
+``validate-mc``, ``robustness``, ``sensitivity``, ``table 4``,
+``validate``, ``characterize``); a subcommand's own ``--seed`` takes
+precedence when both are given.  The top-level ``--log-level`` configures the ``repro``
 logger hierarchy (see :mod:`repro.obs.logs`).
 
 Observability: every command accepts ``--trace-out PATH`` (Chrome-trace
@@ -324,6 +329,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the replay as JSON with the full per-interval telemetry stream",
+    )
+
+    p_rob = sub.add_parser(
+        "robustness",
+        help="re-ask the ranking/contrast claims under the process grid",
+        parents=[obs_parent],
+    )
+    p_rob.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="root seed"
+    )
+    p_rob.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated paper workloads (default: EP,memcached,x264,rsa2048)",
+    )
+    p_rob.add_argument(
+        "--arrivals",
+        default=None,
+        help="comma-separated arrival kinds (default: poisson,mmpp,flash-crowd,diurnal)",
+    )
+    p_rob.add_argument(
+        "--services",
+        default=None,
+        help="comma-separated service kinds "
+        "(default: deterministic,exponential,lognormal,pareto)",
+    )
+    p_rob.add_argument(
+        "--jobs", type=int, default=4000, help="jobs per MC replication"
+    )
+    p_rob.add_argument(
+        "--reps", type=int, default=12, help="MC replications per grid cell"
+    )
+    p_rob.add_argument(
+        "--slo-mult",
+        type=float,
+        default=None,
+        help="p95 SLO as a multiple of the slowest node type's T_P (default 12)",
+    )
+    p_rob.add_argument(
+        "--skip-contrast",
+        action="store_true",
+        help="skip the Fig. 9 mix-contrast part (ranking grid only)",
+    )
+    p_rob.add_argument(
+        "--skip-replay",
+        action="store_true",
+        help="skip the scheduler oracle-gap part (ranking grid only)",
+    )
+    p_rob.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for each cell's MC replications (0 = all "
+        "CPUs); the report is bit-identical at any worker count",
+    )
+    p_rob.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro-robustness/1 envelope instead of tables",
     )
 
     p_prof = sub.add_parser(
@@ -708,6 +772,85 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_csv(text: Optional[str]) -> Optional[tuple]:
+    if text is None:
+        return None
+    parts = tuple(part.strip() for part in text.split(",") if part.strip())
+    return parts or None
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from time import perf_counter, process_time
+
+    from repro.experiments.robustness import (
+        DEFAULT_SLO_MULTIPLE,
+        ROBUSTNESS_WORKLOADS,
+        render_robustness_report,
+        robustness_json,
+        robustness_scalars,
+        run_robustness,
+    )
+    from repro.queueing.processes import ARRIVAL_KINDS, SERVICE_KINDS
+    from repro.util.rng import DEFAULT_SEED
+
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    t0, c0 = perf_counter(), process_time()
+    report = run_robustness(
+        seed,
+        workloads=_split_csv(args.workloads) or ROBUSTNESS_WORKLOADS,
+        arrivals=_split_csv(args.arrivals) or ARRIVAL_KINDS,
+        services=_split_csv(args.services) or SERVICE_KINDS,
+        slo_multiple=(
+            args.slo_mult if args.slo_mult is not None else DEFAULT_SLO_MULTIPLE
+        ),
+        n_jobs=args.jobs,
+        n_reps=args.reps,
+        workers=args.workers,
+        contrast=not args.skip_contrast,
+        replay=not args.skip_replay,
+    )
+    wall, cpu = perf_counter() - t0, process_time() - c0
+    args._scalars = robustness_scalars(report)
+    envelope = robustness_json(report)
+    _record_robustness_run(args, report, envelope, wall, cpu)
+    if args.json:
+        print(json.dumps(envelope, indent=2))
+    else:
+        print(render_robustness_report(report))
+    return 0 if report.baseline_match_fraction == 1.0 else 1
+
+
+def _record_robustness_run(
+    args: argparse.Namespace, report, envelope, wall_s: float, cpu_s: float
+) -> None:
+    """Append the full ``repro-robustness/1`` envelope as an experiment
+    record (the routine ``cli/robustness`` record only keeps the scalars)."""
+    from repro.obs.ledger import default_ledger, ledger_enabled, new_record
+
+    if getattr(args, "no_ledger", False) or not ledger_enabled():
+        return
+    record = new_record(
+        "experiment",
+        "experiment/robustness",
+        params={
+            "slo_multiple": report.slo_multiple,
+            "n_jobs": report.n_jobs,
+            "n_reps": report.n_reps,
+            "n_cells": len(report.cells),
+        },
+        scalars=getattr(args, "_scalars", None),
+        seed=report.seed,
+        wall_s=wall_s,
+        cpu_s=cpu_s,
+        exit_code=0 if report.baseline_match_fraction == 1.0 else 1,
+        extra=envelope,
+    )
+    try:
+        default_ledger(getattr(args, "ledger_dir", None)).append(record)
+    except OSError:
+        pass
+
+
 def _parse_scalar_pairs(pairs: Sequence[str]) -> Dict[str, float]:
     out: Dict[str, float] = {}
     for pair in pairs:
@@ -871,6 +1014,7 @@ _COMMANDS = {
     "sensitivity": _cmd_sensitivity,
     "characterize": _cmd_characterize,
     "schedule": _cmd_schedule,
+    "robustness": _cmd_robustness,
     "obs": _cmd_obs,
 }
 

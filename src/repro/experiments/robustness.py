@@ -1,0 +1,542 @@
+"""Robustness of the paper's rankings to the stochastic-process assumptions.
+
+The paper's queueing results assume Poisson arrivals and deterministic
+service (the M/D/1 of Section II-B).  Real datacenter traffic is burstier
+and real service times are heavier-tailed, so this experiment re-asks the
+two headline *comparative* questions under the full process grid of
+:mod:`repro.queueing.processes`:
+
+1. **Table 6 ranking** — for every workload and every (arrival, service)
+   process pair, which node type sustains the higher throughput-per-watt
+   subject to an absolute p95 SLO?  Per node type the experiment finds
+   ``u*``, the highest grid utilisation whose simulated p95 response still
+   meets the SLO, and scores the type by jobs-per-joule at that point:
+   ``score = (u* / T_P) / P(u*)``.  The SLO is *absolute* (a multiple of
+   the slowest type's T_P) because a per-type relative SLO is
+   scale-invariant: simulated ``p95 / T_P`` at fixed utilisation is the
+   same dimensionless curve for every node type, so relative targets can
+   never invert a winner.  Under the baseline (Poisson + deterministic)
+   cell the winner must agree with the calibrated Table 6 winner
+   (:func:`repro.experiments.sensitivity.ppr_winner`); every other cell
+   reports whether that winner *holds* or *inverts*.
+
+2. **Fig. 9 contrast** — the reference-vs-wimpy-mix p95 contrast
+   (:func:`repro.experiments.scheduling.run_mix_contrast`) replayed under
+   each within-interval arrival model.  Burstiness amplifies the
+   contrast: queues that barely absorb Poisson arrivals at 40% demand
+   melt down under MMPP episodes, and they melt down hardest on the mix
+   with the least fast-node headroom.
+
+3. **Scheduler oracle gap under heavy tails** — the online ``ppr-greedy``
+   day replayed with heavy-tailed service multipliers
+   (:func:`repro.experiments.scheduling.replay_day` with a
+   ``service_model``).  The offline oracle keeps assuming the fluid
+   deterministic model, so the gap now includes model misspecification —
+   the claim monitors band how far it is allowed to grow.
+
+Every Monte-Carlo cell derives its own seed from
+``(seed, workload, node, arrival, service, u)`` via BLAKE2s (the
+:mod:`repro.experiments.validation_mc` recipe), so cells are decorrelated
+and the whole report is deterministic for a fixed seed at any worker
+count.  The CLI command is ``repro robustness``; the report is recorded
+to the run ledger as a ``repro-robustness/1`` envelope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.experiments.scheduling import (
+    STUDY_WORKLOADS,
+    MixContrast,
+    replay_day,
+    run_mix_contrast,
+)
+from repro.queueing.mc import MonteCarloQueue
+from repro.queueing.processes import (
+    ARRIVAL_KINDS,
+    INTERVAL_ARRIVAL_KINDS,
+    SERVICE_KINDS,
+    make_arrivals,
+    make_service,
+)
+from repro.util.rng import DEFAULT_SEED
+from repro.util.tables import render_kv, render_table
+
+__all__ = [
+    "ROBUSTNESS_WORKLOADS",
+    "DEFAULT_U_GRID",
+    "DEFAULT_SLO_MULTIPLE",
+    "NodeOutcome",
+    "RankingCell",
+    "ContrastCell",
+    "OracleGapCell",
+    "RobustnessReport",
+    "run_robustness",
+    "robustness_scalars",
+    "robustness_json",
+    "render_robustness_report",
+]
+
+#: Workloads of the default ranking sweep: the three study workloads plus
+#: the paper's closest Table 6 call (rsa2048, where K10 wins by ~13%) —
+#: the ranking most likely to invert under heavy tails.
+ROBUSTNESS_WORKLOADS: Tuple[str, ...] = ("EP", "memcached", "x264", "rsa2048")
+
+#: Utilisation grid searched for ``u*`` (ascending; early exit on the
+#: first SLO breach keeps the sweep cheap).
+DEFAULT_U_GRID: Tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+#: The absolute p95 SLO as a multiple of the slowest node type's T_P.
+#: Large enough that the slow type meets it on the baseline grid at
+#: moderate utilisation, small enough that heavy tails push it out.
+DEFAULT_SLO_MULTIPLE: float = 12.0
+
+
+def _cell_seed(seed: int, tag: str) -> int:
+    """A decorrelated per-cell seed (the validation_mc recipe)."""
+    digest = hashlib.blake2s(
+        f"{seed}|robustness|{tag}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class NodeOutcome:
+    """One node type's SLO-constrained operating point in one cell."""
+
+    node: str
+    t_p_s: float
+    power_peak_w: float
+    u_star: float
+    p95_s: float
+    p95_lo: float
+    p95_hi: float
+    score: float
+
+    @property
+    def meets_slo(self) -> bool:
+        return self.u_star > 0.0
+
+
+@dataclass(frozen=True)
+class RankingCell:
+    """One (workload, arrival, service) cell of the Table 6 re-ranking."""
+
+    workload: str
+    arrival: str
+    service: str
+    slo_s: float
+    outcomes: Tuple[NodeOutcome, ...]
+    winner: str
+    paper_winner: str
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.arrival == "poisson" and self.service == "deterministic"
+
+    @property
+    def holds(self) -> bool:
+        """Whether this cell's winner agrees with the paper's Table 6."""
+        return self.winner == self.paper_winner
+
+    def outcome(self, node: str) -> NodeOutcome:
+        for o in self.outcomes:
+            if o.node == node:
+                return o
+        raise ReproError(f"no outcome for node {node!r} in cell {self.workload}")
+
+
+@dataclass(frozen=True)
+class ContrastCell:
+    """The Fig. 9 mix contrast under one within-interval arrival model."""
+
+    arrival: str
+    contrasts: Tuple[MixContrast, ...]
+
+    def degradation(self, workload: str) -> float:
+        for c in self.contrasts:
+            if c.workload == workload:
+                return c.degradation
+        raise ReproError(f"no contrast for workload {workload!r}")
+
+
+@dataclass(frozen=True)
+class OracleGapCell:
+    """ppr-greedy's energy gap to the oracle under one service process."""
+
+    service: str
+    workload: str
+    gap: float
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """The full robustness study: ranking grid, contrasts, oracle gaps."""
+
+    seed: int
+    slo_multiple: float
+    u_grid: Tuple[float, ...]
+    n_jobs: int
+    n_reps: int
+    cells: Tuple[RankingCell, ...]
+    contrasts: Tuple[ContrastCell, ...]
+    oracle_gaps: Tuple[OracleGapCell, ...]
+
+    @property
+    def baseline_cells(self) -> Tuple[RankingCell, ...]:
+        return tuple(c for c in self.cells if c.is_baseline)
+
+    @property
+    def baseline_match_fraction(self) -> float:
+        """Fraction of baseline (Poisson + det) cells matching Table 6."""
+        base = self.baseline_cells
+        if not base:
+            return math.nan
+        return sum(c.holds for c in base) / len(base)
+
+    @property
+    def holds_fraction(self) -> float:
+        """Fraction of non-baseline cells where the Table 6 winner holds."""
+        rest = [c for c in self.cells if not c.is_baseline]
+        if not rest:
+            return math.nan
+        return sum(c.holds for c in rest) / len(rest)
+
+    @property
+    def inversions(self) -> Tuple[RankingCell, ...]:
+        """Non-baseline cells whose winner differs from the paper's."""
+        return tuple(
+            c for c in self.cells if not c.is_baseline and not c.holds
+        )
+
+
+def _rank_cell(
+    workload_name: str,
+    arrival: str,
+    service: str,
+    node_points: Sequence[Tuple[str, float, float, float]],
+    slo_s: float,
+    paper: str,
+    *,
+    u_grid: Sequence[float],
+    n_jobs: int,
+    n_reps: int,
+    seed: int,
+    workers: Optional[int],
+) -> RankingCell:
+    outcomes: List[NodeOutcome] = []
+    for node, t_p, idle_w, dyn_w in node_points:
+        u_star, best = 0.0, (math.nan, math.nan, math.nan)
+        for u in u_grid:
+            cell = _cell_seed(
+                seed, f"{workload_name}|{node}|{arrival}|{service}|{u:.6f}"
+            )
+            queue = MonteCarloQueue(
+                make_arrivals(arrival, u / t_p),
+                make_service(service, t_p),
+                seed=cell,
+            )
+            result = queue.run(n_jobs, n_reps, workers=workers)
+            ci = result.percentile_ci(95.0, method="bootstrap", seed=cell)
+            if ci.mean > slo_s:
+                break  # p95 grows with u; higher grid points only get worse
+            u_star, best = u, (ci.mean, ci.lo, ci.hi)
+        power_w = idle_w + u_star * dyn_w
+        score = (u_star / t_p) / power_w if u_star > 0.0 else 0.0
+        outcomes.append(
+            NodeOutcome(
+                node=node,
+                t_p_s=t_p,
+                power_peak_w=idle_w + dyn_w,
+                u_star=u_star,
+                p95_s=best[0],
+                p95_lo=best[1],
+                p95_hi=best[2],
+                score=score,
+            )
+        )
+    scored = [o for o in outcomes if o.score > 0.0]
+    winner = max(scored, key=lambda o: o.score).node if scored else "none"
+    return RankingCell(
+        workload=workload_name,
+        arrival=arrival,
+        service=service,
+        slo_s=slo_s,
+        outcomes=tuple(outcomes),
+        winner=winner,
+        paper_winner=paper,
+    )
+
+
+def run_robustness(
+    seed: int = DEFAULT_SEED,
+    *,
+    workloads: Sequence[str] = ROBUSTNESS_WORKLOADS,
+    arrivals: Sequence[str] = ARRIVAL_KINDS,
+    services: Sequence[str] = SERVICE_KINDS,
+    u_grid: Sequence[float] = DEFAULT_U_GRID,
+    slo_multiple: float = DEFAULT_SLO_MULTIPLE,
+    n_jobs: int = 4000,
+    n_reps: int = 12,
+    workers: Optional[int] = None,
+    contrast: bool = True,
+    replay: bool = True,
+) -> RobustnessReport:
+    """Run the robustness study; deterministic for a fixed seed.
+
+    ``workloads`` x ``arrivals`` x ``services`` spans the ranking grid;
+    the (``"poisson"``, ``"deterministic"``) cell is the baseline and must
+    be part of the grid (the study is about drift *from* it).  ``contrast``
+    and ``replay`` gate the Fig. 9 and oracle-gap parts so the CI smoke
+    can run the ranking grid alone.  ``workers`` parallelises each cell's
+    Monte-Carlo replications; results are worker-count invariant.
+    """
+    from repro.cluster.configuration import ClusterConfiguration
+    from repro.experiments.sensitivity import ppr_winner
+    from repro.model.batched import config_constants
+    from repro.workloads.suite import paper_workloads
+
+    if "poisson" not in arrivals or "deterministic" not in services:
+        raise ReproError(
+            "the robustness grid needs the baseline cell: include 'poisson' "
+            "in arrivals and 'deterministic' in services"
+        )
+    if slo_multiple <= 1.0:
+        raise ReproError(f"slo_multiple must exceed 1, got {slo_multiple}")
+    if not u_grid or any(not 0.0 < u < 1.0 for u in u_grid):
+        raise ReproError(f"u_grid values must be in (0, 1), got {u_grid!r}")
+    suite = paper_workloads()
+    unknown = [n for n in workloads if n not in suite]
+    if unknown:
+        raise ReproError(f"unknown workloads {unknown}")
+    grid = tuple(sorted(float(u) for u in u_grid))
+
+    cells: List[RankingCell] = []
+    for name in workloads:
+        w = suite[name]
+        points: List[Tuple[str, float, float, float]] = []
+        for node in w.node_types():
+            rate, idle_w, dyn_w = config_constants(
+                w, ClusterConfiguration.mix({node: 1})
+            )
+            points.append((node, w.ops_per_job / rate, idle_w, dyn_w))
+        slo_s = slo_multiple * max(p[1] for p in points)
+        paper = ppr_winner(w)
+        for arrival in arrivals:
+            for service in services:
+                cells.append(
+                    _rank_cell(
+                        name,
+                        arrival,
+                        service,
+                        points,
+                        slo_s,
+                        paper,
+                        u_grid=grid,
+                        n_jobs=n_jobs,
+                        n_reps=n_reps,
+                        seed=seed,
+                        workers=workers,
+                    )
+                )
+
+    contrasts: List[ContrastCell] = []
+    if contrast:
+        kinds = [k for k in INTERVAL_ARRIVAL_KINDS if k in arrivals]
+        for kind in kinds:
+            contrasts.append(
+                ContrastCell(
+                    arrival=kind,
+                    contrasts=run_mix_contrast(
+                        ("EP", "x264"), seed=seed, arrival_model=kind
+                    ),
+                )
+            )
+
+    gaps: List[OracleGapCell] = []
+    if replay:
+        for service in services:
+            model = make_service(service, 1.0)
+            for name in STUDY_WORKLOADS:
+                result, oracle = replay_day(
+                    name, seed=seed, service_model=model
+                )
+                gaps.append(
+                    OracleGapCell(
+                        service=service,
+                        workload=name,
+                        gap=result.total_energy_j / oracle.dynamic_energy_j
+                        - 1.0,
+                    )
+                )
+
+    return RobustnessReport(
+        seed=seed,
+        slo_multiple=float(slo_multiple),
+        u_grid=grid,
+        n_jobs=int(n_jobs),
+        n_reps=int(n_reps),
+        cells=tuple(cells),
+        contrasts=tuple(contrasts),
+        oracle_gaps=tuple(gaps),
+    )
+
+
+def robustness_scalars(report: RobustnessReport) -> Dict[str, float]:
+    """The study's headline scalars (one flat dict for the run ledger)."""
+    out: Dict[str, float] = {
+        "baseline_match_fraction": report.baseline_match_fraction,
+        "holds_fraction": report.holds_fraction,
+        "n_cells": float(len(report.cells)),
+        "n_inversions": float(len(report.inversions)),
+    }
+    for cell in report.contrasts:
+        for c in cell.contrasts:
+            out[f"contrast.{cell.arrival}.{c.workload.lower()}"] = c.degradation
+    by_service: Dict[str, List[float]] = {}
+    for g in report.oracle_gaps:
+        by_service.setdefault(g.service, []).append(g.gap)
+    for service, values in by_service.items():
+        out[f"oracle_gap.{service}.max"] = max(values)
+    return out
+
+
+def robustness_json(report: RobustnessReport) -> Dict[str, object]:
+    """The study as a ``repro-robustness/1`` envelope for the ledger."""
+    return {
+        "schema": "repro-robustness/1",
+        "seed": report.seed,
+        "params": {
+            "slo_multiple": report.slo_multiple,
+            "u_grid": list(report.u_grid),
+            "n_jobs": report.n_jobs,
+            "n_reps": report.n_reps,
+        },
+        "ranking": [
+            {
+                "workload": c.workload,
+                "arrival": c.arrival,
+                "service": c.service,
+                "slo_s": c.slo_s,
+                "winner": c.winner,
+                "paper_winner": c.paper_winner,
+                "holds": c.holds,
+                "nodes": [
+                    {
+                        "node": o.node,
+                        "t_p_s": o.t_p_s,
+                        "u_star": o.u_star,
+                        "p95_s": o.p95_s,
+                        "p95_ci": [o.p95_lo, o.p95_hi],
+                        "score": o.score,
+                    }
+                    for o in c.outcomes
+                ],
+            }
+            for c in report.cells
+        ],
+        "contrasts": [
+            {
+                "arrival": cell.arrival,
+                "degradation": {
+                    c.workload: c.degradation for c in cell.contrasts
+                },
+            }
+            for cell in report.contrasts
+        ],
+        "oracle_gaps": [
+            {"service": g.service, "workload": g.workload, "gap": g.gap}
+            for g in report.oracle_gaps
+        ],
+        "scalars": robustness_scalars(report),
+    }
+
+
+def render_robustness_report(report: RobustnessReport) -> str:
+    """The study as printable tables (CLI ``repro robustness``)."""
+    blocks: List[str] = []
+    rows = []
+    for c in report.cells:
+        marks = []
+        for o in c.outcomes:
+            star = f"{o.u_star:.2f}" if o.meets_slo else "-"
+            marks.append(star)
+        rows.append(
+            (
+                c.workload,
+                c.arrival,
+                c.service,
+                *marks,
+                c.winner,
+                "holds" if c.holds else ("BASE-MISS" if c.is_baseline else "INVERTS"),
+            )
+        )
+    node_names = [o.node for o in report.cells[0].outcomes] if report.cells else []
+    blocks.append(
+        render_table(
+            (
+                "workload",
+                "arrivals",
+                "service",
+                *[f"u* {n}" for n in node_names],
+                "winner",
+                "vs Table 6",
+            ),
+            rows,
+            title=(
+                f"SLO-constrained ranking (p95 <= {report.slo_multiple:g} x "
+                "slowest T_P)"
+            ),
+        )
+    )
+    if report.contrasts:
+        blocks.append(
+            render_table(
+                ("arrivals", "EP degradation", "x264 degradation"),
+                [
+                    (
+                        cell.arrival,
+                        f"x{cell.degradation('EP'):.2f}",
+                        f"x{cell.degradation('x264'):.2f}",
+                    )
+                    for cell in report.contrasts
+                ],
+                title="Fig. 9 mix contrast by arrival process",
+            )
+        )
+    if report.oracle_gaps:
+        by_service: Dict[str, Dict[str, float]] = {}
+        for g in report.oracle_gaps:
+            by_service.setdefault(g.service, {})[g.workload] = g.gap
+        blocks.append(
+            render_table(
+                ("service", *STUDY_WORKLOADS, "max"),
+                [
+                    (
+                        service,
+                        *[f"{gaps.get(w, math.nan):+.1%}" for w in STUDY_WORKLOADS],
+                        f"{max(gaps.values()):+.1%}",
+                    )
+                    for service, gaps in by_service.items()
+                ],
+                title="ppr-greedy vs oracle energy gap by service process",
+            )
+        )
+    blocks.append(
+        render_kv(
+            {
+                "baseline matches Table 6": f"{report.baseline_match_fraction:.0%}",
+                "winner holds off-baseline": f"{report.holds_fraction:.0%}",
+                "inversions": len(report.inversions),
+                "cells": len(report.cells),
+                "seed": report.seed,
+            },
+            title="Robustness summary",
+        )
+    )
+    return "\n\n".join(blocks)

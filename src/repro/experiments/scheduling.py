@@ -226,6 +226,8 @@ def _autoscaled_run(
     *,
     interval_s: float,
     seed: int,
+    arrival_model=None,
+    service_model=None,
 ) -> ScheduleResult:
     scaler = PredictiveAutoscaler(
         ladder,
@@ -242,6 +244,8 @@ def _autoscaled_run(
         autoscaler=scaler,
         transition_costs=costs,
         seed=seed,
+        arrival_model=arrival_model,
+        service_model=service_model,
     ).run()
 
 
@@ -255,6 +259,8 @@ def _fixed_run(
     interval_s: float,
     seed: int,
     reference_capacity_ops: Optional[float] = None,
+    arrival_model=None,
+    service_model=None,
 ) -> ScheduleResult:
     return ClusterScheduler(
         w,
@@ -265,6 +271,8 @@ def _fixed_run(
         reference_capacity_ops=reference_capacity_ops,
         transition_costs=costs,
         seed=seed,
+        arrival_model=arrival_model,
+        service_model=service_model,
     ).run()
 
 
@@ -386,6 +394,8 @@ def run_mix_contrast(
     n_intervals: int = 24,
     interval_s: float = 20.0,
     contrast_demand: float = 0.40,
+    arrival_model=None,
+    service_model=None,
 ) -> Tuple[MixContrast, ...]:
     """The Fig. 9-style mix contrast on its own: same absolute load on the
     reference mix (32 A9 : 12 K10) and the wimpy Pareto mix (25 A9 : 5 K10).
@@ -393,6 +403,12 @@ def run_mix_contrast(
     Extracted from :func:`run_scheduling_study` so the claim monitors can
     re-derive the EP x~1.03 vs x264 x~11 p95 contrast without replaying
     the whole policy comparison.  Deterministic for a fixed seed.
+
+    ``arrival_model`` / ``service_model`` swap the within-interval
+    stochastic processes (:mod:`repro.queueing.processes`) so the
+    robustness study can re-ask the Fig. 9 question under bursty (MMPP)
+    or flash-crowd arrivals and heavy-tailed services; the defaults
+    reproduce the paper's Poisson/deterministic replay bit-for-bit.
     """
     loads = scheduling_workloads()
     unknown = [n for n in workload_names if n not in loads]
@@ -407,7 +423,15 @@ def run_mix_contrast(
         w = loads[name]
         ref_capacity = config_constants(w, ref_config)[0]
         ref = _fixed_run(
-            w, ENERGY_POLICY, flat, ref_config, costs, interval_s=interval_s, seed=seed
+            w,
+            ENERGY_POLICY,
+            flat,
+            ref_config,
+            costs,
+            interval_s=interval_s,
+            seed=seed,
+            arrival_model=arrival_model,
+            service_model=service_model,
         )
         wimpy = _fixed_run(
             w,
@@ -418,6 +442,8 @@ def run_mix_contrast(
             interval_s=interval_s,
             seed=seed,
             reference_capacity_ops=ref_capacity,
+            arrival_model=arrival_model,
+            service_model=service_model,
         )
         contrasts.append(
             MixContrast(
@@ -481,6 +507,8 @@ def replay_day(
     budget_w: float = 1000.0,
     shards: int = 0,
     workers: Optional[int] = None,
+    arrival_model=None,
+    service_model=None,
 ):
     """One autoscaled day for the CLI: ``(ScheduleResult, AdaptationResult)``.
 
@@ -495,6 +523,15 @@ def replay_day(
     function of ``(shards, seed)``, so the result is worker-count
     invariant.  The oracle keeps modelling the unpartitioned fleet, so
     the reported gap includes the cost of partitioning.
+
+    ``arrival_model`` names a within-interval arrival process (``"poisson"``,
+    ``"mmpp"``, ``"flash-crowd"``) and ``service_model`` is an optional
+    unit-mean service-multiplier sampler (see
+    :mod:`repro.queueing.processes`); both default to the paper's
+    Poisson/deterministic replay.  The oracle always models the
+    Poisson/deterministic fluid limit, so under heavy-tail or bursty
+    processes the reported gap also measures model misspecification —
+    exactly the quantity the robustness monitors band.
     """
     if workload_name not in STUDY_WORKLOADS:
         raise ReproError(
@@ -528,6 +565,8 @@ def replay_day(
             interval_s=interval_s,
             transition_costs=light_transition_costs(),
             seed=seed,
+            arrival_model=arrival_model,
+            service_model=service_model,
         )
     else:
         result = _autoscaled_run(
@@ -538,6 +577,8 @@ def replay_day(
             light_transition_costs(),
             interval_s=interval_s,
             seed=seed,
+            arrival_model=arrival_model,
+            service_model=service_model,
         )
     return result, oracle
 

@@ -15,6 +15,14 @@ The default grid covers the paper's latency-sensitive story: the two
 single-node extremes (1 A9, 1 K10), the maximal Pareto mix (32 A9 : 12 K10)
 and the most wimpy-heavy sub-linear mix (25 A9 : 5 K10), for EP, memcached
 and x264, across five utilisations up to deep saturation (95%).
+
+A second tier (:func:`run_mm1_validation`) validates the *process
+plug-ins* the same way: Poisson arrivals plus the exponential
+:class:`~repro.queueing.processes.ExponentialService` spec simulated
+through the same engine, checked against the closed-form M/M/1 p95
+(:meth:`repro.queueing.mg1.MM1Queue.response_percentile`).  A flagged
+cell there implicates the plug-in seam, not the M/D/1 model — the two
+tiers bracket the new processes module from both sides.
 """
 
 from __future__ import annotations
@@ -42,6 +50,8 @@ __all__ = [
     "AgreementReport",
     "validate_cell",
     "run_validation",
+    "validate_mm1_cell",
+    "run_mm1_validation",
     "render_validation_report",
     "report_scalars",
 ]
@@ -213,6 +223,104 @@ def run_validation(
             for u in grid:
                 cells.append(
                     validate_cell(
+                        workload,
+                        config,
+                        float(u),
+                        n_jobs=n_jobs,
+                        n_reps=n_reps,
+                        level=level,
+                        seed=seed,
+                        workers=workers,
+                    )
+                )
+    return AgreementReport(cells=tuple(cells), level=level)
+
+
+def validate_mm1_cell(
+    workload: Workload,
+    config: ClusterConfiguration,
+    utilisation: float,
+    *,
+    n_jobs: int = 20_000,
+    n_reps: int = 40,
+    level: float = 0.99,
+    seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
+) -> AgreementCell:
+    """Check one M/M/1 cell: the exponential-service *plug-in* vs theory.
+
+    The queue is built from the seeded-stream specs
+    (:class:`~repro.queueing.processes.PoissonProcess` +
+    :class:`~repro.queueing.processes.ExponentialService`) rather than the
+    engine's native float arguments, so a disagreement here implicates the
+    plug-in protocol.  The analytic target is the exact M/M/1 response
+    quantile ``-ln(1 - q) / (mu - lambda)``.  Cell seeds carry an
+    ``"mm1|"`` prefix so this tier never shares randomness with the M/D/1
+    tier on the same grid point.
+    """
+    from repro.queueing.mg1 import MM1Queue
+    from repro.queueing.processes import ExponentialService, PoissonProcess
+
+    u = _effective_utilisation(utilisation)
+    tp = execution_time(workload, config)
+    analytic = MM1Queue.from_utilisation(u, tp).response_percentile(95.0)
+    mc = MonteCarloQueue(
+        PoissonProcess(u / tp),
+        ExponentialService(tp),
+        seed=_cell_seed(seed, "mm1|" + workload.name, config.label(), utilisation),
+    )
+    result = mc.run(n_jobs, n_reps, workers=workers)
+    ci = result.percentile_ci(95.0, level=level)
+    return AgreementCell(
+        workload_name=workload.name,
+        config_label=config.label(),
+        utilisation=float(utilisation),
+        service_time_s=tp,
+        analytic_p95_s=analytic,
+        ci=ci,
+        n_jobs=n_jobs,
+        n_reps=n_reps,
+    )
+
+
+def run_mm1_validation(
+    *,
+    workloads: Sequence[str] = VALIDATION_WORKLOADS,
+    mixes: Sequence[Tuple[int, int]] = VALIDATION_MIXES,
+    grid: Sequence[float] = VALIDATION_GRID,
+    n_jobs: int = 20_000,
+    n_reps: int = 40,
+    level: float = 0.99,
+    seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
+) -> AgreementReport:
+    """Sweep the M/M/1 plug-in agreement study over the validation grid.
+
+    Same grid and statistics as :func:`run_validation`, but simulating
+    through the pluggable process specs and checking against the M/M/1
+    closed form; bit-identical at any worker count.
+    """
+    if not workloads or not mixes or not grid:
+        raise QueueingError("validation needs workloads, mixes and a grid")
+    suite = paper_workloads()
+    unknown = [name for name in workloads if name not in suite]
+    if unknown:
+        raise QueueingError(
+            f"unknown paper workloads {unknown}; expected among {tuple(suite)}"
+        )
+    configs = [
+        ClusterConfiguration.mix(
+            {name: n for name, n in (("A9", a), ("K10", k)) if n > 0}
+        )
+        for a, k in mixes
+    ]
+    cells: List[AgreementCell] = []
+    for name in workloads:
+        workload = suite[name]
+        for config in configs:
+            for u in grid:
+                cells.append(
+                    validate_mm1_cell(
                         workload,
                         config,
                         float(u),

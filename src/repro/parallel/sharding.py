@@ -112,6 +112,8 @@ def _replay_shard(
     costs: Union[TransitionCosts, Dict[str, TransitionCosts], None],
     park_state: str,
     seed: int,
+    arrival_model: Optional[str] = None,
+    service_model: Optional[object] = None,
 ) -> ScheduleResult:
     """Top-level (hence picklable) worker task: replay one shard's fleet.
 
@@ -139,6 +141,8 @@ def _replay_shard(
             transition_costs=costs,
             park_state=park_state,
             seed=seed,
+            arrival_model=arrival_model,
+            service_model=service_model,
         )
     else:
         engine = ClusterScheduler(
@@ -150,6 +154,8 @@ def _replay_shard(
             transition_costs=costs,
             park_state=park_state,
             seed=seed,
+            arrival_model=arrival_model,
+            service_model=service_model,
         )
     return engine.run(collect_responses=True)
 
@@ -265,6 +271,8 @@ def sharded_replay(
     transition_costs: Union[TransitionCosts, Dict[str, TransitionCosts], None] = None,
     park_state: str = "auto",
     seed: int = DEFAULT_SEED,
+    arrival_model: Optional[str] = None,
+    service_model: Optional[object] = None,
 ) -> ScheduleResult:
     """Replay a demand trace against a fleet partitioned into ``n_shards``.
 
@@ -275,6 +283,12 @@ def sharded_replay(
     processes execute the plan, so the merged result is bit-identical at
     any worker count.  Shards that receive no nodes (more shards than
     nodes) are skipped.
+
+    ``arrival_model``/``service_model`` pass through to each shard's
+    :class:`~repro.scheduler.engine.ClusterScheduler` (each shard holds
+    its own model instance, reset at run start, so regime state never
+    leaks across shards or workers); prefer an arrival-model *name* here
+    so the task tuple stays cheap to pickle.
     """
     if (config is None) == (candidates is None):
         raise ReproError("provide exactly one of config= or candidates=")
@@ -313,6 +327,8 @@ def sharded_replay(
                     transition_costs,
                     park_state,
                     shard_seed(seed, i, n_shards),
+                    arrival_model,
+                    service_model,
                 ),
             )
         )

@@ -1,12 +1,14 @@
 """Queueing substrate: the paper's M/D/1 utilisation model, analytic
-companions (M/M/1, M/G/1), a discrete-event FIFO simulator and a
-vectorized Monte-Carlo replication engine."""
+companions (M/M/1, M/G/1), a discrete-event FIFO simulator, a vectorized
+Monte-Carlo replication engine, and pluggable arrival/service processes
+(:mod:`repro.queueing.processes`) behind one seeded-stream protocol."""
 
 from repro.queueing.arrivals import (
     ArrivalProcess,
     BatchArrivals,
     DeterministicArrivals,
     PoissonArrivals,
+    ProcessArrivals,
 )
 from repro.queueing.des import QueueSimulator, SimulationResult
 from repro.queueing.forkjoin import ForkJoinResult, simulate_fork_join
@@ -23,6 +25,21 @@ from repro.queueing.mc import (
 from repro.queueing.md1 import MD1Queue
 from repro.queueing.mdc import MDCQueue
 from repro.queueing.mg1 import MG1Queue, MM1Queue
+from repro.queueing.processes import (
+    ArrivalSpec,
+    DeterministicService,
+    FlashCrowd,
+    IntervalArrivals,
+    LognormalService,
+    MarkovModulatedPoisson,
+    ParetoService,
+    PoissonProcess,
+    ServiceSpec,
+    TraceDrivenArrivals,
+    make_arrivals,
+    make_interval_arrivals,
+    make_service,
+)
 
 __all__ = [
     "MD1Queue",
@@ -37,6 +54,7 @@ __all__ = [
     "PoissonArrivals",
     "DeterministicArrivals",
     "BatchArrivals",
+    "ProcessArrivals",
     "MonteCarloQueue",
     "ReplicatedResult",
     "ConfidenceInterval",
@@ -45,4 +63,17 @@ __all__ = [
     "waits_agreement",
     "exponential_service",
     "uniform_service",
+    "ArrivalSpec",
+    "ServiceSpec",
+    "PoissonProcess",
+    "MarkovModulatedPoisson",
+    "FlashCrowd",
+    "TraceDrivenArrivals",
+    "DeterministicService",
+    "LognormalService",
+    "ParetoService",
+    "IntervalArrivals",
+    "make_arrivals",
+    "make_service",
+    "make_interval_arrivals",
 ]

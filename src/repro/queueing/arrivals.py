@@ -5,6 +5,14 @@ distributed with parameter lambda_job" (Section II-B) — a Poisson process.
 A deterministic process is provided for pinning DES behaviour in tests, and
 a batch process models the paper's "multiple jobs per batch" utilisation
 sweeps (Section II-C).
+
+These classes are the *stateful* DES-facing form (they own their
+generator); the underlying sampling is delegated to the seeded-stream
+specs in :mod:`repro.queueing.processes`, so the DES and the Monte-Carlo
+engine draw the same arrival stream from the same seed (the seam
+regression in ``tests/queueing/test_processes.py``).
+:class:`ProcessArrivals` adapts any :class:`~repro.queueing.processes.ArrivalSpec`
+— MMPP, flash-crowd, trace-driven — into this interface.
 """
 
 from __future__ import annotations
@@ -15,8 +23,15 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import QueueingError
+from repro.queueing.processes import ArrivalSpec, PoissonProcess
 
-__all__ = ["ArrivalProcess", "PoissonArrivals", "DeterministicArrivals", "BatchArrivals"]
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "BatchArrivals",
+    "ProcessArrivals",
+]
 
 
 class ArrivalProcess(abc.ABC):
@@ -49,30 +64,33 @@ class ArrivalProcess(abc.ABC):
 
 
 class PoissonArrivals(ArrivalProcess):
-    """Homogeneous Poisson arrivals with rate ``rate`` (jobs/s)."""
+    """Homogeneous Poisson arrivals with rate ``rate`` (jobs/s).
+
+    Sampling delegates to :class:`repro.queueing.processes.PoissonProcess`
+    — the exact stream the MC engine consumes, so the same seed yields
+    the same arrivals through either path (``rng.exponential(scale, n)``
+    and ``standard_exponential(n) * scale`` are the same ziggurat draws).
+    """
 
     def __init__(self, rate: float, rng: np.random.Generator) -> None:
-        if rate <= 0:
-            raise QueueingError(f"arrival rate must be positive, got {rate}")
-        self._rate = float(rate)
+        self._process = PoissonProcess(rate)
         self._rng = rng
 
     @property
     def rate(self) -> float:
         """Arrival rate (jobs/s)."""
-        return self._rate
+        return self._process.rate
 
     def arrival_times(self, horizon_s: float) -> np.ndarray:
         self._check_horizon(horizon_s)
         # Draw in chunks: expected count + 6 sigma covers the horizon almost
         # surely; top up in the rare tail case.
-        expected = self._rate * horizon_s
+        expected = self.rate * horizon_s
         chunk = int(expected + 6.0 * np.sqrt(expected) + 16)
         times: list[np.ndarray] = []
         t_last = 0.0
         while True:
-            gaps = self._rng.exponential(1.0 / self._rate, size=chunk)
-            ts = t_last + np.cumsum(gaps)
+            ts = t_last + self._process.sample_arrivals(self._rng, chunk)
             times.append(ts)
             t_last = float(ts[-1])
             if t_last >= horizon_s:
@@ -83,7 +101,7 @@ class PoissonArrivals(ArrivalProcess):
     def first_n(self, n: int) -> np.ndarray:
         """The first ``n`` arrivals: one batch of ``n`` exponential gaps."""
         self._check_count(n)
-        return np.cumsum(self._rng.exponential(1.0 / self._rate, size=n))
+        return self._process.sample_arrivals(self._rng, n)
 
 
 class DeterministicArrivals(ArrivalProcess):
@@ -156,3 +174,52 @@ class BatchArrivals(ArrivalProcess):
         n_epochs = -(-n // self._batch_size)
         epochs = self._inner.first_n(n_epochs)
         return np.repeat(epochs, self._batch_size)[:n]
+
+
+class ProcessArrivals(ArrivalProcess):
+    """Any seeded-stream :class:`~repro.queueing.processes.ArrivalSpec`
+    (MMPP, flash-crowd, trace-driven, ...) as a DES arrival process.
+
+    ``first_n`` is exact and honours rule S2 (the spec's draw budget is
+    a pure function of ``n``).  ``arrival_times`` draws one fresh batch
+    sized to cover the horizon, doubling the batch in the rare tail
+    case; each call is an independent realisation of the process
+    restricted to the horizon, like :meth:`PoissonArrivals.arrival_times`.
+    """
+
+    def __init__(self, spec: ArrivalSpec, rng: np.random.Generator) -> None:
+        if not isinstance(spec, ArrivalSpec):
+            raise QueueingError(
+                f"need an ArrivalSpec, got {type(spec).__name__}"
+            )
+        self._spec = spec
+        self._rng = rng
+
+    @property
+    def rate(self) -> float:
+        """Long-run mean arrival rate (jobs/s)."""
+        return self._spec.rate
+
+    @property
+    def spec(self) -> ArrivalSpec:
+        """The wrapped seeded-stream process."""
+        return self._spec
+
+    def arrival_times(self, horizon_s: float) -> np.ndarray:
+        self._check_horizon(horizon_s)
+        expected = self._spec.rate * horizon_s
+        n = int(expected + 6.0 * np.sqrt(expected) + 16)
+        for _ in range(64):
+            times = self._spec.sample_arrivals(self._rng, n)
+            if float(times[-1]) >= horizon_s:
+                return times[times < horizon_s]
+            n *= 2
+        raise QueueingError(
+            f"arrival process {self._spec.label} failed to cover a "
+            f"{horizon_s:.3g} s horizon"
+        )
+
+    def first_n(self, n: int) -> np.ndarray:
+        """The first ``n`` arrivals — one exact batch from the spec."""
+        self._check_count(n)
+        return self._spec.sample_arrivals(self._rng, n)

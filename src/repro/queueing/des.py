@@ -43,8 +43,9 @@ import numpy as np
 from repro.errors import QueueingError
 from repro.obs.logs import get_logger
 from repro.obs.metrics import get_registry
-from repro.queueing.arrivals import ArrivalProcess, PoissonArrivals
+from repro.queueing.arrivals import ArrivalProcess, PoissonArrivals, ProcessArrivals
 from repro.queueing.mc import lindley_waits, scalar_lindley_waits
+from repro.queueing.processes import ArrivalSpec, ServiceSpec
 from repro.util.stats import SummaryStats, summarize
 
 logger = get_logger(__name__)
@@ -143,13 +144,18 @@ class QueueSimulator:
     Parameters
     ----------
     arrivals:
-        The arrival process (usually :class:`PoissonArrivals`).
+        The arrival process (usually :class:`PoissonArrivals`).  A bare
+        :class:`~repro.queueing.processes.ArrivalSpec` is also accepted
+        and wrapped in :class:`~repro.queueing.arrivals.ProcessArrivals`
+        over ``rng``.
     service:
-        Either a fixed service time in seconds (deterministic — the paper's
-        M/D/1 case) or a :data:`ServiceModel` callable for general service.
+        A fixed service time in seconds (deterministic — the paper's
+        M/D/1 case), a :data:`ServiceModel` callable for per-job draws,
+        or a :class:`~repro.queueing.processes.ServiceSpec` (batched;
+        deterministic specs take the fixed path).
     rng:
-        Generator used for random service models; may be None for
-        deterministic service.
+        Generator used for random service models and for arrival specs;
+        may be None when both are deterministic.
     n_servers:
         Number of parallel servers sharing the FIFO queue (1 reproduces the
         paper's whole-cluster-as-one-server dispatcher; larger values model
@@ -163,8 +169,8 @@ class QueueSimulator:
 
     def __init__(
         self,
-        arrivals: ArrivalProcess,
-        service: float | ServiceModel,
+        arrivals: ArrivalProcess | ArrivalSpec,
+        service: float | ServiceModel | ServiceSpec,
         rng: Optional[np.random.Generator] = None,
         *,
         n_servers: int = 1,
@@ -176,16 +182,28 @@ class QueueSimulator:
             raise QueueingError(f"unknown engine {engine!r}")
         self._n_servers = int(n_servers)
         self._engine = engine
+        if isinstance(arrivals, ArrivalSpec):
+            if rng is None:
+                raise QueueingError("an arrival process spec needs an RNG")
+            arrivals = ProcessArrivals(arrivals, rng)
         self._arrivals = arrivals
-        if callable(service):
+        self._service_model: Optional[ServiceModel] = None
+        self._service_batch: Optional[ServiceSpec] = None
+        self._service_fixed: Optional[float] = None
+        if isinstance(service, ServiceSpec):
+            if service.fixed_s is not None:
+                self._service_fixed = float(service.fixed_s)
+            else:
+                if rng is None:
+                    raise QueueingError("a random service model needs an RNG")
+                self._service_batch = service
+        elif callable(service):
             if rng is None:
                 raise QueueingError("a random service model needs an RNG")
-            self._service_model: Optional[ServiceModel] = service
-            self._service_fixed = None
+            self._service_model = service
         else:
             if service <= 0:
                 raise QueueingError(f"service time must be positive, got {service}")
-            self._service_model = None
             self._service_fixed = float(service)
         self._rng = rng
 
@@ -204,15 +222,28 @@ class QueueSimulator:
     # Internals
     # ------------------------------------------------------------------
     def _sample_services(self, n: int) -> np.ndarray:
-        """One service draw per job, in arrival order (the RNG contract)."""
+        """One service draw per job, in arrival order (the RNG contract).
+
+        Batched specs draw all ``n`` times in one call — the same
+        consumption the MC engine uses, keeping the two paths on one
+        stream contract."""
         if self._service_fixed is not None:
             return np.full(n, self._service_fixed)
-        assert self._service_model is not None and self._rng is not None
-        services = np.fromiter(
-            (self._service_model(self._rng) for _ in range(n)),
-            dtype=float,
-            count=n,
-        )
+        assert self._rng is not None
+        if self._service_batch is not None:
+            services = np.asarray(self._service_batch(self._rng, n), dtype=float)
+            if services.shape != (n,):
+                raise QueueingError(
+                    f"service spec returned shape {services.shape}, "
+                    f"expected ({n},)"
+                )
+        else:
+            assert self._service_model is not None
+            services = np.fromiter(
+                (self._service_model(self._rng) for _ in range(n)),
+                dtype=float,
+                count=n,
+            )
         if np.any(services <= 0):
             raise QueueingError("service model produced a non-positive time")
         return services

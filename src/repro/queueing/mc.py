@@ -46,9 +46,12 @@ for the cross-validation harness in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Optional, Tuple, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (processes imports mc)
+    from repro.queueing.processes import ArrivalSpec
 
 from repro.errors import QueueingError
 from repro.obs.metrics import get_registry
@@ -420,11 +423,19 @@ class MonteCarloQueue:
     Parameters
     ----------
     arrival_rate:
-        Poisson arrival rate ``lambda_job`` (jobs/s).
+        Either a Poisson arrival rate ``lambda_job`` (jobs/s) or an
+        arrival process object from :mod:`repro.queueing.processes`
+        (anything with a ``rate`` attribute and a
+        ``sample_arrivals(rng, n)`` method).  A process reporting a
+        non-None ``poisson_rate()`` takes the engine's preallocated
+        Poisson fast path, which consumes identical randomness.
     service:
         Either a fixed service time in seconds (the paper's deterministic
         T_P — an M/D/1 queue) or a :data:`BatchServiceSampler` for general
-        service distributions.
+        service distributions.  A sampler exposing a non-None ``fixed_s``
+        (``repro.queueing.processes.DeterministicService``) takes the
+        exact deterministic reductions — the plug-in form is a pure
+        refactor of the M/D/1 case.
     seed:
         Root seed; each replication's generator is spawned from it.
     warmup_fraction:
@@ -435,27 +446,52 @@ class MonteCarloQueue:
 
     def __init__(
         self,
-        arrival_rate: float,
+        arrival_rate: Union[float, "ArrivalSpec"],
         service: Union[float, BatchServiceSampler],
         *,
         seed: int = DEFAULT_SEED,
         warmup_fraction: float = 0.1,
     ) -> None:
-        if arrival_rate <= 0:
-            raise QueueingError(f"arrival rate must be positive, got {arrival_rate}")
         if not 0.0 <= warmup_fraction < 1.0:
             raise QueueingError(
                 f"warmup fraction must be in [0, 1), got {warmup_fraction}"
             )
+        if isinstance(arrival_rate, (int, float, np.integer, np.floating)):
+            if arrival_rate <= 0:
+                raise QueueingError(
+                    f"arrival rate must be positive, got {arrival_rate}"
+                )
+            self._arrivals: Optional[object] = None
+            self._rate = float(arrival_rate)
+        else:
+            rate = getattr(arrival_rate, "rate", None)
+            if rate is None or not callable(
+                getattr(arrival_rate, "sample_arrivals", None)
+            ):
+                raise QueueingError(
+                    "arrival_rate must be a number or an arrival process "
+                    "with .rate and .sample_arrivals(rng, n) "
+                    f"(got {type(arrival_rate).__name__})"
+                )
+            poisson = getattr(arrival_rate, "poisson_rate", lambda: None)()
+            # An exactly-Poisson process takes the in-place buffer path,
+            # which draws the same stream the same way (pinned by
+            # tests/queueing/test_processes.py).
+            self._arrivals = None if poisson is not None else arrival_rate
+            self._rate = float(rate)
         if callable(service):
-            self._sampler: Optional[BatchServiceSampler] = service
-            self._service_fixed: Optional[float] = None
+            fixed = getattr(service, "fixed_s", None)
+            if fixed is not None:
+                self._sampler: Optional[BatchServiceSampler] = None
+                self._service_fixed: Optional[float] = float(fixed)
+            else:
+                self._sampler = service
+                self._service_fixed = None
         else:
             if service <= 0:
                 raise QueueingError(f"service time must be positive, got {service}")
             self._sampler = None
             self._service_fixed = float(service)
-        self._rate = float(arrival_rate)
         self._seed = int(seed)
         self._warmup_fraction = float(warmup_fraction)
 
@@ -483,8 +519,13 @@ class MonteCarloQueue:
     # -- properties ------------------------------------------------------
     @property
     def arrival_rate(self) -> float:
-        """Poisson arrival rate (jobs/s)."""
+        """Long-run mean arrival rate (jobs/s)."""
         return self._rate
+
+    @property
+    def arrival_process(self) -> Optional[object]:
+        """The arrival process object, or None on the Poisson fast path."""
+        return self._arrivals
 
     @property
     def service_time_s(self) -> Optional[float]:
@@ -505,14 +546,35 @@ class MonteCarloQueue:
         return [np.random.default_rng(child) for child in root.spawn(n_reps)]
 
     # -- simulation ------------------------------------------------------
+    def _sample_arrival_batch(
+        self, rng: np.random.Generator, n_jobs: int
+    ) -> np.ndarray:
+        """One replication's arrival times from the process object."""
+        arrivals = np.asarray(
+            self._arrivals.sample_arrivals(rng, n_jobs), dtype=float  # type: ignore[union-attr]
+        )
+        if arrivals.shape != (n_jobs,):
+            raise QueueingError(
+                f"arrival process returned shape {arrivals.shape}, "
+                f"expected ({n_jobs},)"
+            )
+        if n_jobs and (arrivals[0] < 0 or np.any(arrivals[1:] < arrivals[:-1])):
+            raise QueueingError(
+                "arrival process produced a negative or decreasing time"
+            )
+        return arrivals
+
     def _replication_inputs(
         self, rng: np.random.Generator, n_jobs: int,
         gaps: np.ndarray,
     ) -> Tuple[np.ndarray, Union[float, np.ndarray]]:
         """Sample one replication's arrivals (into ``gaps``) and services."""
-        rng.standard_exponential(n_jobs, out=gaps)
-        np.multiply(gaps, 1.0 / self._rate, out=gaps)
-        arrivals = np.cumsum(gaps)
+        if self._arrivals is None:
+            rng.standard_exponential(n_jobs, out=gaps)
+            np.multiply(gaps, 1.0 / self._rate, out=gaps)
+            arrivals = np.cumsum(gaps)
+        else:
+            arrivals = self._sample_arrival_batch(rng, n_jobs)
         if self._service_fixed is not None:
             return arrivals, self._service_fixed
         services = np.asarray(self._sampler(rng, n_jobs), dtype=float)  # type: ignore[misc]
@@ -568,9 +630,15 @@ class MonteCarloQueue:
         inv_rate = 1.0 / self._rate
         generators = self.spawn_generators(n_reps)[start:stop]
         for rep_index, rng in enumerate(generators):
-            rng.standard_exponential(n_jobs, out=gaps)
-            np.multiply(gaps, inv_rate, out=gaps)
-            np.cumsum(gaps, out=arrivals)
+            if self._arrivals is None:
+                rng.standard_exponential(n_jobs, out=gaps)
+                np.multiply(gaps, inv_rate, out=gaps)
+                np.cumsum(gaps, out=arrivals)
+            else:
+                # Copy into the shared buffer so the Lindley passes below
+                # stay in-place regardless of the process.  Arrivals are
+                # fully drawn before any service draw (the contract).
+                arrivals[:] = self._sample_arrival_batch(rng, n_jobs)
             if self._service_fixed is not None:
                 services: Union[float, np.ndarray] = self._service_fixed
                 np.subtract(arrivals, drift, out=b)
@@ -747,4 +815,10 @@ class MonteCarloQueue:
             if self._service_fixed is not None
             else "service=<sampler>"
         )
-        return f"MonteCarloQueue(lambda={self._rate:.6g}/s, {service}, seed={self._seed})"
+        arrivals = (
+            "Poisson" if self._arrivals is None else type(self._arrivals).__name__
+        )
+        return (
+            f"MonteCarloQueue({arrivals} lambda={self._rate:.6g}/s, "
+            f"{service}, seed={self._seed})"
+        )

@@ -2,7 +2,9 @@
 
 The engine replays a per-interval demand trace against a pool of
 *individual* heterogeneous nodes: jobs arrive as a Poisson process whose
-rate follows the trace, a :class:`~repro.scheduler.policies.DispatchPolicy`
+rate follows the trace (or a bursty/flash-crowd
+:class:`~repro.queueing.processes.IntervalArrivals` model — see
+``arrival_model``), a :class:`~repro.scheduler.policies.DispatchPolicy`
 places each job on a node, and (optionally) an
 :class:`~repro.scheduler.autoscaler.Autoscaler` re-targets the active
 configuration at every control tick, with node power states and transition
@@ -58,6 +60,8 @@ from repro.errors import ReproError
 from repro.model.batched import operating_point_constants
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import span
+from repro.queueing.mc import BatchServiceSampler
+from repro.queueing.processes import IntervalArrivals, make_interval_arrivals
 from repro.scheduler.autoscaler import Autoscaler, Rung
 from repro.scheduler.policies import DispatchPolicy, make_policy
 from repro.scheduler.powerstate import (
@@ -159,12 +163,17 @@ class _Node:
         return self._ppr.ppr_at(min(max(u, 1e-6), 1.0))
 
     # -- engine-side state -----------------------------------------------
-    def assign(self, t: float) -> float:
-        """Append a job arriving at ``t``; returns its completion time."""
+    def assign(self, t: float, service_s: Optional[float] = None) -> float:
+        """Append a job arriving at ``t``; returns its completion time.
+
+        ``service_s`` overrides this job's service time (the engine's
+        ``service_model`` multipliers); None keeps the node's
+        deterministic ``service_time_s`` exactly."""
+        dur = self.service_time_s if service_s is None else service_s
         start = max(t, self.free_at, self.available_from)
-        done = start + self.service_time_s
+        done = start + dur
         self.free_at = done
-        self.assigned_service_s += self.service_time_s
+        self.assigned_service_s += dur
         self.jobs += 1
         self._completions.append(done)
         return done
@@ -330,6 +339,18 @@ class ClusterScheduler:
     default_park_s:
         Park-duration forecast used when the autoscaler cannot provide one
         (reactive controllers); defaults to two control intervals.
+    arrival_model:
+        Per-interval arrival process: an
+        :class:`~repro.queueing.processes.IntervalArrivals` instance or a
+        kind name (``"poisson"``/``"mmpp"``/``"flash-crowd"``).  The
+        default (None/"poisson") reproduces the engine's historical
+        Poisson draws bit-for-bit.
+    service_model:
+        Optional batched sampler of *unit-mean service multipliers*
+        (e.g. ``repro.queueing.processes.LognormalService(1.0)``): each
+        interval's batch is drawn once, after the arrival times, and job
+        ``i`` serves for ``node.service_time_s * mult_i``.  None draws
+        nothing and keeps deterministic service exactly.
     """
 
     def __init__(
@@ -347,6 +368,8 @@ class ClusterScheduler:
         park_state: str = "auto",
         default_park_s: Optional[float] = None,
         seed: int = DEFAULT_SEED,
+        arrival_model: Union[IntervalArrivals, str, None] = None,
+        service_model: Optional[BatchServiceSampler] = None,
     ) -> None:
         if (config is None) == (autoscaler is None):
             raise ReproError("provide exactly one of config= or autoscaler=")
@@ -370,6 +393,12 @@ class ClusterScheduler:
             2.0 * self.interval_s if default_park_s is None else float(default_park_s)
         )
         self.seed = int(seed)
+        self.arrival_model = make_interval_arrivals(arrival_model)
+        if service_model is not None and not callable(service_model):
+            raise ReproError(
+                "service_model must be a batched sampler (rng, size) -> times"
+            )
+        self.service_model = service_model
 
         # Node pool: per type, the largest count any reachable configuration
         # asks for (all rungs share a type's operating point by construction).
@@ -545,6 +574,7 @@ class ClusterScheduler:
         self.policy.reset()
         if self.autoscaler is not None:
             self.autoscaler.reset()
+        self.arrival_model.reset()
         rng = RngRegistry(self.seed).stream("scheduler/engine")
         interval = self.interval_s
         n_intervals = int(self.trace.size)
@@ -624,31 +654,55 @@ class ClusterScheduler:
                 n.in_dispatch = True
 
             lam = demand * self._reference_jobs_per_s
-            n_arr = int(rng.poisson(lam * interval))
+            times = self.arrival_model.sample_interval(rng, lam, interval, t0, t1)
+            n_arr = int(times.size)
             arrived += n_arr
             if n_arr:
-                times = np.sort(rng.uniform(t0, t1, size=n_arr))
+                # Unit-mean service multipliers, drawn in one batch after
+                # the interval's arrivals are final (the process
+                # contract); None means zero extra draws — the historical
+                # stream exactly.
+                mults = None
+                if self.service_model is not None:
+                    mults = np.asarray(
+                        self.service_model(rng, n_arr), dtype=float
+                    )
+                    if mults.shape != (n_arr,) or np.any(mults <= 0):
+                        raise ReproError(
+                            "service_model must return one positive "
+                            f"multiplier per arrival, got shape {mults.shape}"
+                        )
                 select = self.policy.select
                 if dispatch_hist is not None:
                     # Instrumented twin of the loop below: bound methods
                     # prefetched so per-job overhead stays inside the obs
                     # layer's <= 5% contract.
                     observe = dispatch_hist.observe
-                    for ta in times:
+                    for i, ta in enumerate(times):
                         t_arr = float(ta)
                         t_sel = perf_counter()
                         node = select(dispatch, t_arr, rng)
                         observe(perf_counter() - t_sel)
-                        done = node.assign(t_arr)
+                        done = node.assign(
+                            t_arr,
+                            None
+                            if mults is None
+                            else node.service_time_s * mults[i],
+                        )
                         responses.append(done - t_arr)
                         if done <= horizon:
                             completed += 1
                     jobs_counter.inc(n_arr)
                 else:
-                    for ta in times:
+                    for i, ta in enumerate(times):
                         t_arr = float(ta)
                         node = select(dispatch, t_arr, rng)
-                        done = node.assign(t_arr)
+                        done = node.assign(
+                            t_arr,
+                            None
+                            if mults is None
+                            else node.service_time_s * mults[i],
+                        )
                         responses.append(done - t_arr)
                         if done <= horizon:
                             completed += 1

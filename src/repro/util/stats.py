@@ -7,7 +7,14 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["percentile", "p95", "SummaryStats", "summarize", "mape"]
+__all__ = [
+    "percentile",
+    "p95",
+    "SummaryStats",
+    "summarize",
+    "mape",
+    "hill_tail_index",
+]
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -58,6 +65,40 @@ def summarize(samples: Sequence[float]) -> SummaryStats:
         p99=float(np.percentile(arr, 99)),
         maximum=float(arr.max()),
     )
+
+
+def hill_tail_index(samples: Sequence[float], k: int | None = None) -> float:
+    """Hill estimator of the tail index alpha from the top-``k`` order stats.
+
+    For samples whose survival function decays like ``x**-alpha`` (e.g.
+    Pareto service times), the Hill estimator is the reciprocal of the mean
+    log-excess of the ``k`` largest observations over the ``(k+1)``-th:
+
+        alpha_hat = k / sum_{i=1..k} log(x_(n-i+1) / x_(n-k))
+
+    ``k`` defaults to ``max(10, int(sqrt(n)))`` — large enough to tame the
+    estimator's variance, small enough to stay in the tail where the power
+    law holds.  The hypothesis suite uses this to pin that
+    :class:`~repro.queueing.processes.ParetoService` draws really are
+    heavy-tailed with (roughly) the configured index, and that lognormal
+    and exponential draws are *not* mistaken for a fixed power law.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 3:
+        raise ValueError(f"need at least 3 samples, got {arr.size}")
+    if np.any(arr <= 0):
+        raise ValueError("tail-index estimation needs strictly positive samples")
+    if k is None:
+        k = max(10, int(np.sqrt(arr.size)))
+    k = int(k)
+    if not 1 <= k < arr.size:
+        raise ValueError(f"k must be in [1, {arr.size - 1}], got {k}")
+    tail = np.sort(arr)[-(k + 1):]
+    log_excess = np.log(tail[1:]) - np.log(tail[0])
+    mean_excess = float(log_excess.mean())
+    if mean_excess <= 0:
+        raise ValueError("degenerate tail: top order statistics are all equal")
+    return 1.0 / mean_excess
 
 
 def mape(model: Sequence[float], measured: Sequence[float]) -> float:

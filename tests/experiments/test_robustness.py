@@ -1,0 +1,178 @@
+"""The robustness study: ranking grid, scalars, envelope, rendering.
+
+Default-run tests use a deliberately small grid (one workload, two
+arrival and two service kinds, reduced job counts) with the contrast and
+replay parts gated off — each ranking cell is a full Monte-Carlo sweep,
+so the fast path must stay fast.  The full default grid (64 cells plus
+contrast and oracle replay) is ``slow``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.robustness import (
+    DEFAULT_SLO_MULTIPLE,
+    DEFAULT_U_GRID,
+    ROBUSTNESS_WORKLOADS,
+    RobustnessReport,
+    render_robustness_report,
+    robustness_json,
+    robustness_scalars,
+    run_robustness,
+)
+
+_FAST = dict(
+    workloads=("EP",),
+    arrivals=("poisson", "mmpp"),
+    services=("deterministic", "pareto"),
+    n_jobs=1500,
+    n_reps=8,
+    contrast=False,
+    replay=False,
+)
+
+
+@pytest.fixture(scope="module")
+def fast_report():
+    return run_robustness(**_FAST)
+
+
+class TestRankingGrid:
+    def test_grid_shape_and_baseline(self, fast_report):
+        assert isinstance(fast_report, RobustnessReport)
+        assert len(fast_report.cells) == 4  # 1 workload x 2 x 2
+        assert len(fast_report.baseline_cells) == 1
+        base = fast_report.baseline_cells[0]
+        assert base.arrival == "poisson" and base.service == "deterministic"
+
+    def test_baseline_matches_table6(self, fast_report):
+        # ISSUE acceptance: the Poisson + deterministic cell must
+        # reproduce the calibrated Table 6 winner.
+        assert fast_report.baseline_match_fraction == 1.0
+
+    def test_outcomes_well_formed(self, fast_report):
+        for cell in fast_report.cells:
+            assert cell.slo_s > 0.0
+            nodes = {o.node for o in cell.outcomes}
+            assert nodes == {"A9", "K10"}
+            for o in cell.outcomes:
+                assert 0.0 <= o.u_star <= max(DEFAULT_U_GRID)
+                assert o.meets_slo == (o.u_star > 0.0)
+                if o.meets_slo:
+                    assert o.p95_lo <= o.p95_s <= o.p95_hi
+                    # The feasibility criterion is the bootstrap mean.
+                    assert o.p95_s <= cell.slo_s
+                    assert o.score > 0.0
+                else:
+                    assert o.score == 0.0
+            assert cell.outcome("A9").node == "A9"
+            with pytest.raises(ReproError):
+                cell.outcome("Xeon")
+
+    def test_winner_is_top_score_or_none(self, fast_report):
+        for cell in fast_report.cells:
+            scored = [o for o in cell.outcomes if o.score > 0.0]
+            if scored:
+                assert cell.winner == max(scored, key=lambda o: o.score).node
+            else:
+                assert cell.winner == "none"
+
+    def test_deterministic_given_seed(self, fast_report):
+        again = run_robustness(**_FAST)
+        assert again == fast_report
+
+    def test_worker_invariant(self, fast_report):
+        threaded = run_robustness(workers=2, **_FAST)
+        assert threaded.cells == fast_report.cells
+
+    def test_heavy_tail_never_raises_u_star(self, fast_report):
+        # Pareto service only adds variance at matched mean; at the same
+        # SLO a node type can never sustain *more* utilisation than it
+        # does under deterministic service.
+        for arrival in ("poisson", "mmpp"):
+            det = next(
+                c for c in fast_report.cells
+                if c.arrival == arrival and c.service == "deterministic"
+            )
+            par = next(
+                c for c in fast_report.cells
+                if c.arrival == arrival and c.service == "pareto"
+            )
+            for node in ("A9", "K10"):
+                assert par.outcome(node).u_star <= det.outcome(node).u_star
+
+
+class TestValidation:
+    def test_baseline_cell_required(self):
+        with pytest.raises(ReproError):
+            run_robustness(arrivals=("mmpp",), services=("deterministic",))
+        with pytest.raises(ReproError):
+            run_robustness(arrivals=("poisson",), services=("pareto",))
+
+    def test_slo_multiple_must_exceed_one(self):
+        with pytest.raises(ReproError):
+            run_robustness(slo_multiple=1.0)
+
+    def test_u_grid_bounds(self):
+        with pytest.raises(ReproError):
+            run_robustness(u_grid=())
+        with pytest.raises(ReproError):
+            run_robustness(u_grid=(0.5, 1.0))
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ReproError):
+            run_robustness(workloads=("definitely-not-a-workload",))
+
+
+class TestReportSurfaces:
+    def test_scalars(self, fast_report):
+        scalars = robustness_scalars(fast_report)
+        assert scalars["baseline_match_fraction"] == 1.0
+        assert scalars["n_cells"] == 4.0
+        assert 0.0 <= scalars["holds_fraction"] <= 1.0
+        assert scalars["n_inversions"] == float(len(fast_report.inversions))
+        # Contrast / replay were gated off: no derived keys leak in.
+        assert not any(k.startswith("contrast.") for k in scalars)
+        assert not any(k.startswith("oracle_gap.") for k in scalars)
+
+    def test_json_envelope(self, fast_report):
+        doc = robustness_json(fast_report)
+        assert doc["schema"] == "repro-robustness/1"
+        assert doc["params"]["slo_multiple"] == DEFAULT_SLO_MULTIPLE
+        assert len(doc["ranking"]) == 4
+        first = doc["ranking"][0]
+        assert set(first) == {
+            "workload", "arrival", "service", "slo_s",
+            "winner", "paper_winner", "holds", "nodes",
+        }
+        assert {n["node"] for n in first["nodes"]} == {"A9", "K10"}
+        assert doc["contrasts"] == [] and doc["oracle_gaps"] == []
+        assert doc["scalars"] == robustness_scalars(fast_report)
+
+    def test_render(self, fast_report):
+        text = render_robustness_report(fast_report)
+        assert "SLO-constrained ranking" in text
+        assert "Robustness summary" in text
+        assert "baseline matches Table 6" in text
+        for cell in fast_report.inversions:
+            assert "INVERTS" in text or not fast_report.inversions
+
+
+@pytest.mark.slow
+class TestFullStudy:
+    def test_default_grid_with_contrast_and_replay(self):
+        report = run_robustness()
+        expected = len(ROBUSTNESS_WORKLOADS) * 4 * 4
+        assert len(report.cells) == expected
+        assert report.baseline_match_fraction == 1.0
+        # The headline robustness findings the EXPERIMENTS table records:
+        # bursty arrivals amplify the Fig. 9 contrast, and heavy-tailed
+        # service leaves the greedy-vs-oracle gap inside the monitor band.
+        scalars = robustness_scalars(report)
+        assert scalars["contrast.mmpp.ep"] > scalars["contrast.poisson.ep"]
+        assert scalars["oracle_gap.pareto.max"] < 0.10
+        text = render_robustness_report(report)
+        assert "Fig. 9 mix contrast" in text
+        assert "ppr-greedy vs oracle" in text

@@ -152,3 +152,70 @@ class TestRunValidation:
     def test_unknown_workload_rejected(self):
         with pytest.raises(ReproError):
             run_validation(workloads=("definitely-not-a-workload",))
+
+
+class TestMM1PluginValidation:
+    """The exponential-service *plug-in* against the closed-form M/M/1
+    p95 — the statistical tier that brackets the processes module from
+    the analytic side.  Fast 4-cell smoke by default; full grid slow."""
+
+    def test_smoke_grid_agrees(self, workloads):
+        from repro.experiments.validation_mc import run_mm1_validation
+
+        report = run_mm1_validation(
+            grid=(0.5, 0.85),
+            mixes=((1, 0), (0, 1)),
+            workloads=("EP",),
+            n_jobs=_JOBS,
+            n_reps=_REPS,
+        )
+        assert len(report.cells) == 4
+        assert report.all_agree, [
+            (c.config_label, c.utilisation, c.analytic_p95_s, c.ci)
+            for c in report.flagged
+        ]
+
+    def test_mm1_p95_exceeds_md1(self, workloads, single_a9):
+        # Exponential service has scv 1 vs 0: at matched utilisation the
+        # M/M/1 tail must sit strictly above the M/D/1 tail.
+        from repro.experiments.validation_mc import validate_mm1_cell
+
+        md1 = validate_cell(
+            workloads["EP"], single_a9, 0.7, n_jobs=_JOBS, n_reps=_REPS
+        )
+        mm1 = validate_mm1_cell(
+            workloads["EP"], single_a9, 0.7, n_jobs=_JOBS, n_reps=_REPS
+        )
+        assert mm1.analytic_p95_s > md1.analytic_p95_s
+        assert mm1.ci.mean > md1.ci.mean
+
+    def test_tiers_use_decorrelated_seeds(self, workloads, single_a9):
+        from repro.experiments.validation_mc import validate_mm1_cell
+
+        md1 = validate_cell(
+            workloads["EP"], single_a9, 0.5, n_jobs=_JOBS, n_reps=_REPS
+        )
+        mm1 = validate_mm1_cell(
+            workloads["EP"], single_a9, 0.5, n_jobs=_JOBS, n_reps=_REPS
+        )
+        # Same grid point, same root seed, different cell streams: the
+        # CI bounds must not be a scaled copy of the M/D/1 tier's.
+        assert mm1.ci.mean / md1.ci.mean != pytest.approx(
+            mm1.analytic_p95_s / md1.analytic_p95_s, rel=1e-12
+        )
+
+    @pytest.mark.slow
+    def test_full_mm1_grid(self):
+        from repro.experiments.validation_mc import run_mm1_validation
+
+        report = run_mm1_validation(n_jobs=20_000, n_reps=40)
+        expected = (
+            len(VALIDATION_WORKLOADS)
+            * len(VALIDATION_MIXES)
+            * len(VALIDATION_GRID)
+        )
+        assert len(report.cells) == expected
+        assert report.agreement_fraction >= 0.95, [
+            (c.workload_name, c.config_label, c.utilisation)
+            for c in report.flagged
+        ]

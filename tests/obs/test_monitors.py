@@ -70,13 +70,15 @@ class TestEvaluate:
 
 
 class TestRegistry:
-    def test_the_five_paper_claims_are_registered(self):
+    def test_the_seven_claims_are_registered(self):
         assert monitor_names() == (
             "md1-mc-agreement",
             "table6-ppr-winners",
             "fig9-mix-contrast",
             "pareto-sublinearity",
             "scheduler-oracle-gap",
+            "robustness-heavytail-gap",
+            "robustness-bursty-contrast",
         )
 
     def test_every_monitor_has_bands_and_claim(self):

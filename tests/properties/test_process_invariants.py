@@ -1,0 +1,143 @@
+"""Property tests for the stochastic-process plug-ins.
+
+Three families of hypotheses over random rates, means and seeds:
+
+* **Mean matching** — every arrival spec's empirical long-run rate and
+  every service spec's empirical mean land within a CI-scaled tolerance
+  of the configured value; the non-Poisson processes trade *variance*,
+  never *mean*, so energy accounting stays comparable across the grid.
+* **Tail shape** — the Hill estimator recovers Pareto's configured tail
+  index (heavy tail confirmed) and rejects a comparably-heavy reading
+  for the exponential and deterministic services (light tails stay
+  light).
+* **Worker invariance** — the Monte-Carlo engine's results are
+  bit-identical at any worker count for *every* process pair, because
+  replication r always consumes spawned stream r regardless of which
+  process executes it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.mc import MonteCarloQueue
+from repro.queueing.processes import (
+    ARRIVAL_KINDS,
+    SERVICE_KINDS,
+    ParetoService,
+    make_arrivals,
+    make_service,
+)
+from repro.util.stats import hill_tail_index
+
+_RATES = st.floats(0.5, 8.0)
+_MEANS = st.floats(0.1, 5.0)
+_SEEDS = st.integers(0, 2**31 - 1)
+
+
+class TestMeanMatching:
+    @given(kind=st.sampled_from(ARRIVAL_KINDS), rate=_RATES, seed=_SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_arrival_rate_within_ci(self, kind, rate, seed):
+        spec = make_arrivals(kind, rate)
+        n = 40_000
+        times = spec.sample_arrivals(np.random.default_rng(seed), n)
+        # The empirical rate over n arrivals; the bursty/flash processes
+        # have heavier gap variance than Poisson, so the tolerance is a
+        # generous multiple of the Poisson CLT half-width.
+        empirical = n / float(times[-1])
+        assert empirical == pytest.approx(rate, rel=0.15)
+
+    @given(kind=st.sampled_from(SERVICE_KINDS), mean=_MEANS, seed=_SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_service_mean_within_ci(self, kind, mean, seed):
+        spec = make_service(kind, mean)
+        draws = spec(np.random.default_rng(seed), 60_000)
+        # Pareto at the default tail index has infinite-ish sample
+        # variance; 15% relative tolerance absorbs its slow CLT.
+        assert float(np.mean(draws)) == pytest.approx(mean, rel=0.15)
+
+    @given(kind=st.sampled_from(ARRIVAL_KINDS), rate=_RATES, seed=_SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_arrivals_sorted_nonnegative(self, kind, rate, seed):
+        spec = make_arrivals(kind, rate)
+        times = spec.sample_arrivals(np.random.default_rng(seed), 512)
+        assert times.shape == (512,)
+        assert float(times[0]) >= 0.0
+        assert np.all(np.diff(times) >= 0.0)
+
+
+class TestTailShape:
+    @given(
+        tail=st.floats(1.6, 3.0),
+        mean=_MEANS,
+        seed=_SEEDS,
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_hill_recovers_pareto_index(self, tail, mean, seed):
+        draws = ParetoService(mean, tail_index=tail)(
+            np.random.default_rng(seed), 150_000
+        )
+        estimate = hill_tail_index(draws, k=2000)
+        assert estimate == pytest.approx(tail, rel=0.2)
+
+    @given(mean=_MEANS, seed=_SEEDS)
+    @settings(max_examples=10, deadline=None)
+    def test_exponential_reads_lighter_than_pareto(self, mean, seed):
+        rng = np.random.default_rng(seed)
+        heavy = hill_tail_index(
+            ParetoService(mean, tail_index=2.2)(rng, 100_000), k=1500
+        )
+        light = hill_tail_index(
+            make_service("exponential", mean)(rng, 100_000), k=1500
+        )
+        # A larger Hill index means a lighter tail; exponential must sit
+        # clearly above the configured Pareto index.
+        assert light > heavy
+        assert light > 3.5
+
+    @given(mean=_MEANS, seed=_SEEDS)
+    @settings(max_examples=5, deadline=None)
+    def test_deterministic_tail_is_degenerate(self, mean, seed):
+        draws = make_service("deterministic", mean)(
+            np.random.default_rng(seed), 1000
+        )
+        with pytest.raises(ValueError):
+            hill_tail_index(draws, k=100)
+
+
+class TestProcessWorkerInvariance:
+    _MC_FIELDS = (
+        "response_percentiles_s",
+        "mean_response_s",
+        "mean_wait_s",
+        "utilisation",
+        "busy_time_s",
+        "idle_time_s",
+        "span_s",
+    )
+
+    @given(
+        arrival=st.sampled_from(ARRIVAL_KINDS),
+        service=st.sampled_from(SERVICE_KINDS),
+        workers=st.sampled_from([1, 2, 4]),
+        seed=_SEEDS,
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_every_process_pair_bit_identical(
+        self, arrival, service, workers, seed
+    ):
+        mc = MonteCarloQueue(
+            make_arrivals(arrival, 0.7),
+            make_service(service, 1.0),
+            seed=seed,
+        )
+        serial = mc.run(300, 5)
+        parallel = mc.run(300, 5, workers=workers)
+        for field in self._MC_FIELDS:
+            assert np.array_equal(
+                getattr(serial, field), getattr(parallel, field)
+            ), field

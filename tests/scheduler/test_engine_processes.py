@@ -1,0 +1,134 @@
+"""Scheduler engine with pluggable interval arrival and service models.
+
+The engine's default behaviour (Poisson counts + uniform placement,
+model service times) must be bit-identical to explicitly passing the
+``"poisson"`` interval-arrival model and to a deterministic unit
+service-multiplier model — the plug-in seam changes nothing until a
+non-baseline process is asked for.  Bursty models must change results,
+stay deterministic run-to-run (the regime chain resets at run start),
+and survive sharded replay at any worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.extensions.dynamic import diurnal_trace
+from repro.parallel.sharding import sharded_replay
+from repro.queueing.processes import (
+    DeterministicService,
+    LognormalService,
+    ModulatedIntervalArrivals,
+    make_interval_arrivals,
+)
+from repro.scheduler.engine import ClusterScheduler
+from repro.workloads.suite import paper_workloads
+
+_TRACE = diurnal_trace(n_intervals=8)
+_EP = paper_workloads()["EP"].with_job_size(float(2**26))
+
+
+def _run(**kwargs):
+    from repro.cluster.configuration import ClusterConfiguration
+
+    return ClusterScheduler(
+        _EP,
+        "jsq",
+        _TRACE,
+        interval_s=20.0,
+        config=ClusterConfiguration.mix({"A9": 6, "K10": 2}),
+        seed=7,
+        **kwargs,
+    ).run()
+
+
+def _assert_equal(a, b):
+    assert a.total_energy_j == b.total_energy_j
+    assert (a.p50_s, a.p95_s, a.p99_s) == (b.p50_s, b.p95_s, b.p99_s)
+    assert a.jobs_arrived == b.jobs_arrived
+    assert a.timeline == b.timeline
+
+
+class TestBaselineBitIdentity:
+    def test_default_equals_explicit_poisson(self):
+        _assert_equal(_run(), _run(arrival_model="poisson"))
+
+    def test_default_equals_poisson_instance(self):
+        _assert_equal(_run(), _run(arrival_model=make_interval_arrivals("poisson")))
+
+    def test_unit_deterministic_service_model_is_identity(self):
+        # DeterministicService(1.0) multiplies every service time by 1
+        # and consumes no randomness -> bit-identical to no model at all.
+        _assert_equal(_run(), _run(service_model=DeterministicService(1.0)))
+
+
+class TestNonBaselineModels:
+    @pytest.mark.parametrize("kind", ("mmpp", "flash-crowd"))
+    def test_bursty_arrivals_change_results_deterministically(self, kind):
+        base = _run()
+        bursty1 = _run(arrival_model=kind)
+        bursty2 = _run(arrival_model=kind)
+        _assert_equal(bursty1, bursty2)  # regime state resets per run
+        assert bursty1.total_energy_j != base.total_energy_j
+
+    def test_stateful_model_instance_reusable(self):
+        model = ModulatedIntervalArrivals()
+        _assert_equal(_run(arrival_model=model), _run(arrival_model=model))
+
+    def test_service_model_changes_percentiles(self):
+        heavy = _run(service_model=LognormalService(1.0, sigma=1.0))
+        assert heavy.p95_s > _run().p95_s
+
+    def test_unknown_arrival_model_raises(self):
+        with pytest.raises(Exception):
+            _run(arrival_model="weibull")
+
+    def test_bad_service_model_rejected(self):
+        with pytest.raises(ReproError):
+            _run(service_model=3.0)
+
+
+class TestShardedReplayWithModels:
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_sharded_models_worker_invariant(self, workers):
+        from repro.cluster.configuration import ClusterConfiguration
+
+        config = ClusterConfiguration.mix({"A9": 6, "K10": 2})
+        runs = [
+            sharded_replay(
+                _EP,
+                "jsq",
+                _TRACE,
+                n_shards=2,
+                workers=w,
+                config=config,
+                seed=11,
+                arrival_model="mmpp",
+                service_model=LognormalService(1.0, sigma=0.6),
+            )
+            for w in (1, workers)
+        ]
+        a, b = runs
+        assert a.timeline == b.timeline
+        assert a.total_energy_j == b.total_energy_j
+        assert np.array_equal(a.responses_s, b.responses_s)
+
+    def test_sharded_model_differs_from_baseline(self):
+        from repro.cluster.configuration import ClusterConfiguration
+
+        config = ClusterConfiguration.mix({"A9": 6, "K10": 2})
+        base = sharded_replay(
+            _EP, "jsq", _TRACE, n_shards=2, config=config, seed=11
+        )
+        bursty = sharded_replay(
+            _EP,
+            "jsq",
+            _TRACE,
+            n_shards=2,
+            config=config,
+            seed=11,
+            arrival_model="mmpp",
+        )
+        assert base.total_energy_j != bursty.total_energy_j

@@ -143,6 +143,56 @@ class TestCommands:
         assert "Characterization of EP" in out
 
 
+class TestRobustnessCommand:
+    # Smallest grid the command accepts: the baseline cell plus one
+    # bursty arrival and one heavy-tailed service, skipping the contrast
+    # and oracle-replay parts.
+    _ARGV = [
+        "robustness",
+        "--workloads", "EP",
+        "--arrivals", "poisson,mmpp",
+        "--services", "deterministic,pareto",
+        "--jobs", "1500",
+        "--reps", "8",
+        "--skip-contrast", "--skip-replay",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["robustness"])
+        assert args.jobs == 4000
+        assert args.reps == 12
+        assert args.slo_mult is None  # resolved to DEFAULT_SLO_MULTIPLE
+        assert args.workloads is None
+        assert args.seed is None
+
+    def test_runs_and_records_ledger(self, capsys):
+        from repro.obs.ledger import default_ledger
+
+        assert main(self._ARGV) == 0
+        out = capsys.readouterr().out
+        assert "SLO-constrained ranking" in out
+        assert "Robustness summary" in out
+        (exp,) = default_ledger().records(name="experiment/robustness")
+        assert exp.extra["schema"] == "repro-robustness/1"
+        assert exp.scalars["baseline_match_fraction"] == 1.0
+        (cli,) = default_ledger().records(name="cli/robustness")
+        assert cli.scalars["n_cells"] == 4.0
+
+    def test_json_envelope(self, capsys):
+        import json as _json
+
+        assert main(self._ARGV + ["--json"]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-robustness/1"
+        assert len(doc["ranking"]) == 4
+        assert doc["scalars"]["baseline_match_fraction"] == 1.0
+
+    def test_grid_without_baseline_fails_cleanly(self, capsys):
+        code = main(["robustness", "--arrivals", "mmpp"])
+        assert code == 1
+        assert "baseline" in capsys.readouterr().err
+
+
 class TestVersionAndSeed:
     def test_version_flag(self, capsys):
         import repro

@@ -76,12 +76,15 @@ def main(argv):
 
     total = covered = 0
     rows = []
+    per_module = {}
     for name in sorted(universe):
         want = universe[name]
         got = hit[name] & want
         total += len(want)
         covered += len(got)
         pct = 100.0 * len(got) / len(want) if want else 100.0
+        rel = str(Path(name).relative_to(SRC))
+        per_module[rel] = pct
         rows.append((pct, name, len(got), len(want)))
     rows.sort()
     print("\nworst-covered modules:")
@@ -90,9 +93,25 @@ def main(argv):
         print(f"  {pct:6.1f}%  {got:4d}/{want:<4d}  {rel}")
     overall = 100.0 * covered / total
     print(f"\nTOTAL: {covered}/{total} lines = {overall:.2f}%")
+    failed = False
+    floors = module_floors()
+    if floors:
+        print("\nmodule floors:")
+    for rel, floor in floors.items():
+        pct = per_module.get(rel)
+        if pct is None:
+            print(f"  FAIL: module floor names unknown module {rel}")
+            failed = True
+            continue
+        verdict = "ok" if pct >= floor else "FAIL"
+        print(f"  {verdict:4s}  {pct:6.2f}%  (floor {floor:g}%)  {rel}")
+        if pct < floor:
+            failed = True
     floor = coverage_floor()
     if overall < floor:
         print(f"FAIL: coverage {overall:.2f}% is below the pinned floor {floor}%")
+        failed = True
+    if failed:
         return 1
     print(f"OK: floor {floor}% held")
     return 0
@@ -107,6 +126,23 @@ def coverage_floor() -> float:
     return float(
         config.get("tool", {}).get("coverage", {}).get("report", {}).get("fail_under", 0)
     )
+
+
+def module_floors() -> dict:
+    """Per-module floors from ``[tool.mini_coverage] module_floors``.
+
+    Keys are paths relative to ``src/`` (``repro/queueing/processes.py``);
+    values are minimum line-coverage percentages.  Modules not listed are
+    covered only by the overall ``fail_under`` floor.
+    """
+    import tomllib
+
+    with open(REPO / "pyproject.toml", "rb") as fh:
+        config = tomllib.load(fh)
+    floors = config.get("tool", {}).get("mini_coverage", {}).get(
+        "module_floors", {}
+    )
+    return {str(path): float(pct) for path, pct in floors.items()}
 
 
 if __name__ == "__main__":
