@@ -1,0 +1,52 @@
+"""Benchmark: batched serving vs the per-request re-sweep baseline.
+
+Wraps :mod:`repro.benchmarks.serve` (also runnable standalone as
+``python -m repro.benchmarks.serve``) in the pytest harness: boots the
+always-on service in-process, drives the seeded closed-loop query plan
+against it, replays the identical plan prefix through cold
+``recommend_exhaustive`` re-sweeps, writes ``BENCH_serve.json`` at the
+repository root, and pins the serving claim — at least a 20x throughput
+advantage at an equal-or-better client-side p95.
+"""
+
+from pathlib import Path
+
+from repro.benchmarks.serve import run_benchmark
+from repro.obs.timer import BENCH_SCHEMA, write_bench_json
+from repro.util.tables import render_kv
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_batched_serving_speedup(benchmark, emit):
+    result = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    sidecar = write_bench_json(_REPO_ROOT / "BENCH_serve.json", result)
+    assert result["schema"] == BENCH_SCHEMA
+    assert sidecar is not None and sidecar.exists()
+
+    resweep = result["resweep"]
+    served = result["served"]
+    emit(
+        render_kv(
+            {
+                "re-sweep [req/s]": round(resweep["throughput_rps"], 1),
+                "re-sweep p95 [ms]": round(resweep["p95_latency_s"] * 1e3, 2),
+                "served [req/s]": round(served["throughput_rps"], 1),
+                "served p95 [ms]": round(served["p95_latency_s"] * 1e3, 2),
+                "speedup": round(result["speedup"]["batched_vs_resweep"], 1),
+                "cache hit fraction": round(
+                    served["server"]["cache_hit_fraction"], 4
+                ),
+            },
+            title="Batched serving vs per-request re-sweep (footnote-4 space)",
+        )
+    )
+    # Every planned request completed; nothing was shed or errored at the
+    # benchmark's reference load.
+    assert served["completed"] == served["attempted"]
+    assert served["errors"] == 0.0
+    # The serving claim: >= 20x the re-sweep baseline's throughput at an
+    # equal-or-better p95 (the served p95 includes HTTP round trips; the
+    # re-sweep p95 is pure compute, so this is conservative).
+    assert served["p95_latency_s"] <= resweep["p95_latency_s"]
+    assert result["speedup"]["batched_vs_resweep"] >= 20.0

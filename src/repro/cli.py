@@ -390,6 +390,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the repro-robustness/1 envelope instead of tables",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the always-on recommendation service (HTTP)",
+        parents=[obs_parent],
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=32, help="frontier-cache LRU capacity"
+    )
+    p_serve.add_argument(
+        "--tick-ms", type=float, default=2.0, help="micro-batch coalescing tick [ms]"
+    )
+    p_serve.add_argument(
+        "--slo-p95-ms",
+        type=float,
+        default=250.0,
+        help="p95 response SLO the M/D/1 admission threshold is derived from [ms]",
+    )
+    p_serve.add_argument(
+        "--precompute",
+        default="EP",
+        help="comma-separated workloads swept into the cache at startup "
+        "('' = none)",
+    )
+    p_serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="stop after this many seconds (default: run until interrupted)",
+    )
+    p_serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="stop after this many requests (the CI smoke bound)",
+    )
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive a seeded open/closed-loop load run against the service",
+        parents=[obs_parent],
+    )
+    p_load.add_argument(
+        "--host", default="127.0.0.1", help="target service address"
+    )
+    p_load.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="target service port (default: boot a service in-process)",
+    )
+    p_load.add_argument(
+        "--mode", choices=("closed", "open"), default="closed", help="loop mode"
+    )
+    p_load.add_argument(
+        "--clients", type=int, default=8, help="concurrent client connections"
+    )
+    p_load.add_argument(
+        "--requests", type=int, default=200, help="measured /recommend requests"
+    )
+    p_load.add_argument(
+        "--arrival",
+        default="poisson",
+        help="open-loop arrival process (poisson, mmpp, flash-crowd, diurnal)",
+    )
+    p_load.add_argument(
+        "--rate", type=float, default=200.0, help="open-loop arrival rate [req/s]"
+    )
+    p_load.add_argument(
+        "--workloads",
+        default="EP,memcached",
+        help="comma-separated workloads the query plan draws from",
+    )
+    p_load.add_argument("--max-wimpy", type=int, default=6)
+    p_load.add_argument("--max-brawny", type=int, default=3)
+    p_load.add_argument("--budget", type=float, default=None, help="watts")
+    p_load.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="query-plan seed"
+    )
+    p_load.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro-serve/1 envelope instead of the summary table",
+    )
+
     p_prof = sub.add_parser(
         "profile",
         help="run any command under instrumentation and print a flame summary",
@@ -851,6 +939,153 @@ def _record_robustness_run(
         pass
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on service until a stop condition, then record ONE
+    ``cli/serve`` summary record — the service's internal queries never
+    touch the CLI ledger path (satellite contract: no per-query records)."""
+    import asyncio
+
+    from repro.serve import ReproService, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_capacity=args.cache_size,
+        tick_s=args.tick_ms / 1000.0,
+        slo_p95_s=args.slo_p95_ms / 1000.0,
+        precompute=tuple(_split_csv(args.precompute) or ()),
+        max_requests=args.max_requests,
+    )
+    holder: Dict[str, object] = {}
+
+    async def main() -> None:
+        service = ReproService(config)
+        await service.start()
+        print(
+            f"[serve] listening on http://{service.host}:{service.port} "
+            f"(SLO p95 {config.slo_p95_s * 1e3:g} ms, "
+            f"cache {config.cache_capacity}, tick {config.tick_s * 1e3:g} ms)",
+            flush=True,
+        )
+        try:
+            await service.run_until_stopped(args.duration)
+        finally:
+            holder["scalars"] = service.summary_scalars()
+            await service.close()
+
+    rc = 0
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        rc = 130
+    scalars = holder.get("scalars")
+    if scalars is not None:
+        args._scalars = scalars
+        from repro.util.tables import render_kv
+
+        print(render_kv(dict(scalars), title="Serve summary"))
+    return rc
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    from time import perf_counter, process_time
+
+    from repro.serve import ServeConfig
+    from repro.serve.loadgen import (
+        loadgen_envelope,
+        loadgen_scalars,
+        run_loadgen,
+        selfhosted_loadgen,
+    )
+    from repro.util.rng import DEFAULT_SEED
+    from repro.util.tables import render_kv
+
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    space = {
+        "max_wimpy": args.max_wimpy,
+        "max_brawny": args.max_brawny,
+        "budget_w": args.budget,
+    }
+    kwargs = dict(
+        mode=args.mode,
+        clients=args.clients,
+        total_requests=args.requests,
+        arrival=args.arrival,
+        rate_rps=args.rate,
+        workloads=tuple(_split_csv(args.workloads) or ("EP",)),
+        space=space,
+        seed=seed,
+    )
+    t0, c0 = perf_counter(), process_time()
+    if args.port is not None:
+        result = asyncio.run(run_loadgen(args.host, args.port, **kwargs))
+        serve_summary = None
+    else:
+        result, serve_summary = selfhosted_loadgen(ServeConfig(), **kwargs)
+    wall, cpu = perf_counter() - t0, process_time() - c0
+    args._scalars = loadgen_scalars(result)
+    envelope = loadgen_envelope(result, params={**kwargs, "space": space})
+    if serve_summary is not None:
+        envelope["serve_summary"] = serve_summary
+    rc = 0 if result.errors == 0 else 1
+    _record_loadgen_run(args, result, envelope, wall, cpu, rc)
+    if args.json:
+        print(json.dumps(envelope, indent=2))
+    else:
+        print(
+            render_kv(
+                {
+                    "mode": result.mode,
+                    "attempted": result.attempted,
+                    "completed": result.completed,
+                    "shed (503)": result.shed,
+                    "errors": result.errors,
+                    "infeasible": result.infeasible,
+                    "throughput [req/s]": result.throughput_rps,
+                    "p50 latency [ms]": result.p50_s * 1e3,
+                    "p95 latency [ms]": result.p95_s * 1e3,
+                    "p99 latency [ms]": result.p99_s * 1e3,
+                },
+                title=f"Loadgen against /recommend (seed {seed})",
+            )
+        )
+    return rc
+
+
+def _record_loadgen_run(
+    args: argparse.Namespace, result, envelope, wall_s: float, cpu_s: float, rc: int
+) -> None:
+    """Append the ``repro-serve/1`` envelope as an experiment record (the
+    routine ``cli/loadgen`` record only keeps the scalars)."""
+    from repro.obs.ledger import default_ledger, ledger_enabled, new_record
+
+    if getattr(args, "no_ledger", False) or not ledger_enabled():
+        return
+    record = new_record(
+        "experiment",
+        "experiment/serve-loadgen",
+        params={
+            "mode": result.mode,
+            "clients": args.clients,
+            "requests": args.requests,
+            "arrival": args.arrival,
+            "rate": args.rate,
+            "workloads": args.workloads,
+        },
+        scalars=getattr(args, "_scalars", None),
+        seed=result.seed,
+        wall_s=wall_s,
+        cpu_s=cpu_s,
+        exit_code=rc,
+        extra=envelope,
+    )
+    try:
+        default_ledger(getattr(args, "ledger_dir", None)).append(record)
+    except OSError:
+        pass
+
+
 def _parse_scalar_pairs(pairs: Sequence[str]) -> Dict[str, float]:
     out: Dict[str, float] = {}
     for pair in pairs:
@@ -1015,6 +1250,8 @@ _COMMANDS = {
     "characterize": _cmd_characterize,
     "schedule": _cmd_schedule,
     "robustness": _cmd_robustness,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "obs": _cmd_obs,
 }
 

@@ -37,9 +37,10 @@ materialise any configuration by index without evaluating it again.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -62,6 +63,8 @@ __all__ = [
     "config_constants",
     "SpaceEvaluationArrays",
     "evaluate_space_arrays",
+    "DeadlineStaircase",
+    "deadline_staircase",
     "clear_constants_cache",
     "constants_cache_size",
 ]
@@ -368,3 +371,115 @@ def evaluate_space_arrays(
         choice_idx=idx,
         group_lists=group_lists,
     )
+
+
+# ----------------------------------------------------------------------
+# Batched multi-query answering
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class DeadlineStaircase:
+    """Min-energy-by-deadline index over one evaluated space.
+
+    The exhaustive search answers *one* deadline query with a full argmin
+    over the space.  A long-lived service answers *many* deadline queries
+    against the same space, so this precomputes the answer staircase once:
+    feasible configurations sorted by ascending execution time, with a
+    prefix-best winner at every position under exactly the exhaustive
+    search's comparator — minimum energy, ties toward the faster
+    configuration, then toward enumeration order.  A query is then one
+    ``searchsorted`` (O(log n)), and a batch of queries is one vectorized
+    ``searchsorted`` over all of them — the ``model.batched`` multi-query
+    entry point the serving layer's micro-batcher rides.
+
+    Bit-identity contract: ``best_index(d)`` equals the configuration
+    index :func:`repro.cluster.search.recommend_exhaustive` materialises
+    for the same deadline and feasibility mask (pinned in
+    ``tests/model/test_multiquery.py``), so answers served from a cached
+    staircase are byte-identical to a fresh offline sweep.
+    """
+
+    #: Feasible execution times, ascending (searchsorted key).
+    tp_sorted: np.ndarray
+    #: Configuration index (into the originating arrays) of the winner
+    #: among the first ``p + 1`` feasible configurations.
+    best_idx: np.ndarray
+
+    @property
+    def n_feasible(self) -> int:
+        """Number of feasible configurations behind the staircase."""
+        return int(self.tp_sorted.shape[0])
+
+    def best_index(self, deadline_s: float) -> int:
+        """The winning configuration index for one deadline (-1: infeasible).
+
+        Scalar fast path: one ``searchsorted`` call and no array
+        round-trips — this sits on the serving layer's per-request hot
+        path, where the batch entry point's asarray/where/astype overhead
+        would dominate the O(log n) lookup itself.
+        """
+        d = float(deadline_s)
+        if not d > 0.0:  # also catches NaN
+            raise ModelError("deadlines must be positive numbers")
+        if self.tp_sorted.shape[0] == 0:
+            return -1
+        pos = int(np.searchsorted(self.tp_sorted, d, side="right")) - 1
+        return int(self.best_idx[pos]) if pos >= 0 else -1
+
+    def best_indices(self, deadlines_s: Sequence[float]) -> np.ndarray:
+        """Winning configuration indices for a whole batch of deadlines.
+
+        One vectorized ``searchsorted`` pass; entries are -1 where no
+        feasible configuration meets the deadline.
+        """
+        deadlines = np.asarray(deadlines_s, dtype=float)
+        if np.any(deadlines <= 0) or np.any(np.isnan(deadlines)):
+            raise ModelError("deadlines must be positive numbers")
+        if self.tp_sorted.shape[0] == 0:
+            return np.full(deadlines.shape, -1, dtype=np.int64)
+        pos = np.searchsorted(self.tp_sorted, deadlines, side="right") - 1
+        out = np.where(pos >= 0, self.best_idx[np.maximum(pos, 0)], -1)
+        return out.astype(np.int64)
+
+
+def deadline_staircase(
+    arrays: SpaceEvaluationArrays,
+    feasible_mask: Optional[np.ndarray] = None,
+) -> DeadlineStaircase:
+    """Build the :class:`DeadlineStaircase` of one evaluated space.
+
+    ``feasible_mask`` restricts the space (e.g. a power budget's
+    :meth:`~repro.cluster.budget.PowerBudget.fits_mask`); the staircase
+    then answers deadline queries over the restricted space only.
+    """
+    if feasible_mask is None:
+        candidates = np.arange(arrays.n_configs, dtype=np.int64)
+    else:
+        mask = np.asarray(feasible_mask, dtype=bool)
+        if mask.shape != arrays.tp_s.shape:
+            raise ModelError(
+                f"feasible mask shape {mask.shape} does not match the "
+                f"{arrays.n_configs}-configuration space"
+            )
+        candidates = np.flatnonzero(mask)
+    tp = arrays.tp_s[candidates]
+    energy = arrays.energy_j[candidates]
+    # Ascending time; time-ties stay in enumeration order (stable sort),
+    # matching recommend_exhaustive's lexsort tie-breaking exactly.
+    order = np.argsort(tp, kind="stable")
+    tp_sorted = tp[order]
+    energy_sorted = energy[order]
+    cand_sorted = candidates[order]
+    # Prefix-best under (energy, tp, enumeration index): at each position
+    # the winner so far.  Strict energy improvement advances the winner;
+    # an energy tie advances only on strictly smaller time (impossible
+    # here — times ascend — except for exact time-ties, where the earlier
+    # enumeration index must win, i.e. keep the incumbent).
+    best_idx = np.empty_like(cand_sorted)
+    best_e = math.inf
+    best = -1
+    for p in range(cand_sorted.shape[0]):
+        if energy_sorted[p] < best_e:
+            best_e = energy_sorted[p]
+            best = cand_sorted[p]
+        best_idx[p] = best
+    return DeadlineStaircase(tp_sorted=tp_sorted, best_idx=best_idx)

@@ -11,7 +11,7 @@ the experiment) and explicit tolerance bands, evaluated together by
 ``repro obs check`` and recorded to the run ledger so the claims are
 watched continuously rather than asserted once.
 
-The seven monitors and their claims:
+The eight monitors and their claims:
 
 * ``md1-mc-agreement`` — the analytic M/D/1 p95 must fall inside the
   simulated 99% CI on (almost) every cell of a reduced EP validation
@@ -41,6 +41,12 @@ The seven monitors and their claims:
   (several x worse) and x264's degradation grows by an order of
   magnitude (the Fig. 9 conclusion is arrival-process *sensitive* in a
   banded, reproducible way).
+* ``serving-slo`` — the always-on service (:mod:`repro.serve`) under a
+  seeded closed-loop reference load: client-side p95 stays under the
+  service SLO, every request completes, and every cache-hit answer is
+  bit-identical to a fresh offline
+  :func:`repro.cluster.search.recommend_exhaustive` for the same
+  configuration digest.
 
 Every derivation is seeded (default :data:`repro.util.rng.DEFAULT_SEED`)
 and deterministic, so a monitor that goes red marks a real behaviour
@@ -268,6 +274,66 @@ def _derive_bursty_contrast(seed: int) -> Dict[str, float]:
     return out
 
 
+def _derive_serving_slo(seed: int) -> Dict[str, float]:
+    import repro
+    from repro.cluster.search import recommend_exhaustive
+    from repro.serve.loadgen import selfhosted_loadgen
+    from repro.serve.service import DEFAULT_SLO_P95_S, ServeConfig
+
+    space = {"max_wimpy": 5, "max_brawny": 2, "budget_w": None}
+    result, _summary = selfhosted_loadgen(
+        ServeConfig(slo_p95_s=DEFAULT_SLO_P95_S),
+        mode="closed",
+        clients=8,
+        total_requests=200,
+        workloads=("EP", "memcached"),
+        space=space,
+        seed=seed,
+        collect_responses=True,
+    )
+    spaces_by_workload: Dict[str, list] = {}
+    checked = 0
+    identical = 0
+    for body, doc in result.responses:
+        if not doc.get("cache_hit"):
+            continue
+        name = str(body["workload"])
+        spaces = spaces_by_workload.setdefault(
+            name,
+            [
+                repro.TypeSpace(
+                    repro.get_node_spec("A9"), n_max=int(space["max_wimpy"])
+                ),
+                repro.TypeSpace(
+                    repro.get_node_spec("K10"), n_max=int(space["max_brawny"])
+                ),
+            ],
+        )
+        rec = recommend_exhaustive(
+            repro.workload(name), spaces, deadline_s=float(body["deadline_s"])
+        )
+        if doc.get("feasible") is False:
+            ok = rec is None
+        else:
+            ok = (
+                rec is not None
+                and doc.get("tp_s") == rec.evaluation.tp_s
+                and doc.get("energy_j") == rec.evaluation.energy_j
+                and doc.get("peak_power_w") == rec.evaluation.peak_power_w
+                and doc.get("mix") == rec.config.label()
+                and doc.get("operating_point") == str(rec.config)
+            )
+        checked += 1
+        identical += int(ok)
+    return {
+        "p95_latency_s": result.p95_s,
+        "throughput_rps": result.throughput_rps,
+        "completed_fraction": result.completed / result.attempted,
+        "checked": float(checked),
+        "bit_identical_fraction": identical / checked if checked else math.nan,
+    }
+
+
 #: The monitor registry, evaluation order = declaration order.
 MONITORS: Dict[str, ClaimMonitor] = {
     m.name: m
@@ -343,6 +409,20 @@ MONITORS: Dict[str, ClaimMonitor] = {
             bands={
                 "ep_degradation": Band(2.0, 20.0),
                 "x264_degradation": Band(40.0, 500.0),
+            },
+        ),
+        ClaimMonitor(
+            name="serving-slo",
+            claim=(
+                "always-on service under the seeded closed-loop reference"
+                " load: p95 under the SLO, every request completed, every"
+                " cache-hit answer bit-identical to the offline sweep"
+            ),
+            derive=_derive_serving_slo,
+            bands={
+                "p95_latency_s": Band(0.0, 0.25),
+                "completed_fraction": Band(1.0, 1.0),
+                "bit_identical_fraction": Band(1.0, 1.0),
             },
         ),
     )

@@ -1,0 +1,224 @@
+"""Model-informed admission control: the scheduler schedules itself.
+
+The paper's response-time analysis models the cluster dispatcher as an
+M/D/1 queue and reads p95 response times off Franx's waiting-time
+distribution (:mod:`repro.queueing.md1`).  The serving layer applies the
+same model to *its own* request queue: requests arrive (approximately)
+Poisson, the micro-batcher drains them in near-deterministic per-request
+compute time, so the service is its own M/D/1 system.
+
+:func:`derive_occupancy_limit` inverts the model: given the measured
+per-request service time ``D`` and the p95 response-time SLO, bisection
+finds the largest utilisation ``rho*`` whose analytic p95 still meets
+the SLO, and the occupancy threshold is the smallest queue depth ``n``
+with ``P(L <= n) >= 0.95`` at ``rho*`` — the depth the stationary
+system-size distribution says a compliant queue exceeds only 5% of the
+time.  A request arriving to a deeper queue is shed (HTTP 503) instead
+of blowing the tail for everyone behind it.
+
+The controller re-derives the threshold whenever its service-time
+estimate (an EWMA over measured batch computes) drifts beyond a relative
+tolerance, so a workload shift — e.g. cold keys forcing full sweeps —
+tightens admission within a few ticks, and a warm cache relaxes it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict
+
+from repro.errors import ReproError
+from repro.obs.metrics import get_registry
+from repro.queueing.md1 import MD1Queue
+
+__all__ = ["AdmissionController", "OccupancyLimit", "derive_occupancy_limit"]
+
+#: Utilisation bracket for the bisection: the analytic model is exact on
+#: (0, 1); searching beyond 0.999 asks for percentiles of an effectively
+#: unstable queue.
+_RHO_LO, _RHO_HI = 1e-6, 0.999
+
+#: Depth percentile backing the occupancy threshold: the queue is allowed
+#: to look like a compliant M/D/1 queue's 95th-percentile depth, no more.
+_DEPTH_PERCENTILE = 0.95
+
+#: Hard ceiling on the derived depth so a very loose SLO cannot produce an
+#: unbounded (memory-hostile) admission queue.
+_MAX_DEPTH = 4096
+
+
+@dataclass(frozen=True)
+class OccupancyLimit:
+    """One derived admission threshold and the model inputs behind it."""
+
+    #: Largest utilisation whose analytic M/D/1 p95 meets the SLO.
+    rho_star: float
+    #: Queue-depth threshold: shed arrivals that would exceed it.
+    depth: int
+    #: The service-time estimate the derivation used (seconds).
+    service_time_s: float
+    #: The p95 SLO the derivation targeted (seconds).
+    slo_p95_s: float
+    #: Analytic p95 response at ``rho_star`` (<= the SLO by construction).
+    p95_at_limit_s: float
+
+
+def derive_occupancy_limit(
+    service_time_s: float, slo_p95_s: float, *, tol: float = 1e-4
+) -> OccupancyLimit:
+    """Derive the shed threshold from the M/D/1 p95 model.
+
+    Bisection on utilisation: p95 response of an M/D/1 queue is strictly
+    increasing in ``rho`` at fixed ``D``, so the largest SLO-compliant
+    ``rho*`` brackets cleanly.  The depth threshold is the 95th
+    percentile of the stationary system size at ``rho*`` (at least 1 —
+    a service that cannot meet its SLO even empty still serves one
+    request at a time rather than shedding everything).
+    """
+    if service_time_s <= 0:
+        raise ReproError(f"service time must be positive, got {service_time_s}")
+    if slo_p95_s <= 0:
+        raise ReproError(f"p95 SLO must be positive, got {slo_p95_s}")
+    return _derive_cached(float(service_time_s), float(slo_p95_s), float(tol))
+
+
+@lru_cache(maxsize=256)
+def _derive_cached(
+    service_time_s: float, slo_p95_s: float, tol: float
+) -> OccupancyLimit:
+    """The derivation proper, memoized: it is pure and ~0.2 s per call
+    (the bisection walks Franx's waiting-time distribution repeatedly),
+    and every service boot with default settings asks for the same
+    (1 ms, SLO) point.  :class:`OccupancyLimit` is frozen, so sharing one
+    instance across controllers is safe."""
+
+    def p95(rho: float) -> float:
+        return MD1Queue.from_utilisation(rho, service_time_s).p95_response_s()
+
+    if p95(_RHO_LO) > slo_p95_s:
+        # Even an idle queue misses the SLO (D alone exceeds it): admit
+        # one request at a time and let the SLO monitor flag the miss.
+        return OccupancyLimit(
+            rho_star=_RHO_LO,
+            depth=1,
+            service_time_s=service_time_s,
+            slo_p95_s=slo_p95_s,
+            p95_at_limit_s=p95(_RHO_LO),
+        )
+    lo, hi = _RHO_LO, _RHO_HI
+    if p95(hi) <= slo_p95_s:
+        lo = hi
+    else:
+        while hi - lo > tol:
+            mid = 0.5 * (lo + hi)
+            if p95(mid) <= slo_p95_s:
+                lo = mid
+            else:
+                hi = mid
+    rho_star = lo
+    queue = MD1Queue.from_utilisation(rho_star, service_time_s)
+    depth = 1
+    while depth < _MAX_DEPTH and queue.system_size_cdf(depth) < _DEPTH_PERCENTILE:
+        depth += 1
+    return OccupancyLimit(
+        rho_star=rho_star,
+        depth=depth,
+        service_time_s=service_time_s,
+        slo_p95_s=slo_p95_s,
+        p95_at_limit_s=queue.p95_response_s(),
+    )
+
+
+class AdmissionController:
+    """Shed-or-admit decisions against a model-derived occupancy limit.
+
+    ``observe(service_time_s)`` feeds measured per-request compute times
+    into an EWMA; when the estimate drifts more than ``rederive_rel``
+    from the one the current limit was derived with, the threshold is
+    re-derived from the M/D/1 model.  ``admit(depth)`` is the hot-path
+    check: True when a request arriving to ``depth`` queued/in-flight
+    requests should be admitted.
+    """
+
+    def __init__(
+        self,
+        slo_p95_s: float,
+        *,
+        initial_service_time_s: float = 1e-3,
+        ewma_alpha: float = 0.2,
+        rederive_rel: float = 0.25,
+    ) -> None:
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ReproError(f"EWMA alpha must be in (0, 1], got {ewma_alpha}")
+        if rederive_rel <= 0:
+            raise ReproError(f"rederive tolerance must be positive, got {rederive_rel}")
+        self.slo_p95_s = float(slo_p95_s)
+        self._alpha = float(ewma_alpha)
+        self._rederive_rel = float(rederive_rel)
+        self._estimate_s = float(initial_service_time_s)
+        self._limit = derive_occupancy_limit(self._estimate_s, self.slo_p95_s)
+        self.shed_total = 0
+        self.admitted_total = 0
+        self.rederivations = 0
+
+    @property
+    def limit(self) -> OccupancyLimit:
+        """The occupancy limit currently enforced."""
+        return self._limit
+
+    @property
+    def service_time_estimate_s(self) -> float:
+        """The EWMA per-request service-time estimate (seconds)."""
+        return self._estimate_s
+
+    def observe(self, service_time_s: float) -> None:
+        """Feed one measured per-request service time into the estimate.
+
+        Re-derives the occupancy limit when the estimate has drifted more
+        than the relative tolerance from the derivation's input.
+        """
+        if service_time_s <= 0 or math.isnan(service_time_s):
+            return
+        self._estimate_s += self._alpha * (service_time_s - self._estimate_s)
+        anchor = self._limit.service_time_s
+        if abs(self._estimate_s - anchor) > self._rederive_rel * anchor:
+            self._limit = derive_occupancy_limit(self._estimate_s, self.slo_p95_s)
+            self.rederivations += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "repro_serve_admission_rederivations_total",
+                    help="Occupancy-limit re-derivations from the M/D/1 model",
+                ).inc()
+                registry.gauge(
+                    "repro_serve_admission_depth_limit",
+                    help="Current model-derived shed threshold (queue depth)",
+                ).set(self._limit.depth)
+
+    def admit(self, depth: int) -> bool:
+        """Whether a request arriving at queue depth ``depth`` is admitted."""
+        if depth < self._limit.depth:
+            self.admitted_total += 1
+            return True
+        self.shed_total += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_serve_shed_total",
+                help="Requests shed by model-informed admission control",
+            ).inc()
+        return False
+
+    def stats(self) -> Dict[str, float]:
+        """Controller counters and the live threshold (for ``/stats``)."""
+        return {
+            "depth_limit": float(self._limit.depth),
+            "rho_star": self._limit.rho_star,
+            "service_time_estimate_s": self._estimate_s,
+            "slo_p95_s": self.slo_p95_s,
+            "admitted": float(self.admitted_total),
+            "shed": float(self.shed_total),
+            "rederivations": float(self.rederivations),
+        }

@@ -1,0 +1,680 @@
+"""The always-on recommendation service: asyncio HTTP, stdlib only.
+
+``repro recommend`` pays a full process start, workload calibration and
+configuration-space sweep per question.  :class:`ReproService` keeps all
+of that warm in one long-lived process and answers over HTTP/1.1
+(hand-rolled on ``asyncio.start_server`` — no new runtime deps):
+
+``POST /recommend``
+    ``{"workload", "deadline_s", "max_wimpy", "max_brawny", "budget_w"}``
+    → the minimum-energy configuration meeting the deadline.  Answers are
+    bit-identical to an offline
+    :func:`repro.cluster.search.recommend_exhaustive` for the same
+    configuration digest: the cached
+    :class:`~repro.model.batched.DeadlineStaircase` reproduces the
+    exhaustive comparator exactly (``tests/model/test_multiquery.py``),
+    and responses carry the exact floats from the cached space arrays.
+``POST /frontier``
+    The energy-deadline Pareto frontier of the same space (budget-masked
+    when a budget is given), via :func:`repro.cluster.pareto.pareto_indices`.
+``POST /schedule``
+    One autoscaled-day replay
+    (:func:`repro.experiments.scheduling.replay_day`), summary only.
+``GET /healthz`` / ``/stats`` / ``/metrics``
+    Liveness, the service counters, and the Prometheus rendering of the
+    process metrics registry.
+
+Request flow: a ``recommend``/``frontier`` request digests its space
+parameters (:func:`repro.serve.cache.request_digest`), and a warm digest
+is answered inline — an O(log n) staircase lookup on the event loop,
+never queued, never shed.  A cold digest first passes admission control
+(:class:`repro.serve.admission.AdmissionController`, threshold derived
+from our own M/D/1 p95 model; HTTP 503 when the compute queue is too
+deep), then rides the micro-batcher
+(:class:`repro.serve.batching.MicroBatcher`) under the cache's
+single-flight guard, so one tick computes each distinct digest at most
+once no matter how many requests ask for it concurrently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
+from repro.serve.admission import AdmissionController
+from repro.serve.batching import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_TICK_S,
+    BatchTimeout,
+    MicroBatcher,
+)
+from repro.serve.cache import DEFAULT_CAPACITY, FrontierCache, request_digest
+
+__all__ = [
+    "DEFAULT_SLO_P95_S",
+    "ReproService",
+    "ServeConfig",
+    "ServeStats",
+]
+
+#: Default p95 response-time SLO the admission threshold is derived from.
+DEFAULT_SLO_P95_S = 0.25
+
+#: Default per-request compute timeout (cold sweeps included).
+DEFAULT_TIMEOUT_S = 30.0
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Space-parameter schema shared by /recommend and /frontier: defaults
+#: mirror the small offline search the tests pin bit-identity against.
+_SPACE_DEFAULTS: Dict[str, object] = {
+    "max_wimpy": 6,
+    "max_brawny": 3,
+    "budget_w": None,
+}
+
+_SCHEDULE_DEFAULTS: Dict[str, object] = {
+    "workload": "EP",
+    "policy": "ppr-greedy",
+    "trace": "diurnal",
+    "seed": None,
+    "intervals": 24,
+    "interval_s": 20.0,
+    "demand": 0.5,
+}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Immutable service configuration (one per :class:`ReproService`)."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port; read it back from :attr:`ReproService.port`.
+    port: int = 0
+    cache_capacity: int = DEFAULT_CAPACITY
+    tick_s: float = DEFAULT_TICK_S
+    max_batch: int = DEFAULT_MAX_BATCH
+    slo_p95_s: float = DEFAULT_SLO_P95_S
+    #: Compute timeout per request (queued + batched + evaluated).
+    request_timeout_s: float = DEFAULT_TIMEOUT_S
+    #: Workload names whose default spaces are swept at startup, so the
+    #: first real request hits a warm cache.
+    precompute: Tuple[str, ...] = ()
+    #: Stop serving after this many requests (None: run until stopped);
+    #: the CI smoke job uses this for a bounded run.
+    max_requests: Optional[int] = None
+
+
+@dataclass
+class ServeStats:
+    """Mutable per-service request counters (endpoint and status)."""
+
+    requests: Dict[str, int] = field(default_factory=dict)
+    statuses: Dict[str, int] = field(default_factory=dict)
+    started: float = 0.0
+
+    @property
+    def total(self) -> int:
+        """Requests routed since start (any endpoint, any outcome)."""
+        return sum(self.requests.values())
+
+    def count(self, endpoint: str, status: int) -> None:
+        """Record one routed request and its response status."""
+        self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+        key = str(status)
+        self.statuses[key] = self.statuses.get(key, 0) + 1
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot for the ``/stats`` endpoint."""
+        return {
+            "uptime_s": perf_counter() - self.started if self.started else 0.0,
+            "total": self.total,
+            "requests": dict(self.requests),
+            "statuses": dict(self.statuses),
+        }
+
+
+@dataclass(frozen=True, eq=False)
+class _SpacePayload:
+    """One cached configuration space: arrays + staircase + frontier."""
+
+    arrays: Any  # SpaceEvaluationArrays
+    staircase: Any  # DeadlineStaircase (budget-masked when a budget applies)
+    frontier: Tuple[Dict[str, object], ...]
+    build_s: float
+    #: Rendered answer fragments keyed by winning configuration index —
+    #: the staircase has few distinct winners, so materialising
+    #: ``config_at``/``label``/``str`` once per winner takes that work off
+    #: the per-request hot path (the dict mutates; the payload stays frozen).
+    answers: Dict[int, Dict[str, object]] = field(default_factory=dict)
+
+
+def _non_config_keys() -> frozenset:
+    from repro.cli import _NON_CONFIG_KEYS
+
+    return _NON_CONFIG_KEYS
+
+
+def _validated_params(
+    body: Mapping[str, object], defaults: Mapping[str, object], required: Sequence[str]
+) -> Dict[str, object]:
+    """Merge a request body over endpoint defaults.
+
+    Placement-only keys (:data:`repro.cli._NON_CONFIG_KEYS` — ``workers``
+    and friends) are tolerated and DROPPED, so they can neither fragment
+    the cache nor change the answer; any other unknown key is a 400-class
+    error (a typo must not silently create a divergent cache entry).
+    """
+    params = dict(defaults)
+    skip = _non_config_keys()
+    for key, value in body.items():
+        if key in skip:
+            continue
+        if key not in defaults and key not in required:
+            raise ReproError(
+                f"unknown request parameter {key!r}; "
+                f"expected {sorted((*defaults, *required))}"
+            )
+        params[key] = value
+    for key in required:
+        if key not in params or params[key] is None:
+            raise ReproError(f"missing required request parameter {key!r}")
+    return params
+
+
+def _normalize_space_params(params: Dict[str, object]) -> Dict[str, object]:
+    """Canonicalise space-parameter types before digesting.
+
+    JSON clients may send ``6`` or ``6.0``; the config digest serialises
+    values literally, so types must be pinned or equal requests would
+    fragment the cache.
+    """
+    params["workload"] = str(params["workload"])
+    params["max_wimpy"] = int(params["max_wimpy"])
+    params["max_brawny"] = int(params["max_brawny"])
+    if params["budget_w"] is not None:
+        params["budget_w"] = float(params["budget_w"])
+    return params
+
+
+def _normalize_schedule_params(params: Dict[str, object]) -> Dict[str, object]:
+    """Canonicalise schedule-replay parameter types before digesting."""
+    params["workload"] = str(params["workload"])
+    params["policy"] = str(params["policy"])
+    params["trace"] = str(params["trace"])
+    if params["seed"] is not None:
+        params["seed"] = int(params["seed"])
+    params["intervals"] = int(params["intervals"])
+    params["interval_s"] = float(params["interval_s"])
+    params["demand"] = float(params["demand"])
+    return params
+
+
+def _build_space_payload(params: Mapping[str, object]) -> _SpacePayload:
+    """Evaluate one space and precompute its answer machinery.
+
+    Runs on the batcher's compute thread: ONE vectorized
+    :func:`evaluate_space_arrays` pass over the whole configuration
+    space, one staircase build, one Pareto pass — everything later
+    requests against this digest will ever need.
+    """
+    import repro
+    from repro.cluster.pareto import pareto_indices
+    from repro.model.batched import deadline_staircase, evaluate_space_arrays
+
+    t0 = perf_counter()
+    workload = repro.workload(str(params["workload"]))
+    spaces = [
+        repro.TypeSpace(repro.get_node_spec("A9"), n_max=int(params["max_wimpy"])),
+        repro.TypeSpace(repro.get_node_spec("K10"), n_max=int(params["max_brawny"])),
+    ]
+    with span("serve.build_space", workload=workload.name):
+        arrays = evaluate_space_arrays(workload, spaces)
+        budget_w = params.get("budget_w")
+        if budget_w is not None:
+            budget = repro.PowerBudget(float(budget_w))
+            mask = budget.fits_mask(
+                arrays.nameplate_w,
+                arrays.counts.get("A9", np.zeros(arrays.n_configs, dtype=np.int64)),
+            )
+            candidates = np.flatnonzero(mask)
+        else:
+            mask = None
+            candidates = np.arange(arrays.n_configs, dtype=np.int64)
+        staircase = deadline_staircase(arrays, mask)
+        frontier: List[Dict[str, object]] = []
+        if candidates.size:
+            keep = candidates[
+                pareto_indices(arrays.tp_s[candidates], arrays.energy_j[candidates])
+            ]
+            for idx in keep:
+                config = arrays.config_at(int(idx))
+                frontier.append(
+                    {
+                        "mix": config.label(),
+                        "operating_point": str(config),
+                        "tp_s": float(arrays.tp_s[idx]),
+                        "energy_j": float(arrays.energy_j[idx]),
+                        "peak_power_w": float(arrays.peak_power_w[idx]),
+                    }
+                )
+    return _SpacePayload(
+        arrays=arrays,
+        staircase=staircase,
+        frontier=tuple(frontier),
+        build_s=perf_counter() - t0,
+    )
+
+
+def _run_schedule(params: Mapping[str, object]) -> Dict[str, object]:
+    """One autoscaled-day replay as a compact JSON document.
+
+    The full per-interval telemetry stream is dropped (this is a serving
+    response, not an export — ``repro schedule --json`` remains the
+    firehose); everything else matches ``schedule_result_json``.
+    """
+    from repro.experiments.scheduling import (
+        replay_day,
+        replay_scalars,
+        schedule_result_json,
+    )
+    from repro.util.rng import DEFAULT_SEED
+
+    seed = params["seed"]
+    seed = DEFAULT_SEED if seed is None else int(seed)
+    result, oracle = replay_day(
+        str(params["workload"]),
+        str(params["policy"]),
+        trace_kind=str(params["trace"]),
+        seed=seed,
+        n_intervals=int(params["intervals"]),
+        interval_s=float(params["interval_s"]),
+        demand=float(params["demand"]),
+    )
+    doc = schedule_result_json(result, oracle, seed=seed)
+    doc.pop("telemetry", None)
+    doc.pop("node_stats", None)
+    doc["scalars"] = replay_scalars(result, oracle)
+    return doc
+
+
+class ReproService:
+    """The asyncio HTTP service tying cache, batcher and admission together.
+
+    Lifecycle::
+
+        service = ReproService(ServeConfig(precompute=("EP",)))
+        await service.start()          # batcher + precompute + listener
+        ...                            # service.port is now bound
+        await service.run_until_stopped(duration_s=60)
+        await service.close()
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.cache = FrontierCache(self.config.cache_capacity)
+        self.admission = AdmissionController(self.config.slo_p95_s)
+        self.batcher = MicroBatcher(
+            self._compute_batch,
+            tick_s=self.config.tick_s,
+            max_batch=self.config.max_batch,
+        )
+        self.stats_counters = ServeStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        """Start the batcher, warm the precompute set, bind the listener."""
+        if self._server is not None:
+            raise ReproError("service already started")
+        self._stop_event = asyncio.Event()
+        self.batcher.start()
+        for name in self.config.precompute:
+            params = dict(_SPACE_DEFAULTS)
+            params["workload"] = name
+            await self.cache.get_or_compute(
+                request_digest(params), params, lambda p=params: self._compute_entry("space", p)
+            )
+        self._server = await asyncio.start_server(
+            self._handle_conn, host=self.config.host, port=self.config.port
+        )
+        self.stats_counters.started = perf_counter()
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ephemeral port 0)."""
+        if self._server is None or not self._server.sockets:
+            raise ReproError("service is not listening")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def host(self) -> str:
+        """The configured bind host."""
+        return self.config.host
+
+    def request_stop(self) -> None:
+        """Ask :meth:`run_until_stopped` to return (loop-thread only)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def run_until_stopped(self, duration_s: Optional[float] = None) -> None:
+        """Serve until :meth:`request_stop`, ``max_requests``, or a timeout."""
+        if self._stop_event is None:
+            raise ReproError("service is not started")
+        if duration_s is None:
+            await self._stop_event.wait()
+            return
+        try:
+            await asyncio.wait_for(self._stop_event.wait(), timeout=duration_s)
+        except asyncio.TimeoutError:
+            pass
+
+    async def close(self) -> None:
+        """Stop listening and tear the batcher down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.close()
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """The full service state document (the ``/stats`` body)."""
+        return {
+            "service": self.stats_counters.to_dict(),
+            "cache": self.cache.stats(),
+            "admission": self.admission.stats(),
+            "batching": self.batcher.stats(),
+        }
+
+    def summary_scalars(self) -> Dict[str, float]:
+        """Flat scalars for the one ``cli/serve`` shutdown ledger record."""
+        cache = self.cache.stats()
+        admission = self.admission.stats()
+        batching = self.batcher.stats()
+        return {
+            "requests_total": float(self.stats_counters.total),
+            "cache_hits": cache["hits"],
+            "cache_misses": cache["misses"],
+            "cache_hit_fraction": cache["hit_fraction"],
+            "cache_evictions": cache["evictions"],
+            "shed": admission["shed"],
+            "admission_depth_limit": admission["depth_limit"],
+            "batches": batching["batches"],
+            "mean_batch_size": batching["mean_batch_size"],
+        }
+
+    # -- compute path ------------------------------------------------------
+    def _compute_batch(self, payloads: Sequence[Any]) -> List[Any]:
+        """The micro-batcher's compute callback (runs on the worker thread).
+
+        One drained tick's payloads, computed back to back on one thread;
+        a per-payload failure becomes that query's exception without
+        poisoning the rest of the batch.
+        """
+        results: List[Any] = []
+        for payload in payloads:
+            kind, params = payload
+            t0 = perf_counter()
+            try:
+                if kind == "space":
+                    obj: Any = _build_space_payload(params)
+                elif kind == "schedule":
+                    obj = _run_schedule(params)
+                else:
+                    raise ReproError(f"unknown compute payload kind {kind!r}")
+            except Exception as exc:  # noqa: BLE001 - delivered per-query
+                results.append(exc)
+                continue
+            results.append({"payload": obj, "elapsed_s": perf_counter() - t0})
+        return results
+
+    async def _compute_entry(self, kind: str, params: Mapping[str, object]) -> Any:
+        """Submit one cold compute through the batcher; feed admission."""
+        out = await self.batcher.submit(
+            (kind, dict(params)), timeout_s=self.config.request_timeout_s
+        )
+        self.admission.observe(out["elapsed_s"])
+        return out["payload"]
+
+    async def _space_entry(self, params: Dict[str, object]):
+        """The cached space entry for one request, with admission on misses.
+
+        Returns ``(entry, was_hit)``; raises ``_Shed`` when admission
+        rejects a cold compute.
+        """
+        digest = request_digest(params)
+        if digest not in self.cache and not self.admission.admit(self.batcher.depth):
+            raise _Shed(digest)
+        return digest, await self.cache.get_or_compute(
+            digest, params, lambda: self._compute_entry("space", params)
+        )
+
+    # -- endpoint handlers -------------------------------------------------
+    async def _handle_recommend(self, body: Mapping[str, object]) -> Dict[str, object]:
+        params = _validated_params(body, _SPACE_DEFAULTS, ("workload", "deadline_s"))
+        deadline_s = float(params.pop("deadline_s"))
+        params = _normalize_space_params(params)
+        if deadline_s <= 0:
+            raise ReproError(f"deadline_s must be positive, got {deadline_s}")
+        digest, (entry, was_hit) = await self._space_entry(params)
+        payload: _SpacePayload = entry.payload
+        idx = payload.staircase.best_index(deadline_s)
+        doc: Dict[str, object] = {
+            "endpoint": "recommend",
+            "workload": params["workload"],
+            "deadline_s": deadline_s,
+            "digest": digest,
+            "cache_hit": was_hit,
+            "evaluated_configs": payload.arrays.n_configs,
+            "strategy": "exhaustive",
+        }
+        if idx < 0:
+            doc["feasible"] = False
+            return doc
+        fragment = payload.answers.get(idx)
+        if fragment is None:
+            arrays = payload.arrays
+            config = arrays.config_at(idx)
+            fragment = {
+                "feasible": True,
+                "mix": config.label(),
+                "operating_point": str(config),
+                "tp_s": float(arrays.tp_s[idx]),
+                "energy_j": float(arrays.energy_j[idx]),
+                "peak_power_w": float(arrays.peak_power_w[idx]),
+            }
+            payload.answers[idx] = fragment
+        doc.update(fragment)
+        return doc
+
+    async def _handle_frontier(self, body: Mapping[str, object]) -> Dict[str, object]:
+        params = _normalize_space_params(
+            _validated_params(body, _SPACE_DEFAULTS, ("workload",))
+        )
+        digest, (entry, was_hit) = await self._space_entry(params)
+        payload: _SpacePayload = entry.payload
+        return {
+            "endpoint": "frontier",
+            "workload": params["workload"],
+            "digest": digest,
+            "cache_hit": was_hit,
+            "evaluated_configs": payload.arrays.n_configs,
+            "points": list(payload.frontier),
+        }
+
+    async def _handle_schedule(self, body: Mapping[str, object]) -> Dict[str, object]:
+        params = _normalize_schedule_params(
+            _validated_params(body, _SCHEDULE_DEFAULTS, ())
+        )
+        digest = request_digest(params)
+        if digest not in self.cache and not self.admission.admit(self.batcher.depth):
+            raise _Shed(digest)
+        entry, was_hit = await self.cache.get_or_compute(
+            digest, params, lambda: self._compute_entry("schedule", params)
+        )
+        doc = dict(entry.payload)
+        doc.update(endpoint="schedule", digest=digest, cache_hit=was_hit)
+        return doc
+
+    # -- HTTP plumbing -----------------------------------------------------
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, str, bytes]:
+        """Dispatch one parsed request; returns (status, content-type, body)."""
+        if method == "GET":
+            if path == "/healthz":
+                return 200, "application/json", _json_bytes(
+                    {"status": "ok", "requests": self.stats_counters.total}
+                )
+            if path == "/stats":
+                return 200, "application/json", _json_bytes(self.stats())
+            if path == "/metrics":
+                return 200, "text/plain; version=0.0.4", get_registry().to_prometheus().encode("utf-8")
+            return 404, "application/json", _json_bytes({"error": f"no such path {path}"})
+        if method != "POST":
+            return 405, "application/json", _json_bytes({"error": f"method {method} not allowed"})
+        handler = {
+            "/recommend": self._handle_recommend,
+            "/frontier": self._handle_frontier,
+            "/schedule": self._handle_schedule,
+        }.get(path)
+        if handler is None:
+            return 404, "application/json", _json_bytes({"error": f"no such path {path}"})
+        try:
+            parsed = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(parsed, dict):
+                raise ReproError("request body must be a JSON object")
+            doc = await handler(parsed)
+            return 200, "application/json", _json_bytes(doc)
+        except _Shed as shed:
+            limit = self.admission.limit
+            return 503, "application/json", _json_bytes(
+                {
+                    "error": "shed",
+                    "digest": shed.digest,
+                    "depth": self.batcher.depth,
+                    "depth_limit": limit.depth,
+                    "retry_after_s": limit.service_time_s,
+                }
+            )
+        except BatchTimeout as exc:
+            return 504, "application/json", _json_bytes({"error": str(exc)})
+        except (ReproError, ValueError, TypeError, json.JSONDecodeError) as exc:
+            return 400, "application/json", _json_bytes({"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - the connection must survive
+            return 500, "application/json", _json_bytes(
+                {"error": f"{type(exc).__name__}: {exc}"}
+            )
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One keep-alive HTTP/1.1 connection: parse, route, respond, repeat."""
+        registry = get_registry()
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").split()
+                if len(parts) != 3:
+                    await _respond(writer, 400, "application/json",
+                                   _json_bytes({"error": "malformed request line"}),
+                                   close=True)
+                    break
+                method, target, _version = parts
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    key, _, value = line.decode("latin-1").partition(":")
+                    headers[key.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", "0") or "0")
+                body = await reader.readexactly(length) if length else b""
+                path = target.split("?", 1)[0]
+                t0 = perf_counter()
+                status, ctype, payload = await self._route(method, path, body)
+                latency = perf_counter() - t0
+                self.stats_counters.count(path, status)
+                if registry.enabled:
+                    registry.counter(
+                        "repro_serve_requests_total",
+                        help="HTTP requests routed by the serve endpoint",
+                    ).inc()
+                    registry.histogram(
+                        "repro_serve_request_latency_s",
+                        buckets=(0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5),
+                        help="Server-side request latency (route to response)",
+                    ).observe(latency)
+                close = headers.get("connection", "").lower() == "close"
+                await _respond(writer, status, ctype, payload, close=close)
+                if self.config.max_requests is not None and (
+                    self.stats_counters.total >= self.config.max_requests
+                ):
+                    self.request_stop()
+                if close:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Service shutdown while parked on an idle keep-alive
+            # connection; ending the handler quietly is the clean exit.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+
+class _Shed(Exception):
+    """Internal control flow: the request was rejected by admission."""
+
+    def __init__(self, digest: str) -> None:
+        super().__init__(digest)
+        self.digest = digest
+
+
+def _json_bytes(doc: Mapping[str, object]) -> bytes:
+    return json.dumps(doc).encode("utf-8")
+
+
+async def _respond(
+    writer: asyncio.StreamWriter,
+    status: int,
+    ctype: str,
+    body: bytes,
+    *,
+    close: bool = False,
+) -> None:
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {ctype}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n"
+        "\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()

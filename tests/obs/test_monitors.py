@@ -70,7 +70,7 @@ class TestEvaluate:
 
 
 class TestRegistry:
-    def test_the_seven_claims_are_registered(self):
+    def test_the_eight_claims_are_registered(self):
         assert monitor_names() == (
             "md1-mc-agreement",
             "table6-ppr-winners",
@@ -79,6 +79,7 @@ class TestRegistry:
             "scheduler-oracle-gap",
             "robustness-heavytail-gap",
             "robustness-bursty-contrast",
+            "serving-slo",
         )
 
     def test_every_monitor_has_bands_and_claim(self):
@@ -171,3 +172,13 @@ class TestPaperClaims:
             < result.scalars["crossover_25_8"]
             < result.scalars["crossover_25_10"]
         )
+
+    def test_serving_slo_green(self):
+        result = MONITORS["serving-slo"].evaluate()
+        assert result.passed
+        assert result.scalars["completed_fraction"] == 1.0
+        # Every cache-hit answer re-derived offline and compared float
+        # for float — the serving bit-identity contract.
+        assert result.scalars["bit_identical_fraction"] == 1.0
+        assert result.scalars["checked"] > 0.0
+        assert result.scalars["p95_latency_s"] <= 0.25

@@ -1,0 +1,103 @@
+"""Model-informed admission control: M/D/1 derivation and the controller."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.queueing.md1 import MD1Queue
+from repro.serve.admission import AdmissionController, derive_occupancy_limit
+
+
+class TestDeriveOccupancyLimit:
+    def test_limit_meets_the_slo_by_construction(self):
+        limit = derive_occupancy_limit(0.001, 0.25)
+        assert 0.0 < limit.rho_star < 1.0
+        assert limit.depth >= 1
+        assert limit.p95_at_limit_s <= 0.25
+
+    def test_tighter_slo_means_lower_occupancy(self):
+        loose = derive_occupancy_limit(0.001, 0.5)
+        tight = derive_occupancy_limit(0.001, 0.01)
+        assert tight.rho_star <= loose.rho_star
+        assert tight.depth <= loose.depth
+
+    def test_slower_service_means_lower_occupancy(self):
+        fast = derive_occupancy_limit(0.001, 0.25)
+        slow = derive_occupancy_limit(0.05, 0.25)
+        assert slow.rho_star < fast.rho_star
+        assert slow.depth <= fast.depth
+
+    def test_matches_the_md1_model_at_the_limit(self):
+        limit = derive_occupancy_limit(0.002, 0.1)
+        queue = MD1Queue.from_utilisation(limit.rho_star, 0.002)
+        assert limit.p95_at_limit_s == pytest.approx(queue.p95_response_s())
+        # Just past the limit the model misses the SLO — rho* is maximal.
+        beyond = MD1Queue.from_utilisation(
+            min(limit.rho_star + 0.01, 0.999), 0.002
+        )
+        assert beyond.p95_response_s() > 0.1
+
+    def test_service_time_exceeding_slo_admits_one_at_a_time(self):
+        # D alone blows the SLO: the queue cannot comply at any occupancy,
+        # so the service degrades to serial admission instead of shedding
+        # everything.
+        limit = derive_occupancy_limit(0.5, 0.1)
+        assert limit.depth == 1
+        assert limit.p95_at_limit_s > 0.1
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ReproError):
+            derive_occupancy_limit(0.0, 0.25)
+        with pytest.raises(ReproError):
+            derive_occupancy_limit(0.001, -1.0)
+
+
+class TestAdmissionController:
+    def test_admits_below_and_sheds_at_the_depth_limit(self):
+        ctrl = AdmissionController(slo_p95_s=0.25)
+        depth_limit = ctrl.limit.depth
+        assert ctrl.admit(0) is True
+        assert ctrl.admit(depth_limit - 1) is True
+        assert ctrl.admit(depth_limit) is False
+        assert ctrl.admitted_total == 2
+        assert ctrl.shed_total == 1
+
+    def test_observe_rederives_on_sustained_drift(self):
+        ctrl = AdmissionController(
+            slo_p95_s=0.25, initial_service_time_s=0.001
+        )
+        fast_depth = ctrl.limit.depth
+        for _ in range(30):  # EWMA converges onto the 50 ms reality
+            ctrl.observe(0.05)
+        assert ctrl.rederivations >= 1
+        assert ctrl.service_time_estimate_s == pytest.approx(0.05, rel=0.05)
+        assert ctrl.limit.depth <= fast_depth
+
+    def test_observe_ignores_garbage_samples(self):
+        ctrl = AdmissionController(slo_p95_s=0.25)
+        before = ctrl.service_time_estimate_s
+        ctrl.observe(-1.0)
+        ctrl.observe(0.0)
+        ctrl.observe(math.nan)
+        assert ctrl.service_time_estimate_s == before
+        assert ctrl.rederivations == 0
+
+    def test_stats_document_shape(self):
+        ctrl = AdmissionController(slo_p95_s=0.25)
+        stats = ctrl.stats()
+        assert set(stats) == {
+            "depth_limit",
+            "rho_star",
+            "service_time_estimate_s",
+            "slo_p95_s",
+            "admitted",
+            "shed",
+            "rederivations",
+        }
+
+    def test_invalid_controller_settings_raise(self):
+        with pytest.raises(ReproError):
+            AdmissionController(slo_p95_s=0.25, ewma_alpha=0.0)
+        with pytest.raises(ReproError):
+            AdmissionController(slo_p95_s=0.25, rederive_rel=0.0)

@@ -1,0 +1,167 @@
+"""Micro-batcher contracts: coalescing, ordering, deadlines, shutdown."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.batching import BatchQuery, BatchTimeout, MicroBatcher
+
+
+def test_constructor_validation():
+    with pytest.raises(ReproError):
+        MicroBatcher(lambda p: p, tick_s=-1.0)
+    with pytest.raises(ReproError):
+        MicroBatcher(lambda p: p, max_batch=0)
+
+
+def test_submit_before_start_raises():
+    async def scenario():
+        batcher = MicroBatcher(lambda payloads: payloads)
+        with pytest.raises(ReproError):
+            await batcher.submit("x")
+
+    asyncio.run(scenario())
+
+
+def test_concurrent_submits_coalesce_into_one_batch():
+    sizes = []
+
+    def compute(payloads):
+        sizes.append(len(payloads))
+        return [p * 2 for p in payloads]
+
+    async def scenario():
+        batcher = MicroBatcher(compute, tick_s=0.02)
+        batcher.start()
+        try:
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(8))
+            )
+        finally:
+            await batcher.close()
+        return results
+
+    results = asyncio.run(scenario())
+    assert results == [i * 2 for i in range(8)]  # order preserved
+    assert sizes == [8]  # one vectorized evaluation, not eight
+
+
+def test_per_query_exception_hits_only_that_query():
+    def compute(payloads):
+        return [
+            ValueError("bad query") if p == "bad" else p.upper()
+            for p in payloads
+        ]
+
+    async def scenario():
+        batcher = MicroBatcher(compute, tick_s=0.01)
+        batcher.start()
+        try:
+            good, bad = await asyncio.gather(
+                batcher.submit("ok"),
+                batcher.submit("bad"),
+                return_exceptions=True,
+            )
+        finally:
+            await batcher.close()
+        return good, bad
+
+    good, bad = asyncio.run(scenario())
+    assert good == "OK"
+    assert isinstance(bad, ValueError)
+
+
+def test_whole_batch_failure_fails_every_query():
+    def compute(payloads):
+        raise RuntimeError("the sweep died")
+
+    async def scenario():
+        batcher = MicroBatcher(compute, tick_s=0.01)
+        batcher.start()
+        try:
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(3)), return_exceptions=True
+            )
+        finally:
+            await batcher.close()
+        return results
+
+    results = asyncio.run(scenario())
+    assert all(isinstance(r, RuntimeError) for r in results)
+
+
+def test_timeout_mid_compute_raises_batch_timeout():
+    def compute(payloads):
+        time.sleep(0.2)  # worker thread; the loop keeps running
+        return payloads
+
+    async def scenario():
+        batcher = MicroBatcher(compute, tick_s=0.0)
+        batcher.start()
+        try:
+            with pytest.raises(BatchTimeout):
+                await batcher.submit("x", timeout_s=0.05)
+        finally:
+            await batcher.close()
+
+    asyncio.run(scenario())
+
+
+def test_expired_query_is_failed_without_compute():
+    computed = []
+
+    def compute(payloads):
+        computed.extend(payloads)
+        return payloads
+
+    async def scenario():
+        batcher = MicroBatcher(compute, tick_s=0.0)
+        batcher.start()
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        # A query whose deadline already passed when the drain picks it up:
+        # it must be failed, counted, and never handed to the compute path.
+        batcher._queue.put_nowait(
+            BatchQuery(payload="stale", future=future, deadline=loop.time() - 1.0)
+        )
+        try:
+            with pytest.raises(BatchTimeout):
+                await future
+        finally:
+            await batcher.close()
+
+    asyncio.run(scenario())
+    assert computed == []
+
+
+def test_close_fails_pending_queries():
+    async def scenario():
+        batcher = MicroBatcher(lambda p: p, tick_s=5.0)  # tick outlives the test
+        batcher.start()
+        first = asyncio.create_task(batcher.submit("in-drain"))
+        second = asyncio.create_task(batcher.submit("queued"))
+        await asyncio.sleep(0.05)  # drain grabbed "in-drain", sleeps the tick
+        await batcher.close()
+        results = await asyncio.gather(first, second, return_exceptions=True)
+        assert all(isinstance(r, BatchTimeout) for r in results)
+
+    asyncio.run(scenario())
+
+
+def test_stats_counters():
+    async def scenario():
+        batcher = MicroBatcher(lambda p: [x + 1 for x in p], tick_s=0.01)
+        batcher.start()
+        try:
+            await asyncio.gather(*(batcher.submit(i) for i in range(4)))
+        finally:
+            await batcher.close()
+        return batcher.stats()
+
+    stats = asyncio.run(scenario())
+    assert stats["batches"] == 1.0
+    assert stats["batched_queries"] == 4.0
+    assert stats["mean_batch_size"] == 4.0
+    assert stats["depth"] == 0.0

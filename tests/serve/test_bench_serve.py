@@ -1,0 +1,60 @@
+"""Smoke contracts for the serving benchmark driver.
+
+The full floor-gated run lives in ``benchmarks/bench_serve.py``; these
+tests pin the driver's envelope shape and CLI plumbing on a small space
+so a refactor that breaks the benchmark fails in tier-1, not in CI's
+benchmark job.
+"""
+
+import json
+
+from repro.benchmarks.serve import main, run_benchmark
+from repro.obs.timer import BENCH_SCHEMA
+
+
+def test_run_benchmark_envelope_shape():
+    result = run_benchmark(
+        workloads=("EP",),
+        served_requests=16,
+        resweep_requests=4,
+        clients=2,
+        max_wimpy=2,
+        max_brawny=1,
+    )
+    assert result["schema"] == BENCH_SCHEMA
+    assert result["resweep"]["requests"] == 4
+    assert result["resweep"]["p95_latency_s"] >= result["resweep"]["p50_latency_s"]
+    assert result["served"]["completed"] == 16.0
+    assert result["served"]["errors"] == 0.0
+    assert result["served"]["server"]["cache_hit_fraction"] > 0.5
+    assert result["speedup"]["batched_vs_resweep"] > 0.0
+
+
+def test_main_writes_envelope_and_sidecar(tmp_path, capsys):
+    out = tmp_path / "BENCH_serve.json"
+    rc = main(
+        [
+            "--workloads",
+            "EP",
+            "--requests",
+            "16",
+            "--resweep-requests",
+            "4",
+            "--clients",
+            "2",
+            "--output",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    envelope = json.loads(out.read_text())
+    assert envelope["benchmark"] == "serve"
+    assert envelope["params"]["workloads"] == ["EP"]
+    assert (tmp_path / "BENCH_serve.metrics.json").exists()
+    assert "speedup" in capsys.readouterr().out
+
+
+def test_unknown_workload_is_an_error(tmp_path, capsys):
+    rc = main(["--workloads", "nope", "--output", str(tmp_path / "x.json")])
+    assert rc == 1
+    assert "unknown paper workload" in capsys.readouterr().err

@@ -1,0 +1,163 @@
+"""Frontier-cache contracts: digests, LRU, invalidation, single-flight."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.ledger import config_digest
+from repro.serve.cache import FrontierCache, FrontierEntry, request_digest
+
+
+def _entry(digest: str, payload: object = "payload") -> FrontierEntry:
+    return FrontierEntry(digest=digest, params={"d": digest}, payload=payload)
+
+
+class TestRequestDigest:
+    def test_placement_keys_never_fragment_the_cache(self):
+        # The satellite contract: a `workers` (or any other placement-only
+        # key from repro.cli._NON_CONFIG_KEYS) in a request body must map
+        # to the SAME cache entry as the bare configuration.
+        base = {"workload": "EP", "max_wimpy": 6, "max_brawny": 3, "budget_w": None}
+        noisy = dict(
+            base,
+            workers=8,
+            ledger_dir="/tmp/elsewhere",
+            no_ledger=True,
+            metrics_out="metrics.json",
+            trace_out="trace.json",
+        )
+        assert request_digest(noisy) == request_digest(base)
+
+    def test_equals_the_ledger_config_digest(self):
+        # Serve-side digests must be the exact digests the run ledger
+        # stamps, so a cache key can be joined against offline records.
+        params = {"workload": "EP", "max_wimpy": 6, "max_brawny": 3}
+        assert request_digest(params) == config_digest(params)
+
+    def test_configuration_params_do_fragment(self):
+        base = {"workload": "EP", "max_wimpy": 6}
+        assert request_digest(base) != request_digest({**base, "max_wimpy": 7})
+        assert request_digest(base) != request_digest({**base, "workload": "x264"})
+
+    def test_nested_mapping_values_digest_order_independently(self):
+        a = {"workload": "EP", "grid": {"b": 1, "a": 2}}
+        b = {"workload": "EP", "grid": {"a": 2, "b": 1}}
+        assert request_digest(a) == request_digest(b)
+
+
+class TestLru:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ReproError):
+            FrontierCache(capacity=0)
+
+    def test_eviction_follows_recency(self):
+        cache = FrontierCache(capacity=2)
+        cache.put(_entry("a"))
+        cache.put(_entry("b"))
+        assert cache.get("a") is not None  # refresh "a": now LRU is "b"
+        cache.put(_entry("c"))
+        assert cache.keys() == ["a", "c"]
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_invalidate_drops_one_entry(self):
+        cache = FrontierCache(capacity=4)
+        cache.put(_entry("a"))
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        assert len(cache) == 0
+
+    def test_stats_track_hits_and_misses(self):
+        cache = FrontierCache(capacity=4)
+        cache.put(_entry("a"))
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["hits"] == 1.0
+        assert stats["misses"] == 1.0
+        assert stats["hit_fraction"] == 0.5
+
+
+class TestGetOrCompute:
+    def test_param_mutation_recomputes_under_new_digest(self):
+        # Invalidation is digest-driven: change a config param and the
+        # next request computes a fresh entry instead of reusing a stale one.
+        cache = FrontierCache(capacity=8)
+        calls = []
+
+        async def scenario():
+            p1 = {"workload": "EP", "max_wimpy": 2}
+            p2 = {"workload": "EP", "max_wimpy": 3}
+            for params in (p1, p1, p2):
+                digest = request_digest(params)
+                entry, was_hit = await cache.get_or_compute(
+                    digest, params, lambda d=digest: calls.append(d) or d
+                )
+                yield_hit = was_hit
+            return yield_hit
+
+        asyncio.run(scenario())
+        assert len(calls) == 2  # p1 computed once, p2 once
+        assert calls[0] != calls[1]
+
+    def test_explicit_invalidation_forces_recompute(self):
+        cache = FrontierCache(capacity=8)
+        calls = []
+
+        async def scenario():
+            digest = "fixed"
+            await cache.get_or_compute(digest, {}, lambda: calls.append(1) or "v1")
+            cache.invalidate(digest)
+            entry, was_hit = await cache.get_or_compute(
+                digest, {}, lambda: calls.append(2) or "v2"
+            )
+            assert was_hit is False
+            assert entry.payload == "v2"
+
+        asyncio.run(scenario())
+        assert calls == [1, 2]
+
+    def test_single_flight_computes_concurrent_cold_key_once(self):
+        cache = FrontierCache(capacity=8)
+        computes = []
+
+        async def factory():
+            computes.append(1)
+            await asyncio.sleep(0.02)
+            return "answer"
+
+        async def scenario():
+            results = await asyncio.gather(
+                *(cache.get_or_compute("cold", {}, factory) for _ in range(5))
+            )
+            return results
+
+        results = asyncio.run(scenario())
+        assert len(computes) == 1
+        entries = {id(entry) for entry, _ in results}
+        assert len(entries) == 1  # everyone got the same entry object
+        # Nobody was answered from memory — the key was cold for all of them.
+        assert all(was_hit is False for _, was_hit in results)
+        assert cache.computes == 1
+
+    def test_failed_compute_propagates_and_caches_nothing(self):
+        cache = FrontierCache(capacity=8)
+
+        async def failing():
+            await asyncio.sleep(0.01)
+            raise ValueError("sweep exploded")
+
+        async def scenario():
+            results = await asyncio.gather(
+                *(cache.get_or_compute("bad", {}, failing) for _ in range(3)),
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, ValueError) for r in results)
+            assert "bad" not in cache
+            # The next attempt retries cleanly and can succeed.
+            entry, was_hit = await cache.get_or_compute("bad", {}, lambda: "ok")
+            assert entry.payload == "ok"
+            assert was_hit is False
+
+        asyncio.run(scenario())

@@ -1,0 +1,69 @@
+"""CLI-level serve/loadgen contracts: flags, records, and the envelope.
+
+The ledger contract under test is the satellite one: a ``repro serve``
+run appends exactly ONE ``cli/serve`` summary record — the thousands of
+queries the service answers internally never touch the ledger — and
+``--no-ledger`` suppresses even that.
+"""
+
+import json
+
+from repro.cli import main
+from repro.obs.ledger import default_ledger
+from repro.serve.loadgen import LOADGEN_SCHEMA
+
+LOADGEN_ARGS = [
+    "--requests",
+    "6",
+    "--clients",
+    "2",
+    "--workloads",
+    "EP",
+    "--max-wimpy",
+    "2",
+    "--max-brawny",
+    "1",
+]
+
+
+class TestServeCommand:
+    def test_bounded_run_prints_summary_and_one_record(self, capsys):
+        assert main(["serve", "--duration", "0.2", "--precompute", ""]) == 0
+        out = capsys.readouterr().out
+        assert "[serve] listening on http://127.0.0.1:" in out
+        assert "Serve summary" in out
+        records = default_ledger().records()
+        assert [r.name for r in records] == ["cli/serve"]
+        assert records[0].scalars["requests_total"] == 0.0
+
+    def test_precompute_queries_stay_out_of_the_ledger(self, capsys):
+        # Warming the cache runs a real sweep through the service's own
+        # compute path; none of it may generate per-query records.
+        assert main(["serve", "--duration", "0.2", "--precompute", "EP"]) == 0
+        records = default_ledger().records()
+        assert [r.name for r in records] == ["cli/serve"]
+        assert records[0].scalars["cache_misses"] >= 1.0
+
+
+class TestLoadgenCommand:
+    def test_json_envelope_and_experiment_record(self, capsys):
+        assert main(["loadgen", *LOADGEN_ARGS, "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["schema"] == LOADGEN_SCHEMA
+        assert envelope["requests"]["completed"] == 6
+        assert envelope["requests"]["errors"] == 0
+        # Self-hosted runs fold the server's own counters into the envelope.
+        assert envelope["serve_summary"]["requests_total"] >= 7.0
+        names = [r.name for r in default_ledger().records()]
+        assert names.count("cli/loadgen") == 1
+        assert names.count("experiment/serve-loadgen") == 1
+
+    def test_summary_table_output(self, capsys):
+        assert main(["loadgen", *LOADGEN_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "Loadgen against /recommend" in out
+        assert "throughput [req/s]" in out
+
+    def test_no_ledger_suppresses_every_record(self, capsys):
+        assert main(["--no-ledger", "loadgen", *LOADGEN_ARGS]) == 0
+        assert default_ledger().records() == []

@@ -1,0 +1,249 @@
+"""End-to-end service contracts over real HTTP round trips.
+
+Every test boots a :class:`ReproService` on an ephemeral loopback port
+inside one ``asyncio.run``, drives it with the load generator's raw
+keep-alive client, and tears it down — no sockets survive a test.
+"""
+
+import asyncio
+
+import pytest
+
+import repro
+from repro.cluster.search import recommend_exhaustive
+from repro.serve.loadgen import _HttpClient
+from repro.serve.service import ReproService, ServeConfig
+
+#: A deliberately small space so each cold sweep is milliseconds.
+SPACE = {"max_wimpy": 2, "max_brawny": 1}
+
+
+def _spaces():
+    return [
+        repro.TypeSpace(repro.get_node_spec("A9"), n_max=SPACE["max_wimpy"]),
+        repro.TypeSpace(repro.get_node_spec("K10"), n_max=SPACE["max_brawny"]),
+    ]
+
+
+def run_with_service(scenario, **config_kwargs):
+    """Boot a service, run ``scenario(service, client)``, tear both down."""
+
+    async def main():
+        service = ReproService(ServeConfig(**config_kwargs))
+        await service.start()
+        client = _HttpClient(service.host, service.port)
+        await client.connect()
+        try:
+            return await scenario(service, client)
+        finally:
+            await client.aclose()
+            await service.close()
+
+    return asyncio.run(main())
+
+
+class TestRecommendEndpoint:
+    def test_served_answer_bit_identical_to_offline_sweep(self, workloads):
+        async def scenario(service, client):
+            status, frontier = await client.request(
+                "POST", "/frontier", {"workload": "EP", **SPACE}
+            )
+            assert status == 200
+            tps = [p["tp_s"] for p in frontier["points"]]
+            deadline = (min(tps) + max(tps)) / 2.0
+            status, doc = await client.request(
+                "POST",
+                "/recommend",
+                {"workload": "EP", "deadline_s": deadline, **SPACE},
+            )
+            assert status == 200
+            return deadline, doc
+
+        deadline, doc = run_with_service(scenario)
+        rec = recommend_exhaustive(
+            workloads["EP"], _spaces(), deadline_s=deadline
+        )
+        assert rec is not None
+        assert doc["feasible"] is True
+        # Bit-identical, not approximately equal: the staircase answers
+        # with the exact floats the offline sweep materialises.
+        assert doc["mix"] == rec.config.label()
+        assert doc["operating_point"] == str(rec.config)
+        assert doc["tp_s"] == rec.evaluation.tp_s
+        assert doc["energy_j"] == rec.evaluation.energy_j
+        assert doc["peak_power_w"] == rec.evaluation.peak_power_w
+        assert doc["strategy"] == "exhaustive"
+
+    def test_infeasible_deadline_matches_offline_none(self, workloads):
+        async def scenario(service, client):
+            status, doc = await client.request(
+                "POST",
+                "/recommend",
+                {"workload": "EP", "deadline_s": 1e-9, **SPACE},
+            )
+            assert status == 200
+            return doc
+
+        doc = run_with_service(scenario)
+        assert doc["feasible"] is False
+        assert (
+            recommend_exhaustive(
+                repro.workload("EP"), _spaces(), deadline_s=1e-9
+            )
+            is None
+        )
+
+    def test_placement_and_type_noise_hit_the_same_entry(self):
+        # The satellite regression: a request differing only in placement
+        # keys (`workers`) and JSON numeric types (2.0 vs 2) must be a
+        # cache HIT on the same digest, not a second sweep.
+        async def scenario(service, client):
+            base = {"workload": "EP", "deadline_s": 50.0, **SPACE}
+            status, first = await client.request("POST", "/recommend", base)
+            assert status == 200
+            noisy = {
+                "workload": "EP",
+                "deadline_s": 50.0,
+                "max_wimpy": float(SPACE["max_wimpy"]),
+                "max_brawny": SPACE["max_brawny"],
+                "workers": 8,
+            }
+            status, second = await client.request("POST", "/recommend", noisy)
+            assert status == 200
+            return first, second
+
+        first, second = run_with_service(scenario)
+        assert second["digest"] == first["digest"]
+        assert second["cache_hit"] is True
+
+    def test_unknown_parameter_is_a_400(self):
+        async def scenario(service, client):
+            status, doc = await client.request(
+                "POST",
+                "/recommend",
+                {"workload": "EP", "deadline_s": 1.0, "max_wimp": 2},
+            )
+            return status, doc
+
+        status, doc = run_with_service(scenario)
+        assert status == 400
+        assert "max_wimp" in doc["error"]
+
+    def test_nonpositive_deadline_is_a_400(self):
+        async def scenario(service, client):
+            status, doc = await client.request(
+                "POST", "/recommend", {"workload": "EP", "deadline_s": -1.0}
+            )
+            return status, doc
+
+        status, doc = run_with_service(scenario)
+        assert status == 400
+
+    def test_budgeted_answer_matches_offline_budgeted_sweep(self, workloads):
+        async def scenario(service, client):
+            status, doc = await client.request(
+                "POST",
+                "/recommend",
+                {"workload": "EP", "deadline_s": 50.0, "budget_w": 150.0, **SPACE},
+            )
+            assert status == 200
+            return doc
+
+        doc = run_with_service(scenario)
+        rec = recommend_exhaustive(
+            workloads["EP"],
+            _spaces(),
+            deadline_s=50.0,
+            budget=repro.PowerBudget(150.0),
+        )
+        if rec is None:
+            assert doc["feasible"] is False
+        else:
+            assert doc["mix"] == rec.config.label()
+            assert doc["energy_j"] == rec.evaluation.energy_j
+
+    def test_shed_when_admission_rejects_cold_work(self):
+        async def scenario(service, client):
+            service.admission.admit = lambda depth: False  # force a full queue
+            status, doc = await client.request(
+                "POST",
+                "/recommend",
+                {"workload": "EP", "deadline_s": 1.0, **SPACE},
+            )
+            return status, doc
+
+        status, doc = run_with_service(scenario)
+        assert status == 503
+        assert doc["error"] == "shed"
+        assert doc["retry_after_s"] > 0
+
+
+class TestServicePlumbing:
+    def test_healthz_stats_and_metrics(self):
+        async def scenario(service, client):
+            health = await client.request("GET", "/healthz")
+            await client.request(
+                "POST", "/frontier", {"workload": "EP", **SPACE}
+            )
+            stats = await client.request("GET", "/stats")
+            metrics = await client.request("GET", "/metrics")
+            return health, stats, metrics
+
+        health, stats, metrics = run_with_service(scenario)
+        assert health[0] == 200 and health[1]["status"] == "ok"
+        assert stats[0] == 200
+        assert {"service", "cache", "admission", "batching"} <= set(stats[1])
+        assert stats[1]["cache"]["entries"] >= 1.0
+        assert metrics[0] == 200
+
+    def test_unknown_route_is_a_404(self):
+        async def scenario(service, client):
+            return await client.request("GET", "/nope")
+
+        status, _doc = run_with_service(scenario)
+        assert status == 404
+
+    def test_precompute_warms_the_cache(self):
+        async def scenario(service, client):
+            return service.cache.keys()
+
+        # Precompute uses the service's default space, not SPACE.
+        keys = run_with_service(scenario, precompute=("EP",))
+        assert len(keys) == 1
+
+    def test_max_requests_stops_the_service(self):
+        async def scenario(service, client):
+            await client.request("GET", "/healthz")
+            await client.request("GET", "/healthz")
+            await asyncio.wait_for(service.run_until_stopped(), timeout=5.0)
+            return service.stats_counters.total
+
+        total = run_with_service(scenario, max_requests=2)
+        assert total == 2
+
+    def test_schedule_endpoint_caches_replays(self):
+        async def scenario(service, client):
+            body = {"workload": "EP", "intervals": 4, "demand": 0.4}
+            status, first = await client.request("POST", "/schedule", body)
+            assert status == 200
+            status, second = await client.request("POST", "/schedule", body)
+            assert status == 200
+            return first, second
+
+        first, second = run_with_service(scenario)
+        assert first["cache_hit"] is False
+        assert second["cache_hit"] is True
+        assert second["digest"] == first["digest"]
+        assert "scalars" in second
+        assert "telemetry" not in second  # serving response, not the firehose
+
+    def test_summary_scalars_shape(self):
+        async def scenario(service, client):
+            await client.request(
+                "POST", "/frontier", {"workload": "EP", **SPACE}
+            )
+            return service.summary_scalars()
+
+        scalars = run_with_service(scenario)
+        assert scalars["requests_total"] == 1.0
+        assert scalars["cache_misses"] == 1.0

@@ -48,6 +48,7 @@ FLOOR_METRICS: Dict[str, Sequence[str]] = {
         "scenarios.service_model.speedup.with_stats_parallel",
     ),
     "BENCH_scheduler.json": ("events_per_s",),
+    "BENCH_serve.json": ("speedup.batched_vs_resweep",),
 }
 
 #: Allowed fractional drop before the gate trips.  Benchmark machines in
