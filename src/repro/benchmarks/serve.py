@@ -20,7 +20,13 @@ Both arms draw their deadlines from the identically seeded
 queries are exactly the baseline's plan.  Besides the throughput ratio
 (the ``speedup.batched_vs_resweep`` floor), the envelope records both
 arms' client-side p50/p95 so the "at equal p95" part of the claim is a
-recorded number, not an assumption.  Run as a console entry::
+recorded number, not an assumption.
+
+A third measurement prices request-level observability: two warm
+services answer the identical seeded plan, one with full trace sampling
+(``trace_sample=1.0``) and one with request tracing disabled, and
+``instrumentation.overhead_ratio`` is the best-of-rounds wall ratio —
+the CI gate holds it under 1.15x.  Run as a console entry::
 
     python -m repro.benchmarks.serve [--output BENCH_serve.json]
 
@@ -78,6 +84,79 @@ def _frontier_tp_ranges(
         tp = arrays.tp_s[frontier]
         ranges[name] = (float(tp.min()), float(tp.max()))
     return ranges
+
+
+def _tracing_overhead(
+    *,
+    workloads: Sequence[str],
+    clients: int,
+    seed: int,
+    rounds: int = 3,
+    requests: int = 400,
+) -> Dict[str, object]:
+    """Wall-clock ratio of full tracing vs tracing disabled, best of rounds.
+
+    Both arms boot a warm service over a deliberately small space (so the
+    precompute sweep is cheap and every planned query is a cache hit) and
+    answer the identical seeded closed-loop plan; the only difference is
+    ``trace_sample=1.0`` vs ``request_tracing=False``.  Best-of-rounds
+    absorbs scheduler noise, mirroring the scheduler benchmark's gate.
+    """
+    import asyncio
+
+    from repro.serve.loadgen import run_loadgen
+    from repro.serve.service import ReproService, ServeConfig
+
+    # The service precomputes its *default* space at startup; querying the
+    # same space keeps every planned request a warm cache hit, so the two
+    # arms time the request path itself, not the sweep.
+    space_params = {"max_wimpy": 6, "max_brawny": 3}
+
+    async def _arm(tracing: bool) -> float:
+        service = ReproService(
+            ServeConfig(
+                precompute=tuple(workloads),
+                request_tracing=tracing,
+                trace_sample=1.0,
+            )
+        )
+        await service.start()
+        try:
+            result = await run_loadgen(
+                service.host,
+                service.port,
+                mode="closed",
+                clients=clients,
+                total_requests=requests,
+                workloads=tuple(workloads),
+                space=space_params,
+                seed=seed,
+            )
+        finally:
+            await service.close()
+        if result.errors or result.completed != result.attempted:
+            raise ReproError(
+                f"overhead arm did not complete cleanly: {result.statuses}"
+            )
+        return result.wall_s
+
+    ratios: List[float] = []
+    traced_walls: List[float] = []
+    untraced_walls: List[float] = []
+    for _ in range(rounds):
+        traced = asyncio.run(_arm(True))
+        untraced = asyncio.run(_arm(False))
+        traced_walls.append(traced)
+        untraced_walls.append(untraced)
+        ratios.append(traced / untraced)
+    return {
+        "overhead_ratio": float(min(ratios)),
+        "overhead_ratios": [float(r) for r in ratios],
+        "rounds": rounds,
+        "requests_per_arm": requests,
+        "traced_wall_s": [float(w) for w in traced_walls],
+        "untraced_wall_s": [float(w) for w in untraced_walls],
+    }
 
 
 def run_benchmark(
@@ -144,19 +223,39 @@ def run_benchmark(
                 space=space_params,
                 seed=seed,
             )
-            return result, service.summary_scalars()
+            recorder = service.recorder
+            obs: Dict[str, object] = {
+                "slo": recorder.slo_stats(),
+                "sampler": recorder.sampler.stats(),
+                "stages": recorder.stage_breakdown(),
+            }
+            slowest = recorder.flight.slowest()
+            if slowest is not None:
+                from repro.obs.request import span_coverage
+
+                obs["slowest_kept"] = {
+                    "request_id": slowest.request_id,
+                    "endpoint": slowest.endpoint,
+                    "wall_s": slowest.wall_s,
+                    "coverage": span_coverage(slowest.to_dict()),
+                }
+            return result, service.summary_scalars(), obs
         finally:
             await service.close()
 
     import asyncio
 
     with instrumented():
-        result, summary = asyncio.run(_served())
+        result, summary, observability = asyncio.run(_served())
         metrics = get_registry().snapshot()
     if result.errors or result.completed != result.attempted:
         raise ReproError(
             f"served arm did not complete cleanly: {result.statuses}"
         )
+
+    instrumentation = _tracing_overhead(
+        workloads=workloads, clients=clients, seed=seed
+    )
 
     return bench_envelope(
         "serve",
@@ -181,6 +280,8 @@ def run_benchmark(
         },
         served={**loadgen_scalars(result), "server": summary},
         speedup={"batched_vs_resweep": result.throughput_rps / resweep_rps},
+        instrumentation=instrumentation,
+        observability=observability,
         metrics=metrics,
     )
 
@@ -233,6 +334,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"(p95 {served['p95_latency_s'] * 1e3:.2f} ms)"
     )
     print(f"speedup: {result['speedup']['batched_vs_resweep']:.0f}x")
+    print(
+        "tracing overhead: "
+        f"{result['instrumentation']['overhead_ratio']:.3f}x "
+        "(full sampling vs tracing off, best of "
+        f"{result['instrumentation']['rounds']})"
+    )
     print(f"wrote {args.output}" + (f" (+ {sidecar})" if sidecar else ""))
     return 0
 

@@ -429,6 +429,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stop after this many requests (the CI smoke bound)",
     )
+    p_serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.05,
+        help="routine-traffic request-trace sampling rate in [0, 1] "
+        "(errors/sheds/p99 tail are always kept)",
+    )
+    p_serve.add_argument(
+        "--no-request-tracing",
+        action="store_true",
+        help="disable per-request tracing entirely (burn-rate alerting "
+        "and the request-id echo stay on)",
+    )
+    p_serve.add_argument(
+        "--flight-dir",
+        type=Path,
+        default=None,
+        help="flight-recorder dump directory "
+        "(default: $REPRO_FLIGHT_DIR or .repro/flight)",
+    )
+    p_serve.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=64,
+        help="fully-traced requests retained for post-mortem dumps",
+    )
 
     p_load = sub.add_parser(
         "loadgen",
@@ -469,6 +495,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--max-wimpy", type=int, default=6)
     p_load.add_argument("--max-brawny", type=int, default=3)
     p_load.add_argument("--budget", type=float, default=None, help="watts")
+    p_load.add_argument(
+        "--cold-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of requests given a never-seen digest (forced cold "
+        "sweeps — the overload injector for admission/burn-rate drills)",
+    )
     p_load.add_argument(
         "--seed", type=int, default=argparse.SUPPRESS, help="query-plan seed"
     )
@@ -586,6 +619,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_obs_watch.add_argument(
         "--names", default=None, help="comma-separated run names (default: all)"
+    )
+    p_obs_watch.add_argument(
+        "--serve",
+        default=None,
+        metavar="URL",
+        help="watch a live service instead of the ledger: poll URL/stats "
+        "and stream SLO burn rate + stage-latency breakdown "
+        "(e.g. http://127.0.0.1:8080)",
+    )
+
+    p_obs_flight = obs_sub.add_parser(
+        "flight",
+        help="inspect flight-recorder post-mortem dumps",
+    )
+    p_obs_flight.add_argument(
+        "--dir",
+        type=Path,
+        default=None,
+        help="dump directory (default: $REPRO_FLIGHT_DIR or .repro/flight)",
+    )
+    p_obs_flight.add_argument(
+        "--last",
+        action="store_true",
+        help="show the newest dump in detail (exit 1 when there is none)",
+    )
+    p_obs_flight.add_argument(
+        "--dump",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="show one specific dump in detail",
+    )
+    p_obs_flight.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the selected dump's JSON document verbatim",
     )
 
     p_obs_compact = obs_sub.add_parser(
@@ -945,7 +1014,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     touch the CLI ledger path (satellite contract: no per-query records)."""
     import asyncio
 
+    from repro.obs import get_registry
     from repro.serve import ReproService, ServeConfig
+
+    # A serving process owns its /metrics endpoint: enable the process
+    # registry so the burn-rate gauges and labelled latency histogram are
+    # live in a default boot.  Library embeddings keep the off-by-default
+    # contract — only the CLI flips the switch, and it restores the prior
+    # state on exit so in-process callers (tests) see no global leak.
+    registry = get_registry()
+    registry_was_enabled = registry.enabled
+    registry.enable()
 
     config = ServeConfig(
         host=args.host,
@@ -955,6 +1034,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo_p95_s=args.slo_p95_ms / 1000.0,
         precompute=tuple(_split_csv(args.precompute) or ()),
         max_requests=args.max_requests,
+        request_tracing=not args.no_request_tracing,
+        trace_sample=args.trace_sample,
+        flight_capacity=args.flight_capacity,
+        flight_dir=str(args.flight_dir) if args.flight_dir else None,
     )
     holder: Dict[str, object] = {}
 
@@ -978,6 +1061,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(main())
     except KeyboardInterrupt:
         rc = 130
+    finally:
+        if not registry_was_enabled:
+            registry.disable()
     scalars = holder.get("scalars")
     if scalars is not None:
         args._scalars = scalars
@@ -1016,6 +1102,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         workloads=tuple(_split_csv(args.workloads) or ("EP",)),
         space=space,
         seed=seed,
+        cold_fraction=args.cold_fraction,
     )
     t0, c0 = perf_counter(), process_time()
     if args.port is not None:
@@ -1187,19 +1274,42 @@ def _obs_check(args: argparse.Namespace, ledger) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
+def _fetch_serve_stats(url: str) -> dict:
+    """GET ``url/stats`` and parse the JSON body (stdlib only).
+
+    Module-level so tests can monkeypatch the fetch without a socket.
+    """
+    from urllib.request import urlopen
+
+    target = url.rstrip("/") + "/stats"
+    try:
+        with urlopen(target, timeout=5.0) as resp:  # noqa: S310 - user URL
+            return json.loads(resp.read().decode("utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot fetch {target}: {exc}") from None
+
+
 def _obs_watch(args: argparse.Namespace, ledger) -> int:
     import time
 
-    from repro.obs.dashboard import render_dashboard
+    from repro.obs.dashboard import render_dashboard, render_serve_watch
 
     if args.interval < 0:
         raise ReproError(f"interval must be >= 0, got {args.interval}")
     if args.iterations is not None and args.iterations < 1:
         raise ReproError(f"iterations must be >= 1, got {args.iterations}")
     n = 0
+    burn_history: list = []
     try:
         while True:
-            print(render_dashboard(ledger, names=_split_csv(args.names)))
+            if args.serve is not None:
+                stats = _fetch_serve_stats(args.serve)
+                slo = dict(stats.get("slo") or {})
+                burn_history.append(float(slo.get("fast_burn") or 0.0))
+                del burn_history[:-64]  # bounded polling history
+                print(render_serve_watch(stats, burn_history))
+            else:
+                print(render_dashboard(ledger, names=_split_csv(args.names)))
             n += 1
             if args.iterations is not None and n >= args.iterations:
                 return 0
@@ -1207,6 +1317,49 @@ def _obs_watch(args: argparse.Namespace, ledger) -> int:
             time.sleep(args.interval)
     except KeyboardInterrupt:
         return 0
+
+
+def _obs_flight(args: argparse.Namespace, ledger) -> int:
+    from repro.obs.dashboard import render_flight_summary
+    from repro.obs.request import list_flight_dumps, load_flight_dump
+
+    directory = args.dir
+    if args.dump is not None:
+        target = args.dump
+    elif args.last:
+        dumps = list_flight_dumps(directory)
+        if not dumps:
+            print("no flight dumps found")
+            return 1
+        target = dumps[-1]
+    else:
+        dumps = list_flight_dumps(directory)
+        if not dumps:
+            print("no flight dumps found")
+            return 0
+        print(f"{len(dumps)} flight dump(s):")
+        for path in dumps:
+            try:
+                doc = load_flight_dump(path)
+            except (OSError, ValueError) as exc:
+                print(f"  {path.name}  UNREADABLE: {exc}")
+                continue
+            slowest = dict(doc.get("slowest") or {})
+            print(
+                f"  {path.name}  [{doc.get('reason')}]  "
+                f"{len(list(doc.get('requests') or []))} request(s)  "
+                f"slowest {float(slowest.get('wall_s') or 0.0) * 1e3:.2f} ms"
+            )
+        return 0
+    try:
+        doc = load_flight_dump(target)
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read flight dump {target}: {exc}") from None
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_flight_summary(doc, path=str(target)))
+    return 0
 
 
 def _obs_compact(args: argparse.Namespace, ledger) -> int:
@@ -1227,6 +1380,7 @@ _OBS_COMMANDS = {
     "diff": _obs_diff,
     "check": _obs_check,
     "watch": _obs_watch,
+    "flight": _obs_flight,
     "compact": _obs_compact,
 }
 

@@ -13,7 +13,10 @@ disabled, zero effect on results while enabled*:
   JSON and as an ASCII flame summary;
 * :mod:`repro.obs.timer` — the shared benchmark timer and the
   ``BENCH_*.json`` envelope;
-* :mod:`repro.obs.logs` — the ``repro`` stdlib-logging hierarchy.
+* :mod:`repro.obs.logs` — the ``repro`` stdlib-logging hierarchy;
+* :mod:`repro.obs.request` — per-request span trees, tail-based
+  sampling, SLO burn-rate alerting and the flight recorder behind the
+  serving stack (``repro serve``).
 
 The longitudinal modules remember across runs:
 
@@ -85,6 +88,23 @@ from repro.obs.timer import (
     timed,
     write_bench_json,
 )
+from repro.obs.request import (
+    FLIGHT_SCHEMA,
+    REQUEST_ID_HEADER,
+    AlertEvent,
+    BurnRateMonitor,
+    FlightRecorder,
+    RequestContext,
+    RequestRecorder,
+    StageRecord,
+    TailSampler,
+    classify_outcome,
+    flight_chrome_trace,
+    flight_document,
+    list_flight_dumps,
+    load_flight_dump,
+    span_coverage,
+)
 from repro.obs.tracing import FlameRow, SpanRecord, Tracer, get_tracer, span
 
 __all__ = [
@@ -138,6 +158,22 @@ __all__ = [
     "render_monitor_report",
     # dashboard
     "render_dashboard",
+    # request-level observability
+    "REQUEST_ID_HEADER",
+    "FLIGHT_SCHEMA",
+    "AlertEvent",
+    "BurnRateMonitor",
+    "FlightRecorder",
+    "RequestContext",
+    "RequestRecorder",
+    "StageRecord",
+    "TailSampler",
+    "classify_outcome",
+    "flight_chrome_trace",
+    "flight_document",
+    "list_flight_dumps",
+    "load_flight_dump",
+    "span_coverage",
 ]
 
 

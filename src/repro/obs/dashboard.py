@@ -15,13 +15,13 @@ no terminal-UI machinery here, just a string; the CLI owns the loop.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.obs.drift import MetricDrift, diff_ledger
 from repro.obs.ledger import Ledger
 from repro.viz.ascii import render_sparkline
 
-__all__ = ["render_dashboard"]
+__all__ = ["render_dashboard", "render_flight_summary", "render_serve_watch"]
 
 #: Sparkline width of the history column.
 _SPARK_WIDTH = 32
@@ -92,4 +92,146 @@ def render_dashboard(
         f"{total} record(s), {len(targets)} name(s), "
         + (f"{flagged} drifted metric(s)" if flagged else "no drift")
     )
+    return "\n".join(lines)
+
+
+def render_serve_watch(
+    stats: Mapping[str, object],
+    burn_history: Sequence[float] = (),
+) -> str:
+    """One live-service screen from a ``/stats`` document.
+
+    The string behind ``repro obs watch --serve URL``: SLO burn rate
+    (with a sparkline over the polled history), outcome counters, and
+    the per-stage latency breakdown the request recorder aggregates.
+    Pure rendering — the CLI owns the polling loop.
+    """
+    service = dict(stats.get("service") or {})
+    slo = dict(stats.get("slo") or {})
+    tracing = dict(stats.get("tracing") or {})
+    admission = dict(stats.get("admission") or {})
+    cache = dict(stats.get("cache") or {})
+    lines: List[str] = [
+        (
+            f"Serve watch  uptime {float(service.get('uptime_s') or 0.0):.0f}s  "
+            f"{int(service.get('total') or 0)} request(s)"
+        ),
+        "",
+    ]
+    alert = "ALERT" if slo.get("alert_active") else "ok"
+    spark = render_sparkline(list(burn_history), width=_SPARK_WIDTH)
+    lines.append(
+        f"  SLO p95 {float(slo.get('slo_p95_s') or 0.0) * 1e3:g} ms  "
+        f"burn fast {float(slo.get('fast_burn') or 0.0):.2f}x / "
+        f"slow {float(slo.get('slow_burn') or 0.0):.2f}x  "
+        f"(threshold {float(slo.get('threshold') or 0.0):g}x)  [{alert}]"
+    )
+    lines.append(
+        f"  burn history  |{spark:<{_SPARK_WIDTH}}|  "
+        f"alerts {int(slo.get('alerts') or 0)}  "
+        f"good {int(slo.get('good') or 0)}  bad {int(slo.get('bad') or 0)}"
+    )
+    lines.append(
+        f"  cache hit {float(cache.get('hit_fraction') or 0.0):.1%}  "
+        f"shed {int(admission.get('shed') or 0)}  "
+        f"depth limit {int(admission.get('depth_limit') or 0)}"
+    )
+    statuses = dict(service.get("statuses") or {})
+    if statuses:
+        rendered = "  ".join(
+            f"{code}:{count}" for code, count in sorted(statuses.items())
+        )
+        lines.append(f"  statuses  {rendered}")
+    stages = dict(tracing.get("stages") or {})
+    if stages:
+        lines.append("")
+        lines.append("  stage latency (mean over traced requests)")
+        name_width = max(len(n) for n in stages)
+        for name in sorted(
+            stages, key=lambda n: -float(dict(stages[n]).get("total_s") or 0.0)
+        ):
+            row = dict(stages[name])
+            lines.append(
+                f"    {name:<{name_width}}  "
+                f"mean {float(row.get('mean_s') or 0.0) * 1e3:8.3f} ms  "
+                f"x{int(row.get('count') or 0)}"
+            )
+    flight = dict(tracing.get("flight") or {})
+    sampler = dict(tracing.get("sampler") or {})
+    kept = sum(int(v) for v in dict(sampler.get("kept_by_reason") or {}).values())
+    lines.append("")
+    lines.append(
+        f"  traces kept {kept} / {int(sampler.get('decided') or 0)} decided  "
+        f"flight ring {int(flight.get('entries') or 0)}"
+        f"/{int(flight.get('capacity') or 0)}  "
+        f"dumps {int(flight.get('dumps') or 0)}"
+    )
+    return "\n".join(lines)
+
+
+def render_flight_summary(
+    doc: Mapping[str, object], *, path: Optional[str] = None
+) -> str:
+    """One flight-recorder dump as a post-mortem screen.
+
+    Header (reason, alert, slowest request + span coverage) plus the
+    slowest request's stage tree — where its wall time actually went.
+    """
+    requests = list(doc.get("requests") or [])
+    slowest = dict(doc.get("slowest") or {})
+    alert = doc.get("alert")
+    lines: List[str] = []
+    title = f"Flight dump  [{doc.get('reason')}]  {doc.get('created_utc')}"
+    if path:
+        title += f"  ({path})"
+    lines.append(title)
+    if alert:
+        a = dict(alert)
+        lines.append(
+            f"  alert: burn fast {float(a.get('fast_burn') or 0.0):.1f}x / "
+            f"slow {float(a.get('slow_burn') or 0.0):.1f}x over threshold "
+            f"{float(a.get('threshold') or 0.0):g}x "
+            f"(p95 SLO {float(a.get('slo_p95_s') or 0.0) * 1e3:g} ms)"
+        )
+    outcomes: Dict[str, int] = {}
+    for req in requests:
+        key = str(dict(req).get("outcome") or "?")
+        outcomes[key] = outcomes.get(key, 0) + 1
+    rendered = "  ".join(f"{k}:{v}" for k, v in sorted(outcomes.items()))
+    lines.append(f"  {len(requests)} traced request(s)  {rendered}")
+    if not slowest:
+        return "\n".join(lines)
+    lines.append(
+        f"  slowest: {slowest.get('request_id')}  "
+        f"{slowest.get('endpoint')}  status {slowest.get('status')}  "
+        f"{float(slowest.get('wall_s') or 0.0) * 1e3:.2f} ms  "
+        f"span coverage {float(slowest.get('coverage') or 0.0):.1%}"
+    )
+    target = next(
+        (
+            dict(r)
+            for r in requests
+            if dict(r).get("request_id") == slowest.get("request_id")
+        ),
+        None,
+    )
+    if target is None:
+        return "\n".join(lines)
+    lines.append("")
+    lines.append("  stage tree (slowest request)")
+    for stage in sorted(
+        target.get("stages") or [], key=lambda s: float(dict(s).get("t0_s") or 0.0)
+    ):
+        stage = dict(stage)
+        depth = max(len(list(stage.get("path") or [])) - 1, 0)
+        attrs = dict(stage.get("attrs") or {})
+        note = (
+            "  " + " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            if attrs
+            else ""
+        )
+        lines.append(
+            f"    {'  ' * depth}{stage.get('name')}  "
+            f"{float(stage.get('wall_s') or 0.0) * 1e3:.3f} ms{note}"
+        )
     return "\n".join(lines)

@@ -33,7 +33,12 @@ from repro.errors import ReproError
 from repro.obs.metrics import get_registry
 from repro.queueing.md1 import MD1Queue
 
-__all__ = ["AdmissionController", "OccupancyLimit", "derive_occupancy_limit"]
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "OccupancyLimit",
+    "derive_occupancy_limit",
+]
 
 #: Utilisation bracket for the bisection: the analytic model is exact on
 #: (0, 1); searching beyond 0.999 asks for percentiles of an effectively
@@ -131,6 +136,25 @@ def _derive_cached(
     )
 
 
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admit/shed verdict with the inputs that produced it.
+
+    The request trace (:class:`repro.obs.request.RequestContext`) records
+    these fields on its ``admission`` stage, so a flight-recorder dump
+    shows not just *that* a request was shed but against which depth and
+    threshold.
+    """
+
+    admitted: bool
+    #: Queue depth the request arrived to.
+    depth: int
+    #: The shed threshold in force at decision time.
+    depth_limit: int
+    #: The EWMA service-time estimate behind that threshold (seconds).
+    service_time_estimate_s: float
+
+
 class AdmissionController:
     """Shed-or-admit decisions against a model-derived occupancy limit.
 
@@ -197,19 +221,33 @@ class AdmissionController:
                     help="Current model-derived shed threshold (queue depth)",
                 ).set(self._limit.depth)
 
+    def decide(self, depth: int) -> AdmissionDecision:
+        """The full admit/shed verdict for a request arriving at ``depth``.
+
+        Counts the decision (this IS the hot-path check, not a preview);
+        :meth:`admit` is the boolean shorthand.
+        """
+        admitted = depth < self._limit.depth
+        if admitted:
+            self.admitted_total += 1
+        else:
+            self.shed_total += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "repro_serve_shed_total",
+                    help="Requests shed by model-informed admission control",
+                ).inc()
+        return AdmissionDecision(
+            admitted=admitted,
+            depth=int(depth),
+            depth_limit=self._limit.depth,
+            service_time_estimate_s=self._estimate_s,
+        )
+
     def admit(self, depth: int) -> bool:
         """Whether a request arriving at queue depth ``depth`` is admitted."""
-        if depth < self._limit.depth:
-            self.admitted_total += 1
-            return True
-        self.shed_total += 1
-        registry = get_registry()
-        if registry.enabled:
-            registry.counter(
-                "repro_serve_shed_total",
-                help="Requests shed by model-informed admission control",
-            ).inc()
-        return False
+        return self.decide(depth).admitted
 
     def stats(self) -> Dict[str, float]:
         """Controller counters and the live threshold (for ``/stats``)."""

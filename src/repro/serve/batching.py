@@ -28,6 +28,7 @@ from __future__ import annotations
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
@@ -69,6 +70,13 @@ class BatchQuery:
     deadline: Optional[float] = None
     #: Filled by the drain loop: when the query left the queue.
     drained_at: float = field(default=0.0)
+    #: The submitting request's trace context
+    #: (:class:`repro.obs.request.RequestContext`), when it has one; the
+    #: drain loop attributes queue-wait time to it.
+    ctx: Optional[Any] = None
+    #: ``perf_counter`` at enqueue (the trace timebase; ``deadline`` stays
+    #: on the event-loop clock).
+    enqueued_pc: float = field(default=0.0)
 
 
 class MicroBatcher:
@@ -138,18 +146,34 @@ class MicroBatcher:
         return self._queue.qsize()
 
     # -- submission --------------------------------------------------------
-    async def submit(self, payload: Any, *, timeout_s: Optional[float] = None) -> Any:
+    async def submit(
+        self,
+        payload: Any,
+        *,
+        timeout_s: Optional[float] = None,
+        ctx: Optional[Any] = None,
+    ) -> Any:
         """Enqueue one query and await its batched result.
 
         Raises :class:`BatchTimeout` when ``timeout_s`` elapses before the
-        result lands (whether still queued or mid-compute).
+        result lands (whether still queued or mid-compute).  ``ctx`` (a
+        :class:`repro.obs.request.RequestContext`) rides the query so the
+        drain loop can attribute queue-wait time to the request's trace.
         """
         if self._closed or self._drain_task is None:
             raise ReproError("micro-batcher is not running (call start())")
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[Any]" = loop.create_future()
         deadline = loop.time() + timeout_s if timeout_s is not None else None
-        self._queue.put_nowait(BatchQuery(payload=payload, future=future, deadline=deadline))
+        self._queue.put_nowait(
+            BatchQuery(
+                payload=payload,
+                future=future,
+                deadline=deadline,
+                ctx=ctx,
+                enqueued_pc=perf_counter(),
+            )
+        )
         if timeout_s is None:
             return await future
         try:
@@ -180,9 +204,16 @@ class MicroBatcher:
             while len(batch) < self.max_batch and not self._queue.empty():
                 batch.append(self._queue.get_nowait())
             now = loop.time()
+            now_pc = perf_counter()
             live: List[BatchQuery] = []
             for query in batch:
                 query.drained_at = now
+                if query.ctx is not None:
+                    query.ctx.add_stage(
+                        "batch.queue",
+                        start_s=query.enqueued_pc,
+                        wall_s=now_pc - query.enqueued_pc,
+                    )
                 if query.future.done():
                     continue  # already timed out client-side
                 if query.deadline is not None and now > query.deadline:

@@ -181,6 +181,7 @@ class FrontierCache:
         digest: str,
         params: Mapping[str, object],
         factory: Callable[[], Any],
+        ctx: Optional[Any] = None,
     ) -> Tuple[FrontierEntry, bool]:
         """The entry for ``digest``, computing it at most once.
 
@@ -190,6 +191,11 @@ class FrontierCache:
         in-flight future instead of recomputing (single-flight, pinned in
         ``tests/serve/test_cache.py``).  A factory failure propagates to
         every waiter and caches nothing.
+
+        ``ctx`` (a :class:`repro.obs.request.RequestContext`) attributes
+        the coalesced wait to the request's span tree, so a flight dump
+        distinguishes "waited on another request's compute" from
+        "computed it myself".
         """
         entry = self.get(digest)
         if entry is not None:
@@ -198,6 +204,9 @@ class FrontierCache:
         if pending is not None:
             # Coalesced onto the in-flight compute: not a hit (the answer
             # was not resident), but not a second compute either.
+            if ctx is not None:
+                with ctx.stage("cache.wait", coalesced=True):
+                    return await asyncio.shield(pending), False
             return await asyncio.shield(pending), False
         future: "asyncio.Future[FrontierEntry]" = (
             asyncio.get_running_loop().create_future()

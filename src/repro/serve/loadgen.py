@@ -82,6 +82,12 @@ class LoadgenResult:
     #: only when ``collect_responses=True`` (the serving-SLO monitor's
     #: bit-identity audit); empty otherwise.
     responses: Tuple[Tuple[Mapping[str, object], Mapping[str, object]], ...] = ()
+    #: Per-request ``(request_id, status, latency_s)`` records, every
+    #: outcome included (status 0: transport error) — the client-side
+    #: half of a flight-recorder join.
+    request_records: Tuple[Tuple[str, int, float], ...] = ()
+    #: Responses whose ``X-Repro-Request-Id`` echo matched the id sent.
+    id_echoes: int = 0
 
     @property
     def throughput_rps(self) -> float:
@@ -131,6 +137,28 @@ def loadgen_scalars(result: LoadgenResult) -> Dict[str, float]:
     }
 
 
+def _request_id_section(result: LoadgenResult) -> Dict[str, object]:
+    """The envelope's flight-recorder join keys: ids of the interesting
+    requests (sheds, errors, the slowest completions), bounded so a
+    10^5-request run cannot bloat the ledger record."""
+    records = result.request_records
+    answered = [r for r in records if r[1] > 0]
+    slowest = sorted(
+        (r for r in records if r[1] == 200), key=lambda r: -r[2]
+    )[:5]
+    return {
+        "echoed_fraction": (
+            result.id_echoes / len(answered) if answered else 0.0
+        ),
+        "shed": [r[0] for r in records if r[1] == 503][:32],
+        "errors": [r[0] for r in records if r[1] not in (200, 503)][:32],
+        "slowest": [
+            {"request_id": r[0], "status": r[1], "latency_s": r[2]}
+            for r in slowest
+        ],
+    }
+
+
 def loadgen_envelope(
     result: LoadgenResult, params: Mapping[str, object]
 ) -> Dict[str, object]:
@@ -156,6 +184,7 @@ def loadgen_envelope(
         "throughput_rps": result.throughput_rps,
         "wall_s": result.wall_s,
         "statuses": dict(result.statuses),
+        "request_ids": _request_id_section(result),
         "server": dict(result.server_stats) if result.server_stats else None,
     }
 
@@ -168,6 +197,9 @@ class _HttpClient:
         self.port = port
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
+        #: Response headers of the most recent request (lower-cased keys) —
+        #: how callers read the server's ``X-Repro-Request-Id`` echo.
+        self.last_headers: Dict[str, str] = {}
 
     async def connect(self) -> None:
         self._reader, self._writer = await asyncio.open_connection(
@@ -184,18 +216,24 @@ class _HttpClient:
             self._reader = self._writer = None
 
     async def request(
-        self, method: str, path: str, doc: Optional[Mapping[str, object]] = None
+        self,
+        method: str,
+        path: str,
+        doc: Optional[Mapping[str, object]] = None,
+        headers: Optional[Mapping[str, str]] = None,
     ) -> Tuple[int, Dict[str, object]]:
         """One request/response round trip; reconnects a dropped connection."""
         if self._writer is None:
             await self.connect()
         assert self._reader is not None and self._writer is not None
         body = json.dumps(doc).encode("utf-8") if doc is not None else b""
+        extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             "Connection: keep-alive\r\n"
             "\r\n"
         )
@@ -208,16 +246,17 @@ class _HttpClient:
         if len(parts) < 2:
             raise ReproError(f"malformed status line {status_line!r}")
         status = int(parts[1])
-        headers: Dict[str, str] = {}
+        resp_headers: Dict[str, str] = {}
         while True:
             line = await self._reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             key, _, value = line.decode("latin-1").partition(":")
-            headers[key.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+            resp_headers[key.strip().lower()] = value.strip()
+        self.last_headers = resp_headers
+        length = int(resp_headers.get("content-length", "0") or "0")
         payload = await self._reader.readexactly(length) if length else b""
-        ctype = headers.get("content-type", "")
+        ctype = resp_headers.get("content-type", "")
         if payload and ctype.startswith("application/json"):
             return status, json.loads(payload.decode("utf-8"))
         return status, {"raw": payload.decode("utf-8", "replace")}
@@ -231,15 +270,18 @@ class _Tally:
     shed: int = 0
     errors: int = 0
     infeasible: int = 0
+    id_echoes: int = 0
     keep_responses: bool = False
     latencies: List[float] = None  # type: ignore[assignment]
     statuses: Dict[str, int] = None  # type: ignore[assignment]
     responses: List[Tuple[Mapping[str, object], Mapping[str, object]]] = None  # type: ignore[assignment]
+    records: List[Tuple[str, int, float]] = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         self.latencies = []
         self.statuses = {}
         self.responses = []
+        self.records = []
 
     def record(
         self,
@@ -247,8 +289,14 @@ class _Tally:
         body: Mapping[str, object],
         doc: Mapping[str, object],
         latency_s: float,
+        *,
+        request_id: str = "",
+        echoed: bool = False,
     ) -> None:
         self.statuses[str(status)] = self.statuses.get(str(status), 0) + 1
+        self.records.append((request_id, status, latency_s))
+        if echoed:
+            self.id_echoes += 1
         if status == 200:
             self.completed += 1
             self.latencies.append(latency_s)
@@ -261,8 +309,9 @@ class _Tally:
         else:
             self.errors += 1
 
-    def error(self) -> None:
+    def error(self, request_id: str = "", latency_s: float = 0.0) -> None:
         self.errors += 1
+        self.records.append((request_id, 0, latency_s))
 
 
 def _build_plan(
@@ -271,8 +320,17 @@ def _build_plan(
     workloads: Sequence[str],
     tp_ranges: Mapping[str, Tuple[float, float]],
     space: Mapping[str, object],
+    cold_fraction: float = 0.0,
 ) -> List[Dict[str, object]]:
-    """The seeded query plan: one /recommend body per request."""
+    """The seeded query plan: one /recommend body per request.
+
+    ``cold_fraction`` is the overload injector: that fraction of requests
+    gets a unique (non-binding, enormous) ``budget_w``, so each carries a
+    digest the cache has never seen and forces a full cold sweep — the
+    only way warmed traffic can be driven past the admission limit.  The
+    extra draws happen *after* the base plan, so ``cold_fraction=0``
+    reproduces the historical plan bit-for-bit for a given seed.
+    """
     plan: List[Dict[str, object]] = []
     for _ in range(n):
         name = workloads[int(rng.integers(len(workloads)))]
@@ -283,6 +341,11 @@ def _build_plan(
         body: Dict[str, object] = {"workload": name, "deadline_s": deadline}
         body.update(space)
         plan.append(body)
+    if cold_fraction > 0:
+        draws = rng.random(n)
+        for i, body in enumerate(plan):
+            if draws[i] < cold_fraction:
+                body["budget_w"] = 1e9 + float(i)
     return plan
 
 
@@ -300,6 +363,7 @@ async def run_loadgen(
     seed: int = DEFAULT_SEED,
     timeout_s: float = 30.0,
     collect_responses: bool = False,
+    cold_fraction: float = 0.0,
 ) -> LoadgenResult:
     """Drive one seeded load-generation run against a live service.
 
@@ -307,6 +371,13 @@ async def run_loadgen(
     window) warms each workload's cache entry and reads its frontier
     execution-time range for the deadline draws; the measured window then
     issues ``total_requests`` ``/recommend`` queries in the chosen mode.
+
+    Every request carries a deterministic client-generated id in the
+    ``X-Repro-Request-Id`` header (``lg-<seed hex>-<index>``), which the
+    server echoes and stamps on its flight-recorder traces — so a dump
+    can be joined back to the exact client-side record.
+    ``cold_fraction > 0`` injects never-before-seen digests (forced cold
+    sweeps) to drive the service past its admission limit.
     """
     if mode not in ("closed", "open"):
         raise ReproError(f"mode must be 'closed' or 'open', got {mode!r}")
@@ -316,6 +387,10 @@ async def run_loadgen(
         raise ReproError(f"total_requests must be >= 1, got {total_requests}")
     if not workloads:
         raise ReproError("at least one workload is required")
+    if not 0.0 <= cold_fraction <= 1.0:
+        raise ReproError(
+            f"cold_fraction must be in [0, 1], got {cold_fraction}"
+        )
     space = dict(space or {})
     rng = RngRegistry(seed).stream("serve/loadgen")
 
@@ -342,20 +417,37 @@ async def run_loadgen(
     finally:
         await primer.aclose()
 
-    plan = _build_plan(rng, total_requests, list(workloads), tp_ranges, space)
+    plan = _build_plan(
+        rng, total_requests, list(workloads), tp_ranges, space, cold_fraction
+    )
     tally = _Tally(keep_responses=collect_responses)
+    id_prefix = f"lg-{seed & 0xFFFFFFFF:08x}"
 
-    async def fire(client: _HttpClient, body: Mapping[str, object]) -> None:
+    async def fire(client: _HttpClient, index: int, body: Mapping[str, object]) -> None:
+        rid = f"{id_prefix}-{index:06d}"
         t0 = perf_counter()
         try:
             status, doc = await asyncio.wait_for(
-                client.request("POST", "/recommend", body), timeout=timeout_s
+                client.request(
+                    "POST",
+                    "/recommend",
+                    body,
+                    headers={"X-Repro-Request-Id": rid},
+                ),
+                timeout=timeout_s,
             )
         except (ConnectionError, OSError, asyncio.TimeoutError, ReproError):
-            tally.error()
+            tally.error(rid, perf_counter() - t0)
             await client.aclose()
             return
-        tally.record(status, body, doc, perf_counter() - t0)
+        tally.record(
+            status,
+            body,
+            doc,
+            perf_counter() - t0,
+            request_id=rid,
+            echoed=client.last_headers.get("x-repro-request-id") == rid,
+        )
 
     t_start = perf_counter()
     if mode == "closed":
@@ -370,7 +462,7 @@ async def run_loadgen(
                     if i >= len(plan):
                         return
                     cursor["next"] = i + 1
-                    await fire(client, plan[i])
+                    await fire(client, i, plan[i])
             finally:
                 await client.aclose()
 
@@ -387,18 +479,23 @@ async def run_loadgen(
             await client.connect()
             pool.put_nowait(client)
 
-        async def dispatch(at_s: float, body: Mapping[str, object]) -> None:
+        async def dispatch(
+            at_s: float, index: int, body: Mapping[str, object]
+        ) -> None:
             delay = at_s - (perf_counter() - t_start)
             if delay > 0:
                 await asyncio.sleep(delay)
             client = await pool.get()
             try:
-                await fire(client, body)
+                await fire(client, index, body)
             finally:
                 pool.put_nowait(client)
 
         await asyncio.gather(
-            *(dispatch(float(t), body) for t, body in zip(times, plan))
+            *(
+                dispatch(float(t), i, body)
+                for i, (t, body) in enumerate(zip(times, plan))
+            )
         )
         while not pool.empty():
             await pool.get_nowait().aclose()
@@ -430,6 +527,8 @@ async def run_loadgen(
         seed=seed,
         server_stats=server_stats,
         responses=tuple(tally.responses),
+        request_records=tuple(tally.records),
+        id_echoes=tally.id_echoes,
     )
 
 

@@ -48,6 +48,17 @@ import numpy as np
 
 from repro.errors import ReproError
 from repro.obs.metrics import get_registry
+from repro.obs.request import (
+    DEFAULT_BURN_THRESHOLD,
+    DEFAULT_FAST_WINDOW_S,
+    DEFAULT_FLIGHT_CAPACITY,
+    DEFAULT_SAMPLE_RATE,
+    DEFAULT_SLOW_WINDOW_S,
+    REQUEST_ID_HEADER,
+    RequestContext,
+    RequestRecorder,
+    classify_outcome,
+)
 from repro.obs.tracing import span
 from repro.serve.admission import AdmissionController
 from repro.serve.batching import (
@@ -119,6 +130,23 @@ class ServeConfig:
     #: Stop serving after this many requests (None: run until stopped);
     #: the CI smoke job uses this for a bounded run.
     max_requests: Optional[int] = None
+    #: Per-request tracing master switch: False skips stage recording,
+    #: tail sampling and the flight ring entirely (the overhead-baseline
+    #: arm of ``bench_serve``); burn-rate accounting and the request-id
+    #: echo stay on either way.
+    request_tracing: bool = True
+    #: Routine-traffic trace sampling rate (errors, sheds and the p99
+    #: tail are always kept); 1.0 traces everything (tests), 0.0 keeps
+    #: only the always-keep classes.
+    trace_sample: float = DEFAULT_SAMPLE_RATE
+    #: Flight-ring capacity (fully-traced requests retained for dumps).
+    flight_capacity: int = DEFAULT_FLIGHT_CAPACITY
+    #: Flight-dump directory (None: $REPRO_FLIGHT_DIR or ``.repro/flight``).
+    flight_dir: Optional[str] = None
+    #: Multi-window burn-rate alerting parameters against ``slo_p95_s``.
+    burn_fast_window_s: float = DEFAULT_FAST_WINDOW_S
+    burn_slow_window_s: float = DEFAULT_SLOW_WINDOW_S
+    burn_threshold: float = DEFAULT_BURN_THRESHOLD
 
 
 @dataclass
@@ -336,6 +364,17 @@ class ReproService:
             max_batch=self.config.max_batch,
         )
         self.stats_counters = ServeStats()
+        self.recorder = RequestRecorder(
+            slo_p95_s=self.config.slo_p95_s,
+            sample_rate=self.config.trace_sample,
+            enabled=self.config.request_tracing,
+            flight_capacity=self.config.flight_capacity,
+            flight_dir=self.config.flight_dir,
+            fast_window_s=self.config.burn_fast_window_s,
+            slow_window_s=self.config.burn_slow_window_s,
+            burn_threshold=self.config.burn_threshold,
+            state_provider=self.stats,
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop_event: Optional[asyncio.Event] = None
 
@@ -387,7 +426,13 @@ class ReproService:
             pass
 
     async def close(self) -> None:
-        """Stop listening and tear the batcher down."""
+        """Stop listening and tear the batcher down.
+
+        Dumps the flight ring first when a burn alert is still active —
+        the operator stopping a misbehaving service is exactly when the
+        post-mortem must not be lost.
+        """
+        self.recorder.on_shutdown()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -404,6 +449,8 @@ class ReproService:
             "cache": self.cache.stats(),
             "admission": self.admission.stats(),
             "batching": self.batcher.stats(),
+            "slo": self.recorder.slo_stats(),
+            "tracing": self.recorder.tracing_stats(),
         }
 
     def summary_scalars(self) -> Dict[str, float]:
@@ -421,6 +468,7 @@ class ReproService:
             "admission_depth_limit": admission["depth_limit"],
             "batches": batching["batches"],
             "mean_batch_size": batching["mean_batch_size"],
+            **self.recorder.summary_scalars(),
         }
 
     # -- compute path ------------------------------------------------------
@@ -448,97 +496,161 @@ class ReproService:
             results.append({"payload": obj, "elapsed_s": perf_counter() - t0})
         return results
 
-    async def _compute_entry(self, kind: str, params: Mapping[str, object]) -> Any:
-        """Submit one cold compute through the batcher; feed admission."""
+    async def _compute_entry(
+        self,
+        kind: str,
+        params: Mapping[str, object],
+        ctx: Optional[RequestContext] = None,
+    ) -> Any:
+        """Submit one cold compute through the batcher; feed admission.
+
+        The leader request's context rides the batch query: the drain
+        loop stamps ``batch.queue`` (enqueue to drain) and this return
+        path stamps ``batch.compute`` from the worker's measured elapsed
+        time, both nesting under the request's open ``cache`` stage.
+        """
         out = await self.batcher.submit(
-            (kind, dict(params)), timeout_s=self.config.request_timeout_s
+            (kind, dict(params)), timeout_s=self.config.request_timeout_s, ctx=ctx
         )
         self.admission.observe(out["elapsed_s"])
+        if ctx is not None:
+            ctx.add_stage(
+                "batch.compute",
+                start_s=perf_counter() - out["elapsed_s"],
+                wall_s=out["elapsed_s"],
+                kind=kind,
+            )
         return out["payload"]
 
-    async def _space_entry(self, params: Dict[str, object]):
+    def _admit_or_shed(self, digest: str, ctx: RequestContext) -> None:
+        """Admission check for one digest, recorded on the request trace."""
+        with ctx.stage("admission") as st:
+            if digest in self.cache:
+                ctx.admitted = True
+                st.set(resident=True, admitted=True)
+                return
+            decision = self.admission.decide(self.batcher.depth)
+            ctx.admitted = decision.admitted
+            st.set(
+                resident=False,
+                admitted=decision.admitted,
+                depth=decision.depth,
+                depth_limit=decision.depth_limit,
+            )
+            if not decision.admitted:
+                raise _Shed(digest)
+
+    async def _space_entry(self, params: Dict[str, object], ctx: RequestContext):
         """The cached space entry for one request, with admission on misses.
 
         Returns ``(entry, was_hit)``; raises ``_Shed`` when admission
         rejects a cold compute.
         """
         digest = request_digest(params)
-        if digest not in self.cache and not self.admission.admit(self.batcher.depth):
-            raise _Shed(digest)
-        return digest, await self.cache.get_or_compute(
-            digest, params, lambda: self._compute_entry("space", params)
-        )
+        ctx.digest = digest
+        self._admit_or_shed(digest, ctx)
+        with ctx.stage("cache") as st:
+            entry, was_hit = await self.cache.get_or_compute(
+                digest,
+                params,
+                lambda: self._compute_entry("space", params, ctx),
+                ctx=ctx,
+            )
+            st.set(hit=was_hit)
+        ctx.cache_hit = was_hit
+        return digest, (entry, was_hit)
 
     # -- endpoint handlers -------------------------------------------------
-    async def _handle_recommend(self, body: Mapping[str, object]) -> Dict[str, object]:
-        params = _validated_params(body, _SPACE_DEFAULTS, ("workload", "deadline_s"))
-        deadline_s = float(params.pop("deadline_s"))
-        params = _normalize_space_params(params)
-        if deadline_s <= 0:
-            raise ReproError(f"deadline_s must be positive, got {deadline_s}")
-        digest, (entry, was_hit) = await self._space_entry(params)
+    async def _handle_recommend(
+        self, body: Mapping[str, object], ctx: RequestContext
+    ) -> Dict[str, object]:
+        with ctx.stage("validate"):
+            params = _validated_params(
+                body, _SPACE_DEFAULTS, ("workload", "deadline_s")
+            )
+            deadline_s = float(params.pop("deadline_s"))
+            params = _normalize_space_params(params)
+            if deadline_s <= 0:
+                raise ReproError(f"deadline_s must be positive, got {deadline_s}")
+        digest, (entry, was_hit) = await self._space_entry(params, ctx)
         payload: _SpacePayload = entry.payload
-        idx = payload.staircase.best_index(deadline_s)
-        doc: Dict[str, object] = {
-            "endpoint": "recommend",
-            "workload": params["workload"],
-            "deadline_s": deadline_s,
-            "digest": digest,
-            "cache_hit": was_hit,
-            "evaluated_configs": payload.arrays.n_configs,
-            "strategy": "exhaustive",
-        }
-        if idx < 0:
-            doc["feasible"] = False
-            return doc
-        fragment = payload.answers.get(idx)
-        if fragment is None:
-            arrays = payload.arrays
-            config = arrays.config_at(idx)
-            fragment = {
-                "feasible": True,
-                "mix": config.label(),
-                "operating_point": str(config),
-                "tp_s": float(arrays.tp_s[idx]),
-                "energy_j": float(arrays.energy_j[idx]),
-                "peak_power_w": float(arrays.peak_power_w[idx]),
+        with ctx.stage("lookup"):
+            idx = payload.staircase.best_index(deadline_s)
+            doc: Dict[str, object] = {
+                "endpoint": "recommend",
+                "workload": params["workload"],
+                "deadline_s": deadline_s,
+                "digest": digest,
+                "cache_hit": was_hit,
+                "evaluated_configs": payload.arrays.n_configs,
+                "strategy": "exhaustive",
             }
-            payload.answers[idx] = fragment
-        doc.update(fragment)
+            if idx < 0:
+                doc["feasible"] = False
+                return doc
+            fragment = payload.answers.get(idx)
+            if fragment is None:
+                arrays = payload.arrays
+                config = arrays.config_at(idx)
+                fragment = {
+                    "feasible": True,
+                    "mix": config.label(),
+                    "operating_point": str(config),
+                    "tp_s": float(arrays.tp_s[idx]),
+                    "energy_j": float(arrays.energy_j[idx]),
+                    "peak_power_w": float(arrays.peak_power_w[idx]),
+                }
+                payload.answers[idx] = fragment
+            doc.update(fragment)
         return doc
 
-    async def _handle_frontier(self, body: Mapping[str, object]) -> Dict[str, object]:
-        params = _normalize_space_params(
-            _validated_params(body, _SPACE_DEFAULTS, ("workload",))
-        )
-        digest, (entry, was_hit) = await self._space_entry(params)
+    async def _handle_frontier(
+        self, body: Mapping[str, object], ctx: RequestContext
+    ) -> Dict[str, object]:
+        with ctx.stage("validate"):
+            params = _normalize_space_params(
+                _validated_params(body, _SPACE_DEFAULTS, ("workload",))
+            )
+        digest, (entry, was_hit) = await self._space_entry(params, ctx)
         payload: _SpacePayload = entry.payload
-        return {
-            "endpoint": "frontier",
-            "workload": params["workload"],
-            "digest": digest,
-            "cache_hit": was_hit,
-            "evaluated_configs": payload.arrays.n_configs,
-            "points": list(payload.frontier),
-        }
+        with ctx.stage("lookup"):
+            doc = {
+                "endpoint": "frontier",
+                "workload": params["workload"],
+                "digest": digest,
+                "cache_hit": was_hit,
+                "evaluated_configs": payload.arrays.n_configs,
+                "points": list(payload.frontier),
+            }
+        return doc
 
-    async def _handle_schedule(self, body: Mapping[str, object]) -> Dict[str, object]:
-        params = _normalize_schedule_params(
-            _validated_params(body, _SCHEDULE_DEFAULTS, ())
-        )
+    async def _handle_schedule(
+        self, body: Mapping[str, object], ctx: RequestContext
+    ) -> Dict[str, object]:
+        with ctx.stage("validate"):
+            params = _normalize_schedule_params(
+                _validated_params(body, _SCHEDULE_DEFAULTS, ())
+            )
         digest = request_digest(params)
-        if digest not in self.cache and not self.admission.admit(self.batcher.depth):
-            raise _Shed(digest)
-        entry, was_hit = await self.cache.get_or_compute(
-            digest, params, lambda: self._compute_entry("schedule", params)
-        )
-        doc = dict(entry.payload)
-        doc.update(endpoint="schedule", digest=digest, cache_hit=was_hit)
+        ctx.digest = digest
+        self._admit_or_shed(digest, ctx)
+        with ctx.stage("cache") as st:
+            entry, was_hit = await self.cache.get_or_compute(
+                digest,
+                params,
+                lambda: self._compute_entry("schedule", params, ctx),
+                ctx=ctx,
+            )
+            st.set(hit=was_hit)
+        ctx.cache_hit = was_hit
+        with ctx.stage("lookup"):
+            doc = dict(entry.payload)
+            doc.update(endpoint="schedule", digest=digest, cache_hit=was_hit)
         return doc
 
     # -- HTTP plumbing -----------------------------------------------------
     async def _route(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, body: bytes, ctx: RequestContext
     ) -> Tuple[int, str, bytes]:
         """Dispatch one parsed request; returns (status, content-type, body)."""
         if method == "GET":
@@ -561,11 +673,14 @@ class ReproService:
         if handler is None:
             return 404, "application/json", _json_bytes({"error": f"no such path {path}"})
         try:
-            parsed = json.loads(body.decode("utf-8")) if body else {}
-            if not isinstance(parsed, dict):
-                raise ReproError("request body must be a JSON object")
-            doc = await handler(parsed)
-            return 200, "application/json", _json_bytes(doc)
+            with ctx.stage("parse"):
+                parsed = json.loads(body.decode("utf-8")) if body else {}
+                if not isinstance(parsed, dict):
+                    raise ReproError("request body must be a JSON object")
+            doc = await handler(parsed, ctx)
+            with ctx.stage("render"):
+                payload = _json_bytes(doc)
+            return 200, "application/json", payload
         except _Shed as shed:
             limit = self.admission.limit
             return 503, "application/json", _json_bytes(
@@ -613,8 +728,11 @@ class ReproService:
                 length = int(headers.get("content-length", "0") or "0")
                 body = await reader.readexactly(length) if length else b""
                 path = target.split("?", 1)[0]
+                ctx = self.recorder.start_request(
+                    path, request_id=headers.get(REQUEST_ID_HEADER)
+                )
                 t0 = perf_counter()
-                status, ctype, payload = await self._route(method, path, body)
+                status, ctype, payload = await self._route(method, path, body, ctx)
                 latency = perf_counter() - t0
                 self.stats_counters.count(path, status)
                 if registry.enabled:
@@ -625,10 +743,22 @@ class ReproService:
                     registry.histogram(
                         "repro_serve_request_latency_s",
                         buckets=(0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5),
+                        labels={
+                            "endpoint": path,
+                            "outcome": classify_outcome(status),
+                        },
                         help="Server-side request latency (route to response)",
                     ).observe(latency)
+                self.recorder.finish_request(ctx, status, latency)
                 close = headers.get("connection", "").lower() == "close"
-                await _respond(writer, status, ctype, payload, close=close)
+                await _respond(
+                    writer,
+                    status,
+                    ctype,
+                    payload,
+                    close=close,
+                    request_id=ctx.request_id,
+                )
                 if self.config.max_requests is not None and (
                     self.stats_counters.total >= self.config.max_requests
                 ):
@@ -668,11 +798,16 @@ async def _respond(
     body: bytes,
     *,
     close: bool = False,
+    request_id: Optional[str] = None,
 ) -> None:
+    request_id_line = (
+        f"X-Repro-Request-Id: {request_id}\r\n" if request_id else ""
+    )
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
         f"Content-Type: {ctype}\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{request_id_line}"
         f"Connection: {'close' if close else 'keep-alive'}\r\n"
         "\r\n"
     )

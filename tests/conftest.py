@@ -30,6 +30,9 @@ def _isolated_ledger(tmp_path, monkeypatch):
     ``main()`` would grow a real ``.repro/runs`` store inside the repo.
     """
     monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+    # Same hygiene for flight-recorder dumps: a test that trips an SLO
+    # alert or a 5xx must not grow a real .repro/flight inside the repo.
+    monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path / "flight"))
 
 
 @pytest.fixture(scope="session")

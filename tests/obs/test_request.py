@@ -1,0 +1,423 @@
+"""Unit contracts for the request-level observability layer.
+
+Covers :mod:`repro.obs.request` in isolation — context/stage nesting,
+outcome classification, tail-based sampling, multi-window burn-rate
+alerting, the flight-recorder ring and its dump documents — without
+booting a service (the end-to-end wiring lives in
+``tests/serve/test_request_obs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+
+import pytest
+
+from repro.obs.request import (
+    FLIGHT_SCHEMA,
+    AlertEvent,
+    BurnRateMonitor,
+    FlightRecorder,
+    RequestContext,
+    RequestRecorder,
+    TailSampler,
+    classify_outcome,
+    flight_chrome_trace,
+    flight_document,
+    list_flight_dumps,
+    load_flight_dump,
+    span_coverage,
+)
+
+
+def _ctx(rid="r-1", endpoint="/recommend", traced=True):
+    return RequestContext(rid, endpoint, origin_s=perf_counter(), traced=traced)
+
+
+def _finished_ctx(wall_s=0.01, status=200, **kwargs):
+    ctx = _ctx(**kwargs)
+    ctx.finish(status, wall_s)
+    return ctx
+
+
+class TestClassifyOutcome:
+    @pytest.mark.parametrize(
+        "status,outcome",
+        [
+            (200, "ok"),
+            (204, "ok"),
+            (301, "ok"),
+            (400, "error"),
+            (404, "error"),
+            (500, "error"),
+            (503, "shed"),
+            (504, "expired"),
+        ],
+    )
+    def test_vocabulary(self, status, outcome):
+        assert classify_outcome(status) == outcome
+
+
+class TestRequestContext:
+    def test_stages_nest_via_path(self):
+        ctx = _ctx()
+        with ctx.stage("cache"):
+            with ctx.stage("inner"):
+                pass
+        ctx.finish(200, 0.01)
+        by_name = {s.name: s for s in ctx.stages}
+        assert by_name["inner"].path == ("cache", "inner")
+        assert by_name["cache"].path == ("cache",)
+
+    def test_add_stage_parents_under_open_stage(self):
+        # The cross-task contract: the batcher attributes queue/compute
+        # time while the request coroutine awaits inside `cache`.
+        ctx = _ctx()
+        with ctx.stage("cache"):
+            t = perf_counter()
+            ctx.add_stage("batch.queue", start_s=t, wall_s=0.002)
+        assert ctx.stages[0].path == ("cache", "batch.queue")
+
+    def test_stage_set_attaches_attrs(self):
+        ctx = _ctx()
+        with ctx.stage("admission") as st:
+            st.set(admitted=False, depth=3)
+        assert ctx.stages[0].attrs == {"admitted": False, "depth": 3}
+
+    def test_exception_annotates_the_stage(self):
+        ctx = _ctx()
+        with pytest.raises(ValueError):
+            with ctx.stage("validate"):
+                raise ValueError("boom")
+        assert ctx.stages[0].attrs["error"] == "ValueError"
+
+    def test_untraced_context_records_nothing(self):
+        ctx = _ctx(traced=False)
+        with ctx.stage("cache") as st:
+            st.set(hit=True)  # no-op stage still accepts set()
+        ctx.add_stage("batch.queue", start_s=perf_counter(), wall_s=0.1)
+        assert ctx.stages == []
+
+    def test_add_stage_after_finish_is_ignored(self):
+        # A late client-side timeout must not mutate a trace already in
+        # the flight ring.
+        ctx = _finished_ctx()
+        ctx.add_stage("batch.compute", start_s=perf_counter(), wall_s=0.1)
+        assert ctx.stages == []
+        assert isinstance(ctx.stage("late").__enter__(), object)
+
+    def test_finish_seals_status_and_outcome(self):
+        ctx = _finished_ctx(wall_s=0.25, status=503)
+        assert (ctx.status, ctx.outcome, ctx.wall_s) == (503, "shed", 0.25)
+
+    def test_to_dict_round_trips_through_json(self):
+        ctx = _ctx()
+        with ctx.stage("lookup"):
+            pass
+        ctx.finish(200, 0.003)
+        doc = json.loads(json.dumps(ctx.to_dict()))
+        assert doc["request_id"] == "r-1"
+        assert doc["stages"][0]["path"] == ["lookup"]
+
+
+class TestSpanCoverage:
+    def test_counts_only_top_level_stages(self):
+        ctx = _ctx()
+        with ctx.stage("cache"):
+            ctx.add_stage("batch.queue", start_s=perf_counter(), wall_s=5.0)
+        ctx.finish(200, 1.0)
+        doc = ctx.to_dict()
+        # Force a known top-level wall: overwrite the recorded cache wall.
+        doc["stages"] = [
+            {"name": "cache", "path": ["cache"], "wall_s": 0.9, "t0_s": 0.0},
+            {
+                "name": "batch.queue",
+                "path": ["cache", "batch.queue"],
+                "wall_s": 5.0,
+                "t0_s": 0.0,
+            },
+        ]
+        assert span_coverage(doc) == pytest.approx(0.9)
+
+    def test_zero_wall_is_zero_coverage(self):
+        assert span_coverage({"wall_s": 0.0, "stages": []}) == 0.0
+
+
+class TestTailSampler:
+    def test_non_ok_outcomes_always_kept(self):
+        sampler = TailSampler(0.0)
+        for status, reason in ((503, "shed"), (504, "expired"), (500, "error")):
+            keep, why = sampler.decide(_finished_ctx(status=status))
+            assert keep and why == reason
+
+    def test_routine_requests_sampled_at_rate(self):
+        # min_window above the deque bound keeps the p99 threshold
+        # unprimed, isolating the deterministic 1-in-10 routine count
+        # (identical walls would otherwise all tie the p99 and be kept
+        # as "slow").
+        sampler = TailSampler(0.1, window=8, min_window=9)
+        kept = sum(
+            sampler.decide(_finished_ctx(wall_s=0.001))[0] for _ in range(100)
+        )
+        assert kept == 10  # deterministic 1-in-10, not a coin flip
+        assert sampler.kept_by_reason == {"sampled": 10}
+
+    def test_rate_zero_keeps_only_always_keep_classes(self):
+        sampler = TailSampler(0.0)
+        assert sampler.decide(_finished_ctx(wall_s=0.001)) == (False, None)
+        assert sampler.decide(_finished_ctx(status=503))[0] is True
+
+    def test_slow_tail_kept_once_threshold_primes(self):
+        sampler = TailSampler(0.0, refresh_every=16, min_window=16)
+        for _ in range(64):
+            sampler.decide(_finished_ctx(wall_s=0.001))
+        assert sampler.slow_threshold_s <= 0.001
+        keep, reason = sampler.decide(_finished_ctx(wall_s=1.0))
+        assert keep and reason == "slow"
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TailSampler(1.5)
+
+
+class TestBurnRateMonitor:
+    def _flood(self, burn, n, t0=0.0, good=False, dt=0.01):
+        alerts = []
+        for i in range(n):
+            event = burn.observe(t0 + i * dt, good)
+            if event is not None:
+                alerts.append(event)
+        return alerts
+
+    def test_all_bad_traffic_fires_once_on_rising_edge(self):
+        burn = BurnRateMonitor(0.1, min_requests=20)
+        alerts = self._flood(burn, 100)
+        assert len(alerts) == 1
+        assert burn.alert_active is True
+        # burn = (bad/total)/budget = 1.0/0.05 = 20x
+        assert alerts[0].fast_burn == pytest.approx(20.0)
+        assert alerts[0].slo_p95_s == 0.1
+
+    def test_no_alert_below_min_requests(self):
+        burn = BurnRateMonitor(0.1, min_requests=20)
+        assert self._flood(burn, 19) == []
+
+    def test_good_traffic_never_alerts(self):
+        burn = BurnRateMonitor(0.1, min_requests=20)
+        assert self._flood(burn, 200, good=True) == []
+        assert burn.burn_rate(burn.fast_window_s) == 0.0
+
+    def test_alert_rearms_after_recovery(self):
+        burn = BurnRateMonitor(0.1, fast_window_s=1.0, slow_window_s=2.0)
+        assert len(self._flood(burn, 50, t0=0.0)) == 1
+        # A quiet spell longer than the fast window drains it below
+        # threshold; the next sustained burn is a new rising edge.
+        self._flood(burn, 200, t0=10.0, good=True)
+        assert burn.alert_active is False
+        assert len(self._flood(burn, 50, t0=20.0)) == 1
+        assert len(burn.alerts) == 2
+
+    def test_mixed_traffic_burn_math(self):
+        # 1 bad in 10 over a 5% budget is burn 2.0 exactly.
+        burn = BurnRateMonitor(0.1)
+        for i in range(10):
+            burn.observe(i * 0.01, good=(i != 0))
+        assert burn.burn_rate(burn.fast_window_s) == pytest.approx(2.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            BurnRateMonitor(0.1, fast_window_s=10.0, slow_window_s=5.0)
+        with pytest.raises(ValueError):
+            BurnRateMonitor(0.1, budget_fraction=0.0)
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_slowest_wins(self):
+        flight = FlightRecorder(4)
+        for i in range(10):
+            flight.record(_finished_ctx(wall_s=0.001 * i, rid=f"r-{i}"))
+        assert len(flight) == 4
+        slowest = flight.slowest()
+        assert slowest is not None and slowest.request_id == "r-9"
+
+    def test_dump_writes_parseable_json_and_chrome_trace(self, tmp_path):
+        flight = FlightRecorder(8, directory=tmp_path)
+        ctx = _ctx()
+        with ctx.stage("cache"):
+            pass
+        ctx.finish(200, 0.01)
+        flight.record(ctx)
+        path = flight.dump("slo-burn", state={"note": 1})
+        doc = load_flight_dump(path)
+        assert doc["reason"] == "slo-burn"
+        assert doc["schema"] == FLIGHT_SCHEMA
+        assert doc["service"] == {"note": 1}
+        assert doc["slowest"]["request_id"] == "r-1"
+        trace_path = path.with_suffix("").with_suffix(".trace.json")
+        trace = json.loads(trace_path.read_text(encoding="utf-8"))
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "cache" in names
+
+    def test_maybe_dump_rate_limits_per_reason(self, tmp_path):
+        flight = FlightRecorder(8, directory=tmp_path, min_dump_interval_s=60.0)
+        flight.record(_finished_ctx())
+        assert flight.maybe_dump("slo-burn") is not None
+        assert flight.maybe_dump("slo-burn") is None  # same reason, limited
+        assert flight.maybe_dump("http-500") is not None  # new reason passes
+
+    def test_maybe_dump_skips_an_empty_ring(self, tmp_path):
+        flight = FlightRecorder(8, directory=tmp_path)
+        assert flight.maybe_dump("slo-burn") is None
+        assert list_flight_dumps(tmp_path) == []
+
+    def test_dump_appends_a_ledger_record(self, tmp_path):
+        from repro.obs.ledger import default_ledger
+
+        flight = FlightRecorder(8, directory=tmp_path)
+        flight.record(_finished_ctx())
+        flight.dump("http-504")
+        records = default_ledger().records(name="serve/flight-dump")
+        assert len(records) == 1
+        assert records[0].params["reason"] == "http-504"
+        assert records[0].scalars["requests"] == 1.0
+
+    def test_list_flight_dumps_excludes_trace_sidecars(self, tmp_path):
+        flight = FlightRecorder(8, directory=tmp_path)
+        flight.record(_finished_ctx())
+        flight.dump("slo-burn")
+        dumps = list_flight_dumps(tmp_path)
+        assert len(dumps) == 1
+        assert not dumps[0].name.endswith(".trace.json")
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        bogus = tmp_path / "flight-x.json"
+        bogus.write_text('{"schema": "other/1"}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_flight_dump(bogus)
+
+
+class TestFlightDocument:
+    def test_chrome_trace_covers_requests_and_stages(self):
+        ctx = _ctx()
+        with ctx.stage("lookup"):
+            pass
+        ctx.finish(200, 0.01)
+        doc = flight_document([ctx], reason="test")
+        trace = flight_chrome_trace(doc)
+        cats = sorted({e["cat"] for e in trace["traceEvents"]})
+        assert cats == ["request", "stage"]
+        assert all(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_alert_is_embedded(self):
+        event = AlertEvent(
+            kind="slo-burn-rate",
+            t_s=1.0,
+            fast_burn=20.0,
+            slow_burn=20.0,
+            fast_window_s=5.0,
+            slow_window_s=30.0,
+            threshold=2.0,
+            slo_p95_s=0.1,
+        )
+        doc = flight_document([], reason="slo-burn", alert=event)
+        assert doc["alert"]["fast_burn"] == 20.0
+        assert doc["slowest"] is None
+
+
+class TestRequestRecorder:
+    def _recorder(self, tmp_path, **kwargs):
+        kwargs.setdefault("slo_p95_s", 0.1)
+        kwargs.setdefault("flight_dir", tmp_path)
+        return RequestRecorder(**kwargs)
+
+    def test_generated_ids_are_unique(self, tmp_path):
+        rec = self._recorder(tmp_path)
+        a = rec.start_request("/recommend")
+        b = rec.start_request("/recommend")
+        assert a.request_id != b.request_id
+
+    def test_client_supplied_id_wins(self, tmp_path):
+        rec = self._recorder(tmp_path)
+        ctx = rec.start_request("/recommend", request_id="lg-feed-000001")
+        assert ctx.request_id == "lg-feed-000001"
+
+    def test_sustained_bad_traffic_alerts_and_dumps(self, tmp_path):
+        rec = self._recorder(tmp_path, sample_rate=1.0)
+        alerts = []
+        for _ in range(50):
+            ctx = rec.start_request("/recommend")
+            alert = rec.finish_request(ctx, 503, 0.001)
+            if alert is not None:
+                alerts.append(alert)
+        assert len(alerts) == 1
+        dumps = list_flight_dumps(tmp_path)
+        assert len(dumps) == 1
+        assert load_flight_dump(dumps[0])["reason"] == "slo-burn"
+
+    def test_5xx_dumps_but_503_does_not(self, tmp_path):
+        rec = self._recorder(tmp_path, sample_rate=1.0)
+        ctx = rec.start_request("/recommend")
+        rec.finish_request(ctx, 503, 0.001)
+        assert list_flight_dumps(tmp_path) == []
+        ctx = rec.start_request("/recommend")
+        rec.finish_request(ctx, 500, 0.001)
+        dumps = list_flight_dumps(tmp_path)
+        assert len(dumps) == 1
+        assert load_flight_dump(dumps[0])["reason"] == "http-500"
+
+    def test_shutdown_dump_only_with_active_alert(self, tmp_path):
+        rec = self._recorder(tmp_path, sample_rate=1.0)
+        assert rec.on_shutdown() is None
+        for _ in range(50):
+            rec.finish_request(rec.start_request("/x"), 503, 0.001)
+        # The slo-burn dump already fired; shutdown adds its own reason.
+        assert rec.on_shutdown() is not None
+        reasons = {load_flight_dump(p)["reason"] for p in list_flight_dumps(tmp_path)}
+        assert reasons == {"slo-burn", "shutdown-with-alert"}
+
+    def test_disabled_recorder_still_burns_but_keeps_nothing(self, tmp_path):
+        rec = self._recorder(tmp_path, enabled=False, sample_rate=1.0)
+        for _ in range(50):
+            ctx = rec.start_request("/x")
+            assert ctx.traced is False
+            rec.finish_request(ctx, 503, 0.001)
+        assert len(rec.burn.alerts) == 1  # burn accounting is always on
+        assert rec.sampler.decided == 0
+        assert len(rec.flight) == 0
+
+    def test_stage_breakdown_aggregates_top_level_only(self, tmp_path):
+        rec = self._recorder(tmp_path, sample_rate=0.0)
+        ctx = rec.start_request("/recommend")
+        with ctx.stage("cache"):
+            ctx.add_stage("batch.queue", start_s=perf_counter(), wall_s=0.5)
+        rec.finish_request(ctx, 200, 0.01)
+        breakdown = rec.stage_breakdown()
+        assert set(breakdown) == {"cache"}
+        assert breakdown["cache"]["count"] == 1.0
+
+    def test_burn_gauges_exported_when_registry_enabled(self, tmp_path):
+        from repro.obs import get_registry
+
+        registry = get_registry()
+        registry.enable()
+        rec = self._recorder(tmp_path, sample_rate=1.0)
+        for _ in range(30):
+            rec.finish_request(rec.start_request("/x"), 503, 0.001)
+        snap = registry.snapshot()
+        assert snap["repro_serve_slo_burn_rate"]["kind"] == "gauge"
+        windows = {
+            s["labels"]["window"]
+            for s in snap["repro_serve_slo_burn_rate"]["series"]
+        }
+        assert windows == {"fast", "slow"}
+        assert snap["repro_serve_slo_alerts_total"]["series"][0]["value"] == 1.0
+        assert "repro_serve_traces_kept_total" in snap
+
+    def test_summary_scalars_shape(self, tmp_path):
+        rec = self._recorder(tmp_path)
+        assert set(rec.summary_scalars()) == {
+            "slo_alerts",
+            "traces_kept",
+            "flight_dumps",
+        }

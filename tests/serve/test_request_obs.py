@@ -1,0 +1,364 @@
+"""End-to-end request observability over real HTTP round trips.
+
+The wiring contracts of :mod:`repro.obs.request` through the serving
+stack: trace propagation leaves answers bit-identical, the request-id
+header round-trips, injected overload fires the burn-rate alert and
+writes a parseable flight dump whose slowest trace accounts for the
+request's wall time, and the load generator's envelope carries the
+client-side join keys.
+"""
+
+import asyncio
+
+import pytest
+
+import repro
+from repro.cluster.search import recommend_exhaustive
+from repro.obs.request import (
+    list_flight_dumps,
+    load_flight_dump,
+    span_coverage,
+)
+from repro.serve.loadgen import (
+    _build_plan,
+    _HttpClient,
+    loadgen_envelope,
+    run_loadgen,
+)
+from repro.serve.service import ReproService, ServeConfig
+
+#: A deliberately small space so each cold sweep is milliseconds.
+SPACE = {"max_wimpy": 2, "max_brawny": 1}
+
+
+def _spaces():
+    return [
+        repro.TypeSpace(repro.get_node_spec("A9"), n_max=SPACE["max_wimpy"]),
+        repro.TypeSpace(repro.get_node_spec("K10"), n_max=SPACE["max_brawny"]),
+    ]
+
+
+def run_with_service(scenario, **config_kwargs):
+    """Boot a service, run ``scenario(service, client)``, tear both down."""
+
+    async def main():
+        service = ReproService(ServeConfig(**config_kwargs))
+        await service.start()
+        client = _HttpClient(service.host, service.port)
+        await client.connect()
+        try:
+            return await scenario(service, client)
+        finally:
+            await client.aclose()
+            await service.close()
+
+    return asyncio.run(main())
+
+
+class TestTracePropagation:
+    def test_full_sampling_keeps_answers_bit_identical(self, workloads):
+        # The layer's prime rule: tracing every request must not perturb
+        # a single bit of the served answer.
+        async def scenario(service, client):
+            status, frontier = await client.request(
+                "POST", "/frontier", {"workload": "EP", **SPACE}
+            )
+            assert status == 200
+            tps = [p["tp_s"] for p in frontier["points"]]
+            deadline = (min(tps) + max(tps)) / 2.0
+            status, doc = await client.request(
+                "POST",
+                "/recommend",
+                {"workload": "EP", "deadline_s": deadline, **SPACE},
+            )
+            assert status == 200
+            return deadline, doc
+
+        deadline, doc = run_with_service(scenario, trace_sample=1.0)
+        rec = recommend_exhaustive(
+            workloads["EP"], _spaces(), deadline_s=deadline
+        )
+        assert rec is not None
+        assert doc["mix"] == rec.config.label()
+        assert doc["tp_s"] == rec.evaluation.tp_s
+        assert doc["energy_j"] == rec.evaluation.energy_j
+        assert doc["peak_power_w"] == rec.evaluation.peak_power_w
+
+    def test_cold_request_trace_spans_the_compute_path(self):
+        async def scenario(service, client):
+            status, _ = await client.request(
+                "POST",
+                "/recommend",
+                {"workload": "EP", "deadline_s": 50.0, **SPACE},
+            )
+            assert status == 200
+            traces = service.recorder.flight.traces()
+            assert traces, "full sampling must keep the request"
+            return traces[-1].to_dict()
+
+        trace = run_with_service(scenario, trace_sample=1.0)
+        names = {s["name"] for s in trace["stages"]}
+        # The cold path: every stage of the pipeline plus the batcher's
+        # cross-task queue/compute attribution nested under `cache`.
+        assert {
+            "parse",
+            "validate",
+            "admission",
+            "cache",
+            "batch.queue",
+            "batch.compute",
+            "lookup",
+            "render",
+        } <= names
+        by_name = {s["name"]: s for s in trace["stages"]}
+        assert by_name["batch.queue"]["path"] == ["cache", "batch.queue"]
+        assert by_name["batch.compute"]["path"] == ["cache", "batch.compute"]
+        assert by_name["cache"]["attrs"]["hit"] is False
+        assert by_name["admission"]["attrs"]["admitted"] is True
+        assert trace["outcome"] == "ok"
+        assert span_coverage(trace) >= 0.95
+
+    def test_warm_hit_trace_has_no_compute_stages(self):
+        async def scenario(service, client):
+            body = {"workload": "EP", "deadline_s": 50.0, **SPACE}
+            await client.request("POST", "/recommend", body)
+            await client.request("POST", "/recommend", body)
+            return service.recorder.flight.traces()[-1].to_dict()
+
+        trace = run_with_service(scenario, trace_sample=1.0)
+        by_name = {s["name"]: s for s in trace["stages"]}
+        assert by_name["cache"]["attrs"]["hit"] is True
+        assert "batch.compute" not in by_name
+        assert trace["cache_hit"] is True
+
+    def test_tracing_disabled_records_no_stages(self):
+        async def scenario(service, client):
+            status, _ = await client.request(
+                "POST",
+                "/recommend",
+                {"workload": "EP", "deadline_s": 50.0, **SPACE},
+            )
+            assert status == 200
+            return service.recorder
+
+        recorder = run_with_service(scenario, request_tracing=False)
+        assert recorder.sampler.decided == 0
+        assert len(recorder.flight) == 0
+        # Burn accounting stays on even with tracing off.
+        assert recorder.burn.good + recorder.burn.bad == 1
+
+    def test_stats_exposes_slo_and_tracing_sections(self):
+        async def scenario(service, client):
+            await client.request(
+                "POST",
+                "/recommend",
+                {"workload": "EP", "deadline_s": 50.0, **SPACE},
+            )
+            status, stats = await client.request("GET", "/stats")
+            assert status == 200
+            return stats
+
+        stats = run_with_service(scenario, trace_sample=1.0)
+        assert {"slo", "tracing"} <= set(stats)
+        assert stats["slo"]["alert_active"] is False
+        assert stats["tracing"]["enabled"] is True
+        assert "cache" in stats["tracing"]["stages"]
+
+
+class TestRequestIdEcho:
+    def test_client_id_round_trips_in_the_header(self):
+        async def scenario(service, client):
+            status, _ = await client.request(
+                "GET", "/healthz", headers={"X-Repro-Request-Id": "my-id-42"}
+            )
+            assert status == 200
+            return client.last_headers
+
+        headers = run_with_service(scenario)
+        assert headers["x-repro-request-id"] == "my-id-42"
+
+    def test_server_generates_an_id_when_none_sent(self):
+        async def scenario(service, client):
+            await client.request("GET", "/healthz")
+            return client.last_headers
+
+        headers = run_with_service(scenario)
+        assert headers["x-repro-request-id"].startswith("req-")
+
+    def test_shed_responses_echo_the_id_too(self):
+        from repro.serve.admission import AdmissionDecision
+
+        async def scenario(service, client):
+            service.admission.decide = lambda depth: AdmissionDecision(
+                admitted=False,
+                depth=depth,
+                depth_limit=0,
+                service_time_estimate_s=1e-3,
+            )
+            status, _ = await client.request(
+                "POST",
+                "/recommend",
+                {"workload": "EP", "deadline_s": 1.0, **SPACE},
+                headers={"X-Repro-Request-Id": "shed-join-key"},
+            )
+            return status, client.last_headers
+
+        status, headers = run_with_service(scenario)
+        assert status == 503
+        assert headers["x-repro-request-id"] == "shed-join-key"
+
+
+class TestOverload:
+    def test_overload_fires_alert_and_writes_coverage_complete_dump(
+        self, tmp_path, workloads
+    ):
+        # The acceptance scenario: cold-digest overload against an
+        # unmeetable SLO must raise the burn alert and leave a parseable
+        # post-mortem whose slowest trace accounts for >= 95% of that
+        # request's wall across the pipeline stages.
+        flight_dir = tmp_path / "flight"
+
+        async def main():
+            service = ReproService(
+                ServeConfig(
+                    precompute=("EP",),
+                    slo_p95_s=1e-4,  # everything is an SLO miss
+                    trace_sample=1.0,
+                    flight_dir=str(flight_dir),
+                )
+            )
+            await service.start()
+            try:
+                result = await run_loadgen(
+                    service.host,
+                    service.port,
+                    mode="open",
+                    clients=8,
+                    total_requests=60,
+                    rate_rps=500.0,
+                    workloads=("EP",),
+                    space=SPACE,
+                    seed=4242,
+                    cold_fraction=1.0,
+                )
+                return result, service.recorder
+            finally:
+                await service.close()
+
+        result, recorder = asyncio.run(main())
+        assert len(recorder.burn.alerts) >= 1
+        assert recorder.burn.alerts[0].fast_burn >= recorder.burn.threshold
+
+        dumps = [load_flight_dump(p) for p in list_flight_dumps(flight_dir)]
+        assert dumps, "the burn alert must have dumped the flight ring"
+        doc = next(d for d in dumps if d["reason"] == "slo-burn")
+        assert doc["alert"]["fast_burn"] >= doc["alert"]["threshold"]
+        assert doc["service"] is not None  # /stats state embedded
+
+        # Trace completeness on the slowest captured request.
+        slowest = doc["slowest"]
+        assert slowest["coverage"] >= 0.95
+        target = next(
+            r
+            for r in doc["requests"]
+            if r["request_id"] == slowest["request_id"]
+        )
+        assert span_coverage(target) == pytest.approx(slowest["coverage"])
+        # Client-generated ids survive into the dump (the join contract).
+        assert any(
+            r["request_id"].startswith("lg-") for r in doc["requests"]
+        )
+
+    def test_cold_fraction_forces_unique_digests_without_reseeding(self):
+        from repro.util.rng import RngRegistry
+
+        ranges = {"EP": (10.0, 100.0)}
+        base = _build_plan(
+            RngRegistry(7).stream("serve/loadgen"),
+            20,
+            ["EP"],
+            ranges,
+            SPACE,
+        )
+        cold = _build_plan(
+            RngRegistry(7).stream("serve/loadgen"),
+            20,
+            ["EP"],
+            ranges,
+            SPACE,
+            cold_fraction=1.0,
+        )
+        # The base draws are bit-identical (cold draws happen after).
+        assert [b["deadline_s"] for b in base] == [
+            c["deadline_s"] for c in cold
+        ]
+        budgets = [c["budget_w"] for c in cold]
+        assert len(set(budgets)) == len(budgets)
+        assert all("budget_w" not in b for b in base)
+
+
+class TestLoadgenEnvelope:
+    def test_request_ids_section_and_full_echo(self):
+        async def main():
+            service = ReproService(ServeConfig(precompute=("EP",)))
+            await service.start()
+            try:
+                return await run_loadgen(
+                    service.host,
+                    service.port,
+                    mode="closed",
+                    clients=4,
+                    total_requests=24,
+                    workloads=("EP",),
+                    space=SPACE,
+                    seed=99,
+                )
+            finally:
+                await service.close()
+
+        result = asyncio.run(main())
+        assert result.completed == result.attempted
+        assert result.id_echoes == result.attempted
+
+        envelope = loadgen_envelope(result, {"clients": 4})
+        ids = envelope["request_ids"]
+        assert ids["echoed_fraction"] == 1.0
+        assert ids["shed"] == [] and ids["errors"] == []
+        assert len(ids["slowest"]) == 5
+        assert all(
+            entry["request_id"].startswith("lg-00000063-")
+            for entry in ids["slowest"]
+        )
+        # The existing envelope shape is intact (ledger consumers pin it).
+        assert set(envelope["latency_s"]) == {"p50", "p95", "p99", "mean"}
+
+
+class TestOutcomeLabels:
+    def test_latency_histogram_labelled_by_endpoint_and_outcome(self):
+        from repro.obs import get_registry
+
+        registry = get_registry()
+        registry.enable()
+        try:
+
+            async def scenario(service, client):
+                await client.request(
+                    "POST",
+                    "/recommend",
+                    {"workload": "EP", "deadline_s": 50.0, **SPACE},
+                )
+                await client.request("GET", "/healthz")
+                return None
+
+            run_with_service(scenario)
+            snap = registry.snapshot()
+            series = snap["repro_serve_request_latency_s"]["series"]
+            labels = {
+                (s["labels"]["endpoint"], s["labels"]["outcome"])
+                for s in series
+            }
+            assert ("/recommend", "ok") in labels
+            assert ("/healthz", "ok") in labels
+        finally:
+            registry.disable()
+            registry.reset(clear=True)

@@ -163,8 +163,16 @@ class TestRecommendEndpoint:
             assert doc["energy_j"] == rec.evaluation.energy_j
 
     def test_shed_when_admission_rejects_cold_work(self):
+        from repro.serve.admission import AdmissionDecision
+
         async def scenario(service, client):
-            service.admission.admit = lambda depth: False  # force a full queue
+            # Force a full queue: the service asks decide() on cold digests.
+            service.admission.decide = lambda depth: AdmissionDecision(
+                admitted=False,
+                depth=depth,
+                depth_limit=0,
+                service_time_estimate_s=1e-3,
+            )
             status, doc = await client.request(
                 "POST",
                 "/recommend",

@@ -226,6 +226,118 @@ class TestObsWatchAndCompact:
         assert len(ledger.records(name="exp/a", include_archive=True)) == 3
 
 
+def _write_flight_dump(directory):
+    """One real dump via the recorder, returned as its JSON path."""
+    from time import perf_counter
+
+    from repro.obs.request import FlightRecorder, RequestContext
+
+    ctx = RequestContext("lg-test-000001", "/recommend", origin_s=perf_counter())
+    with ctx.stage("cache") as st:
+        st.set(hit=False)
+    ctx.finish(200, 0.02)
+    flight = FlightRecorder(8, directory=directory)
+    flight.record(ctx)
+    return flight.dump("slo-burn")
+
+
+class TestObsFlight:
+    def test_empty_directory_lists_nothing(self, capsys, tmp_path):
+        assert main(["obs", "flight", "--dir", str(tmp_path)]) == 0
+        assert "no flight dumps" in capsys.readouterr().out
+
+    def test_last_with_no_dumps_exits_one(self, capsys, tmp_path):
+        assert main(["obs", "flight", "--dir", str(tmp_path), "--last"]) == 1
+
+    def test_list_and_detail_views(self, capsys, tmp_path):
+        path = _write_flight_dump(tmp_path)
+        assert main(["obs", "flight", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert path.name in out and "[slo-burn]" in out
+
+        assert main(["obs", "flight", "--dir", str(tmp_path), "--last"]) == 0
+        out = capsys.readouterr().out
+        assert "lg-test-000001" in out
+        assert "stage tree" in out and "cache" in out
+
+    def test_json_emits_the_document_verbatim(self, capsys, tmp_path):
+        path = _write_flight_dump(tmp_path)
+        assert main(["obs", "flight", "--dump", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-flight/1"
+        assert doc["requests"][0]["request_id"] == "lg-test-000001"
+
+    def test_unreadable_dump_is_an_error(self, capsys, tmp_path):
+        bogus = tmp_path / "flight-x.json"
+        bogus.write_text("{}", encoding="utf-8")
+        assert main(["obs", "flight", "--dump", str(bogus)]) == 1
+
+
+class TestObsWatchServe:
+    def test_polls_stats_and_renders_the_live_view(self, capsys, monkeypatch):
+        stats = {
+            "service": {"uptime_s": 12.0, "total": 40, "statuses": {"200": 40}},
+            "slo": {
+                "slo_p95_s": 0.25,
+                "fast_burn": 3.5,
+                "slow_burn": 2.1,
+                "threshold": 2.0,
+                "alert_active": True,
+                "alerts": 1,
+                "good": 30,
+                "bad": 10,
+            },
+            "tracing": {
+                "sampler": {"decided": 40, "kept_by_reason": {"slow": 2}},
+                "flight": {"entries": 2, "capacity": 64, "dumps": 1},
+                "stages": {
+                    "cache": {"count": 40, "total_s": 0.4, "mean_s": 0.01}
+                },
+            },
+            "admission": {"shed": 0, "depth_limit": 9},
+            "cache": {"hit_fraction": 0.95},
+            "batching": {},
+        }
+        monkeypatch.setattr(
+            "repro.cli._fetch_serve_stats", lambda url: stats
+        )
+        assert (
+            main(
+                [
+                    "obs",
+                    "watch",
+                    "--serve",
+                    "http://127.0.0.1:1",
+                    "--iterations",
+                    "2",
+                    "--interval",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("Serve watch") == 2
+        assert "[ALERT]" in out
+        assert "cache" in out
+
+    def test_unreachable_service_is_an_error(self, capsys):
+        assert (
+            main(
+                [
+                    "obs",
+                    "watch",
+                    "--serve",
+                    "http://127.0.0.1:1",
+                    "--iterations",
+                    "1",
+                ]
+            )
+            == 1
+        )
+        assert "cannot fetch" in capsys.readouterr().err
+
+
 class TestArtifactParentDirs:
     def test_trace_out_creates_parents(self, capsys, tmp_path):
         out = tmp_path / "deep" / "traces" / "t.json"
